@@ -1,0 +1,90 @@
+// Regenerates the §5 design-iteration narrative for Table 1 rows 3-4:
+//
+//   man:   "with a single design iteration, in which the number of
+//           allocated constant generators was reduced ... to one, the
+//           Best SU was obtained"
+//   eigen: "one design iteration where only the number of allocated
+//           resources that executes division was reduced by one was
+//           necessary to obtain the Best SU solution"
+//
+// The bench prints speed-ups for: the automatic allocation, the
+// allocation after the single manual reduction, and the best
+// allocation found by search.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lycos;
+
+core::Rmap reduce_const_gens_to_one(const core::Rmap& a,
+                                    const hw::Hw_library& lib)
+{
+    core::Rmap out = a;
+    const auto cg = *lib.find("const_gen");
+    if (out(cg) > 1)
+        out.set(cg, 1);
+    return out;
+}
+
+core::Rmap reduce_dividers_by_one(const core::Rmap& a,
+                                  const hw::Hw_library& lib)
+{
+    core::Rmap out = a;
+    const auto dv = *lib.find("divider");
+    if (out(dv) > 0)
+        out.set(dv, out(dv) - 1);
+    return out;
+}
+
+}  // namespace
+
+int main()
+{
+    using util::fixed;
+
+    std::cout << "§5 design iterations (Table 1 rows 3 and 4)\n\n";
+    util::Table_printer table(
+        {"Example", "auto SU", "iterated SU", "best SU", "iteration"});
+
+    {
+        auto run = benchx::run_flow(apps::make_man());
+        const auto best = benchx::find_best(run);
+        const auto iterated = reduce_const_gens_to_one(
+            run.alloc.allocation, run.lib);
+        const auto after =
+            search::evaluate_allocation(benchx::context(run), iterated);
+        table.add_row({"man", fixed(run.heuristic.speedup_pct(), 0) + "%",
+                       fixed(after.speedup_pct(), 0) + "%",
+                       fixed(best.best.speedup_pct(), 0) + "%",
+                       "const_gen -> 1 (was " +
+                           std::to_string(run.alloc.allocation(
+                               *run.lib.find("const_gen"))) +
+                           ")"});
+    }
+
+    {
+        auto run = benchx::run_flow(apps::make_eigen());
+        const auto best = benchx::find_best(run);
+        const auto iterated =
+            reduce_dividers_by_one(run.alloc.allocation, run.lib);
+        const auto after =
+            search::evaluate_allocation(benchx::context(run), iterated);
+        table.add_row({"eigen", fixed(run.heuristic.speedup_pct(), 0) + "%",
+                       fixed(after.speedup_pct(), 0) + "%",
+                       fixed(best.best.speedup_pct(), 0) + "%",
+                       "divider -1 (was " +
+                           std::to_string(run.alloc.allocation(
+                               *run.lib.find("divider"))) +
+                           ")"});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nthe single reduction should close most of the gap to\n"
+                 "the best allocation (it is never necessary to *increase*\n"
+                 "a resource count — §5.1).\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+// §6 future-work bench: module selection.
+//
+// Runs the allocation algorithm over the variant library (two
+// implementations per expensive unit) with each selection policy and
+// reports the resulting data-path, its area and the PACE speed-up per
+// application.  Expected shape: min_latency buys the big fast units
+// and wins when area is plentiful; min_area wins under tight budgets;
+// balanced sits between.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/selection.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lycos;
+
+const char* policy_name(core::Selection_policy p)
+{
+    switch (p) {
+    case core::Selection_policy::min_area: return "min_area";
+    case core::Selection_policy::min_latency: return "min_latency";
+    case core::Selection_policy::balanced: return "balanced";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main()
+{
+    using util::fixed;
+
+    std::cout << "§6 extension — module selection over the variant library\n\n";
+    util::Table_printer table(
+        {"Example", "policy", "datapath area", "SU", "units"});
+
+    const auto lib = core::make_variant_library();
+
+    for (auto& app : apps::make_all_apps()) {
+        const auto target = hw::make_default_target(app.asic_area);
+        const core::Allocator allocator(lib, target);
+        const auto infos = core::analyze(app.bsbs, lib, target.gates);
+
+        for (auto policy : {core::Selection_policy::min_area,
+                            core::Selection_policy::balanced,
+                            core::Selection_policy::min_latency}) {
+            const auto alloc = allocator.run_analyzed(
+                infos, {.area_budget = target.asic.total_area,
+                        .selection = policy});
+            const search::Eval_context ctx{
+                app.bsbs, lib, target, pace::Controller_mode::list_schedule,
+                0.0};
+            const auto ev =
+                search::evaluate_allocation(ctx, alloc.allocation);
+            table.add_row({app.name, policy_name(policy),
+                           fixed(ev.datapath_area, 0),
+                           fixed(ev.speedup_pct(), 0) + "%",
+                           std::to_string(ev.datapath.total_units())});
+        }
+        table.add_separator();
+    }
+
+    table.print(std::cout);
+    std::cout << "\npolicies trade data-path area against unit latency;\n"
+                 "which one wins depends on how tight the controller\n"
+                 "budget already is for the application.\n";
+    return 0;
+}

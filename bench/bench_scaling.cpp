@@ -1,0 +1,133 @@
+// §4.4 scaling: microbenchmarks (google-benchmark) for
+//   * the FURO pre-analysis, claimed proportional to L * k^2
+//     (L = number of BSBs, k = max operations per BSB),
+//   * the allocation loop itself,
+//   * the PACE dynamic program vs the exponential brute force.
+#include <benchmark/benchmark.h>
+
+#include "apps/random_app.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "pace/brute_force.hpp"
+#include "pace/cost_model.hpp"
+#include "pace/pace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lycos;
+
+std::vector<bsb::Bsb> make_bsbs(int n_bsbs, int ops_per_bsb)
+{
+    util::Rng rng(42);
+    apps::Random_app_params p;
+    p.n_bsbs = n_bsbs;
+    p.min_ops = ops_per_bsb;
+    p.max_ops = ops_per_bsb;
+    return apps::random_bsbs(rng, p);
+}
+
+// --- FURO analysis: sweep k with L fixed (expect ~quadratic) --------
+void bm_analyze_ops_per_bsb(benchmark::State& state)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(10000.0);
+    const auto bsbs = make_bsbs(8, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto infos = core::analyze(bsbs, lib, target.gates);
+        benchmark::DoNotOptimize(infos);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_analyze_ops_per_bsb)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+// --- FURO analysis: sweep L with k fixed (expect ~linear) -----------
+void bm_analyze_bsb_count(benchmark::State& state)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(10000.0);
+    const auto bsbs = make_bsbs(static_cast<int>(state.range(0)), 24);
+    for (auto _ : state) {
+        auto infos = core::analyze(bsbs, lib, target.gates);
+        benchmark::DoNotOptimize(infos);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_analyze_bsb_count)->RangeMultiplier(2)->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+// --- the allocation loop (post-analysis) -----------------------------
+void bm_allocator(benchmark::State& state)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(20000.0);
+    const auto bsbs = make_bsbs(static_cast<int>(state.range(0)), 16);
+    const core::Allocator allocator(lib, target);
+    const auto infos = core::analyze(bsbs, lib, target.gates);
+    for (auto _ : state) {
+        auto r = allocator.run_analyzed(infos,
+                                        {.area_budget = 20000.0});
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_allocator)->RangeMultiplier(2)->Range(2, 32);
+
+// --- PACE DP vs brute force -----------------------------------------
+std::vector<pace::Bsb_cost> random_costs(int n)
+{
+    util::Rng rng(7);
+    std::vector<pace::Bsb_cost> costs;
+    for (int i = 0; i < n; ++i) {
+        pace::Bsb_cost c;
+        c.t_sw = rng.uniform_real(100.0, 5000.0);
+        c.t_hw = rng.uniform_real(50.0, 2000.0);
+        c.comm = rng.uniform_real(0.0, 100.0);
+        c.save_prev = i > 0 ? rng.uniform_real(0.0, c.comm) : 0.0;
+        c.ctrl_area = rng.uniform_int(1, 60);
+        costs.push_back(c);
+    }
+    return costs;
+}
+
+void bm_pace_dp(benchmark::State& state)
+{
+    const auto costs = random_costs(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = pace::pace_partition(costs, {.ctrl_area_budget = 300.0,
+                                              .area_quantum = 1.0});
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_pace_dp)->RangeMultiplier(2)->Range(4, 64);
+
+void bm_pace_brute_force(benchmark::State& state)
+{
+    const auto costs = random_costs(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = pace::brute_force_partition(costs, 300.0);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_pace_brute_force)->DenseRange(8, 20, 4);
+
+// --- list scheduling inside the cost model ---------------------------
+void bm_cost_model(benchmark::State& state)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(10000.0);
+    const auto bsbs = make_bsbs(16, static_cast<int>(state.range(0)));
+    core::Rmap alloc;
+    for (std::size_t r = 0; r < lib.size(); ++r)
+        alloc.set(static_cast<hw::Resource_id>(r), 1);
+    for (auto _ : state) {
+        auto costs = pace::build_cost_model(
+            bsbs, lib, target, alloc, pace::Controller_mode::optimistic_eca);
+        benchmark::DoNotOptimize(costs);
+    }
+}
+BENCHMARK(bm_cost_model)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

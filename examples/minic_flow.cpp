@@ -1,0 +1,104 @@
+// Compile a MiniC file from disk and run the full co-synthesis flow.
+//
+// Usage:  ./minic_flow [file.mc] [asic_area]
+//
+// Without arguments a built-in demo program is used.  The example
+// prints the CDFG/BSB structure, the computed restrictions, the
+// allocation and the final PACE partition, making it a debugging aid
+// for new input programs.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bsb/bsb.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "minic/lexer.hpp"
+#include "minic/lower.hpp"
+#include "search/evaluate.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* k_demo = R"(
+// demo: tiny correlator
+input a0, a1, a2, a3, b0, b1, b2, b3;
+output r;
+
+r = 0;
+loop 128 {
+  p0 = a0 * b0;
+  p1 = a1 * b1;
+  p2 = a2 * b2;
+  p3 = a3 * b3;
+  s0 = p0 + p1;
+  s1 = p2 + p3;
+  r = r + s0 + s1;
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace lycos;
+
+    std::string source = k_demo;
+    std::string origin = "<built-in demo>";
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        source = buf.str();
+        origin = argv[1];
+    }
+    const double area = argc > 2 ? std::stod(argv[2]) : 8000.0;
+
+    std::cout << "compiling " << origin << " ("
+              << minic::count_code_lines(source) << " code lines)\n\n";
+
+    cdfg::Cdfg graph;
+    try {
+        graph = minic::compile(source);
+    }
+    catch (const minic::Parse_error& e) {
+        std::cerr << "compile error: " << e.what() << "\n";
+        return 1;
+    }
+
+    const auto bsbs = bsb::extract_leaf_bsbs(graph);
+    util::Table_printer structure({"BSB", "ops", "profile", "live-in",
+                                   "live-out"});
+    for (const auto& b : bsbs)
+        structure.add_row({b.name, std::to_string(b.graph.size()),
+                           util::fixed(b.profile, 1),
+                           std::to_string(b.graph.live_ins().size()),
+                           std::to_string(b.graph.live_outs().size())});
+    structure.print(std::cout);
+
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(area);
+    const core::Allocator allocator(lib, target);
+    const auto infos = core::analyze(bsbs, lib, target.gates);
+    const auto restrictions = core::compute_restrictions(infos, lib);
+
+    std::cout << "\nrestrictions: " << restrictions.to_string(lib) << "\n";
+
+    const auto alloc =
+        allocator.run_analyzed(infos, {.area_budget = area});
+    std::cout << "allocation:   " << alloc.allocation.to_string(lib) << "\n";
+
+    const search::Eval_context ctx{bsbs, lib, target,
+                                   pace::Controller_mode::optimistic_eca, 0.0};
+    const auto ev = search::evaluate_allocation(ctx, alloc.allocation);
+    std::cout << "partition:    " << ev.partition.n_in_hw << "/" << bsbs.size()
+              << " BSBs in HW\n";
+    std::cout << "speed-up:     "
+              << util::speedup_percent(ev.speedup_pct()) << "\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Dynamic profiling flow: measure, annotate, allocate.
+//
+// LYCOS derives the profile counts p_k (Definition 2) by profiling the
+// application.  This example shows the full loop: a kernel whose
+// source annotations are WRONG is executed on representative inputs,
+// the measured loop/branch statistics replace the annotations, and the
+// allocation improves because the allocator now knows where the time
+// really goes.
+#include <iostream>
+
+#include "bsb/bsb.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "minic/interp.hpp"
+#include "minic/lower.hpp"
+#include "minic/parser.hpp"
+#include "search/evaluate.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+// The annotations claim the cheap clean-up loop is hot and the
+// multiply-heavy filter loop is cold — the opposite of the truth.
+constexpr const char* k_source = R"(
+input n, g0, g1, x0;
+output acc, fixups;
+
+acc = 0;
+x = x0;
+i = 0;
+while (i < n) trip 2 {          // annotation says 2; really n trips
+  p0 = x * g0;
+  p1 = p0 * g1;
+  acc = acc + p1;
+  x = x + 1;
+  i = i + 1;
+}
+
+fixups = 0;
+j = 0;
+while (j < 4) trip 5000 {       // annotation says 5000; really 4
+  fixups = fixups + 1;
+  j = j + 1;
+}
+)";
+
+double score(const lycos::minic::Program& program, double area)
+{
+    using namespace lycos;
+    const auto bsbs = bsb::extract_leaf_bsbs(minic::lower(program));
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(area);
+    const core::Allocator allocator(lib, target);
+    const auto alloc = allocator.run(bsbs, {.area_budget = area});
+    const search::Eval_context ctx{bsbs, lib, target,
+                                   pace::Controller_mode::list_schedule, 0.0};
+    return search::evaluate_allocation(ctx, alloc.allocation).speedup_pct();
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace lycos;
+    constexpr double area = 4000.0;  // tight: the allocator must choose
+
+    auto program = minic::parse(k_source);
+    const double assumed = score(program, area);
+    std::cout << "speed-up with the (wrong) source annotations: "
+              << util::speedup_percent(assumed) << "\n";
+
+    // Execute on representative inputs and measure.
+    const auto result = minic::run(program, {{"n", 3000},
+                                             {"g0", 3},
+                                             {"g1", 5},
+                                             {"x0", 1}});
+    const int updated = minic::annotate_from_run(program, result);
+    std::cout << "profiled " << result.steps << " statements; " << updated
+              << " annotations corrected\n";
+    for (const auto& [line, stats] : result.loops)
+        std::cout << "  loop at line " << line << ": mean trips "
+                  << stats.mean_trips() << "\n";
+
+    const double measured = score(program, area);
+    std::cout << "speed-up with measured profiles:             "
+              << util::speedup_percent(measured) << "\n";
+
+    std::cout << "\nprofiling "
+              << (measured > assumed ? "recovered the allocation quality"
+                                     : "did not change the outcome")
+              << " (the allocator now targets the real hot loop).\n";
+    return 0;
+}

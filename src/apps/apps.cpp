@@ -1,0 +1,504 @@
+#include "apps/apps.hpp"
+
+#include "minic/lexer.hpp"
+#include "minic/lower.hpp"
+
+namespace lycos::apps {
+
+namespace {
+
+App build(std::string name, std::string source, double asic_area)
+{
+    App app;
+    app.name = std::move(name);
+    app.source = std::move(source);
+    app.lines = minic::count_code_lines(app.source);
+    app.graph = minic::compile(app.source);
+    app.bsbs = bsb::extract_leaf_bsbs(app.graph);
+    app.asic_area = asic_area;
+    return app;
+}
+
+// ---------------------------------------------------------------------
+// straight: straight-line mixed arithmetic from the LYCOS system paper.
+// A chain of filter/transform stages over a sample window; wait
+// statements mark the sample boundaries and split the BSBs.
+// ---------------------------------------------------------------------
+constexpr const char* k_straight_source = R"(
+// straight -- straight-line signal chain (LYCOS system paper example).
+input s0, s1, s2, s3, s4, s5, s6, s7;
+input g0, g1, g2, g3;
+output acc, env, pk;
+
+// stage 1a: weighted pairs over the lower window half
+w0 = g0 * s0;
+w1 = g1 * s1;
+f0 = w0 + w1;
+wait 1;
+
+// stage 1b
+w2 = g2 * s2;
+w3 = g3 * s3;
+f1 = w2 + w3;
+fa = f0 + f1;
+wait 1;
+
+// stage 1c: weighted pairs over the upper window half
+w4 = g0 * s4;
+w5 = g1 * s5;
+f2 = w4 + w5;
+wait 1;
+
+// stage 1d
+w6 = g2 * s6;
+w7 = g3 * s7;
+f3 = w6 + w7;
+fb = f2 + f3;
+wait 1;
+
+// stage 2: biquad section one
+b0 = fa * 3;
+b1 = fb * 5;
+b2 = fa - fb;
+b3 = b0 + b1;
+b4 = b3 - b2;
+b5 = b4 * 7;
+y0 = b5 + fa;
+wait 1;
+
+// stage 3: biquad section two
+c0 = y0 * 2;
+c1 = y0 * 9;
+c2 = c0 + fb;
+c3 = c1 - fa;
+c4 = c2 * c3;
+y1 = c4 + y0;
+wait 1;
+
+// stage 4: envelope tracking
+e0 = y1 - y0;
+e1 = e0 * e0;
+e2 = y1 + y0;
+e3 = e2 * e2;
+e4 = e1 + e3;
+env = e4 >> 4;
+wait 1;
+
+// stage 5: peak detector and scaling
+p0 = env * 5;
+p1 = env * 3;
+p2 = p0 - p1;
+p3 = p2 + y1;
+pk = p3 >> 1;
+wait 1;
+
+// stage 6: polynomial correction
+q0 = pk * pk;
+q1 = q0 * pk;
+q2 = q1 * 3;
+q3 = q0 * 7;
+q4 = pk * 11;
+q5 = q2 + q3;
+q6 = q5 + q4;
+q7 = q6 + 13;
+wait 1;
+
+// stage 7: mix-down one
+m0 = q7 + env;
+m1 = q7 - env;
+m2 = m0 * m1;
+m3 = m2 >> 2;
+m4 = m3 + pk;
+wait 1;
+
+// stage 8: mix-down two
+n0 = m4 * 5;
+n1 = m4 * 7;
+n2 = n0 + n1;
+n3 = n2 - q7;
+n4 = n3 * m4;
+wait 1;
+
+// stage 9: clamp window (branch-free)
+r0 = n4 & 4095;
+r1 = n4 >> 12;
+r2 = r1 & 1;
+r3 = r2 * 4095;
+r4 = r0 | r3;
+wait 1;
+
+// stage 10: accumulate
+a0 = r4 + m4;
+a1 = a0 + q7;
+a2 = a1 + y1;
+a3 = a2 + fa;
+acc = a3 >> 2;
+wait 1;
+
+// stage 11: final dither and pack
+d0 = acc * 3;
+d1 = acc * 5;
+d2 = d0 ^ d1;
+d3 = d2 & 255;
+d4 = d3 << 2;
+d5 = d4 | r2;
+pk = d5 + pk;
+)";
+
+// ---------------------------------------------------------------------
+// hal: the classic HAL differential-equation benchmark [Paulin &
+// Knight 1989]; solves y'' + 3xy' + 3y = 0 by forward Euler.
+// ---------------------------------------------------------------------
+constexpr const char* k_hal_source = R"(
+// hal -- HAL differential equation solver (Paulin & Knight).
+// Integrates y'' + 3xy' + 3y = 0 with step dx until x reaches a.
+input x, y, u, dx, a;
+output xr, yr, ur;
+
+// load the integration state
+x0 = x;
+y0 = y;
+u0 = u;
+steps = 0;
+
+while (x0 < a) trip 1000 {
+  // u1 = u - 3*x*u*dx - 3*y*dx  (the HAL data-flow graph)
+  t1 = u0 * dx;
+  t2 = 3 * x0;
+  t3 = t2 * u0;
+  t4 = t3 * dx;
+  t5 = 3 * y0;
+  t6 = t5 * dx;
+  t7 = u0 - t4;
+  u1 = t7 - t6;
+  // y1 = y + u*dx
+  y1 = y0 + t1;
+  // x1 = x + dx
+  x1 = x0 + dx;
+  x0 = x1;
+  y0 = y1;
+  u0 = u1;
+  steps = steps + 1;
+}
+
+xr = x0;
+yr = y0;
+ur = u0;
+)";
+
+// ---------------------------------------------------------------------
+// man: Mandelbrot-set computation [Peitgen & Richter].  The per-pixel
+// coordinate/palette scaling block loads a table of constants in
+// parallel and multiplies them — the single BSB whose many parallel
+// constant loads §5 identifies as the source of the over-allocation.
+// ---------------------------------------------------------------------
+constexpr const char* k_man_source = R"(
+// man -- Mandelbrot set strip renderer (Peitgen & Richter).
+input cr0, ci0, dcr, dci;
+output img;
+
+img = 0;
+px = 0;
+
+loop 64 {
+  // coordinate/palette constant table: one BSB of (purely parallel)
+  // constant loads, the values that later feed the coordinate
+  // multiplications — the §5 anomaly block.
+  k0 = 3;
+  k1 = 5;
+  k2 = 7;
+  k3 = 11;
+  k4 = 13;
+  k5 = 17;
+  k6 = 19;
+  k7 = 23;
+  k8 = 29;
+  k9 = 31;
+  k10 = 37;
+  k11 = 41;
+  k12 = 43;
+  k13 = 47;
+  k14 = 53;
+  k15 = 59;
+  wait 1;
+
+  // combine the table entries (offset by the pixel index) into the
+  // fixed-point pixel coordinate; the constants feed multiplications.
+  t0 = k0 + px;
+  t1 = k1 + px;
+  t2 = k2 + px;
+  t3 = k3 + px;
+  u0 = t0 + k4;
+  u1 = t1 + k5;
+  u2 = t2 + k6;
+  u3 = t3 + k7;
+  kr = u0 + u2;
+  ki = u1 + u3;
+  krr = kr + k8 + k10 + k12 + k14;
+  kii = ki + k9 + k11 + k13 + k15;
+  cr = cr0 + krr * dcr;
+  ci = ci0 + kii * dci;
+  zr = 0;
+  zi = 0;
+  m = 0;
+
+  loop 20 {
+    // z = z*z + c in fixed point
+    zr2 = zr * zr;
+    zi2 = zi * zi;
+    zri = zr * zi;
+    tr = zr2 - zi2;
+    nr = tr + cr;
+    ni = zri + zri;
+    ni2 = ni + ci;
+    zr = nr >> 14;
+    zi = ni2 >> 14;
+    mag = zr2 + zi2;
+    if (mag < 65536) prob 80 {
+      m = m + 1;
+    }
+  }
+
+  img = img + m;
+  px = px + 1;
+}
+)";
+
+// ---------------------------------------------------------------------
+// eigen: Jacobi eigenvector kernel of the cloud-motion estimator
+// [Larsen 1994].  Division-heavy rotation computations; the rotation
+// routine is a function inlined at each pivot.
+// ---------------------------------------------------------------------
+constexpr const char* k_eigen_source = R"(
+// eigen -- Jacobi eigenvector kernel (4x4 symmetric matrix) from the
+// interpolated cloud-movement pipeline.  Fixed point, scale 2^14.
+input a00, a01, a02, a03;
+input a11, a12, a13;
+input a22, a23;
+input a33;
+output v0, v1, v2, v3, off;
+
+// rotation parameters for one pivot (p, q): computes the fixed-point
+// cosine/sine pair; the two long divisions can evaluate in parallel.
+func rot(app, aqq, apq) {
+  d = app - aqq;
+  num = apq * 2;
+  th = num / d;
+  th2 = th * th;
+  den = 16384 + th2;
+  cc = 268435456 / den;
+  ss = cc * th;
+  ss = ss >> 14;
+}
+
+// rotate the symmetric pair (xpp, xqq, xpq); results in upp/uqq/upq
+func apply(xpp, xqq, xpq) {
+  t0 = cc * xpq;
+  t1 = ss * xpq;
+  wpp = cc * xpp;
+  wqq = cc * xqq;
+  upp = wpp + t1;
+  uqq = wqq - t1;
+  upq = t0 - t1;
+  upp = upp >> 14;
+  uqq = uqq >> 14;
+  upq = upq >> 14;
+  acc = acc + upq;
+}
+
+// rotate an off-pivot pair (xp, xq); results in yp/yq
+func mix(xp, xq) {
+  m0 = cc * xp;
+  m1 = ss * xq;
+  m2 = ss * xp;
+  m3 = cc * xq;
+  yp = m0 + m1;
+  yq = m3 - m2;
+  yp = yp >> 14;
+  yq = yq >> 14;
+}
+
+// rotate the eigenvector estimate columns (p, q)
+func vrot(vp, vq) {
+  e0 = cc * vp;
+  e1 = ss * vq;
+  e2 = ss * vp;
+  e3 = cc * vq;
+  zp = e0 + e1;
+  zq = e3 - e2;
+  zp = zp >> 14;
+  zq = zq >> 14;
+}
+
+// initialize the eigenvector estimate to the identity scale
+v0 = 16384;
+v1 = 16384;
+v2 = 16384;
+v3 = 16384;
+acc = 0;
+
+loop 8 {
+  // ---- pivot (0,1) ----
+  rot(a00, a11, a01);
+  apply(a00, a11, a01);
+  a00 = upp;
+  a11 = uqq;
+  a01 = upq;
+  mix(a02, a12);
+  a02 = yp;
+  a12 = yq;
+  mix(a03, a13);
+  a03 = yp;
+  a13 = yq;
+  vrot(v0, v1);
+  v0 = zp;
+  v1 = zq;
+
+  // ---- pivot (0,2) ----
+  rot(a00, a22, a02);
+  apply(a00, a22, a02);
+  a00 = upp;
+  a22 = uqq;
+  a02 = upq;
+  mix(a01, a12);
+  a01 = yp;
+  a12 = yq;
+  mix(a03, a23);
+  a03 = yp;
+  a23 = yq;
+  vrot(v0, v2);
+  v0 = zp;
+  v2 = zq;
+
+  // ---- pivot (0,3) ----
+  rot(a00, a33, a03);
+  apply(a00, a33, a03);
+  a00 = upp;
+  a33 = uqq;
+  a03 = upq;
+  mix(a01, a13);
+  a01 = yp;
+  a13 = yq;
+  mix(a02, a23);
+  a02 = yp;
+  a23 = yq;
+  vrot(v0, v3);
+  v0 = zp;
+  v3 = zq;
+
+  // ---- pivot (1,2) ----
+  rot(a11, a22, a12);
+  apply(a11, a22, a12);
+  a11 = upp;
+  a22 = uqq;
+  a12 = upq;
+  mix(a01, a02);
+  a01 = yp;
+  a02 = yq;
+  mix(a13, a23);
+  a13 = yp;
+  a23 = yq;
+  vrot(v1, v2);
+  v1 = zp;
+  v2 = zq;
+
+  // ---- pivot (1,3) ----
+  rot(a11, a33, a13);
+  apply(a11, a33, a13);
+  a11 = upp;
+  a33 = uqq;
+  a13 = upq;
+  mix(a01, a03);
+  a01 = yp;
+  a03 = yq;
+  mix(a12, a23);
+  a12 = yp;
+  a23 = yq;
+  vrot(v1, v3);
+  v1 = zp;
+  v3 = zq;
+
+  // ---- pivot (2,3) ----
+  rot(a22, a33, a23);
+  apply(a22, a33, a23);
+  a22 = upp;
+  a33 = uqq;
+  a23 = upq;
+  mix(a02, a03);
+  a02 = yp;
+  a03 = yq;
+  mix(a12, a13);
+  a12 = yp;
+  a13 = yq;
+  vrot(v2, v3);
+  v2 = zp;
+  v3 = zq;
+
+  // re-normalize the eigenvector estimate after every sweep to keep
+  // the fixed-point scale: four long divisions, all independent.
+  nv = v0 + v1;
+  nv2 = v2 + v3;
+  nv3 = nv + nv2;
+  nv4 = nv3 >> 2;
+  v0 = (v0 << 14) / nv4;
+  v1 = (v1 << 14) / nv4;
+  v2 = (v2 << 14) / nv4;
+  v3 = (v3 << 14) / nv4;
+}
+
+// off-diagonal norm: convergence measure of the sweeps
+o0 = a01 * a01;
+o1 = a02 * a02;
+o2 = a03 * a03;
+o3 = a12 * a12;
+o4 = a13 * a13;
+o5 = a23 * a23;
+p0 = o0 + o1;
+p1 = o2 + o3;
+p2 = o4 + o5;
+p3 = p0 + p1;
+off = p3 + p2;
+
+// normalize the eigenvector estimate: four parallel long divisions
+nrm = v0 + v1;
+nrm2 = v2 + v3;
+nrm3 = nrm + nrm2;
+v0 = v0 / nrm3;
+v1 = v1 / nrm3;
+v2 = v2 / nrm3;
+v3 = v3 / nrm3;
+)";
+
+}  // namespace
+
+App make_straight()
+{
+    return build("straight", k_straight_source, 15500.0);
+}
+
+App make_hal()
+{
+    return build("hal", k_hal_source, 7000.0);
+}
+
+App make_man()
+{
+    return build("man", k_man_source, 10500.0);
+}
+
+App make_eigen()
+{
+    return build("eigen", k_eigen_source, 20000.0);
+}
+
+std::vector<App> make_all_apps()
+{
+    std::vector<App> apps;
+    apps.push_back(make_straight());
+    apps.push_back(make_hal());
+    apps.push_back(make_man());
+    apps.push_back(make_eigen());
+    return apps;
+}
+
+}  // namespace lycos::apps

@@ -1,0 +1,45 @@
+// The four benchmark applications of Table 1, reimplemented in MiniC
+// from their published descriptions.
+//
+//   straight  straight-line mixed arithmetic, from the LYCOS system
+//             paper [9]
+//   hal       the classic HAL differential-equation solver of Paulin &
+//             Knight [11]
+//   man       Mandelbrot-set computation [12]; contains the single BSB
+//             with many parallel constant loads feeding multiplications
+//             whose over-allocation of constant generators §5 analyses
+//   eigen     eigenvector kernel (Jacobi rotations) of the
+//             cloud-motion estimator [8]; division-heavy, the paper's
+//             second design-iteration case
+//
+// Each App carries its source, the compiled CDFG, the flat BSB array
+// and the ASIC area budget used for its Table 1 row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bsb/bsb.hpp"
+#include "cdfg/cdfg.hpp"
+
+namespace lycos::apps {
+
+/// A compiled benchmark application.
+struct App {
+    std::string name;
+    std::string source;           ///< MiniC text
+    int lines = 0;                ///< code lines (Table 1 "Lines")
+    cdfg::Cdfg graph;             ///< compiled CDFG
+    std::vector<bsb::Bsb> bsbs;   ///< flat leaf-BSB array
+    double asic_area = 0.0;       ///< total ASIC area for this app's row
+};
+
+App make_straight();
+App make_hal();
+App make_man();
+App make_eigen();
+
+/// All four, in Table 1 order.
+std::vector<App> make_all_apps();
+
+}  // namespace lycos::apps

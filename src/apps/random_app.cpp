@@ -1,0 +1,55 @@
+#include "apps/random_app.hpp"
+
+#include <span>
+#include <string>
+
+namespace lycos::apps {
+
+dfg::Dfg random_dfg(util::Rng& rng, int n_ops, const Random_app_params& p)
+{
+    dfg::Dfg g;
+    for (int i = 0; i < n_ops; ++i) {
+        const auto kind =
+            rng.pick(std::span<const hw::Op_kind>(p.kinds));
+        g.add_op(kind);
+    }
+    // Edges only forward in id order: always a DAG.
+    for (int a = 0; a < n_ops; ++a)
+        for (int b = a + 1; b < n_ops; ++b)
+            if (rng.chance(p.edge_prob))
+                g.add_edge(a, b);
+
+    const int n_in = rng.uniform_int(0, p.max_live_values);
+    const int n_out = rng.uniform_int(0, p.max_live_values);
+    for (int i = 0; i < n_in; ++i)
+        g.add_live_in("in" + std::to_string(i));
+    for (int i = 0; i < n_out; ++i)
+        g.add_live_out("out" + std::to_string(i));
+    return g;
+}
+
+std::vector<bsb::Bsb> random_bsbs(util::Rng& rng, const Random_app_params& p)
+{
+    std::vector<bsb::Bsb> out;
+    out.reserve(static_cast<std::size_t>(p.n_bsbs));
+    for (int i = 0; i < p.n_bsbs; ++i) {
+        bsb::Bsb b;
+        b.name = "R" + std::to_string(i);
+        b.graph = random_dfg(rng, rng.uniform_int(p.min_ops, p.max_ops), p);
+        b.profile = rng.uniform_real(1.0, p.max_profile);
+        out.push_back(std::move(b));
+    }
+    // Give adjacent BSBs some shared values so the adjacency model has
+    // something to save: BSB i's out0 feeds BSB i+1's in0.
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        if (!out[i].graph.live_outs().empty() &&
+            !out[i + 1].graph.live_ins().empty()) {
+            const std::string shared = "v" + std::to_string(i);
+            out[i].graph.add_live_out(shared);
+            out[i + 1].graph.add_live_in(shared);
+        }
+    }
+    return out;
+}
+
+}  // namespace lycos::apps

@@ -1,0 +1,38 @@
+// Seeded random BSB-array generator.
+//
+// Property tests and the scaling benches need applications of
+// controllable size and shape; this generator builds random DAG DFGs
+// with configurable operation mix, edge density and profile counts.
+// Everything is driven by util::Rng, so instances are reproducible.
+#pragma once
+
+#include <vector>
+
+#include "bsb/bsb.hpp"
+#include "hw/op.hpp"
+#include "util/rng.hpp"
+
+namespace lycos::apps {
+
+/// Shape parameters of a random application.
+struct Random_app_params {
+    int n_bsbs = 8;
+    int min_ops = 4;
+    int max_ops = 24;
+    double edge_prob = 0.25;      ///< chance of an edge between op pairs
+    double max_profile = 256.0;   ///< profiles drawn from [1, max_profile]
+    std::vector<hw::Op_kind> kinds = {
+        hw::Op_kind::add,  hw::Op_kind::sub, hw::Op_kind::mul,
+        hw::Op_kind::div,  hw::Op_kind::cmp_lt,
+        hw::Op_kind::const_load,
+    };
+    int max_live_values = 4;      ///< live-ins and live-outs per BSB
+};
+
+/// One random DAG DFG with `n_ops` operations.
+dfg::Dfg random_dfg(util::Rng& rng, int n_ops, const Random_app_params& p);
+
+/// A random BSB array.
+std::vector<bsb::Bsb> random_bsbs(util::Rng& rng, const Random_app_params& p);
+
+}  // namespace lycos::apps

@@ -1,0 +1,36 @@
+#include "bsb/bsb.hpp"
+
+#include <stdexcept>
+
+namespace lycos::bsb {
+
+std::vector<Bsb> extract_leaf_bsbs(const cdfg::Cdfg& g, double entry_count)
+{
+    const auto leaves = g.leaves_in_order();
+    const auto profiles = cdfg::propagate_profiles(g, entry_count);
+    if (leaves.size() != profiles.size())
+        throw std::logic_error("extract_leaf_bsbs: leaf/profile mismatch");
+
+    std::vector<Bsb> out;
+    out.reserve(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        if (leaves[i] != profiles[i].leaf)
+            throw std::logic_error("extract_leaf_bsbs: leaf order mismatch");
+        const auto& graph = g.leaf_graph(leaves[i]);
+        if (graph.empty())
+            continue;
+        out.push_back(Bsb{g.name(leaves[i]), graph, profiles[i].count,
+                          leaves[i]});
+    }
+    return out;
+}
+
+std::size_t total_ops(const std::vector<Bsb>& bsbs)
+{
+    std::size_t n = 0;
+    for (const auto& b : bsbs)
+        n += b.graph.size();
+    return n;
+}
+
+}  // namespace lycos::bsb

@@ -1,0 +1,37 @@
+// Basic Scheduling Blocks.
+//
+// The CDFG is translated into a BSB hierarchy for partitioning
+// (Figure 4); the bulk of the application is the *leaf* BSBs, each a
+// single DFG plus profiling information.  The allocation algorithm
+// (§3) and PACE both operate on the flat array of leaf BSBs in
+// execution order: [B1; B2; ...; BL].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/profile.hpp"
+#include "dfg/dfg.hpp"
+
+namespace lycos::bsb {
+
+/// One leaf BSB: a DFG with a name and a profile count p_k.
+struct Bsb {
+    std::string name;
+    dfg::Dfg graph;
+    double profile = 1.0;          ///< p_k of Definition 2
+    cdfg::Node_id source = -1;     ///< originating CDFG leaf (-1 if built directly)
+};
+
+/// Flatten a CDFG into its array of leaf BSBs in execution order,
+/// attaching statically propagated profile counts.  Leaves with empty
+/// DFGs (e.g. an unfilled loop test) are dropped — they contain no
+/// operations so neither the allocator nor PACE can act on them.
+std::vector<Bsb> extract_leaf_bsbs(const cdfg::Cdfg& g,
+                                   double entry_count = 1.0);
+
+/// Total operation count of a BSB array.
+std::size_t total_ops(const std::vector<Bsb>& bsbs);
+
+}  // namespace lycos::bsb

@@ -1,0 +1,228 @@
+#include "cdfg/cdfg.hpp"
+
+#include <stdexcept>
+
+namespace lycos::cdfg {
+
+std::string_view to_string(Node_kind k)
+{
+    switch (k) {
+    case Node_kind::sequence: return "sequence";
+    case Node_kind::loop: return "loop";
+    case Node_kind::cond: return "cond";
+    case Node_kind::wait: return "wait";
+    case Node_kind::func: return "func";
+    case Node_kind::leaf: return "leaf";
+    }
+    return "?";
+}
+
+Cdfg::Cdfg()
+{
+    new_node(Node_kind::sequence, "main");
+}
+
+Cdfg::Node& Cdfg::at(Node_id id)
+{
+    return nodes_.at(static_cast<std::size_t>(id));
+}
+
+const Cdfg::Node& Cdfg::at(Node_id id) const
+{
+    return nodes_.at(static_cast<std::size_t>(id));
+}
+
+Node_id Cdfg::new_node(Node_kind kind, std::string_view name)
+{
+    nodes_.push_back(Node{kind, std::string(name), {}, 1.0, 0.5, 0, {}});
+    return static_cast<Node_id>(nodes_.size() - 1);
+}
+
+void Cdfg::require(Node_id id, Node_kind k, const char* what) const
+{
+    if (at(id).kind != k)
+        throw std::invalid_argument(std::string("Cdfg: ") + what +
+                                    " expects a " + std::string(to_string(k)) +
+                                    " node");
+}
+
+void Cdfg::append_child(Node_id parent, Node_id child)
+{
+    nodes_[static_cast<std::size_t>(parent)].children.push_back(child);
+}
+
+Node_id Cdfg::add_leaf(Node_id parent, dfg::Dfg graph, std::string_view name)
+{
+    require(parent, Node_kind::sequence, "add_leaf parent");
+    const Node_id id = new_node(Node_kind::leaf, name);
+    at(id).graph = std::move(graph);
+    append_child(parent, id);
+    return id;
+}
+
+Node_id Cdfg::add_loop(Node_id parent, double trip_count, std::string_view name)
+{
+    require(parent, Node_kind::sequence, "add_loop parent");
+    if (trip_count < 0.0)
+        throw std::invalid_argument("Cdfg::add_loop: negative trip count");
+    const Node_id id = new_node(Node_kind::loop, name);
+    at(id).trip_count = trip_count;
+    const Node_id test =
+        new_node(Node_kind::leaf, std::string(name) + ".test");
+    const Node_id body =
+        new_node(Node_kind::sequence, std::string(name) + ".body");
+    append_child(id, test);
+    append_child(id, body);
+    append_child(parent, id);
+    return id;
+}
+
+Node_id Cdfg::add_cond(Node_id parent, double p_true, std::string_view name)
+{
+    require(parent, Node_kind::sequence, "add_cond parent");
+    if (p_true < 0.0 || p_true > 1.0)
+        throw std::invalid_argument("Cdfg::add_cond: p_true outside [0,1]");
+    const Node_id id = new_node(Node_kind::cond, name);
+    at(id).p_true = p_true;
+    const Node_id test =
+        new_node(Node_kind::leaf, std::string(name) + ".test");
+    const Node_id then_b =
+        new_node(Node_kind::sequence, std::string(name) + ".then");
+    const Node_id else_b =
+        new_node(Node_kind::sequence, std::string(name) + ".else");
+    append_child(id, test);
+    append_child(id, then_b);
+    append_child(id, else_b);
+    append_child(parent, id);
+    return id;
+}
+
+Node_id Cdfg::add_wait(Node_id parent, int cycles, std::string_view name)
+{
+    require(parent, Node_kind::sequence, "add_wait parent");
+    if (cycles < 0)
+        throw std::invalid_argument("Cdfg::add_wait: negative cycle count");
+    const Node_id id = new_node(Node_kind::wait, name);
+    at(id).wait_cycles = cycles;
+    append_child(parent, id);
+    return id;
+}
+
+Node_id Cdfg::add_func(Node_id parent, std::string_view name)
+{
+    require(parent, Node_kind::sequence, "add_func parent");
+    const Node_id id = new_node(Node_kind::func, name);
+    const Node_id body =
+        new_node(Node_kind::sequence, std::string(name) + ".body");
+    append_child(id, body);
+    append_child(parent, id);
+    return id;
+}
+
+std::span<const Node_id> Cdfg::children(Node_id seq) const
+{
+    require(seq, Node_kind::sequence, "children");
+    return at(seq).children;
+}
+
+Node_id Cdfg::loop_test(Node_id loop) const
+{
+    require(loop, Node_kind::loop, "loop_test");
+    return at(loop).children[0];
+}
+
+Node_id Cdfg::loop_body(Node_id loop) const
+{
+    require(loop, Node_kind::loop, "loop_body");
+    return at(loop).children[1];
+}
+
+Node_id Cdfg::cond_test(Node_id cond) const
+{
+    require(cond, Node_kind::cond, "cond_test");
+    return at(cond).children[0];
+}
+
+Node_id Cdfg::cond_then(Node_id cond) const
+{
+    require(cond, Node_kind::cond, "cond_then");
+    return at(cond).children[1];
+}
+
+Node_id Cdfg::cond_else(Node_id cond) const
+{
+    require(cond, Node_kind::cond, "cond_else");
+    return at(cond).children[2];
+}
+
+Node_id Cdfg::func_body(Node_id func) const
+{
+    require(func, Node_kind::func, "func_body");
+    return at(func).children[0];
+}
+
+double Cdfg::trip_count(Node_id loop) const
+{
+    require(loop, Node_kind::loop, "trip_count");
+    return at(loop).trip_count;
+}
+
+double Cdfg::p_true(Node_id cond) const
+{
+    require(cond, Node_kind::cond, "p_true");
+    return at(cond).p_true;
+}
+
+int Cdfg::wait_cycles(Node_id wait) const
+{
+    require(wait, Node_kind::wait, "wait_cycles");
+    return at(wait).wait_cycles;
+}
+
+dfg::Dfg& Cdfg::leaf_graph(Node_id leaf)
+{
+    require(leaf, Node_kind::leaf, "leaf_graph");
+    return at(leaf).graph;
+}
+
+const dfg::Dfg& Cdfg::leaf_graph(Node_id leaf) const
+{
+    require(leaf, Node_kind::leaf, "leaf_graph");
+    return at(leaf).graph;
+}
+
+void Cdfg::collect_leaves(Node_id id, std::vector<Node_id>& out) const
+{
+    const Node& n = at(id);
+    switch (n.kind) {
+    case Node_kind::leaf:
+        out.push_back(id);
+        break;
+    case Node_kind::wait:
+        break;
+    case Node_kind::sequence:
+    case Node_kind::loop:
+    case Node_kind::cond:
+    case Node_kind::func:
+        for (Node_id c : n.children)
+            collect_leaves(c, out);
+        break;
+    }
+}
+
+std::vector<Node_id> Cdfg::leaves_in_order() const
+{
+    std::vector<Node_id> out;
+    collect_leaves(root(), out);
+    return out;
+}
+
+std::size_t Cdfg::total_ops() const
+{
+    std::size_t n = 0;
+    for (Node_id leaf : leaves_in_order())
+        n += leaf_graph(leaf).size();
+    return n;
+}
+
+}  // namespace lycos::cdfg

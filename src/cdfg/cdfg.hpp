@@ -1,0 +1,127 @@
+// Control-Data-Flow Graph (Figure 4, left half).
+//
+// The CDFG is a tree of control constructs whose leaves are DFGs: loop
+// nodes (with a test DFG and a body), conditionals (test DFG plus
+// then/else branches), wait statements, function bodies and plain
+// statement sequences.  For partitioning the CDFG is translated into a
+// BSB hierarchy (same information, see src/bsb) whose leaf BSBs are
+// exactly the DFG leaves of this tree.
+//
+// Loop nodes carry an average trip count and conditionals a
+// probability of taking the then-branch; these drive the static
+// profile propagation that produces the p_k profile counts of
+// Definition 2.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace lycos::cdfg {
+
+/// Index of a node inside its Cdfg.
+using Node_id = int;
+
+/// Control-construct kinds (Figure 4 uses Loop, Cond/Branch, Wait, FU
+/// and DFG leaves; sequences glue them together).
+enum class Node_kind {
+    sequence,  ///< ordered list of children
+    loop,      ///< test leaf + body sequence, executed trip_count times
+    cond,      ///< test leaf + then/else sequences
+    wait,      ///< wait statement (synchronisation; no computation)
+    func,      ///< functional-hierarchy node: named body sequence
+    leaf,      ///< a DFG: the actual computation (becomes a leaf BSB)
+};
+
+std::string_view to_string(Node_kind k);
+
+/// The CDFG tree.  Construction is top-down: create child nodes under
+/// an existing sequence (the root sequence is created by the
+/// constructor).  Structural invariants (loops own exactly a test leaf
+/// and a body sequence, conds a test leaf and two branch sequences)
+/// are maintained by the add_* functions themselves.
+class Cdfg {
+public:
+    /// Creates the root sequence (named "main").
+    Cdfg();
+
+    Node_id root() const { return 0; }
+
+    std::size_t node_count() const { return nodes_.size(); }
+
+    Node_kind kind(Node_id id) const { return at(id).kind; }
+    const std::string& name(Node_id id) const { return at(id).name; }
+
+    /// --- building -------------------------------------------------
+
+    /// Append a DFG leaf under sequence `parent`.
+    Node_id add_leaf(Node_id parent, dfg::Dfg graph, std::string_view name);
+
+    /// Append a loop under `parent`.  The loop's test leaf (empty DFG,
+    /// fill via leaf_graph()) and body sequence are created
+    /// automatically.  `trip_count` is the average iteration count per
+    /// entry (profiling information).
+    Node_id add_loop(Node_id parent, double trip_count, std::string_view name);
+
+    /// Append a conditional under `parent` with probability `p_true`
+    /// of taking the then-branch.  Test leaf and both branch sequences
+    /// are created automatically.
+    Node_id add_cond(Node_id parent, double p_true, std::string_view name);
+
+    /// Append a wait statement under `parent`.
+    Node_id add_wait(Node_id parent, int cycles, std::string_view name);
+
+    /// Append a functional-hierarchy node (named body sequence).
+    Node_id add_func(Node_id parent, std::string_view name);
+
+    /// --- structure ------------------------------------------------
+
+    std::span<const Node_id> children(Node_id seq) const;
+
+    Node_id loop_test(Node_id loop) const;
+    Node_id loop_body(Node_id loop) const;
+    Node_id cond_test(Node_id cond) const;
+    Node_id cond_then(Node_id cond) const;
+    Node_id cond_else(Node_id cond) const;
+    Node_id func_body(Node_id func) const;
+
+    double trip_count(Node_id loop) const;
+    double p_true(Node_id cond) const;
+    int wait_cycles(Node_id wait) const;
+
+    /// Mutable access to a leaf's DFG (e.g. to fill in a loop test).
+    dfg::Dfg& leaf_graph(Node_id leaf);
+    const dfg::Dfg& leaf_graph(Node_id leaf) const;
+
+    /// All leaf ids in execution (in-)order; this order defines the
+    /// BSB array [B1; ...; BL] of §3.
+    std::vector<Node_id> leaves_in_order() const;
+
+    /// Total number of operations over all leaf DFGs.
+    std::size_t total_ops() const;
+
+private:
+    struct Node {
+        Node_kind kind;
+        std::string name;
+        std::vector<Node_id> children;  // semantic layout depends on kind
+        double trip_count = 1.0;        // loop
+        double p_true = 0.5;            // cond
+        int wait_cycles = 0;            // wait
+        dfg::Dfg graph;                 // leaf
+    };
+
+    Node& at(Node_id id);
+    const Node& at(Node_id id) const;
+    Node_id new_node(Node_kind kind, std::string_view name);
+    void require(Node_id id, Node_kind k, const char* what) const;
+    void append_child(Node_id parent, Node_id child);
+    void collect_leaves(Node_id id, std::vector<Node_id>& out) const;
+
+    std::vector<Node> nodes_;
+};
+
+}  // namespace lycos::cdfg

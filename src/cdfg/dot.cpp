@@ -1,0 +1,99 @@
+#include "cdfg/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lycos::cdfg {
+
+namespace {
+
+std::string escape(std::string_view text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void emit_node(std::ostream& os, const Cdfg& g, Node_id id)
+{
+    os << "  n" << id << " [label=\"";
+    switch (g.kind(id)) {
+    case Node_kind::leaf:
+        os << escape(g.name(id)) << "\\n" << g.leaf_graph(id).size()
+           << " ops\", shape=box";
+        break;
+    case Node_kind::loop:
+        os << "loop " << escape(g.name(id)) << "\\ntrips "
+           << g.trip_count(id) << "\", shape=hexagon";
+        break;
+    case Node_kind::cond:
+        os << "cond " << escape(g.name(id)) << "\\np " << g.p_true(id)
+           << "\", shape=diamond";
+        break;
+    case Node_kind::wait:
+        os << "wait " << g.wait_cycles(id) << "\", shape=octagon";
+        break;
+    case Node_kind::func:
+        os << "func " << escape(g.name(id)) << "\", shape=folder";
+        break;
+    case Node_kind::sequence:
+        os << escape(g.name(id)) << "\", shape=plaintext";
+        break;
+    }
+    os << "];\n";
+}
+
+void emit_edges(std::ostream& os, const Cdfg& g, Node_id id)
+{
+    auto child = [&](Node_id c, const char* label) {
+        os << "  n" << id << " -> n" << c << " [label=\"" << label
+           << "\"];\n";
+        emit_node(os, g, c);
+        emit_edges(os, g, c);
+    };
+    switch (g.kind(id)) {
+    case Node_kind::sequence:
+        for (Node_id c : g.children(id))
+            child(c, "");
+        break;
+    case Node_kind::loop:
+        child(g.loop_test(id), "test");
+        child(g.loop_body(id), "body");
+        break;
+    case Node_kind::cond:
+        child(g.cond_test(id), "test");
+        child(g.cond_then(id), "then");
+        child(g.cond_else(id), "else");
+        break;
+    case Node_kind::func:
+        child(g.func_body(id), "body");
+        break;
+    case Node_kind::leaf:
+    case Node_kind::wait:
+        break;
+    }
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Cdfg& g, std::string_view name)
+{
+    os << "digraph \"" << escape(name) << "\" {\n";
+    os << "  node [fontsize=10];\n";
+    emit_node(os, g, g.root());
+    emit_edges(os, g, g.root());
+    os << "}\n";
+}
+
+std::string to_dot(const Cdfg& g, std::string_view name)
+{
+    std::ostringstream os;
+    write_dot(os, g, name);
+    return os.str();
+}
+
+}  // namespace lycos::cdfg

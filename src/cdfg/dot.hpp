@@ -1,0 +1,23 @@
+// Graphviz (DOT) export for CDFGs.
+//
+// Renders the control tree (Figure 4, left half): boxes for control
+// constructs, one node per leaf labelled with its name and operation
+// count.  Useful when developing MiniC inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "cdfg/cdfg.hpp"
+
+namespace lycos::cdfg {
+
+/// Write the control tree of `g` in DOT syntax.
+void write_dot(std::ostream& os, const Cdfg& g,
+               std::string_view name = "cdfg");
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const Cdfg& g, std::string_view name = "cdfg");
+
+}  // namespace lycos::cdfg

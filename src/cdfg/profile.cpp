@@ -1,0 +1,52 @@
+#include "cdfg/profile.hpp"
+
+#include <stdexcept>
+
+namespace lycos::cdfg {
+
+namespace {
+
+void walk(const Cdfg& g, Node_id id, double count,
+          std::vector<Leaf_profile>& out)
+{
+    switch (g.kind(id)) {
+    case Node_kind::leaf:
+        out.push_back({id, count});
+        break;
+    case Node_kind::wait:
+        break;
+    case Node_kind::sequence:
+        for (Node_id c : g.children(id))
+            walk(g, c, count, out);
+        break;
+    case Node_kind::func:
+        walk(g, g.func_body(id), count, out);
+        break;
+    case Node_kind::loop: {
+        const double trips = g.trip_count(id);
+        walk(g, g.loop_test(id), count * (trips + 1.0), out);
+        walk(g, g.loop_body(id), count * trips, out);
+        break;
+    }
+    case Node_kind::cond: {
+        const double p = g.p_true(id);
+        walk(g, g.cond_test(id), count, out);
+        walk(g, g.cond_then(id), count * p, out);
+        walk(g, g.cond_else(id), count * (1.0 - p), out);
+        break;
+    }
+    }
+}
+
+}  // namespace
+
+std::vector<Leaf_profile> propagate_profiles(const Cdfg& g, double entry_count)
+{
+    if (entry_count < 0.0)
+        throw std::invalid_argument("propagate_profiles: negative entry count");
+    std::vector<Leaf_profile> out;
+    walk(g, g.root(), entry_count, out);
+    return out;
+}
+
+}  // namespace lycos::cdfg

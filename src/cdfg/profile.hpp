@@ -1,0 +1,34 @@
+// Static profile propagation.
+//
+// Definition 2 weights every BSB's FURO with its profile count p_k —
+// how often the BSB executes during one execution of the application.
+// We derive p_k statically from the CDFG's annotations: loop trip
+// counts multiply the counts of test and body, branch probabilities
+// split the count between then and else.  (LYCOS obtained the same
+// numbers by profiling the input description; the annotations play
+// the role of that profiling information.)
+#pragma once
+
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace lycos::cdfg {
+
+/// Execution count of one leaf.
+struct Leaf_profile {
+    Node_id leaf = -1;
+    double count = 0.0;
+};
+
+/// Profile counts for all leaves in execution order, assuming the root
+/// sequence executes `entry_count` times.
+///
+/// Rules: a loop's test executes trip_count + 1 times per entry (the
+/// final failing test), its body trip_count times; a conditional's
+/// test executes once per entry, the then branch p_true of the time,
+/// the else branch 1 - p_true.
+std::vector<Leaf_profile> propagate_profiles(const Cdfg& g,
+                                             double entry_count = 1.0);
+
+}  // namespace lycos::cdfg

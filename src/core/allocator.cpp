@@ -1,0 +1,117 @@
+#include "core/allocator.hpp"
+
+#include <stdexcept>
+
+namespace lycos::core {
+
+std::optional<Rmap> Allocator::required_resources(hw::Op_set ops,
+                                                  Selection_policy policy) const
+{
+    Rmap req;
+    for (auto k : hw::all_op_kinds()) {
+        if (!ops.contains(k))
+            continue;
+        // Covered by a unit this call already selected (multi-function
+        // units may cover several kinds)?
+        if (req.covers(hw::Op_set{k}, lib_))
+            continue;
+        const auto r = select_executor(lib_, k, policy);
+        if (!r)
+            return std::nullopt;  // the library cannot execute this kind
+        req.add(*r);
+    }
+    return req;
+}
+
+Alloc_result Allocator::run(std::span<const bsb::Bsb> bsbs,
+                            const Alloc_options& options) const
+{
+    const auto infos = analyze(bsbs, lib_, target_.gates);
+    return run_analyzed(infos, options);
+}
+
+Alloc_result Allocator::run_analyzed(std::span<const Bsb_info> infos,
+                                     const Alloc_options& options) const
+{
+    if (options.area_budget < 0.0)
+        throw std::invalid_argument("Allocator: negative area budget");
+
+    const std::size_t n = infos.size();
+
+    Alloc_result result;
+    result.restrictions = options.restrictions
+                              ? *options.restrictions
+                              : compute_restrictions(infos, lib_);
+    result.pseudo_in_hw.assign(n, false);  // "Move BSBArray[i] to Software"
+    result.remaining_area = options.area_budget;
+
+    Rmap& alloc = result.allocation;
+    const Rmap& bounds = result.restrictions;
+
+    auto record = [&](Alloc_step::Kind kind, int bsb, Rmap added,
+                      double spent) {
+        if (!options.record_trace)
+            return;
+        result.trace.push_back(Alloc_step{kind, bsb, std::move(added), spent,
+                                          result.remaining_area});
+    };
+
+    auto order = prioritize(infos, result.pseudo_in_hw, alloc, lib_);
+    ++result.scans;
+
+    std::size_t i = 0;
+    while (i < n && result.remaining_area > 0.0) {
+        bool allocation_changed = false;
+        const int b = order[i];
+        const Bsb_info& info = infos[static_cast<std::size_t>(b)];
+
+        if (result.pseudo_in_hw[static_cast<std::size_t>(b)]) {
+            // One more unit for the most urgent operation in B.
+            const auto kind = most_urgent_kind(info, true, alloc, lib_);
+            if (kind) {
+                const auto r = select_executor(lib_, *kind, options.selection);
+                if (r && lib_[*r].area <= result.remaining_area &&
+                    alloc(*r) + 1 <= bounds(*r)) {
+                    alloc.add(*r);
+                    result.remaining_area -= lib_[*r].area;
+                    allocation_changed = true;
+                    Rmap added;
+                    added.add(*r);
+                    record(Alloc_step::Kind::add_resource, b, added,
+                           lib_[*r].area);
+                }
+            }
+        }
+        else {
+            // Try to move B to hardware.
+            const auto full_req =
+                required_resources(info.ops, options.selection);
+            if (full_req) {
+                const Rmap req = *full_req - alloc;  // additional units only
+                const double cost = info.eca + req.area(lib_);
+                if (cost <= result.remaining_area) {
+                    alloc |= req;
+                    result.remaining_area -= cost;
+                    result.pseudo_in_hw[static_cast<std::size_t>(b)] = true;
+                    result.pseudo_controller_area += info.eca;
+                    allocation_changed = !req.empty();
+                    record(Alloc_step::Kind::move_to_hw, b, req, cost);
+                }
+            }
+        }
+
+        if (allocation_changed) {
+            order = prioritize(infos, result.pseudo_in_hw, alloc, lib_);
+            ++result.scans;
+            i = 0;
+        }
+        else {
+            ++i;
+        }
+    }
+
+    result.datapath_area = alloc.area(lib_);
+    return result;
+}
+
+}  // namespace lycos::core

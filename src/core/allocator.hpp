@@ -1,0 +1,109 @@
+// The hardware resource allocation algorithm (Algorithm 1).
+//
+// Generates a data-path allocation by building a *pseudo partition*:
+// starting with every BSB in software, repeatedly visit BSBs in
+// urgency order and
+//
+//   * if the BSB is already (pseudo-)in hardware, try to allocate one
+//     more unit for its most urgent operation kind, subject to the
+//     remaining area and the §4.3 restrictions;
+//   * otherwise try to move it to hardware, paying its Estimated
+//     Controller Area plus the area of whatever required resources the
+//     allocation does not yet contain (GetReqResources(B) \ Allocation).
+//
+// Whenever the allocation changes, all urgencies are recomputed and
+// the scan restarts from the most urgent BSB; the algorithm stops when
+// a full scan changes nothing or the area is exhausted, and returns
+// the allocation grown along the way.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/restrictions.hpp"
+#include "core/rmap.hpp"
+#include "core/selection.hpp"
+#include "core/urgency.hpp"
+#include "hw/target.hpp"
+
+namespace lycos::core {
+
+/// Options for Allocator::run.
+struct Alloc_options {
+    /// Total ASIC area the data-path and the controllers share
+    /// (Algorithm 1's `Area` input).
+    double area_budget = 0.0;
+
+    /// Per-resource-type upper bounds; when unset they are computed
+    /// from the ASAP parallelism (§4.3).  Overriding supports the §5
+    /// design iterations ("reduce the allocated constant generators to
+    /// one").
+    std::optional<Rmap> restrictions;
+
+    /// Which implementation to buy when the library offers several
+    /// per operation kind (§6 future work; min_area reproduces the
+    /// base algorithm).
+    Selection_policy selection = Selection_policy::min_area;
+
+    /// Record the step-by-step trace (tests and the examples use it).
+    bool record_trace = false;
+};
+
+/// One step of the trace.
+struct Alloc_step {
+    enum class Kind { add_resource, move_to_hw };
+    Kind kind;
+    int bsb = -1;                      ///< index into the BSB array
+    Rmap added;                        ///< resources added by this step
+    double area_spent = 0.0;           ///< resource area + (for moves) ECA
+    double remaining_after = 0.0;
+};
+
+/// The allocation produced by Algorithm 1, plus the pseudo partition
+/// it was derived from and bookkeeping useful for reporting.
+struct Alloc_result {
+    Rmap allocation;                   ///< the data-path allocation
+    Rmap restrictions;                 ///< bounds that were in force
+    std::vector<bool> pseudo_in_hw;    ///< pseudo partition per BSB
+    double datapath_area = 0.0;        ///< area of `allocation`
+    double pseudo_controller_area = 0.0;  ///< sum of ECAs of pseudo-HW BSBs
+    double remaining_area = 0.0;
+    int scans = 0;                     ///< number of re-prioritizations
+    std::vector<Alloc_step> trace;
+};
+
+/// The allocation algorithm.  Construct once per library/target pair,
+/// run as often as needed (§4.4: the same analysis supports many runs
+/// with different areas, libraries or restrictions).
+class Allocator {
+public:
+    Allocator(const hw::Hw_library& lib, const hw::Target& target)
+        : lib_(lib), target_(target)
+    {
+    }
+
+    /// Convenience: analyze + run.
+    Alloc_result run(std::span<const bsb::Bsb> bsbs,
+                     const Alloc_options& options) const;
+
+    /// Run Algorithm 1 on pre-analyzed BSBs.
+    Alloc_result run_analyzed(std::span<const Bsb_info> infos,
+                              const Alloc_options& options) const;
+
+    /// GetReqResources(B) of Algorithm 1: the minimal RMap (at most
+    /// one unit per type) such that every operation kind of `ops` has
+    /// an executor, choosing the executor `policy` selects per kind.
+    /// nullopt if the library cannot execute some kind at all.
+    std::optional<Rmap> required_resources(
+        hw::Op_set ops,
+        Selection_policy policy = Selection_policy::min_area) const;
+
+private:
+    const hw::Hw_library& lib_;
+    const hw::Target& target_;
+};
+
+}  // namespace lycos::core

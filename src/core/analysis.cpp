@@ -1,0 +1,29 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+namespace lycos::core {
+
+std::vector<Bsb_info> analyze(std::span<const bsb::Bsb> bsbs,
+                              const hw::Hw_library& lib,
+                              const hw::Gate_areas& gates)
+{
+    const auto lat = sched::latency_table_from(lib);
+    std::vector<Bsb_info> out;
+    out.reserve(bsbs.size());
+    for (const auto& b : bsbs) {
+        Bsb_info info;
+        info.block = &b;
+        info.frames = sched::compute_time_frames(b.graph, lat);
+        const auto succ = b.graph.transitive_successors();
+        info.furo = compute_furo(b.graph, info.frames, succ, b.profile);
+        info.asap_length = std::max(1, info.frames.length);
+        info.eca = estimate::eca(info.asap_length, gates);
+        info.ops = b.graph.used_ops();
+        info.histogram = b.graph.kind_histogram();
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+}  // namespace lycos::core

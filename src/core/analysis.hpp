@@ -1,0 +1,44 @@
+// Per-BSB pre-allocation analysis.
+//
+// Everything the allocation algorithm needs to know about a BSB is
+// computed once up front (§4.4: "It is the computation of the FUROs
+// that is the time consuming task, but this computation is only done
+// once"): ASAP/ALAP time frames, the transitive successor matrix, the
+// FURO table, the estimated state count N and the resulting ECA.
+// The allocator can then be re-run with different area constraints,
+// libraries or restrictions without re-analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsb/bsb.hpp"
+#include "core/furo.hpp"
+#include "estimate/controller.hpp"
+#include "hw/resource.hpp"
+#include "hw/target.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lycos::core {
+
+/// Immutable analysis of one BSB.  Holds a pointer into the caller's
+/// BSB array, which must outlive the analysis.
+struct Bsb_info {
+    const bsb::Bsb* block = nullptr;
+    sched::Schedule_info frames;   ///< ASAP/ALAP start intervals
+    Furo_table furo;               ///< FURO(o, B) per kind
+    int asap_length = 0;           ///< estimated state count N (>= 1)
+    double eca = 0.0;              ///< Estimated Controller Area
+    hw::Op_set ops;                ///< kinds occurring in the BSB
+    hw::Per_op<int> histogram;     ///< per-kind op counts
+
+    double profile() const { return block->profile; }
+    const dfg::Dfg& graph() const { return block->graph; }
+};
+
+/// Analyze every BSB of the array (the L * k^2 FURO precomputation).
+std::vector<Bsb_info> analyze(std::span<const bsb::Bsb> bsbs,
+                              const hw::Hw_library& lib,
+                              const hw::Gate_areas& gates);
+
+}  // namespace lycos::core

@@ -1,0 +1,40 @@
+#include "core/furo.hpp"
+
+#include <stdexcept>
+
+namespace lycos::core {
+
+Furo_table compute_furo(const dfg::Dfg& g, const sched::Schedule_info& frames,
+                        const dfg::Bit_matrix& succ, double profile)
+{
+    if (frames.frames.size() != g.size() || succ.size() != g.size())
+        throw std::invalid_argument("compute_furo: analysis size mismatch");
+
+    Furo_table furo;
+    const auto n = g.size();
+    // Sum over unordered pairs, count each twice (the definition sums
+    // over ordered pairs i != j and Ovl is symmetric).
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const auto ki = g.op(static_cast<dfg::Op_id>(i)).kind;
+            const auto kj = g.op(static_cast<dfg::Op_id>(j)).kind;
+            if (ki != kj)
+                continue;
+            if (succ.get(i, j) || succ.get(j, i))
+                continue;  // dependent ops never compete
+            const auto& fi = frames.frames[i];
+            const auto& fj = frames.frames[j];
+            const int ovl = sched::overlap(fi, fj);
+            if (ovl == 0)
+                continue;
+            furo[ki] += 2.0 * static_cast<double>(ovl) /
+                        (static_cast<double>(fi.mobility()) *
+                         static_cast<double>(fj.mobility()));
+        }
+    }
+    for (auto k : hw::all_op_kinds())
+        furo[k] *= profile;
+    return furo;
+}
+
+}  // namespace lycos::core

@@ -1,0 +1,33 @@
+// FURO — Functional Unit Request Overlap (Definition 2).
+//
+// An estimate of the probability that two operations of the same type
+// compete for a data-path resource, used to guide the allocator toward
+// resources for operations that can execute in parallel:
+//
+//   FURO(o, B_k) = p_k * sum over ordered pairs (i, j), i != j,
+//                  T(i) = T(j) = o, j not in Succ(i), i not in Succ(j)
+//                  of  Ovl(i, j) / (M(i) * M(j))
+//
+// where Ovl is the overlap of the ASAP-ALAP start intervals, M the
+// mobility (ALAP - ASAP + 1) and Succ the *transitive* successor set —
+// operations ordered by a dependency chain can never be scheduled in
+// the same control step and therefore never compete.
+#pragma once
+
+#include "dfg/bit_matrix.hpp"
+#include "dfg/dfg.hpp"
+#include "hw/op.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lycos::core {
+
+/// FURO value per operation kind for one BSB.
+using Furo_table = hw::Per_op<double>;
+
+/// Compute FURO(o, B) for every kind `o`, where `profile` is the
+/// BSB's profile count p_k, `frames` its ASAP/ALAP time frames and
+/// `succ` its transitive successor matrix.
+Furo_table compute_furo(const dfg::Dfg& g, const sched::Schedule_info& frames,
+                        const dfg::Bit_matrix& succ, double profile);
+
+}  // namespace lycos::core

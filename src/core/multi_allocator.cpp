@@ -1,0 +1,152 @@
+#include "core/multi_allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lycos::core {
+
+namespace {
+
+/// Max urgency of a BSB given its placement: software BSBs use raw
+/// FURO; hardware BSBs divide by Alloc(o)+1 of *their* ASIC.
+double placement_urgency(const Bsb_info& info, int placement,
+                         const std::array<Rmap, 2>& allocations,
+                         const hw::Hw_library& lib)
+{
+    if (placement < 0)
+        return max_urgency(info, false, Rmap{}, lib);
+    return max_urgency(info, true,
+                       allocations[static_cast<std::size_t>(placement)], lib);
+}
+
+std::vector<int> prioritize_placed(std::span<const Bsb_info> infos,
+                                   const std::vector<int>& placement,
+                                   const std::array<Rmap, 2>& allocations,
+                                   const hw::Hw_library& lib)
+{
+    std::vector<double> key(infos.size());
+    for (std::size_t i = 0; i < infos.size(); ++i)
+        key[i] = placement_urgency(infos[i], placement[i], allocations, lib);
+    std::vector<int> order(infos.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return key[static_cast<std::size_t>(a)] >
+               key[static_cast<std::size_t>(b)];
+    });
+    return order;
+}
+
+}  // namespace
+
+Two_asic_result allocate_two_asics(std::span<const Bsb_info> infos,
+                                   const hw::Hw_library& lib,
+                                   const Two_asic_options& options)
+{
+    for (double b : options.budgets)
+        if (b < 0.0)
+            throw std::invalid_argument("allocate_two_asics: negative budget");
+
+    const std::size_t n = infos.size();
+    Two_asic_result result;
+    result.restrictions = options.restrictions
+                              ? *options.restrictions
+                              : compute_restrictions(infos, lib);
+    result.pseudo_placement.assign(n, -1);
+    result.remaining = {options.budgets[0], options.budgets[1]};
+
+    const Rmap& bounds = result.restrictions;
+
+    auto required_on = [&](const Bsb_info& info, int asic)
+        -> std::optional<Rmap> {
+        Rmap req;
+        for (auto k : hw::all_op_kinds()) {
+            if (!info.ops.contains(k))
+                continue;
+            if (req.covers(hw::Op_set{k}, lib))
+                continue;
+            if (result.allocations[static_cast<std::size_t>(asic)]
+                    .covers(hw::Op_set{k}, lib))
+                continue;
+            const auto r = select_executor(lib, k, options.selection);
+            if (!r)
+                return std::nullopt;
+            req.add(*r);
+        }
+        return req;
+    };
+
+    auto order = prioritize_placed(infos, result.pseudo_placement,
+                                   result.allocations, lib);
+
+    std::size_t i = 0;
+    while (i < n &&
+           (result.remaining[0] > 0.0 || result.remaining[1] > 0.0)) {
+        bool changed = false;
+        const int b = order[i];
+        const Bsb_info& info = infos[static_cast<std::size_t>(b)];
+        const int placed = result.pseudo_placement[static_cast<std::size_t>(b)];
+
+        if (placed >= 0) {
+            // One more unit for the most urgent kind, on the same ASIC.
+            auto& alloc = result.allocations[static_cast<std::size_t>(placed)];
+            const auto kind = most_urgent_kind(info, true, alloc, lib);
+            if (kind) {
+                const auto r = select_executor(lib, *kind, options.selection);
+                if (r &&
+                    lib[*r].area <=
+                        result.remaining[static_cast<std::size_t>(placed)] &&
+                    alloc(*r) + 1 <= bounds(*r)) {
+                    alloc.add(*r);
+                    result.remaining[static_cast<std::size_t>(placed)] -=
+                        lib[*r].area;
+                    changed = true;
+                }
+            }
+        }
+        else {
+            // Prefer the ASIC with the most remaining area; fall back
+            // to the other if the first cannot afford the move.
+            std::array<int, 2> try_order =
+                result.remaining[0] >= result.remaining[1]
+                    ? std::array<int, 2>{0, 1}
+                    : std::array<int, 2>{1, 0};
+            for (int asic : try_order) {
+                const auto req = required_on(info, asic);
+                if (!req)
+                    break;  // library cannot execute this BSB at all
+                bool within_bounds = true;
+                const auto& alloc =
+                    result.allocations[static_cast<std::size_t>(asic)];
+                for (const auto& [res, cnt] : req->entries())
+                    if (alloc(res) + cnt > bounds(res))
+                        within_bounds = false;
+                if (!within_bounds)
+                    continue;
+                const double cost = info.eca + req->area(lib);
+                if (cost > result.remaining[static_cast<std::size_t>(asic)])
+                    continue;
+                result.allocations[static_cast<std::size_t>(asic)] |= *req;
+                result.remaining[static_cast<std::size_t>(asic)] -= cost;
+                result.pseudo_placement[static_cast<std::size_t>(b)] = asic;
+                changed = !req->empty();
+                break;
+            }
+        }
+
+        if (changed) {
+            order = prioritize_placed(infos, result.pseudo_placement,
+                                      result.allocations, lib);
+            i = 0;
+        }
+        else {
+            ++i;
+        }
+    }
+
+    result.datapath_area = {result.allocations[0].area(lib),
+                            result.allocations[1].area(lib)};
+    return result;
+}
+
+}  // namespace lycos::core

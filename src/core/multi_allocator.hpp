@@ -1,0 +1,43 @@
+// Greedy pre-allocation for a two-ASIC target (§6 future work).
+//
+// A direct generalization of Algorithm 1: the pseudo partition now
+// places BSBs on one of two ASICs, each with its own area budget and
+// its own growing allocation.  A software BSB is moved to the ASIC
+// with the most remaining area that can afford its controller plus
+// missing units; a hardware BSB bids for additional units on the ASIC
+// it lives on.  Restrictions (§4.3) apply per ASIC — the ASICs execute
+// concurrently-disjoint BSBs, so each needs at most the single-ASIC
+// bound.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+
+namespace lycos::core {
+
+/// Options for the two-ASIC allocator.
+struct Two_asic_options {
+    std::array<double, 2> budgets{0.0, 0.0};
+    std::optional<Rmap> restrictions;  ///< per-ASIC bounds (same for both)
+    Selection_policy selection = Selection_policy::min_area;
+};
+
+/// Result: one allocation per ASIC plus the pseudo placement.
+struct Two_asic_result {
+    std::array<Rmap, 2> allocations;
+    std::array<double, 2> datapath_area{0.0, 0.0};
+    std::array<double, 2> remaining{0.0, 0.0};
+    Rmap restrictions;
+    std::vector<int> pseudo_placement;  ///< -1 = SW, 0/1 = ASIC index
+};
+
+/// Run the generalized Algorithm 1 on pre-analyzed BSBs.
+Two_asic_result allocate_two_asics(std::span<const Bsb_info> infos,
+                                   const hw::Hw_library& lib,
+                                   const Two_asic_options& options);
+
+}  // namespace lycos::core

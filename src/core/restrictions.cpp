@@ -1,0 +1,30 @@
+#include "core/restrictions.hpp"
+
+#include <algorithm>
+
+#include "sched/parallelism.hpp"
+
+namespace lycos::core {
+
+Rmap compute_restrictions(std::span<const Bsb_info> infos,
+                          const hw::Hw_library& lib)
+{
+    const auto lat = sched::latency_table_from(lib);
+    Rmap bounds;
+    for (std::size_t r = 0; r < lib.size(); ++r) {
+        const auto id = static_cast<hw::Resource_id>(r);
+        int peak = 0;
+        for (const auto& info : infos) {
+            if (!info.ops.intersects(lib[id].ops))
+                continue;
+            peak = std::max(peak,
+                            sched::asap_parallelism_for(info.graph(), info.frames,
+                                                        lat, lib[id].ops));
+        }
+        if (peak > 0)
+            bounds.set(id, peak);
+    }
+    return bounds;
+}
+
+}  // namespace lycos::core

@@ -1,0 +1,25 @@
+// Allocation restrictions (§4.3).
+//
+// The allocation algorithm is greedy, so it could keep allocating
+// units of one type.  The ASAP schedule bounds how many operations of
+// a type can ever execute in parallel; allocating more units than that
+// peak can never help.  Because BSBs execute one at a time on the
+// ASIC, the bound for a resource type is the *maximum over BSBs* of
+// the peak concurrent demand its operation set faces in that BSB's
+// ASAP schedule.
+#pragma once
+
+#include <span>
+
+#include "core/analysis.hpp"
+#include "core/rmap.hpp"
+#include "hw/resource.hpp"
+
+namespace lycos::core {
+
+/// Upper bound per resource type ("a maximum of 3 multipliers, for
+/// instance").  Types whose operation set never occurs get bound 0.
+Rmap compute_restrictions(std::span<const Bsb_info> infos,
+                          const hw::Hw_library& lib);
+
+}  // namespace lycos::core

@@ -1,0 +1,113 @@
+#include "core/rmap.hpp"
+
+#include <stdexcept>
+
+namespace lycos::core {
+
+Rmap::Rmap(std::initializer_list<std::pair<hw::Resource_id, int>> items)
+{
+    for (const auto& [r, c] : items)
+        set(r, c);
+}
+
+int Rmap::operator()(hw::Resource_id r) const
+{
+    const auto it = counts_.find(r);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void Rmap::set(hw::Resource_id r, int count)
+{
+    if (count < 0)
+        throw std::invalid_argument("Rmap::set: negative count");
+    if (count == 0)
+        counts_.erase(r);
+    else
+        counts_[r] = count;
+}
+
+void Rmap::add(hw::Resource_id r, int delta)
+{
+    set(r, (*this)(r) + delta);
+}
+
+int Rmap::total_units() const
+{
+    int n = 0;
+    for (const auto& [r, c] : counts_)
+        n += c;
+    return n;
+}
+
+Rmap operator|(const Rmap& a, const Rmap& b)
+{
+    Rmap out = a;
+    for (const auto& [r, c] : b.counts_)
+        out.add(r, c);
+    return out;
+}
+
+Rmap& Rmap::operator|=(const Rmap& other)
+{
+    *this = *this | other;
+    return *this;
+}
+
+Rmap operator-(const Rmap& a, const Rmap& b)
+{
+    Rmap out;
+    for (const auto& [r, c] : a.counts_) {
+        const int remaining = c - b(r);
+        if (remaining > 0)
+            out.set(r, remaining);
+    }
+    return out;
+}
+
+double Rmap::area(const hw::Hw_library& lib) const
+{
+    double total = 0.0;
+    for (const auto& [r, c] : counts_)
+        total += lib[r].area * c;
+    return total;
+}
+
+int Rmap::executors_of(hw::Op_kind o, const hw::Hw_library& lib) const
+{
+    int n = 0;
+    for (const auto& [r, c] : counts_)
+        if (lib[r].ops.contains(o))
+            n += c;
+    return n;
+}
+
+bool Rmap::covers(hw::Op_set s, const hw::Hw_library& lib) const
+{
+    for (auto k : hw::all_op_kinds())
+        if (s.contains(k) && executors_of(k, lib) == 0)
+            return false;
+    return true;
+}
+
+std::vector<int> Rmap::dense_counts(const hw::Hw_library& lib) const
+{
+    std::vector<int> out(lib.size(), 0);
+    for (const auto& [r, c] : counts_)
+        out.at(static_cast<std::size_t>(r)) = c;
+    return out;
+}
+
+std::string Rmap::to_string(const hw::Hw_library& lib) const
+{
+    if (counts_.empty())
+        return "{}";
+    std::string out;
+    for (const auto& [r, c] : counts_) {
+        if (!out.empty())
+            out += " + ";
+        out += std::to_string(c) + "*" + lib[r].name;
+    }
+    return out;
+}
+
+}  // namespace lycos::core

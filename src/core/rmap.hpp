@@ -1,0 +1,87 @@
+// RMap — Resource Map (Definition 1).
+//
+//     RMap : Resource -> Integer
+//
+// An RMap maps resource types to non-negative counts; it represents an
+// allocation ("two adders, one subtractor and one multiplier").  Two
+// operators are defined on RMaps (Example 1 fixes their semantics):
+//
+//   * union `∪` is the *pointwise sum*:
+//       {Adder->2, Mult->1} ∪ {Sub->1, Mult->2}
+//         = {Adder->2, Mult->3, Sub->1}
+//   * difference `\` is the *saturating pointwise difference*:
+//       {Adder->2, Mult->1} \ {Sub->1, Mult->2} = {Adder->2}
+//
+// Spelled `operator|` and `operator-` here, with named aliases.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "hw/op.hpp"
+#include "hw/resource.hpp"
+
+namespace lycos::core {
+
+/// A multiset of hardware resource types (an allocation).
+class Rmap {
+public:
+    Rmap() = default;
+    Rmap(std::initializer_list<std::pair<hw::Resource_id, int>> items);
+
+    /// Count for resource `r`; 0 if absent.
+    int operator()(hw::Resource_id r) const;
+
+    /// Set the count for `r` (erases the entry when `count` is 0).
+    /// Throws std::invalid_argument on negative counts.
+    void set(hw::Resource_id r, int count);
+
+    /// Add `delta` (default +1) to the count of `r`; the result must
+    /// stay non-negative.
+    void add(hw::Resource_id r, int delta = 1);
+
+    bool empty() const { return counts_.empty(); }
+
+    /// Total number of allocated units.
+    int total_units() const;
+
+    /// Entries in resource-id order (only non-zero counts).
+    const std::map<hw::Resource_id, int>& entries() const { return counts_; }
+
+    /// Pointwise sum — the paper's `∪` (Example 1: Mult 1 ∪ Mult 2 = 3).
+    friend Rmap operator|(const Rmap& a, const Rmap& b);
+    Rmap& operator|=(const Rmap& other);
+
+    /// Saturating pointwise difference — the paper's `\`.
+    friend Rmap operator-(const Rmap& a, const Rmap& b);
+
+    friend bool operator==(const Rmap&, const Rmap&) = default;
+
+    /// Named aliases matching the paper's notation.
+    static Rmap unite(const Rmap& a, const Rmap& b) { return a | b; }
+    static Rmap subtract(const Rmap& a, const Rmap& b) { return a - b; }
+
+    /// Total area of the allocation under `lib`.
+    double area(const hw::Hw_library& lib) const;
+
+    /// Alloc(o) of Definition 3: number of allocated units that can
+    /// execute operation kind `o`.
+    int executors_of(hw::Op_kind o, const hw::Hw_library& lib) const;
+
+    /// True if every kind in `s` has at least one allocated executor.
+    bool covers(hw::Op_set s, const hw::Hw_library& lib) const;
+
+    /// Dense per-type count vector (size lib.size()), the form the
+    /// list scheduler consumes.
+    std::vector<int> dense_counts(const hw::Hw_library& lib) const;
+
+    /// Human-readable form, e.g. "2*adder + 1*multiplier".
+    std::string to_string(const hw::Hw_library& lib) const;
+
+private:
+    std::map<hw::Resource_id, int> counts_;
+};
+
+}  // namespace lycos::core

@@ -1,0 +1,62 @@
+#include "core/selection.hpp"
+
+#include <limits>
+
+namespace lycos::core {
+
+std::optional<hw::Resource_id> select_executor(const hw::Hw_library& lib,
+                                               hw::Op_kind k,
+                                               Selection_policy policy)
+{
+    std::optional<hw::Resource_id> best;
+    double best_key = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const auto id = static_cast<hw::Resource_id>(i);
+        const auto& t = lib[id];
+        if (!t.ops.contains(k))
+            continue;
+        double key = 0.0;
+        switch (policy) {
+        case Selection_policy::min_area:
+            key = t.area;
+            break;
+        case Selection_policy::min_latency:
+            key = t.latency_cycles;
+            break;
+        case Selection_policy::balanced:
+            key = t.area * t.latency_cycles;
+            break;
+        }
+        if (key < best_key || (key == best_key && t.area < best_area)) {
+            best_key = key;
+            best_area = t.area;
+            best = id;
+        }
+    }
+    return best;
+}
+
+hw::Hw_library make_variant_library()
+{
+    using enum hw::Op_kind;
+    hw::Hw_library lib;
+    // Two implementations per expensive unit: serial (small, slow) and
+    // parallel (large, fast).
+    lib.add({"adder_serial", {add, neg}, 100.0, 2});
+    lib.add({"adder_fast", {add, neg}, 180.0, 1});
+    lib.add({"subtractor", {sub, neg}, 190.0, 1});
+    lib.add({"mult_serial", {mul}, 1100.0, 5});
+    lib.add({"mult_fast", {mul}, 2200.0, 2});
+    lib.add({"div_serial", {div, mod}, 1900.0, 9});
+    lib.add({"div_fast", {div, mod}, 3600.0, 4});
+    lib.add({"comparator", {cmp_lt, cmp_le, cmp_eq, cmp_ne}, 90.0, 1});
+    lib.add({"logic_unit", {log_and, log_or, log_not, bit_and, bit_or, bit_xor},
+             70.0, 1});
+    lib.add({"shifter", {shl, shr}, 140.0, 1});
+    lib.add({"const_gen", {const_load}, 150.0, 1});
+    lib.add({"mover", {copy}, 30.0, 1});
+    return lib;
+}
+
+}  // namespace lycos::core

@@ -1,0 +1,42 @@
+// Module selection (the paper's first future-work direction, §6:
+// "extending the algorithm to be able to deal with selection between
+// several resources that can execute the same type of operation").
+//
+// With a library that offers several implementations per operation
+// kind (a small/slow and a large/fast multiplier, ...), the allocator
+// must pick which implementation to buy.  Three policies:
+//
+//   min_area   the smallest implementation (the base algorithm's
+//              behaviour when the library has one entry per kind),
+//   min_latency the fastest implementation,
+//   balanced   the smallest area-latency product — a simple
+//              energy-delay-style compromise.
+#pragma once
+
+#include <optional>
+
+#include "hw/op.hpp"
+#include "hw/resource.hpp"
+
+namespace lycos::core {
+
+/// Which implementation to buy when several can execute a kind.
+enum class Selection_policy {
+    min_area,
+    min_latency,
+    balanced,
+};
+
+/// The resource type `policy` selects for kind `k`; nullopt when the
+/// library cannot execute `k` at all.  Ties break toward smaller area,
+/// then smaller id (deterministic).
+std::optional<hw::Resource_id> select_executor(const hw::Hw_library& lib,
+                                               hw::Op_kind k,
+                                               Selection_policy policy);
+
+/// An extended library with small/slow and large/fast variants of the
+/// expensive units (adder, multiplier, divider) plus the usual
+/// single-variant support units.  Exercises module selection.
+hw::Hw_library make_variant_library();
+
+}  // namespace lycos::core

@@ -1,0 +1,62 @@
+#include "core/urgency.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lycos::core {
+
+double urgency(const Bsb_info& info, hw::Op_kind o, bool in_hw,
+               const Rmap& alloc, const hw::Hw_library& lib)
+{
+    const double furo = info.furo[o];
+    if (!in_hw)
+        return furo;
+    return furo / (alloc.executors_of(o, lib) + 1.0);
+}
+
+double max_urgency(const Bsb_info& info, bool in_hw, const Rmap& alloc,
+                   const hw::Hw_library& lib)
+{
+    double best = 0.0;
+    for (auto k : hw::all_op_kinds())
+        best = std::max(best, urgency(info, k, in_hw, alloc, lib));
+    return best;
+}
+
+std::optional<hw::Op_kind> most_urgent_kind(const Bsb_info& info, bool in_hw,
+                                            const Rmap& alloc,
+                                            const hw::Hw_library& lib)
+{
+    std::optional<hw::Op_kind> best;
+    double best_u = 0.0;
+    for (auto k : hw::all_op_kinds()) {
+        const double u = urgency(info, k, in_hw, alloc, lib);
+        if (u > best_u) {
+            best_u = u;
+            best = k;
+        }
+    }
+    return best;
+}
+
+std::vector<int> prioritize(std::span<const Bsb_info> infos,
+                            const std::vector<bool>& in_hw, const Rmap& alloc,
+                            const hw::Hw_library& lib)
+{
+    if (infos.size() != in_hw.size())
+        throw std::invalid_argument("prioritize: size mismatch");
+    std::vector<double> key(infos.size());
+    for (std::size_t i = 0; i < infos.size(); ++i)
+        key[i] = max_urgency(infos[i], in_hw[i], alloc, lib);
+
+    std::vector<int> order(infos.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return key[static_cast<std::size_t>(a)] >
+               key[static_cast<std::size_t>(b)];
+    });
+    return order;
+}
+
+}  // namespace lycos::core

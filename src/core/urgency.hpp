@@ -1,0 +1,45 @@
+// Urgency U(o, B) and BSB prioritization (Definitions 3 and 4).
+//
+//   U(o, B) = FURO(o, B)                    if B is in software
+//   U(o, B) = FURO(o, B) / (Alloc(o) + 1)   if B is in hardware
+//
+// where Alloc(o) is the number of allocated units that can execute o.
+// BSBs are ordered by their maximal urgency over all operation kinds:
+// as resources are allocated for a hardware BSB its urgencies drop, so
+// BSBs still in software dynamically gain priority (Example 2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/rmap.hpp"
+
+namespace lycos::core {
+
+/// U(o, B) per Definition 3.  `in_hw` is the BSB's current pseudo-
+/// partition side, `alloc` the allocation built so far.
+double urgency(const Bsb_info& info, hw::Op_kind o, bool in_hw,
+               const Rmap& alloc, const hw::Hw_library& lib);
+
+/// max over all kinds of U(o, B) — the priority key of Definition 4.
+double max_urgency(const Bsb_info& info, bool in_hw, const Rmap& alloc,
+                   const hw::Hw_library& lib);
+
+/// The kind with the largest *positive* urgency (the operation for
+/// which "it is urgent to allocate one more resource").  nullopt when
+/// every urgency is zero — then nothing in this BSB competes for
+/// resources and allocating more units cannot help.
+std::optional<hw::Op_kind> most_urgent_kind(const Bsb_info& info, bool in_hw,
+                                            const Rmap& alloc,
+                                            const hw::Hw_library& lib);
+
+/// Prioritize(BSBArray): indices of `infos` sorted by decreasing
+/// maximal urgency (Definition 4); ties keep array order so the
+/// result is deterministic.
+std::vector<int> prioritize(std::span<const Bsb_info> infos,
+                            const std::vector<bool>& in_hw, const Rmap& alloc,
+                            const hw::Hw_library& lib);
+
+}  // namespace lycos::core

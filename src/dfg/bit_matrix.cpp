@@ -1,0 +1,27 @@
+#include "dfg/bit_matrix.hpp"
+
+#include <bit>
+
+namespace lycos::dfg {
+
+Bit_matrix::Bit_matrix(std::size_t n)
+    : n_(n), stride_((n + 63) / 64), words_(n * stride_, 0)
+{
+}
+
+void Bit_matrix::or_row_into(std::size_t src, std::size_t dst)
+{
+    for (std::size_t w = 0; w < stride_; ++w)
+        words_[dst * stride_ + w] |= words_[src * stride_ + w];
+}
+
+std::size_t Bit_matrix::row_count(std::size_t row) const
+{
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < stride_; ++w)
+        count += static_cast<std::size_t>(
+            std::popcount(words_[row * stride_ + w]));
+    return count;
+}
+
+}  // namespace lycos::dfg

@@ -1,0 +1,52 @@
+// Square boolean matrix with bit-packed rows.
+//
+// Used for the transitive-successor relation Succ(i) of Definition 2:
+// row i holds the set of all (direct and indirect) successors of
+// operation i, so the FURO computation can test "j in Succ(i)" in O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lycos::dfg {
+
+/// n-by-n boolean matrix; rows are packed into 64-bit words.
+class Bit_matrix {
+public:
+    Bit_matrix() = default;
+
+    /// All-false n-by-n matrix.
+    explicit Bit_matrix(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    bool get(std::size_t row, std::size_t col) const
+    {
+        return (words_[row * stride_ + col / 64] >> (col % 64)) & 1U;
+    }
+
+    void set(std::size_t row, std::size_t col, bool value = true)
+    {
+        const std::uint64_t mask = std::uint64_t{1} << (col % 64);
+        auto& w = words_[row * stride_ + col / 64];
+        if (value)
+            w |= mask;
+        else
+            w &= ~mask;
+    }
+
+    /// row |= other row (set union); rows must belong to this matrix.
+    void or_row_into(std::size_t src, std::size_t dst);
+
+    /// Number of true cells in `row`.
+    std::size_t row_count(std::size_t row) const;
+
+    friend bool operator==(const Bit_matrix&, const Bit_matrix&) = default;
+
+private:
+    std::size_t n_ = 0;
+    std::size_t stride_ = 0;  // words per row
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lycos::dfg

@@ -1,0 +1,144 @@
+#include "dfg/dfg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lycos::dfg {
+
+Op_id Dfg::add_op(hw::Op_kind kind, std::string_view name)
+{
+    ops_.push_back(Op{kind, std::string(name)});
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return static_cast<Op_id>(ops_.size() - 1);
+}
+
+void Dfg::add_edge(Op_id producer, Op_id consumer)
+{
+    if (producer < 0 || consumer < 0 ||
+        static_cast<std::size_t>(producer) >= ops_.size() ||
+        static_cast<std::size_t>(consumer) >= ops_.size())
+        throw std::out_of_range("Dfg::add_edge: bad op id");
+    if (producer == consumer)
+        throw std::invalid_argument("Dfg::add_edge: self edge");
+    auto& s = succs_[static_cast<std::size_t>(producer)];
+    if (std::find(s.begin(), s.end(), consumer) != s.end())
+        return;  // duplicate edge, keep graph simple
+    s.push_back(consumer);
+    preds_[static_cast<std::size_t>(consumer)].push_back(producer);
+}
+
+void Dfg::add_live_in(std::string name)
+{
+    if (std::find(live_ins_.begin(), live_ins_.end(), name) == live_ins_.end())
+        live_ins_.push_back(std::move(name));
+}
+
+void Dfg::add_live_out(std::string name)
+{
+    if (std::find(live_outs_.begin(), live_outs_.end(), name) ==
+        live_outs_.end())
+        live_outs_.push_back(std::move(name));
+}
+
+int Dfg::count(hw::Op_kind k) const
+{
+    int n = 0;
+    for (const auto& o : ops_)
+        if (o.kind == k)
+            ++n;
+    return n;
+}
+
+hw::Per_op<int> Dfg::kind_histogram() const
+{
+    hw::Per_op<int> h;
+    for (const auto& o : ops_)
+        ++h[o.kind];
+    return h;
+}
+
+hw::Op_set Dfg::used_ops() const
+{
+    hw::Op_set s;
+    for (const auto& o : ops_)
+        s.insert(o.kind);
+    return s;
+}
+
+std::vector<Op_id> Dfg::topo_order() const
+{
+    const auto n = ops_.size();
+    std::vector<int> in_degree(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        in_degree[i] = static_cast<int>(preds_[i].size());
+
+    std::vector<Op_id> order;
+    order.reserve(n);
+    std::vector<Op_id> ready;
+    for (std::size_t i = 0; i < n; ++i)
+        if (in_degree[i] == 0)
+            ready.push_back(static_cast<Op_id>(i));
+
+    // Pop the smallest id first so the order is deterministic.
+    while (!ready.empty()) {
+        auto it = std::min_element(ready.begin(), ready.end());
+        const Op_id v = *it;
+        *it = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (Op_id s : succs_[static_cast<std::size_t>(v)])
+            if (--in_degree[static_cast<std::size_t>(s)] == 0)
+                ready.push_back(s);
+    }
+
+    if (order.size() != n)
+        throw std::logic_error("Dfg::topo_order: graph has a cycle");
+    return order;
+}
+
+bool Dfg::is_dag() const
+{
+    try {
+        (void)topo_order();
+        return true;
+    }
+    catch (const std::logic_error&) {
+        return false;
+    }
+}
+
+Bit_matrix Dfg::transitive_successors() const
+{
+    const auto order = topo_order();  // throws on cycles
+    Bit_matrix succ(ops_.size());
+    // Walk in reverse topological order: when processing v, the rows
+    // of all its direct successors are already complete.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const Op_id v = *it;
+        for (Op_id s : succs_[static_cast<std::size_t>(v)]) {
+            succ.set(static_cast<std::size_t>(v), static_cast<std::size_t>(s));
+            succ.or_row_into(static_cast<std::size_t>(s),
+                             static_cast<std::size_t>(v));
+        }
+    }
+    return succ;
+}
+
+int Dfg::critical_path_ops() const
+{
+    const auto order = topo_order();
+    std::vector<int> depth(ops_.size(), 1);
+    int longest = ops_.empty() ? 0 : 1;
+    for (Op_id v : order) {
+        for (Op_id s : succs_[static_cast<std::size_t>(v)]) {
+            depth[static_cast<std::size_t>(s)] =
+                std::max(depth[static_cast<std::size_t>(s)],
+                         depth[static_cast<std::size_t>(v)] + 1);
+            longest = std::max(longest, depth[static_cast<std::size_t>(s)]);
+        }
+    }
+    return longest;
+}
+
+}  // namespace lycos::dfg

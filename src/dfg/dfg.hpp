@@ -1,0 +1,97 @@
+// Data-flow graphs: the computation inside a leaf BSB.
+//
+// A DFG is a DAG whose nodes are operations (Op_kind) and whose edges
+// are data dependencies (producer -> consumer).  Values flowing into
+// the BSB from outside are its live-ins (the read set), values it
+// produces for later BSBs are its live-outs (the write set); both are
+// used by the HW/SW communication estimate.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfg/bit_matrix.hpp"
+#include "hw/op.hpp"
+
+namespace lycos::dfg {
+
+/// Index of an operation inside its Dfg.
+using Op_id = int;
+
+/// One operation node.
+struct Op {
+    hw::Op_kind kind;
+    std::string name;  ///< optional label, useful in tests and dumps
+};
+
+/// A data-flow graph.  Edges must form a DAG; validate() checks this.
+class Dfg {
+public:
+    Dfg() = default;
+
+    /// Add an operation node; returns its id (ids are dense from 0).
+    Op_id add_op(hw::Op_kind kind, std::string_view name = {});
+
+    /// Add the data dependency `producer -> consumer`.  Self-edges are
+    /// rejected; duplicate edges are ignored.
+    void add_edge(Op_id producer, Op_id consumer);
+
+    /// Declare a named value flowing into this BSB from outside.
+    void add_live_in(std::string name);
+
+    /// Declare a named value this BSB produces for the outside.
+    void add_live_out(std::string name);
+
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    const Op& op(Op_id id) const { return ops_.at(static_cast<std::size_t>(id)); }
+
+    std::span<const Op_id> preds(Op_id id) const
+    {
+        return preds_.at(static_cast<std::size_t>(id));
+    }
+    std::span<const Op_id> succs(Op_id id) const
+    {
+        return succs_.at(static_cast<std::size_t>(id));
+    }
+
+    std::span<const std::string> live_ins() const { return live_ins_; }
+    std::span<const std::string> live_outs() const { return live_outs_; }
+
+    /// Number of operations of kind `k`.
+    int count(hw::Op_kind k) const;
+
+    /// Per-kind operation counts.
+    hw::Per_op<int> kind_histogram() const;
+
+    /// Set of kinds that occur at least once.
+    hw::Op_set used_ops() const;
+
+    /// Topological order of all operations.  Throws std::logic_error
+    /// if the graph has a cycle.
+    std::vector<Op_id> topo_order() const;
+
+    /// True iff the edge relation is acyclic.
+    bool is_dag() const;
+
+    /// Transitive successor matrix: row i is Succ(i) of Definition 2,
+    /// the set of all operations reachable from i along data
+    /// dependencies.  Throws std::logic_error on a cyclic graph.
+    Bit_matrix transitive_successors() const;
+
+    /// Length (in operations, not cycles) of the longest dependency
+    /// chain; 0 for an empty graph.
+    int critical_path_ops() const;
+
+private:
+    std::vector<Op> ops_;
+    std::vector<std::vector<Op_id>> preds_;
+    std::vector<std::vector<Op_id>> succs_;
+    std::vector<std::string> live_ins_;
+    std::vector<std::string> live_outs_;
+};
+
+}  // namespace lycos::dfg

@@ -1,0 +1,58 @@
+#include "dfg/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lycos::dfg {
+
+namespace {
+
+/// Escape double quotes for DOT string literals.
+std::string escape(std::string_view text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Dfg& g, std::string_view name)
+{
+    os << "digraph \"" << escape(name) << "\" {\n";
+    os << "  rankdir=TB;\n";
+    os << "  node [shape=ellipse, fontsize=10];\n";
+
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const auto& op = g.op(static_cast<Op_id>(i));
+        os << "  n" << i << " [label=\"" << hw::to_string(op.kind);
+        if (!op.name.empty())
+            os << "\\n" << escape(op.name);
+        os << "\"];\n";
+    }
+    for (std::size_t i = 0; i < g.size(); ++i)
+        for (auto s : g.succs(static_cast<Op_id>(i)))
+            os << "  n" << i << " -> n" << s << ";\n";
+
+    for (std::size_t i = 0; i < g.live_ins().size(); ++i)
+        os << "  in" << i << " [label=\"" << escape(g.live_ins()[i])
+           << "\", shape=plaintext, style=dashed];\n";
+    for (std::size_t i = 0; i < g.live_outs().size(); ++i)
+        os << "  out" << i << " [label=\"" << escape(g.live_outs()[i])
+           << "\", shape=plaintext, style=dashed];\n";
+
+    os << "}\n";
+}
+
+std::string to_dot(const Dfg& g, std::string_view name)
+{
+    std::ostringstream os;
+    write_dot(os, g, name);
+    return os.str();
+}
+
+}  // namespace lycos::dfg

@@ -1,0 +1,24 @@
+// Graphviz (DOT) export for data-flow graphs.
+//
+// Debugging aid: renders a DFG with one node per operation (labelled
+// kind plus optional name), dashed entries for live-ins and live-outs,
+// and solid edges for data dependencies.  `dot -Tpng` turns the output
+// into the pictures of Figure 4/5 style.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "dfg/dfg.hpp"
+
+namespace lycos::dfg {
+
+/// Write `g` in DOT syntax to `os` as a digraph named `name`.
+void write_dot(std::ostream& os, const Dfg& g,
+               std::string_view name = "dfg");
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const Dfg& g, std::string_view name = "dfg");
+
+}  // namespace lycos::dfg

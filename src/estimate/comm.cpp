@@ -1,0 +1,37 @@
+#include "estimate/comm.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace lycos::estimate {
+
+int comm_words(const bsb::Bsb& b)
+{
+    return static_cast<int>(b.graph.live_ins().size() +
+                            b.graph.live_outs().size());
+}
+
+double comm_time_ns(const bsb::Bsb& b, const hw::Bus_model& bus)
+{
+    return comm_words(b) * bus.ns_per_word;
+}
+
+int shared_values(const bsb::Bsb& a, const bsb::Bsb& b)
+{
+    int n = 0;
+    for (const auto& out : a.graph.live_outs()) {
+        const auto ins = b.graph.live_ins();
+        if (std::find(ins.begin(), ins.end(), out) != ins.end())
+            ++n;
+    }
+    return n;
+}
+
+double adjacency_saving_ns(const bsb::Bsb& a, const bsb::Bsb& b,
+                           const hw::Bus_model& bus)
+{
+    const double co_runs = std::min(a.profile, b.profile);
+    return 2.0 * shared_values(a, b) * bus.ns_per_word * co_runs;
+}
+
+}  // namespace lycos::estimate

@@ -1,0 +1,37 @@
+// HW/SW communication time estimation.
+//
+// The target architecture assumes a memory-mapped communication scheme
+// (§1).  A BSB executing in hardware must receive its read set (live-in
+// values) from and deliver its write set (live-out values) to the
+// shared memory; each value costs one bus word transfer.  Two
+// *adjacent* BSBs that are both in hardware hand shared values over
+// directly in the data-path and save the two transfers (write + read)
+// those values would otherwise cost — this is the adjacency effect the
+// PACE dynamic program exploits.
+#pragma once
+
+#include "bsb/bsb.hpp"
+#include "hw/target.hpp"
+
+namespace lycos::estimate {
+
+/// Words transferred for one hardware execution of `b` (|read set| +
+/// |write set|).
+int comm_words(const bsb::Bsb& b);
+
+/// Nanoseconds of bus traffic for one hardware execution of `b`.
+double comm_time_ns(const bsb::Bsb& b, const hw::Bus_model& bus);
+
+/// Number of values produced by `a` and consumed by `b` (live-out of
+/// `a` intersected with live-in of `b`): the values that stay in the
+/// data-path when both BSBs are in hardware.
+int shared_values(const bsb::Bsb& a, const bsb::Bsb& b);
+
+/// Profile-weighted nanoseconds saved on the bus when adjacent BSBs
+/// `a` (earlier) and `b` (later) are both in hardware: each shared
+/// value saves one write by `a` and one read by `b` per co-executed
+/// iteration (min of the profiles).
+double adjacency_saving_ns(const bsb::Bsb& a, const bsb::Bsb& b,
+                           const hw::Bus_model& bus);
+
+}  // namespace lycos::estimate

@@ -1,0 +1,18 @@
+#include "estimate/controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lycos::estimate {
+
+double controller_area(int n_states, const hw::Gate_areas& gates)
+{
+    if (n_states < 1)
+        throw std::invalid_argument("controller_area: n_states < 1");
+    const double n = n_states;
+    return gates.reg + gates.and2 + gates.or2 +
+           std::log2(n) * gates.reg +
+           (n - 1.0) * (gates.inv + 2.0 * gates.and2);
+}
+
+}  // namespace lycos::estimate

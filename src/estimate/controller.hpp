@@ -1,0 +1,37 @@
+// Controller area estimation (§4.2, from Knudsen's thesis [6]).
+//
+// Each BSB moved to hardware needs a finite-state-machine controller.
+// The number of states N is estimated as the schedule length; the
+// controller needs log2(N) state register bits plus decode logic
+// proportional to N:
+//
+//     ECA = A_R + A_AG + A_OG + log2(N)*A_R + (N-1)*(A_IG + 2*A_AG)
+//
+// The pre-allocation algorithm uses the *optimistic* ASAP length
+// (there is no allocation yet to drive a list schedule — "the
+// allocation is what we are looking for").  §5.1 studies the effect of
+// this optimism; `real_controller_area` plugs in the list-schedule
+// length instead.
+#pragma once
+
+#include "hw/technology.hpp"
+
+namespace lycos::estimate {
+
+/// The ECA formula for a controller with `n_states` states (>= 1).
+double controller_area(int n_states, const hw::Gate_areas& gates);
+
+/// Estimated Controller Area: optimistic, `asap_length` states.
+inline double eca(int asap_length, const hw::Gate_areas& gates)
+{
+    return controller_area(asap_length, gates);
+}
+
+/// Post-scheduling controller area: `list_length` states as produced
+/// by the resource-constrained list schedule (>= ASAP length).
+inline double real_controller_area(int list_length, const hw::Gate_areas& gates)
+{
+    return controller_area(list_length, gates);
+}
+
+}  // namespace lycos::estimate

@@ -1,0 +1,24 @@
+#include "estimate/hw_time.hpp"
+
+namespace lycos::estimate {
+
+std::optional<int> hw_cycles(const dfg::Dfg& g, const hw::Hw_library& lib,
+                             std::span<const int> counts)
+{
+    const auto sched = sched::list_schedule(g, lib, counts);
+    if (!sched.feasible)
+        return std::nullopt;
+    return sched.length;
+}
+
+std::optional<double> hw_time_ns(const dfg::Dfg& g, const hw::Hw_library& lib,
+                                 std::span<const int> counts,
+                                 const hw::Asic_model& asic)
+{
+    const auto cycles = hw_cycles(g, lib, counts);
+    if (!cycles)
+        return std::nullopt;
+    return *cycles * asic.cycle_ns();
+}
+
+}  // namespace lycos::estimate

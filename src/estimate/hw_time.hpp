@@ -1,0 +1,31 @@
+// Hardware execution time estimation.
+//
+// Hardware exploits the parallelism between operations in a BSB (§2):
+// the hardware time of one BSB execution is the length of its
+// resource-constrained list schedule under the candidate data-path
+// allocation, converted to nanoseconds by the ASIC clock.  A BSB whose
+// operations the allocation cannot cover is infeasible in hardware.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "bsb/bsb.hpp"
+#include "hw/resource.hpp"
+#include "hw/target.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lycos::estimate {
+
+/// ASIC cycles for one execution of `g` with `counts[r]` instances of
+/// each library resource type; nullopt if some operation kind of `g`
+/// has no allocated executor.
+std::optional<int> hw_cycles(const dfg::Dfg& g, const hw::Hw_library& lib,
+                             std::span<const int> counts);
+
+/// Nanoseconds for one execution; nullopt if infeasible.
+std::optional<double> hw_time_ns(const dfg::Dfg& g, const hw::Hw_library& lib,
+                                 std::span<const int> counts,
+                                 const hw::Asic_model& asic);
+
+}  // namespace lycos::estimate

@@ -1,0 +1,95 @@
+#include "estimate/storage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace lycos::estimate {
+
+int max_live_values(const dfg::Dfg& g, const hw::Hw_library& lib,
+                    const sched::List_schedule& sched)
+{
+    if (!sched.feasible)
+        throw std::invalid_argument("max_live_values: infeasible schedule");
+    if (g.empty())
+        return static_cast<int>(g.live_ins().size() + g.live_outs().size());
+
+    const int horizon = sched.length + 1;
+    // delta sweep over cycles 1..horizon
+    std::vector<int> delta(static_cast<std::size_t>(horizon) + 2, 0);
+
+    auto add_interval = [&](int from, int to) {
+        // inclusive [from, to]; clamp into [1, horizon]
+        from = std::max(1, from);
+        to = std::min(horizon, to);
+        if (from > to)
+            return;
+        delta[static_cast<std::size_t>(from)] += 1;
+        delta[static_cast<std::size_t>(to) + 1] -= 1;
+    };
+
+    // Values produced by operations: live from the producer's finish
+    // cycle until the start of the last consumer (or, for live-out
+    // producers, the end of the schedule).
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        const auto id = static_cast<dfg::Op_id>(v);
+        const int lat = lib[sched.resource[v]].latency_cycles;
+        const int born = sched.start[v] + lat - 1;
+        int last_use = born;
+        for (auto s : g.succs(id))
+            last_use = std::max(last_use,
+                                sched.start[static_cast<std::size_t>(s)]);
+        // Conservatively keep sink values (no consumers) to the end:
+        // they are the BSB's results.
+        if (g.succs(id).empty())
+            last_use = horizon;
+        add_interval(born, last_use);
+    }
+
+    // Live-ins are available from the start until the schedule ends
+    // (the conservative assumption without per-value use information).
+    for (std::size_t i = 0; i < g.live_ins().size(); ++i)
+        add_interval(1, horizon);
+
+    int level = 0;
+    int peak = 0;
+    for (int c = 1; c <= horizon; ++c) {
+        level += delta[static_cast<std::size_t>(c)];
+        peak = std::max(peak, level);
+    }
+    return peak;
+}
+
+double storage_area(const dfg::Dfg& g, const hw::Hw_library& lib,
+                    const sched::List_schedule& sched,
+                    const Storage_model& model)
+{
+    return max_live_values(g, lib, sched) * model.reg_area;
+}
+
+double interconnect_area(const dfg::Dfg& g, const hw::Hw_library& lib,
+                         const sched::List_schedule& sched,
+                         const Storage_model& model)
+{
+    if (!sched.feasible)
+        throw std::invalid_argument("interconnect_area: infeasible schedule");
+    (void)lib;
+    // Count operations bound to each (resource type, instance slot).
+    // The list scheduler reports only the type; approximate instance
+    // sharing by the per-type op count divided by nothing — i.e. each
+    // op beyond the first on a type contributes mux inputs.  This is
+    // conservative for multi-instance allocations and exact for one
+    // instance per type.
+    std::map<int, int> ops_per_type;
+    for (std::size_t v = 0; v < g.size(); ++v)
+        ++ops_per_type[sched.resource[v]];
+
+    double area = 0.0;
+    for (const auto& [type, count] : ops_per_type)
+        if (count > 1)
+            area += 2.0 * (count - 1) * model.mux_input_area;
+    return area;
+}
+
+}  // namespace lycos::estimate

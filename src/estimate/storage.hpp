@@ -1,0 +1,46 @@
+// Storage and interconnect estimation (the paper's third future-work
+// direction, §6: "incorporating interconnect and storage size
+// estimates would be interesting to look into").
+//
+// The base flow ignores both (Table 1's caption: "interconnect and
+// storage are ignored in these figures").  This module supplies the
+// missing estimates so their effect can be studied:
+//
+//   * storage: the number of data-path registers is the peak number of
+//     simultaneously-live values in the BSB's schedule (a value lives
+//     from the cycle its producer finishes until its last consumer
+//     starts; live-ins from cycle 1, live-outs to the end);
+//   * interconnect: every resource instance executing more than one
+//     operation needs input multiplexers; each extra operation bound
+//     to an instance adds (2 operand ports worth of) mux inputs.
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "hw/resource.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lycos::estimate {
+
+/// Datapath storage/interconnect technology parameters.
+struct Storage_model {
+    double reg_area = 96.0;        ///< one data-path word register
+    double mux_input_area = 12.0;  ///< one multiplexer input (word wide)
+};
+
+/// Peak number of simultaneously live values of `g` under `sched`
+/// (which must be feasible).  Includes live-ins and live-outs.
+int max_live_values(const dfg::Dfg& g, const hw::Hw_library& lib,
+                    const sched::List_schedule& sched);
+
+/// Register area for one BSB: max_live_values * reg_area.
+double storage_area(const dfg::Dfg& g, const hw::Hw_library& lib,
+                    const sched::List_schedule& sched,
+                    const Storage_model& model);
+
+/// Multiplexer area for one BSB: every resource instance with k > 1
+/// bound operations contributes 2*(k-1) mux inputs.
+double interconnect_area(const dfg::Dfg& g, const hw::Hw_library& lib,
+                         const sched::List_schedule& sched,
+                         const Storage_model& model);
+
+}  // namespace lycos::estimate

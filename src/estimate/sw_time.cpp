@@ -1,0 +1,23 @@
+#include "estimate/sw_time.hpp"
+
+namespace lycos::estimate {
+
+long long sw_cycles(const dfg::Dfg& g, const hw::Processor_model& cpu)
+{
+    long long cycles = 0;
+    for (std::size_t i = 0; i < g.size(); ++i)
+        cycles += cpu.cycles_per_op[g.op(static_cast<dfg::Op_id>(i)).kind];
+    return cycles;
+}
+
+double sw_time_ns(const dfg::Dfg& g, const hw::Processor_model& cpu)
+{
+    return static_cast<double>(sw_cycles(g, cpu)) * 1e3 / cpu.clock_mhz;
+}
+
+double total_sw_time_ns(const bsb::Bsb& b, const hw::Processor_model& cpu)
+{
+    return sw_time_ns(b.graph, cpu) * b.profile;
+}
+
+}  // namespace lycos::estimate

@@ -1,0 +1,23 @@
+// Software execution time estimation.
+//
+// "In software, operations are executed serially" (§2): the software
+// time of one BSB execution is the sum over its operations of the
+// processor's per-operation cycle counts, converted to nanoseconds by
+// the processor clock.
+#pragma once
+
+#include "bsb/bsb.hpp"
+#include "hw/target.hpp"
+
+namespace lycos::estimate {
+
+/// Processor cycles for one execution of the BSB's DFG.
+long long sw_cycles(const dfg::Dfg& g, const hw::Processor_model& cpu);
+
+/// Nanoseconds for one execution of the BSB's DFG.
+double sw_time_ns(const dfg::Dfg& g, const hw::Processor_model& cpu);
+
+/// Profile-weighted nanoseconds over the whole application run.
+double total_sw_time_ns(const bsb::Bsb& b, const hw::Processor_model& cpu);
+
+}  // namespace lycos::estimate

@@ -1,0 +1,34 @@
+// Text-format hardware library I/O.
+//
+// Lets tools load a resource library from a plain file instead of
+// compiling one in:
+//
+//     # name        ops            area   latency
+//     adder         add,neg        180    1
+//     multiplier    mul            2200   2
+//     alu           add,sub,neg    320    1
+//
+// Blank lines and '#' comments are ignored; `ops` is a comma-separated
+// list of operation mnemonics (see hw::to_string(Op_kind)).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "hw/resource.hpp"
+
+namespace lycos::hw {
+
+/// Parse a library from text.  Throws std::invalid_argument with a
+/// line number on malformed input.
+Hw_library parse_library(std::string_view text);
+
+/// Read a library from a stream.
+Hw_library read_library(std::istream& in);
+
+/// Serialize a library in the same format (round-trips with
+/// parse_library).
+std::string format_library(const Hw_library& lib);
+
+}  // namespace lycos::hw

@@ -1,0 +1,43 @@
+#include "hw/op.hpp"
+
+#include <stdexcept>
+
+namespace lycos::hw {
+
+namespace {
+
+constexpr std::array<std::string_view, n_op_kinds> k_names = {
+    "add",  "sub",  "neg",  "mul",   "div",   "mod",   "lt",
+    "le",   "eq",   "ne",   "and",   "or",    "not",   "band",
+    "bor",  "bxor", "shl",  "shr",   "const", "copy",
+};
+
+}  // namespace
+
+std::string_view to_string(Op_kind k)
+{
+    return k_names[op_index(k)];
+}
+
+Op_kind op_kind_from_string(std::string_view name)
+{
+    for (std::size_t i = 0; i < n_op_kinds; ++i)
+        if (k_names[i] == name)
+            return static_cast<Op_kind>(i);
+    throw std::invalid_argument("unknown operation kind: " + std::string(name));
+}
+
+std::string to_string(Op_set s)
+{
+    std::string out;
+    for (auto k : all_op_kinds()) {
+        if (!s.contains(k))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += to_string(k);
+    }
+    return out;
+}
+
+}  // namespace lycos::hw

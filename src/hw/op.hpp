@@ -1,0 +1,162 @@
+// Operation kinds and operation-kind sets.
+//
+// Operations are the leaves of the application model: each node of a
+// data-flow graph (DFG) performs one operation.  The paper's resource
+// allocation reasons about *operation types* (Definition 2 talks about
+// "the operation of type o in B_k"), so the kind enumeration below is
+// the common vocabulary between the application side (DFGs) and the
+// hardware side (functional units that can execute sets of kinds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace lycos::hw {
+
+/// Every operation type the application model can contain.
+///
+/// `const_load` is the "constant generator" operation the paper's
+/// Mandelbrot discussion (§5) revolves around: loading an immediate
+/// value into the data-path.
+enum class Op_kind : std::uint8_t {
+    add,
+    sub,
+    neg,
+    mul,
+    div,
+    mod,
+    cmp_lt,
+    cmp_le,
+    cmp_eq,
+    cmp_ne,
+    log_and,
+    log_or,
+    log_not,
+    bit_and,
+    bit_or,
+    bit_xor,
+    shl,
+    shr,
+    const_load,
+    copy,
+};
+
+/// Number of distinct operation kinds (for dense per-kind arrays).
+inline constexpr std::size_t n_op_kinds = 20;
+
+/// Dense index of an operation kind.
+constexpr std::size_t op_index(Op_kind k)
+{
+    return static_cast<std::size_t>(k);
+}
+
+/// All operation kinds, in dense-index order.
+constexpr std::array<Op_kind, n_op_kinds> all_op_kinds()
+{
+    std::array<Op_kind, n_op_kinds> a{};
+    for (std::size_t i = 0; i < n_op_kinds; ++i)
+        a[i] = static_cast<Op_kind>(i);
+    return a;
+}
+
+/// Short mnemonic name, e.g. "add", "mul", "const".
+std::string_view to_string(Op_kind k);
+
+/// Parse a mnemonic produced by to_string(); throws std::invalid_argument
+/// on unknown names.
+Op_kind op_kind_from_string(std::string_view name);
+
+/// A set of operation kinds, stored as a bit mask.  Used to describe
+/// which operations a functional unit can execute and which operations
+/// a BSB contains.
+class Op_set {
+public:
+    constexpr Op_set() = default;
+    constexpr Op_set(std::initializer_list<Op_kind> kinds)
+    {
+        for (auto k : kinds)
+            insert(k);
+    }
+
+    constexpr void insert(Op_kind k) { bits_ |= bit(k); }
+    constexpr void erase(Op_kind k) { bits_ &= ~bit(k); }
+    constexpr bool contains(Op_kind k) const { return (bits_ & bit(k)) != 0; }
+    constexpr bool empty() const { return bits_ == 0; }
+
+    /// Number of kinds in the set.
+    constexpr int size() const
+    {
+        int n = 0;
+        for (std::uint32_t b = bits_; b != 0; b &= b - 1)
+            ++n;
+        return n;
+    }
+
+    constexpr bool intersects(Op_set other) const
+    {
+        return (bits_ & other.bits_) != 0;
+    }
+
+    /// True if every kind of `other` is also in *this.
+    constexpr bool includes(Op_set other) const
+    {
+        return (bits_ & other.bits_) == other.bits_;
+    }
+
+    constexpr friend Op_set operator|(Op_set a, Op_set b)
+    {
+        Op_set r;
+        r.bits_ = a.bits_ | b.bits_;
+        return r;
+    }
+
+    constexpr friend Op_set operator&(Op_set a, Op_set b)
+    {
+        Op_set r;
+        r.bits_ = a.bits_ & b.bits_;
+        return r;
+    }
+
+    constexpr friend bool operator==(Op_set a, Op_set b) = default;
+
+    /// Raw bit mask (bit i set <=> kind with dense index i present).
+    constexpr std::uint32_t bits() const { return bits_; }
+
+private:
+    static constexpr std::uint32_t bit(Op_kind k)
+    {
+        return std::uint32_t{1} << op_index(k);
+    }
+    std::uint32_t bits_ = 0;
+};
+
+/// Comma-separated list of the kinds in `s`, e.g. "add,sub".
+std::string to_string(Op_set s);
+
+/// A value of type T for every operation kind; a convenience for the
+/// many per-kind tables in the library (FURO values, urgencies,
+/// latencies, parallelism bounds, ...).
+template <typename T>
+class Per_op {
+public:
+    constexpr Per_op() : values_{} {}
+    constexpr explicit Per_op(const T& init) { values_.fill(init); }
+
+    constexpr T& operator[](Op_kind k) { return values_[op_index(k)]; }
+    constexpr const T& operator[](Op_kind k) const { return values_[op_index(k)]; }
+
+    constexpr auto begin() { return values_.begin(); }
+    constexpr auto end() { return values_.end(); }
+    constexpr auto begin() const { return values_.begin(); }
+    constexpr auto end() const { return values_.end(); }
+
+    constexpr friend bool operator==(const Per_op&, const Per_op&) = default;
+
+private:
+    std::array<T, n_op_kinds> values_;
+};
+
+}  // namespace lycos::hw

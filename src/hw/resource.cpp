@@ -1,0 +1,100 @@
+#include "hw/resource.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lycos::hw {
+
+Resource_id Hw_library::add(Resource_type r)
+{
+    if (r.name.empty())
+        throw std::invalid_argument("Hw_library::add: empty name");
+    if (find(r.name))
+        throw std::invalid_argument("Hw_library::add: duplicate name " + r.name);
+    if (!(r.area > 0.0))
+        throw std::invalid_argument("Hw_library::add: non-positive area for " +
+                                    r.name);
+    if (r.latency_cycles < 1)
+        throw std::invalid_argument("Hw_library::add: latency < 1 for " + r.name);
+    if (r.ops.empty())
+        throw std::invalid_argument("Hw_library::add: empty op set for " + r.name);
+    types_.push_back(std::move(r));
+    return static_cast<Resource_id>(types_.size() - 1);
+}
+
+std::optional<Resource_id> Hw_library::find(std::string_view name) const
+{
+    for (std::size_t i = 0; i < types_.size(); ++i)
+        if (types_[i].name == name)
+            return static_cast<Resource_id>(i);
+    return std::nullopt;
+}
+
+std::vector<Resource_id> Hw_library::executors_of(Op_kind k) const
+{
+    std::vector<Resource_id> out;
+    for (std::size_t i = 0; i < types_.size(); ++i)
+        if (types_[i].ops.contains(k))
+            out.push_back(static_cast<Resource_id>(i));
+    return out;
+}
+
+std::optional<Resource_id> Hw_library::cheapest_executor(Op_kind k) const
+{
+    std::optional<Resource_id> best;
+    double best_area = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+        if (!types_[i].ops.contains(k))
+            continue;
+        if (types_[i].area < best_area) {
+            best_area = types_[i].area;
+            best = static_cast<Resource_id>(i);
+        }
+    }
+    return best;
+}
+
+bool Hw_library::covers(Op_set s) const
+{
+    for (auto k : all_op_kinds())
+        if (s.contains(k) && !cheapest_executor(k))
+            return false;
+    return true;
+}
+
+Op_set Hw_library::supported_ops() const
+{
+    Op_set all;
+    for (const auto& t : types_)
+        all = all | t.ops;
+    return all;
+}
+
+int Hw_library::latency_estimate(Op_kind k) const
+{
+    auto id = cheapest_executor(k);
+    if (!id)
+        throw std::invalid_argument(
+            std::string("Hw_library::latency_estimate: no executor for ") +
+            std::string(to_string(k)));
+    return (*this)[*id].latency_cycles;
+}
+
+Hw_library make_default_library()
+{
+    using enum Op_kind;
+    Hw_library lib;
+    lib.add({"adder", {add, neg}, 180.0, 1});
+    lib.add({"subtractor", {sub, neg}, 190.0, 1});
+    lib.add({"multiplier", {mul}, 2200.0, 2});
+    lib.add({"divider", {div, mod}, 3600.0, 4});
+    lib.add({"comparator", {cmp_lt, cmp_le, cmp_eq, cmp_ne}, 90.0, 1});
+    lib.add({"logic_unit", {log_and, log_or, log_not, bit_and, bit_or, bit_xor},
+             70.0, 1});
+    lib.add({"shifter", {shl, shr}, 140.0, 1});
+    lib.add({"const_gen", {const_load}, 150.0, 1});
+    lib.add({"mover", {copy}, 30.0, 1});
+    return lib;
+}
+
+}  // namespace lycos::hw

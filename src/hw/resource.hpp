@@ -1,0 +1,94 @@
+// Functional-unit resource types and the hardware resource library.
+//
+// The data-path of the ASIC (Figure 1) is composed of functional units
+// drawn from a library: adders, multipliers, subtractors, ...  Each
+// resource type executes a set of operation kinds, occupies area and
+// takes a number of ASIC clock cycles per operation.  The allocation
+// the paper's algorithm produces is a multiset over these types.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/op.hpp"
+
+namespace lycos::hw {
+
+/// Index of a resource type inside its Hw_library.
+using Resource_id = int;
+
+/// One functional-unit type in the hardware library.
+struct Resource_type {
+    std::string name;        ///< e.g. "adder", "multiplier"
+    Op_set ops;              ///< operation kinds this unit can execute
+    double area = 0.0;       ///< area in gate equivalents (> 0)
+    int latency_cycles = 1;  ///< ASIC cycles per operation (>= 1)
+};
+
+/// The library of functional-unit types available for allocation.
+///
+/// Invariants enforced on add():
+///   * unique names,
+///   * strictly positive area (Algorithm 1's termination argument
+///     relies on every allocation step consuming area),
+///   * latency >= 1,
+///   * non-empty operation set.
+class Hw_library {
+public:
+    Hw_library() = default;
+
+    /// Add a resource type; returns its id.  Throws
+    /// std::invalid_argument if the invariants above are violated.
+    Resource_id add(Resource_type r);
+
+    std::size_t size() const { return types_.size(); }
+    bool empty() const { return types_.empty(); }
+
+    const Resource_type& operator[](Resource_id id) const
+    {
+        return types_.at(static_cast<std::size_t>(id));
+    }
+
+    std::span<const Resource_type> types() const { return types_; }
+
+    /// Find a resource type by name.
+    std::optional<Resource_id> find(std::string_view name) const;
+
+    /// All resource ids that can execute `k`, in id order.
+    std::vector<Resource_id> executors_of(Op_kind k) const;
+
+    /// The smallest-area resource type that can execute `k`, if any.
+    /// This is the unit GetReqResources and MostUrgentResource pick
+    /// when a new resource must be allocated for an operation type.
+    std::optional<Resource_id> cheapest_executor(Op_kind k) const;
+
+    /// True if at least one resource type can execute every kind in `s`.
+    bool covers(Op_set s) const;
+
+    /// Union of the op sets of all resource types.
+    Op_set supported_ops() const;
+
+    /// Latency (cycles) of the cheapest executor of `k`; this is the
+    /// per-kind latency estimate used by ASAP/ALAP scheduling before
+    /// any allocation exists.  Throws std::invalid_argument if no
+    /// resource can execute `k`.
+    int latency_estimate(Op_kind k) const;
+
+private:
+    std::vector<Resource_type> types_;
+};
+
+/// The default library used throughout the examples, tests and
+/// benches: 16-bit-datapath-flavoured units with areas in gate
+/// equivalents and plausible late-1990s cycle counts.
+///
+///   adder(add,neg), subtractor(sub,neg), multiplier(mul),
+///   divider(div,mod), comparator(lt,le,eq,ne), logic unit
+///   (and,or,not,band,bor,bxor), shifter(shl,shr), constant
+///   generator(const_load), mover(copy)
+Hw_library make_default_library();
+
+}  // namespace lycos::hw

@@ -1,0 +1,48 @@
+#include "hw/target.hpp"
+
+namespace lycos::hw {
+
+Target make_default_target(double asic_area)
+{
+    using enum Op_kind;
+    Target t;
+    // A late-1990s embedded core: each data-flow operation costs
+    // instruction fetch + operand loads + compute + store, so even
+    // "one-cycle" ALU operations take a few processor cycles, and the
+    // processor clock is modest.  The ASIC, by contrast, executes
+    // chained register-to-register operations at its own clock.  The
+    // resulting SW/HW time ratio per operation (an order of magnitude,
+    // more for multiplies/divides) is what makes the paper's
+    // 1000%+ speed-ups reachable.
+    t.cpu.name = "emb10";
+    t.cpu.clock_mhz = 10.0;
+
+    Per_op<int>& c = t.cpu.cycles_per_op;
+    c[add] = 2;
+    c[sub] = 2;
+    c[neg] = 2;
+    c[mul] = 12;
+    c[div] = 40;
+    c[mod] = 44;
+    c[cmp_lt] = 2;
+    c[cmp_le] = 2;
+    c[cmp_eq] = 2;
+    c[cmp_ne] = 2;
+    c[log_and] = 2;
+    c[log_or] = 2;
+    c[log_not] = 2;
+    c[bit_and] = 2;
+    c[bit_or] = 2;
+    c[bit_xor] = 2;
+    c[shl] = 2;
+    c[shr] = 2;
+    c[const_load] = 1;
+    c[copy] = 2;
+
+    t.asic.clock_mhz = 25.0;
+    t.asic.total_area = asic_area;
+    t.bus.ns_per_word = 40.0;  // one ASIC cycle per memory-mapped word
+    return t;
+}
+
+}  // namespace lycos::hw

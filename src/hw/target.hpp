@@ -1,0 +1,61 @@
+// The co-processor target architecture (Figure 1): one processor, one
+// ASIC and a memory-mapped communication channel between them.
+//
+// The target must be fixed before partitioning: the processor model
+// gives software execution times, the ASIC model gives the total
+// hardware area that the pre-allocated data-path and the BSB
+// controllers must share, and the bus model prices HW/SW
+// communication.
+#pragma once
+
+#include <string>
+
+#include "hw/op.hpp"
+#include "hw/technology.hpp"
+
+namespace lycos::hw {
+
+/// Software side: a single embedded processor executing operations
+/// serially ("in software, operations are executed serially", §2).
+struct Processor_model {
+    std::string name = "risc32";
+    double clock_mhz = 50.0;          ///< processor clock
+    Per_op<int> cycles_per_op;        ///< cycles for one operation
+
+    /// Nanoseconds for one operation of kind `k`.
+    double op_ns(Op_kind k) const
+    {
+        return cycles_per_op[k] * 1e3 / clock_mhz;
+    }
+};
+
+/// Hardware side: the ASIC hosting the data-path and the controllers.
+struct Asic_model {
+    double clock_mhz = 25.0;   ///< ASIC clock
+    double total_area = 0.0;   ///< gate equivalents for data-path + controllers
+
+    /// Nanoseconds per ASIC cycle.
+    double cycle_ns() const { return 1e3 / clock_mhz; }
+};
+
+/// Memory-mapped HW/SW communication (the scheme §1 assumes).
+struct Bus_model {
+    double ns_per_word = 80.0;  ///< one word transferred CPU <-> ASIC
+};
+
+/// The complete pre-selected target architecture.
+struct Target {
+    Processor_model cpu;
+    Asic_model asic;
+    Bus_model bus;
+    Gate_areas gates;
+};
+
+/// A typical late-1990s co-design target: 50 MHz RISC core with a
+/// conventional software cycle table (multiplies and divides are
+/// multi-cycle), a 25 MHz ASIC and a default gate technology.
+/// `asic_area` is the total area available for data-path plus
+/// controllers.
+Target make_default_target(double asic_area);
+
+}  // namespace lycos::hw

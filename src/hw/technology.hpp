@@ -1,0 +1,33 @@
+// Gate-level technology description.
+//
+// The Estimated Controller Area formula of the paper (§4.2, from
+// Knudsen's thesis [6]) is expressed in terms of the areas of a
+// register, an and-gate, an or-gate and an inverter:
+//
+//     ECA = A_R + A_AG + A_OG + log2(N)*A_R + (N-1)*(A_IG + 2*A_AG)
+//
+// so the technology is captured as those four primitive areas.  All
+// areas in the library are in the same (arbitrary but consistent)
+// gate-equivalent unit.
+#pragma once
+
+namespace lycos::hw {
+
+/// Primitive cell areas in gate equivalents.
+///
+/// The defaults make controllers a *significant* fraction of the
+/// hardware, as in the paper (Table 1's Size column leaves 7%-38% of
+/// the used area to controllers): one controller "register" models the
+/// state register plus the per-state datapath control registers and
+/// multiplexer drivers it implies, so a 10-state controller costs on
+/// the order of an adder.
+struct Gate_areas {
+    double reg = 64.0;  ///< A_R  - state register (plus implied control regs)
+    double and2 = 8.0;  ///< A_AG - two-input and gate (decode slice)
+    double or2 = 8.0;   ///< A_OG - two-input or gate
+    double inv = 4.0;   ///< A_IG - inverter
+
+    friend bool operator==(const Gate_areas&, const Gate_areas&) = default;
+};
+
+}  // namespace lycos::hw

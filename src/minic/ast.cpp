@@ -1,0 +1,75 @@
+#include "minic/ast.hpp"
+
+namespace lycos::minic {
+
+std::unique_ptr<Expr> Expr::number(long v, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::number;
+    e->value = v;
+    e->line = line;
+    return e;
+}
+
+std::unique_ptr<Expr> Expr::var(std::string name, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::var;
+    e->name = std::move(name);
+    e->line = line;
+    return e;
+}
+
+std::unique_ptr<Expr> Expr::unary(hw::Op_kind op, std::unique_ptr<Expr> sub,
+                                  int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::unary;
+    e->op = op;
+    e->lhs = std::move(sub);
+    e->line = line;
+    return e;
+}
+
+std::unique_ptr<Expr> Expr::binary(hw::Op_kind op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::binary;
+    e->op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    e->line = line;
+    return e;
+}
+
+const Func* Program::find_func(std::string_view name) const
+{
+    for (const auto& f : funcs)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+std::size_t statement_count(const Block& b)
+{
+    std::size_t n = 0;
+    for (const auto& s : b.stmts) {
+        ++n;
+        switch (s->kind) {
+        case Stmt::Kind::if_:
+            n += statement_count(s->then_block);
+            n += statement_count(s->else_block);
+            break;
+        case Stmt::Kind::loop:
+        case Stmt::Kind::while_:
+            n += statement_count(s->body);
+            break;
+        default:
+            break;
+        }
+    }
+    return n;
+}
+
+}  // namespace lycos::minic

@@ -1,0 +1,110 @@
+// MiniC abstract syntax tree.
+//
+// The grammar (statements end with ';', blocks are brace-delimited):
+//
+//   program   := (func | statement)*
+//   func      := 'func' name '(' params? ')' block
+//   statement := name '=' expr ';'
+//              | name '(' args? ')' ';'                  (call, inlined)
+//              | 'if' '(' expr ')' ['prob' NUM] block ['else' block]
+//              | 'loop' NUM block                        (counted loop)
+//              | 'while' '(' expr ')' ['trip' NUM] block
+//              | 'wait' NUM ';'
+//              | 'input' name (',' name)* ';'
+//              | 'output' name (',' name)* ';'
+//   expr      := C-like precedence over
+//                || && | ^ & == != < <= > >= << >> + - * / % unary- !
+//
+// `prob p` annotates the probability (percent, 0..100) of taking the
+// then-branch; `trip N` the average iteration count of a while loop.
+// Both play the role of LYCOS's profiling information.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/op.hpp"
+
+namespace lycos::minic {
+
+/// Expression node.
+struct Expr {
+    enum class Kind { number, var, unary, binary };
+
+    Kind kind = Kind::number;
+    long value = 0;          ///< number
+    std::string name;        ///< var
+    hw::Op_kind op{};        ///< unary/binary operation
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;  ///< binary only
+    int line = 0;
+
+    static std::unique_ptr<Expr> number(long v, int line);
+    static std::unique_ptr<Expr> var(std::string name, int line);
+    static std::unique_ptr<Expr> unary(hw::Op_kind op, std::unique_ptr<Expr> e,
+                                       int line);
+    static std::unique_ptr<Expr> binary(hw::Op_kind op,
+                                        std::unique_ptr<Expr> l,
+                                        std::unique_ptr<Expr> r, int line);
+};
+
+struct Stmt;
+
+/// Brace-delimited statement list.
+struct Block {
+    std::vector<std::unique_ptr<Stmt>> stmts;
+};
+
+/// Statement node.
+struct Stmt {
+    enum class Kind { assign, call, if_, loop, while_, wait, input, output };
+
+    Kind kind = Kind::assign;
+    int line = 0;
+
+    // assign
+    std::string target;
+    std::unique_ptr<Expr> expr;  ///< assign value / if condition / while condition
+
+    // call
+    std::string callee;
+    std::vector<std::unique_ptr<Expr>> args;
+
+    // if
+    double p_true = 0.5;
+    Block then_block;
+    Block else_block;  ///< may be empty
+
+    // loop / while
+    double trips = 1.0;
+    Block body;
+
+    // wait
+    int wait_cycles = 0;
+
+    // input / output
+    std::vector<std::string> names;
+};
+
+/// Function definition (inlined at every call site during lowering).
+struct Func {
+    std::string name;
+    std::vector<std::string> params;
+    Block body;
+    int line = 0;
+};
+
+/// A parsed program: function definitions plus top-level statements.
+struct Program {
+    std::vector<Func> funcs;
+    Block main;
+
+    /// Find a function by name; nullptr when absent.
+    const Func* find_func(std::string_view name) const;
+};
+
+/// Count statements recursively (test helper / reporting).
+std::size_t statement_count(const Block& b);
+
+}  // namespace lycos::minic

@@ -1,0 +1,256 @@
+#include "minic/interp.hpp"
+
+#include <set>
+
+#include "minic/lexer.hpp"
+
+namespace lycos::minic {
+
+namespace {
+
+using hw::Op_kind;
+
+class Interpreter {
+public:
+    Interpreter(const Program& program,
+                const std::map<std::string, long long>& inputs,
+                long long max_steps)
+        : program_(program), max_steps_(max_steps)
+    {
+        for (const auto& [name, value] : inputs)
+            env_[name] = value;
+    }
+
+    Run_result run()
+    {
+        exec_block(program_.main);
+        Run_result out;
+        out.variables = env_;
+        for (const auto& name : outputs_)
+            out.outputs[name] = lookup(name);
+        out.loops = loops_;
+        out.branches = branches_;
+        out.steps = steps_;
+        return out;
+    }
+
+private:
+    long long lookup(const std::string& name) const
+    {
+        const auto it = env_.find(name);
+        return it == env_.end() ? 0 : it->second;
+    }
+
+    std::string resolve(const std::string& name) const
+    {
+        for (auto it = renames_.rbegin(); it != renames_.rend(); ++it)
+            for (const auto& p : it->func->params)
+                if (p == name)
+                    return it->prefix + "." + name;
+        return name;
+    }
+
+    long long eval(const Expr& e)
+    {
+        switch (e.kind) {
+        case Expr::Kind::number:
+            return e.value;
+        case Expr::Kind::var:
+            return lookup(resolve(e.name));
+        case Expr::Kind::unary: {
+            const long long v = eval(*e.lhs);
+            switch (e.op) {
+            case Op_kind::neg: return -v;
+            case Op_kind::log_not: return v == 0 ? 1 : 0;
+            default:
+                throw Eval_error("bad unary operator");
+            }
+        }
+        case Expr::Kind::binary: {
+            const long long a = eval(*e.lhs);
+            const long long b = eval(*e.rhs);
+            switch (e.op) {
+            case Op_kind::add: return a + b;
+            case Op_kind::sub: return a - b;
+            case Op_kind::mul: return a * b;
+            case Op_kind::div:
+                if (b == 0)
+                    throw Eval_error("division by zero at line " +
+                                     std::to_string(e.line));
+                return a / b;
+            case Op_kind::mod:
+                if (b == 0)
+                    throw Eval_error("modulo by zero at line " +
+                                     std::to_string(e.line));
+                return a % b;
+            case Op_kind::cmp_lt: return a < b ? 1 : 0;
+            case Op_kind::cmp_le: return a <= b ? 1 : 0;
+            case Op_kind::cmp_eq: return a == b ? 1 : 0;
+            case Op_kind::cmp_ne: return a != b ? 1 : 0;
+            case Op_kind::log_and: return (a != 0 && b != 0) ? 1 : 0;
+            case Op_kind::log_or: return (a != 0 || b != 0) ? 1 : 0;
+            case Op_kind::bit_and: return a & b;
+            case Op_kind::bit_or: return a | b;
+            case Op_kind::bit_xor: return a ^ b;
+            case Op_kind::shl: return a << (b & 63);
+            case Op_kind::shr: return a >> (b & 63);
+            default:
+                throw Eval_error("bad binary operator");
+            }
+        }
+        }
+        throw Eval_error("unreachable expression kind");
+    }
+
+    void tick()
+    {
+        if (++steps_ > max_steps_)
+            throw Eval_error("iteration budget exhausted (" +
+                             std::to_string(max_steps_) + " statements)");
+    }
+
+    void exec_block(const Block& b)
+    {
+        for (const auto& s : b.stmts)
+            exec_stmt(*s);
+    }
+
+    void exec_stmt(const Stmt& s)
+    {
+        tick();
+        switch (s.kind) {
+        case Stmt::Kind::assign:
+            env_[resolve(s.target)] = eval(*s.expr);
+            break;
+
+        case Stmt::Kind::input:
+            // Declarative; values were supplied up front.
+            break;
+
+        case Stmt::Kind::output:
+            for (const auto& n : s.names)
+                outputs_.insert(n);
+            break;
+
+        case Stmt::Kind::wait:
+            break;
+
+        case Stmt::Kind::loop: {
+            auto& stats = loops_[s.line];
+            ++stats.entries;
+            const auto n = static_cast<long long>(s.trips);
+            for (long long i = 0; i < n; ++i) {
+                ++stats.trips;
+                exec_block(s.body);
+            }
+            break;
+        }
+
+        case Stmt::Kind::while_: {
+            auto& stats = loops_[s.line];
+            ++stats.entries;
+            while (eval(*s.expr) != 0) {
+                tick();
+                ++stats.trips;
+                exec_block(s.body);
+            }
+            break;
+        }
+
+        case Stmt::Kind::if_: {
+            auto& stats = branches_[s.line];
+            ++stats.total;
+            if (eval(*s.expr) != 0) {
+                ++stats.taken;
+                exec_block(s.then_block);
+            }
+            else {
+                exec_block(s.else_block);
+            }
+            break;
+        }
+
+        case Stmt::Kind::call: {
+            const Func* f = program_.find_func(s.callee);
+            if (!f)
+                throw Eval_error("unknown function '" + s.callee + "'");
+            if (active_.contains(s.callee))
+                throw Eval_error("recursive call to '" + s.callee + "'");
+            for (std::size_t i = 0; i < s.args.size(); ++i)
+                env_[s.callee + "." + f->params[i]] = eval(*s.args[i]);
+            active_.insert(s.callee);
+            renames_.push_back({f, s.callee});
+            exec_block(f->body);
+            renames_.pop_back();
+            active_.erase(s.callee);
+            break;
+        }
+        }
+    }
+
+    struct Rename_frame {
+        const Func* func;
+        std::string prefix;
+    };
+
+    const Program& program_;
+    long long max_steps_;
+    long long steps_ = 0;
+    std::map<std::string, long long> env_;
+    std::set<std::string> outputs_;
+    std::map<int, Loop_stats> loops_;
+    std::map<int, Branch_stats> branches_;
+    std::set<std::string> active_;
+    std::vector<Rename_frame> renames_;
+};
+
+int annotate_block(Block& b, const Run_result& result)
+{
+    int updated = 0;
+    for (auto& s : b.stmts) {
+        switch (s->kind) {
+        case Stmt::Kind::loop:
+        case Stmt::Kind::while_: {
+            const auto it = result.loops.find(s->line);
+            if (it != result.loops.end() && it->second.entries > 0) {
+                s->trips = it->second.mean_trips();
+                ++updated;
+            }
+            updated += annotate_block(s->body, result);
+            break;
+        }
+        case Stmt::Kind::if_: {
+            const auto it = result.branches.find(s->line);
+            if (it != result.branches.end() && it->second.total > 0) {
+                s->p_true = it->second.p_true();
+                ++updated;
+            }
+            updated += annotate_block(s->then_block, result);
+            updated += annotate_block(s->else_block, result);
+            break;
+        }
+        default:
+            break;
+        }
+    }
+    return updated;
+}
+
+}  // namespace
+
+Run_result run(const Program& program,
+               const std::map<std::string, long long>& inputs,
+               long long max_steps)
+{
+    return Interpreter(program, inputs, max_steps).run();
+}
+
+int annotate_from_run(Program& program, const Run_result& result)
+{
+    int updated = annotate_block(program.main, result);
+    for (auto& f : program.funcs)
+        updated += annotate_block(f.body, result);
+    return updated;
+}
+
+}  // namespace lycos::minic

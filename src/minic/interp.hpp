@@ -1,0 +1,85 @@
+// MiniC interpreter and dynamic profiler.
+//
+// The allocation algorithm consumes "profiling information" (p_k of
+// Definition 2).  LYCOS measured it by executing the application; the
+// `trip`/`prob` annotations in MiniC sources stand in for those
+// measurements.  This module closes the loop: it *executes* a MiniC
+// program on concrete inputs, records how often every loop iterates
+// and every branch is taken, and can write the measured numbers back
+// into the AST — after which lowering produces measured, not assumed,
+// BSB profiles.
+//
+// Semantics: 64-bit signed integers, C-like operators (division
+// truncates toward zero; division by zero raises Eval_error), all
+// variables global except function parameters (spelled "callee.param",
+// matching the lowering), counted loops run exactly their trip count,
+// while loops run until their condition is false (bounded by
+// `max_steps` to catch runaway programs).
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace lycos::minic {
+
+/// Raised on runtime errors (division by zero, missing input,
+/// iteration-budget exhaustion).
+class Eval_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Dynamic counts for one loop or branch statement, keyed by the
+/// statement's source line (unique per construct).
+struct Loop_stats {
+    long long entries = 0;  ///< times the loop statement was reached
+    long long trips = 0;    ///< total body iterations over all entries
+
+    double mean_trips() const
+    {
+        return entries == 0 ? 0.0
+                            : static_cast<double>(trips) /
+                                  static_cast<double>(entries);
+    }
+};
+
+struct Branch_stats {
+    long long total = 0;  ///< times the condition was evaluated
+    long long taken = 0;  ///< times the then-branch ran
+
+    double p_true() const
+    {
+        return total == 0 ? 0.5
+                          : static_cast<double>(taken) /
+                                static_cast<double>(total);
+    }
+};
+
+/// Everything one execution produces.
+struct Run_result {
+    std::map<std::string, long long> variables;  ///< final variable values
+    std::map<std::string, long long> outputs;    ///< declared outputs only
+    std::map<int, Loop_stats> loops;             ///< keyed by statement line
+    std::map<int, Branch_stats> branches;        ///< keyed by statement line
+    long long steps = 0;                         ///< statements executed
+};
+
+/// Execute `program` with the given input values.  Inputs not supplied
+/// default to 0; reading a never-written non-input variable also
+/// yields 0 (MiniC variables are implicitly zero-initialized).
+/// Throws Eval_error on division by zero or when more than
+/// `max_steps` statements execute.
+Run_result run(const Program& program,
+               const std::map<std::string, long long>& inputs = {},
+               long long max_steps = 10'000'000);
+
+/// Overwrite the `trip` and `prob` annotations of `program` with the
+/// measured statistics of `result` (loops/branches never reached keep
+/// their annotations).  Returns the number of annotations updated.
+int annotate_from_run(Program& program, const Run_result& result);
+
+}  // namespace lycos::minic

@@ -1,0 +1,172 @@
+#include "minic/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace lycos::minic {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> k_keywords = {
+    "func", "if", "else", "prob", "loop",
+    "while", "trip", "wait", "input", "output",
+};
+
+/// Multi-character operators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 10> k_multi_ops = {
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "/*", "//",
+};
+
+constexpr std::string_view k_single_ops = "+-*/%<>=!&|^(){},;";
+
+}  // namespace
+
+bool is_keyword(std::string_view word)
+{
+    for (auto k : k_keywords)
+        if (k == word)
+            return true;
+    return false;
+}
+
+std::vector<Token> tokenize(std::string_view source)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+
+    const auto peek2 = [&]() -> std::string_view {
+        return source.substr(i, 2);
+    };
+
+    while (i < source.size()) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (peek2() == "//") {
+            while (i < source.size() && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (peek2() == "/*") {
+            const int open_line = line;
+            i += 2;
+            while (i < source.size() && peek2() != "*/") {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= source.size())
+                throw Parse_error("unterminated /* comment", open_line);
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            long value = 0;
+            const std::size_t start = i;
+            while (i < source.size() &&
+                   std::isdigit(static_cast<unsigned char>(source[i]))) {
+                value = value * 10 + (source[i] - '0');
+                ++i;
+            }
+            if (i < source.size() &&
+                (std::isalpha(static_cast<unsigned char>(source[i])) ||
+                 source[i] == '_'))
+                throw Parse_error("malformed number", line);
+            Token t;
+            t.kind = Token_kind::number;
+            t.text = std::string(source.substr(start, i - start));
+            t.value = value;
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            const std::size_t start = i;
+            while (i < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_'))
+                ++i;
+            Token t;
+            t.text = std::string(source.substr(start, i - start));
+            t.kind = is_keyword(t.text) ? Token_kind::keyword
+                                        : Token_kind::identifier;
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Multi-character operators (comments were handled above).
+        bool matched = false;
+        for (auto op : k_multi_ops) {
+            if (op == "//" || op == "/*")
+                continue;
+            if (source.substr(i, op.size()) == op) {
+                out.push_back(Token{Token_kind::punct, std::string(op), 0, line});
+                i += op.size();
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        if (k_single_ops.find(c) != std::string_view::npos) {
+            out.push_back(Token{Token_kind::punct, std::string(1, c), 0, line});
+            ++i;
+            continue;
+        }
+        throw Parse_error(std::string("unexpected character '") + c + "'", line);
+    }
+
+    out.push_back(Token{Token_kind::eof, "", 0, line});
+    return out;
+}
+
+int count_code_lines(std::string_view source)
+{
+    int count = 0;
+    bool in_block_comment = false;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        const std::size_t nl = source.find('\n', pos);
+        const std::string_view text =
+            source.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+
+        bool has_code = false;
+        for (std::size_t k = 0; k < text.size(); ++k) {
+            if (in_block_comment) {
+                if (text.substr(k, 2) == "*/") {
+                    in_block_comment = false;
+                    ++k;
+                }
+                continue;
+            }
+            if (text.substr(k, 2) == "//")
+                break;
+            if (text.substr(k, 2) == "/*") {
+                in_block_comment = true;
+                ++k;
+                continue;
+            }
+            if (!std::isspace(static_cast<unsigned char>(text[k])))
+                has_code = true;
+        }
+        if (has_code)
+            ++count;
+        if (nl == std::string_view::npos)
+            break;
+        pos = nl + 1;
+    }
+    return count;
+}
+
+}  // namespace lycos::minic

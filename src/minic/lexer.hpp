@@ -1,0 +1,64 @@
+// MiniC lexer.
+//
+// MiniC is the small C-like input language of this reproduction (the
+// paper's applications arrive "in VHDL or C"; MiniC plays that role so
+// the benchmark applications exist as genuine source programs).  The
+// lexer turns source text into a token stream with line information
+// for error messages.
+//
+// Tokens: identifiers, integer literals, the operator/punctuation set
+// of the expression grammar, and the keywords
+//   func if else prob loop while trip wait input output
+// Comments: // to end of line and /* ... */.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lycos::minic {
+
+/// Token categories.
+enum class Token_kind {
+    identifier,
+    number,
+    keyword,
+    punct,   ///< operators and punctuation, spelling in `text`
+    eof,
+};
+
+/// One token.
+struct Token {
+    Token_kind kind = Token_kind::eof;
+    std::string text;   ///< spelling (identifier name, keyword, operator)
+    long value = 0;     ///< numeric value for Token_kind::number
+    int line = 0;       ///< 1-based source line
+};
+
+/// Error raised by the lexer and parser, carrying the source line.
+class Parse_error : public std::runtime_error {
+public:
+    Parse_error(const std::string& message, int line)
+        : std::runtime_error("line " + std::to_string(line) + ": " + message),
+          line_(line)
+    {
+    }
+    int line() const { return line_; }
+
+private:
+    int line_;
+};
+
+/// Tokenize the whole source.  The result always ends with an eof
+/// token.  Throws Parse_error on malformed input.
+std::vector<Token> tokenize(std::string_view source);
+
+/// True if `word` is a MiniC keyword.
+bool is_keyword(std::string_view word);
+
+/// Number of source lines (for the paper's "Lines" column): lines that
+/// contain anything other than whitespace or comments.
+int count_code_lines(std::string_view source);
+
+}  // namespace lycos::minic

@@ -1,0 +1,368 @@
+#include "minic/lower.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+
+namespace lycos::minic {
+
+namespace {
+
+using hw::Op_kind;
+
+/// A basic block under construction.
+struct Block_builder {
+    dfg::Dfg graph;
+    std::map<std::string, dfg::Op_id> env;  ///< var -> defining op
+    std::map<std::string, std::string> alias;  ///< var -> live-in it renames
+    std::map<long, dfg::Op_id> const_vn;    ///< literal -> const_load op
+    std::set<std::string> reads;            ///< all vars read
+    std::set<std::string> read_before_write;
+    std::vector<std::string> written;       ///< in first-write order
+    std::set<std::string> written_set;
+
+    bool empty() const { return graph.empty(); }
+};
+
+/// Liveness record for one emitted leaf.
+struct Leaf_record {
+    cdfg::Node_id leaf;
+    std::set<std::string> reads;
+    std::set<std::string> read_before_write;
+    std::set<std::string> written;
+};
+
+class Lowerer {
+public:
+    explicit Lowerer(const Program& program) : program_(program) {}
+
+    cdfg::Cdfg run()
+    {
+        seq_stack_.push_back(graph_.root());
+        lower_block(program_.main);
+        flush();
+        resolve_liveness();
+        return std::move(graph_);
+    }
+
+private:
+    // --- expression lowering into the current block ----------------
+
+    /// Lower an expression; returns the producing op, or nullopt when
+    /// the value comes from outside the block (a plain variable read).
+    std::optional<dfg::Op_id> lower_expr(const Expr& e)
+    {
+        switch (e.kind) {
+        case Expr::Kind::number: {
+            const auto it = block_.const_vn.find(e.value);
+            if (it != block_.const_vn.end())
+                return it->second;
+            const auto id = block_.graph.add_op(
+                Op_kind::const_load, "#" + std::to_string(e.value));
+            block_.const_vn.emplace(e.value, id);
+            return id;
+        }
+        case Expr::Kind::var: {
+            std::string name = resolve(e.name);
+            const auto it = block_.env.find(name);
+            if (it != block_.env.end()) {
+                block_.reads.insert(name);
+                return it->second;
+            }
+            // A rename of a live-in reads the original value (the
+            // rename itself is a register transfer, not an operation).
+            const auto al = block_.alias.find(name);
+            if (al != block_.alias.end())
+                name = al->second;
+            block_.reads.insert(name);
+            if (!block_.written_set.contains(name))
+                block_.read_before_write.insert(name);
+            return std::nullopt;  // live-in
+        }
+        case Expr::Kind::unary: {
+            const auto sub = lower_expr(*e.lhs);
+            const auto id = block_.graph.add_op(e.op);
+            if (sub)
+                block_.graph.add_edge(*sub, id);
+            return id;
+        }
+        case Expr::Kind::binary: {
+            const auto l = lower_expr(*e.lhs);
+            const auto r = lower_expr(*e.rhs);
+            const auto id = block_.graph.add_op(e.op);
+            if (l)
+                block_.graph.add_edge(*l, id);
+            if (r)
+                block_.graph.add_edge(*r, id);
+            return id;
+        }
+        }
+        throw Parse_error("unreachable expression kind", e.line);
+    }
+
+    void lower_assign(const std::string& raw_target, const Expr& value)
+    {
+        const std::string target = resolve(raw_target);
+        const auto producer = lower_expr(value);
+        if (producer) {
+            block_.env[target] = *producer;
+            block_.alias.erase(target);
+        }
+        else {
+            // x = y with y from outside the block: a pure rename (a
+            // register transfer); x becomes an alias of the live-in y.
+            // The entry value of y is what x denotes, so y joins the
+            // read set now (before any later in-block redefinition).
+            std::string source = resolve(value.name);
+            const auto al = block_.alias.find(source);
+            if (al != block_.alias.end())
+                source = al->second;
+            block_.reads.insert(source);
+            if (!block_.written_set.contains(source))
+                block_.read_before_write.insert(source);
+            block_.alias[target] = source;
+            block_.env.erase(target);
+        }
+        if (!block_.written_set.contains(target)) {
+            block_.written_set.insert(target);
+            block_.written.push_back(target);
+        }
+    }
+
+    // --- block / statement lowering ---------------------------------
+
+    cdfg::Node_id current_seq() const { return seq_stack_.back(); }
+
+    /// Emit the current basic block (if any) as a leaf.
+    void flush()
+    {
+        if (block_.empty()) {
+            block_ = Block_builder{};
+            return;
+        }
+        const std::string name = "B" + std::to_string(++leaf_counter_);
+        const auto leaf =
+            graph_.add_leaf(current_seq(), std::move(block_.graph), name);
+        records_.push_back(Leaf_record{leaf, std::move(block_.reads),
+                                       std::move(block_.read_before_write),
+                                       std::move(block_.written_set)});
+        block_ = Block_builder{};
+    }
+
+    /// Lower an expression into a *test* leaf (loop/cond tests get
+    /// their own DFG, Figure 4).
+    void fill_test(cdfg::Node_id test_leaf, const Expr& cond)
+    {
+        Block_builder saved = std::move(block_);
+        block_ = Block_builder{};
+        (void)lower_expr(cond);
+        graph_.leaf_graph(test_leaf) = std::move(block_.graph);
+        records_.push_back(Leaf_record{test_leaf, std::move(block_.reads),
+                                       std::move(block_.read_before_write),
+                                       std::move(block_.written_set)});
+        block_ = std::move(saved);
+    }
+
+    /// Synthesize the implicit `i < N` test of a counted loop: the
+    /// counter increments and compares against the bound.
+    void fill_counted_test(cdfg::Node_id test_leaf, long bound,
+                           const std::string& counter)
+    {
+        Block_builder saved = std::move(block_);
+        block_ = Block_builder{};
+        const auto one = lower_expr(*Expr::number(1, 0));
+        const auto inc = block_.graph.add_op(Op_kind::add, counter + "+1");
+        block_.graph.add_edge(*one, inc);
+        block_.reads.insert(counter);
+        block_.read_before_write.insert(counter);
+        const auto lim = lower_expr(*Expr::number(bound, 0));
+        const auto cmp = block_.graph.add_op(Op_kind::cmp_lt);
+        block_.graph.add_edge(inc, cmp);
+        block_.graph.add_edge(*lim, cmp);
+        block_.env[counter] = inc;
+        block_.written_set.insert(counter);
+        graph_.leaf_graph(test_leaf) = std::move(block_.graph);
+        records_.push_back(Leaf_record{test_leaf, std::move(block_.reads),
+                                       std::move(block_.read_before_write),
+                                       std::move(block_.written_set)});
+        block_ = std::move(saved);
+    }
+
+    void lower_block(const Block& b)
+    {
+        for (const auto& s : b.stmts)
+            lower_stmt(*s);
+    }
+
+    void lower_stmt(const Stmt& s)
+    {
+        switch (s.kind) {
+        case Stmt::Kind::assign:
+            lower_assign(s.target, *s.expr);
+            break;
+
+        case Stmt::Kind::input:
+            for (const auto& n : s.names)
+                inputs_.insert(n);
+            break;
+
+        case Stmt::Kind::output:
+            for (const auto& n : s.names)
+                outputs_.insert(n);
+            break;
+
+        case Stmt::Kind::wait:
+            flush();
+            graph_.add_wait(current_seq(), s.wait_cycles,
+                            "wait" + std::to_string(s.line));
+            break;
+
+        case Stmt::Kind::loop: {
+            flush();
+            const std::string name = "loop" + std::to_string(s.line);
+            const auto loop = graph_.add_loop(current_seq(), s.trips, name);
+            fill_counted_test(graph_.loop_test(loop),
+                              static_cast<long>(s.trips), "$" + name + ".i");
+            seq_stack_.push_back(graph_.loop_body(loop));
+            lower_block(s.body);
+            flush();
+            seq_stack_.pop_back();
+            break;
+        }
+
+        case Stmt::Kind::while_: {
+            flush();
+            const std::string name = "while" + std::to_string(s.line);
+            const auto loop = graph_.add_loop(current_seq(), s.trips, name);
+            fill_test(graph_.loop_test(loop), *s.expr);
+            seq_stack_.push_back(graph_.loop_body(loop));
+            lower_block(s.body);
+            flush();
+            seq_stack_.pop_back();
+            break;
+        }
+
+        case Stmt::Kind::if_: {
+            flush();
+            const std::string name = "if" + std::to_string(s.line);
+            const auto cond = graph_.add_cond(current_seq(), s.p_true, name);
+            fill_test(graph_.cond_test(cond), *s.expr);
+            seq_stack_.push_back(graph_.cond_then(cond));
+            lower_block(s.then_block);
+            flush();
+            seq_stack_.pop_back();
+            seq_stack_.push_back(graph_.cond_else(cond));
+            lower_block(s.else_block);
+            flush();
+            seq_stack_.pop_back();
+            break;
+        }
+
+        case Stmt::Kind::call:
+            lower_call(s);
+            break;
+        }
+    }
+
+    void lower_call(const Stmt& s)
+    {
+        const Func* f = program_.find_func(s.callee);
+        if (!f)
+            throw Parse_error("unknown function '" + s.callee + "'", s.line);
+        if (active_funcs_.contains(s.callee))
+            throw Parse_error("recursive call to '" + s.callee + "'", s.line);
+        if (s.args.size() != f->params.size())
+            throw Parse_error("wrong argument count for '" + s.callee + "'",
+                              s.line);
+
+        // Parameter binding happens in the caller's current block.
+        for (std::size_t i = 0; i < s.args.size(); ++i)
+            lower_assign(s.callee + "." + f->params[i], *s.args[i]);
+        flush();
+
+        const auto fu = graph_.add_func(current_seq(), s.callee);
+        seq_stack_.push_back(graph_.func_body(fu));
+        active_funcs_.insert(s.callee);
+        renames_.push_back({f, s.callee});
+        lower_block(f->body);
+        flush();
+        renames_.pop_back();
+        active_funcs_.erase(s.callee);
+        seq_stack_.pop_back();
+    }
+
+    /// Parameter renaming: inside a function body, parameter names
+    /// resolve to "callee.param".  Other names are global.
+    std::string resolve(const std::string& name) const
+    {
+        for (auto it = renames_.rbegin(); it != renames_.rend(); ++it) {
+            for (const auto& p : it->func->params)
+                if (p == name)
+                    return it->prefix + "." + name;
+        }
+        return name;
+    }
+
+    // --- liveness ----------------------------------------------------
+
+    void resolve_liveness()
+    {
+        for (const auto& rec : records_) {
+            auto& g = graph_.leaf_graph(rec.leaf);
+            for (const auto& v : rec.read_before_write)
+                g.add_live_in(v);
+            for (const auto& w : rec.written) {
+                bool live = outputs_.contains(w) ||
+                            rec.read_before_write.contains(w);  // loop-carried
+                if (!live) {
+                    for (const auto& other : records_) {
+                        if (&other == &rec)
+                            continue;
+                        if (other.reads.contains(w)) {
+                            live = true;
+                            break;
+                        }
+                    }
+                }
+                if (live)
+                    g.add_live_out(w);
+            }
+        }
+    }
+
+    struct Rename_frame {
+        const Func* func;
+        std::string prefix;
+    };
+
+    const Program& program_;
+    cdfg::Cdfg graph_;
+    std::vector<cdfg::Node_id> seq_stack_;
+    Block_builder block_;
+    std::vector<Leaf_record> records_;
+    std::set<std::string> inputs_;
+    std::set<std::string> outputs_;
+    std::set<std::string> active_funcs_;
+    std::vector<Rename_frame> renames_;
+    int leaf_counter_ = 0;
+};
+
+}  // namespace
+
+cdfg::Cdfg lower(const Program& program)
+{
+    return Lowerer(program).run();
+}
+
+cdfg::Cdfg compile(std::string_view source)
+{
+    const Program prog = parse(source);
+    return lower(prog);
+}
+
+}  // namespace lycos::minic

@@ -1,0 +1,32 @@
+// Lowering MiniC to a CDFG.
+//
+// Straight-line statement runs become leaf DFGs (the basic blocks /
+// leaf BSBs); control constructs become loop, conditional and wait
+// nodes; function calls are inlined under functional-hierarchy nodes
+// (recursion is rejected).  Within a basic block, expressions are
+// value-numbered: integer literals become const_load operations
+// (shared per distinct literal), variable definitions connect to their
+// uses with data-dependency edges, and reads of values defined outside
+// the block become live-ins.
+//
+// Liveness across blocks is resolved in a second pass: a variable
+// written by block B becomes a live-out of B iff some other block
+// reads it, it is read-before-written in B itself (loop-carried), or
+// it is declared `output`.
+#pragma once
+
+#include <string_view>
+
+#include "cdfg/cdfg.hpp"
+#include "minic/ast.hpp"
+
+namespace lycos::minic {
+
+/// Lower a parsed program.  Throws Parse_error on semantic errors
+/// (unknown function, recursive call, wrong arity).
+cdfg::Cdfg lower(const Program& program);
+
+/// Convenience: parse + lower.
+cdfg::Cdfg compile(std::string_view source);
+
+}  // namespace lycos::minic

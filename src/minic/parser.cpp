@@ -1,0 +1,415 @@
+#include "minic/parser.hpp"
+
+#include <utility>
+
+namespace lycos::minic {
+
+namespace {
+
+using hw::Op_kind;
+
+class Parser {
+public:
+    explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+    Program parse_program()
+    {
+        Program prog;
+        while (!at_eof()) {
+            if (peek_keyword("func"))
+                prog.funcs.push_back(parse_func());
+            else
+                prog.main.stmts.push_back(parse_statement());
+        }
+        return prog;
+    }
+
+private:
+    // --- token helpers --------------------------------------------
+
+    const Token& peek() const { return tokens_[pos_]; }
+    const Token& peek_ahead() const
+    {
+        return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+    }
+    bool at_eof() const { return peek().kind == Token_kind::eof; }
+
+    Token advance() { return tokens_[pos_++]; }
+
+    bool peek_keyword(std::string_view kw) const
+    {
+        return peek().kind == Token_kind::keyword && peek().text == kw;
+    }
+
+    bool peek_punct(std::string_view p) const
+    {
+        return peek().kind == Token_kind::punct && peek().text == p;
+    }
+
+    bool accept_punct(std::string_view p)
+    {
+        if (!peek_punct(p))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool accept_keyword(std::string_view kw)
+    {
+        if (!peek_keyword(kw))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void expect_punct(std::string_view p)
+    {
+        if (!accept_punct(p))
+            throw Parse_error("expected '" + std::string(p) + "' before '" +
+                                  peek().text + "'",
+                              peek().line);
+    }
+
+    std::string expect_identifier(const char* what)
+    {
+        if (peek().kind != Token_kind::identifier)
+            throw Parse_error(std::string("expected ") + what, peek().line);
+        return advance().text;
+    }
+
+    long expect_number(const char* what)
+    {
+        if (peek().kind != Token_kind::number)
+            throw Parse_error(std::string("expected ") + what, peek().line);
+        return advance().value;
+    }
+
+    // --- grammar --------------------------------------------------
+
+    Func parse_func()
+    {
+        Func f;
+        f.line = peek().line;
+        accept_keyword("func");
+        f.name = expect_identifier("function name");
+        expect_punct("(");
+        if (!peek_punct(")")) {
+            f.params.push_back(expect_identifier("parameter name"));
+            while (accept_punct(","))
+                f.params.push_back(expect_identifier("parameter name"));
+        }
+        expect_punct(")");
+        f.body = parse_block();
+        return f;
+    }
+
+    Block parse_block()
+    {
+        expect_punct("{");
+        Block b;
+        while (!peek_punct("}")) {
+            if (at_eof())
+                throw Parse_error("unterminated block", peek().line);
+            b.stmts.push_back(parse_statement());
+        }
+        expect_punct("}");
+        return b;
+    }
+
+    std::unique_ptr<Stmt> parse_statement()
+    {
+        const int line = peek().line;
+        auto s = std::make_unique<Stmt>();
+        s->line = line;
+
+        if (accept_keyword("if")) {
+            s->kind = Stmt::Kind::if_;
+            expect_punct("(");
+            s->expr = parse_expr();
+            expect_punct(")");
+            if (accept_keyword("prob")) {
+                const long pct = expect_number("probability percent");
+                if (pct < 0 || pct > 100)
+                    throw Parse_error("prob must be 0..100", line);
+                s->p_true = static_cast<double>(pct) / 100.0;
+            }
+            s->then_block = parse_block();
+            if (accept_keyword("else"))
+                s->else_block = parse_block();
+            return s;
+        }
+        if (accept_keyword("loop")) {
+            s->kind = Stmt::Kind::loop;
+            s->trips = static_cast<double>(expect_number("loop trip count"));
+            s->body = parse_block();
+            return s;
+        }
+        if (accept_keyword("while")) {
+            s->kind = Stmt::Kind::while_;
+            expect_punct("(");
+            s->expr = parse_expr();
+            expect_punct(")");
+            s->trips = 1.0;
+            if (accept_keyword("trip"))
+                s->trips = static_cast<double>(expect_number("trip count"));
+            s->body = parse_block();
+            return s;
+        }
+        if (accept_keyword("wait")) {
+            s->kind = Stmt::Kind::wait;
+            s->wait_cycles = static_cast<int>(expect_number("wait cycles"));
+            expect_punct(";");
+            return s;
+        }
+        if (peek_keyword("input") || peek_keyword("output")) {
+            const bool is_input = peek().text == "input";
+            advance();
+            s->kind = is_input ? Stmt::Kind::input : Stmt::Kind::output;
+            s->names.push_back(expect_identifier("variable name"));
+            while (accept_punct(","))
+                s->names.push_back(expect_identifier("variable name"));
+            expect_punct(";");
+            return s;
+        }
+
+        // assignment or call
+        const std::string name = expect_identifier("statement");
+        if (accept_punct("=")) {
+            s->kind = Stmt::Kind::assign;
+            s->target = name;
+            s->expr = parse_expr();
+            expect_punct(";");
+            return s;
+        }
+        if (accept_punct("(")) {
+            s->kind = Stmt::Kind::call;
+            s->callee = name;
+            if (!peek_punct(")")) {
+                s->args.push_back(parse_expr());
+                while (accept_punct(","))
+                    s->args.push_back(parse_expr());
+            }
+            expect_punct(")");
+            expect_punct(";");
+            return s;
+        }
+        throw Parse_error("expected '=' or '(' after identifier", line);
+    }
+
+    // Expression precedence, loosest first.
+    std::unique_ptr<Expr> parse_expr() { return parse_or(); }
+
+    std::unique_ptr<Expr> parse_or()
+    {
+        auto e = parse_and();
+        while (peek_punct("||")) {
+            const int line = advance().line;
+            e = Expr::binary(Op_kind::log_or, std::move(e), parse_and(), line);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> parse_and()
+    {
+        auto e = parse_bit_or();
+        while (peek_punct("&&")) {
+            const int line = advance().line;
+            e = Expr::binary(Op_kind::log_and, std::move(e), parse_bit_or(),
+                             line);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> parse_bit_or()
+    {
+        auto e = parse_bit_xor();
+        while (peek_punct("|")) {
+            const int line = advance().line;
+            e = Expr::binary(Op_kind::bit_or, std::move(e), parse_bit_xor(),
+                             line);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> parse_bit_xor()
+    {
+        auto e = parse_bit_and();
+        while (peek_punct("^")) {
+            const int line = advance().line;
+            e = Expr::binary(Op_kind::bit_xor, std::move(e), parse_bit_and(),
+                             line);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> parse_bit_and()
+    {
+        auto e = parse_equality();
+        while (peek_punct("&")) {
+            const int line = advance().line;
+            e = Expr::binary(Op_kind::bit_and, std::move(e), parse_equality(),
+                             line);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> parse_equality()
+    {
+        auto e = parse_relational();
+        for (;;) {
+            if (peek_punct("==")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_eq, std::move(e),
+                                 parse_relational(), line);
+            }
+            else if (peek_punct("!=")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_ne, std::move(e),
+                                 parse_relational(), line);
+            }
+            else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parse_relational()
+    {
+        auto e = parse_shift();
+        for (;;) {
+            if (peek_punct("<")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_lt, std::move(e), parse_shift(),
+                                 line);
+            }
+            else if (peek_punct("<=")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_le, std::move(e), parse_shift(),
+                                 line);
+            }
+            else if (peek_punct(">")) {
+                // a > b  ==  b < a
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_lt, parse_shift(), std::move(e),
+                                 line);
+            }
+            else if (peek_punct(">=")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::cmp_le, parse_shift(), std::move(e),
+                                 line);
+            }
+            else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parse_shift()
+    {
+        auto e = parse_additive();
+        for (;;) {
+            if (peek_punct("<<")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::shl, std::move(e), parse_additive(),
+                                 line);
+            }
+            else if (peek_punct(">>")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::shr, std::move(e), parse_additive(),
+                                 line);
+            }
+            else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parse_additive()
+    {
+        auto e = parse_multiplicative();
+        for (;;) {
+            if (peek_punct("+")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::add, std::move(e),
+                                 parse_multiplicative(), line);
+            }
+            else if (peek_punct("-")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::sub, std::move(e),
+                                 parse_multiplicative(), line);
+            }
+            else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parse_multiplicative()
+    {
+        auto e = parse_unary();
+        for (;;) {
+            if (peek_punct("*")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::mul, std::move(e), parse_unary(),
+                                 line);
+            }
+            else if (peek_punct("/")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::div, std::move(e), parse_unary(),
+                                 line);
+            }
+            else if (peek_punct("%")) {
+                const int line = advance().line;
+                e = Expr::binary(Op_kind::mod, std::move(e), parse_unary(),
+                                 line);
+            }
+            else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parse_unary()
+    {
+        if (peek_punct("-")) {
+            const int line = advance().line;
+            return Expr::unary(Op_kind::neg, parse_unary(), line);
+        }
+        if (peek_punct("!")) {
+            const int line = advance().line;
+            return Expr::unary(Op_kind::log_not, parse_unary(), line);
+        }
+        return parse_primary();
+    }
+
+    std::unique_ptr<Expr> parse_primary()
+    {
+        if (peek().kind == Token_kind::number) {
+            const Token t = advance();
+            return Expr::number(t.value, t.line);
+        }
+        if (peek().kind == Token_kind::identifier) {
+            const Token t = advance();
+            return Expr::var(t.text, t.line);
+        }
+        if (accept_punct("(")) {
+            auto e = parse_expr();
+            expect_punct(")");
+            return e;
+        }
+        throw Parse_error("expected expression before '" + peek().text + "'",
+                          peek().line);
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source)
+{
+    return Parser(source).parse_program();
+}
+
+}  // namespace lycos::minic

@@ -1,0 +1,15 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "minic/ast.hpp"
+#include "minic/lexer.hpp"
+
+namespace lycos::minic {
+
+/// Parse MiniC source into a Program.  Throws Parse_error with the
+/// offending line on syntax errors.
+Program parse(std::string_view source);
+
+}  // namespace lycos::minic

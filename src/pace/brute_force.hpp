@@ -1,0 +1,20 @@
+// Exact exponential partitioner.
+//
+// Enumerates all 2^L partitions and evaluates each with the exact
+// (non-discretized) timing and area model.  Used to cross-validate the
+// PACE dynamic program in tests and for the tiny instances of the
+// ablation benches.  L is limited to 24.
+#pragma once
+
+#include <span>
+
+#include "pace/pace.hpp"
+
+namespace lycos::pace {
+
+/// Optimal partition by exhaustive enumeration.  Throws
+/// std::invalid_argument for more than 24 BSBs.
+Pace_result brute_force_partition(std::span<const Bsb_cost> costs,
+                                  double ctrl_area_budget);
+
+}  // namespace lycos::pace

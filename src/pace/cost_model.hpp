@@ -1,0 +1,58 @@
+// BSB cost model for partitioning.
+//
+// PACE decides, for each leaf BSB, whether it runs in software or in
+// hardware on the pre-allocated data-path.  This module condenses a
+// BSB array plus a candidate data-path allocation into the per-BSB
+// numbers the dynamic program consumes:
+//
+//   t_sw       profile-weighted software time,
+//   t_hw       profile-weighted hardware time under the allocation
+//              (+inf when the allocation cannot execute the BSB),
+//   comm       profile-weighted bus time for the BSB's read/write sets,
+//   save_prev  bus time saved when the previous BSB is also in HW,
+//   ctrl_area  controller area charged when the BSB moves to HW.
+//
+// Controller areas come in two flavours (§5.1): the optimistic ECA the
+// allocator used, or the "real" area from the list schedule under the
+// actual allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsb/bsb.hpp"
+#include "core/analysis.hpp"
+#include "core/rmap.hpp"
+#include "estimate/storage.hpp"
+#include "hw/target.hpp"
+
+namespace lycos::pace {
+
+/// Which controller-area estimate the partitioner charges.
+enum class Controller_mode {
+    optimistic_eca,  ///< ASAP-length-based ECA (what the paper's flow uses)
+    list_schedule,   ///< real area from the resource-constrained schedule
+};
+
+/// Per-BSB partitioning costs (see file comment).
+struct Bsb_cost {
+    double t_sw = 0.0;
+    double t_hw = 0.0;  ///< +inf when infeasible under the allocation
+    double comm = 0.0;
+    double save_prev = 0.0;
+    double ctrl_area = 0.0;
+};
+
+/// Build the cost vector for `bsbs` under data-path `alloc`.  When
+/// `storage` is non-null, each hardware BSB is additionally charged
+/// its estimated register and multiplexer area (§6 future work; the
+/// paper's base flow ignores both).
+std::vector<Bsb_cost> build_cost_model(
+    std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
+    const hw::Target& target, const core::Rmap& alloc, Controller_mode mode,
+    const estimate::Storage_model* storage = nullptr);
+
+/// Total all-software execution time of the application.
+double all_sw_time_ns(std::span<const Bsb_cost> costs);
+
+}  // namespace lycos::pace

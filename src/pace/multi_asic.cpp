@@ -1,0 +1,212 @@
+#include "pace/multi_asic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace lycos::pace {
+
+namespace {
+
+constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+double hw_gain(double t_sw, const Bsb_cost& c)
+{
+    return t_sw - c.t_hw - c.comm;
+}
+
+}  // namespace
+
+std::vector<Multi_bsb_cost> build_multi_cost_model(
+    std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
+    const hw::Target& target, const core::Rmap& alloc0,
+    const core::Rmap& alloc1, Controller_mode mode)
+{
+    const auto c0 = build_cost_model(bsbs, lib, target, alloc0, mode);
+    const auto c1 = build_cost_model(bsbs, lib, target, alloc1, mode);
+    std::vector<Multi_bsb_cost> out(bsbs.size());
+    for (std::size_t i = 0; i < bsbs.size(); ++i) {
+        out[i].t_sw = c0[i].t_sw;
+        out[i].hw[0] = c0[i];
+        out[i].hw[1] = c1[i];
+    }
+    return out;
+}
+
+Multi_pace_result evaluate_multi_partition(
+    std::span<const Multi_bsb_cost> costs,
+    const std::vector<Placement>& placement)
+{
+    if (placement.size() != costs.size())
+        throw std::invalid_argument("evaluate_multi_partition: size mismatch");
+
+    Multi_pace_result r;
+    r.placement = placement;
+    for (const auto& c : costs)
+        r.time_all_sw_ns += c.t_sw;
+
+    double t = 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        if (placement[i] == Placement::software) {
+            t += costs[i].t_sw;
+            continue;
+        }
+        const int a = static_cast<int>(placement[i]);
+        const auto& c = costs[i].hw[static_cast<std::size_t>(a)];
+        t += c.t_hw + c.comm;
+        if (i > 0 && placement[i - 1] == placement[i])
+            t -= c.save_prev;
+        r.ctrl_area_used[static_cast<std::size_t>(a)] += c.ctrl_area;
+        ++r.n_in_hw;
+    }
+    r.time_hybrid_ns = t;
+    r.speedup_pct =
+        t > 0.0 ? (r.time_all_sw_ns / t - 1.0) * 100.0
+                : (r.time_all_sw_ns > 0.0 ? k_inf : 0.0);
+    return r;
+}
+
+Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
+                                       const Multi_pace_options& options)
+{
+    for (double b : options.ctrl_area_budgets)
+        if (b < 0.0)
+            throw std::invalid_argument("multi_pace_partition: negative budget");
+    const std::size_t n = costs.size();
+    if (n == 0)
+        return Multi_pace_result{};
+
+    const double max_budget = std::max(options.ctrl_area_budgets[0],
+                                       options.ctrl_area_budgets[1]);
+    const double quantum = options.area_quantum > 0.0
+                               ? options.area_quantum
+                               : std::max(1.0, max_budget / 256.0);
+    const std::array<int, 2> cap = {
+        static_cast<int>(std::floor(options.ctrl_area_budgets[0] / quantum)),
+        static_cast<int>(std::floor(options.ctrl_area_budgets[1] / quantum)),
+    };
+    const std::size_t w0 = static_cast<std::size_t>(cap[0]) + 1;
+    const std::size_t w1 = static_cast<std::size_t>(cap[1]) + 1;
+
+    // Quantized controller areas per BSB per ASIC.
+    std::vector<std::array<int, 2>> qarea(n, {0, 0});
+    std::vector<std::array<bool, 2>> possible(n, {false, false});
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int a = 0; a < 2; ++a) {
+            const auto& c = costs[i].hw[static_cast<std::size_t>(a)];
+            if (std::isinf(c.ctrl_area) || std::isinf(c.t_hw))
+                continue;
+            qarea[i][static_cast<std::size_t>(a)] =
+                static_cast<int>(std::ceil(c.ctrl_area / quantum));
+            possible[i][static_cast<std::size_t>(a)] =
+                qarea[i][static_cast<std::size_t>(a)] <=
+                cap[static_cast<std::size_t>(a)];
+        }
+    }
+
+    // State: (area0, area1, prev) where prev in {0 = SW, 1 = asic0,
+    // 2 = asic1}.  value = best saving vs all-software.
+    const std::size_t n_prev = 3;
+    const std::size_t n_states = w0 * w1 * n_prev;
+    auto idx = [&](std::size_t a0, std::size_t a1, std::size_t p) {
+        return (a0 * w1 + a1) * n_prev + p;
+    };
+
+    std::vector<double> value(n_states, -k_inf);
+    std::vector<double> next(n_states, -k_inf);
+    // For reconstruction: decision (0 = SW, 1 = asic0, 2 = asic1) and
+    // predecessor side, per (i, state-after).
+    std::vector<std::uint8_t> decision(n * n_states, 0);
+    std::vector<std::uint8_t> parent(n * n_states, 0);
+    auto cell = [&](std::size_t i, std::size_t s) { return i * n_states + s; };
+
+    value[idx(0, 0, 0)] = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::fill(next.begin(), next.end(), -k_inf);
+        for (std::size_t a0 = 0; a0 < w0; ++a0) {
+            for (std::size_t a1 = 0; a1 < w1; ++a1) {
+                for (std::size_t p = 0; p < n_prev; ++p) {
+                    const double v = value[idx(a0, a1, p)];
+                    if (v == -k_inf)
+                        continue;
+
+                    // Software.
+                    const std::size_t s_sw = idx(a0, a1, 0);
+                    if (v > next[s_sw]) {
+                        next[s_sw] = v;
+                        decision[cell(i, s_sw)] = 0;
+                        parent[cell(i, s_sw)] = static_cast<std::uint8_t>(p);
+                    }
+
+                    // Either ASIC.
+                    for (int a = 0; a < 2; ++a) {
+                        if (!possible[i][static_cast<std::size_t>(a)])
+                            continue;
+                        const auto& c = costs[i].hw[static_cast<std::size_t>(a)];
+                        const int q = qarea[i][static_cast<std::size_t>(a)];
+                        const std::size_t na0 =
+                            a == 0 ? a0 + static_cast<std::size_t>(q) : a0;
+                        const std::size_t na1 =
+                            a == 1 ? a1 + static_cast<std::size_t>(q) : a1;
+                        if (na0 >= w0 || na1 >= w1)
+                            continue;
+                        double gain = hw_gain(costs[i].t_sw, c);
+                        if (i > 0 && p == static_cast<std::size_t>(a) + 1)
+                            gain += c.save_prev;
+                        const std::size_t s_hw =
+                            idx(na0, na1, static_cast<std::size_t>(a) + 1);
+                        if (v + gain > next[s_hw]) {
+                            next[s_hw] = v + gain;
+                            decision[cell(i, s_hw)] =
+                                static_cast<std::uint8_t>(a + 1);
+                            parent[cell(i, s_hw)] =
+                                static_cast<std::uint8_t>(p);
+                        }
+                    }
+                }
+            }
+        }
+        value.swap(next);
+    }
+
+    // Best final state and reconstruction.
+    double best = -k_inf;
+    std::size_t best_a0 = 0, best_a1 = 0, best_p = 0;
+    for (std::size_t a0 = 0; a0 < w0; ++a0)
+        for (std::size_t a1 = 0; a1 < w1; ++a1)
+            for (std::size_t p = 0; p < n_prev; ++p)
+                if (value[idx(a0, a1, p)] > best) {
+                    best = value[idx(a0, a1, p)];
+                    best_a0 = a0;
+                    best_a1 = a1;
+                    best_p = p;
+                }
+
+    std::vector<Placement> placement(n, Placement::software);
+    std::size_t a0 = best_a0, a1 = best_a1, p = best_p;
+    for (std::size_t ri = n; ri-- > 0;) {
+        const std::size_t s = idx(a0, a1, p);
+        const int d = decision[cell(ri, s)];
+        const int prev = parent[cell(ri, s)];
+        if (d == 0) {
+            placement[ri] = Placement::software;
+        }
+        else {
+            const int a = d - 1;
+            placement[ri] = a == 0 ? Placement::asic0 : Placement::asic1;
+            const int q = qarea[ri][static_cast<std::size_t>(a)];
+            if (a == 0)
+                a0 -= static_cast<std::size_t>(q);
+            else
+                a1 -= static_cast<std::size_t>(q);
+        }
+        p = static_cast<std::size_t>(prev);
+    }
+
+    return evaluate_multi_partition(costs, placement);
+}
+
+}  // namespace lycos::pace

@@ -1,0 +1,69 @@
+// Two-ASIC partitioning (the paper's second future-work direction,
+// §6: "the generalization to target architectures that contain more
+// than one ASIC").
+//
+// Each BSB now chooses between software and *two* ASICs, each with its
+// own pre-allocated data-path and its own controller-area budget.  The
+// PACE dynamic program generalizes naturally: the state carries the
+// quantized area used on both ASICs plus the previous BSB's placement,
+// and the adjacency communication saving applies only when consecutive
+// BSBs sit on the *same* ASIC (values cannot stay in the data-path
+// across chips).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "pace/cost_model.hpp"
+
+namespace lycos::pace {
+
+/// Placement of one BSB in the two-ASIC architecture.
+enum class Placement : int {
+    software = -1,
+    asic0 = 0,
+    asic1 = 1,
+};
+
+/// Per-BSB costs for the two-ASIC partition: software time plus one
+/// hardware cost set per ASIC (the ASICs may have different
+/// allocations, so times and controller areas differ).
+struct Multi_bsb_cost {
+    double t_sw = 0.0;
+    std::array<Bsb_cost, 2> hw;  ///< t_hw/comm/ctrl_area/save_prev per ASIC
+};
+
+/// Options for the two-ASIC dynamic program.
+struct Multi_pace_options {
+    std::array<double, 2> ctrl_area_budgets{0.0, 0.0};
+    double area_quantum = 0.0;  ///< 0 = auto (max budget / 256)
+};
+
+/// Result of the two-ASIC partition.
+struct Multi_pace_result {
+    std::vector<Placement> placement;
+    double time_all_sw_ns = 0.0;
+    double time_hybrid_ns = 0.0;
+    double speedup_pct = 0.0;
+    std::array<double, 2> ctrl_area_used{0.0, 0.0};
+    int n_in_hw = 0;
+};
+
+/// Build the two-ASIC cost model: one ordinary cost model per ASIC
+/// allocation.
+std::vector<Multi_bsb_cost> build_multi_cost_model(
+    std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
+    const hw::Target& target, const core::Rmap& alloc0,
+    const core::Rmap& alloc1, Controller_mode mode);
+
+/// Optimal (up to area discretization) two-ASIC partition.
+Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
+                                       const Multi_pace_options& options);
+
+/// Evaluate a given placement with the exact model (cross-checking).
+Multi_pace_result evaluate_multi_partition(
+    std::span<const Multi_bsb_cost> costs,
+    const std::vector<Placement>& placement);
+
+}  // namespace lycos::pace

@@ -1,0 +1,163 @@
+#include "pace/pace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace lycos::pace {
+
+namespace {
+
+constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+/// Gain of putting BSB i in hardware (ignoring adjacency): software
+/// time avoided minus hardware time and communication incurred.
+double hw_gain(const Bsb_cost& c)
+{
+    return c.t_sw - c.t_hw - c.comm;
+}
+
+}  // namespace
+
+Pace_result evaluate_partition(std::span<const Bsb_cost> costs,
+                               const std::vector<bool>& in_hw)
+{
+    if (in_hw.size() != costs.size())
+        throw std::invalid_argument("evaluate_partition: size mismatch");
+
+    Pace_result r;
+    r.in_hw = in_hw;
+    r.time_all_sw_ns = all_sw_time_ns(costs);
+
+    double t = 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        if (in_hw[i]) {
+            t += costs[i].t_hw + costs[i].comm;
+            if (i > 0 && in_hw[i - 1])
+                t -= costs[i].save_prev;
+            r.ctrl_area_used += costs[i].ctrl_area;
+            ++r.n_in_hw;
+        }
+        else {
+            t += costs[i].t_sw;
+        }
+    }
+    r.time_hybrid_ns = t;
+    r.speedup_pct =
+        t > 0.0 ? (r.time_all_sw_ns / t - 1.0) * 100.0
+                : (r.time_all_sw_ns > 0.0 ? k_inf : 0.0);
+    return r;
+}
+
+Pace_result pace_partition(std::span<const Bsb_cost> costs,
+                           const Pace_options& options)
+{
+    if (options.ctrl_area_budget < 0.0)
+        throw std::invalid_argument("pace_partition: negative budget");
+    const std::size_t n = costs.size();
+    if (n == 0)
+        return Pace_result{};
+
+    const double quantum =
+        options.area_quantum > 0.0
+            ? options.area_quantum
+            : std::max(1.0, options.ctrl_area_budget / 4096.0);
+    const int capacity =
+        static_cast<int>(std::floor(options.ctrl_area_budget / quantum));
+    const std::size_t width = static_cast<std::size_t>(capacity) + 1;
+
+    // Quantized controller areas (rounded up, so the DP never packs
+    // more real area than the budget).
+    std::vector<int> qarea(n, 0);
+    std::vector<bool> hw_possible(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::isinf(costs[i].ctrl_area) || std::isinf(costs[i].t_hw))
+            continue;
+        qarea[i] = static_cast<int>(std::ceil(costs[i].ctrl_area / quantum));
+        hw_possible[i] = static_cast<std::size_t>(qarea[i]) < width;
+    }
+
+    // value[a*2+p]: best total saving (vs. all-software) over the BSBs
+    // processed so far, using quantized area a, with the most recent
+    // BSB on side p (0 = SW, 1 = HW).  For every (i, a, p) we keep the
+    // decision of BSB i (took_hw) and the side of BSB i-1
+    // (parent_side) so the optimal partition can be reconstructed.
+    auto idx = [&](std::size_t a, int p) {
+        return a * 2 + static_cast<std::size_t>(p);
+    };
+    auto cell = [&](std::size_t i, std::size_t a, int p) {
+        return (i * width + a) * 2 + static_cast<std::size_t>(p);
+    };
+
+    std::vector<double> value(width * 2, -k_inf);
+    std::vector<double> next(width * 2, -k_inf);
+    std::vector<std::uint8_t> took_hw(n * width * 2, 0);
+    std::vector<std::uint8_t> parent_side(n * width * 2, 0);
+
+    value[idx(0, 0)] = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::fill(next.begin(), next.end(), -k_inf);
+        for (std::size_t a = 0; a < width; ++a) {
+            for (int p = 0; p < 2; ++p) {
+                const double v = value[idx(a, p)];
+                if (v == -k_inf)
+                    continue;
+
+                // BSB i stays in software.
+                if (v > next[idx(a, 0)]) {
+                    next[idx(a, 0)] = v;
+                    took_hw[cell(i, a, 0)] = 0;
+                    parent_side[cell(i, a, 0)] = static_cast<std::uint8_t>(p);
+                }
+
+                // BSB i moves to hardware.
+                if (hw_possible[i] &&
+                    a + static_cast<std::size_t>(qarea[i]) < width) {
+                    double gain = hw_gain(costs[i]);
+                    if (i > 0 && p == 1)
+                        gain += costs[i].save_prev;
+                    const std::size_t a2 =
+                        a + static_cast<std::size_t>(qarea[i]);
+                    if (v + gain > next[idx(a2, 1)]) {
+                        next[idx(a2, 1)] = v + gain;
+                        took_hw[cell(i, a2, 1)] = 1;
+                        parent_side[cell(i, a2, 1)] =
+                            static_cast<std::uint8_t>(p);
+                    }
+                }
+            }
+        }
+        value.swap(next);
+    }
+
+    // Best final state, then walk the parent pointers backwards.
+    double best = -k_inf;
+    std::size_t best_a = 0;
+    int best_p = 0;
+    for (std::size_t a = 0; a < width; ++a)
+        for (int p = 0; p < 2; ++p)
+            if (value[idx(a, p)] > best) {
+                best = value[idx(a, p)];
+                best_a = a;
+                best_p = p;
+            }
+
+    std::vector<bool> in_hw(n, false);
+    std::size_t a = best_a;
+    int p = best_p;
+    for (std::size_t ri = n; ri-- > 0;) {
+        const bool hw = took_hw[cell(ri, a, p)] != 0;
+        const int prev = parent_side[cell(ri, a, p)];
+        in_hw[ri] = hw;
+        if (hw)
+            a -= static_cast<std::size_t>(qarea[ri]);
+        p = prev;
+    }
+
+    return evaluate_partition(costs, in_hw);
+}
+
+}  // namespace lycos::pace

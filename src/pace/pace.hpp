@@ -1,0 +1,63 @@
+// PACE — dynamic-programming HW/SW partitioning [Knudsen & Madsen,
+// Codes/CASHE'96], as used by LYCOS and by this paper's evaluation.
+//
+// Given per-BSB costs and the controller-area budget left next to the
+// pre-allocated data-path, PACE selects the subset of BSBs to move to
+// hardware that minimizes total execution time.  The knapsack-style
+// dynamic program runs over (BSB index, discretized area used,
+// previous BSB's side); carrying the previous side lets adjacent
+// hardware BSBs keep shared values in the data-path and save their
+// bus transfers — the communication awareness PACE is known for.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pace/cost_model.hpp"
+
+namespace lycos::pace {
+
+/// Options for pace_partition.
+struct Pace_options {
+    /// Area available for controllers (total ASIC area minus the
+    /// data-path allocation's area).
+    double ctrl_area_budget = 0.0;
+
+    /// Area discretization step for the DP.  0 selects automatically:
+    /// budget/4096 but at least 1 gate.  Smaller is more exact and
+    /// slower.
+    double area_quantum = 0.0;
+};
+
+/// A partition and its evaluation.
+struct Pace_result {
+    std::vector<bool> in_hw;       ///< chosen side per BSB
+    double time_all_sw_ns = 0.0;   ///< all-software reference time
+    double time_hybrid_ns = 0.0;   ///< time of the chosen partition
+    double speedup_pct = 0.0;      ///< (all_sw / hybrid - 1) * 100
+    double ctrl_area_used = 0.0;   ///< controller area of HW-side BSBs
+    int n_in_hw = 0;
+
+    /// Fraction of BSBs placed in hardware (the paper's HW/SW column
+    /// reports the HW share of the application).
+    double hw_fraction() const
+    {
+        return in_hw.empty()
+                   ? 0.0
+                   : static_cast<double>(n_in_hw) /
+                         static_cast<double>(in_hw.size());
+    }
+};
+
+/// Optimal partition by dynamic programming (up to area
+/// discretization).
+Pace_result pace_partition(std::span<const Bsb_cost> costs,
+                           const Pace_options& options);
+
+/// Evaluate a *given* partition with the same timing model the DP
+/// optimizes (used for cross-checking and for the HW-fraction
+/// reporting of Table 1).
+Pace_result evaluate_partition(std::span<const Bsb_cost> costs,
+                               const std::vector<bool>& in_hw);
+
+}  // namespace lycos::pace

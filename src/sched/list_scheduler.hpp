@@ -1,0 +1,42 @@
+// Resource-constrained list scheduling.
+//
+// Given a concrete allocation (so many instances of each resource
+// type), the list scheduler produces the schedule a BSB would actually
+// execute with in hardware.  It supplies
+//   * the hardware execution time of a BSB under a candidate
+//     allocation (used by the PACE evaluation), and
+//   * the *real* controller state count of §5.1, which is longer than
+//     the optimistic ASAP estimate the ECA uses.
+//
+// Priority rule: ready operations are served in increasing ALAP order
+// (least slack first), ties broken by op id for determinism.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "hw/resource.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lycos::sched {
+
+/// Result of list scheduling one DFG.
+struct List_schedule {
+    bool feasible = false;        ///< false if some op kind has no allocated executor
+    std::vector<int> start;       ///< start step per op (1-based), empty if infeasible
+    std::vector<int> resource;    ///< Resource_id executing each op, empty if infeasible
+    int length = 0;               ///< schedule length in cycles (0 if infeasible/empty)
+};
+
+/// Schedule `g` on `counts[r]` instances of each resource type `r` of
+/// `lib`.  `counts.size()` must equal `lib.size()`.
+///
+/// With at least `asap_parallelism` instances of every needed kind the
+/// result equals the ASAP schedule; with fewer instances the schedule
+/// stretches (§4.1: "the final hardware schedule ... will be
+/// stretched, leading to a loss of performance").
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts);
+
+}  // namespace lycos::sched

@@ -1,0 +1,56 @@
+#include "sched/parallelism.hpp"
+
+#include <algorithm>
+
+namespace lycos::sched {
+
+namespace {
+
+/// Sweep the ASAP occupancy intervals of the ops selected by `want`
+/// and return the peak concurrency.
+template <typename Pred>
+int peak_occupancy(const dfg::Dfg& g, const Schedule_info& info,
+                   const Latency_table& lat, Pred want)
+{
+    if (info.length <= 0)
+        return 0;
+    // +2: steps are 1-based and we write a decrement one past the end.
+    std::vector<int> delta(static_cast<std::size_t>(info.length) + 2, 0);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const auto id = static_cast<dfg::Op_id>(i);
+        if (!want(g.op(id).kind))
+            continue;
+        const int start = info.frames[i].asap;
+        const int stop = start + lat[g.op(id).kind];  // exclusive
+        delta[static_cast<std::size_t>(start)] += 1;
+        delta[static_cast<std::size_t>(std::min(stop, info.length + 1))] -= 1;
+    }
+    int level = 0;
+    int peak = 0;
+    for (int s = 1; s <= info.length; ++s) {
+        level += delta[static_cast<std::size_t>(s)];
+        peak = std::max(peak, level);
+    }
+    return peak;
+}
+
+}  // namespace
+
+hw::Per_op<int> asap_parallelism(const dfg::Dfg& g, const Schedule_info& info,
+                                 const Latency_table& lat)
+{
+    hw::Per_op<int> out;
+    for (auto k : hw::all_op_kinds())
+        out[k] = peak_occupancy(g, info, lat,
+                                [k](hw::Op_kind x) { return x == k; });
+    return out;
+}
+
+int asap_parallelism_for(const dfg::Dfg& g, const Schedule_info& info,
+                         const Latency_table& lat, hw::Op_set kinds)
+{
+    return peak_occupancy(g, info, lat,
+                          [kinds](hw::Op_kind x) { return kinds.contains(x); });
+}
+
+}  // namespace lycos::sched

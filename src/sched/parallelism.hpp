@@ -1,0 +1,27 @@
+// ASAP parallelism profiles.
+//
+// §4.3: "The ASAP-schedule can be used to give an estimate of the
+// maximum number of operations of a specific type that can be executed
+// in parallel.  The algorithm will not produce allocations that exceed
+// these limits."  This module computes, from the ASAP schedule of a
+// DFG, the peak number of simultaneously-executing operations of each
+// kind (and of each kind *set*, for multi-function units).
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lycos::sched {
+
+/// Peak number of concurrently executing operations of each kind in
+/// the ASAP schedule.  An operation started at step s with latency l
+/// occupies steps [s, s + l - 1].
+hw::Per_op<int> asap_parallelism(const dfg::Dfg& g, const Schedule_info& info,
+                                 const Latency_table& lat);
+
+/// Peak number of concurrently executing operations whose kind lies in
+/// `kinds` (the ASAP demand a multi-function unit type would face).
+int asap_parallelism_for(const dfg::Dfg& g, const Schedule_info& info,
+                         const Latency_table& lat, hw::Op_set kinds);
+
+}  // namespace lycos::sched

@@ -1,0 +1,66 @@
+#include "sched/time_frames.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lycos::sched {
+
+Latency_table latency_table_from(const hw::Hw_library& lib)
+{
+    Latency_table t(1);
+    for (auto k : hw::all_op_kinds())
+        if (auto id = lib.cheapest_executor(k))
+            t[k] = lib[*id].latency_cycles;
+    return t;
+}
+
+Schedule_info compute_time_frames(const dfg::Dfg& g, const Latency_table& lat)
+{
+    Schedule_info info;
+    const auto n = g.size();
+    info.frames.assign(n, Time_frame{});
+    if (n == 0)
+        return info;
+
+    const auto order = g.topo_order();
+
+    // ASAP: earliest start is one step past the latest-finishing
+    // predecessor; sources start at step 1.
+    for (dfg::Op_id v : order) {
+        int start = 1;
+        for (dfg::Op_id p : g.preds(v)) {
+            const auto& pf = info.frames[static_cast<std::size_t>(p)];
+            start = std::max(start, pf.asap + lat[g.op(p).kind]);
+        }
+        info.frames[static_cast<std::size_t>(v)].asap = start;
+    }
+
+    // Schedule length: last finishing cycle of the ASAP schedule.
+    for (std::size_t i = 0; i < n; ++i)
+        info.length = std::max(
+            info.length, info.frames[i].asap + lat[g.op(static_cast<dfg::Op_id>(i)).kind] - 1);
+
+    // ALAP against the ASAP length: latest start such that all
+    // transitive successors still fit.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const dfg::Op_id v = *it;
+        auto& f = info.frames[static_cast<std::size_t>(v)];
+        int latest = info.length - lat[g.op(v).kind] + 1;
+        for (dfg::Op_id s : g.succs(v)) {
+            const auto& sf = info.frames[static_cast<std::size_t>(s)];
+            latest = std::min(latest, sf.alap - lat[g.op(v).kind]);
+        }
+        f.alap = latest;
+    }
+
+    return info;
+}
+
+int overlap(const Time_frame& a, const Time_frame& b)
+{
+    const int lo = std::max(a.asap, b.asap);
+    const int hi = std::min(a.alap, b.alap);
+    return std::max(0, hi - lo + 1);
+}
+
+}  // namespace lycos::sched

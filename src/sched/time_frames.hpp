@@ -1,0 +1,61 @@
+// ASAP/ALAP time frames, mobility and interval overlap (Figure 5).
+//
+// Control steps are numbered from 1 as in the paper's Figure 5.  An
+// operation's time frame is the inclusive interval [asap, alap] of
+// control steps in which it may *start*; its mobility is
+// `alap - asap + 1` and the overlap of two frames is the number of
+// common possible start steps.  These are the inputs of the FURO
+// estimate (Definition 2).
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "hw/op.hpp"
+#include "hw/resource.hpp"
+
+namespace lycos::sched {
+
+/// Per-operation-kind latency in ASIC cycles used by the pre-allocation
+/// schedules (before an allocation exists, the cheapest executor's
+/// latency is the only estimate available).
+using Latency_table = hw::Per_op<int>;
+
+/// Build a latency table from a library: cheapest executor's latency
+/// per kind; kinds no resource can execute get latency 1 (they will be
+/// flagged later when a BSB containing them is considered for HW).
+Latency_table latency_table_from(const hw::Hw_library& lib);
+
+/// The time frame of one operation.
+struct Time_frame {
+    int asap = 1;  ///< earliest start control step (1-based)
+    int alap = 1;  ///< latest start control step
+
+    /// Mobility M(i) = ALAP - ASAP + 1 (Definition 2; Figure 5: 5-1+1 = 5).
+    int mobility() const { return alap - asap + 1; }
+
+    friend bool operator==(const Time_frame&, const Time_frame&) = default;
+};
+
+/// ASAP and ALAP start times for every operation of a DFG plus the
+/// ASAP schedule length in control steps.
+struct Schedule_info {
+    std::vector<Time_frame> frames;  ///< indexed by Op_id
+    int length = 0;                  ///< ASAP schedule length (cycles); the
+                                     ///< paper's estimated state count N
+
+    const Time_frame& frame(dfg::Op_id id) const
+    {
+        return frames.at(static_cast<std::size_t>(id));
+    }
+};
+
+/// Compute ASAP and ALAP (against the ASAP length) time frames.
+/// Throws std::logic_error if the DFG is cyclic.
+Schedule_info compute_time_frames(const dfg::Dfg& g, const Latency_table& lat);
+
+/// Ovl(i, j): number of control steps in the intersection of the two
+/// start intervals.  Figure 5: frames [1,5] and [3,5] overlap in 3.
+int overlap(const Time_frame& a, const Time_frame& b);
+
+}  // namespace lycos::sched

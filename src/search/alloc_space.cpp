@@ -1,0 +1,68 @@
+#include "search/alloc_space.hpp"
+
+#include <stdexcept>
+
+namespace lycos::search {
+
+Alloc_space::Alloc_space(const hw::Hw_library& lib,
+                         const core::Rmap& restrictions)
+    : lib_(lib)
+{
+    for (const auto& [r, bound] : restrictions.entries())
+        if (bound > 0)
+            dims_.emplace_back(r, bound);
+}
+
+long long Alloc_space::size() const
+{
+    long long n = 1;
+    for (const auto& [r, bound] : dims_)
+        n *= bound + 1;
+    return n;
+}
+
+void Alloc_space::for_each(
+    double max_area, const std::function<bool(const core::Rmap&)>& visit) const
+{
+    std::vector<int> counter(dims_.size(), 0);
+    for (;;) {
+        core::Rmap a;
+        double area = 0.0;
+        for (std::size_t d = 0; d < dims_.size(); ++d) {
+            if (counter[d] > 0) {
+                a.set(dims_[d].first, counter[d]);
+                area += lib_[dims_[d].first].area * counter[d];
+            }
+        }
+        if (area <= max_area && !visit(a))
+            return;
+
+        // Increment the mixed-radix counter.
+        std::size_t d = 0;
+        while (d < dims_.size()) {
+            if (++counter[d] <= dims_[d].second)
+                break;
+            counter[d] = 0;
+            ++d;
+        }
+        if (d == dims_.size())
+            return;  // wrapped around: all points visited
+    }
+}
+
+core::Rmap Alloc_space::nth(long long index) const
+{
+    if (index < 0 || index >= size())
+        throw std::out_of_range("Alloc_space::nth");
+    core::Rmap a;
+    for (const auto& [r, bound] : dims_) {
+        const long long radix = bound + 1;
+        const int digit = static_cast<int>(index % radix);
+        index /= radix;
+        if (digit > 0)
+            a.set(r, digit);
+    }
+    return a;
+}
+
+}  // namespace lycos::search

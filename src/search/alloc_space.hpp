@@ -1,0 +1,50 @@
+// The space of candidate allocations.
+//
+// Table 1's "best allocation" is found by trying *all* allocations
+// within the §4.3 restrictions (footnote 1: the eigen example has
+// about a million of them).  This module enumerates that space: every
+// RMap `a` with 0 <= a(r) <= restriction(r) per resource type, as a
+// mixed-radix counter, with optional pruning by data-path area.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/rmap.hpp"
+#include "hw/resource.hpp"
+
+namespace lycos::search {
+
+/// Enumerable allocation space.
+class Alloc_space {
+public:
+    /// `restrictions` bounds each resource type's count (types absent
+    /// from the map are fixed at zero).
+    Alloc_space(const hw::Hw_library& lib, const core::Rmap& restrictions);
+
+    /// Number of points (product of bounds + 1); counts allocations
+    /// whose area exceeds any budget too.
+    long long size() const;
+
+    /// Visit every allocation.  Return false from the visitor to stop
+    /// early.  Allocations with data-path area above `max_area` are
+    /// skipped (but still counted by size()).
+    void for_each(double max_area,
+                  const std::function<bool(const core::Rmap&)>& visit) const;
+
+    /// The `index`-th allocation in mixed-radix order (0-based); used
+    /// for random sampling.  Throws std::out_of_range.
+    core::Rmap nth(long long index) const;
+
+    /// Dimensions: (resource id, max count) pairs in id order.
+    const std::vector<std::pair<hw::Resource_id, int>>& dims() const
+    {
+        return dims_;
+    }
+
+private:
+    const hw::Hw_library& lib_;
+    std::vector<std::pair<hw::Resource_id, int>> dims_;
+};
+
+}  // namespace lycos::search

@@ -1,0 +1,30 @@
+#include "search/evaluate.hpp"
+
+namespace lycos::search {
+
+Evaluation evaluate_allocation(const Eval_context& ctx,
+                               const core::Rmap& datapath)
+{
+    Evaluation ev;
+    ev.datapath = datapath;
+    ev.datapath_area = datapath.area(ctx.lib);
+    ev.fits = ev.datapath_area <= ctx.target.asic.total_area;
+
+    const auto costs = pace::build_cost_model(ctx.bsbs, ctx.lib, ctx.target,
+                                              datapath, ctx.ctrl_mode,
+                                              ctx.storage);
+    if (!ev.fits) {
+        // Nothing can move to hardware; report the all-software result.
+        ev.partition = pace::evaluate_partition(
+            costs, std::vector<bool>(ctx.bsbs.size(), false));
+        return ev;
+    }
+
+    pace::Pace_options opts;
+    opts.ctrl_area_budget = ctx.target.asic.total_area - ev.datapath_area;
+    opts.area_quantum = ctx.area_quantum;
+    ev.partition = pace::pace_partition(costs, opts);
+    return ev;
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,38 @@
+#include "search/exhaustive.hpp"
+
+#include "util/timer.hpp"
+
+namespace lycos::search {
+
+Search_result exhaustive_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions)
+{
+    util::Wall_timer timer;
+    Alloc_space space(ctx.lib, restrictions);
+
+    Search_result result;
+    result.space_size = space.size();
+    bool have_best = false;
+
+    space.for_each(ctx.target.asic.total_area, [&](const core::Rmap& a) {
+        const Evaluation ev = evaluate_allocation(ctx, a);
+        ++result.n_evaluated;
+        const bool better =
+            !have_best ||
+            ev.partition.time_hybrid_ns <
+                result.best.partition.time_hybrid_ns ||
+            (ev.partition.time_hybrid_ns ==
+                 result.best.partition.time_hybrid_ns &&
+             ev.datapath_area < result.best.datapath_area);
+        if (better) {
+            result.best = ev;
+            have_best = true;
+        }
+        return true;
+    });
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,25 @@
+// Exhaustive allocation search (the §5 methodology for "the best
+// allocation").
+#pragma once
+
+#include "search/alloc_space.hpp"
+#include "search/evaluate.hpp"
+
+namespace lycos::search {
+
+/// Outcome of a search over the allocation space.
+struct Search_result {
+    Evaluation best;           ///< best-scoring allocation found
+    long long n_evaluated = 0; ///< allocations actually scored
+    long long space_size = 0;  ///< size of the full space
+    double seconds = 0.0;      ///< wall-clock time spent
+};
+
+/// Score every allocation within `restrictions` whose data-path fits
+/// the ASIC and return the one PACE likes best.  Ties are broken
+/// toward smaller data-path area (cheaper hardware), then toward the
+/// enumeration order (deterministic).
+Search_result exhaustive_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions);
+
+}  // namespace lycos::search

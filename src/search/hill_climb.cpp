@@ -1,0 +1,87 @@
+#include "search/hill_climb.hpp"
+
+#include "util/timer.hpp"
+
+namespace lycos::search {
+
+namespace {
+
+/// Strictly better: smaller hybrid time, ties toward smaller area.
+bool better_than(const Evaluation& a, const Evaluation& b)
+{
+    if (a.partition.time_hybrid_ns != b.partition.time_hybrid_ns)
+        return a.partition.time_hybrid_ns < b.partition.time_hybrid_ns;
+    return a.datapath_area < b.datapath_area;
+}
+
+}  // namespace
+
+Search_result hill_climb_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Hill_climb_options& options,
+                                util::Rng& rng)
+{
+    util::Wall_timer timer;
+    Alloc_space space(ctx.lib, restrictions);
+
+    Search_result result;
+    result.space_size = space.size();
+    bool have_best = false;
+
+    auto consider = [&](const Evaluation& ev) {
+        if (!have_best || better_than(ev, result.best)) {
+            result.best = ev;
+            have_best = true;
+        }
+    };
+
+    for (int restart = 0; restart < options.n_restarts; ++restart) {
+        // Start points: the empty allocation first (a safe baseline),
+        // then random points of the space.
+        core::Rmap current =
+            restart == 0
+                ? core::Rmap{}
+                : space.nth(static_cast<long long>(
+                      rng.uniform_real(0.0, 1.0) *
+                      static_cast<double>(space.size() - 1)));
+        Evaluation current_ev = evaluate_allocation(ctx, current);
+        ++result.n_evaluated;
+        consider(current_ev);
+
+        for (int step = 0; step < options.max_steps; ++step) {
+            Evaluation best_neighbour;
+            core::Rmap best_neighbour_map;
+            bool found = false;
+
+            for (const auto& [r, bound] : space.dims()) {
+                for (int delta : {+1, -1}) {
+                    const int c = current(r) + delta;
+                    if (c < 0 || c > bound)
+                        continue;
+                    core::Rmap candidate = current;
+                    candidate.set(r, c);
+                    if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
+                        continue;
+                    const Evaluation ev = evaluate_allocation(ctx, candidate);
+                    ++result.n_evaluated;
+                    consider(ev);
+                    if (!found || better_than(ev, best_neighbour)) {
+                        best_neighbour = ev;
+                        best_neighbour_map = candidate;
+                        found = true;
+                    }
+                }
+            }
+
+            if (!found || !better_than(best_neighbour, current_ev))
+                break;  // local optimum
+            current = best_neighbour_map;
+            current_ev = best_neighbour;
+        }
+    }
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,29 @@
+// Iterated hill climbing over the allocation space.
+//
+// The eigen example's space (~10^6 allocations, each costing a PACE
+// run) made exhaustive evaluation impossible for the paper (footnote
+// 1: the best allocation was the best found "using numerous
+// experiments").  This search plays that role reproducibly: steepest-
+// ascent hill climbing on the +-1-unit neighbourhood, restarted from
+// random points of the space.
+#pragma once
+
+#include "search/exhaustive.hpp"
+#include "util/rng.hpp"
+
+namespace lycos::search {
+
+/// Options for hill_climb_search.
+struct Hill_climb_options {
+    int n_restarts = 16;       ///< random restarts (first start is empty + allocator-style greedy point)
+    int max_steps = 256;       ///< safety bound per climb
+};
+
+/// Best allocation found by iterated steepest-ascent hill climbing.
+/// Deterministic for a given `rng` seed.
+Search_result hill_climb_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Hill_climb_options& options,
+                                util::Rng& rng);
+
+}  // namespace lycos::search

@@ -1,0 +1,132 @@
+#include "util/args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lycos::util {
+
+Arg_parser::Arg_parser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void Arg_parser::add_flag(const std::string& name, const std::string& help)
+{
+    if (options_.contains(name))
+        throw std::invalid_argument("Arg_parser: duplicate option " + name);
+    options_[name] = Option{help, "false", true, false};
+    order_.push_back(name);
+}
+
+void Arg_parser::add_option(const std::string& name,
+                            const std::string& default_value,
+                            const std::string& help)
+{
+    if (options_.contains(name))
+        throw std::invalid_argument("Arg_parser: duplicate option " + name);
+    options_[name] = Option{help, default_value, false, false};
+    order_.push_back(name);
+}
+
+Arg_parser::Option& Arg_parser::find(const std::string& name)
+{
+    const auto it = options_.find(name);
+    if (it == options_.end())
+        throw std::invalid_argument("unknown option --" + name + "\n" +
+                                    usage());
+    return it->second;
+}
+
+const Arg_parser::Option& Arg_parser::find(const std::string& name) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end())
+        throw std::invalid_argument("unknown option --" + name);
+    return it->second;
+}
+
+void Arg_parser::parse(int argc, const char* const* argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    parse(args);
+}
+
+void Arg_parser::parse(const std::vector<std::string>& args)
+{
+    bool options_done = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (options_done || arg.size() < 2 || arg.substr(0, 2) != "--") {
+            positional_.push_back(arg);
+            continue;
+        }
+        if (arg == "--") {
+            options_done = true;
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+        Option& opt = find(name);
+        if (opt.is_flag) {
+            if (has_inline)
+                throw std::invalid_argument("flag --" + name +
+                                            " takes no value");
+            opt.value = "true";
+            opt.set = true;
+            continue;
+        }
+        if (has_inline) {
+            opt.value = inline_value;
+        }
+        else {
+            if (i + 1 >= args.size())
+                throw std::invalid_argument("option --" + name +
+                                            " needs a value");
+            opt.value = args[++i];
+        }
+        opt.set = true;
+    }
+}
+
+bool Arg_parser::flag(const std::string& name) const
+{
+    const Option& opt = find(name);
+    if (!opt.is_flag)
+        throw std::invalid_argument("--" + name + " is not a flag");
+    return opt.value == "true";
+}
+
+const std::string& Arg_parser::value(const std::string& name) const
+{
+    return find(name).value;
+}
+
+bool Arg_parser::was_set(const std::string& name) const
+{
+    return find(name).set;
+}
+
+std::string Arg_parser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options] [inputs]\n"
+       << description_ << "\n\noptions:\n";
+    for (const auto& name : order_) {
+        const Option& opt = options_.at(name);
+        os << "  --" << name;
+        if (!opt.is_flag)
+            os << " <value>  (default: " << opt.value << ")";
+        os << "\n      " << opt.help << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,70 @@
+// Minimal command-line argument parser for the CLI tool and examples.
+//
+// Supports --flag, --option value, --option=value and positional
+// arguments.  Unknown options raise errors with a usage string.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lycos::util {
+
+/// Declarative argument parser.
+///
+///     Arg_parser args("lycos_cli", "run the LYCOS allocation flow");
+///     args.add_option("area", "8000", "ASIC area in gates");
+///     args.add_flag("storage", "charge storage/interconnect");
+///     args.parse(argc, argv);
+///     double area = std::stod(args.value("area"));
+class Arg_parser {
+public:
+    Arg_parser(std::string program, std::string description);
+
+    /// Register a boolean flag (default false).
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Register a valued option with a default.
+    void add_option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+    /// Parse; throws std::invalid_argument on unknown options or a
+    /// missing value.  A `--` token ends option processing.
+    void parse(int argc, const char* const* argv);
+    void parse(const std::vector<std::string>& args);
+
+    /// True if the flag was given.
+    bool flag(const std::string& name) const;
+
+    /// Current value of an option (default or parsed).  Throws on
+    /// unknown names.
+    const std::string& value(const std::string& name) const;
+
+    /// True if the option was explicitly set on the command line.
+    bool was_set(const std::string& name) const;
+
+    /// Positional arguments in order.
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /// Human-readable usage text.
+    std::string usage() const;
+
+private:
+    struct Option {
+        std::string help;
+        std::string value;
+        bool is_flag = false;
+        bool set = false;
+    };
+
+    Option& find(const std::string& name);
+    const Option& find(const std::string& name) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;  // declaration order for usage()
+    std::vector<std::string> positional_;
+};
+
+}  // namespace lycos::util

@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+#include "util/format.hpp"
+
+namespace lycos::util {
+
+std::string Csv_writer::escape(const std::string& cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out.push_back(ch);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void Csv_writer::row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+void Csv_writer::row_numeric(const std::vector<double>& cells, int digits)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells)
+        text.push_back(fixed(v, digits));
+    row(text);
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,29 @@
+// Minimal CSV writer so bench output can also be captured for
+// plotting (figure-style experiments emit both a table and a CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lycos::util {
+
+/// Streams rows in RFC-4180-ish CSV (quotes cells containing commas,
+/// quotes or newlines).
+class Csv_writer {
+public:
+    /// Writes into `os`; the stream must outlive the writer.
+    explicit Csv_writer(std::ostream& os) : os_(os) {}
+
+    /// Write one row of cells.
+    void row(const std::vector<std::string>& cells);
+
+    /// Convenience: write a row of doubles with fixed precision.
+    void row_numeric(const std::vector<double>& cells, int digits = 6);
+
+private:
+    static std::string escape(const std::string& cell);
+    std::ostream& os_;
+};
+
+}  // namespace lycos::util

@@ -1,0 +1,44 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lycos::util {
+
+std::string fixed(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return buf;
+}
+
+std::string percent(double ratio, int digits)
+{
+    return fixed(ratio * 100.0, digits) + "%";
+}
+
+std::string speedup_percent(double pct, int digits)
+{
+    return fixed(pct, digits) + "%";
+}
+
+std::string with_commas(long long v)
+{
+    const bool neg = v < 0;
+    unsigned long long u = neg ? static_cast<unsigned long long>(-(v + 1)) + 1ULL
+                               : static_cast<unsigned long long>(v);
+    std::string digits = std::to_string(u);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (neg)
+        out.push_back('-');
+    return {out.rbegin(), out.rend()};
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,21 @@
+// Small numeric formatting helpers shared by the benches and examples.
+#pragma once
+
+#include <string>
+
+namespace lycos::util {
+
+/// Format `v` with `digits` digits after the decimal point.
+std::string fixed(double v, int digits = 2);
+
+/// Format a ratio as a percentage string, e.g. 0.62 -> "62%".
+std::string percent(double ratio, int digits = 0);
+
+/// Format a speed-up as the paper prints it: (t_old/t_new - 1)*100
+/// rendered as e.g. "4173%".
+std::string speedup_percent(double pct, int digits = 0);
+
+/// Thousands-separated integer, e.g. 1048576 -> "1,048,576".
+std::string with_commas(long long v);
+
+}  // namespace lycos::util

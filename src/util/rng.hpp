@@ -1,0 +1,56 @@
+// Deterministic random number generation for synthetic workloads and
+// property tests.  A thin wrapper over std::mt19937_64 so every user
+// of randomness in the library is seedable and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+namespace lycos::util {
+
+/// Seedable random source.  All library randomness flows through this
+/// class so experiments are reproducible run-to-run.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = k_default_seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi)
+    {
+        if (lo > hi)
+            throw std::invalid_argument("Rng::uniform_int: lo > hi");
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /// Uniform real in [lo, hi).
+    double uniform_real(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Bernoulli trial with probability `p` of returning true.
+    bool chance(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /// Pick a uniformly random element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items)
+    {
+        if (items.empty())
+            throw std::invalid_argument("Rng::pick: empty span");
+        return items[static_cast<std::size_t>(
+            uniform_int(0, static_cast<int>(items.size()) - 1))];
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    static constexpr std::uint64_t k_default_seed = 0x1234'5678'9abc'def0ULL;
+    std::mt19937_64 engine_;
+};
+
+}  // namespace lycos::util

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lycos::util {
+
+Table_printer::Table_printer(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument("Table_printer: empty header");
+    align_.assign(header_.size(), Align::right);
+    align_[0] = Align::left;
+}
+
+void Table_printer::set_align(std::size_t col, Align a)
+{
+    if (col >= align_.size())
+        throw std::invalid_argument("Table_printer: column out of range");
+    align_[col] = a;
+}
+
+void Table_printer::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        throw std::invalid_argument("Table_printer: row arity mismatch");
+    rows_.push_back(std::move(row));
+    ++n_data_rows_;
+}
+
+void Table_printer::add_separator()
+{
+    rows_.emplace_back();
+}
+
+void Table_printer::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                os << "  ";
+            const auto pad = width[c] - cells[c].size();
+            if (align_[c] == Align::right)
+                os << std::string(pad, ' ') << cells[c];
+            else
+                os << cells[c] << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    auto rule = [&] {
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w;
+        total += 2 * (width.size() - 1);
+        os << std::string(total, '-') << '\n';
+    };
+
+    emit(header_);
+    rule();
+    for (const auto& row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+}
+
+std::string Table_printer::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+}  // namespace lycos::util

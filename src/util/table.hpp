@@ -1,0 +1,52 @@
+// Aligned plain-text table printer used by the benchmark harnesses to
+// regenerate the paper's tables in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lycos::util {
+
+/// Column alignment for Table_printer.
+enum class Align { left, right };
+
+/// Collects rows of strings and prints them with per-column padding.
+///
+/// Usage:
+///     Table_printer t({"Example", "Lines", "SU"});
+///     t.add_row({"hal", "61", "4173%"});
+///     t.print(std::cout);
+class Table_printer {
+public:
+    /// Construct with header cells; every row must have the same arity.
+    explicit Table_printer(std::vector<std::string> header);
+
+    /// Set the alignment of column `col` (default: left for the first
+    /// column, right for all others).
+    void set_align(std::size_t col, Align a);
+
+    /// Append one data row.  Throws std::invalid_argument on arity
+    /// mismatch.
+    void add_row(std::vector<std::string> row);
+
+    /// Append a horizontal separator line at the current position.
+    void add_separator();
+
+    /// Number of data rows added so far (separators excluded).
+    std::size_t row_count() const { return n_data_rows_; }
+
+    /// Render the table to `os`.
+    void print(std::ostream& os) const;
+
+    /// Render the table to a string (convenience for tests).
+    std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+    std::vector<Align> align_;
+    std::size_t n_data_rows_ = 0;
+};
+
+}  // namespace lycos::util

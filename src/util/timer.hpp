@@ -1,0 +1,31 @@
+// Wall-clock timing for the "CPU sec" column of Table 1 and the
+// scaling benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace lycos::util {
+
+/// Wall-clock stopwatch.  Starts on construction.
+class Wall_timer {
+public:
+    Wall_timer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or the last reset().
+    double seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds.
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace lycos::util

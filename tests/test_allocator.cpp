@@ -1,0 +1,251 @@
+// Tests for core/allocator: Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "apps/random_app.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "util/rng.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+
+namespace {
+
+lb::Bsb parallel_bsb(Op_kind kind, int n, double profile)
+{
+    lb::Bsb b;
+    for (int i = 0; i < n; ++i)
+        b.graph.add_op(kind);
+    b.profile = profile;
+    return b;
+}
+
+struct Fixture {
+    lh::Hw_library lib = lh::make_default_library();
+    lh::Target target = lh::make_default_target(20000.0);
+};
+
+}  // namespace
+
+TEST(Allocator, empty_input_empty_allocation)
+{
+    Fixture f;
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(std::vector<lb::Bsb>{}, {.area_budget = 1000.0});
+    EXPECT_TRUE(r.allocation.empty());
+    EXPECT_DOUBLE_EQ(r.remaining_area, 1000.0);
+}
+
+TEST(Allocator, zero_budget_allocates_nothing)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 10.0));
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(bsbs, {.area_budget = 0.0});
+    EXPECT_TRUE(r.allocation.empty());
+    EXPECT_TRUE(r.pseudo_in_hw.empty() ||
+                !r.pseudo_in_hw[0]);  // nothing moved
+}
+
+TEST(Allocator, negative_budget_throws)
+{
+    Fixture f;
+    const lc::Allocator alloc(f.lib, f.target);
+    EXPECT_THROW(alloc.run(std::vector<lb::Bsb>{}, {.area_budget = -1.0}),
+                 std::invalid_argument);
+}
+
+TEST(Allocator, covers_moved_bsbs)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 10.0));
+    bsbs.push_back(parallel_bsb(Op_kind::mul, 2, 5.0));
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(bsbs, {.area_budget = 20000.0});
+
+    for (std::size_t i = 0; i < bsbs.size(); ++i)
+        if (r.pseudo_in_hw[i])
+            EXPECT_TRUE(
+                r.allocation.covers(bsbs[i].graph.used_ops(), f.lib))
+                << "moved BSB " << i << " not executable";
+    EXPECT_FALSE(r.allocation.empty());
+}
+
+TEST(Allocator, area_accounting_is_exact)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 10.0));
+    bsbs.push_back(parallel_bsb(Op_kind::mul, 3, 20.0));
+    bsbs.push_back(parallel_bsb(Op_kind::sub, 2, 5.0));
+    const lc::Allocator alloc(f.lib, f.target);
+    const double budget = 9000.0;
+    const auto r = alloc.run(bsbs, {.area_budget = budget});
+    EXPECT_NEAR(budget - r.remaining_area,
+                r.datapath_area + r.pseudo_controller_area, 1e-9);
+    EXPECT_GE(r.remaining_area, 0.0);
+}
+
+TEST(Allocator, respects_restrictions)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 8, 100.0));
+    const lc::Allocator alloc(f.lib, f.target);
+
+    lc::Rmap bounds;
+    bounds.set(*f.lib.find("adder"), 2);
+    const auto r = alloc.run(
+        bsbs, {.area_budget = 50000.0, .restrictions = bounds});
+    EXPECT_LE(r.allocation(*f.lib.find("adder")), 2);
+}
+
+TEST(Allocator, default_restrictions_from_asap)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 5, 100.0));
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(bsbs, {.area_budget = 1e6});
+    // Never more units than the ASAP parallelism (5 adds).
+    EXPECT_LE(r.allocation(*f.lib.find("adder")), 5);
+    EXPECT_EQ(r.restrictions(*f.lib.find("adder")), 5);
+}
+
+TEST(Allocator, example2_interleaving_moves_both)
+{
+    // Two add-only BSBs; with ample area both end up in hardware and
+    // adders accumulate (Example 2's dynamic).
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 10.0));
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 6.0));
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(bsbs, {.area_budget = 20000.0});
+    EXPECT_TRUE(r.pseudo_in_hw[0]);
+    EXPECT_TRUE(r.pseudo_in_hw[1]);
+    EXPECT_GE(r.allocation(*f.lib.find("adder")), 1);
+}
+
+TEST(Allocator, shared_resources_not_duplicated)
+{
+    // Second BSB uses the same op kinds: moving it must not allocate
+    // new units (ReqResources \ Allocation is empty), only pay ECA.
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb b1;
+    const auto x = b1.graph.add_op(Op_kind::add);
+    const auto y = b1.graph.add_op(Op_kind::add);
+    b1.graph.add_edge(x, y);  // chain: zero FURO
+    b1.profile = 10.0;
+    std::vector<lb::Bsb> arr;
+    arr.push_back(std::move(b1));
+    lb::Bsb b2;
+    const auto u = b2.graph.add_op(Op_kind::add);
+    const auto v = b2.graph.add_op(Op_kind::add);
+    b2.graph.add_edge(u, v);
+    b2.profile = 5.0;
+    arr.push_back(std::move(b2));
+
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(arr, {.area_budget = 20000.0, .record_trace = true});
+    EXPECT_TRUE(r.pseudo_in_hw[0]);
+    EXPECT_TRUE(r.pseudo_in_hw[1]);
+    EXPECT_EQ(r.allocation(*f.lib.find("adder")), 1);
+
+    // Trace: two moves, the second with an empty resource delta.
+    ASSERT_EQ(r.trace.size(), 2u);
+    EXPECT_EQ(r.trace[0].kind, lc::Alloc_step::Kind::move_to_hw);
+    EXPECT_FALSE(r.trace[0].added.empty());
+    EXPECT_TRUE(r.trace[1].added.empty());
+}
+
+TEST(Allocator, required_resources_minimal_cover)
+{
+    Fixture f;
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto req =
+        alloc.required_resources({Op_kind::add, Op_kind::mul, Op_kind::neg});
+    ASSERT_TRUE(req.has_value());
+    // adder covers add+neg; multiplier covers mul: exactly two units.
+    EXPECT_EQ((*req)(*f.lib.find("adder")), 1);
+    EXPECT_EQ((*req)(*f.lib.find("multiplier")), 1);
+    EXPECT_EQ(req->total_units(), 2);
+}
+
+TEST(Allocator, required_resources_uncoverable_kind)
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    const auto target = lh::make_default_target(1000.0);
+    const lc::Allocator alloc(lib, target);
+    EXPECT_FALSE(
+        alloc.required_resources({Op_kind::add, Op_kind::mul}).has_value());
+}
+
+TEST(Allocator, uncoverable_bsb_stays_in_software)
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    const auto target = lh::make_default_target(100000.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::mul, 3, 100.0));  // no multiplier!
+    bsbs.push_back(parallel_bsb(Op_kind::add, 3, 1.0));
+    const lc::Allocator alloc(lib, target);
+    const auto r = alloc.run(bsbs, {.area_budget = 100000.0});
+    EXPECT_FALSE(r.pseudo_in_hw[0]);
+    EXPECT_TRUE(r.pseudo_in_hw[1]);
+}
+
+TEST(Allocator, tight_budget_moves_highest_urgency_first)
+{
+    Fixture f;
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 1.0));    // low urgency
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 100.0));  // high urgency
+    const lc::Allocator alloc(f.lib, f.target);
+    // Budget for one adder plus one 1-state controller (ECA = reg +
+    // and + or) only: the second BSB's move cannot be afforded.
+    const double one_move = 180.0 + (f.target.gates.reg +
+                                     f.target.gates.and2 +
+                                     f.target.gates.or2);
+    const auto r = alloc.run(bsbs, {.area_budget = one_move + 10.0});
+    EXPECT_TRUE(r.pseudo_in_hw[1]);
+    EXPECT_FALSE(r.pseudo_in_hw[0]);
+}
+
+// Property sweep: invariants on random applications.
+class AllocatorRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorRandom, invariants)
+{
+    lycos::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+    Fixture f;
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = rng.uniform_int(1, 10);
+    const auto bsbs = lycos::apps::random_bsbs(rng, params);
+
+    const double budget = rng.uniform_real(500.0, 30000.0);
+    const lc::Allocator alloc(f.lib, f.target);
+    const auto r = alloc.run(bsbs, {.area_budget = budget});
+
+    // Area invariants.
+    EXPECT_GE(r.remaining_area, 0.0);
+    EXPECT_NEAR(budget - r.remaining_area,
+                r.datapath_area + r.pseudo_controller_area, 1e-6);
+
+    // Restriction invariants.
+    for (const auto& [res, count] : r.allocation.entries())
+        EXPECT_LE(count, r.restrictions(res));
+
+    // Every pseudo-HW BSB is executable under the allocation.
+    for (std::size_t i = 0; i < bsbs.size(); ++i)
+        if (r.pseudo_in_hw[i])
+            EXPECT_TRUE(r.allocation.covers(bsbs[i].graph.used_ops(), f.lib));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorRandom, ::testing::Range(0, 20));

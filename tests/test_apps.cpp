@@ -1,0 +1,140 @@
+// Tests for the four benchmark applications and the random generator.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "apps/random_app.hpp"
+#include "bsb/bsb.hpp"
+#include "util/rng.hpp"
+
+namespace la = lycos::apps;
+using lycos::hw::Op_kind;
+
+TEST(Apps, all_four_compile_nonempty)
+{
+    const auto apps = la::make_all_apps();
+    ASSERT_EQ(apps.size(), 4u);
+    for (const auto& app : apps) {
+        EXPECT_FALSE(app.bsbs.empty()) << app.name;
+        EXPECT_GT(app.lines, 0) << app.name;
+        EXPECT_GT(app.asic_area, 0.0) << app.name;
+        EXPECT_GT(lycos::bsb::total_ops(app.bsbs), 10u) << app.name;
+        for (const auto& b : app.bsbs) {
+            EXPECT_TRUE(b.graph.is_dag()) << app.name << "/" << b.name;
+            EXPECT_GT(b.profile, 0.0);
+        }
+    }
+}
+
+TEST(Apps, table1_order_and_relative_sizes)
+{
+    const auto apps = la::make_all_apps();
+    EXPECT_EQ(apps[0].name, "straight");
+    EXPECT_EQ(apps[1].name, "hal");
+    EXPECT_EQ(apps[2].name, "man");
+    EXPECT_EQ(apps[3].name, "eigen");
+    // Paper: hal is the smallest source, eigen the largest.
+    EXPECT_LT(apps[1].lines, apps[0].lines);
+    EXPECT_LT(apps[1].lines, apps[2].lines);
+    EXPECT_GT(apps[3].lines, apps[0].lines);
+}
+
+TEST(Apps, hal_has_the_hal_multiplications)
+{
+    const auto hal = la::make_hal();
+    int muls = 0;
+    double max_profile = 0.0;
+    for (const auto& b : hal.bsbs) {
+        muls += b.graph.count(Op_kind::mul);
+        max_profile = std::max(max_profile, b.profile);
+    }
+    EXPECT_GE(muls, 6);  // the classic HAL body has six multiplications
+    EXPECT_GE(max_profile, 1000.0);  // driven by the while-trip annotation
+}
+
+TEST(Apps, man_has_the_parallel_constant_block)
+{
+    const auto man = la::make_man();
+    // One BSB must contain at least 12 constant loads (the pathology
+    // of Table 1 row 3).
+    int best = 0;
+    for (const auto& b : man.bsbs)
+        best = std::max(best, b.graph.count(Op_kind::const_load));
+    EXPECT_GE(best, 12);
+}
+
+TEST(Apps, man_inner_loop_is_hot)
+{
+    const auto man = la::make_man();
+    double hottest = 0.0;
+    for (const auto& b : man.bsbs)
+        hottest = std::max(hottest, b.profile);
+    EXPECT_GE(hottest, 64.0 * 20.0);  // pixels * iterations
+}
+
+TEST(Apps, eigen_is_division_heavy)
+{
+    const auto eigen = la::make_eigen();
+    int divs = 0;
+    for (const auto& b : eigen.bsbs)
+        divs += b.graph.count(Op_kind::div);
+    EXPECT_GE(divs, 8);  // 2 per rotation * 6 pivots via inlining + tail
+}
+
+TEST(Apps, eigen_has_many_bsbs)
+{
+    const auto eigen = la::make_eigen();
+    EXPECT_GE(eigen.bsbs.size(), 10u);
+}
+
+TEST(RandomApp, deterministic_per_seed)
+{
+    lycos::util::Rng r1(5), r2(5);
+    la::Random_app_params p;
+    const auto a = la::random_bsbs(r1, p);
+    const auto b = la::random_bsbs(r2, p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].graph.size(), b[i].graph.size());
+        EXPECT_DOUBLE_EQ(a[i].profile, b[i].profile);
+    }
+}
+
+TEST(RandomApp, respects_parameters)
+{
+    lycos::util::Rng rng(11);
+    la::Random_app_params p;
+    p.n_bsbs = 5;
+    p.min_ops = 4;
+    p.max_ops = 9;
+    const auto bsbs = la::random_bsbs(rng, p);
+    ASSERT_EQ(bsbs.size(), 5u);
+    for (const auto& b : bsbs) {
+        EXPECT_GE(b.graph.size(), 4u);
+        EXPECT_LE(b.graph.size(), 9u + 0u);
+        EXPECT_TRUE(b.graph.is_dag());
+        EXPECT_GE(b.profile, 1.0);
+        EXPECT_LE(b.profile, p.max_profile);
+    }
+}
+
+TEST(RandomApp, adjacent_blocks_share_values)
+{
+    lycos::util::Rng rng(13);
+    la::Random_app_params p;
+    p.n_bsbs = 6;
+    p.max_live_values = 4;
+    const auto bsbs = la::random_bsbs(rng, p);
+    // At least one adjacent pair shares a value by construction
+    // (whenever both sides have live values at all).
+    int shared_pairs = 0;
+    for (std::size_t i = 0; i + 1 < bsbs.size(); ++i) {
+        for (const auto& out : bsbs[i].graph.live_outs()) {
+            const auto ins = bsbs[i + 1].graph.live_ins();
+            if (std::find(ins.begin(), ins.end(), out) != ins.end()) {
+                ++shared_pairs;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(shared_pairs, 1);
+}

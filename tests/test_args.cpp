@@ -1,0 +1,113 @@
+// Tests for the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace lu = lycos::util;
+
+namespace {
+
+lu::Arg_parser make_parser()
+{
+    lu::Arg_parser p("prog", "test program");
+    p.add_option("area", "8000", "ASIC area");
+    p.add_option("policy", "min_area", "selection policy");
+    p.add_flag("storage", "charge storage");
+    return p;
+}
+
+}  // namespace
+
+TEST(Args, defaults_without_arguments)
+{
+    auto p = make_parser();
+    p.parse({});
+    EXPECT_EQ(p.value("area"), "8000");
+    EXPECT_FALSE(p.flag("storage"));
+    EXPECT_FALSE(p.was_set("area"));
+    EXPECT_TRUE(p.positional().empty());
+}
+
+TEST(Args, option_with_separate_value)
+{
+    auto p = make_parser();
+    p.parse({"--area", "12000"});
+    EXPECT_EQ(p.value("area"), "12000");
+    EXPECT_TRUE(p.was_set("area"));
+}
+
+TEST(Args, option_with_equals_value)
+{
+    auto p = make_parser();
+    p.parse({"--policy=balanced"});
+    EXPECT_EQ(p.value("policy"), "balanced");
+}
+
+TEST(Args, flags_and_positionals)
+{
+    auto p = make_parser();
+    p.parse({"file.mc", "--storage", "extra"});
+    EXPECT_TRUE(p.flag("storage"));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "file.mc");
+    EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(Args, double_dash_ends_options)
+{
+    auto p = make_parser();
+    p.parse({"--", "--storage"});
+    EXPECT_FALSE(p.flag("storage"));
+    ASSERT_EQ(p.positional().size(), 1u);
+    EXPECT_EQ(p.positional()[0], "--storage");
+}
+
+TEST(Args, unknown_option_throws)
+{
+    auto p = make_parser();
+    EXPECT_THROW(p.parse({"--bogus"}), std::invalid_argument);
+}
+
+TEST(Args, missing_value_throws)
+{
+    auto p = make_parser();
+    EXPECT_THROW(p.parse({"--area"}), std::invalid_argument);
+}
+
+TEST(Args, flag_with_value_throws)
+{
+    auto p = make_parser();
+    EXPECT_THROW(p.parse({"--storage=yes"}), std::invalid_argument);
+}
+
+TEST(Args, duplicate_registration_throws)
+{
+    auto p = make_parser();
+    EXPECT_THROW(p.add_flag("area", "dup"), std::invalid_argument);
+    EXPECT_THROW(p.add_option("storage", "x", "dup"), std::invalid_argument);
+}
+
+TEST(Args, flag_query_on_option_throws)
+{
+    auto p = make_parser();
+    p.parse({});
+    EXPECT_THROW((void)p.flag("area"), std::invalid_argument);
+    EXPECT_THROW((void)p.value("nope"), std::invalid_argument);
+}
+
+TEST(Args, usage_mentions_every_option)
+{
+    const auto p = make_parser();
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("--area"), std::string::npos);
+    EXPECT_NE(u.find("--policy"), std::string::npos);
+    EXPECT_NE(u.find("--storage"), std::string::npos);
+    EXPECT_NE(u.find("test program"), std::string::npos);
+}
+
+TEST(Args, last_occurrence_wins)
+{
+    auto p = make_parser();
+    p.parse({"--area", "1", "--area", "2"});
+    EXPECT_EQ(p.value("area"), "2");
+}

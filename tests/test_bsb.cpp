@@ -1,0 +1,80 @@
+// Tests for bsb: CDFG flattening into the leaf-BSB array.
+#include <gtest/gtest.h>
+
+#include "bsb/bsb.hpp"
+
+namespace lb = lycos::bsb;
+namespace lg = lycos::cdfg;
+namespace ld = lycos::dfg;
+using lycos::hw::Op_kind;
+
+namespace {
+
+ld::Dfg dfg_with(int n_ops)
+{
+    ld::Dfg g;
+    for (int i = 0; i < n_ops; ++i)
+        g.add_op(Op_kind::add);
+    return g;
+}
+
+}  // namespace
+
+TEST(Bsb, extracts_in_execution_order_with_profiles)
+{
+    lg::Cdfg g;
+    g.add_leaf(g.root(), dfg_with(2), "B1");
+    const auto loop = g.add_loop(g.root(), 5.0, "L");
+    g.leaf_graph(g.loop_test(loop)) = dfg_with(1);
+    g.add_leaf(g.loop_body(loop), dfg_with(3), "B2");
+    g.add_leaf(g.root(), dfg_with(1), "B3");
+
+    const auto bsbs = lb::extract_leaf_bsbs(g);
+    ASSERT_EQ(bsbs.size(), 4u);
+    EXPECT_EQ(bsbs[0].name, "B1");
+    EXPECT_DOUBLE_EQ(bsbs[0].profile, 1.0);
+    EXPECT_EQ(bsbs[1].name, "L.test");
+    EXPECT_DOUBLE_EQ(bsbs[1].profile, 6.0);
+    EXPECT_EQ(bsbs[2].name, "B2");
+    EXPECT_DOUBLE_EQ(bsbs[2].profile, 5.0);
+    EXPECT_EQ(bsbs[3].name, "B3");
+    EXPECT_EQ(lb::total_ops(bsbs), 7u);
+}
+
+TEST(Bsb, empty_leaves_dropped)
+{
+    lg::Cdfg g;
+    const auto loop = g.add_loop(g.root(), 5.0, "L");
+    // loop test left empty (no DFG): must be dropped.
+    g.add_leaf(g.loop_body(loop), dfg_with(2), "B");
+    const auto bsbs = lb::extract_leaf_bsbs(g);
+    ASSERT_EQ(bsbs.size(), 1u);
+    EXPECT_EQ(bsbs[0].name, "B");
+}
+
+TEST(Bsb, entry_count_scales_profiles)
+{
+    lg::Cdfg g;
+    g.add_leaf(g.root(), dfg_with(1), "B");
+    const auto bsbs = lb::extract_leaf_bsbs(g, 42.0);
+    ASSERT_EQ(bsbs.size(), 1u);
+    EXPECT_DOUBLE_EQ(bsbs[0].profile, 42.0);
+}
+
+TEST(Bsb, source_node_preserved)
+{
+    lg::Cdfg g;
+    const auto leaf = g.add_leaf(g.root(), dfg_with(1), "B");
+    const auto bsbs = lb::extract_leaf_bsbs(g);
+    ASSERT_EQ(bsbs.size(), 1u);
+    EXPECT_EQ(bsbs[0].source, leaf);
+}
+
+TEST(Bsb, graph_copied_not_referenced)
+{
+    lg::Cdfg g;
+    const auto leaf = g.add_leaf(g.root(), dfg_with(1), "B");
+    auto bsbs = lb::extract_leaf_bsbs(g);
+    g.leaf_graph(leaf).add_op(Op_kind::mul);
+    EXPECT_EQ(bsbs[0].graph.size(), 1u);  // unchanged copy
+}

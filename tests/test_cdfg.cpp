@@ -1,0 +1,195 @@
+// Tests for cdfg: tree construction, structural invariants and profile
+// propagation.
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.hpp"
+#include "cdfg/profile.hpp"
+
+namespace lg = lycos::cdfg;
+namespace ld = lycos::dfg;
+using lycos::hw::Op_kind;
+
+namespace {
+
+ld::Dfg one_op_dfg()
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    return g;
+}
+
+}  // namespace
+
+TEST(Cdfg, root_is_sequence)
+{
+    lg::Cdfg g;
+    EXPECT_EQ(g.kind(g.root()), lg::Node_kind::sequence);
+    EXPECT_EQ(g.name(g.root()), "main");
+    EXPECT_TRUE(g.children(g.root()).empty());
+}
+
+TEST(Cdfg, add_leaf_and_graph_access)
+{
+    lg::Cdfg g;
+    const auto leaf = g.add_leaf(g.root(), one_op_dfg(), "B1");
+    EXPECT_EQ(g.kind(leaf), lg::Node_kind::leaf);
+    EXPECT_EQ(g.leaf_graph(leaf).size(), 1u);
+    ASSERT_EQ(g.children(g.root()).size(), 1u);
+    EXPECT_EQ(g.children(g.root())[0], leaf);
+}
+
+TEST(Cdfg, loop_owns_test_and_body)
+{
+    lg::Cdfg g;
+    const auto loop = g.add_loop(g.root(), 10.0, "L");
+    EXPECT_EQ(g.kind(loop), lg::Node_kind::loop);
+    EXPECT_EQ(g.kind(g.loop_test(loop)), lg::Node_kind::leaf);
+    EXPECT_EQ(g.kind(g.loop_body(loop)), lg::Node_kind::sequence);
+    EXPECT_DOUBLE_EQ(g.trip_count(loop), 10.0);
+}
+
+TEST(Cdfg, cond_owns_test_then_else)
+{
+    lg::Cdfg g;
+    const auto cond = g.add_cond(g.root(), 0.3, "C");
+    EXPECT_EQ(g.kind(g.cond_test(cond)), lg::Node_kind::leaf);
+    EXPECT_EQ(g.kind(g.cond_then(cond)), lg::Node_kind::sequence);
+    EXPECT_EQ(g.kind(g.cond_else(cond)), lg::Node_kind::sequence);
+    EXPECT_DOUBLE_EQ(g.p_true(cond), 0.3);
+}
+
+TEST(Cdfg, structural_misuse_throws)
+{
+    lg::Cdfg g;
+    const auto leaf = g.add_leaf(g.root(), one_op_dfg(), "B1");
+    EXPECT_THROW(g.add_leaf(leaf, one_op_dfg(), "X"), std::invalid_argument);
+    EXPECT_THROW(g.loop_body(leaf), std::invalid_argument);
+    EXPECT_THROW(g.leaf_graph(g.root()), std::invalid_argument);
+    EXPECT_THROW(g.add_cond(g.root(), 1.5, "bad"), std::invalid_argument);
+    EXPECT_THROW(g.add_loop(g.root(), -1.0, "bad"), std::invalid_argument);
+    EXPECT_THROW(g.add_wait(g.root(), -1, "bad"), std::invalid_argument);
+}
+
+TEST(Cdfg, func_owns_body)
+{
+    lg::Cdfg g;
+    const auto fu = g.add_func(g.root(), "F");
+    EXPECT_EQ(g.kind(g.func_body(fu)), lg::Node_kind::sequence);
+}
+
+TEST(Cdfg, leaves_in_order_matches_figure4_shape)
+{
+    // main: [B1, loop(test, body:[B2, cond(test, then:[B3], else:[B4])]), B5]
+    lg::Cdfg g;
+    const auto b1 = g.add_leaf(g.root(), one_op_dfg(), "B1");
+    const auto loop = g.add_loop(g.root(), 4.0, "L");
+    g.leaf_graph(g.loop_test(loop)) = one_op_dfg();
+    const auto body = g.loop_body(loop);
+    const auto b2 = g.add_leaf(body, one_op_dfg(), "B2");
+    const auto cond = g.add_cond(body, 0.5, "C");
+    g.leaf_graph(g.cond_test(cond)) = one_op_dfg();
+    const auto b3 = g.add_leaf(g.cond_then(cond), one_op_dfg(), "B3");
+    const auto b4 = g.add_leaf(g.cond_else(cond), one_op_dfg(), "B4");
+    const auto b5 = g.add_leaf(g.root(), one_op_dfg(), "B5");
+
+    const auto leaves = g.leaves_in_order();
+    ASSERT_EQ(leaves.size(), 7u);
+    EXPECT_EQ(leaves[0], b1);
+    EXPECT_EQ(leaves[1], g.loop_test(loop));
+    EXPECT_EQ(leaves[2], b2);
+    EXPECT_EQ(leaves[3], g.cond_test(cond));
+    EXPECT_EQ(leaves[4], b3);
+    EXPECT_EQ(leaves[5], b4);
+    EXPECT_EQ(leaves[6], b5);
+    EXPECT_EQ(g.total_ops(), 7u);
+}
+
+TEST(Profile, flat_sequence)
+{
+    lg::Cdfg g;
+    g.add_leaf(g.root(), one_op_dfg(), "B1");
+    g.add_leaf(g.root(), one_op_dfg(), "B2");
+    const auto p = lg::propagate_profiles(g);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_DOUBLE_EQ(p[0].count, 1.0);
+    EXPECT_DOUBLE_EQ(p[1].count, 1.0);
+}
+
+TEST(Profile, loop_multiplies_body_and_test)
+{
+    lg::Cdfg g;
+    const auto loop = g.add_loop(g.root(), 10.0, "L");
+    g.leaf_graph(g.loop_test(loop)) = one_op_dfg();
+    g.add_leaf(g.loop_body(loop), one_op_dfg(), "B");
+    const auto p = lg::propagate_profiles(g);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_DOUBLE_EQ(p[0].count, 11.0);  // test: trips + 1
+    EXPECT_DOUBLE_EQ(p[1].count, 10.0);  // body: trips
+}
+
+TEST(Profile, nested_loops_multiply)
+{
+    lg::Cdfg g;
+    const auto outer = g.add_loop(g.root(), 4.0, "O");
+    const auto inner = g.add_loop(g.loop_body(outer), 5.0, "I");
+    g.add_leaf(g.loop_body(inner), one_op_dfg(), "B");
+    // Profiles are emitted for every leaf, including the (empty) test
+    // leaves: outer test, inner test, body.
+    const auto p = lg::propagate_profiles(g);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_DOUBLE_EQ(p[0].count, 5.0);   // outer test: 4 + 1
+    EXPECT_DOUBLE_EQ(p[1].count, 24.0);  // inner test: 4 * (5 + 1)
+    EXPECT_DOUBLE_EQ(p[2].count, 20.0);  // body: 4 * 5
+}
+
+TEST(Profile, cond_splits_by_probability)
+{
+    lg::Cdfg g;
+    const auto cond = g.add_cond(g.root(), 0.25, "C");
+    g.leaf_graph(g.cond_test(cond)) = one_op_dfg();
+    g.add_leaf(g.cond_then(cond), one_op_dfg(), "T");
+    g.add_leaf(g.cond_else(cond), one_op_dfg(), "E");
+    const auto p = lg::propagate_profiles(g);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_DOUBLE_EQ(p[0].count, 1.0);   // test
+    EXPECT_DOUBLE_EQ(p[1].count, 0.25);  // then
+    EXPECT_DOUBLE_EQ(p[2].count, 0.75);  // else
+}
+
+TEST(Profile, entry_count_scales_everything)
+{
+    lg::Cdfg g;
+    const auto loop = g.add_loop(g.root(), 3.0, "L");
+    g.add_leaf(g.loop_body(loop), one_op_dfg(), "B");
+    const auto p = lg::propagate_profiles(g, 7.0);
+    ASSERT_EQ(p.size(), 2u);  // (empty) test leaf + body leaf
+    EXPECT_DOUBLE_EQ(p[0].count, 28.0);  // test: 7 * (3 + 1)
+    EXPECT_DOUBLE_EQ(p[1].count, 21.0);  // body: 7 * 3
+    EXPECT_THROW(lg::propagate_profiles(g, -1.0), std::invalid_argument);
+}
+
+TEST(Profile, func_body_inherits_count)
+{
+    lg::Cdfg g;
+    const auto loop = g.add_loop(g.root(), 6.0, "L");
+    const auto fu = g.add_func(g.loop_body(loop), "F");
+    g.add_leaf(g.func_body(fu), one_op_dfg(), "B");
+    const auto p = lg::propagate_profiles(g);
+    ASSERT_EQ(p.size(), 2u);  // (empty) loop test + func body leaf
+    EXPECT_DOUBLE_EQ(p[1].count, 6.0);
+}
+
+TEST(Profile, order_matches_leaves_in_order)
+{
+    lg::Cdfg g;
+    g.add_leaf(g.root(), one_op_dfg(), "B1");
+    const auto loop = g.add_loop(g.root(), 2.0, "L");
+    g.leaf_graph(g.loop_test(loop)) = one_op_dfg();
+    g.add_leaf(g.loop_body(loop), one_op_dfg(), "B2");
+    g.add_leaf(g.root(), one_op_dfg(), "B3");
+    const auto leaves = g.leaves_in_order();
+    const auto profiles = lg::propagate_profiles(g);
+    ASSERT_EQ(leaves.size(), profiles.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        EXPECT_EQ(leaves[i], profiles[i].leaf);
+}

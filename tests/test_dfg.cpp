@@ -1,0 +1,192 @@
+// Tests for dfg: graph construction, topological order, transitive
+// successors, critical path, bit matrix.
+#include <gtest/gtest.h>
+
+#include "dfg/bit_matrix.hpp"
+#include "dfg/dfg.hpp"
+#include "util/rng.hpp"
+
+namespace ld = lycos::dfg;
+using lycos::hw::Op_kind;
+
+TEST(BitMatrix, set_get)
+{
+    ld::Bit_matrix m(100);
+    EXPECT_FALSE(m.get(3, 77));
+    m.set(3, 77);
+    EXPECT_TRUE(m.get(3, 77));
+    m.set(3, 77, false);
+    EXPECT_FALSE(m.get(3, 77));
+}
+
+TEST(BitMatrix, or_row_into_and_count)
+{
+    ld::Bit_matrix m(70);
+    m.set(0, 1);
+    m.set(0, 65);
+    m.set(1, 2);
+    m.or_row_into(0, 1);
+    EXPECT_TRUE(m.get(1, 1));
+    EXPECT_TRUE(m.get(1, 65));
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_EQ(m.row_count(1), 3u);
+    EXPECT_EQ(m.row_count(0), 2u);
+}
+
+TEST(Dfg, build_and_query)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add, "a");
+    const auto b = g.add_op(Op_kind::mul, "b");
+    g.add_edge(a, b);
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_EQ(g.op(a).kind, Op_kind::add);
+    EXPECT_EQ(g.op(b).name, "b");
+    ASSERT_EQ(g.succs(a).size(), 1u);
+    EXPECT_EQ(g.succs(a)[0], b);
+    ASSERT_EQ(g.preds(b).size(), 1u);
+    EXPECT_EQ(g.preds(b)[0], a);
+}
+
+TEST(Dfg, duplicate_edges_ignored_self_edges_throw)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    g.add_edge(a, b);
+    EXPECT_EQ(g.succs(a).size(), 1u);
+    EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(a, 5), std::out_of_range);
+}
+
+TEST(Dfg, topo_order_respects_edges)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    const auto c = g.add_op(Op_kind::add);
+    g.add_edge(c, b);  // c before b
+    g.add_edge(b, a);  // b before a
+    const auto order = g.topo_order();
+    ASSERT_EQ(order.size(), 3u);
+    std::vector<int> pos(3);
+    for (int i = 0; i < 3; ++i)
+        pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+    EXPECT_LT(pos[static_cast<std::size_t>(c)], pos[static_cast<std::size_t>(b)]);
+    EXPECT_LT(pos[static_cast<std::size_t>(b)], pos[static_cast<std::size_t>(a)]);
+}
+
+TEST(Dfg, cycle_detection)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    EXPECT_TRUE(g.is_dag());
+    g.add_edge(b, a);
+    EXPECT_FALSE(g.is_dag());
+    EXPECT_THROW(g.topo_order(), std::logic_error);
+    EXPECT_THROW(g.transitive_successors(), std::logic_error);
+}
+
+TEST(Dfg, transitive_successors_chain_and_diamond)
+{
+    // a -> b -> d, a -> c -> d
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    const auto c = g.add_op(Op_kind::add);
+    const auto d = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+    g.add_edge(b, d);
+    g.add_edge(c, d);
+    const auto s = g.transitive_successors();
+    EXPECT_TRUE(s.get(0, 1));
+    EXPECT_TRUE(s.get(0, 2));
+    EXPECT_TRUE(s.get(0, 3));  // transitive
+    EXPECT_TRUE(s.get(1, 3));
+    EXPECT_FALSE(s.get(1, 2));  // b and c independent
+    EXPECT_FALSE(s.get(2, 1));
+    EXPECT_FALSE(s.get(3, 0));  // no backwards reachability
+    EXPECT_EQ(s.row_count(0), 3u);
+}
+
+TEST(Dfg, critical_path)
+{
+    ld::Dfg g;
+    EXPECT_EQ(g.critical_path_ops(), 0);
+    const auto a = g.add_op(Op_kind::add);
+    EXPECT_EQ(g.critical_path_ops(), 1);
+    const auto b = g.add_op(Op_kind::add);
+    const auto c = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_op(Op_kind::add);  // isolated
+    EXPECT_EQ(g.critical_path_ops(), 3);
+}
+
+TEST(Dfg, histogram_and_used_ops)
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::mul);
+    const auto h = g.kind_histogram();
+    EXPECT_EQ(h[Op_kind::add], 2);
+    EXPECT_EQ(h[Op_kind::mul], 1);
+    EXPECT_EQ(h[Op_kind::div], 0);
+    EXPECT_EQ(g.count(Op_kind::add), 2);
+    EXPECT_TRUE(g.used_ops().contains(Op_kind::mul));
+    EXPECT_FALSE(g.used_ops().contains(Op_kind::div));
+}
+
+TEST(Dfg, live_values_deduplicated)
+{
+    ld::Dfg g;
+    g.add_live_in("x");
+    g.add_live_in("x");
+    g.add_live_out("y");
+    g.add_live_out("y");
+    EXPECT_EQ(g.live_ins().size(), 1u);
+    EXPECT_EQ(g.live_outs().size(), 1u);
+}
+
+// Property sweep: random forward-edge DAGs always topo-sort, and every
+// direct successor is in the transitive matrix.
+class DfgRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfgRandom, random_dags_are_consistent)
+{
+    lycos::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    ld::Dfg g;
+    const int n = rng.uniform_int(2, 40);
+    for (int i = 0; i < n; ++i)
+        g.add_op(Op_kind::add);
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            if (rng.chance(0.2))
+                g.add_edge(a, b);
+
+    EXPECT_TRUE(g.is_dag());
+    const auto order = g.topo_order();
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(n));
+
+    const auto s = g.transitive_successors();
+    for (int v = 0; v < n; ++v)
+        for (auto w : g.succs(v))
+            EXPECT_TRUE(s.get(static_cast<std::size_t>(v),
+                              static_cast<std::size_t>(w)));
+    // Transitivity: succ(succ(v)) subset of succ(v).
+    for (int v = 0; v < n; ++v)
+        for (int w = 0; w < n; ++w)
+            if (s.get(static_cast<std::size_t>(v), static_cast<std::size_t>(w)))
+                for (int x = 0; x < n; ++x)
+                    if (s.get(static_cast<std::size_t>(w),
+                              static_cast<std::size_t>(x)))
+                        EXPECT_TRUE(s.get(static_cast<std::size_t>(v),
+                                          static_cast<std::size_t>(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfgRandom, ::testing::Range(0, 12));

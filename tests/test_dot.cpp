@@ -1,0 +1,76 @@
+// Tests for the DOT exporters.
+#include <gtest/gtest.h>
+
+#include "cdfg/dot.hpp"
+#include "dfg/dot.hpp"
+#include "minic/lower.hpp"
+
+namespace ld = lycos::dfg;
+namespace lg = lycos::cdfg;
+using lycos::hw::Op_kind;
+
+TEST(DfgDot, contains_nodes_edges_and_live_values)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add, "sum");
+    const auto m = g.add_op(Op_kind::mul);
+    g.add_edge(a, m);
+    g.add_live_in("x");
+    g.add_live_out("y");
+
+    const std::string dot = ld::to_dot(g, "test");
+    EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"add\\nsum\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"mul\""), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("\"x\""), std::string::npos);
+    EXPECT_NE(dot.find("\"y\""), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DfgDot, escapes_quotes)
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add, "a\"b");
+    const std::string dot = ld::to_dot(g);
+    EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+TEST(DfgDot, empty_graph_is_valid)
+{
+    const std::string dot = ld::to_dot(ld::Dfg{});
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(CdfgDot, renders_control_constructs)
+{
+    const auto g = lycos::minic::compile(R"(
+x = 1;
+loop 8 { x = x + 1; if (x < 4) { y = 1; } else { y = 2; } }
+wait 2;
+z = x + y;
+)");
+    const std::string dot = lg::to_dot(g, "app");
+    EXPECT_NE(dot.find("digraph \"app\""), std::string::npos);
+    EXPECT_NE(dot.find("loop "), std::string::npos);
+    EXPECT_NE(dot.find("trips 8"), std::string::npos);
+    EXPECT_NE(dot.find("cond "), std::string::npos);
+    EXPECT_NE(dot.find("wait 2"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"test\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"then\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"else\""), std::string::npos);
+    EXPECT_NE(dot.find("ops"), std::string::npos);
+}
+
+TEST(CdfgDot, renders_functions)
+{
+    const auto g = lycos::minic::compile(R"(
+func f(a) { r = a * 2; }
+f(3);
+q = r + 1;
+)");
+    const std::string dot = lg::to_dot(g);
+    EXPECT_NE(dot.find("func f"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"body\""), std::string::npos);
+}

@@ -1,0 +1,165 @@
+// Tests for estimate: ECA formula, software/hardware time,
+// communication model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimate/comm.hpp"
+#include "estimate/controller.hpp"
+#include "estimate/hw_time.hpp"
+#include "estimate/sw_time.hpp"
+#include "hw/target.hpp"
+
+namespace le = lycos::estimate;
+namespace lh = lycos::hw;
+namespace ld = lycos::dfg;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+
+TEST(Controller, eca_formula_literal)
+{
+    // ECA = A_R + A_AG + A_OG + log2(N)*A_R + (N-1)*(A_IG + 2*A_AG)
+    lh::Gate_areas g;
+    g.reg = 8.0;
+    g.and2 = 1.0;
+    g.or2 = 1.0;
+    g.inv = 0.5;
+    const int n = 8;
+    const double expected =
+        8.0 + 1.0 + 1.0 + std::log2(8.0) * 8.0 + 7.0 * (0.5 + 2.0 * 1.0);
+    EXPECT_DOUBLE_EQ(le::controller_area(n, g), expected);
+}
+
+TEST(Controller, single_state_has_no_decode_chain)
+{
+    lh::Gate_areas g;
+    const double a1 = le::controller_area(1, g);
+    EXPECT_DOUBLE_EQ(a1, g.reg + g.and2 + g.or2);  // log2(1)=0, N-1=0
+}
+
+TEST(Controller, monotonically_increasing_in_states)
+{
+    lh::Gate_areas g;
+    double prev = le::controller_area(1, g);
+    for (int n = 2; n <= 256; n *= 2) {
+        const double cur = le::controller_area(n, g);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Controller, invalid_state_count_throws)
+{
+    lh::Gate_areas g;
+    EXPECT_THROW(le::controller_area(0, g), std::invalid_argument);
+    EXPECT_THROW(le::controller_area(-3, g), std::invalid_argument);
+}
+
+TEST(Controller, real_area_grows_with_longer_schedule)
+{
+    lh::Gate_areas g;
+    EXPECT_GT(le::real_controller_area(20, g), le::eca(10, g));
+}
+
+TEST(SwTime, serial_sum_of_cycles)
+{
+    const auto t = lh::make_default_target(1.0);
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::mul);
+    g.add_op(Op_kind::mul);
+    const long long expected = t.cpu.cycles_per_op[Op_kind::add] +
+                               2 * t.cpu.cycles_per_op[Op_kind::mul];
+    EXPECT_EQ(le::sw_cycles(g, t.cpu), expected);
+    EXPECT_DOUBLE_EQ(le::sw_time_ns(g, t.cpu),
+                     expected * 1e3 / t.cpu.clock_mhz);
+}
+
+TEST(SwTime, profile_weighted_total)
+{
+    const auto t = lh::make_default_target(1.0);
+    lb::Bsb b;
+    b.graph.add_op(Op_kind::add);
+    b.profile = 100.0;
+    EXPECT_DOUBLE_EQ(le::total_sw_time_ns(b, t.cpu),
+                     100.0 * le::sw_time_ns(b.graph, t.cpu));
+}
+
+TEST(SwTime, empty_graph_is_free)
+{
+    const auto t = lh::make_default_target(1.0);
+    EXPECT_EQ(le::sw_cycles(ld::Dfg{}, t.cpu), 0);
+}
+
+TEST(HwTime, matches_list_schedule_length)
+{
+    const auto lib = lh::make_default_library();
+    const auto t = lh::make_default_target(1.0);
+    ld::Dfg g;
+    const auto m1 = g.add_op(Op_kind::mul);
+    const auto a = g.add_op(Op_kind::add);
+    g.add_edge(m1, a);
+    std::vector<int> counts(lib.size(), 1);
+    const auto cycles = le::hw_cycles(g, lib, counts);
+    ASSERT_TRUE(cycles.has_value());
+    EXPECT_EQ(*cycles, 3);  // 2-cycle mul + add
+    const auto ns = le::hw_time_ns(g, lib, counts, t.asic);
+    ASSERT_TRUE(ns.has_value());
+    EXPECT_DOUBLE_EQ(*ns, 3 * t.asic.cycle_ns());
+}
+
+TEST(HwTime, infeasible_without_units)
+{
+    const auto lib = lh::make_default_library();
+    const auto t = lh::make_default_target(1.0);
+    ld::Dfg g;
+    g.add_op(Op_kind::mul);
+    std::vector<int> counts(lib.size(), 0);
+    EXPECT_FALSE(le::hw_cycles(g, lib, counts).has_value());
+    EXPECT_FALSE(le::hw_time_ns(g, lib, counts, t.asic).has_value());
+}
+
+TEST(Comm, words_count_read_and_write_sets)
+{
+    lb::Bsb b;
+    b.graph.add_live_in("x");
+    b.graph.add_live_in("y");
+    b.graph.add_live_out("z");
+    EXPECT_EQ(le::comm_words(b), 3);
+    lh::Bus_model bus{50.0};
+    EXPECT_DOUBLE_EQ(le::comm_time_ns(b, bus), 150.0);
+}
+
+TEST(Comm, shared_values_intersection)
+{
+    lb::Bsb a;
+    a.graph.add_live_out("x");
+    a.graph.add_live_out("y");
+    lb::Bsb b;
+    b.graph.add_live_in("y");
+    b.graph.add_live_in("z");
+    EXPECT_EQ(le::shared_values(a, b), 1);
+    EXPECT_EQ(le::shared_values(b, a), 0);  // direction matters
+}
+
+TEST(Comm, adjacency_saving_uses_min_profile)
+{
+    lb::Bsb a;
+    a.graph.add_live_out("v");
+    a.profile = 10.0;
+    lb::Bsb b;
+    b.graph.add_live_in("v");
+    b.profile = 4.0;
+    lh::Bus_model bus{100.0};
+    // 2 transfers saved per co-run, 4 co-runs.
+    EXPECT_DOUBLE_EQ(le::adjacency_saving_ns(a, b, bus), 2 * 100.0 * 4.0);
+}
+
+TEST(Comm, no_shared_values_no_saving)
+{
+    lb::Bsb a, b;
+    a.graph.add_live_out("x");
+    b.graph.add_live_in("y");
+    lh::Bus_model bus{100.0};
+    EXPECT_DOUBLE_EQ(le::adjacency_saving_ns(a, b, bus), 0.0);
+}

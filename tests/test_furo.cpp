@@ -1,0 +1,156 @@
+// Tests for core/furo: Definition 2.
+#include <gtest/gtest.h>
+
+#include "core/furo.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lc = lycos::core;
+namespace ld = lycos::dfg;
+namespace ls = lycos::sched;
+using lycos::hw::Op_kind;
+
+namespace {
+
+ls::Latency_table unit_latency()
+{
+    return ls::Latency_table(1);
+}
+
+}  // namespace
+
+TEST(Furo, two_parallel_ops_compete)
+{
+    // Two independent adds: frames [1,1] each, mobility 1, overlap 1.
+    // Ordered pairs (i,j) and (j,i) both contribute 1/(1*1) => FURO = 2p.
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::add);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 1.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::add], 2.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::mul], 0.0);
+}
+
+TEST(Furo, profile_scales_linearly)
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::add);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto succ = g.transitive_successors();
+    const auto f1 = lc::compute_furo(g, info, succ, 1.0);
+    const auto f10 = lc::compute_furo(g, info, succ, 10.0);
+    EXPECT_DOUBLE_EQ(f10[Op_kind::add], 10.0 * f1[Op_kind::add]);
+}
+
+TEST(Furo, dependent_ops_never_compete)
+{
+    // a -> b, both adds: a chain contributes nothing.
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 5.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::add], 0.0);
+}
+
+TEST(Furo, transitive_successors_excluded)
+{
+    // add -> mul -> add: the two adds are transitively ordered, so no
+    // competition even though they are not directly connected.
+    ld::Dfg g;
+    const auto a1 = g.add_op(Op_kind::add);
+    const auto m = g.add_op(Op_kind::mul);
+    const auto a2 = g.add_op(Op_kind::add);
+    g.add_edge(a1, m);
+    g.add_edge(m, a2);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 1.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::add], 0.0);
+}
+
+TEST(Furo, different_kinds_do_not_compete)
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::mul);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 1.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::add], 0.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::mul], 0.0);
+}
+
+TEST(Furo, mobility_discounts_competition)
+{
+    // Chain of three adds establishes length 3; two independent muls
+    // with mobility 3 overlap in 3 steps:
+    // each ordered pair contributes 3/(3*3) = 1/3; FURO = 2/3.
+    ld::Dfg g;
+    const auto a1 = g.add_op(Op_kind::add);
+    const auto a2 = g.add_op(Op_kind::add);
+    const auto a3 = g.add_op(Op_kind::add);
+    g.add_edge(a1, a2);
+    g.add_edge(a2, a3);
+    g.add_op(Op_kind::mul);
+    g.add_op(Op_kind::mul);
+    ls::Latency_table lat(1);  // unit latency so mul frames are [1,3]
+    const auto info = ls::compute_time_frames(g, lat);
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 1.0);
+    EXPECT_NEAR(furo[Op_kind::mul], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Furo, partial_overlap_hand_computed)
+{
+    // Frames i=[1,5] (mob 5) and j=[3,5] (mob 3) as in Figure 5; same
+    // kind, independent.  Contribution = 2 * 3 / (5*3) = 0.4.
+    // Build: a chain of 5 adds pins the length to 5; the two muls get
+    // the figure's frames via dependencies.
+    ld::Dfg g;
+    std::vector<ld::Op_id> chain;
+    for (int i = 0; i < 5; ++i)
+        chain.push_back(g.add_op(Op_kind::add));
+    for (int i = 0; i + 1 < 5; ++i)
+        g.add_edge(chain[static_cast<std::size_t>(i)],
+                   chain[static_cast<std::size_t>(i + 1)]);
+    const auto i_op = g.add_op(Op_kind::mul);  // free float: [1,5]
+    const auto j_op = g.add_op(Op_kind::mul);  // after chain[1]: [3,5]
+    g.add_edge(chain[1], j_op);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    EXPECT_EQ(info.frame(i_op).asap, 1);
+    EXPECT_EQ(info.frame(i_op).alap, 5);
+    EXPECT_EQ(info.frame(j_op).asap, 3);
+    EXPECT_EQ(info.frame(j_op).alap, 5);
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 1.0);
+    EXPECT_NEAR(furo[Op_kind::mul], 2.0 * 3.0 / (5.0 * 3.0), 1e-12);
+}
+
+TEST(Furo, many_parallel_const_loads)
+{
+    // n independent const loads with identical unit frames: every
+    // ordered pair competes fully -> FURO = n*(n-1) * p.
+    const int n = 12;
+    ld::Dfg g;
+    for (int i = 0; i < n; ++i)
+        g.add_op(Op_kind::const_load);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto furo =
+        lc::compute_furo(g, info, g.transitive_successors(), 64.0);
+    EXPECT_DOUBLE_EQ(furo[Op_kind::const_load], 64.0 * n * (n - 1));
+}
+
+TEST(Furo, size_mismatch_throws)
+{
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    ls::Schedule_info wrong;  // empty frames
+    EXPECT_THROW(
+        lc::compute_furo(g, wrong, g.transitive_successors(), 1.0),
+        std::invalid_argument);
+}

@@ -1,0 +1,164 @@
+// Tests for hw: operation kinds, op sets, the resource library and the
+// target models.
+#include <gtest/gtest.h>
+
+#include "hw/op.hpp"
+#include "hw/resource.hpp"
+#include "hw/target.hpp"
+#include "hw/technology.hpp"
+
+namespace lh = lycos::hw;
+using lh::Op_kind;
+
+TEST(Op, name_round_trip)
+{
+    for (auto k : lh::all_op_kinds())
+        EXPECT_EQ(lh::op_kind_from_string(lh::to_string(k)), k);
+}
+
+TEST(Op, unknown_name_throws)
+{
+    EXPECT_THROW(lh::op_kind_from_string("frobnicate"), std::invalid_argument);
+}
+
+TEST(OpSet, basic_membership)
+{
+    lh::Op_set s{Op_kind::add, Op_kind::mul};
+    EXPECT_TRUE(s.contains(Op_kind::add));
+    EXPECT_TRUE(s.contains(Op_kind::mul));
+    EXPECT_FALSE(s.contains(Op_kind::div));
+    EXPECT_EQ(s.size(), 2);
+    s.erase(Op_kind::add);
+    EXPECT_FALSE(s.contains(Op_kind::add));
+    EXPECT_EQ(s.size(), 1);
+}
+
+TEST(OpSet, set_algebra)
+{
+    const lh::Op_set a{Op_kind::add, Op_kind::sub};
+    const lh::Op_set b{Op_kind::sub, Op_kind::mul};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(lh::Op_set{Op_kind::div}));
+    const auto u = a | b;
+    EXPECT_EQ(u.size(), 3);
+    const auto i = a & b;
+    EXPECT_EQ(i.size(), 1);
+    EXPECT_TRUE(i.contains(Op_kind::sub));
+    EXPECT_TRUE(u.includes(a));
+    EXPECT_TRUE(u.includes(b));
+    EXPECT_FALSE(a.includes(u));
+}
+
+TEST(OpSet, to_string_lists_members)
+{
+    const lh::Op_set s{Op_kind::add, Op_kind::mul};
+    EXPECT_EQ(lh::to_string(s), "add,mul");
+}
+
+TEST(PerOp, default_and_fill)
+{
+    lh::Per_op<int> zero;
+    EXPECT_EQ(zero[Op_kind::add], 0);
+    lh::Per_op<int> ones(1);
+    for (auto k : lh::all_op_kinds())
+        EXPECT_EQ(ones[k], 1);
+    ones[Op_kind::mul] = 7;
+    EXPECT_EQ(ones[Op_kind::mul], 7);
+}
+
+TEST(Library, add_validates_invariants)
+{
+    lh::Hw_library lib;
+    EXPECT_THROW(lib.add({"", {Op_kind::add}, 1.0, 1}), std::invalid_argument);
+    EXPECT_THROW(lib.add({"bad_area", {Op_kind::add}, 0.0, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(lib.add({"bad_lat", {Op_kind::add}, 1.0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(lib.add({"no_ops", {}, 1.0, 1}), std::invalid_argument);
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    EXPECT_THROW(lib.add({"adder", {Op_kind::add}, 10.0, 1}),
+                 std::invalid_argument);
+    EXPECT_EQ(lib.size(), 1u);
+}
+
+TEST(Library, lookup_and_executors)
+{
+    lh::Hw_library lib;
+    const auto alu =
+        lib.add({"alu", {Op_kind::add, Op_kind::sub}, 100.0, 1});
+    const auto adder = lib.add({"adder", {Op_kind::add}, 40.0, 1});
+    EXPECT_EQ(lib.find("alu"), alu);
+    EXPECT_EQ(lib.find("nope"), std::nullopt);
+
+    const auto ex = lib.executors_of(Op_kind::add);
+    ASSERT_EQ(ex.size(), 2u);
+    EXPECT_EQ(lib.cheapest_executor(Op_kind::add), adder);
+    EXPECT_EQ(lib.cheapest_executor(Op_kind::sub), alu);
+    EXPECT_EQ(lib.cheapest_executor(Op_kind::div), std::nullopt);
+}
+
+TEST(Library, covers_and_supported)
+{
+    lh::Hw_library lib;
+    lib.add({"alu", {Op_kind::add, Op_kind::sub}, 100.0, 1});
+    EXPECT_TRUE(lib.covers({Op_kind::add}));
+    EXPECT_TRUE(lib.covers({Op_kind::add, Op_kind::sub}));
+    EXPECT_FALSE(lib.covers({Op_kind::add, Op_kind::mul}));
+    EXPECT_EQ(lib.supported_ops(), (lh::Op_set{Op_kind::add, Op_kind::sub}));
+}
+
+TEST(Library, latency_estimate_uses_cheapest)
+{
+    lh::Hw_library lib;
+    lib.add({"fast_mul", {Op_kind::mul}, 900.0, 1});
+    lib.add({"small_mul", {Op_kind::mul}, 500.0, 3});
+    EXPECT_EQ(lib.latency_estimate(Op_kind::mul), 3);  // cheapest is 3-cycle
+    EXPECT_THROW(lib.latency_estimate(Op_kind::div), std::invalid_argument);
+}
+
+TEST(DefaultLibrary, covers_all_kinds)
+{
+    const auto lib = lh::make_default_library();
+    for (auto k : lh::all_op_kinds())
+        EXPECT_TRUE(lib.cheapest_executor(k).has_value())
+            << "no executor for " << lh::to_string(k);
+}
+
+TEST(DefaultLibrary, plausible_cost_ordering)
+{
+    const auto lib = lh::make_default_library();
+    const auto area = [&](const char* n) { return lib[*lib.find(n)].area; };
+    EXPECT_LT(area("adder"), area("multiplier"));
+    EXPECT_LT(area("multiplier"), area("divider"));
+    EXPECT_LT(area("const_gen"), area("adder"));
+}
+
+TEST(Target, default_target_is_consistent)
+{
+    const auto t = lh::make_default_target(10000.0);
+    EXPECT_DOUBLE_EQ(t.asic.total_area, 10000.0);
+    EXPECT_GT(t.cpu.clock_mhz, 0.0);
+    EXPECT_GT(t.asic.cycle_ns(), 0.0);
+    // Multiplies cost more than adds in software.
+    EXPECT_GT(t.cpu.cycles_per_op[Op_kind::mul],
+              t.cpu.cycles_per_op[Op_kind::add]);
+    // Software ops are slower than one ASIC cycle (the speed-up source).
+    EXPECT_GT(t.cpu.op_ns(Op_kind::add), t.asic.cycle_ns());
+}
+
+TEST(Target, op_ns_matches_cycles)
+{
+    const auto t = lh::make_default_target(1.0);
+    const double expected =
+        t.cpu.cycles_per_op[Op_kind::mul] * 1e3 / t.cpu.clock_mhz;
+    EXPECT_DOUBLE_EQ(t.cpu.op_ns(Op_kind::mul), expected);
+}
+
+TEST(GateAreas, defaults_positive)
+{
+    const lh::Gate_areas g;
+    EXPECT_GT(g.reg, 0.0);
+    EXPECT_GT(g.and2, 0.0);
+    EXPECT_GT(g.or2, 0.0);
+    EXPECT_GT(g.inv, 0.0);
+}

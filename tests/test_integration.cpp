@@ -1,0 +1,220 @@
+// End-to-end tests: the full §5 pipeline (compile -> analyze ->
+// allocate -> PACE -> compare against search) on the benchmark
+// applications, asserting the *shape* of Table 1:
+//
+//   * straight and hal: the algorithm's allocation achieves the same
+//     speed-up as the best allocation found by exhaustive search;
+//   * man and eigen: the algorithm over-allocates (constant
+//     generators / dividers) and falls short of the best allocation;
+//     the single §5 design iteration recovers (most of) the gap.
+//
+// The evaluation charges real (list-schedule) controller areas while
+// the allocator plans with the optimistic ECA — the §5.1 mismatch.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "pace/brute_force.hpp"
+#include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+
+namespace la = lycos::apps;
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lp = lycos::pace;
+namespace lse = lycos::search;
+
+namespace {
+
+constexpr auto k_eval_mode = lp::Controller_mode::list_schedule;
+
+struct Pipeline {
+    la::App app;
+    lh::Hw_library lib = lh::make_default_library();
+    lh::Target target;
+    lc::Rmap restrictions;
+    lc::Alloc_result heuristic_alloc;
+    lse::Evaluation heuristic;
+
+    explicit Pipeline(la::App a) : app(std::move(a))
+    {
+        target = lh::make_default_target(app.asic_area);
+        const lc::Allocator alloc(lib, target);
+        const auto infos = lc::analyze(app.bsbs, lib, target.gates);
+        restrictions = lc::compute_restrictions(infos, lib);
+        heuristic_alloc = alloc.run_analyzed(
+            infos, {.area_budget = target.asic.total_area});
+        heuristic =
+            lse::evaluate_allocation(context(), heuristic_alloc.allocation);
+    }
+
+    lse::Eval_context context(double quantum = 0.0) const
+    {
+        return {app.bsbs, lib, target, k_eval_mode, quantum};
+    }
+};
+
+}  // namespace
+
+TEST(Integration, hal_allocator_achieves_speedup)
+{
+    const Pipeline p(la::make_hal());
+    EXPECT_GT(p.heuristic.speedup_pct(), 300.0)
+        << "hal should speed up substantially";
+    EXPECT_GT(p.heuristic.partition.n_in_hw, 0);
+    EXPECT_TRUE(p.heuristic.fits);
+}
+
+TEST(Integration, straight_allocator_achieves_speedup)
+{
+    const Pipeline p(la::make_straight());
+    EXPECT_GT(p.heuristic.speedup_pct(), 300.0);
+    EXPECT_GT(p.heuristic.partition.n_in_hw, 0);
+}
+
+TEST(Integration, straight_and_hal_match_best_allocation)
+{
+    // Table 1 rows 1-2: SU == SU(best).  Exhaustive search over the
+    // restriction space with the same evaluation pipeline.
+    for (auto make : {la::make_straight, la::make_hal}) {
+        const Pipeline p(make());
+        const double quantum = p.target.asic.total_area / 512.0;
+        const auto ctx = p.context(quantum);
+        const auto heuristic =
+            lse::evaluate_allocation(ctx, p.heuristic_alloc.allocation);
+        const auto best = lse::exhaustive_search(ctx, p.restrictions);
+        EXPECT_GE(best.best.speedup_pct() + 1e-6, heuristic.speedup_pct())
+            << p.app.name;
+        EXPECT_GT(heuristic.speedup_pct(),
+                  0.98 * best.best.speedup_pct())
+            << p.app.name << ": the allocator should match the best "
+            << "allocation on this application";
+    }
+}
+
+TEST(Integration, allocation_is_large_fraction_of_used_area)
+{
+    // Table 1 "Size" column: the data-path dominates the used HW area
+    // (62%-93% in the paper).
+    for (auto make : {la::make_straight, la::make_hal}) {
+        const Pipeline p(make());
+        if (p.heuristic.partition.n_in_hw > 0) {
+            EXPECT_GT(p.heuristic.size_fraction(), 0.4) << p.app.name;
+            EXPECT_LT(p.heuristic.size_fraction(), 1.0) << p.app.name;
+        }
+    }
+}
+
+TEST(Integration, pace_on_app_costs_matches_brute_force)
+{
+    const Pipeline p(la::make_hal());
+    const auto costs =
+        lp::build_cost_model(p.app.bsbs, p.lib, p.target,
+                             p.heuristic.datapath, k_eval_mode);
+    ASSERT_LE(costs.size(), 24u);
+    const double budget =
+        p.target.asic.total_area - p.heuristic.datapath_area;
+    const auto dp =
+        lp::pace_partition(costs, {.ctrl_area_budget = budget,
+                                   .area_quantum = 0.25});
+    const auto bf = lp::brute_force_partition(costs, budget);
+    // Fine quantization: the DP must be within a whisker of exact.
+    EXPECT_NEAR(dp.time_hybrid_ns, bf.time_hybrid_ns,
+                1e-6 + 1e-9 * bf.time_hybrid_ns);
+}
+
+TEST(Integration, man_overallocates_constant_generators)
+{
+    // Table 1 row 3: the greedy allocator buys many constant
+    // generators for the parallel constant-table BSB and falls short
+    // of the best allocation.
+    const Pipeline p(la::make_man());
+    const auto cg = *p.lib.find("const_gen");
+    EXPECT_GE(p.restrictions(cg), 8) << "parallel const loads expected";
+    EXPECT_GE(p.heuristic_alloc.allocation(cg), 4)
+        << "the anomaly: many constant generators allocated";
+
+    // The single design iteration (const_gen -> 1) improves on the
+    // automatic result.
+    lc::Rmap iterated = p.heuristic_alloc.allocation;
+    iterated.set(cg, 1);
+    const auto after = lse::evaluate_allocation(p.context(), iterated);
+    EXPECT_GT(after.speedup_pct(), p.heuristic.speedup_pct());
+}
+
+TEST(Integration, eigen_overallocates_dividers)
+{
+    // Table 1 row 4: the allocator buys an extra divider for the
+    // parallel normalization divisions; removing one recovers the
+    // best-allocation speed-up.
+    const Pipeline p(la::make_eigen());
+    const auto dv = *p.lib.find("divider");
+    ASSERT_GE(p.heuristic_alloc.allocation(dv), 2)
+        << "the anomaly: more than one divider allocated";
+
+    lc::Rmap iterated = p.heuristic_alloc.allocation;
+    iterated.set(dv, p.heuristic_alloc.allocation(dv) - 1);
+    const auto after = lse::evaluate_allocation(p.context(), iterated);
+    EXPECT_GT(after.speedup_pct(), 1.5 * p.heuristic.speedup_pct())
+        << "one design iteration should recover a large gap";
+}
+
+TEST(Integration, eigen_space_too_large_to_exhaust)
+{
+    // Footnote 1: eigen's allocation space is far beyond what the
+    // other applications need (theirs ~10^6; exhausting it at ~30 s
+    // per evaluation was impossible).
+    const Pipeline straight(la::make_straight());
+    const Pipeline hal(la::make_hal());
+    const Pipeline eigen(la::make_eigen());
+    const auto size = [&](const Pipeline& p) {
+        return lse::Alloc_space(p.lib, p.restrictions).size();
+    };
+    EXPECT_GT(size(eigen), 20 * size(straight));
+    EXPECT_GT(size(eigen), 20 * size(hal));
+    EXPECT_GT(size(eigen), 10000);
+}
+
+TEST(Integration, eigen_hill_climb_finds_better_than_heuristic)
+{
+    const Pipeline p(la::make_eigen());
+    lycos::util::Rng rng(2024);
+    const double quantum = p.target.asic.total_area / 512.0;
+    const auto hc = lse::hill_climb_search(p.context(quantum),
+                                           p.restrictions,
+                                           {.n_restarts = 4, .max_steps = 64},
+                                           rng);
+    EXPECT_GT(hc.best.speedup_pct(), p.heuristic.speedup_pct());
+}
+
+TEST(Integration, speedups_scale_with_asic_area)
+{
+    // Figure 3's premise: more ASIC area cannot hurt the best
+    // achievable speedup (modulo greedy noise, bounded here).
+    const auto app = la::make_hal();
+    const auto lib = lh::make_default_library();
+    double prev = -1.0;
+    for (double area : {2000.0, 5000.0, 10000.0}) {
+        const auto target = lh::make_default_target(area);
+        const lc::Allocator alloc(lib, target);
+        const auto r = alloc.run(app.bsbs, {.area_budget = area});
+        const lse::Eval_context ctx{app.bsbs, lib, target, k_eval_mode, 0.0};
+        const auto ev = lse::evaluate_allocation(ctx, r.allocation);
+        EXPECT_GE(ev.speedup_pct() + 25.0, prev)
+            << "speedup collapsed when area grew to " << area;
+        prev = ev.speedup_pct();
+    }
+}
+
+TEST(Integration, allocator_reruns_are_deterministic)
+{
+    const auto app = la::make_man();
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(app.asic_area);
+    const lc::Allocator alloc(lib, target);
+    const auto r1 = alloc.run(app.bsbs, {.area_budget = app.asic_area});
+    const auto r2 = alloc.run(app.bsbs, {.area_budget = app.asic_area});
+    EXPECT_EQ(r1.allocation, r2.allocation);
+    EXPECT_EQ(r1.pseudo_in_hw, r2.pseudo_in_hw);
+}

@@ -1,0 +1,200 @@
+// Tests for the MiniC interpreter and dynamic profiler.
+#include <gtest/gtest.h>
+
+#include "bsb/bsb.hpp"
+#include "minic/interp.hpp"
+#include "minic/lower.hpp"
+#include "minic/parser.hpp"
+
+namespace lm = lycos::minic;
+
+TEST(Interp, arithmetic_and_comparisons)
+{
+    const auto p = lm::parse(R"(
+a = 7;
+b = 3;
+s = a + b;
+d = a - b;
+m = a * b;
+q = a / b;
+r = a % b;
+lt = a < b;
+ge = a >= b;
+sh = a << 2;
+bx = a ^ b;
+)");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.variables.at("s"), 10);
+    EXPECT_EQ(out.variables.at("d"), 4);
+    EXPECT_EQ(out.variables.at("m"), 21);
+    EXPECT_EQ(out.variables.at("q"), 2);
+    EXPECT_EQ(out.variables.at("r"), 1);
+    EXPECT_EQ(out.variables.at("lt"), 0);
+    EXPECT_EQ(out.variables.at("ge"), 1);
+    EXPECT_EQ(out.variables.at("sh"), 28);
+    EXPECT_EQ(out.variables.at("bx"), 4);
+}
+
+TEST(Interp, inputs_and_outputs)
+{
+    const auto p = lm::parse("input x; output y; y = x * 2;");
+    const auto out = lm::run(p, {{"x", 21}});
+    EXPECT_EQ(out.outputs.at("y"), 42);
+    // Missing inputs default to zero.
+    const auto zero = lm::run(p);
+    EXPECT_EQ(zero.outputs.at("y"), 0);
+}
+
+TEST(Interp, counted_loop_runs_exactly)
+{
+    const auto p = lm::parse("s = 0; loop 10 { s = s + 3; }");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.variables.at("s"), 30);
+    ASSERT_EQ(out.loops.size(), 1u);
+    EXPECT_EQ(out.loops.begin()->second.trips, 10);
+    EXPECT_EQ(out.loops.begin()->second.entries, 1);
+}
+
+TEST(Interp, while_loop_runs_until_false)
+{
+    const auto p = lm::parse("x = 0; while (x < 5) trip 1 { x = x + 2; }");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.variables.at("x"), 6);
+    EXPECT_EQ(out.loops.begin()->second.trips, 3);
+    EXPECT_DOUBLE_EQ(out.loops.begin()->second.mean_trips(), 3.0);
+}
+
+TEST(Interp, branch_statistics)
+{
+    const auto p = lm::parse(R"(
+t = 0;
+loop 10 {
+  if (t < 3) prob 50 { t = t + 1; } else { u = u + 1; }
+}
+)");
+    const auto out = lm::run(p);
+    ASSERT_EQ(out.branches.size(), 1u);
+    const auto& b = out.branches.begin()->second;
+    EXPECT_EQ(b.total, 10);
+    EXPECT_EQ(b.taken, 3);
+    EXPECT_DOUBLE_EQ(b.p_true(), 0.3);
+    EXPECT_EQ(out.variables.at("u"), 7);
+}
+
+TEST(Interp, function_calls_bind_parameters)
+{
+    const auto p = lm::parse(R"(
+func scale(v, k) { r = v * k; }
+scale(6, 7);
+)");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.variables.at("r"), 42);
+    EXPECT_EQ(out.variables.at("scale.v"), 6);
+    EXPECT_EQ(out.variables.at("scale.k"), 7);
+}
+
+TEST(Interp, nested_loop_counts_accumulate)
+{
+    const auto p = lm::parse(R"(
+s = 0;
+loop 4 {
+  loop 5 { s = s + 1; }
+}
+)");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.variables.at("s"), 20);
+    // inner loop: 4 entries, 20 trips total, mean 5.
+    bool found_inner = false;
+    for (const auto& [line, stats] : out.loops) {
+        if (stats.entries == 4) {
+            EXPECT_EQ(stats.trips, 20);
+            EXPECT_DOUBLE_EQ(stats.mean_trips(), 5.0);
+            found_inner = true;
+        }
+    }
+    EXPECT_TRUE(found_inner);
+}
+
+TEST(Interp, division_by_zero_throws)
+{
+    const auto p = lm::parse("x = 1 / y;");
+    EXPECT_THROW(lm::run(p), lm::Eval_error);
+    const auto q = lm::parse("x = 1 % y;");
+    EXPECT_THROW(lm::run(q), lm::Eval_error);
+}
+
+TEST(Interp, runaway_loop_hits_budget)
+{
+    const auto p = lm::parse("x = 0; while (0 < 1) trip 1 { x = x + 1; }");
+    EXPECT_THROW(lm::run(p, {}, 1000), lm::Eval_error);
+}
+
+TEST(Interp, hal_executes_to_completion)
+{
+    // The HAL program integrates until x reaches a; verify the
+    // while-loop statistics are consistent with the step width.
+    const auto p = lm::parse(R"(
+input x, a, dx;
+output steps;
+steps = 0;
+while (x < a) trip 1000 {
+  x = x + dx;
+  steps = steps + 1;
+}
+)");
+    const auto out = lm::run(p, {{"x", 0}, {"a", 100}, {"dx", 5}});
+    EXPECT_EQ(out.outputs.at("steps"), 20);
+    EXPECT_EQ(out.loops.begin()->second.trips, 20);
+}
+
+TEST(Profiler, annotate_from_run_updates_trips_and_probs)
+{
+    auto p = lm::parse(R"(
+x = 0;
+while (x < 12) trip 999 { x = x + 4; }
+if (x == 12) prob 1 { y = 1; }
+)");
+    const auto out = lm::run(p);
+    const int updated = lm::annotate_from_run(p, out);
+    EXPECT_EQ(updated, 2);
+    EXPECT_DOUBLE_EQ(p.main.stmts[1]->trips, 3.0);
+    EXPECT_DOUBLE_EQ(p.main.stmts[2]->p_true, 1.0);
+}
+
+TEST(Profiler, unreached_constructs_keep_annotations)
+{
+    auto p = lm::parse(R"(
+if (0 < 1) { a = 1; } else { loop 7 { b = 1; } }
+)");
+    const auto out = lm::run(p);
+    (void)lm::annotate_from_run(p, out);
+    // The loop inside the untaken else-branch was never entered.
+    const auto& outer = *p.main.stmts[0];
+    ASSERT_EQ(outer.else_block.stmts.size(), 1u);
+    EXPECT_DOUBLE_EQ(outer.else_block.stmts[0]->trips, 7.0);
+}
+
+TEST(Profiler, measured_profiles_flow_into_bsbs)
+{
+    // End-to-end: run, re-annotate, lower — the BSB profiles now come
+    // from measurement instead of the source annotations.
+    auto p = lm::parse(R"(
+x = 0;
+while (x < 30) trip 1 { x = x + 1; }
+)");
+    const auto out = lm::run(p);
+    ASSERT_EQ(lm::annotate_from_run(p, out), 1);
+    const auto bsbs = lycos::bsb::extract_leaf_bsbs(lm::lower(p));
+    // init block (x = 0), test leaf (trips + 1 = 31), body (30).
+    ASSERT_EQ(bsbs.size(), 3u);
+    EXPECT_DOUBLE_EQ(bsbs[0].profile, 1.0);
+    EXPECT_DOUBLE_EQ(bsbs[1].profile, 31.0);
+    EXPECT_DOUBLE_EQ(bsbs[2].profile, 30.0);
+}
+
+TEST(Profiler, step_count_reported)
+{
+    const auto p = lm::parse("a = 1; b = 2; c = a + b;");
+    const auto out = lm::run(p);
+    EXPECT_EQ(out.steps, 3);
+}

@@ -1,0 +1,113 @@
+// Tests for the MiniC lexer.
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+
+namespace lm = lycos::minic;
+
+TEST(Lexer, identifiers_numbers_punct)
+{
+    const auto toks = lm::tokenize("x = y + 42;");
+    ASSERT_EQ(toks.size(), 7u);  // x = y + 42 ; eof
+    EXPECT_EQ(toks[0].kind, lm::Token_kind::identifier);
+    EXPECT_EQ(toks[0].text, "x");
+    EXPECT_EQ(toks[1].text, "=");
+    EXPECT_EQ(toks[4].kind, lm::Token_kind::number);
+    EXPECT_EQ(toks[4].value, 42);
+    EXPECT_EQ(toks[5].text, ";");
+    EXPECT_EQ(toks.back().kind, lm::Token_kind::eof);
+}
+
+TEST(Lexer, keywords_recognized)
+{
+    const auto toks = lm::tokenize("if while loop func wait prob trip");
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+        EXPECT_EQ(toks[i].kind, lm::Token_kind::keyword) << toks[i].text;
+    EXPECT_TRUE(lm::is_keyword("else"));
+    EXPECT_TRUE(lm::is_keyword("input"));
+    EXPECT_TRUE(lm::is_keyword("output"));
+    EXPECT_FALSE(lm::is_keyword("iffy"));
+}
+
+TEST(Lexer, multi_char_operators_maximal_munch)
+{
+    const auto toks = lm::tokenize("a <= b << c == d && e");
+    EXPECT_EQ(toks[1].text, "<=");
+    EXPECT_EQ(toks[3].text, "<<");
+    EXPECT_EQ(toks[5].text, "==");
+    EXPECT_EQ(toks[7].text, "&&");
+}
+
+TEST(Lexer, line_numbers_tracked)
+{
+    const auto toks = lm::tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, line_comments_skipped)
+{
+    const auto toks = lm::tokenize("a // comment = junk\nb");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, block_comments_skipped)
+{
+    const auto toks = lm::tokenize("a /* multi\nline\ncomment */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, unterminated_block_comment_throws)
+{
+    EXPECT_THROW(lm::tokenize("a /* oops"), lm::Parse_error);
+}
+
+TEST(Lexer, bad_character_throws_with_line)
+{
+    try {
+        lm::tokenize("a\n$");
+        FAIL() << "expected Parse_error";
+    }
+    catch (const lm::Parse_error& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Lexer, malformed_number_throws)
+{
+    EXPECT_THROW(lm::tokenize("12abc"), lm::Parse_error);
+}
+
+TEST(Lexer, underscore_identifiers)
+{
+    const auto toks = lm::tokenize("_x x_1 a_b_c");
+    EXPECT_EQ(toks[0].text, "_x");
+    EXPECT_EQ(toks[1].text, "x_1");
+    EXPECT_EQ(toks[2].text, "a_b_c");
+}
+
+TEST(Lexer, count_code_lines_ignores_blank_and_comments)
+{
+    const char* src = R"(// header comment
+
+x = 1;
+/* block
+   comment */
+y = 2;   // trailing
+
+)";
+    EXPECT_EQ(lm::count_code_lines(src), 2);
+}
+
+TEST(Lexer, count_code_lines_code_before_comment)
+{
+    EXPECT_EQ(lm::count_code_lines("a = 1; /* c */"), 1);
+    EXPECT_EQ(lm::count_code_lines(""), 0);
+    EXPECT_EQ(lm::count_code_lines("/* only */"), 0);
+}

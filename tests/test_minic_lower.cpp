@@ -1,0 +1,258 @@
+// Tests for MiniC -> CDFG lowering: basic-block formation, value
+// numbering, liveness, control constructs and function inlining.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bsb/bsb.hpp"
+#include "minic/lexer.hpp"
+#include "minic/lower.hpp"
+
+namespace lm = lycos::minic;
+namespace lg = lycos::cdfg;
+using lycos::hw::Op_kind;
+
+namespace {
+
+bool has_live_in(const lycos::dfg::Dfg& g, const std::string& name)
+{
+    const auto ins = g.live_ins();
+    return std::find(ins.begin(), ins.end(), name) != ins.end();
+}
+
+bool has_live_out(const lycos::dfg::Dfg& g, const std::string& name)
+{
+    const auto outs = g.live_outs();
+    return std::find(outs.begin(), outs.end(), name) != outs.end();
+}
+
+}  // namespace
+
+TEST(Lower, straight_line_single_leaf)
+{
+    const auto g = lm::compile("x = a + b; y = x * 2;");
+    const auto leaves = g.leaves_in_order();
+    ASSERT_EQ(leaves.size(), 1u);
+    const auto& dfg = g.leaf_graph(leaves[0]);
+    // ops: add, const 2, mul
+    EXPECT_EQ(dfg.size(), 3u);
+    EXPECT_EQ(dfg.count(Op_kind::add), 1);
+    EXPECT_EQ(dfg.count(Op_kind::mul), 1);
+    EXPECT_EQ(dfg.count(Op_kind::const_load), 1);
+}
+
+TEST(Lower, def_use_edges_within_block)
+{
+    const auto g = lm::compile("x = a + b; y = x * x;");
+    const auto& dfg = g.leaf_graph(g.leaves_in_order()[0]);
+    // The mul consumes x (the add) twice: one edge (simple graph).
+    int add_id = -1, mul_id = -1;
+    for (std::size_t i = 0; i < dfg.size(); ++i) {
+        if (dfg.op(static_cast<int>(i)).kind == Op_kind::add)
+            add_id = static_cast<int>(i);
+        if (dfg.op(static_cast<int>(i)).kind == Op_kind::mul)
+            mul_id = static_cast<int>(i);
+    }
+    ASSERT_GE(add_id, 0);
+    ASSERT_GE(mul_id, 0);
+    const auto succs = dfg.succs(add_id);
+    EXPECT_TRUE(std::find(succs.begin(), succs.end(), mul_id) != succs.end());
+}
+
+TEST(Lower, constant_value_numbering)
+{
+    // The literal 7 appears twice in one block: one const_load.
+    const auto g = lm::compile("x = a + 7; y = b + 7; z = c + 9;");
+    const auto& dfg = g.leaf_graph(g.leaves_in_order()[0]);
+    EXPECT_EQ(dfg.count(Op_kind::const_load), 2);  // 7 and 9
+}
+
+TEST(Lower, rename_of_external_value_is_an_alias)
+{
+    // x = y is a register transfer, not an operation: reads of x
+    // become reads of the live-in y and no op is generated.
+    const auto g = lm::compile("x = y; z = x + 1;");
+    const auto leaves = g.leaves_in_order();
+    ASSERT_EQ(leaves.size(), 1u);
+    const auto& dfg = g.leaf_graph(leaves[0]);
+    EXPECT_EQ(dfg.count(Op_kind::copy), 0);
+    EXPECT_EQ(dfg.count(Op_kind::add), 1);
+    EXPECT_TRUE(has_live_in(dfg, "y"));
+    EXPECT_FALSE(has_live_in(dfg, "x"));
+}
+
+TEST(Lower, pure_rename_block_is_dropped)
+{
+    // A block consisting only of renames contains no operations and
+    // produces no leaf BSB at all.
+    const auto g = lm::compile("x = y;");
+    EXPECT_TRUE(g.leaves_in_order().empty());
+}
+
+TEST(Lower, alias_of_alias_resolves_to_root)
+{
+    const auto g = lm::compile("x = y; w = x; z = w * 2;");
+    const auto& dfg = g.leaf_graph(g.leaves_in_order()[0]);
+    EXPECT_TRUE(has_live_in(dfg, "y"));
+    EXPECT_FALSE(has_live_in(dfg, "x"));
+    EXPECT_FALSE(has_live_in(dfg, "w"));
+}
+
+TEST(Lower, live_ins_are_reads_before_writes)
+{
+    const auto g = lm::compile("x = a + 1; b = x + x;");
+    const auto& dfg = g.leaf_graph(g.leaves_in_order()[0]);
+    EXPECT_TRUE(has_live_in(dfg, "a"));
+    EXPECT_FALSE(has_live_in(dfg, "x"));  // defined locally first
+}
+
+TEST(Lower, live_outs_require_external_reader)
+{
+    const auto g = lm::compile(R"(
+x = a + 1;
+t = x * 2;
+wait 1;
+y = x + 3;
+)");
+    const auto leaves = g.leaves_in_order();
+    ASSERT_EQ(leaves.size(), 2u);
+    const auto& b1 = g.leaf_graph(leaves[0]);
+    EXPECT_TRUE(has_live_out(b1, "x"));   // read by block 2
+    EXPECT_FALSE(has_live_out(b1, "t"));  // dead locally-consumed value
+}
+
+TEST(Lower, declared_outputs_are_live)
+{
+    const auto g = lm::compile("output y; y = a + 1;");
+    const auto& dfg = g.leaf_graph(g.leaves_in_order()[0]);
+    EXPECT_TRUE(has_live_out(dfg, "y"));
+}
+
+TEST(Lower, loop_carried_values_are_live)
+{
+    const auto g = lm::compile("loop 10 { s = s + 1; }");
+    const auto leaves = g.leaves_in_order();
+    // test leaf + body leaf
+    ASSERT_EQ(leaves.size(), 2u);
+    const auto& body = g.leaf_graph(leaves[1]);
+    EXPECT_TRUE(has_live_in(body, "s"));
+    EXPECT_TRUE(has_live_out(body, "s"));  // read-before-write + written
+}
+
+TEST(Lower, if_structure)
+{
+    const auto g = lm::compile(R"(
+if (a < b) prob 25 { x = 1; } else { x = 2; }
+)");
+    const auto root_children = g.children(g.root());
+    ASSERT_EQ(root_children.size(), 1u);
+    const auto cond = root_children[0];
+    EXPECT_EQ(g.kind(cond), lg::Node_kind::cond);
+    EXPECT_DOUBLE_EQ(g.p_true(cond), 0.25);
+    // Test leaf compares a < b.
+    const auto& test = g.leaf_graph(g.cond_test(cond));
+    EXPECT_EQ(test.count(Op_kind::cmp_lt), 1);
+    EXPECT_TRUE(has_live_in(test, "a"));
+    EXPECT_TRUE(has_live_in(test, "b"));
+    // Branch leaves hold the assignments.
+    ASSERT_EQ(g.children(g.cond_then(cond)).size(), 1u);
+    ASSERT_EQ(g.children(g.cond_else(cond)).size(), 1u);
+}
+
+TEST(Lower, counted_loop_synthesizes_test)
+{
+    const auto g = lm::compile("loop 64 { x = x + 1; }");
+    const auto root_children = g.children(g.root());
+    const auto loop = root_children[0];
+    EXPECT_EQ(g.kind(loop), lg::Node_kind::loop);
+    EXPECT_DOUBLE_EQ(g.trip_count(loop), 64.0);
+    const auto& test = g.leaf_graph(g.loop_test(loop));
+    // increment + bound compare + two constants
+    EXPECT_EQ(test.count(Op_kind::add), 1);
+    EXPECT_EQ(test.count(Op_kind::cmp_lt), 1);
+    EXPECT_EQ(test.count(Op_kind::const_load), 2);
+}
+
+TEST(Lower, while_loop_uses_condition)
+{
+    const auto g = lm::compile("while (x < a) trip 100 { x = x + dx; }");
+    const auto loop = g.children(g.root())[0];
+    EXPECT_DOUBLE_EQ(g.trip_count(loop), 100.0);
+    const auto& test = g.leaf_graph(g.loop_test(loop));
+    EXPECT_EQ(test.count(Op_kind::cmp_lt), 1);
+    EXPECT_EQ(test.count(Op_kind::const_load), 0);
+}
+
+TEST(Lower, call_inlines_under_func_node)
+{
+    const auto g = lm::compile(R"(
+func scale(v, k) { r = v * k; }
+a = 1;
+scale(a, 3);
+b = r + 1;
+)");
+    // main children: leaf(B: a=1 and param binds), func node, leaf.
+    const auto kids = g.children(g.root());
+    ASSERT_EQ(kids.size(), 3u);
+    EXPECT_EQ(g.kind(kids[0]), lg::Node_kind::leaf);
+    EXPECT_EQ(g.kind(kids[1]), lg::Node_kind::func);
+    EXPECT_EQ(g.kind(kids[2]), lg::Node_kind::leaf);
+
+    // The function body reads the renamed parameters.
+    const auto body_kids = g.children(g.func_body(kids[1]));
+    ASSERT_EQ(body_kids.size(), 1u);
+    const auto& body = g.leaf_graph(body_kids[0]);
+    EXPECT_TRUE(has_live_in(body, "scale.v"));
+    EXPECT_TRUE(has_live_in(body, "scale.k"));
+    EXPECT_TRUE(has_live_out(body, "r"));  // read after the call
+}
+
+TEST(Lower, call_errors)
+{
+    EXPECT_THROW(lm::compile("nope(1);"), lm::Parse_error);
+    EXPECT_THROW(lm::compile("func f(a) { x = a; } f(1, 2);"),
+                 lm::Parse_error);
+    EXPECT_THROW(lm::compile("func f(a) { f(a); } f(1);"), lm::Parse_error);
+}
+
+TEST(Lower, nested_loops_profiles_multiply)
+{
+    const auto g = lm::compile(R"(
+loop 4 {
+  loop 5 {
+    s = s + 1;
+  }
+}
+)");
+    const auto bsbs = lycos::bsb::extract_leaf_bsbs(g);
+    // outer test, inner test, inner body
+    ASSERT_EQ(bsbs.size(), 3u);
+    EXPECT_DOUBLE_EQ(bsbs[0].profile, 5.0);   // outer test: 4+1
+    EXPECT_DOUBLE_EQ(bsbs[1].profile, 24.0);  // inner test: 4*(5+1)
+    EXPECT_DOUBLE_EQ(bsbs[2].profile, 20.0);  // body: 4*5
+}
+
+TEST(Lower, blocks_split_by_control_not_assignments)
+{
+    const auto g = lm::compile(R"(
+a = 1;
+b = a + 2;
+loop 3 { c = b + 1; }
+d = b * 2;
+e = d + 1;
+)");
+    const auto bsbs = lycos::bsb::extract_leaf_bsbs(g);
+    // pre-block, loop test, loop body, post-block
+    EXPECT_EQ(bsbs.size(), 4u);
+}
+
+TEST(Lower, all_leaf_graphs_are_dags)
+{
+    const auto g = lm::compile(R"(
+x = a * a + b;
+loop 10 { x = x + 1; if (x < 5) { y = y + x; } }
+z = x + y;
+)");
+    for (auto leaf : g.leaves_in_order())
+        EXPECT_TRUE(g.leaf_graph(leaf).is_dag());
+}

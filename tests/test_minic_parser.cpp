@@ -1,0 +1,165 @@
+// Tests for the MiniC parser.
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+
+namespace lm = lycos::minic;
+using lycos::hw::Op_kind;
+
+TEST(Parser, simple_assignment)
+{
+    const auto p = lm::parse("x = a + b * c;");
+    ASSERT_EQ(p.main.stmts.size(), 1u);
+    const auto& s = *p.main.stmts[0];
+    EXPECT_EQ(s.kind, lm::Stmt::Kind::assign);
+    EXPECT_EQ(s.target, "x");
+    // Precedence: + at the root, * below.
+    ASSERT_EQ(s.expr->kind, lm::Expr::Kind::binary);
+    EXPECT_EQ(s.expr->op, Op_kind::add);
+    EXPECT_EQ(s.expr->rhs->op, Op_kind::mul);
+}
+
+TEST(Parser, left_associativity)
+{
+    const auto p = lm::parse("x = a - b - c;");
+    const auto& e = *p.main.stmts[0]->expr;
+    // (a - b) - c
+    EXPECT_EQ(e.op, Op_kind::sub);
+    EXPECT_EQ(e.rhs->kind, lm::Expr::Kind::var);
+    EXPECT_EQ(e.rhs->name, "c");
+    EXPECT_EQ(e.lhs->op, Op_kind::sub);
+}
+
+TEST(Parser, parentheses_override)
+{
+    const auto p = lm::parse("x = (a + b) * c;");
+    const auto& e = *p.main.stmts[0]->expr;
+    EXPECT_EQ(e.op, Op_kind::mul);
+    EXPECT_EQ(e.lhs->op, Op_kind::add);
+}
+
+TEST(Parser, greater_than_swaps_operands)
+{
+    // a > b is canonicalized to b < a; a >= b to b <= a.
+    const auto p = lm::parse("x = a > b; y = a >= b;");
+    const auto& gt = *p.main.stmts[0]->expr;
+    EXPECT_EQ(gt.op, Op_kind::cmp_lt);
+    EXPECT_EQ(gt.lhs->name, "b");
+    EXPECT_EQ(gt.rhs->name, "a");
+    const auto& ge = *p.main.stmts[1]->expr;
+    EXPECT_EQ(ge.op, Op_kind::cmp_le);
+    EXPECT_EQ(ge.lhs->name, "b");
+}
+
+TEST(Parser, unary_operators)
+{
+    const auto p = lm::parse("x = -a + !b;");
+    const auto& e = *p.main.stmts[0]->expr;
+    EXPECT_EQ(e.lhs->kind, lm::Expr::Kind::unary);
+    EXPECT_EQ(e.lhs->op, Op_kind::neg);
+    EXPECT_EQ(e.rhs->op, Op_kind::log_not);
+}
+
+TEST(Parser, if_with_prob_and_else)
+{
+    const auto p = lm::parse("if (a < b) prob 30 { x = 1; } else { x = 2; }");
+    const auto& s = *p.main.stmts[0];
+    EXPECT_EQ(s.kind, lm::Stmt::Kind::if_);
+    EXPECT_DOUBLE_EQ(s.p_true, 0.30);
+    EXPECT_EQ(s.then_block.stmts.size(), 1u);
+    EXPECT_EQ(s.else_block.stmts.size(), 1u);
+}
+
+TEST(Parser, if_defaults)
+{
+    const auto p = lm::parse("if (a < b) { x = 1; }");
+    const auto& s = *p.main.stmts[0];
+    EXPECT_DOUBLE_EQ(s.p_true, 0.5);
+    EXPECT_TRUE(s.else_block.stmts.empty());
+}
+
+TEST(Parser, bad_prob_throws)
+{
+    EXPECT_THROW(lm::parse("if (a) prob 150 { }"), lm::Parse_error);
+}
+
+TEST(Parser, counted_loop)
+{
+    const auto p = lm::parse("loop 64 { x = x + 1; }");
+    const auto& s = *p.main.stmts[0];
+    EXPECT_EQ(s.kind, lm::Stmt::Kind::loop);
+    EXPECT_DOUBLE_EQ(s.trips, 64.0);
+    EXPECT_EQ(s.body.stmts.size(), 1u);
+}
+
+TEST(Parser, while_with_trip)
+{
+    const auto p = lm::parse("while (x < a) trip 1000 { x = x + 1; }");
+    const auto& s = *p.main.stmts[0];
+    EXPECT_EQ(s.kind, lm::Stmt::Kind::while_);
+    EXPECT_DOUBLE_EQ(s.trips, 1000.0);
+}
+
+TEST(Parser, wait_statement)
+{
+    const auto p = lm::parse("wait 3;");
+    EXPECT_EQ(p.main.stmts[0]->kind, lm::Stmt::Kind::wait);
+    EXPECT_EQ(p.main.stmts[0]->wait_cycles, 3);
+}
+
+TEST(Parser, input_output_lists)
+{
+    const auto p = lm::parse("input a, b, c; output y;");
+    EXPECT_EQ(p.main.stmts[0]->kind, lm::Stmt::Kind::input);
+    EXPECT_EQ(p.main.stmts[0]->names.size(), 3u);
+    EXPECT_EQ(p.main.stmts[1]->kind, lm::Stmt::Kind::output);
+    EXPECT_EQ(p.main.stmts[1]->names[0], "y");
+}
+
+TEST(Parser, function_definition_and_call)
+{
+    const auto p = lm::parse(R"(
+func f(a, b) { c = a + b; }
+f(1, x + 2);
+)");
+    ASSERT_EQ(p.funcs.size(), 1u);
+    EXPECT_EQ(p.funcs[0].name, "f");
+    ASSERT_EQ(p.funcs[0].params.size(), 2u);
+    EXPECT_NE(p.find_func("f"), nullptr);
+    EXPECT_EQ(p.find_func("g"), nullptr);
+    ASSERT_EQ(p.main.stmts.size(), 1u);
+    const auto& call = *p.main.stmts[0];
+    EXPECT_EQ(call.kind, lm::Stmt::Kind::call);
+    EXPECT_EQ(call.callee, "f");
+    EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, missing_semicolon_throws)
+{
+    EXPECT_THROW(lm::parse("x = 1"), lm::Parse_error);
+}
+
+TEST(Parser, unterminated_block_throws)
+{
+    EXPECT_THROW(lm::parse("loop 3 { x = 1;"), lm::Parse_error);
+}
+
+TEST(Parser, statement_count_recurses)
+{
+    const auto p = lm::parse(R"(
+x = 1;
+loop 2 { y = 2; if (y < 3) { z = 4; } }
+)");
+    EXPECT_EQ(lm::statement_count(p.main), 5u);
+}
+
+TEST(Parser, error_carries_line_number)
+{
+    try {
+        lm::parse("x = 1;\ny = ;\n");
+        FAIL() << "expected Parse_error";
+    }
+    catch (const lm::Parse_error& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}

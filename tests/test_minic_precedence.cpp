@@ -1,0 +1,140 @@
+// Parameterized precedence/associativity sweep for the MiniC
+// expression grammar: for every adjacent pair of precedence levels,
+// the lower-precedence operator must end up at the root of
+// `a LOW b HIGH c`, and at the root of `a HIGH b LOW c` too.
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+
+namespace lm = lycos::minic;
+using lycos::hw::Op_kind;
+
+namespace {
+
+struct Level {
+    const char* spelling;
+    Op_kind kind;
+    bool swaps;  ///< '>' and '>=' canonicalize by swapping operands
+};
+
+/// One representative operator per precedence level, loosest first.
+const std::vector<Level>& levels()
+{
+    static const std::vector<Level> k_levels = {
+        {"||", Op_kind::log_or, false},
+        {"&&", Op_kind::log_and, false},
+        {"|", Op_kind::bit_or, false},
+        {"^", Op_kind::bit_xor, false},
+        {"&", Op_kind::bit_and, false},
+        {"==", Op_kind::cmp_eq, false},
+        {"<", Op_kind::cmp_lt, false},
+        {"<<", Op_kind::shl, false},
+        {"+", Op_kind::add, false},
+        {"*", Op_kind::mul, false},
+    };
+    return k_levels;
+}
+
+const lm::Expr& parse_expr_of(const lm::Program& p)
+{
+    return *p.main.stmts.at(0)->expr;
+}
+
+}  // namespace
+
+class Precedence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Precedence, looser_operator_is_root)
+{
+    const auto [lo_i, hi_i] = GetParam();
+    if (lo_i >= hi_i)
+        GTEST_SKIP();
+    const Level& lo = levels()[static_cast<std::size_t>(lo_i)];
+    const Level& hi = levels()[static_cast<std::size_t>(hi_i)];
+
+    // a LOW b HIGH c  =>  LOW(a, HIGH(b, c))
+    {
+        const std::string src = std::string("x = a ") + lo.spelling + " b " +
+                                hi.spelling + " c;";
+        const auto p = lm::parse(src);
+        const auto& e = parse_expr_of(p);
+        EXPECT_EQ(e.op, lo.kind) << src;
+        EXPECT_EQ(e.rhs->op, hi.kind) << src;
+    }
+    // a HIGH b LOW c  =>  LOW(HIGH(a, b), c)
+    {
+        const std::string src = std::string("x = a ") + hi.spelling + " b " +
+                                lo.spelling + " c;";
+        const auto p = lm::parse(src);
+        const auto& e = parse_expr_of(p);
+        EXPECT_EQ(e.op, lo.kind) << src;
+        EXPECT_EQ(e.lhs->op, hi.kind) << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, Precedence,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 10)));
+
+class Associativity : public ::testing::TestWithParam<int> {};
+
+TEST_P(Associativity, binary_operators_are_left_associative)
+{
+    const Level& op = levels()[static_cast<std::size_t>(GetParam())];
+    const std::string src = std::string("x = a ") + op.spelling + " b " +
+                            op.spelling + " c;";
+    const auto p = lm::parse(src);
+    const auto& e = parse_expr_of(p);
+    // (a op b) op c: root's rhs is the variable c.
+    ASSERT_EQ(e.kind, lm::Expr::Kind::binary) << src;
+    EXPECT_EQ(e.op, op.kind);
+    EXPECT_EQ(e.rhs->kind, lm::Expr::Kind::var) << src;
+    EXPECT_EQ(e.rhs->name, "c") << src;
+    EXPECT_EQ(e.lhs->op, op.kind) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, Associativity, ::testing::Range(0, 10));
+
+TEST(PrecedenceExtras, unary_binds_tighter_than_binary)
+{
+    const auto p = lm::parse("x = -a * b;");
+    const auto& e = parse_expr_of(p);
+    EXPECT_EQ(e.op, Op_kind::mul);
+    EXPECT_EQ(e.lhs->op, Op_kind::neg);
+}
+
+TEST(PrecedenceExtras, nested_unary)
+{
+    const auto p = lm::parse("x = !!a;");
+    const auto& e = parse_expr_of(p);
+    EXPECT_EQ(e.op, Op_kind::log_not);
+    EXPECT_EQ(e.lhs->op, Op_kind::log_not);
+    EXPECT_EQ(e.lhs->lhs->name, "a");
+}
+
+TEST(PrecedenceExtras, comparison_chain_with_logical)
+{
+    // a < b && c < d: && at root, both children comparisons.
+    const auto p = lm::parse("x = a < b && c < d;");
+    const auto& e = parse_expr_of(p);
+    EXPECT_EQ(e.op, Op_kind::log_and);
+    EXPECT_EQ(e.lhs->op, Op_kind::cmp_lt);
+    EXPECT_EQ(e.rhs->op, Op_kind::cmp_lt);
+}
+
+TEST(PrecedenceExtras, deeply_nested_parentheses)
+{
+    const auto p = lm::parse("x = ((((a))));");
+    const auto& e = parse_expr_of(p);
+    EXPECT_EQ(e.kind, lm::Expr::Kind::var);
+    EXPECT_EQ(e.name, "a");
+}
+
+TEST(PrecedenceExtras, mod_groups_with_multiplicative)
+{
+    const auto p = lm::parse("x = a + b % c;");
+    const auto& e = parse_expr_of(p);
+    EXPECT_EQ(e.op, Op_kind::add);
+    EXPECT_EQ(e.rhs->op, Op_kind::mod);
+}

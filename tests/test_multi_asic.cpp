@@ -1,0 +1,269 @@
+// Tests for the two-ASIC extension: the generalized DP against a 3^L
+// brute force, budget handling, same-ASIC adjacency, and the two-ASIC
+// allocator's invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hpp"
+#include "core/multi_allocator.hpp"
+#include "hw/target.hpp"
+#include "pace/multi_asic.hpp"
+#include "util/rng.hpp"
+
+namespace lp = lycos::pace;
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+using lh::Op_kind;
+using lp::Placement;
+
+namespace {
+
+lp::Multi_bsb_cost make_cost(double t_sw, double hw0, double hw1,
+                             double area0, double area1, double save0 = 0.0,
+                             double save1 = 0.0)
+{
+    lp::Multi_bsb_cost c;
+    c.t_sw = t_sw;
+    c.hw[0].t_sw = t_sw;
+    c.hw[1].t_sw = t_sw;
+    c.hw[0].t_hw = hw0;
+    c.hw[1].t_hw = hw1;
+    c.hw[0].ctrl_area = area0;
+    c.hw[1].ctrl_area = area1;
+    c.hw[0].save_prev = save0;
+    c.hw[1].save_prev = save1;
+    return c;
+}
+
+/// Exact optimum by trying all 3^n placements.
+lp::Multi_pace_result brute_force(std::span<const lp::Multi_bsb_cost> costs,
+                                  std::array<double, 2> budgets)
+{
+    const std::size_t n = costs.size();
+    std::vector<Placement> placement(n, Placement::software);
+    lp::Multi_pace_result best =
+        lp::evaluate_multi_partition(costs, placement);
+
+    std::vector<int> digits(n, 0);
+    const auto total = static_cast<long long>(std::pow(3.0, n));
+    for (long long m = 1; m < total; ++m) {
+        long long v = m;
+        for (std::size_t i = 0; i < n; ++i) {
+            digits[i] = static_cast<int>(v % 3);
+            v /= 3;
+        }
+        std::array<double, 2> used{0.0, 0.0};
+        bool feasible = true;
+        for (std::size_t i = 0; i < n && feasible; ++i) {
+            placement[i] = static_cast<Placement>(digits[i] - 1);
+            if (digits[i] > 0) {
+                const auto& c = costs[i].hw[static_cast<std::size_t>(
+                    digits[i] - 1)];
+                if (std::isinf(c.t_hw) || std::isinf(c.ctrl_area))
+                    feasible = false;
+                else
+                    used[static_cast<std::size_t>(digits[i] - 1)] +=
+                        c.ctrl_area;
+            }
+        }
+        if (!feasible || used[0] > budgets[0] || used[1] > budgets[1])
+            continue;
+        const auto r = lp::evaluate_multi_partition(costs, placement);
+        if (r.time_hybrid_ns < best.time_hybrid_ns)
+            best = r;
+    }
+    return best;
+}
+
+}  // namespace
+
+TEST(MultiPace, empty_and_negative_budget)
+{
+    EXPECT_THROW(
+        lp::multi_pace_partition({}, {.ctrl_area_budgets = {-1.0, 0.0}}),
+        std::invalid_argument);
+    const auto r =
+        lp::multi_pace_partition({}, {.ctrl_area_budgets = {10.0, 10.0}});
+    EXPECT_TRUE(r.placement.empty());
+}
+
+TEST(MultiPace, splits_across_asics_when_one_is_full)
+{
+    // Two profitable BSBs, each controller fills one whole ASIC.
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 100, 100, 50, 50),
+        make_cost(1000, 100, 100, 50, 50),
+    };
+    const auto r = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {50.0, 50.0}, .area_quantum = 1.0});
+    EXPECT_EQ(r.n_in_hw, 2);
+    EXPECT_NE(r.placement[0], r.placement[1]);
+    EXPECT_NE(r.placement[0], Placement::software);
+}
+
+TEST(MultiPace, prefers_the_faster_asic)
+{
+    // ASIC1 executes the BSB twice as fast (richer data-path).
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 400, 200, 10, 10),
+    };
+    const auto r = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {100.0, 100.0}, .area_quantum = 1.0});
+    EXPECT_EQ(r.placement[0], Placement::asic1);
+}
+
+TEST(MultiPace, adjacency_saving_only_on_same_asic)
+{
+    // BSB1 saves 150 if it sits next to BSB0 on the same ASIC; placing
+    // them on different ASICs forfeits the saving.  Budgets force the
+    // DP to weigh this.
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 100, 100, 40, 40),
+        make_cost(500, 300, 300, 40, 40, 150.0, 150.0),
+    };
+    // Both fit on ASIC0 together: saving applies.
+    const auto both = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {80.0, 0.0}, .area_quantum = 1.0});
+    EXPECT_EQ(both.placement[0], Placement::asic0);
+    EXPECT_EQ(both.placement[1], Placement::asic0);
+    // 100 + (300 - 150) = 250 hybrid
+    EXPECT_DOUBLE_EQ(both.time_hybrid_ns, 250.0);
+
+    // Budgets force a split: the saving is lost, so BSB1's hardware
+    // gain (500 - 300 = 200 without saving) still wins but costs more.
+    const auto split = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {40.0, 40.0}, .area_quantum = 1.0});
+    EXPECT_NE(split.placement[0], split.placement[1]);
+    EXPECT_DOUBLE_EQ(split.time_hybrid_ns, 400.0);  // 100 + 300
+}
+
+TEST(MultiPace, infeasible_on_one_asic_uses_the_other)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, inf, 100, inf, 10),
+    };
+    const auto r = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {100.0, 100.0}, .area_quantum = 1.0});
+    EXPECT_EQ(r.placement[0], Placement::asic1);
+}
+
+TEST(MultiPace, evaluate_round_trip_and_size_mismatch)
+{
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 100, 200, 10, 20),
+    };
+    const auto r = lp::evaluate_multi_partition(
+        costs, {Placement::asic1});
+    EXPECT_DOUBLE_EQ(r.time_hybrid_ns, 200.0);
+    EXPECT_DOUBLE_EQ(r.ctrl_area_used[1], 20.0);
+    EXPECT_DOUBLE_EQ(r.ctrl_area_used[0], 0.0);
+    EXPECT_THROW(lp::evaluate_multi_partition(costs, {}),
+                 std::invalid_argument);
+}
+
+class MultiPaceVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiPaceVsBrute, dp_equals_brute_force)
+{
+    lycos::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 31);
+    const int n = rng.uniform_int(1, 7);
+    std::vector<lp::Multi_bsb_cost> costs;
+    for (int i = 0; i < n; ++i) {
+        const double t_sw = rng.uniform_real(100.0, 4000.0);
+        const double save = i > 0 ? rng.uniform_real(0.0, 50.0) : 0.0;
+        costs.push_back(make_cost(
+            t_sw, rng.uniform_real(50.0, 2500.0),
+            rng.uniform_real(50.0, 2500.0), rng.uniform_int(1, 40),
+            rng.uniform_int(1, 40), save, save));
+    }
+    const std::array<double, 2> budgets = {
+        static_cast<double>(rng.uniform_int(10, 90)),
+        static_cast<double>(rng.uniform_int(10, 90))};
+
+    const auto dp = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = budgets, .area_quantum = 1.0});
+    const auto bf = brute_force(costs, budgets);
+    EXPECT_NEAR(dp.time_hybrid_ns, bf.time_hybrid_ns, 1e-6)
+        << "seed " << GetParam();
+    EXPECT_LE(dp.ctrl_area_used[0], budgets[0] + 1e-9);
+    EXPECT_LE(dp.ctrl_area_used[1], budgets[1] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiPaceVsBrute, ::testing::Range(0, 20));
+
+// ------------------------------------------------------------------
+// Two-ASIC allocator
+// ------------------------------------------------------------------
+
+TEST(TwoAsicAllocator, placements_are_covered_and_budgets_respected)
+{
+    const auto app = lycos::apps::make_hal();
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(app.asic_area);
+    const auto infos = lc::analyze(app.bsbs, lib, target.gates);
+
+    const auto r = lc::allocate_two_asics(
+        infos, lib,
+        {.budgets = {app.asic_area / 2.0, app.asic_area / 2.0}});
+
+    EXPECT_GE(r.remaining[0], 0.0);
+    EXPECT_GE(r.remaining[1], 0.0);
+    for (std::size_t i = 0; i < app.bsbs.size(); ++i) {
+        const int placed = r.pseudo_placement[i];
+        if (placed >= 0)
+            EXPECT_TRUE(
+                r.allocations[static_cast<std::size_t>(placed)].covers(
+                    app.bsbs[i].graph.used_ops(), lib))
+                << "BSB " << i;
+    }
+    // Restrictions hold per ASIC.
+    for (const auto& alloc : r.allocations)
+        for (const auto& [res, count] : alloc.entries())
+            EXPECT_LE(count, r.restrictions(res));
+}
+
+TEST(TwoAsicAllocator, negative_budget_throws)
+{
+    const auto lib = lh::make_default_library();
+    EXPECT_THROW(lc::allocate_two_asics(
+                     std::vector<lc::Bsb_info>{}, lib,
+                     {.budgets = {-1.0, 10.0}}),
+                 std::invalid_argument);
+}
+
+TEST(TwoAsicAllocator, zero_budgets_allocate_nothing)
+{
+    const auto app = lycos::apps::make_hal();
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(app.asic_area);
+    const auto infos = lc::analyze(app.bsbs, lib, target.gates);
+    const auto r =
+        lc::allocate_two_asics(infos, lib, {.budgets = {0.0, 0.0}});
+    EXPECT_TRUE(r.allocations[0].empty());
+    EXPECT_TRUE(r.allocations[1].empty());
+}
+
+TEST(TwoAsicAllocator, end_to_end_two_asic_speedup)
+{
+    // Allocate two half-size ASICs for man and partition with the
+    // generalized DP: the flow must produce a real speed-up.
+    const auto app = lycos::apps::make_man();
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(app.asic_area);
+    const auto infos = lc::analyze(app.bsbs, lib, target.gates);
+
+    const std::array<double, 2> budgets = {app.asic_area / 2.0,
+                                           app.asic_area / 2.0};
+    const auto alloc = lc::allocate_two_asics(infos, lib, {.budgets = budgets});
+
+    const auto costs = lp::build_multi_cost_model(
+        app.bsbs, lib, target, alloc.allocations[0], alloc.allocations[1],
+        lp::Controller_mode::list_schedule);
+    const auto r = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {budgets[0] - alloc.datapath_area[0],
+                                      budgets[1] - alloc.datapath_area[1]}});
+    EXPECT_GT(r.speedup_pct, 0.0);
+    EXPECT_GT(r.n_in_hw, 0);
+}

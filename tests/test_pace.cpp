@@ -1,0 +1,264 @@
+// Tests for pace: the cost model, the dynamic program and its
+// equivalence with exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "apps/random_app.hpp"
+#include "core/rmap.hpp"
+#include "hw/target.hpp"
+#include "pace/brute_force.hpp"
+#include "pace/cost_model.hpp"
+#include "pace/pace.hpp"
+#include "util/rng.hpp"
+
+namespace lp = lycos::pace;
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+
+namespace {
+
+lp::Bsb_cost make_cost(double t_sw, double t_hw, double comm, double save,
+                       double area)
+{
+    lp::Bsb_cost c;
+    c.t_sw = t_sw;
+    c.t_hw = t_hw;
+    c.comm = comm;
+    c.save_prev = save;
+    c.ctrl_area = area;
+    return c;
+}
+
+}  // namespace
+
+TEST(Pace, empty_input)
+{
+    const auto r = lp::pace_partition({}, {.ctrl_area_budget = 100.0});
+    EXPECT_TRUE(r.in_hw.empty());
+    EXPECT_DOUBLE_EQ(r.speedup_pct, 0.0);
+}
+
+TEST(Pace, zero_budget_keeps_everything_in_software)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 10, 0, 50),
+        make_cost(2000, 100, 10, 0, 50),
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 0.0});
+    EXPECT_FALSE(r.in_hw[0]);
+    EXPECT_FALSE(r.in_hw[1]);
+    EXPECT_DOUBLE_EQ(r.time_hybrid_ns, 3000.0);
+    EXPECT_DOUBLE_EQ(r.speedup_pct, 0.0);
+}
+
+TEST(Pace, moves_profitable_bsb)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 50, 0, 40),
+    };
+    const auto r =
+        lp::pace_partition(costs, {.ctrl_area_budget = 100.0});
+    EXPECT_TRUE(r.in_hw[0]);
+    EXPECT_DOUBLE_EQ(r.time_hybrid_ns, 150.0);
+    EXPECT_NEAR(r.speedup_pct, (1000.0 / 150.0 - 1.0) * 100.0, 1e-9);
+}
+
+TEST(Pace, skips_unprofitable_bsb)
+{
+    // Hardware plus communication slower than software.
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(100, 90, 50, 0, 10),
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 100.0});
+    EXPECT_FALSE(r.in_hw[0]);
+}
+
+TEST(Pace, respects_area_budget_knapsack)
+{
+    // Two candidates, budget admits only one; the better gain wins.
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 0, 0, 60),   // gain 900
+        make_cost(3000, 100, 0, 0, 60),   // gain 2900
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 60.0,
+                                              .area_quantum = 1.0});
+    EXPECT_FALSE(r.in_hw[0]);
+    EXPECT_TRUE(r.in_hw[1]);
+    EXPECT_DOUBLE_EQ(r.ctrl_area_used, 60.0);
+}
+
+TEST(Pace, infeasible_hw_stays_in_software)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(5000, inf, 0, 0, inf),
+        make_cost(1000, 100, 0, 0, 10),
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 100.0});
+    EXPECT_FALSE(r.in_hw[0]);
+    EXPECT_TRUE(r.in_hw[1]);
+}
+
+TEST(Pace, adjacency_saving_pulls_neighbour_in)
+{
+    // BSB 1 alone is slightly unprofitable (gain -10) but saves 100 of
+    // bus time when its predecessor is in hardware too.
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 0, 0, 10),     // gain 900
+        make_cost(100, 60, 50, 100, 10),    // gain -10, save 100
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 100.0,
+                                              .area_quantum = 1.0});
+    EXPECT_TRUE(r.in_hw[0]);
+    EXPECT_TRUE(r.in_hw[1]);
+    // Hybrid: 100 + (60 + 50 - 100 saved) = 110.
+    EXPECT_DOUBLE_EQ(r.time_hybrid_ns, 110.0);
+}
+
+TEST(Pace, adjacency_saving_not_applied_across_gap)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 0, 0, 10),
+        make_cost(100, 200, 0, 0, 10),      // never profitable
+        make_cost(100, 60, 50, 100, 10),    // save only if BSB1 in HW
+    };
+    const auto r = lp::pace_partition(costs, {.ctrl_area_budget = 100.0,
+                                              .area_quantum = 1.0});
+    EXPECT_TRUE(r.in_hw[0]);
+    EXPECT_FALSE(r.in_hw[1]);
+    EXPECT_FALSE(r.in_hw[2]);  // without the saving it is a loss
+}
+
+TEST(Pace, evaluate_partition_round_trip)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 10, 0, 50),
+        make_cost(500, 100, 10, 20, 50),
+    };
+    const std::vector<bool> both = {true, true};
+    const auto r = lp::evaluate_partition(costs, both);
+    EXPECT_DOUBLE_EQ(r.time_all_sw_ns, 1500.0);
+    EXPECT_DOUBLE_EQ(r.time_hybrid_ns, 110.0 + 110.0 - 20.0);
+    EXPECT_EQ(r.n_in_hw, 2);
+    EXPECT_DOUBLE_EQ(r.ctrl_area_used, 100.0);
+    EXPECT_DOUBLE_EQ(r.hw_fraction(), 1.0);
+    EXPECT_THROW(lp::evaluate_partition(costs, std::vector<bool>(3)),
+                 std::invalid_argument);
+}
+
+TEST(Pace, negative_budget_throws)
+{
+    EXPECT_THROW(lp::pace_partition({}, {.ctrl_area_budget = -5.0}),
+                 std::invalid_argument);
+}
+
+// The key property: the DP matches exhaustive enumeration.
+class PaceVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaceVsBrute, dp_equals_brute_force)
+{
+    lycos::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+    const int n = rng.uniform_int(1, 12);
+    std::vector<lp::Bsb_cost> costs;
+    for (int i = 0; i < n; ++i) {
+        const double t_sw = rng.uniform_real(100.0, 5000.0);
+        const double t_hw = rng.uniform_real(50.0, 3000.0);
+        const double comm = rng.uniform_real(0.0, 200.0);
+        const double save = i > 0 ? rng.uniform_real(0.0, comm) : 0.0;
+        // Integer areas so quantum=1 makes the DP exact.
+        const double area = rng.uniform_int(1, 80);
+        costs.push_back(make_cost(t_sw, t_hw, comm, save, area));
+    }
+    const double budget = rng.uniform_int(20, 200);
+
+    const auto dp = lp::pace_partition(
+        costs, {.ctrl_area_budget = budget, .area_quantum = 1.0});
+    const auto bf = lp::brute_force_partition(costs, budget);
+
+    EXPECT_NEAR(dp.time_hybrid_ns, bf.time_hybrid_ns, 1e-6)
+        << "DP and brute force disagree for seed " << GetParam();
+    EXPECT_LE(dp.ctrl_area_used, budget + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaceVsBrute, ::testing::Range(0, 30));
+
+TEST(PaceBrute, too_many_bsbs_throws)
+{
+    std::vector<lp::Bsb_cost> costs(25, make_cost(1, 1, 0, 0, 1));
+    EXPECT_THROW(lp::brute_force_partition(costs, 10.0),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------------
+// Cost model
+// ------------------------------------------------------------------
+
+TEST(CostModel, feasible_and_infeasible_entries)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(10000.0);
+
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb b1;
+    b1.graph.add_op(Op_kind::add);
+    b1.graph.add_live_in("x");
+    b1.graph.add_live_out("y");
+    b1.profile = 10.0;
+    bsbs.push_back(std::move(b1));
+    lb::Bsb b2;
+    b2.graph.add_op(Op_kind::mul);
+    b2.profile = 2.0;
+    bsbs.push_back(std::move(b2));
+
+    lc::Rmap alloc;
+    alloc.add(*lib.find("adder"));  // adder only: b2 infeasible
+
+    const auto costs = lp::build_cost_model(
+        bsbs, lib, target, alloc, lp::Controller_mode::optimistic_eca);
+    ASSERT_EQ(costs.size(), 2u);
+    EXPECT_GT(costs[0].t_sw, 0.0);
+    EXPECT_FALSE(std::isinf(costs[0].t_hw));
+    // one add at 1 cycle * 10 runs
+    EXPECT_DOUBLE_EQ(costs[0].t_hw, target.asic.cycle_ns() * 10.0);
+    // two live values * bus word * 10 runs
+    EXPECT_DOUBLE_EQ(costs[0].comm, 2 * target.bus.ns_per_word * 10.0);
+    EXPECT_TRUE(std::isinf(costs[1].t_hw));
+    EXPECT_TRUE(std::isinf(costs[1].ctrl_area));
+}
+
+TEST(CostModel, controller_modes_differ_under_scarcity)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(10000.0);
+
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb b;
+    for (int i = 0; i < 6; ++i)
+        b.graph.add_op(Op_kind::add);  // 6 parallel adds
+    b.profile = 1.0;
+    bsbs.push_back(std::move(b));
+
+    lc::Rmap one_adder;
+    one_adder.add(*lib.find("adder"));
+
+    const auto optimistic = lp::build_cost_model(
+        bsbs, lib, target, one_adder, lp::Controller_mode::optimistic_eca);
+    const auto real = lp::build_cost_model(
+        bsbs, lib, target, one_adder, lp::Controller_mode::list_schedule);
+    // ASAP length is 1 (all parallel) but one adder serializes to 6
+    // states: the real controller is strictly larger (§5.1).
+    EXPECT_LT(optimistic[0].ctrl_area, real[0].ctrl_area);
+}
+
+TEST(CostModel, all_sw_time_is_sum)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(100, 1, 0, 0, 1),
+        make_cost(250, 1, 0, 0, 1),
+    };
+    EXPECT_DOUBLE_EQ(lp::all_sw_time_ns(costs), 350.0);
+}

@@ -1,0 +1,113 @@
+// Tests for core/restrictions: §4.3 ASAP-parallelism bounds.
+#include <gtest/gtest.h>
+
+#include "core/restrictions.hpp"
+#include "hw/target.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+
+namespace {
+
+lb::Bsb bsb_from(lycos::dfg::Dfg g, double profile = 1.0)
+{
+    lb::Bsb b;
+    b.graph = std::move(g);
+    b.profile = profile;
+    return b;
+}
+
+}  // namespace
+
+TEST(Restrictions, parallel_ops_bound_resource_count)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    lycos::dfg::Dfg g;
+    for (int i = 0; i < 3; ++i)
+        g.add_op(Op_kind::mul);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(bsb_from(std::move(g)));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const auto bounds = lc::compute_restrictions(infos, lib);
+    EXPECT_EQ(bounds(*lib.find("multiplier")), 3);
+    EXPECT_EQ(bounds(*lib.find("divider")), 0);  // no div/mod anywhere
+}
+
+TEST(Restrictions, chains_need_only_one_unit)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    lycos::dfg::Dfg g;
+    const auto a = g.add_op(Op_kind::mul);
+    const auto b = g.add_op(Op_kind::mul);
+    const auto c = g.add_op(Op_kind::mul);
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(bsb_from(std::move(g)));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const auto bounds = lc::compute_restrictions(infos, lib);
+    EXPECT_EQ(bounds(*lib.find("multiplier")), 1);
+}
+
+TEST(Restrictions, max_over_bsbs_not_sum)
+{
+    // BSBs execute sequentially: two BSBs with 2 parallel adds each
+    // still only ever need 2 adders.
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    for (int k = 0; k < 2; ++k) {
+        lycos::dfg::Dfg g;
+        g.add_op(Op_kind::add);
+        g.add_op(Op_kind::add);
+        bsbs.push_back(bsb_from(std::move(g)));
+    }
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const auto bounds = lc::compute_restrictions(infos, lib);
+    EXPECT_EQ(bounds(*lib.find("adder")), 2);
+}
+
+TEST(Restrictions, multifunction_unit_sees_combined_demand)
+{
+    lh::Hw_library lib;
+    lib.add({"alu", {Op_kind::add, Op_kind::sub}, 100.0, 1});
+    const auto target = lh::make_default_target(1.0);
+    lycos::dfg::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::sub);  // both parallel: ALU demand is 2
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(bsb_from(std::move(g)));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const auto bounds = lc::compute_restrictions(infos, lib);
+    EXPECT_EQ(bounds(0), 2);
+}
+
+TEST(Restrictions, empty_application_no_bounds)
+{
+    const auto lib = lh::make_default_library();
+    const auto bounds =
+        lc::compute_restrictions(std::vector<lc::Bsb_info>{}, lib);
+    EXPECT_TRUE(bounds.empty());
+}
+
+TEST(Restrictions, multicycle_ops_widen_window)
+{
+    // Two muls offset by one add: with the multiplier's 2-cycle
+    // latency their executions overlap, so the bound must be 2.
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    lycos::dfg::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto m2 = g.add_op(Op_kind::mul);
+    g.add_op(Op_kind::mul);  // starts at 1
+    g.add_edge(a, m2);       // starts at 2, overlaps [2,3] with [1,2]
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(bsb_from(std::move(g)));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const auto bounds = lc::compute_restrictions(infos, lib);
+    EXPECT_EQ(bounds(*lib.find("multiplier")), 2);
+}

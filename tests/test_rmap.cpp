@@ -1,0 +1,159 @@
+// Tests for core/rmap: Definition 1 and Example 1 semantics.
+#include <gtest/gtest.h>
+
+#include "core/rmap.hpp"
+#include "hw/resource.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+using lh::Op_kind;
+
+namespace {
+
+/// Library mirroring Example 1: adder, multiplier, subtractor.
+lh::Hw_library example_library()
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 180.0, 1});
+    lib.add({"multiplier", {Op_kind::mul}, 2200.0, 2});
+    lib.add({"subtractor", {Op_kind::sub}, 190.0, 1});
+    return lib;
+}
+
+constexpr lh::Resource_id k_adder = 0;
+constexpr lh::Resource_id k_mult = 1;
+constexpr lh::Resource_id k_sub = 2;
+
+}  // namespace
+
+TEST(Rmap, example1_union)
+{
+    // Allocation1 = {Adder->2, Multiplier->1}
+    // Allocation2 = {Subtractor->1, Multiplier->2}
+    const lc::Rmap a1{{k_adder, 2}, {k_mult, 1}};
+    const lc::Rmap a2{{k_sub, 1}, {k_mult, 2}};
+
+    const lc::Rmap u = a1 | a2;
+    EXPECT_EQ(u(k_adder), 2);
+    EXPECT_EQ(u(k_mult), 3);  // 1 ∪ 2 = 3 (pointwise sum, Example 1)
+    EXPECT_EQ(u(k_sub), 1);
+}
+
+TEST(Rmap, example1_difference)
+{
+    const lc::Rmap a1{{k_adder, 2}, {k_mult, 1}};
+    const lc::Rmap a2{{k_sub, 1}, {k_mult, 2}};
+
+    const lc::Rmap d1 = a1 - a2;  // {Adder->2}
+    EXPECT_EQ(d1(k_adder), 2);
+    EXPECT_EQ(d1(k_mult), 0);
+    EXPECT_EQ(d1(k_sub), 0);
+
+    const lc::Rmap d2 = a2 - a1;  // {Subtractor->1, Multiplier->1}
+    EXPECT_EQ(d2(k_sub), 1);
+    EXPECT_EQ(d2(k_mult), 1);
+    EXPECT_EQ(d2(k_adder), 0);
+}
+
+TEST(Rmap, example1_indexing_update)
+{
+    // Allocation1(Adder) + 1 = {Adder->3, Multiplier->1}
+    lc::Rmap a1{{k_adder, 2}, {k_mult, 1}};
+    a1.add(k_adder);
+    EXPECT_EQ(a1(k_adder), 3);
+    EXPECT_EQ(a1(k_mult), 1);
+}
+
+TEST(Rmap, union_is_commutative_and_has_identity)
+{
+    const lc::Rmap a{{k_adder, 2}, {k_mult, 1}};
+    const lc::Rmap b{{k_sub, 3}};
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ(a | lc::Rmap{}, a);
+    EXPECT_EQ(lc::Rmap{} | a, a);
+}
+
+TEST(Rmap, union_is_associative)
+{
+    const lc::Rmap a{{k_adder, 1}};
+    const lc::Rmap b{{k_adder, 2}, {k_mult, 1}};
+    const lc::Rmap c{{k_sub, 1}, {k_mult, 2}};
+    EXPECT_EQ((a | b) | c, a | (b | c));
+}
+
+TEST(Rmap, difference_saturates_and_self_is_empty)
+{
+    const lc::Rmap a{{k_adder, 1}};
+    const lc::Rmap b{{k_adder, 5}};
+    EXPECT_TRUE((a - b).empty());
+    EXPECT_TRUE((a - a).empty());
+    EXPECT_EQ((b - a)(k_adder), 4);
+}
+
+TEST(Rmap, set_validates_and_erases_zero)
+{
+    lc::Rmap a;
+    EXPECT_THROW(a.set(k_adder, -1), std::invalid_argument);
+    a.set(k_adder, 2);
+    EXPECT_FALSE(a.empty());
+    a.set(k_adder, 0);
+    EXPECT_TRUE(a.empty());
+    a.add(k_adder, 3);
+    EXPECT_THROW(a.add(k_adder, -5), std::invalid_argument);
+}
+
+TEST(Rmap, total_units_and_area)
+{
+    const auto lib = example_library();
+    const lc::Rmap a{{k_adder, 2}, {k_mult, 1}};
+    EXPECT_EQ(a.total_units(), 3);
+    EXPECT_DOUBLE_EQ(a.area(lib), 2 * 180.0 + 2200.0);
+    EXPECT_DOUBLE_EQ(lc::Rmap{}.area(lib), 0.0);
+}
+
+TEST(Rmap, executors_of_counts_capable_units)
+{
+    lh::Hw_library lib;
+    lib.add({"alu", {Op_kind::add, Op_kind::sub}, 100.0, 1});
+    lib.add({"adder", {Op_kind::add}, 40.0, 1});
+    const lc::Rmap a{{0, 2}, {1, 1}};
+    EXPECT_EQ(a.executors_of(Op_kind::add, lib), 3);
+    EXPECT_EQ(a.executors_of(Op_kind::sub, lib), 2);
+    EXPECT_EQ(a.executors_of(Op_kind::mul, lib), 0);
+}
+
+TEST(Rmap, covers)
+{
+    const auto lib = example_library();
+    const lc::Rmap a{{k_adder, 1}, {k_mult, 1}};
+    EXPECT_TRUE(a.covers({Op_kind::add, Op_kind::mul}, lib));
+    EXPECT_FALSE(a.covers({Op_kind::add, Op_kind::sub}, lib));
+    EXPECT_TRUE(a.covers({}, lib));
+}
+
+TEST(Rmap, dense_counts)
+{
+    const auto lib = example_library();
+    const lc::Rmap a{{k_mult, 2}};
+    const auto counts = a.dense_counts(lib);
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_EQ(counts[1], 2);
+    EXPECT_EQ(counts[2], 0);
+}
+
+TEST(Rmap, to_string_names_resources)
+{
+    const auto lib = example_library();
+    const lc::Rmap a{{k_adder, 2}, {k_mult, 1}};
+    EXPECT_EQ(a.to_string(lib), "2*adder + 1*multiplier");
+    EXPECT_EQ(lc::Rmap{}.to_string(lib), "{}");
+}
+
+TEST(Rmap, named_aliases_match_operators)
+{
+    const lc::Rmap a{{k_adder, 2}};
+    const lc::Rmap b{{k_adder, 1}, {k_sub, 1}};
+    EXPECT_EQ(lc::Rmap::unite(a, b), a | b);
+    EXPECT_EQ(lc::Rmap::subtract(a, b), a - b);
+}

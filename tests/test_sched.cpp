@@ -1,0 +1,308 @@
+// Tests for sched: ASAP/ALAP time frames, mobility, overlap (Figure 5),
+// parallelism profiles and the resource-constrained list scheduler.
+#include <gtest/gtest.h>
+
+#include "apps/random_app.hpp"
+#include "hw/resource.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/parallelism.hpp"
+#include "sched/time_frames.hpp"
+#include "util/rng.hpp"
+
+namespace ls = lycos::sched;
+namespace ld = lycos::dfg;
+namespace lh = lycos::hw;
+using lh::Op_kind;
+
+namespace {
+
+ls::Latency_table unit_latency()
+{
+    return ls::Latency_table(1);
+}
+
+/// a -> b -> c plus independent d (all adds).
+ld::Dfg chain_plus_one()
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    const auto c = g.add_op(Op_kind::add);
+    g.add_op(Op_kind::add);  // d
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    return g;
+}
+
+}  // namespace
+
+TEST(TimeFrames, chain_asap_alap)
+{
+    const auto g = chain_plus_one();
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    EXPECT_EQ(info.length, 3);
+    EXPECT_EQ(info.frame(0).asap, 1);
+    EXPECT_EQ(info.frame(1).asap, 2);
+    EXPECT_EQ(info.frame(2).asap, 3);
+    EXPECT_EQ(info.frame(0).alap, 1);  // chain is critical
+    EXPECT_EQ(info.frame(2).alap, 3);
+    // d floats across the whole schedule
+    EXPECT_EQ(info.frame(3).asap, 1);
+    EXPECT_EQ(info.frame(3).alap, 3);
+    EXPECT_EQ(info.frame(3).mobility(), 3);
+}
+
+TEST(TimeFrames, figure5_example)
+{
+    // Figure 5: M(i) = 5 - 1 + 1 = 5, Ovl(i,j) = 3 for frames [1,5]
+    // and [3,5].
+    const ls::Time_frame i{1, 5};
+    const ls::Time_frame j{3, 5};
+    EXPECT_EQ(i.mobility(), 5);
+    EXPECT_EQ(j.mobility(), 3);
+    EXPECT_EQ(ls::overlap(i, j), 3);
+    EXPECT_EQ(ls::overlap(j, i), 3);
+}
+
+TEST(TimeFrames, disjoint_frames_no_overlap)
+{
+    EXPECT_EQ(ls::overlap({1, 2}, {3, 4}), 0);
+    EXPECT_EQ(ls::overlap({1, 3}, {3, 4}), 1);
+}
+
+TEST(TimeFrames, multi_cycle_latency)
+{
+    // mul (2 cycles) -> add: add can start at 3.
+    ld::Dfg g;
+    const auto m = g.add_op(Op_kind::mul);
+    const auto a = g.add_op(Op_kind::add);
+    g.add_edge(m, a);
+    ls::Latency_table lat(1);
+    lat[Op_kind::mul] = 2;
+    const auto info = ls::compute_time_frames(g, lat);
+    EXPECT_EQ(info.frame(m).asap, 1);
+    EXPECT_EQ(info.frame(a).asap, 3);
+    EXPECT_EQ(info.length, 3);
+    EXPECT_EQ(info.frame(m).alap, 1);
+    EXPECT_EQ(info.frame(a).alap, 3);
+}
+
+TEST(TimeFrames, empty_graph)
+{
+    ld::Dfg g;
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    EXPECT_EQ(info.length, 0);
+    EXPECT_TRUE(info.frames.empty());
+}
+
+TEST(TimeFrames, latency_table_from_library)
+{
+    const auto lib = lh::make_default_library();
+    const auto lat = ls::latency_table_from(lib);
+    EXPECT_EQ(lat[Op_kind::add], 1);
+    EXPECT_GE(lat[Op_kind::mul], 2);
+    EXPECT_GE(lat[Op_kind::div], lat[Op_kind::mul]);
+}
+
+TEST(Parallelism, parallel_adds)
+{
+    ld::Dfg g;
+    for (int i = 0; i < 4; ++i)
+        g.add_op(Op_kind::add);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    const auto par = ls::asap_parallelism(g, info, unit_latency());
+    EXPECT_EQ(par[Op_kind::add], 4);
+    EXPECT_EQ(par[Op_kind::mul], 0);
+}
+
+TEST(Parallelism, chain_is_serial)
+{
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    EXPECT_EQ(ls::asap_parallelism(g, info, unit_latency())[Op_kind::add], 1);
+}
+
+TEST(Parallelism, multicycle_overlap_counts)
+{
+    // Two muls, the second starts one step later but they overlap in
+    // the ASAP occupancy because latency is 3.
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto m1 = g.add_op(Op_kind::mul);
+    const auto m2 = g.add_op(Op_kind::mul);
+    g.add_edge(a, m2);  // m2 starts at 2; m1 at 1
+    (void)m1;
+    ls::Latency_table lat(1);
+    lat[Op_kind::mul] = 3;
+    const auto info = ls::compute_time_frames(g, lat);
+    EXPECT_EQ(ls::asap_parallelism(g, info, lat)[Op_kind::mul], 2);
+}
+
+TEST(Parallelism, op_set_combined_demand)
+{
+    // One add and one sub in parallel: an ALU covering both sees
+    // demand 2, a pure adder sees 1.
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::sub);
+    const auto info = ls::compute_time_frames(g, unit_latency());
+    EXPECT_EQ(ls::asap_parallelism_for(g, info, unit_latency(),
+                                       {Op_kind::add, Op_kind::sub}),
+              2);
+    EXPECT_EQ(ls::asap_parallelism_for(g, info, unit_latency(),
+                                       {Op_kind::add}),
+              1);
+}
+
+// ------------------------------------------------------------------
+// List scheduler
+// ------------------------------------------------------------------
+
+namespace {
+
+lh::Hw_library two_type_library()
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    lib.add({"multiplier", {Op_kind::mul}, 100.0, 2});
+    return lib;
+}
+
+}  // namespace
+
+TEST(ListScheduler, unlimited_resources_equal_asap)
+{
+    const auto lib = two_type_library();
+    ld::Dfg g;
+    const auto m1 = g.add_op(Op_kind::mul);
+    const auto m2 = g.add_op(Op_kind::mul);
+    const auto a = g.add_op(Op_kind::add);
+    g.add_edge(m1, a);
+    g.add_edge(m2, a);
+    const std::vector<int> counts = {4, 4};
+    const auto s = ls::list_schedule(g, lib, counts);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.length, 3);  // mul(2) then add(1)
+    EXPECT_EQ(s.start[static_cast<std::size_t>(m1)], 1);
+    EXPECT_EQ(s.start[static_cast<std::size_t>(m2)], 1);
+    EXPECT_EQ(s.start[static_cast<std::size_t>(a)], 3);
+}
+
+TEST(ListScheduler, single_unit_serializes)
+{
+    const auto lib = two_type_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::mul);
+    g.add_op(Op_kind::mul);
+    g.add_op(Op_kind::mul);
+    const std::vector<int> counts = {0, 1};
+    const auto s = ls::list_schedule(g, lib, counts);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.length, 6);  // three 2-cycle muls back to back
+}
+
+TEST(ListScheduler, infeasible_without_executor)
+{
+    const auto lib = two_type_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::mul);
+    const std::vector<int> counts = {3, 0};  // adders only
+    const auto s = ls::list_schedule(g, lib, counts);
+    EXPECT_FALSE(s.feasible);
+}
+
+TEST(ListScheduler, empty_graph_is_feasible)
+{
+    const auto lib = two_type_library();
+    const std::vector<int> counts = {0, 0};
+    const auto s = ls::list_schedule(ld::Dfg{}, lib, counts);
+    EXPECT_TRUE(s.feasible);
+    EXPECT_EQ(s.length, 0);
+}
+
+TEST(ListScheduler, count_size_mismatch_throws)
+{
+    const auto lib = two_type_library();
+    const std::vector<int> counts = {1};
+    EXPECT_THROW(ls::list_schedule(ld::Dfg{}, lib, counts),
+                 std::invalid_argument);
+}
+
+TEST(ListScheduler, prefers_specialized_units)
+{
+    // An adder and an ALU; a sub and an add arrive together.  The add
+    // should take the specialized adder, leaving the ALU for the sub,
+    // so both finish in one cycle.
+    lh::Hw_library lib;
+    lib.add({"alu", {Op_kind::add, Op_kind::sub}, 50.0, 1});
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::sub);
+    const std::vector<int> counts = {1, 1};
+    const auto s = ls::list_schedule(g, lib, counts);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.length, 1);
+}
+
+// Property sweep over random DAGs: the list schedule respects
+// dependencies and never exceeds resource capacity; more resources
+// never lengthen the schedule; with ample resources it matches ASAP.
+class ListSchedRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListSchedRandom, invariants_hold)
+{
+    lycos::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    const auto lib = lh::make_default_library();
+
+    lycos::apps::Random_app_params params;
+    params.min_ops = 3;
+    params.max_ops = 30;
+    const auto g = lycos::apps::random_dfg(
+        rng, rng.uniform_int(params.min_ops, params.max_ops), params);
+
+    std::vector<int> scarce(lib.size(), 1);
+    std::vector<int> ample(lib.size(), 32);
+
+    const auto s1 = ls::list_schedule(g, lib, scarce);
+    const auto s2 = ls::list_schedule(g, lib, ample);
+    ASSERT_TRUE(s1.feasible);
+    ASSERT_TRUE(s2.feasible);
+
+    // Dependencies respected (under the unit the op was bound to).
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        for (auto w : g.succs(static_cast<ld::Op_id>(v))) {
+            const int lat_v = lib[s1.resource[v]].latency_cycles;
+            EXPECT_GE(s1.start[static_cast<std::size_t>(w)],
+                      s1.start[v] + lat_v);
+        }
+    }
+
+    // Capacity respected for the scarce schedule: at any cycle, at
+    // most one op per resource type is running.
+    for (std::size_t r = 0; r < lib.size(); ++r) {
+        for (int cycle = 1; cycle <= s1.length; ++cycle) {
+            int busy = 0;
+            for (std::size_t v = 0; v < g.size(); ++v) {
+                if (s1.resource[v] != static_cast<int>(r))
+                    continue;
+                const int lat = lib[s1.resource[v]].latency_cycles;
+                if (s1.start[v] <= cycle && cycle < s1.start[v] + lat)
+                    ++busy;
+            }
+            EXPECT_LE(busy, scarce[r]);
+        }
+    }
+
+    // Monotonicity and the ASAP floor.
+    EXPECT_LE(s2.length, s1.length);
+    const auto info =
+        ls::compute_time_frames(g, ls::latency_table_from(lib));
+    EXPECT_EQ(s2.length, info.length);
+    EXPECT_GE(s1.length, info.length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListSchedRandom, ::testing::Range(0, 16));

@@ -1,0 +1,230 @@
+// Tests for search: allocation-space enumeration, exhaustive search
+// and hill climbing.
+#include <gtest/gtest.h>
+
+#include "apps/random_app.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+#include "util/rng.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+namespace lse = lycos::search;
+using lh::Op_kind;
+
+namespace {
+
+lh::Hw_library small_library()
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 100.0, 1});
+    lib.add({"multiplier", {Op_kind::mul}, 500.0, 2});
+    return lib;
+}
+
+std::vector<lb::Bsb> small_app()
+{
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb hot;
+    for (int i = 0; i < 3; ++i)
+        hot.graph.add_op(Op_kind::mul);
+    for (int i = 0; i < 2; ++i)
+        hot.graph.add_op(Op_kind::add);
+    hot.profile = 100.0;
+    bsbs.push_back(std::move(hot));
+    lb::Bsb cold;
+    cold.graph.add_op(Op_kind::add);
+    cold.graph.add_op(Op_kind::add);
+    cold.profile = 2.0;
+    bsbs.push_back(std::move(cold));
+    return bsbs;
+}
+
+}  // namespace
+
+TEST(AllocSpace, size_is_product_of_bounds)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 3);
+    const lse::Alloc_space space(lib, bounds);
+    EXPECT_EQ(space.size(), 3 * 4);
+}
+
+TEST(AllocSpace, enumerates_every_point_once)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 1);
+    const lse::Alloc_space space(lib, bounds);
+
+    std::vector<lc::Rmap> seen;
+    space.for_each(1e18, [&](const lc::Rmap& a) {
+        seen.push_back(a);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), 6u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        for (std::size_t j = i + 1; j < seen.size(); ++j)
+            EXPECT_FALSE(seen[i] == seen[j]) << "duplicate point";
+}
+
+TEST(AllocSpace, area_pruning_skips_large_points)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 1);  // adder, 100 each
+    bounds.set(1, 1);  // multiplier, 500 each
+    const lse::Alloc_space space(lib, bounds);
+    int visited = 0;
+    space.for_each(150.0, [&](const lc::Rmap&) {
+        ++visited;
+        return true;
+    });
+    // {}, {adder} fit; {mult}, {adder,mult} do not.
+    EXPECT_EQ(visited, 2);
+}
+
+TEST(AllocSpace, early_stop)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 5);
+    const lse::Alloc_space space(lib, bounds);
+    int visited = 0;
+    space.for_each(1e18, [&](const lc::Rmap&) {
+        ++visited;
+        return visited < 3;
+    });
+    EXPECT_EQ(visited, 3);
+}
+
+TEST(AllocSpace, nth_round_trip)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 2);
+    const lse::Alloc_space space(lib, bounds);
+
+    std::vector<lc::Rmap> seen;
+    space.for_each(1e18, [&](const lc::Rmap& a) {
+        seen.push_back(a);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(space.size()));
+    for (long long i = 0; i < space.size(); ++i)
+        EXPECT_EQ(space.nth(i), seen[static_cast<std::size_t>(i)]);
+    EXPECT_THROW(space.nth(-1), std::out_of_range);
+    EXPECT_THROW(space.nth(space.size()), std::out_of_range);
+}
+
+TEST(Exhaustive, finds_at_least_the_allocator_result)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+
+    const lc::Allocator alloc(lib, target);
+    const auto heuristic =
+        alloc.run(bsbs, {.area_budget = target.asic.total_area});
+
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    const auto heuristic_eval =
+        lse::evaluate_allocation(ctx, heuristic.allocation);
+
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 3);
+    const auto best = lse::exhaustive_search(ctx, bounds);
+
+    EXPECT_GE(best.best.speedup_pct(), heuristic_eval.speedup_pct() - 1e-9);
+    EXPECT_GT(best.n_evaluated, 0);
+    EXPECT_EQ(best.space_size, 12);
+}
+
+TEST(Exhaustive, empty_restrictions_single_point)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    const auto r = lse::exhaustive_search(ctx, lc::Rmap{});
+    EXPECT_EQ(r.space_size, 1);
+    EXPECT_EQ(r.n_evaluated, 1);
+    // Empty allocation: nothing in hardware, zero speedup.
+    EXPECT_DOUBLE_EQ(r.best.speedup_pct(), 0.0);
+}
+
+TEST(HillClimb, never_beats_exhaustive_and_is_deterministic)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 3);
+
+    const auto exhaustive = lse::exhaustive_search(ctx, bounds);
+
+    lycos::util::Rng rng1(123), rng2(123);
+    const auto hc1 = lse::hill_climb_search(ctx, bounds, {.n_restarts = 6},
+                                            rng1);
+    const auto hc2 = lse::hill_climb_search(ctx, bounds, {.n_restarts = 6},
+                                            rng2);
+
+    EXPECT_LE(hc1.best.speedup_pct(), exhaustive.best.speedup_pct() + 1e-9);
+    EXPECT_EQ(hc1.best.datapath, hc2.best.datapath);  // deterministic
+
+    // On this tiny space the climber should actually find the optimum.
+    EXPECT_NEAR(hc1.best.speedup_pct(), exhaustive.best.speedup_pct(), 1e-6);
+}
+
+TEST(Evaluate, oversized_datapath_reports_all_software)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(400.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    lc::Rmap too_big;
+    too_big.set(1, 2);  // 1000 > 400
+    const auto ev = lse::evaluate_allocation(ctx, too_big);
+    EXPECT_FALSE(ev.fits);
+    EXPECT_DOUBLE_EQ(ev.speedup_pct(), 0.0);
+    EXPECT_EQ(ev.partition.n_in_hw, 0);
+}
+
+TEST(Evaluate, size_fraction_definition)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(5000.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    lc::Rmap a;
+    a.set(0, 1);
+    a.set(1, 1);
+    const auto ev = lse::evaluate_allocation(ctx, a);
+    ASSERT_TRUE(ev.fits);
+    if (ev.partition.n_in_hw > 0) {
+        const double expected =
+            ev.datapath_area /
+            (ev.datapath_area + ev.partition.ctrl_area_used);
+        EXPECT_DOUBLE_EQ(ev.size_fraction(), expected);
+    }
+}

@@ -1,0 +1,160 @@
+// Tests for module selection (§6 future work): policies over a
+// library with several implementations per operation kind.
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "core/selection.hpp"
+#include "estimate/hw_time.hpp"
+#include "hw/target.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+using lc::Selection_policy;
+
+TEST(Selection, min_area_picks_smallest)
+{
+    const auto lib = lc::make_variant_library();
+    const auto r = lc::select_executor(lib, Op_kind::mul,
+                                       Selection_policy::min_area);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(lib[*r].name, "mult_serial");
+}
+
+TEST(Selection, min_latency_picks_fastest)
+{
+    const auto lib = lc::make_variant_library();
+    const auto r = lc::select_executor(lib, Op_kind::mul,
+                                       Selection_policy::min_latency);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(lib[*r].name, "mult_fast");
+}
+
+TEST(Selection, balanced_minimizes_area_latency_product)
+{
+    const auto lib = lc::make_variant_library();
+    // mult_serial: 1100*5 = 5500; mult_fast: 2200*2 = 4400 -> fast.
+    const auto mul = lc::select_executor(lib, Op_kind::mul,
+                                         Selection_policy::balanced);
+    ASSERT_TRUE(mul.has_value());
+    EXPECT_EQ(lib[*mul].name, "mult_fast");
+    // adder_serial: 100*2 = 200; adder_fast: 180*1 = 180 -> fast.
+    const auto add = lc::select_executor(lib, Op_kind::add,
+                                         Selection_policy::balanced);
+    ASSERT_TRUE(add.has_value());
+    EXPECT_EQ(lib[*add].name, "adder_fast");
+}
+
+TEST(Selection, unknown_kind_returns_nothing)
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 10.0, 1});
+    EXPECT_FALSE(lc::select_executor(lib, Op_kind::div,
+                                     Selection_policy::min_area)
+                     .has_value());
+}
+
+TEST(Selection, single_variant_library_is_policy_invariant)
+{
+    const auto lib = lh::make_default_library();
+    for (auto k : lh::all_op_kinds()) {
+        const auto a =
+            lc::select_executor(lib, k, Selection_policy::min_area);
+        const auto l =
+            lc::select_executor(lib, k, Selection_policy::min_latency);
+        const auto b =
+            lc::select_executor(lib, k, Selection_policy::balanced);
+        EXPECT_EQ(a, l) << lh::to_string(k);
+        EXPECT_EQ(a, b) << lh::to_string(k);
+    }
+}
+
+TEST(Selection, variant_library_covers_all_kinds)
+{
+    const auto lib = lc::make_variant_library();
+    for (auto k : lh::all_op_kinds())
+        EXPECT_TRUE(lib.cheapest_executor(k).has_value())
+            << lh::to_string(k);
+}
+
+namespace {
+
+std::vector<lb::Bsb> mul_heavy_app()
+{
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb b;
+    for (int i = 0; i < 3; ++i)
+        b.graph.add_op(Op_kind::mul);
+    b.graph.add_op(Op_kind::add);
+    b.profile = 100.0;
+    bsbs.push_back(std::move(b));
+    return bsbs;
+}
+
+}  // namespace
+
+TEST(Selection, allocator_buys_selected_variants)
+{
+    const auto lib = lc::make_variant_library();
+    const auto target = lh::make_default_target(20000.0);
+    const lc::Allocator alloc(lib, target);
+    const auto bsbs = mul_heavy_app();
+
+    const auto small = alloc.run(
+        bsbs, {.area_budget = 20000.0,
+               .selection = Selection_policy::min_area});
+    const auto fast = alloc.run(
+        bsbs, {.area_budget = 20000.0,
+               .selection = Selection_policy::min_latency});
+
+    EXPECT_GT(small.allocation(*lib.find("mult_serial")), 0);
+    EXPECT_EQ(small.allocation(*lib.find("mult_fast")), 0);
+    EXPECT_GT(fast.allocation(*lib.find("mult_fast")), 0);
+    EXPECT_EQ(fast.allocation(*lib.find("mult_serial")), 0);
+}
+
+TEST(Selection, required_resources_respects_policy)
+{
+    const auto lib = lc::make_variant_library();
+    const auto target = lh::make_default_target(20000.0);
+    const lc::Allocator alloc(lib, target);
+    const auto req_small = alloc.required_resources(
+        {Op_kind::mul, Op_kind::div}, Selection_policy::min_area);
+    ASSERT_TRUE(req_small.has_value());
+    EXPECT_EQ((*req_small)(*lib.find("mult_serial")), 1);
+    EXPECT_EQ((*req_small)(*lib.find("div_serial")), 1);
+
+    const auto req_fast = alloc.required_resources(
+        {Op_kind::mul, Op_kind::div}, Selection_policy::min_latency);
+    ASSERT_TRUE(req_fast.has_value());
+    EXPECT_EQ((*req_fast)(*lib.find("mult_fast")), 1);
+    EXPECT_EQ((*req_fast)(*lib.find("div_fast")), 1);
+}
+
+TEST(Selection, fast_datapath_is_larger_but_quicker)
+{
+    // With the same BSBs, the min_latency allocation occupies more
+    // area and yields a shorter hardware schedule.
+    const auto lib = lc::make_variant_library();
+    const auto target = lh::make_default_target(30000.0);
+    const lc::Allocator alloc(lib, target);
+    const auto bsbs = mul_heavy_app();
+
+    const auto small = alloc.run(
+        bsbs, {.area_budget = 30000.0,
+               .selection = Selection_policy::min_area});
+    const auto fast = alloc.run(
+        bsbs, {.area_budget = 30000.0,
+               .selection = Selection_policy::min_latency});
+
+    EXPECT_LT(small.datapath_area, fast.datapath_area);
+
+    const auto t_small = lycos::estimate::hw_cycles(
+        bsbs[0].graph, lib, small.allocation.dense_counts(lib));
+    const auto t_fast = lycos::estimate::hw_cycles(
+        bsbs[0].graph, lib, fast.allocation.dense_counts(lib));
+    ASSERT_TRUE(t_small.has_value());
+    ASSERT_TRUE(t_fast.has_value());
+    EXPECT_LT(*t_fast, *t_small);
+}

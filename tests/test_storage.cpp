@@ -1,0 +1,164 @@
+// Tests for storage and interconnect estimation (§6 future work).
+#include <gtest/gtest.h>
+
+#include "estimate/storage.hpp"
+#include "hw/resource.hpp"
+#include "pace/cost_model.hpp"
+#include "hw/target.hpp"
+
+namespace le = lycos::estimate;
+namespace lh = lycos::hw;
+namespace ld = lycos::dfg;
+namespace ls = lycos::sched;
+using lh::Op_kind;
+
+namespace {
+
+ls::List_schedule schedule(const ld::Dfg& g, const lh::Hw_library& lib,
+                           int per_type)
+{
+    std::vector<int> counts(lib.size(), per_type);
+    return ls::list_schedule(g, lib, counts);
+}
+
+}  // namespace
+
+TEST(Storage, chain_needs_one_live_value_at_a_time)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    const auto a = g.add_op(Op_kind::add);
+    const auto b = g.add_op(Op_kind::add);
+    const auto c = g.add_op(Op_kind::add);
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    const auto s = schedule(g, lib, 4);
+    ASSERT_TRUE(s.feasible);
+    // At most: the value between two chain stages plus the final
+    // result held to the end.
+    EXPECT_LE(le::max_live_values(g, lib, s), 2);
+    EXPECT_GE(le::max_live_values(g, lib, s), 1);
+}
+
+TEST(Storage, parallel_producers_need_parallel_registers)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    std::vector<ld::Op_id> producers;
+    for (int i = 0; i < 4; ++i)
+        producers.push_back(g.add_op(Op_kind::add));
+    // One consumer joining all four at the end of a delay chain, so
+    // all four values stay live across the delay.
+    const auto d1 = g.add_op(Op_kind::mul);
+    const auto d2 = g.add_op(Op_kind::mul);
+    g.add_edge(producers[0], d1);
+    g.add_edge(d1, d2);
+    const auto join = g.add_op(Op_kind::add);
+    for (auto p : producers)
+        g.add_edge(p, join);
+    g.add_edge(d2, join);
+    const auto s = schedule(g, lib, 8);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_GE(le::max_live_values(g, lib, s), 4);
+}
+
+TEST(Storage, live_ins_count_toward_registers)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_live_in("x");
+    g.add_live_in("y");
+    const auto s = schedule(g, lib, 1);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_GE(le::max_live_values(g, lib, s), 3);  // x, y, result
+}
+
+TEST(Storage, storage_area_scales_with_model)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    const auto s = schedule(g, lib, 1);
+    le::Storage_model m;
+    m.reg_area = 10.0;
+    const int live = le::max_live_values(g, lib, s);
+    EXPECT_DOUBLE_EQ(le::storage_area(g, lib, s, m), live * 10.0);
+}
+
+TEST(Storage, infeasible_schedule_throws)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::mul);
+    std::vector<int> counts(lib.size(), 0);
+    const auto s = lycos::sched::list_schedule(g, lib, counts);
+    ASSERT_FALSE(s.feasible);
+    le::Storage_model m;
+    EXPECT_THROW(le::max_live_values(g, lib, s), std::invalid_argument);
+    EXPECT_THROW(le::interconnect_area(g, lib, s, m), std::invalid_argument);
+}
+
+TEST(Interconnect, dedicated_units_need_no_muxes)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    g.add_op(Op_kind::add);
+    g.add_op(Op_kind::mul);
+    const auto s = schedule(g, lib, 1);
+    le::Storage_model m;
+    EXPECT_DOUBLE_EQ(le::interconnect_area(g, lib, s, m), 0.0);
+}
+
+TEST(Interconnect, shared_units_need_muxes)
+{
+    const auto lib = lh::make_default_library();
+    ld::Dfg g;
+    for (int i = 0; i < 3; ++i)
+        g.add_op(Op_kind::mul);  // three muls share units
+    const auto s = schedule(g, lib, 1);
+    le::Storage_model m;
+    // 3 ops on one multiplier: 2 extra ops * 2 ports * mux_input_area.
+    EXPECT_DOUBLE_EQ(le::interconnect_area(g, lib, s, m),
+                     2.0 * 2.0 * m.mux_input_area);
+}
+
+TEST(Interconnect, more_sharing_more_muxes)
+{
+    const auto lib = lh::make_default_library();
+    le::Storage_model m;
+    double prev = -1.0;
+    for (int n : {2, 4, 8}) {
+        ld::Dfg g;
+        for (int i = 0; i < n; ++i)
+            g.add_op(Op_kind::add);
+        const auto s = schedule(g, lib, 1);
+        const double area = le::interconnect_area(g, lib, s, m);
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(CostModelStorage, charging_storage_raises_hw_cost)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(10000.0);
+    std::vector<lycos::bsb::Bsb> bsbs;
+    lycos::bsb::Bsb b;
+    for (int i = 0; i < 4; ++i)
+        b.graph.add_op(Op_kind::add);
+    b.profile = 10.0;
+    bsbs.push_back(std::move(b));
+
+    lycos::core::Rmap alloc;
+    alloc.add(*lib.find("adder"));
+
+    const auto without = lycos::pace::build_cost_model(
+        bsbs, lib, target, alloc,
+        lycos::pace::Controller_mode::optimistic_eca);
+    le::Storage_model m;
+    const auto with = lycos::pace::build_cost_model(
+        bsbs, lib, target, alloc,
+        lycos::pace::Controller_mode::optimistic_eca, &m);
+    EXPECT_GT(with[0].ctrl_area, without[0].ctrl_area);
+}

@@ -1,0 +1,164 @@
+// Tests for core/urgency: Definitions 3 and 4 plus the Example 2
+// dynamics.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/urgency.hpp"
+#include "hw/target.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+using lh::Op_kind;
+
+namespace {
+
+/// BSB with n independent ops of `kind` and a profile.
+lb::Bsb parallel_bsb(Op_kind kind, int n, double profile,
+                     const std::string& name)
+{
+    lb::Bsb b;
+    b.name = name;
+    for (int i = 0; i < n; ++i)
+        b.graph.add_op(kind);
+    b.profile = profile;
+    return b;
+}
+
+}  // namespace
+
+TEST(Urgency, software_bsb_uses_raw_furo)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 3.0, "B"));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+
+    const lc::Rmap alloc;  // irrelevant for SW BSBs
+    EXPECT_DOUBLE_EQ(
+        lc::urgency(infos[0], Op_kind::add, false, alloc, lib),
+        infos[0].furo[Op_kind::add]);
+}
+
+TEST(Urgency, hardware_bsb_divided_by_alloc_plus_one)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 3.0, "B"));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+
+    const auto adder = *lib.find("adder");
+    lc::Rmap alloc;
+    const double furo = infos[0].furo[Op_kind::add];
+    EXPECT_DOUBLE_EQ(lc::urgency(infos[0], Op_kind::add, true, alloc, lib),
+                     furo / 1.0);  // Alloc(add)=0 -> /1
+    alloc.add(adder);
+    EXPECT_DOUBLE_EQ(lc::urgency(infos[0], Op_kind::add, true, alloc, lib),
+                     furo / 2.0);
+    alloc.add(adder);
+    EXPECT_DOUBLE_EQ(lc::urgency(infos[0], Op_kind::add, true, alloc, lib),
+                     furo / 3.0);
+}
+
+TEST(Urgency, max_urgency_and_most_urgent_kind)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    // 3 parallel muls and 2 parallel adds: mul FURO dominates.
+    lb::Bsb b;
+    for (int i = 0; i < 3; ++i)
+        b.graph.add_op(Op_kind::mul);
+    for (int i = 0; i < 2; ++i)
+        b.graph.add_op(Op_kind::add);
+    b.profile = 1.0;
+    bsbs.push_back(std::move(b));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+
+    const lc::Rmap alloc;
+    EXPECT_DOUBLE_EQ(lc::max_urgency(infos[0], false, alloc, lib),
+                     infos[0].furo[Op_kind::mul]);
+    const auto kind = lc::most_urgent_kind(infos[0], false, alloc, lib);
+    ASSERT_TRUE(kind.has_value());
+    EXPECT_EQ(*kind, Op_kind::mul);
+}
+
+TEST(Urgency, zero_urgency_has_no_urgent_kind)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    // A chain: no competing pairs, FURO = 0 for all kinds.
+    lb::Bsb b;
+    const auto a1 = b.graph.add_op(Op_kind::add);
+    const auto a2 = b.graph.add_op(Op_kind::add);
+    b.graph.add_edge(a1, a2);
+    bsbs.push_back(std::move(b));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const lc::Rmap alloc;
+    EXPECT_FALSE(lc::most_urgent_kind(infos[0], false, alloc, lib).has_value());
+    EXPECT_DOUBLE_EQ(lc::max_urgency(infos[0], false, alloc, lib), 0.0);
+}
+
+TEST(Urgency, prioritize_orders_by_max_urgency)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 1.0, "low"));
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 50.0, "high"));
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 10.0, "mid"));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+
+    const std::vector<bool> in_hw(3, false);
+    const lc::Rmap alloc;
+    const auto order = lc::prioritize(infos, in_hw, alloc, lib);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);  // high
+    EXPECT_EQ(order[1], 2);  // mid
+    EXPECT_EQ(order[2], 0);  // low
+}
+
+TEST(Urgency, prioritize_is_stable_on_ties)
+{
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 5.0, "first"));
+    bsbs.push_back(parallel_bsb(Op_kind::add, 2, 5.0, "second"));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+    const std::vector<bool> in_hw(2, false);
+    const auto order = lc::prioritize(infos, in_hw, lc::Rmap{}, lib);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(Urgency, example2_dynamics)
+{
+    // Example 2: B1 and B2 contain only one operation type o'.  B1 has
+    // higher urgency and moves to hardware; as resources for o' are
+    // allocated, U(o', B1) drops and B2 eventually takes priority.
+    const auto lib = lh::make_default_library();
+    const auto target = lh::make_default_target(1.0);
+    std::vector<lb::Bsb> bsbs;
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 10.0, "B1"));
+    bsbs.push_back(parallel_bsb(Op_kind::add, 4, 6.0, "B2"));
+    const auto infos = lc::analyze(bsbs, lib, target.gates);
+
+    const auto adder = *lib.find("adder");
+    lc::Rmap alloc;
+    std::vector<bool> in_hw = {true, false};  // B1 moved to HW
+
+    // With no adder allocated yet, B1's urgency is its full FURO
+    // (120 > 72): B1 still leads.
+    auto order = lc::prioritize(infos, in_hw, alloc, lib);
+    EXPECT_EQ(order[0], 0);
+
+    // One adder allocated: U(B1) = 120/2 = 60 < 72 = U(B2); the
+    // software BSB takes priority (Example 2's hand-over).
+    alloc.add(adder);
+    order = lc::prioritize(infos, in_hw, alloc, lib);
+    EXPECT_EQ(order[0], 1);
+}

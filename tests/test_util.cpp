@@ -1,0 +1,154 @@
+// Tests for util: table printer, CSV writer, formatting, RNG.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace lu = lycos::util;
+
+TEST(Table, header_and_rows_aligned)
+{
+    lu::Table_printer t({"Example", "Lines", "SU"});
+    t.add_row({"hal", "61", "4173%"});
+    t.add_row({"straight", "146", "1610%"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("Example"), std::string::npos);
+    EXPECT_NE(s.find("hal"), std::string::npos);
+    EXPECT_NE(s.find("4173%"), std::string::npos);
+    // Every line has equal length header/underline discipline: the
+    // rule line consists of dashes.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, arity_mismatch_throws)
+{
+    lu::Table_printer t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, empty_header_throws)
+{
+    EXPECT_THROW(lu::Table_printer({}), std::invalid_argument);
+}
+
+TEST(Table, alignment_setting)
+{
+    lu::Table_printer t({"name", "value"});
+    t.set_align(1, lu::Align::left);
+    EXPECT_THROW(t.set_align(7, lu::Align::left), std::invalid_argument);
+    t.add_row({"x", "1"});
+    EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, separator_rows)
+{
+    lu::Table_printer t({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 2u);
+    // Two rule lines: under the header and the explicit separator.
+    const std::string s = t.str();
+    std::size_t rules = 0;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+            ++rules;
+    EXPECT_EQ(rules, 2u);
+}
+
+TEST(Format, fixed_digits)
+{
+    EXPECT_EQ(lu::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(lu::fixed(2.0, 0), "2");
+}
+
+TEST(Format, percent)
+{
+    EXPECT_EQ(lu::percent(0.62), "62%");
+    EXPECT_EQ(lu::percent(0.625, 1), "62.5%");
+}
+
+TEST(Format, speedup_percent)
+{
+    EXPECT_EQ(lu::speedup_percent(4173.0), "4173%");
+}
+
+TEST(Format, with_commas)
+{
+    EXPECT_EQ(lu::with_commas(0), "0");
+    EXPECT_EQ(lu::with_commas(999), "999");
+    EXPECT_EQ(lu::with_commas(1000), "1,000");
+    EXPECT_EQ(lu::with_commas(1048576), "1,048,576");
+    EXPECT_EQ(lu::with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Csv, escapes_commas_and_quotes)
+{
+    std::ostringstream os;
+    lu::Csv_writer w(os);
+    w.row({"plain", "a,b", "say \"hi\""});
+    EXPECT_EQ(os.str(), "plain,\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, numeric_rows)
+{
+    std::ostringstream os;
+    lu::Csv_writer w(os);
+    w.row_numeric({1.5, 2.25}, 2);
+    EXPECT_EQ(os.str(), "1.50,2.25\n");
+}
+
+TEST(Rng, deterministic_for_seed)
+{
+    lu::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, uniform_int_bounds)
+{
+    lu::Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = r.uniform_int(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_THROW(r.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, uniform_real_bounds)
+{
+    lu::Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform_real(0.5, 2.5);
+        EXPECT_GE(v, 0.5);
+        EXPECT_LT(v, 2.5);
+    }
+}
+
+TEST(Rng, pick_and_empty_pick)
+{
+    lu::Rng r(7);
+    const std::vector<int> items = {10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int v = r.pick(std::span<const int>(items));
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+    const std::vector<int> empty;
+    EXPECT_THROW(r.pick(std::span<const int>(empty)), std::invalid_argument);
+}
+
+TEST(Rng, chance_extremes)
+{
+    lu::Rng r(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}

@@ -1,0 +1,302 @@
+// lycos_cli — command-line driver for the full allocation flow.
+//
+//   lycos_cli --app hal                         # built-in benchmark
+//   lycos_cli mykernel.mc --area 9000           # MiniC file
+//   lycos_cli --app man --set const_gen=1       # §5 design iteration
+//   lycos_cli --app eigen --search auto         # compare vs best
+//   lycos_cli --app straight --policy min_latency --lib variants
+//
+// Prints the BSB structure, restrictions, the algorithm's allocation,
+// the PACE partition and the speed-up; optionally searches for the
+// best allocation and applies manual count overrides.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "core/allocator.hpp"
+#include "core/selection.hpp"
+#include "estimate/storage.hpp"
+#include "hw/library_io.hpp"
+#include "hw/target.hpp"
+#include "minic/interp.hpp"
+#include "minic/lexer.hpp"
+#include "minic/lower.hpp"
+#include "minic/parser.hpp"
+#include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+#include "util/args.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lycos;
+
+core::Selection_policy parse_policy(const std::string& name)
+{
+    if (name == "min_area")
+        return core::Selection_policy::min_area;
+    if (name == "min_latency")
+        return core::Selection_policy::min_latency;
+    if (name == "balanced")
+        return core::Selection_policy::balanced;
+    throw std::invalid_argument("unknown policy: " + name);
+}
+
+pace::Controller_mode parse_ctrl(const std::string& name)
+{
+    if (name == "eca")
+        return pace::Controller_mode::optimistic_eca;
+    if (name == "real")
+        return pace::Controller_mode::list_schedule;
+    throw std::invalid_argument("unknown controller mode: " + name);
+}
+
+/// Apply one or more "resource=count" overrides.
+core::Rmap apply_overrides(core::Rmap alloc, const hw::Hw_library& lib,
+                           const std::string& spec)
+{
+    std::istringstream in(spec);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("--set expects resource=count");
+        const std::string name = item.substr(0, eq);
+        const int count = std::stoi(item.substr(eq + 1));
+        const auto id = lib.find(name);
+        if (!id)
+            throw std::invalid_argument("unknown resource: " + name);
+        alloc.set(*id, count);
+    }
+    return alloc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    util::Arg_parser args("lycos_cli",
+                          "LYCOS hardware resource allocation flow");
+    args.add_option("app", "", "built-in application: straight|hal|man|eigen");
+    args.add_option("area", "", "ASIC area in gates (default: app preset or 8000)");
+    args.add_option("ctrl", "real", "controller areas for evaluation: eca|real");
+    args.add_option("policy", "min_area",
+                    "module selection: min_area|min_latency|balanced");
+    args.add_option("lib", "default",
+                    "resource library: default|variants|<file> "
+                    "(see hw/library_io.hpp for the file format)");
+    args.add_option("set", "", "override counts, e.g. const_gen=1,divider=1");
+    args.add_option("search", "none",
+                    "compare against the best allocation: none|auto");
+    args.add_option("inputs", "",
+                    "profile a MiniC file by execution with these inputs "
+                    "(e.g. x=0,a=100,dx=5) and use the measured loop/branch "
+                    "statistics instead of the source annotations");
+    args.add_flag("storage", "charge estimated register/multiplexer area");
+    args.add_flag("trace", "print the allocation step trace");
+    args.add_flag("help", "show this help");
+
+    try {
+        args.parse(argc, argv);
+    }
+    catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+    if (args.flag("help")) {
+        std::cout << args.usage();
+        return 0;
+    }
+
+    // --- load the application -----------------------------------------
+    std::vector<bsb::Bsb> bsbs;
+    double preset_area = 8000.0;
+    std::string app_name;
+    try {
+        if (!args.value("app").empty()) {
+            const std::string which = args.value("app");
+            apps::App app;
+            if (which == "straight")
+                app = apps::make_straight();
+            else if (which == "hal")
+                app = apps::make_hal();
+            else if (which == "man")
+                app = apps::make_man();
+            else if (which == "eigen")
+                app = apps::make_eigen();
+            else
+                throw std::invalid_argument("unknown --app: " + which);
+            bsbs = std::move(app.bsbs);
+            preset_area = app.asic_area;
+            app_name = which;
+        }
+        else if (!args.positional().empty()) {
+            const std::string path = args.positional().front();
+            std::ifstream in(path);
+            if (!in)
+                throw std::invalid_argument("cannot open " + path);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            auto program = minic::parse(buf.str());
+            if (!args.value("inputs").empty()) {
+                // Dynamic profiling: execute, then overwrite the
+                // trip/prob annotations with the measurements.
+                std::map<std::string, long long> inputs;
+                std::istringstream spec(args.value("inputs"));
+                std::string item;
+                while (std::getline(spec, item, ',')) {
+                    const auto eq = item.find('=');
+                    if (eq == std::string::npos)
+                        throw std::invalid_argument(
+                            "--inputs expects name=value pairs");
+                    inputs[item.substr(0, eq)] =
+                        std::stoll(item.substr(eq + 1));
+                }
+                const auto run_result = minic::run(program, inputs);
+                const int updated =
+                    minic::annotate_from_run(program, run_result);
+                std::cout << "profiled: " << run_result.steps
+                          << " statements executed, " << updated
+                          << " annotations measured\n";
+            }
+            bsbs = bsb::extract_leaf_bsbs(minic::lower(program));
+            app_name = path;
+        }
+        else {
+            std::cerr << "no input: give --app <name> or a MiniC file\n\n"
+                      << args.usage();
+            return 2;
+        }
+    }
+    catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    const double area =
+        args.value("area").empty() ? preset_area : std::stod(args.value("area"));
+
+    // --- run the flow ---------------------------------------------------
+    try {
+        hw::Hw_library lib;
+        const std::string lib_spec = args.value("lib");
+        if (lib_spec == "variants") {
+            lib = core::make_variant_library();
+        }
+        else if (lib_spec == "default") {
+            lib = hw::make_default_library();
+        }
+        else {
+            std::ifstream lib_file(lib_spec);
+            if (!lib_file)
+                throw std::invalid_argument("cannot open library file " +
+                                            lib_spec);
+            lib = hw::read_library(lib_file);
+        }
+        const auto target = hw::make_default_target(area);
+        const core::Allocator allocator(lib, target);
+        const auto infos = core::analyze(bsbs, lib, target.gates);
+        const auto restrictions = core::compute_restrictions(infos, lib);
+
+        const auto result = allocator.run_analyzed(
+            infos, {.area_budget = area,
+                    .selection = parse_policy(args.value("policy")),
+                    .record_trace = args.flag("trace")});
+
+        std::cout << "application: " << app_name << " (" << bsbs.size()
+                  << " BSBs, " << bsb::total_ops(bsbs) << " ops)\n";
+        std::cout << "ASIC area:   " << util::fixed(area, 0) << " gates\n\n";
+
+        util::Table_printer structure(
+            {"BSB", "ops", "profile", "N", "ECA", "pseudo"});
+        for (std::size_t i = 0; i < bsbs.size(); ++i)
+            structure.add_row({bsbs[i].name,
+                               std::to_string(bsbs[i].graph.size()),
+                               util::fixed(bsbs[i].profile, 1),
+                               std::to_string(infos[i].asap_length),
+                               util::fixed(infos[i].eca, 0),
+                               result.pseudo_in_hw[i] ? "HW" : "SW"});
+        structure.print(std::cout);
+
+        if (args.flag("trace")) {
+            std::cout << "\ntrace:\n";
+            for (const auto& step : result.trace)
+                std::cout << "  "
+                          << (step.kind == core::Alloc_step::Kind::move_to_hw
+                                  ? "move "
+                                  : "add  ")
+                          << "B#" << step.bsb << "  +"
+                          << step.added.to_string(lib) << "  spent "
+                          << util::fixed(step.area_spent, 0) << ", left "
+                          << util::fixed(step.remaining_after, 0) << "\n";
+        }
+
+        std::cout << "\nrestrictions: " << restrictions.to_string(lib) << "\n";
+        std::cout << "allocation:   " << result.allocation.to_string(lib)
+                  << "\n";
+
+        core::Rmap final_alloc = result.allocation;
+        if (!args.value("set").empty()) {
+            final_alloc = apply_overrides(final_alloc, lib, args.value("set"));
+            std::cout << "after --set:  " << final_alloc.to_string(lib)
+                      << "\n";
+        }
+
+        const estimate::Storage_model storage_model;
+        search::Eval_context ctx{bsbs, lib, target,
+                                 parse_ctrl(args.value("ctrl")), 0.0};
+        if (args.flag("storage"))
+            ctx.storage = &storage_model;
+
+        const auto ev = search::evaluate_allocation(ctx, final_alloc);
+        std::cout << "\ndatapath area: " << util::fixed(ev.datapath_area, 0)
+                  << " (" << util::percent(ev.size_fraction())
+                  << " of used HW area)\n";
+        std::cout << "partition:     " << ev.partition.n_in_hw << "/"
+                  << bsbs.size() << " BSBs in HW\n";
+        std::cout << "all-SW time:   "
+                  << util::fixed(ev.partition.time_all_sw_ns / 1e3, 1)
+                  << " us\n";
+        std::cout << "hybrid time:   "
+                  << util::fixed(ev.partition.time_hybrid_ns / 1e3, 1)
+                  << " us\n";
+        std::cout << "speed-up:      "
+                  << util::speedup_percent(ev.speedup_pct()) << "\n";
+
+        if (args.value("search") == "auto") {
+            search::Eval_context sctx = ctx;
+            sctx.area_quantum = area / 512.0;
+            const search::Alloc_space space(lib, restrictions);
+            search::Search_result best;
+            if (space.size() <= 30000) {
+                best = search::exhaustive_search(sctx, restrictions);
+                std::cout << "\nbest (exhaustive over "
+                          << util::with_commas(best.n_evaluated)
+                          << " allocations): ";
+            }
+            else {
+                util::Rng rng(0xD47E1998);
+                best = search::hill_climb_search(
+                    sctx, restrictions, {.n_restarts = 12, .max_steps = 128},
+                    rng);
+                std::cout << "\nbest (hill climbing, "
+                          << util::with_commas(best.n_evaluated) << " of "
+                          << util::with_commas(best.space_size)
+                          << " allocations): ";
+            }
+            const auto best_ev =
+                search::evaluate_allocation(ctx, best.best.datapath);
+            std::cout << util::speedup_percent(best_ev.speedup_pct())
+                      << " with " << best_ev.datapath.to_string(lib) << "\n";
+        }
+        return 0;
+    }
+    catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
