@@ -2,8 +2,20 @@
 //   * the FURO pre-analysis, claimed proportional to L * k^2
 //     (L = number of BSBs, k = max operations per BSB),
 //   * the allocation loop itself,
-//   * the PACE dynamic program vs the exponential brute force.
+//   * the PACE dynamic program vs the exponential brute force,
+//   * old vs new allocation evaluation (naive vs event-driven list
+//     scheduler, uncached vs memoized evaluation).
+//
+// After the microbenchmarks of a full (unfiltered) run, the
+// old-vs-new search comparison is measured end to end and written to
+// BENCH_search.json (path overridable via the LYCOS_BENCH_JSON
+// environment variable) so the speedup is tracked across PRs; runs
+// with --benchmark_filter or --benchmark_list_tests skip it.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
 
 #include "apps/random_app.hpp"
 #include "core/allocator.hpp"
@@ -11,6 +23,8 @@
 #include "pace/brute_force.hpp"
 #include "pace/cost_model.hpp"
 #include "pace/pace.hpp"
+#include "search/eval_cache.hpp"
+#include "search/search_bench.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -128,6 +142,99 @@ void bm_cost_model(benchmark::State& state)
 }
 BENCHMARK(bm_cost_model)->RangeMultiplier(2)->Range(8, 64);
 
+// --- old vs new: list scheduler implementations ----------------------
+void bm_list_schedule(benchmark::State& state, sched::Scheduler_kind kind)
+{
+    const auto lib = hw::make_default_library();
+    util::Rng rng(42);
+    apps::Random_app_params p;
+    const auto g =
+        apps::random_dfg(rng, static_cast<int>(state.range(0)), p);
+    const std::vector<int> counts(lib.size(), 1);  // scarce: stretched
+    for (auto _ : state) {
+        auto s = sched::list_schedule(g, lib, counts, kind);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetComplexityN(state.range(0));
+}
+void bm_list_schedule_naive(benchmark::State& state)
+{
+    bm_list_schedule(state, sched::Scheduler_kind::naive);
+}
+void bm_list_schedule_event(benchmark::State& state)
+{
+    bm_list_schedule(state, sched::Scheduler_kind::event_driven);
+}
+BENCHMARK(bm_list_schedule_naive)->RangeMultiplier(2)->Range(16, 256);
+BENCHMARK(bm_list_schedule_event)->RangeMultiplier(2)->Range(16, 256);
+
+// --- old vs new: uncached vs memoized allocation evaluation ----------
+void bm_evaluate_allocation(benchmark::State& state, bool cached)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(20000.0);
+    const auto bsbs = make_bsbs(16, static_cast<int>(state.range(0)));
+    const search::Eval_context ctx{bsbs, lib, target,
+                                   pace::Controller_mode::list_schedule,
+                                   target.asic.total_area / 512.0};
+    search::Eval_cache cache(ctx);
+    // Alternate between two neighbouring allocations: the hill-climb
+    // access pattern the memo is built for.
+    core::Rmap a;
+    for (std::size_t r = 0; r < lib.size(); ++r)
+        a.set(static_cast<hw::Resource_id>(r), 1);
+    core::Rmap b = a;
+    b.set(0, 2);
+    bool flip = false;
+    for (auto _ : state) {
+        auto ev = search::evaluate_allocation(ctx, flip ? a : b,
+                                              cached ? &cache : nullptr);
+        benchmark::DoNotOptimize(ev);
+        flip = !flip;
+    }
+}
+void bm_evaluate_uncached(benchmark::State& state)
+{
+    bm_evaluate_allocation(state, false);
+}
+void bm_evaluate_cached(benchmark::State& state)
+{
+    bm_evaluate_allocation(state, true);
+}
+BENCHMARK(bm_evaluate_uncached)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(bm_evaluate_cached)->RangeMultiplier(2)->Range(8, 64);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    // Iterating, introspecting, or machine-reading (--benchmark_filter,
+    // --benchmark_list_tests, --benchmark_format/--benchmark_out) should
+    // not pay for the multi-second search comparison, clobber
+    // BENCH_search.json, corrupt JSON on stdout with the plain-text
+    // summary, or have the exit code overridden — the report belongs to
+    // plain full runs and to lycos_cli.
+    bool skip_search_bench = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg.starts_with("--benchmark_filter") ||
+            arg.starts_with("--benchmark_list_tests") ||
+            arg.starts_with("--benchmark_format") ||
+            arg.starts_with("--benchmark_out"))
+            skip_search_bench = true;
+    }
+
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    if (skip_search_bench)
+        return 0;
+
+    // End-to-end old-vs-new search comparison, tracked across PRs.
+    const char* path = std::getenv("LYCOS_BENCH_JSON");
+    const std::string json_path = path != nullptr ? path : "BENCH_search.json";
+    return lycos::search::write_bench_report(json_path, std::cout,
+                                             std::cerr);
+}

@@ -6,51 +6,68 @@
 #include "estimate/controller.hpp"
 #include "estimate/hw_time.hpp"
 #include "estimate/sw_time.hpp"
-#include "sched/list_scheduler.hpp"
 #include "sched/time_frames.hpp"
 
 namespace lycos::pace {
 
+Bsb_cost bsb_cost_one(std::span<const bsb::Bsb> bsbs, std::size_t index,
+                      const hw::Hw_library& lib, const hw::Target& target,
+                      std::span<const int> counts,
+                      const sched::Latency_table& lat, Controller_mode mode,
+                      const estimate::Storage_model* storage,
+                      sched::Scheduler_kind scheduler,
+                      const sched::Schedule_info* frames)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const auto& b = bsbs[index];
+    Bsb_cost c;
+    c.t_sw = estimate::total_sw_time_ns(b, target.cpu);
+
+    const bool use_frames =
+        frames != nullptr &&
+        scheduler == sched::Scheduler_kind::event_driven && !b.graph.empty();
+    const auto sched =
+        use_frames ? sched::list_schedule(b.graph, lib, counts, *frames)
+                   : sched::list_schedule(b.graph, lib, counts, scheduler);
+    if (sched.feasible && !b.graph.empty()) {
+        c.t_hw = sched.length * target.asic.cycle_ns() * b.profile;
+        c.comm = estimate::comm_time_ns(b, target.bus) * b.profile;
+        const int n_states =
+            mode == Controller_mode::optimistic_eca
+                ? std::max(1, use_frames ? frames->length
+                                         : sched::compute_time_frames(
+                                               b.graph, lat)
+                                               .length)
+                : std::max(1, sched.length);
+        c.ctrl_area = estimate::controller_area(n_states, target.gates);
+        if (storage != nullptr)
+            c.ctrl_area +=
+                estimate::storage_area(b.graph, lib, sched, *storage) +
+                estimate::interconnect_area(b.graph, lib, sched, *storage);
+        if (index > 0)
+            c.save_prev =
+                estimate::adjacency_saving_ns(bsbs[index - 1], b, target.bus);
+    }
+    else {
+        c.t_hw = inf;
+        c.ctrl_area = inf;
+    }
+    return c;
+}
+
 std::vector<Bsb_cost> build_cost_model(
     std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
     const hw::Target& target, const core::Rmap& alloc, Controller_mode mode,
-    const estimate::Storage_model* storage)
+    const estimate::Storage_model* storage, sched::Scheduler_kind scheduler)
 {
-    constexpr double inf = std::numeric_limits<double>::infinity();
     const auto counts = alloc.dense_counts(lib);
     const auto lat = sched::latency_table_from(lib);
 
     std::vector<Bsb_cost> out;
     out.reserve(bsbs.size());
-    for (std::size_t i = 0; i < bsbs.size(); ++i) {
-        const auto& b = bsbs[i];
-        Bsb_cost c;
-        c.t_sw = estimate::total_sw_time_ns(b, target.cpu);
-
-        const auto sched = sched::list_schedule(b.graph, lib, counts);
-        if (sched.feasible && !b.graph.empty()) {
-            c.t_hw = sched.length * target.asic.cycle_ns() * b.profile;
-            c.comm = estimate::comm_time_ns(b, target.bus) * b.profile;
-            const int n_states =
-                mode == Controller_mode::optimistic_eca
-                    ? std::max(
-                          1, sched::compute_time_frames(b.graph, lat).length)
-                    : std::max(1, sched.length);
-            c.ctrl_area = estimate::controller_area(n_states, target.gates);
-            if (storage != nullptr)
-                c.ctrl_area +=
-                    estimate::storage_area(b.graph, lib, sched, *storage) +
-                    estimate::interconnect_area(b.graph, lib, sched, *storage);
-            if (i > 0)
-                c.save_prev =
-                    estimate::adjacency_saving_ns(bsbs[i - 1], b, target.bus);
-        }
-        else {
-            c.t_hw = inf;
-            c.ctrl_area = inf;
-        }
-        out.push_back(c);
-    }
+    for (std::size_t i = 0; i < bsbs.size(); ++i)
+        out.push_back(bsb_cost_one(bsbs, i, lib, target, counts, lat, mode,
+                                   storage, scheduler));
     return out;
 }
 

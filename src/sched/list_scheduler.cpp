@@ -1,32 +1,31 @@
 #include "sched/list_scheduler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <queue>
 #include <stdexcept>
 
 namespace lycos::sched {
 
 namespace {
 
-struct Instance {
-    hw::Resource_id type;
-    int busy_until = 0;  // last cycle (inclusive) this instance is occupied
-};
-
-}  // namespace
-
-List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
-                            std::span<const int> counts)
+/// Upper bound on the makespan: every op serialized on the slowest
+/// unit, plus slack.  Progress past this bound means the scheduler is
+/// broken (a cross-check, not a semantic limit).
+long long cycle_guard(std::size_t n_ops, const hw::Hw_library& lib)
 {
-    if (counts.size() != lib.size())
-        throw std::invalid_argument("list_schedule: counts/library size mismatch");
+    long long max_latency = 1;
+    for (const auto& t : lib.types())
+        max_latency = std::max<long long>(max_latency, t.latency_cycles);
+    return static_cast<long long>(n_ops) * (max_latency + 1) + 16;
+}
 
-    List_schedule out;
-    if (g.empty()) {
-        out.feasible = true;
-        return out;
-    }
-
-    // Feasibility: every kind used by the DFG needs an allocated executor.
+/// Every op kind used by the DFG needs at least one allocated executor
+/// (the naive path's feasibility check; the event-driven path derives
+/// the same answer from its per-kind buckets).
+bool allocation_covers(const dfg::Dfg& g, const hw::Hw_library& lib,
+                       std::span<const int> counts)
+{
     for (auto k : hw::all_op_kinds()) {
         if (!g.used_ops().contains(k))
             continue;
@@ -36,8 +35,31 @@ List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
                 lib[static_cast<hw::Resource_id>(r)].ops.contains(k))
                 covered = true;
         if (!covered)
-            return out;  // infeasible
+            return false;
     }
+    return true;
+}
+
+struct Instance {
+    hw::Resource_id type;
+    int busy_until = 0;  // last cycle (inclusive) this instance is occupied
+};
+
+}  // namespace
+
+List_schedule list_schedule_naive(const dfg::Dfg& g, const hw::Hw_library& lib,
+                                  std::span<const int> counts)
+{
+    if (counts.size() != lib.size())
+        throw std::invalid_argument("list_schedule: counts/library size mismatch");
+
+    List_schedule out;
+    if (g.empty()) {
+        out.feasible = true;
+        return out;
+    }
+    if (!allocation_covers(g, lib, counts))
+        return out;  // infeasible
 
     // Materialize resource instances.
     std::vector<Instance> instances;
@@ -73,13 +95,7 @@ List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
 
     std::size_t n_scheduled = 0;
     int cycle = 0;
-    // Upper bound on cycles: every op serialized on the slowest unit.
-    long long guard = 0;
-    for (std::size_t i = 0; i < n; ++i)
-        guard += 8;  // conservative per-op slack; refined below
-    for (const auto& t : lib.types())
-        guard = std::max<long long>(guard, t.latency_cycles);
-    guard = static_cast<long long>(n) * (guard + 8) + 16;
+    const long long guard = cycle_guard(n, lib);
 
     while (n_scheduled < n) {
         ++cycle;
@@ -133,6 +149,156 @@ List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
 
     out.feasible = true;
     return out;
+}
+
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts,
+                            const Schedule_info& frames)
+{
+    if (counts.size() != lib.size())
+        throw std::invalid_argument("list_schedule: counts/library size mismatch");
+
+    List_schedule out;
+    if (g.empty()) {
+        out.feasible = true;
+        return out;
+    }
+
+    // Per-op-kind buckets: resource types that can execute the kind,
+    // most specialized first (ties toward lower id — the same unit the
+    // naive scan over id-ordered instances would pick).  An empty
+    // bucket for a used kind means the allocation is infeasible.
+    std::array<std::vector<hw::Resource_id>, hw::n_op_kinds> buckets;
+    for (auto k : hw::all_op_kinds()) {
+        if (!g.used_ops().contains(k))
+            continue;
+        auto& bucket = buckets[hw::op_index(k)];
+        for (std::size_t r = 0; r < lib.size(); ++r)
+            if (counts[r] > 0 &&
+                lib[static_cast<hw::Resource_id>(r)].ops.contains(k))
+                bucket.push_back(static_cast<hw::Resource_id>(r));
+        if (bucket.empty())
+            return out;  // infeasible
+        std::sort(bucket.begin(), bucket.end(),
+                  [&](hw::Resource_id a, hw::Resource_id b) {
+                      if (lib[a].ops.size() != lib[b].ops.size())
+                          return lib[a].ops.size() < lib[b].ops.size();
+                      return a < b;
+                  });
+    }
+
+    // Free-instance counters per resource type (instances of one type
+    // are interchangeable, so counts replace the naive instance array).
+    std::vector<int> free_count(counts.begin(), counts.end());
+
+    const auto n = g.size();
+    out.start.assign(n, 0);
+    out.resource.assign(n, -1);
+    std::vector<int> remaining_preds(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        remaining_preds[i] =
+            static_cast<int>(g.preds(static_cast<dfg::Op_id>(i)).size());
+
+    // Ready min-heap keyed by (ALAP, id) — the list priority.
+    using Prio = std::pair<int, dfg::Op_id>;  // (alap, id)
+    std::priority_queue<Prio, std::vector<Prio>, std::greater<>> ready;
+    for (std::size_t i = 0; i < n; ++i)
+        if (remaining_preds[i] == 0)
+            ready.emplace(frames.frame(static_cast<dfg::Op_id>(i)).alap,
+                          static_cast<dfg::Op_id>(i));
+
+    // Event queue: (finish_cycle + 1, op).  At that time the op's
+    // instance is free again and its successors may become ready.
+    using Event = std::pair<int, dfg::Op_id>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+    const long long guard = cycle_guard(n, lib);
+    std::size_t n_scheduled = 0;
+    int now = 1;
+
+    std::vector<dfg::Op_id> blocked;  // ready but no free executor at `now`
+    while (n_scheduled < n) {
+        // Bind pass at time `now`: serve the ready heap in priority
+        // order; ops whose executors are all busy wait for the next
+        // event.
+        blocked.clear();
+        while (!ready.empty()) {
+            const auto [alap, v] = ready.top();
+            ready.pop();
+            hw::Resource_id chosen = -1;
+            for (hw::Resource_id r :
+                 buckets[hw::op_index(g.op(v).kind)]) {
+                if (free_count[static_cast<std::size_t>(r)] > 0) {
+                    chosen = r;
+                    break;
+                }
+            }
+            if (chosen < 0) {
+                blocked.push_back(v);
+                continue;
+            }
+            --free_count[static_cast<std::size_t>(chosen)];
+            const int lat = lib[chosen].latency_cycles;
+            out.start[static_cast<std::size_t>(v)] = now;
+            out.resource[static_cast<std::size_t>(v)] = chosen;
+            out.length = std::max(out.length, now + lat - 1);
+            events.emplace(now + lat, v);
+            ++n_scheduled;
+        }
+        for (dfg::Op_id v : blocked)
+            ready.emplace(frames.frame(v).alap, v);
+
+        if (n_scheduled == n)
+            break;
+        if (events.empty())
+            throw std::logic_error(
+                "list_schedule: deadlock (internal error)");
+
+        // Jump to the next finish time; nothing can change in between
+        // (the ready set and the free counters only move on finishes).
+        now = events.top().first;
+        if (now > guard)
+            throw std::logic_error(
+                "list_schedule: no progress (internal error)");
+        while (!events.empty() && events.top().first == now) {
+            const auto [t, done] = events.top();
+            events.pop();
+            ++free_count[static_cast<std::size_t>(
+                out.resource[static_cast<std::size_t>(done)])];
+            for (dfg::Op_id s : g.succs(done))
+                if (--remaining_preds[static_cast<std::size_t>(s)] == 0)
+                    ready.emplace(frames.frame(s).alap, s);
+        }
+    }
+
+    out.feasible = true;
+    return out;
+}
+
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts)
+{
+    if (counts.size() != lib.size())
+        throw std::invalid_argument("list_schedule: counts/library size mismatch");
+    List_schedule out;
+    if (g.empty()) {
+        out.feasible = true;
+        return out;
+    }
+    // Early-out before the O(V+E) frame computation: infeasible
+    // allocations are the common case in exhaustive enumeration.
+    if (!allocation_covers(g, lib, counts))
+        return out;
+    return list_schedule(g, lib, counts,
+                         compute_time_frames(g, latency_table_from(lib)));
+}
+
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts, Scheduler_kind kind)
+{
+    return kind == Scheduler_kind::event_driven
+               ? list_schedule(g, lib, counts)
+               : list_schedule_naive(g, lib, counts);
 }
 
 }  // namespace lycos::sched

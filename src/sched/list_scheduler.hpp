@@ -10,6 +10,15 @@
 //
 // Priority rule: ready operations are served in increasing ALAP order
 // (least slack first), ties broken by op id for determinism.
+//
+// Two implementations produce bit-identical schedules:
+//   * list_schedule — event-driven: jumps straight from one operation
+//     finish time to the next instead of stepping every clock cycle,
+//     keeps the ready set in a heap keyed by (ALAP, id), and binds via
+//     per-op-kind buckets of resource types ordered by specialization.
+//     This is the production path (the allocation-search hot loop).
+//   * list_schedule_naive — the original cycle-stepping reference,
+//     retained for the equivalence property tests.
 #pragma once
 
 #include <span>
@@ -29,6 +38,13 @@ struct List_schedule {
     int length = 0;               ///< schedule length in cycles (0 if infeasible/empty)
 };
 
+/// Which scheduler implementation to run (benchmarks compare the two;
+/// everything else uses the default event-driven one).
+enum class Scheduler_kind {
+    event_driven,  ///< production path
+    naive,         ///< cycle-stepping reference
+};
+
 /// Schedule `g` on `counts[r]` instances of each resource type `r` of
 /// `lib`.  `counts.size()` must equal `lib.size()`.
 ///
@@ -38,5 +54,24 @@ struct List_schedule {
 /// stretched, leading to a loss of performance").
 List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
                             std::span<const int> counts);
+
+/// Event-driven scheduling with precomputed time frames.  `frames`
+/// must be compute_time_frames(g, latency_table_from(lib)) — the
+/// Eval_cache hoists it because the frames are allocation-independent,
+/// so cache misses skip the O(V+E) ALAP recomputation.
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts,
+                            const Schedule_info& frames);
+
+/// The original cycle-stepping implementation.  Produces the same
+/// schedule as list_schedule (asserted by tests/test_sched_equivalence)
+/// but costs O(cycles * ready * instances) instead of O(n log n).
+List_schedule list_schedule_naive(const dfg::Dfg& g,
+                                  const hw::Hw_library& lib,
+                                  std::span<const int> counts);
+
+/// Dispatch on `kind` (used by the old-vs-new benches).
+List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
+                            std::span<const int> counts, Scheduler_kind kind);
 
 }  // namespace lycos::sched

@@ -1,5 +1,6 @@
 #include "search/alloc_space.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace lycos::search {
@@ -15,17 +16,36 @@ Alloc_space::Alloc_space(const hw::Hw_library& lib,
 
 long long Alloc_space::size() const
 {
-    long long n = 1;
-    for (const auto& [r, bound] : dims_)
-        n *= bound + 1;
-    return n;
+    constexpr long long k_max = std::numeric_limits<long long>::max();
+    // Accumulate in 128 bits and saturate: a restriction map with many
+    // generous bounds can push the product past 2^63, and the callers
+    // only ever compare the size against evaluation budgets.
+    __int128 n = 1;
+    for (const auto& [r, bound] : dims_) {
+        n *= static_cast<__int128>(bound) + 1;
+        if (n > static_cast<__int128>(k_max))
+            return k_max;
+    }
+    return static_cast<long long>(n);
 }
 
 void Alloc_space::for_each(
     double max_area, const std::function<bool(const core::Rmap&)>& visit) const
 {
-    std::vector<int> counter(dims_.size(), 0);
-    for (;;) {
+    for_each_range(0, size(), max_area, visit);
+}
+
+void Alloc_space::for_each_range(
+    long long begin, long long end, double max_area,
+    const std::function<bool(const core::Rmap&)>& visit) const
+{
+    if (begin < 0 || begin > end || end > size())
+        throw std::out_of_range("Alloc_space::for_each_range");
+
+    // Seed the mixed-radix counter with the digits of `begin`.
+    std::vector<int> counter = decompose(begin);
+
+    for (long long index = begin; index < end; ++index) {
         core::Rmap a;
         double area = 0.0;
         for (std::size_t d = 0; d < dims_.size(); ++d) {
@@ -37,16 +57,18 @@ void Alloc_space::for_each(
         if (area <= max_area && !visit(a))
             return;
 
-        // Increment the mixed-radix counter.
+        // Increment the mixed-radix counter.  Compare before
+        // incrementing: ++ on a digit already at a bound of INT_MAX
+        // would overflow and drop the carry.
         std::size_t d = 0;
         while (d < dims_.size()) {
-            if (++counter[d] <= dims_[d].second)
+            if (counter[d] < dims_[d].second) {
+                ++counter[d];
                 break;
+            }
             counter[d] = 0;
             ++d;
         }
-        if (d == dims_.size())
-            return;  // wrapped around: all points visited
     }
 }
 
@@ -54,15 +76,25 @@ core::Rmap Alloc_space::nth(long long index) const
 {
     if (index < 0 || index >= size())
         throw std::out_of_range("Alloc_space::nth");
+    const auto digits = decompose(index);
     core::Rmap a;
-    for (const auto& [r, bound] : dims_) {
-        const long long radix = bound + 1;
-        const int digit = static_cast<int>(index % radix);
-        index /= radix;
-        if (digit > 0)
-            a.set(r, digit);
-    }
+    for (std::size_t d = 0; d < dims_.size(); ++d)
+        if (digits[d] > 0)
+            a.set(dims_[d].first, digits[d]);
     return a;
+}
+
+std::vector<int> Alloc_space::decompose(long long index) const
+{
+    std::vector<int> digits(dims_.size(), 0);
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        // Widen before the +1: a bound of INT_MAX must not overflow.
+        const long long radix =
+            static_cast<long long>(dims_[d].second) + 1;
+        digits[d] = static_cast<int>(index % radix);
+        index /= radix;
+    }
+    return digits;
 }
 
 }  // namespace lycos::search

@@ -5,6 +5,11 @@
 // about a million of them).  This module enumerates that space: every
 // RMap `a` with 0 <= a(r) <= restriction(r) per resource type, as a
 // mixed-radix counter, with optional pruning by data-path area.
+//
+// The index range [0, size()) is the unit the parallel exhaustive
+// search partitions: for_each_range(begin, end) enumerates one
+// contiguous chunk, seeding its counter from the mixed-radix digits
+// of the begin index.
 #pragma once
 
 #include <functional>
@@ -23,7 +28,9 @@ public:
     Alloc_space(const hw::Hw_library& lib, const core::Rmap& restrictions);
 
     /// Number of points (product of bounds + 1); counts allocations
-    /// whose area exceeds any budget too.
+    /// whose area exceeds any budget too.  Saturates at
+    /// std::numeric_limits<long long>::max() instead of overflowing
+    /// for very large restriction maps.
     long long size() const;
 
     /// Visit every allocation.  Return false from the visitor to stop
@@ -32,8 +39,17 @@ public:
     void for_each(double max_area,
                   const std::function<bool(const core::Rmap&)>& visit) const;
 
+    /// Visit the allocations with indices in [begin, end) of the
+    /// mixed-radix order — the chunk primitive of the parallel search.
+    /// Same skipping/early-stop semantics as for_each.  Throws
+    /// std::out_of_range unless 0 <= begin <= end <= size().
+    void for_each_range(
+        long long begin, long long end, double max_area,
+        const std::function<bool(const core::Rmap&)>& visit) const;
+
     /// The `index`-th allocation in mixed-radix order (0-based); used
-    /// for random sampling.  Throws std::out_of_range.
+    /// for random sampling and chunk seeding.  Throws
+    /// std::out_of_range.
     core::Rmap nth(long long index) const;
 
     /// Dimensions: (resource id, max count) pairs in id order.
@@ -43,6 +59,9 @@ public:
     }
 
 private:
+    /// Mixed-radix digits of `index`, one per dimension in dims_ order.
+    std::vector<int> decompose(long long index) const;
+
     const hw::Hw_library& lib_;
     std::vector<std::pair<hw::Resource_id, int>> dims_;
 };

@@ -1,0 +1,57 @@
+#include "search/eval_cache.hpp"
+
+namespace lycos::search {
+
+Eval_cache::Eval_cache(const Eval_context& ctx)
+    : ctx_(ctx), lat_(sched::latency_table_from(ctx.lib))
+{
+    relevant_.resize(ctx_.bsbs.size());
+    frames_.reserve(ctx_.bsbs.size());
+    memo_.resize(ctx_.bsbs.size());
+    for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i) {
+        const auto used = ctx_.bsbs[i].graph.used_ops();
+        for (std::size_t r = 0; r < ctx_.lib.size(); ++r)
+            if (ctx_.lib[static_cast<hw::Resource_id>(r)].ops.intersects(
+                    used))
+                relevant_[i].push_back(static_cast<hw::Resource_id>(r));
+        frames_.push_back(
+            sched::compute_time_frames(ctx_.bsbs[i].graph, lat_));
+    }
+}
+
+std::vector<pace::Bsb_cost> Eval_cache::costs_for(const core::Rmap& alloc)
+{
+    // Reuse the dense-counts buffer: this runs once per enumerated
+    // allocation, and at high hit rates a fresh heap allocation here
+    // would rival the lookup cost itself.
+    counts_.assign(ctx_.lib.size(), 0);
+    for (const auto& [r, c] : alloc.entries())
+        counts_[static_cast<std::size_t>(r)] = c;
+    const auto& counts = counts_;
+
+    std::vector<pace::Bsb_cost> out;
+    out.reserve(ctx_.bsbs.size());
+    std::vector<int> key;
+    for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i) {
+        key.clear();
+        for (hw::Resource_id r : relevant_[i])
+            key.push_back(counts[static_cast<std::size_t>(r)]);
+
+        auto& memo = memo_[i];
+        if (const auto it = memo.find(key); it != memo.end()) {
+            ++stats_.hits;
+            out.push_back(it->second);
+            continue;
+        }
+        ++stats_.misses;
+        const auto cost =
+            pace::bsb_cost_one(ctx_.bsbs, i, ctx_.lib, ctx_.target, counts,
+                               lat_, ctx_.ctrl_mode, ctx_.storage,
+                               ctx_.scheduler, &frames_[i]);
+        memo.emplace(key, cost);
+        out.push_back(cost);
+    }
+    return out;
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,92 @@
+// Memoized BSB evaluation for allocation search.
+//
+// Scoring an allocation means list-scheduling every BSB under it and
+// running PACE over the resulting costs.  The scheduling dominates,
+// and it is massively redundant across the search: a BSB's schedule
+// depends only on the counts of resource types that can execute at
+// least one of its operations.  Neighbouring hill-climb points and
+// successive points of the mixed-radix exhaustive enumeration differ
+// in one type's count, so most (BSB, relevant-counts) pairs repeat.
+//
+// Eval_cache memoizes the per-BSB cost under the *projection* of the
+// allocation onto the BSB's relevant resource types.  Two allocations
+// that differ only in types a BSB cannot use share its cache entry.
+// Cached and uncached evaluation agree bit-for-bit (pinned by
+// tests/test_sched_equivalence.cpp).
+//
+// A cache is not thread-safe; the parallel exhaustive search creates
+// one per worker thread.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "pace/cost_model.hpp"
+#include "search/evaluate.hpp"
+
+namespace lycos::search {
+
+/// Observability counters (wired into Search_result).
+struct Eval_cache_stats {
+    long long hits = 0;    ///< per-BSB lookups served from the cache
+    long long misses = 0;  ///< per-BSB lookups that had to schedule
+
+    double hit_rate() const
+    {
+        const long long total = hits + misses;
+        return total > 0 ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+
+    Eval_cache_stats& operator+=(const Eval_cache_stats& other)
+    {
+        hits += other.hits;
+        misses += other.misses;
+        return *this;
+    }
+};
+
+/// Per-search memo of BSB costs, keyed by (BSB id, projected counts).
+class Eval_cache {
+public:
+    /// The referenced context (BSBs, library, target) must outlive the
+    /// cache.
+    explicit Eval_cache(const Eval_context& ctx);
+
+    /// Per-BSB costs under `alloc` — the memoized equivalent of
+    /// pace::build_cost_model(ctx...).
+    std::vector<pace::Bsb_cost> costs_for(const core::Rmap& alloc);
+
+    const Eval_cache_stats& stats() const { return stats_; }
+
+private:
+    struct Key_hash {
+        std::size_t operator()(const std::vector<int>& key) const
+        {
+            // FNV-1a over the count words.
+            std::size_t h = 1469598103934665603ull;
+            for (int v : key) {
+                h ^= static_cast<std::size_t>(static_cast<unsigned>(v));
+                h *= 1099511628211ull;
+            }
+            return h;
+        }
+    };
+    using Memo = std::unordered_map<std::vector<int>, pace::Bsb_cost, Key_hash>;
+
+    const Eval_context ctx_;
+    sched::Latency_table lat_;
+    /// Per BSB: resource ids whose op set intersects the BSB's ops, in
+    /// id order — the projection axes of the cache key.
+    std::vector<std::vector<hw::Resource_id>> relevant_;
+    /// Per BSB: ALAP time frames, allocation-independent, hoisted so
+    /// cache misses skip the O(V+E) recomputation.
+    std::vector<sched::Schedule_info> frames_;
+    std::vector<Memo> memo_;
+    std::vector<int> counts_;  ///< reusable dense-counts buffer
+    Eval_cache_stats stats_;
+};
+
+}  // namespace lycos::search

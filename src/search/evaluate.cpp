@@ -1,18 +1,24 @@
 #include "search/evaluate.hpp"
 
+#include "search/eval_cache.hpp"
+
 namespace lycos::search {
 
 Evaluation evaluate_allocation(const Eval_context& ctx,
-                               const core::Rmap& datapath)
+                               const core::Rmap& datapath, Eval_cache* cache)
 {
     Evaluation ev;
     ev.datapath = datapath;
     ev.datapath_area = datapath.area(ctx.lib);
     ev.fits = ev.datapath_area <= ctx.target.asic.total_area;
 
-    const auto costs = pace::build_cost_model(ctx.bsbs, ctx.lib, ctx.target,
-                                              datapath, ctx.ctrl_mode,
-                                              ctx.storage);
+    const auto costs = cache != nullptr
+                           ? cache->costs_for(datapath)
+                           : pace::build_cost_model(ctx.bsbs, ctx.lib,
+                                                    ctx.target, datapath,
+                                                    ctx.ctrl_mode,
+                                                    ctx.storage,
+                                                    ctx.scheduler);
     if (!ev.fits) {
         // Nothing can move to hardware; report the all-software result.
         ev.partition = pace::evaluate_partition(
@@ -25,6 +31,13 @@ Evaluation evaluate_allocation(const Eval_context& ctx,
     opts.area_quantum = ctx.area_quantum;
     ev.partition = pace::pace_partition(costs, opts);
     return ev;
+}
+
+bool better_than(const Evaluation& a, const Evaluation& b)
+{
+    if (a.partition.time_hybrid_ns != b.partition.time_hybrid_ns)
+        return a.partition.time_hybrid_ns < b.partition.time_hybrid_ns;
+    return a.datapath_area < b.datapath_area;
 }
 
 }  // namespace lycos::search

@@ -1,35 +1,88 @@
 #include "search/exhaustive.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace lycos::search {
 
+namespace {
+
+/// What one worker accumulates over its chunk of the index range.
+struct Chunk_result {
+    Evaluation best;
+    bool have_best = false;
+    long long n_evaluated = 0;
+    Eval_cache_stats stats;
+};
+
+}  // namespace
+
 Search_result exhaustive_search(const Eval_context& ctx,
-                                const core::Rmap& restrictions)
+                                const core::Rmap& restrictions,
+                                const Exhaustive_options& options)
 {
     util::Wall_timer timer;
-    Alloc_space space(ctx.lib, restrictions);
+    const Alloc_space space(ctx.lib, restrictions);
 
     Search_result result;
     result.space_size = space.size();
-    bool have_best = false;
 
-    space.for_each(ctx.target.asic.total_area, [&](const core::Rmap& a) {
-        const Evaluation ev = evaluate_allocation(ctx, a);
-        ++result.n_evaluated;
-        const bool better =
-            !have_best ||
-            ev.partition.time_hybrid_ns <
-                result.best.partition.time_hybrid_ns ||
-            (ev.partition.time_hybrid_ns ==
-                 result.best.partition.time_hybrid_ns &&
-             ev.datapath_area < result.best.datapath_area);
-        if (better) {
-            result.best = ev;
+    const long long n = space.size();
+    std::size_t n_threads =
+        options.n_threads > 0
+            ? static_cast<std::size_t>(options.n_threads)
+            : util::Thread_pool::default_concurrency();
+    n_threads = std::max<std::size_t>(
+        1, std::min(n_threads, static_cast<std::size_t>(
+                                   std::min<long long>(n, 1 << 16))));
+    result.n_threads = static_cast<int>(n_threads);
+
+    std::vector<Chunk_result> chunks(n_threads);
+    const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
+        Chunk_result& out = chunks[c];
+        std::optional<Eval_cache> cache;
+        if (options.use_cache)
+            cache.emplace(ctx);
+        space.for_each_range(
+            begin, end, ctx.target.asic.total_area,
+            [&](const core::Rmap& a) {
+                const Evaluation ev = evaluate_allocation(
+                    ctx, a, cache ? &*cache : nullptr);
+                ++out.n_evaluated;
+                if (!out.have_best || better_than(ev, out.best)) {
+                    out.best = ev;
+                    out.have_best = true;
+                }
+                return true;
+            });
+        if (cache)
+            out.stats = cache->stats();
+    };
+
+    if (n_threads == 1) {
+        run_chunk(0, 0, n);
+    }
+    else {
+        util::Thread_pool pool(n_threads);
+        util::parallel_chunks(pool, n, n_threads, run_chunk);
+    }
+
+    // Reduce in chunk (= enumeration) order with the same strict
+    // comparison the per-chunk loops used, so ties resolve toward the
+    // lowest index exactly as the sequential search did.
+    bool have_best = false;
+    for (const auto& chunk : chunks) {
+        result.n_evaluated += chunk.n_evaluated;
+        result.cache_stats += chunk.stats;
+        if (chunk.have_best &&
+            (!have_best || better_than(chunk.best, result.best))) {
+            result.best = chunk.best;
             have_best = true;
         }
-        return true;
-    });
+    }
 
     result.seconds = timer.seconds();
     return result;

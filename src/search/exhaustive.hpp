@@ -1,8 +1,17 @@
 // Exhaustive allocation search (the §5 methodology for "the best
 // allocation").
+//
+// The search is chunk-parallel: the mixed-radix index range
+// [0, Alloc_space::size()) is split into one contiguous chunk per
+// worker thread, each worker evaluates its chunk with a private
+// Eval_cache, and the per-chunk bests are reduced in chunk order.
+// Because the reduction applies the same strict better_than the
+// sequential loop used (keep the incumbent on ties), the result is
+// bit-identical to the single-threaded search for any thread count.
 #pragma once
 
 #include "search/alloc_space.hpp"
+#include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
 
 namespace lycos::search {
@@ -13,13 +22,22 @@ struct Search_result {
     long long n_evaluated = 0; ///< allocations actually scored
     long long space_size = 0;  ///< size of the full space
     double seconds = 0.0;      ///< wall-clock time spent
+    int n_threads = 1;         ///< worker threads used
+    Eval_cache_stats cache_stats;  ///< aggregated over all worker caches
+};
+
+/// Knobs for exhaustive_search; the defaults are the fast path.
+struct Exhaustive_options {
+    int n_threads = 0;      ///< 0 = hardware concurrency
+    bool use_cache = true;  ///< memoize per-BSB scheduling (bit-identical)
 };
 
 /// Score every allocation within `restrictions` whose data-path fits
 /// the ASIC and return the one PACE likes best.  Ties are broken
 /// toward smaller data-path area (cheaper hardware), then toward the
-/// enumeration order (deterministic).
+/// enumeration order (deterministic, independent of thread count).
 Search_result exhaustive_search(const Eval_context& ctx,
-                                const core::Rmap& restrictions);
+                                const core::Rmap& restrictions,
+                                const Exhaustive_options& options = {});
 
 }  // namespace lycos::search

@@ -1,20 +1,9 @@
 #include "search/hill_climb.hpp"
 
+#include "search/eval_cache.hpp"
 #include "util/timer.hpp"
 
 namespace lycos::search {
-
-namespace {
-
-/// Strictly better: smaller hybrid time, ties toward smaller area.
-bool better_than(const Evaluation& a, const Evaluation& b)
-{
-    if (a.partition.time_hybrid_ns != b.partition.time_hybrid_ns)
-        return a.partition.time_hybrid_ns < b.partition.time_hybrid_ns;
-    return a.datapath_area < b.datapath_area;
-}
-
-}  // namespace
 
 Search_result hill_climb_search(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
@@ -28,6 +17,10 @@ Search_result hill_climb_search(const Eval_context& ctx,
     result.space_size = space.size();
     bool have_best = false;
 
+    // Neighbouring climb points share almost all their BSB schedules,
+    // so the memo pays off even within a single climb.
+    Eval_cache cache(ctx);
+
     auto consider = [&](const Evaluation& ev) {
         if (!have_best || better_than(ev, result.best)) {
             result.best = ev;
@@ -39,12 +32,9 @@ Search_result hill_climb_search(const Eval_context& ctx,
         // Start points: the empty allocation first (a safe baseline),
         // then random points of the space.
         core::Rmap current =
-            restart == 0
-                ? core::Rmap{}
-                : space.nth(static_cast<long long>(
-                      rng.uniform_real(0.0, 1.0) *
-                      static_cast<double>(space.size() - 1)));
-        Evaluation current_ev = evaluate_allocation(ctx, current);
+            restart == 0 ? core::Rmap{}
+                         : space.nth(rng.uniform_index(space.size()));
+        Evaluation current_ev = evaluate_allocation(ctx, current, &cache);
         ++result.n_evaluated;
         consider(current_ev);
 
@@ -62,7 +52,8 @@ Search_result hill_climb_search(const Eval_context& ctx,
                     candidate.set(r, c);
                     if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
                         continue;
-                    const Evaluation ev = evaluate_allocation(ctx, candidate);
+                    const Evaluation ev =
+                        evaluate_allocation(ctx, candidate, &cache);
                     ++result.n_evaluated;
                     consider(ev);
                     if (!found || better_than(ev, best_neighbour)) {
@@ -80,6 +71,7 @@ Search_result hill_climb_search(const Eval_context& ctx,
         }
     }
 
+    result.cache_stats = cache.stats();
     result.seconds = timer.seconds();
     return result;
 }

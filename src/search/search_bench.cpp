@@ -1,0 +1,213 @@
+#include "search/search_bench.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "apps/random_app.hpp"
+#include "bsb/bsb.hpp"
+#include "core/analysis.hpp"
+#include "core/restrictions.hpp"
+#include "hw/target.hpp"
+#include "search/exhaustive.hpp"
+#include "util/format.hpp"
+
+namespace lycos::search {
+
+namespace {
+
+double rate(long long n, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+}
+
+bool same_best(const Search_result& a, const Search_result& b)
+{
+    return a.best.datapath == b.best.datapath &&
+           a.best.partition.time_hybrid_ns ==
+               b.best.partition.time_hybrid_ns &&
+           a.best.datapath_area == b.best.datapath_area;
+}
+
+}  // namespace
+
+Search_bench_result run_search_bench(const Search_bench_config& config)
+{
+    const auto lib = hw::make_default_library();
+    const auto target = hw::make_default_target(config.asic_area);
+
+    // Heterogeneous BSBs: like real basic blocks, each uses a small
+    // random subset of the operation kinds (an address-arithmetic
+    // block adds and shifts, a compare block compares...).  This is
+    // the composition the Eval_cache projection keying exploits: a
+    // BSB's schedule is independent of the counts of types it cannot
+    // use, so points differing only there share its entry.
+    util::Rng rng(config.seed);
+    const std::vector<hw::Op_kind> kind_pool = {
+        hw::Op_kind::add,    hw::Op_kind::sub,        hw::Op_kind::mul,
+        hw::Op_kind::div,    hw::Op_kind::cmp_lt,     hw::Op_kind::const_load,
+    };
+    std::vector<bsb::Bsb> bsbs;
+    bsbs.reserve(static_cast<std::size_t>(config.n_bsbs));
+    for (int i = 0; i < config.n_bsbs; ++i) {
+        apps::Random_app_params params;
+        params.n_bsbs = 1;
+        params.min_ops = config.ops_per_bsb;
+        params.max_ops = config.ops_per_bsb;
+        params.kinds.clear();
+        auto pool = kind_pool;
+        const int n_kinds = rng.uniform_int(2, 4);
+        for (int k = 0; k < n_kinds; ++k) {
+            const auto pick = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(pool.size()) - 1));
+            params.kinds.push_back(pool[pick]);
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        auto one = apps::random_bsbs(rng, params);
+        one[0].name = "R" + std::to_string(i);
+        bsbs.push_back(std::move(one[0]));
+    }
+
+    // The real flow's restrictions, clamped so the space stays small
+    // enough that the naive baseline finishes in seconds.
+    const auto infos = core::analyze(bsbs, lib, target.gates);
+    const auto raw = core::compute_restrictions(infos, lib);
+    // Rebuild rather than clamp in place: Rmap::set(r, 0) erases the
+    // entry, which would invalidate an iterator over raw.entries().
+    core::Rmap restrictions;
+    for (const auto& [r, bound] : raw.entries())
+        restrictions.set(r, std::min(bound, config.max_count_per_type));
+
+    Eval_context ctx{bsbs, lib, target,
+                     pace::Controller_mode::list_schedule,
+                     config.asic_area / 256.0};
+
+    Search_bench_result out;
+
+    Eval_context old_ctx = ctx;
+    old_ctx.scheduler = sched::Scheduler_kind::naive;
+    const auto old_run = exhaustive_search(
+        old_ctx, restrictions, {.n_threads = 1, .use_cache = false});
+
+    const auto new_single = exhaustive_search(
+        ctx, restrictions, {.n_threads = 1, .use_cache = true});
+
+    const auto new_parallel = exhaustive_search(
+        ctx, restrictions, {.n_threads = 0, .use_cache = true});
+
+    out.space_size = old_run.space_size;
+    out.n_evaluated = old_run.n_evaluated;
+    out.secs_old = old_run.seconds;
+    out.secs_new_single = new_single.seconds;
+    out.secs_new_parallel = new_parallel.seconds;
+    out.evals_per_sec_old = rate(old_run.n_evaluated, old_run.seconds);
+    out.evals_per_sec_new_single =
+        rate(new_single.n_evaluated, new_single.seconds);
+    out.evals_per_sec_new_parallel =
+        rate(new_parallel.n_evaluated, new_parallel.seconds);
+    out.speedup_single = out.evals_per_sec_old > 0.0
+                             ? out.evals_per_sec_new_single /
+                                   out.evals_per_sec_old
+                             : 0.0;
+    out.speedup_parallel = out.evals_per_sec_old > 0.0
+                               ? out.evals_per_sec_new_parallel /
+                                     out.evals_per_sec_old
+                               : 0.0;
+    out.cache_hit_rate = new_single.cache_stats.hit_rate();
+    out.n_threads = new_parallel.n_threads;
+    out.same_best =
+        same_best(old_run, new_single) && same_best(old_run, new_parallel);
+    return out;
+}
+
+std::string to_json(const Search_bench_config& config,
+                    const Search_bench_result& result)
+{
+    std::ostringstream out;
+    out.precision(6);
+    out << "{\n"
+        << "  \"scenario\": {\n"
+        << "    \"n_bsbs\": " << config.n_bsbs << ",\n"
+        << "    \"ops_per_bsb\": " << config.ops_per_bsb << ",\n"
+        << "    \"asic_area\": " << config.asic_area << ",\n"
+        << "    \"max_count_per_type\": " << config.max_count_per_type
+        << ",\n"
+        << "    \"seed\": " << config.seed << ",\n"
+        << "    \"space_size\": " << result.space_size << ",\n"
+        << "    \"n_evaluated\": " << result.n_evaluated << "\n"
+        << "  },\n"
+        << "  \"old\": {\"seconds\": " << result.secs_old
+        << ", \"evals_per_sec\": " << result.evals_per_sec_old << "},\n"
+        << "  \"new_single\": {\"seconds\": " << result.secs_new_single
+        << ", \"evals_per_sec\": " << result.evals_per_sec_new_single
+        << ", \"cache_hit_rate\": " << result.cache_hit_rate << "},\n"
+        << "  \"new_parallel\": {\"seconds\": " << result.secs_new_parallel
+        << ", \"evals_per_sec\": " << result.evals_per_sec_new_parallel
+        << ", \"n_threads\": " << result.n_threads << "},\n"
+        << "  \"speedup_single\": " << result.speedup_single << ",\n"
+        << "  \"speedup_parallel\": " << result.speedup_parallel << ",\n"
+        << "  \"same_best\": " << (result.same_best ? "true" : "false")
+        << "\n}\n";
+    return out.str();
+}
+
+void print_summary(std::ostream& out, const Search_bench_result& result)
+{
+    out << "search bench over " << result.n_evaluated << " of "
+        << result.space_size << " allocations\n"
+        << "  old (naive sched, no cache):  "
+        << util::fixed(result.evals_per_sec_old, 1) << " evals/s ("
+        << util::fixed(result.secs_old, 3) << " s)\n"
+        << "  new single (event + cache):   "
+        << util::fixed(result.evals_per_sec_new_single, 1) << " evals/s ("
+        << util::fixed(result.speedup_single, 1) << "x, hit rate "
+        << util::fixed(100.0 * result.cache_hit_rate, 1) << "%)\n"
+        << "  new parallel (" << result.n_threads << " threads):       "
+        << util::fixed(result.evals_per_sec_new_parallel, 1)
+        << " evals/s (" << util::fixed(result.speedup_parallel, 1)
+        << "x)\n"
+        << "  same best allocation: " << (result.same_best ? "yes" : "NO")
+        << "\n";
+}
+
+int write_bench_report(const std::string& path, std::ostream& log,
+                       std::ostream& err)
+{
+    std::error_code ignored;
+    const bool existed = std::filesystem::exists(path, ignored);
+    try {
+        // Probe writability first (append mode: no truncation) so an
+        // unwritable path fails fast, yet a measurement failure later
+        // cannot clobber a previously written good report.
+        {
+            std::ofstream probe(path, std::ios::app);
+            if (!probe) {
+                err << "error: cannot write " << path << "\n";
+                return 1;
+            }
+        }
+        const Search_bench_config config;
+        const auto result = run_search_bench(config);
+        print_summary(log, result);
+        std::ofstream out(path);
+        out << to_json(config, result);
+        out.flush();
+        if (!out) {
+            err << "error: failed writing " << path << "\n";
+            return 1;
+        }
+        log << "wrote " << path << "\n";
+        return result.same_best ? 0 : 1;
+    }
+    catch (const std::exception& e) {
+        // Don't leave a zero-byte probe-created file behind.
+        if (!existed)
+            std::filesystem::remove(path, ignored);
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,70 @@
+// Old-vs-new allocation-search benchmark (the PR-over-PR speedup
+// tracker behind BENCH_search.json).
+//
+// Runs the same exhaustive search over one synthetic scenario three
+// ways and reports allocation evaluations per second:
+//   old           naive cycle-stepping scheduler, no memoization,
+//                 single thread — the pre-optimization baseline,
+//   new_single    event-driven scheduler + Eval_cache, single thread,
+//   new_parallel  the same plus the chunked thread-pool search.
+// All three must find the identical best allocation (the determinism
+// contract); the result records that check.
+//
+// Callable from `lycos_cli --bench-json <path>` and from the
+// bench_scaling binary so CI can emit the JSON reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lycos::search {
+
+/// Scenario shape: 16 BSBs at the top of the bench_scaling sweep
+/// range (128 ops each), heterogeneous op mixes, searched with the
+/// usual coarse area quantum.
+struct Search_bench_config {
+    int n_bsbs = 16;
+    int ops_per_bsb = 128;
+    double asic_area = 20000.0;
+    int max_count_per_type = 2;  ///< restriction bound clamp (space size control)
+    std::uint64_t seed = 42;
+};
+
+/// Measured throughputs (evaluations per second) and speedups.
+struct Search_bench_result {
+    long long space_size = 0;
+    long long n_evaluated = 0;  ///< per variant (identical across them)
+    double secs_old = 0.0;
+    double secs_new_single = 0.0;
+    double secs_new_parallel = 0.0;
+    double evals_per_sec_old = 0.0;
+    double evals_per_sec_new_single = 0.0;
+    double evals_per_sec_new_parallel = 0.0;
+    double speedup_single = 0.0;    ///< new_single vs old
+    double speedup_parallel = 0.0;  ///< new_parallel vs old
+    double cache_hit_rate = 0.0;    ///< of the single-threaded cached run
+    int n_threads = 1;              ///< used by the parallel run
+    bool same_best = false;         ///< all variants agreed on the best
+};
+
+/// Build the scenario and run the three search variants.
+Search_bench_result run_search_bench(const Search_bench_config& config = {});
+
+/// Serialize as the BENCH_search.json schema (stable keys, one object).
+std::string to_json(const Search_bench_config& config,
+                    const Search_bench_result& result);
+
+/// Human-readable summary (one line per variant).
+void print_summary(std::ostream& out, const Search_bench_result& result);
+
+/// The shared entry point of `lycos_cli --bench-json` and the
+/// bench_scaling tail: run the default-config bench, print the
+/// summary to `log`, write the JSON report to `path`.  Returns the
+/// process exit code (0 only if the report was written and all
+/// variants agreed on the best allocation); failures are reported on
+/// `err`, never thrown.
+int write_bench_report(const std::string& path, std::ostream& log,
+                       std::ostream& err);
+
+}  // namespace lycos::search

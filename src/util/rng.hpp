@@ -30,6 +30,16 @@ public:
         return std::uniform_real_distribution<double>(lo, hi)(engine_);
     }
 
+    /// Uniform index in [0, n).  Exact for the full long long range —
+    /// unlike scaling uniform_real by (n-1), which can never produce
+    /// the last index and loses precision above 2^53.
+    long long uniform_index(long long n)
+    {
+        if (n <= 0)
+            throw std::invalid_argument("Rng::uniform_index: n <= 0");
+        return std::uniform_int_distribution<long long>(0, n - 1)(engine_);
+    }
+
     /// Bernoulli trial with probability `p` of returning true.
     bool chance(double p)
     {

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <exception>
+
+namespace lycos::util {
+
+Thread_pool::Thread_pool(std::size_t n_threads)
+{
+    if (n_threads == 0)
+        n_threads = default_concurrency();
+    threads_.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+Thread_pool::~Thread_pool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void Thread_pool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void Thread_pool::wait_idle()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+std::size_t Thread_pool::default_concurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void Thread_pool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return;  // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++in_flight_;
+        }
+        try {
+            task();
+        }
+        catch (...) {
+            // Swallow: a detached worker has nowhere to rethrow, and
+            // terminating the process (or leaking in_flight_ and
+            // hanging wait_idle) would be worse.  submit() documents
+            // that tasks must capture their own errors, as
+            // parallel_chunks does.
+        }
+        {
+            std::unique_lock lock(mutex_);
+            --in_flight_;
+            if (tasks_.empty() && in_flight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void parallel_chunks(
+    Thread_pool& pool, long long n, std::size_t n_chunks,
+    const std::function<void(std::size_t, long long, long long)>& fn)
+{
+    if (n <= 0 || n_chunks == 0)
+        return;
+    if (n_chunks > static_cast<std::size_t>(n))
+        n_chunks = static_cast<std::size_t>(n);
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const long long base = n / static_cast<long long>(n_chunks);
+    const long long extra = n % static_cast<long long>(n_chunks);
+    long long begin = 0;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        const long long len = base + (static_cast<long long>(c) < extra);
+        const long long end = begin + len;
+        pool.submit([&, c, begin, end] {
+            try {
+                fn(c, begin, end);
+            }
+            catch (...) {
+                std::scoped_lock lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+        begin = end;
+    }
+    pool.wait_idle();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,67 @@
+// Fixed-size worker-thread pool and a chunked parallel-for driver.
+//
+// The allocation search parallelizes by splitting the mixed-radix
+// index range into contiguous chunks, one task per chunk, with no work
+// stealing: chunks are coarse and equally sized, so static partitioning
+// keeps the reduction deterministic and the code simple.  The pool is
+// the reusable substrate (condition-variable task queue, the classic
+// idiom); parallel_chunks is the driver the search actually calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lycos::util {
+
+/// A fixed set of worker threads draining a task queue.
+class Thread_pool {
+public:
+    /// Start `n_threads` workers (0 selects default_concurrency()).
+    explicit Thread_pool(std::size_t n_threads = 0);
+
+    /// Joins all workers; pending tasks are still executed.
+    ~Thread_pool();
+
+    Thread_pool(const Thread_pool&) = delete;
+    Thread_pool& operator=(const Thread_pool&) = delete;
+
+    std::size_t size() const { return threads_.size(); }
+
+    /// Enqueue a task for execution on some worker.  Tasks must
+    /// capture their own errors (as parallel_chunks does): an
+    /// exception escaping a task is swallowed by the worker, since a
+    /// detached thread has nowhere to rethrow it.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished.
+    void wait_idle();
+
+    /// Number of hardware threads, at least 1.
+    static std::size_t default_concurrency();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> tasks_;
+    mutable std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;  ///< tasks currently executing
+    bool stopping_ = false;
+};
+
+/// Split [0, n) into `n_chunks` contiguous ranges (sizes differing by
+/// at most one) and run fn(chunk_index, begin, end) for each on the
+/// pool.  Blocks until all chunks are done; the first exception thrown
+/// by any chunk is rethrown in the caller.
+void parallel_chunks(
+    Thread_pool& pool, long long n, std::size_t n_chunks,
+    const std::function<void(std::size_t, long long, long long)>& fn);
+
+}  // namespace lycos::util

@@ -2,6 +2,8 @@
 // and hill climbing.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "apps/random_app.hpp"
 #include "core/allocator.hpp"
 #include "hw/target.hpp"
@@ -148,6 +150,93 @@ TEST(Exhaustive, finds_at_least_the_allocator_result)
     EXPECT_GE(best.best.speedup_pct(), heuristic_eval.speedup_pct() - 1e-9);
     EXPECT_GT(best.n_evaluated, 0);
     EXPECT_EQ(best.space_size, 12);
+}
+
+TEST(AllocSpace, size_saturates_instead_of_overflowing)
+{
+    lh::Hw_library lib;
+    for (int i = 0; i < 5; ++i)
+        lib.add({"unit" + std::to_string(i), {Op_kind::add}, 10.0, 1});
+    lc::Rmap bounds;
+    for (int i = 0; i < 5; ++i)
+        bounds.set(i, std::numeric_limits<int>::max());
+    const lse::Alloc_space space(lib, bounds);
+    // (2^31)^5 is far beyond 2^63: the size must clamp, not wrap.
+    EXPECT_EQ(space.size(), std::numeric_limits<long long>::max());
+
+    // Enumerating a prefix of such a space must not overflow the
+    // per-dimension radix (bound + 1 with bound == INT_MAX).
+    int visited = 0;
+    space.for_each_range(0, 3, 1e18, [&](const lc::Rmap& a) {
+        EXPECT_EQ(a(0), visited);
+        ++visited;
+        return true;
+    });
+    EXPECT_EQ(visited, 3);
+}
+
+TEST(AllocSpace, range_chunks_concatenate_to_full_enumeration)
+{
+    const auto lib = small_library();
+    lc::Rmap bounds;
+    bounds.set(0, 3);
+    bounds.set(1, 2);
+    const lse::Alloc_space space(lib, bounds);
+
+    std::vector<lc::Rmap> full;
+    space.for_each(1e18, [&](const lc::Rmap& a) {
+        full.push_back(a);
+        return true;
+    });
+
+    std::vector<lc::Rmap> chunked;
+    const long long cuts[] = {0, 3, 4, 9, space.size()};
+    for (std::size_t c = 0; c + 1 < std::size(cuts); ++c)
+        space.for_each_range(cuts[c], cuts[c + 1], 1e18,
+                             [&](const lc::Rmap& a) {
+                                 chunked.push_back(a);
+                                 return true;
+                             });
+    EXPECT_EQ(chunked, full);
+    EXPECT_THROW(space.for_each_range(-1, 2, 1e18, [](const lc::Rmap&) {
+        return true;
+    }),
+                 std::out_of_range);
+    EXPECT_THROW(space.for_each_range(0, space.size() + 1, 1e18,
+                                      [](const lc::Rmap&) { return true; }),
+                 std::out_of_range);
+}
+
+TEST(Exhaustive, parallel_and_cached_match_sequential_uncached)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 3);
+
+    const auto reference = lse::exhaustive_search(
+        ctx, bounds, {.n_threads = 1, .use_cache = false});
+    for (int n_threads : {1, 2, 3, 7}) {
+        for (bool use_cache : {false, true}) {
+            const auto r = lse::exhaustive_search(
+                ctx, bounds,
+                {.n_threads = n_threads, .use_cache = use_cache});
+            EXPECT_EQ(r.best.datapath, reference.best.datapath);
+            EXPECT_EQ(r.best.partition.time_hybrid_ns,
+                      reference.best.partition.time_hybrid_ns);
+            EXPECT_EQ(r.best.datapath_area, reference.best.datapath_area);
+            EXPECT_EQ(r.n_evaluated, reference.n_evaluated);
+            if (use_cache)
+                EXPECT_EQ(r.cache_stats.hits + r.cache_stats.misses,
+                          r.n_evaluated *
+                              static_cast<long long>(bsbs.size()));
+        }
+    }
 }
 
 TEST(Exhaustive, empty_restrictions_single_point)

@@ -1,0 +1,100 @@
+// Tests for the worker pool and the chunked parallel driver behind
+// the parallel exhaustive search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace lu = lycos::util;
+
+TEST(ThreadPool, runs_all_submitted_tasks)
+{
+    lu::Thread_pool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, wait_idle_on_empty_pool_returns)
+{
+    lu::Thread_pool pool(2);
+    pool.wait_idle();  // nothing submitted: must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, default_concurrency_is_positive)
+{
+    EXPECT_GE(lu::Thread_pool::default_concurrency(), 1u);
+    lu::Thread_pool pool;  // 0 = default
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelChunks, covers_range_exactly_once)
+{
+    lu::Thread_pool pool(3);
+    const long long n = 1001;
+    std::vector<std::atomic<int>> touched(static_cast<std::size_t>(n));
+    lu::parallel_chunks(pool, n, 7,
+                        [&](std::size_t, long long begin, long long end) {
+                            for (long long i = begin; i < end; ++i)
+                                ++touched[static_cast<std::size_t>(i)];
+                        });
+    for (long long i = 0; i < n; ++i)
+        EXPECT_EQ(touched[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST(ParallelChunks, chunk_sizes_differ_by_at_most_one)
+{
+    lu::Thread_pool pool(2);
+    std::vector<long long> sizes(5, -1);
+    lu::parallel_chunks(pool, 13, 5,
+                        [&](std::size_t c, long long begin, long long end) {
+                            sizes[c] = end - begin;
+                        });
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_GE(*lo, 2);
+    EXPECT_LE(*hi - *lo, 1);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0ll), 13);
+}
+
+TEST(ParallelChunks, more_chunks_than_items_clamps)
+{
+    lu::Thread_pool pool(2);
+    std::atomic<int> calls{0};
+    lu::parallel_chunks(pool, 3, 10,
+                        [&](std::size_t, long long begin, long long end) {
+                            ++calls;
+                            EXPECT_EQ(end - begin, 1);
+                        });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelChunks, empty_range_is_a_no_op)
+{
+    lu::Thread_pool pool(2);
+    std::atomic<int> calls{0};
+    lu::parallel_chunks(pool, 0, 4,
+                        [&](std::size_t, long long, long long) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelChunks, rethrows_first_chunk_exception)
+{
+    lu::Thread_pool pool(2);
+    EXPECT_THROW(
+        lu::parallel_chunks(pool, 8, 4,
+                            [&](std::size_t c, long long, long long) {
+                                if (c == 2)
+                                    throw std::runtime_error("chunk failed");
+                            }),
+        std::runtime_error);
+}

@@ -25,6 +25,7 @@
 #include "minic/parser.hpp"
 #include "search/exhaustive.hpp"
 #include "search/hill_climb.hpp"
+#include "search/search_bench.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -92,6 +93,9 @@ int main(int argc, char** argv)
     args.add_option("set", "", "override counts, e.g. const_gen=1,divider=1");
     args.add_option("search", "none",
                     "compare against the best allocation: none|auto");
+    args.add_option("bench-json", "",
+                    "run the old-vs-new search benchmark and write the "
+                    "BENCH_search.json report to this path, then exit");
     args.add_option("inputs", "",
                     "profile a MiniC file by execution with these inputs "
                     "(e.g. x=0,a=100,dx=5) and use the measured loop/branch "
@@ -111,6 +115,12 @@ int main(int argc, char** argv)
         std::cout << args.usage();
         return 0;
     }
+
+    // Benchmark mode: measure old-vs-new search throughput and write
+    // the JSON report (needs no application input; CI calls this).
+    if (!args.value("bench-json").empty())
+        return search::write_bench_report(args.value("bench-json"),
+                                          std::cout, std::cerr);
 
     // --- load the application -----------------------------------------
     std::vector<bsb::Bsb> bsbs;
