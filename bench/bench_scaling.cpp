@@ -115,6 +115,34 @@ void bm_pace_dp(benchmark::State& state)
 }
 BENCHMARK(bm_pace_dp)->RangeMultiplier(2)->Range(4, 64);
 
+// Same DP with caller-owned buffers — the search hot loop's
+// configuration (one workspace per worker, reused across points).
+void bm_pace_dp_workspace(benchmark::State& state)
+{
+    const auto costs = random_costs(static_cast<int>(state.range(0)));
+    pace::Pace_workspace ws;
+    for (auto _ : state) {
+        auto r = pace::pace_partition(
+            costs, {.ctrl_area_budget = 300.0, .area_quantum = 1.0}, &ws);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_pace_dp_workspace)->RangeMultiplier(2)->Range(4, 64);
+
+// Value-only screening DP: optimal saving without the traceback (what
+// the branch-and-bound search runs on every surviving candidate).
+void bm_pace_best_saving(benchmark::State& state)
+{
+    const auto costs = random_costs(static_cast<int>(state.range(0)));
+    pace::Pace_workspace ws;
+    for (auto _ : state) {
+        auto s = pace::pace_best_saving(
+            costs, {.ctrl_area_budget = 300.0, .area_quantum = 1.0}, &ws);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(bm_pace_best_saving)->RangeMultiplier(2)->Range(4, 64);
+
 void bm_pace_brute_force(benchmark::State& state)
 {
     const auto costs = random_costs(static_cast<int>(state.range(0)));

@@ -65,25 +65,37 @@ inline Run run_flow(apps::App app)
 }
 
 /// Best allocation by search: exhaustive when the space fits the
-/// budget of evaluations, otherwise iterated hill climbing.
+/// budget of evaluations, otherwise iterated hill climbing.  The
+/// coarse search and the fine re-score of the winner share one
+/// Eval_cache — the per-BSB schedules don't depend on the PACE
+/// quantum, so the re-score runs entirely on warm entries — and
+/// Search_result::cache_stats reports the combined hit rate.
 inline search::Search_result find_best(const Run& r,
                                        long long exhaustive_limit = 30000)
 {
     const double quantum =
         r.target.asic.total_area / k_search_quantum_divisor;
     const auto ctx = context(r, k_eval_mode, quantum);
+    search::Eval_cache cache(ctx);
     const search::Alloc_space space(r.lib, r.restrictions);
     search::Search_result result;
     if (space.size() <= exhaustive_limit) {
-        result = search::exhaustive_search(ctx, r.restrictions);
+        result = search::exhaustive_search(ctx, r.restrictions,
+                                           {.shared_cache = &cache});
     }
     else {
         util::Rng rng(0xD47E1998);  // fixed seed: reproducible "best found"
         result = search::hill_climb_search(
-            ctx, r.restrictions, {.n_restarts = 12, .max_steps = 128}, rng);
+            ctx, r.restrictions,
+            {.n_restarts = 12, .max_steps = 128, .shared_cache = &cache},
+            rng);
     }
-    // Re-score the winner with the fine default quantum.
-    result.best = search::evaluate_allocation(context(r), result.best.datapath);
+    // Re-score the winner with the fine default quantum, on the same
+    // cache; fold the re-score's lookups into the reported stats.
+    const auto before = cache.stats();
+    result.best =
+        search::evaluate_allocation(context(r), result.best.datapath, &cache);
+    result.cache_stats += cache.stats().minus(before);
     return result;
 }
 

@@ -51,39 +51,107 @@ Pace_result evaluate_partition(std::span<const Bsb_cost> costs,
     return r;
 }
 
-Pace_result pace_partition(std::span<const Bsb_cost> costs,
-                           const Pace_options& options)
+double max_gain(std::span<const Bsb_cost> costs)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        const auto& c = costs[i];
+        if (std::isinf(c.t_hw))
+            continue;
+        double gain = hw_gain(c);
+        if (i > 0)
+            gain += std::max(0.0, c.save_prev);
+        if (gain > 0.0)
+            total += gain;
+    }
+    return total;
+}
+
+namespace {
+
+/// Shared quantization of the DP table (pace_partition and
+/// pace_best_saving must agree exactly).
+struct Dp_setup {
+    double quantum = 0.0;
+    std::size_t width = 0;
+};
+
+Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
+                    const Pace_options& options, std::vector<int>& qarea,
+                    std::vector<std::uint8_t>& hw_possible)
 {
     if (options.ctrl_area_budget < 0.0)
         throw std::invalid_argument("pace_partition: negative budget");
-    const std::size_t n = costs.size();
-    if (n == 0)
-        return Pace_result{};
+    if (!std::isfinite(options.ctrl_area_budget))
+        throw std::invalid_argument("pace_partition: non-finite budget");
+    if (options.max_dp_width < 2)
+        throw std::invalid_argument("pace_partition: max_dp_width < 2");
 
-    const double quantum =
-        options.area_quantum > 0.0
-            ? options.area_quantum
-            : std::max(1.0, options.ctrl_area_budget / 4096.0);
-    const int capacity =
-        static_cast<int>(std::floor(options.ctrl_area_budget / quantum));
-    const std::size_t width = static_cast<std::size_t>(capacity) + 1;
+    Dp_setup s;
+    // Effective quantum: the caller's (or the automatic budget/4096),
+    // re-quantized when it would need more than max_dp_width discrete
+    // area levels — a pathological budget/quantum ratio must not
+    // silently allocate gigabytes of DP table.
+    s.quantum = options.area_quantum > 0.0
+                    ? options.area_quantum
+                    : std::max(1.0, options.ctrl_area_budget / 4096.0);
+    const double cap = static_cast<double>(options.max_dp_width - 1);
+    if (options.ctrl_area_budget / s.quantum > cap)
+        s.quantum = options.ctrl_area_budget / cap;
+    const int capacity = std::min(
+        options.max_dp_width - 1,
+        static_cast<int>(std::floor(options.ctrl_area_budget / s.quantum)));
+    s.width = static_cast<std::size_t>(capacity) + 1;
 
     // Quantized controller areas (rounded up, so the DP never packs
     // more real area than the budget).
-    std::vector<int> qarea(n, 0);
-    std::vector<bool> hw_possible(n, false);
+    const std::size_t n = costs.size();
+    qarea.assign(n, 0);
+    hw_possible.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
         if (std::isinf(costs[i].ctrl_area) || std::isinf(costs[i].t_hw))
             continue;
-        qarea[i] = static_cast<int>(std::ceil(costs[i].ctrl_area / quantum));
-        hw_possible[i] = static_cast<std::size_t>(qarea[i]) < width;
+        qarea[i] =
+            static_cast<int>(std::ceil(costs[i].ctrl_area / s.quantum));
+        hw_possible[i] = static_cast<std::size_t>(qarea[i]) < s.width ? 1 : 0;
     }
+    return s;
+}
 
-    // value[a*2+p]: best total saving (vs. all-software) over the BSBs
-    // processed so far, using quantized area a, with the most recent
-    // BSB on side p (0 = SW, 1 = HW).  For every (i, a, p) we keep the
-    // decision of BSB i (took_hw) and the side of BSB i-1
-    // (parent_side) so the optimal partition can be reconstructed.
+/// The DP sweep both public entry points share — templated on whether
+/// the traceback tables are maintained, so the value-only screening
+/// pass and the full partitioning pass can never drift apart.
+///
+/// value[a*2+p]: best total saving (vs. all-software) over the BSBs
+/// processed so far, using quantized area a, with the most recent BSB
+/// on side p (0 = SW, 1 = HW).  With traceback, every (i, a, p) keeps
+/// the decision of BSB i (took_hw) and the side of BSB i-1
+/// (parent_side) so the optimal partition can be reconstructed.
+///
+/// Only the reachable-area frontier [0, hi] is ever initialized or
+/// swept: row i can reach at most the previous frontier plus BSB i's
+/// quantized area, which for tight budgets is far below the full
+/// width.  Traceback cells outside the frontier are stale from
+/// earlier calls, but every state with a finite value had its cell
+/// written this call (a finite `next` entry always comes from an
+/// improving write over -inf), and the backwards walk only visits
+/// finite-value states.
+struct Dp_buffers {
+    const std::vector<int>& qarea;
+    const std::vector<std::uint8_t>& hw_possible;
+    std::vector<double>& value;
+    std::vector<double>& next;
+    std::vector<std::uint8_t>& took_hw;
+    std::vector<std::uint8_t>& parent_side;
+};
+
+template <bool With_trace>
+double dp_sweep(std::span<const Bsb_cost> costs, std::size_t width,
+                Dp_buffers ws, std::size_t* best_a, int* best_p)
+{
+    const std::size_t n = costs.size();
+    const auto& qarea = ws.qarea;
+    const auto& hw_possible = ws.hw_possible;
     auto idx = [&](std::size_t a, int p) {
         return a * 2 + static_cast<std::size_t>(p);
     };
@@ -91,16 +159,32 @@ Pace_result pace_partition(std::span<const Bsb_cost> costs,
         return (i * width + a) * 2 + static_cast<std::size_t>(p);
     };
 
-    std::vector<double> value(width * 2, -k_inf);
-    std::vector<double> next(width * 2, -k_inf);
-    std::vector<std::uint8_t> took_hw(n * width * 2, 0);
-    std::vector<std::uint8_t> parent_side(n * width * 2, 0);
+    auto& value = ws.value;
+    auto& next = ws.next;
+    if (value.size() < width * 2)
+        value.resize(width * 2);
+    if (next.size() < width * 2)
+        next.resize(width * 2);
+    if constexpr (With_trace) {
+        if (ws.took_hw.size() < n * width * 2) {
+            ws.took_hw.resize(n * width * 2);
+            ws.parent_side.resize(n * width * 2);
+        }
+    }
 
     value[idx(0, 0)] = 0.0;
+    value[idx(0, 1)] = -k_inf;
+    std::size_t hi = 0;
 
     for (std::size_t i = 0; i < n; ++i) {
-        std::fill(next.begin(), next.end(), -k_inf);
-        for (std::size_t a = 0; a < width; ++a) {
+        const std::size_t qa = static_cast<std::size_t>(qarea[i]);
+        const bool can_hw = hw_possible[i] != 0;
+        const std::size_t hi2 = can_hw ? std::min(hi + qa, width - 1) : hi;
+        std::fill(next.begin(),
+                  next.begin() + static_cast<std::ptrdiff_t>((hi2 + 1) * 2),
+                  -k_inf);
+        const double gain = can_hw ? hw_gain(costs[i]) : 0.0;
+        for (std::size_t a = 0; a <= hi; ++a) {
             for (int p = 0; p < 2; ++p) {
                 const double v = value[idx(a, p)];
                 if (v == -k_inf)
@@ -109,55 +193,107 @@ Pace_result pace_partition(std::span<const Bsb_cost> costs,
                 // BSB i stays in software.
                 if (v > next[idx(a, 0)]) {
                     next[idx(a, 0)] = v;
-                    took_hw[cell(i, a, 0)] = 0;
-                    parent_side[cell(i, a, 0)] = static_cast<std::uint8_t>(p);
+                    if constexpr (With_trace) {
+                        ws.took_hw[cell(i, a, 0)] = 0;
+                        ws.parent_side[cell(i, a, 0)] =
+                            static_cast<std::uint8_t>(p);
+                    }
                 }
 
                 // BSB i moves to hardware.
-                if (hw_possible[i] &&
-                    a + static_cast<std::size_t>(qarea[i]) < width) {
-                    double gain = hw_gain(costs[i]);
+                if (can_hw && a + qa < width) {
+                    double g = gain;
                     if (i > 0 && p == 1)
-                        gain += costs[i].save_prev;
-                    const std::size_t a2 =
-                        a + static_cast<std::size_t>(qarea[i]);
-                    if (v + gain > next[idx(a2, 1)]) {
-                        next[idx(a2, 1)] = v + gain;
-                        took_hw[cell(i, a2, 1)] = 1;
-                        parent_side[cell(i, a2, 1)] =
-                            static_cast<std::uint8_t>(p);
+                        g += costs[i].save_prev;
+                    const std::size_t a2 = a + qa;
+                    if (v + g > next[idx(a2, 1)]) {
+                        next[idx(a2, 1)] = v + g;
+                        if constexpr (With_trace) {
+                            ws.took_hw[cell(i, a2, 1)] = 1;
+                            ws.parent_side[cell(i, a2, 1)] =
+                                static_cast<std::uint8_t>(p);
+                        }
                     }
                 }
             }
         }
         value.swap(next);
+        hi = hi2;
     }
 
-    // Best final state, then walk the parent pointers backwards.
     double best = -k_inf;
-    std::size_t best_a = 0;
-    int best_p = 0;
-    for (std::size_t a = 0; a < width; ++a)
+    for (std::size_t a = 0; a <= hi; ++a)
         for (int p = 0; p < 2; ++p)
             if (value[idx(a, p)] > best) {
                 best = value[idx(a, p)];
-                best_a = a;
-                best_p = p;
+                if (best_a != nullptr) {
+                    *best_a = a;
+                    *best_p = p;
+                }
             }
+    return best;
+}
 
+}  // namespace
+
+double pace_best_saving(std::span<const Bsb_cost> costs,
+                        const Pace_options& options,
+                        Pace_workspace* workspace)
+{
+    Pace_workspace local;
+    Pace_workspace& ws = workspace != nullptr ? *workspace : local;
+    const Dp_setup s = prepare_dp(costs, options, ws.qarea_, ws.hw_possible_);
+    if (costs.empty())
+        return 0.0;
+    return dp_sweep<false>(costs, s.width,
+                           {ws.qarea_, ws.hw_possible_, ws.value_, ws.next_,
+                            ws.took_hw_, ws.parent_side_},
+                           nullptr, nullptr);
+}
+
+Pace_result pace_partition(std::span<const Bsb_cost> costs,
+                           const Pace_options& options,
+                           Pace_workspace* workspace)
+{
+    const std::size_t n = costs.size();
+    // DP buffers: caller-owned when a workspace is given (the search
+    // hot loop), otherwise local.  Buffers only grow; cells are
+    // (re)initialized lazily in the sweep, so stale contents from
+    // previous calls are never read.
+    Pace_workspace local;
+    Pace_workspace& ws = workspace != nullptr ? *workspace : local;
+
+    const Dp_setup s = prepare_dp(costs, options, ws.qarea_, ws.hw_possible_);
+    if (n == 0)
+        return Pace_result{};
+    const std::size_t width = s.width;
+
+    std::size_t best_a = 0;
+    int best_p = 0;
+    dp_sweep<true>(costs, width,
+                   {ws.qarea_, ws.hw_possible_, ws.value_, ws.next_,
+                    ws.took_hw_, ws.parent_side_},
+                   &best_a, &best_p);
+
+    // Walk the parent pointers backwards from the best final state.
+    auto cell = [&](std::size_t i, std::size_t a, int p) {
+        return (i * width + a) * 2 + static_cast<std::size_t>(p);
+    };
     std::vector<bool> in_hw(n, false);
     std::size_t a = best_a;
     int p = best_p;
     for (std::size_t ri = n; ri-- > 0;) {
-        const bool hw = took_hw[cell(ri, a, p)] != 0;
-        const int prev = parent_side[cell(ri, a, p)];
+        const bool hw = ws.took_hw_[cell(ri, a, p)] != 0;
+        const int prev = ws.parent_side_[cell(ri, a, p)];
         in_hw[ri] = hw;
         if (hw)
-            a -= static_cast<std::size_t>(qarea[ri]);
+            a -= static_cast<std::size_t>(ws.qarea_[ri]);
         p = prev;
     }
 
-    return evaluate_partition(costs, in_hw);
+    Pace_result r = evaluate_partition(costs, in_hw);
+    r.area_quantum_used = s.quantum;
+    return r;
 }
 
 }  // namespace lycos::pace

@@ -10,6 +10,7 @@
 // bus transfers — the communication awareness PACE is known for.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,15 @@ struct Pace_options {
     /// budget/4096 but at least 1 gate.  Smaller is more exact and
     /// slower.
     double area_quantum = 0.0;
+
+    /// Hard cap on the DP table width (number of discrete area
+    /// levels).  A caller-supplied quantum that would need more levels
+    /// than this is re-quantized to budget/(max_dp_width-1) instead of
+    /// silently allocating gigabytes of table; the quantum actually
+    /// used is reported in Pace_result::area_quantum_used.  The
+    /// default bounds the per-call table at ~a million levels (the
+    /// auto quantum needs only 4097).
+    int max_dp_width = 1 << 20;
 };
 
 /// A partition and its evaluation.
@@ -36,6 +46,8 @@ struct Pace_result {
     double time_hybrid_ns = 0.0;   ///< time of the chosen partition
     double speedup_pct = 0.0;      ///< (all_sw / hybrid - 1) * 100
     double ctrl_area_used = 0.0;   ///< controller area of HW-side BSBs
+    double area_quantum_used = 0.0;  ///< effective DP quantum (0 from
+                                     ///< evaluate_partition, which has none)
     int n_in_hw = 0;
 
     /// Fraction of BSBs placed in hardware (the paper's HW/SW column
@@ -49,10 +61,59 @@ struct Pace_result {
     }
 };
 
+class Pace_workspace;
+
 /// Optimal partition by dynamic programming (up to area
-/// discretization).
+/// discretization).  With a non-null `workspace` the DP reuses the
+/// caller-owned buffers across calls instead of heap-allocating the
+/// value/next rows and the ~n*width*2-byte traceback tables per
+/// invocation — the allocation-search hot loop runs one workspace per
+/// worker thread.  Results are identical with or without a workspace.
 Pace_result pace_partition(std::span<const Bsb_cost> costs,
-                           const Pace_options& options);
+                           const Pace_options& options,
+                           Pace_workspace* workspace = nullptr);
+
+/// Caller-owned reusable DP buffers for pace_partition.  Buffers only
+/// ever grow, so one workspace serves calls of any (bounded) size; a
+/// workspace is not thread-safe and must not be shared across
+/// concurrent pace_partition calls.
+class Pace_workspace {
+public:
+    Pace_workspace() = default;
+
+private:
+    friend Pace_result pace_partition(std::span<const Bsb_cost> costs,
+                                      const Pace_options& options,
+                                      Pace_workspace* workspace);
+    friend double pace_best_saving(std::span<const Bsb_cost> costs,
+                                   const Pace_options& options,
+                                   Pace_workspace* workspace);
+    std::vector<double> value_;
+    std::vector<double> next_;
+    std::vector<std::uint8_t> took_hw_;
+    std::vector<std::uint8_t> parent_side_;
+    std::vector<int> qarea_;
+    std::vector<std::uint8_t> hw_possible_;
+};
+
+/// Admissible bound on the total saving any partition of `costs` can
+/// achieve: the sum of the positive per-BSB hardware gains, crediting
+/// every BSB its adjacency saving and ignoring the area budget
+/// entirely.  For every partition, time_all_sw - time_hybrid <=
+/// max_gain(costs); the branch-and-bound allocation search prunes the
+/// DP for candidates whose bound cannot beat the incumbent.
+double max_gain(std::span<const Bsb_cost> costs);
+
+/// The DP's optimal objective value — the best achievable saving vs.
+/// all-software — without reconstructing which BSBs achieve it.  This
+/// is the search's screening pass: no traceback bookkeeping, so it
+/// costs a fraction of pace_partition; the full DP only runs for
+/// candidates whose screened time can still beat the incumbent.
+/// Equals all_sw - pace_partition(...).time_hybrid_ns up to float
+/// summation order.
+double pace_best_saving(std::span<const Bsb_cost> costs,
+                        const Pace_options& options,
+                        Pace_workspace* workspace = nullptr);
 
 /// Evaluate a *given* partition with the same timing model the DP
 /// optimizes (used for cross-checking and for the HW-fraction

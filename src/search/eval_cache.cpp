@@ -8,6 +8,9 @@ Eval_cache::Eval_cache(const Eval_context& ctx)
     relevant_.resize(ctx_.bsbs.size());
     frames_.reserve(ctx_.bsbs.size());
     memo_.resize(ctx_.bsbs.size());
+    last_key_.resize(ctx_.bsbs.size());
+    last_cost_.resize(ctx_.bsbs.size());
+    last_valid_.assign(ctx_.bsbs.size(), 0);
     for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i) {
         const auto used = ctx_.bsbs[i].graph.used_ops();
         for (std::size_t r = 0; r < ctx_.lib.size(); ++r)
@@ -21,37 +24,65 @@ Eval_cache::Eval_cache(const Eval_context& ctx)
 
 std::vector<pace::Bsb_cost> Eval_cache::costs_for(const core::Rmap& alloc)
 {
+    std::vector<pace::Bsb_cost> out;
+    costs_for(alloc, out);
+    return out;
+}
+
+void Eval_cache::costs_for(const core::Rmap& alloc,
+                           std::vector<pace::Bsb_cost>& out)
+{
     // Reuse the dense-counts buffer: this runs once per enumerated
     // allocation, and at high hit rates a fresh heap allocation here
     // would rival the lookup cost itself.
     counts_.assign(ctx_.lib.size(), 0);
     for (const auto& [r, c] : alloc.entries())
         counts_[static_cast<std::size_t>(r)] = c;
-    const auto& counts = counts_;
+    costs_for_counts(counts_, out);
+}
 
-    std::vector<pace::Bsb_cost> out;
-    out.reserve(ctx_.bsbs.size());
-    std::vector<int> key;
-    for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i) {
-        key.clear();
-        for (hw::Resource_id r : relevant_[i])
-            key.push_back(counts[static_cast<std::size_t>(r)]);
+void Eval_cache::costs_for_counts(std::span<const int> counts,
+                                  std::vector<pace::Bsb_cost>& out)
+{
+    out.resize(ctx_.bsbs.size());
+    for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i)
+        out[i] = cost_one(i, counts);
+}
 
-        auto& memo = memo_[i];
-        if (const auto it = memo.find(key); it != memo.end()) {
-            ++stats_.hits;
-            out.push_back(it->second);
-            continue;
-        }
-        ++stats_.misses;
-        const auto cost =
-            pace::bsb_cost_one(ctx_.bsbs, i, ctx_.lib, ctx_.target, counts,
-                               lat_, ctx_.ctrl_mode, ctx_.storage,
-                               ctx_.scheduler, &frames_[i]);
-        memo.emplace(key, cost);
-        out.push_back(cost);
+const pace::Bsb_cost& Eval_cache::cost_one(std::size_t bsb,
+                                           std::span<const int> counts)
+{
+    auto& key = key_;
+    key.clear();
+    for (hw::Resource_id r : relevant_[bsb])
+        key.push_back(counts[static_cast<std::size_t>(r)]);
+
+    // Fast path: successive enumeration/climb points change one
+    // type's count, which projects away for most BSBs — comparing
+    // a handful of ints beats hashing into the memo.
+    if (last_valid_[bsb] != 0 && key == last_key_[bsb]) {
+        ++stats_.hits;
+        return last_cost_[bsb];
     }
-    return out;
+
+    auto& memo = memo_[bsb];
+    if (const auto it = memo.find(key); it != memo.end()) {
+        ++stats_.hits;
+        last_key_[bsb] = key;
+        last_cost_[bsb] = it->second;
+        last_valid_[bsb] = 1;
+        return last_cost_[bsb];
+    }
+    ++stats_.misses;
+    const auto cost =
+        pace::bsb_cost_one(ctx_.bsbs, bsb, ctx_.lib, ctx_.target, counts,
+                           lat_, ctx_.ctrl_mode, ctx_.storage,
+                           ctx_.scheduler, &frames_[bsb]);
+    memo.emplace(key, cost);
+    last_key_[bsb] = key;
+    last_cost_[bsb] = cost;
+    last_valid_[bsb] = 1;
+    return last_cost_[bsb];
 }
 
 }  // namespace lycos::search

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +48,13 @@ struct Eval_cache_stats {
         misses += other.misses;
         return *this;
     }
+
+    /// Delta since a snapshot — how shared-cache users report only
+    /// their own contribution (stats().minus(before)).
+    Eval_cache_stats minus(const Eval_cache_stats& before) const
+    {
+        return {hits - before.hits, misses - before.misses};
+    }
 };
 
 /// Per-search memo of BSB costs, keyed by (BSB id, projected counts).
@@ -59,7 +68,34 @@ public:
     /// pace::build_cost_model(ctx...).
     std::vector<pace::Bsb_cost> costs_for(const core::Rmap& alloc);
 
+    /// Allocation-free variant for the search hot loop: fills `out`
+    /// (resized to the BSB count) instead of returning a new vector.
+    /// Consecutive search points usually change one resource count, so
+    /// each BSB first checks its remembered last projection before
+    /// touching the hash map.
+    void costs_for(const core::Rmap& alloc, std::vector<pace::Bsb_cost>& out);
+
+    /// Same, from a dense per-type count vector (size lib.size()) —
+    /// the branch-and-bound walker keeps its digit counters dense and
+    /// skips building an Rmap for points it can prune.
+    void costs_for_counts(std::span<const int> counts,
+                          std::vector<pace::Bsb_cost>& out);
+
+    /// Cost of one BSB under dense `counts`.  The walker queries each
+    /// BSB exactly when the digits covering its relevant types have
+    /// been assigned, instead of re-fetching all BSBs at every leaf.
+    /// The reference stays valid until the next query for `bsb`.
+    const pace::Bsb_cost& cost_one(std::size_t bsb,
+                                   std::span<const int> counts);
+
     const Eval_cache_stats& stats() const { return stats_; }
+
+    /// Precomputed ASAP/ALAP frames of one BSB (allocation-independent;
+    /// the prune model reuses them instead of recomputing).
+    const sched::Schedule_info& frames(std::size_t bsb) const
+    {
+        return frames_[bsb];
+    }
 
 private:
     struct Key_hash {
@@ -86,6 +122,12 @@ private:
     std::vector<sched::Schedule_info> frames_;
     std::vector<Memo> memo_;
     std::vector<int> counts_;  ///< reusable dense-counts buffer
+    std::vector<int> key_;     ///< reusable projection-key buffer
+    /// Per BSB: the most recent projection key and its cost — the
+    /// fast path for the enumeration's one-digit-at-a-time locality.
+    std::vector<std::vector<int>> last_key_;
+    std::vector<pace::Bsb_cost> last_cost_;
+    std::vector<std::uint8_t> last_valid_;
     Eval_cache_stats stats_;
 };
 

@@ -5,13 +5,9 @@
 namespace lycos::search {
 
 Evaluation evaluate_allocation(const Eval_context& ctx,
-                               const core::Rmap& datapath, Eval_cache* cache)
+                               const core::Rmap& datapath, Eval_cache* cache,
+                               pace::Pace_workspace* workspace)
 {
-    Evaluation ev;
-    ev.datapath = datapath;
-    ev.datapath_area = datapath.area(ctx.lib);
-    ev.fits = ev.datapath_area <= ctx.target.asic.total_area;
-
     const auto costs = cache != nullptr
                            ? cache->costs_for(datapath)
                            : pace::build_cost_model(ctx.bsbs, ctx.lib,
@@ -19,6 +15,19 @@ Evaluation evaluate_allocation(const Eval_context& ctx,
                                                     ctx.ctrl_mode,
                                                     ctx.storage,
                                                     ctx.scheduler);
+    return evaluate_with_costs(ctx, datapath, costs, workspace);
+}
+
+Evaluation evaluate_with_costs(const Eval_context& ctx,
+                               const core::Rmap& datapath,
+                               std::span<const pace::Bsb_cost> costs,
+                               pace::Pace_workspace* workspace)
+{
+    Evaluation ev;
+    ev.datapath = datapath;
+    ev.datapath_area = datapath.area(ctx.lib);
+    ev.fits = ev.datapath_area <= ctx.target.asic.total_area;
+
     if (!ev.fits) {
         // Nothing can move to hardware; report the all-software result.
         ev.partition = pace::evaluate_partition(
@@ -29,7 +38,7 @@ Evaluation evaluate_allocation(const Eval_context& ctx,
     pace::Pace_options opts;
     opts.ctrl_area_budget = ctx.target.asic.total_area - ev.datapath_area;
     opts.area_quantum = ctx.area_quantum;
-    ev.partition = pace::pace_partition(costs, opts);
+    ev.partition = pace::pace_partition(costs, opts, workspace);
     return ev;
 }
 

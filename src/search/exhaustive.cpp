@@ -1,8 +1,14 @@
 #include "search/exhaustive.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <optional>
 
+#include "estimate/comm.hpp"
+#include "estimate/sw_time.hpp"
+#include "pace/cost_model.hpp"
+#include "sched/time_frames.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -15,8 +21,576 @@ struct Chunk_result {
     Evaluation best;
     bool have_best = false;
     long long n_evaluated = 0;
+    long long n_pruned = 0;
     Eval_cache_stats stats;
 };
+
+/// One dimension of the mixed-radix walk, most-significant last.
+struct Dim_info {
+    hw::Resource_id id{};
+    int bound = 0;
+    double unit_area = 0.0;
+    long long span = 0;  ///< indices covered per digit step at this dim
+};
+
+/// Allocation-independent data behind the gain-bound prune, computed
+/// once per search and shared read-only by all workers.
+///
+/// Per BSB, an admissible upper bound on the saving it can contribute
+/// to any partition under any allocation of the space:
+///
+///   g_ub = max(0, t_sw - t_hw_lb - comm + save_prev)
+///
+/// where t_hw_lb uses the ASAP critical-path length under each op
+/// kind's minimum latency across all library executors — a true lower
+/// bound on every resource-constrained list schedule, immune to the scheduling
+/// anomalies that make the schedule length itself non-monotone in the
+/// allocation.  t_sw, comm and save_prev are allocation-independent
+/// and use the same float expressions as bsb_cost_one.  BSBs no
+/// combination of the dims can execute never move to hardware and
+/// contribute nothing.
+///
+/// Coverage is the only allocation-dependent ingredient of the coarse
+/// bound: a BSB only contributes where every op kind it uses has an
+/// allocated executor, and coverage *is* monotone in the counts.  The
+/// walker maintains the coverage of each subtree's maximal completion
+/// incrementally (only a digit fixed at 0 removes a type), and
+/// replaces the coarse per-BSB bound with the *exact* memoized cost as
+/// soon as all of a BSB's relevant dims are assigned (its
+/// "determination depth").
+struct Prune_model {
+    bool enabled = false;
+    double all_sw = 0.0;  ///< sum of t_sw, the all-software time
+    double slack = 0.0;   ///< float-safety margin on bound comparisons
+    std::vector<double> g_ub;  ///< per BSB; 0 when never feasible
+    std::vector<std::vector<int>> dim_kinds;  ///< per dim: relevant kinds
+    std::vector<std::vector<int>> kind_bsbs;  ///< per kind: BSBs (g_ub>0)
+    std::vector<int> n_exec_init;  ///< per kind: #dims executing it
+    /// by_min_dim[d]: BSBs whose lowest relevant dim is d — their cost
+    /// becomes exact once the walk assigns dim d's digit.  Slot
+    /// dims.size() holds BSBs no dim affects (constant cost).
+    std::vector<std::vector<int>> by_min_dim;
+};
+
+Prune_model build_prune_model(const Eval_context& ctx,
+                              const std::vector<Dim_info>& dims,
+                              const Eval_cache* cache)
+{
+    Prune_model m;
+    const std::size_t n = ctx.bsbs.size();
+
+    // Coverage at the space's maximal point (every dim at its bound):
+    // a BSB no combination of the dims can execute never moves to
+    // hardware anywhere in the space.
+    hw::Op_set max_cover;
+    for (const auto& d : dims)
+        max_cover = max_cover | ctx.lib[d.id].ops;
+
+    // True per-kind minimum latency over ALL executors in the library.
+    // The schedule lower bound must hold whatever instance an op ends
+    // up bound to; latency_table_from picks the smallest-AREA
+    // executor, whose latency can exceed a faster-but-larger variant's,
+    // and using it here could prune the true optimum.
+    sched::Latency_table min_lat(1);
+    for (const auto k : hw::all_op_kinds()) {
+        int best = std::numeric_limits<int>::max();
+        for (std::size_t ri = 0; ri < ctx.lib.size(); ++ri) {
+            const auto& rt = ctx.lib[static_cast<hw::Resource_id>(ri)];
+            if (rt.ops.contains(k))
+                best = std::min(best, rt.latency_cycles);
+        }
+        if (best != std::numeric_limits<int>::max())
+            min_lat[k] = best;
+    }
+    // The cache's hoisted frames use latency_table_from; they are only
+    // reusable when that table already is the per-kind minimum.
+    const bool cache_frames_ok =
+        cache != nullptr && min_lat == sched::latency_table_from(ctx.lib);
+
+    m.g_ub.assign(n, 0.0);
+    m.all_sw = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& b = ctx.bsbs[i];
+        // Exactly the t_sw expression of bsb_cost_one, so the bound's
+        // baseline matches the evaluated all-software times.
+        const double t_sw = estimate::total_sw_time_ns(b, ctx.target.cpu);
+        m.all_sw += t_sw;
+        if (b.graph.empty() || !max_cover.includes(b.graph.used_ops()))
+            continue;
+        // Same float expression shape as bsb_cost_one's t_hw, with the
+        // schedule length replaced by its ASAP lower bound, so
+        // t_hw >= t_hw_lb holds bitwise (float multiply is monotone).
+        const int asap_len =
+            cache_frames_ok
+                ? cache->frames(i).length
+                : sched::compute_time_frames(b.graph, min_lat).length;
+        const double t_hw_lb =
+            asap_len * ctx.target.asic.cycle_ns() * b.profile;
+        const double comm =
+            estimate::comm_time_ns(b, ctx.target.bus) * b.profile;
+        double gain = t_sw - t_hw_lb - comm;
+        if (i > 0)
+            gain += std::max(0.0, estimate::adjacency_saving_ns(
+                                      ctx.bsbs[i - 1], b, ctx.target.bus));
+        if (gain > 0.0)
+            m.g_ub[i] = gain;
+    }
+    // The bound sums drift by float rounding as the walker adds and
+    // removes terms; the margin dwarfs that drift while staying far
+    // below any physically meaningful time difference.
+    m.slack = 1e-7 * std::max(1.0, std::abs(m.all_sw));
+
+    // Coverage machinery, restricted to kinds that matter (used by a
+    // BSB with a positive bound).
+    m.kind_bsbs.assign(hw::n_op_kinds, {});
+    m.n_exec_init.assign(hw::n_op_kinds, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (m.g_ub[i] <= 0.0)
+            continue;
+        const auto used = ctx.bsbs[i].graph.used_ops();
+        for (const auto k : hw::all_op_kinds())
+            if (used.contains(k))
+                m.kind_bsbs[hw::op_index(k)].push_back(static_cast<int>(i));
+    }
+    m.dim_kinds.resize(dims.size());
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        const auto ops = ctx.lib[dims[d].id].ops;
+        for (const auto k : hw::all_op_kinds()) {
+            const std::size_t ki = hw::op_index(k);
+            if (ops.contains(k) && !m.kind_bsbs[ki].empty()) {
+                m.dim_kinds[d].push_back(static_cast<int>(ki));
+                ++m.n_exec_init[ki];
+            }
+        }
+    }
+
+    // Determination depths: the lowest dim whose type intersects the
+    // BSB's ops (the projection key Eval_cache uses is constant in all
+    // other dims).
+    m.by_min_dim.assign(dims.size() + 1, {});
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t min_dim = dims.size();
+        const auto used = ctx.bsbs[i].graph.used_ops();
+        for (std::size_t d = 0; d < dims.size(); ++d)
+            if (ctx.lib[dims[d].id].ops.intersects(used)) {
+                min_dim = d;
+                break;
+            }
+        m.by_min_dim[min_dim].push_back(static_cast<int>(i));
+    }
+
+    m.enabled = true;
+    return m;
+}
+
+/// Shared empty determination list for walkers running without the
+/// incremental exact-cost overlay.
+const std::vector<int> k_no_dets;
+
+/// Admissible reduction of a BSB's software time given its exact cost:
+/// the most the hybrid can save on this BSB, crediting the adjacency
+/// saving unconditionally.
+double exact_reduction(const pace::Bsb_cost& c, bool first)
+{
+    if (std::isinf(c.t_hw))
+        return 0.0;
+    double red = c.t_sw - c.t_hw - c.comm;
+    if (!first)
+        red += std::max(0.0, c.save_prev);
+    return std::max(0.0, red);
+}
+
+/// One worker's branch-and-bound walk over the chunk [begin, end) of
+/// the mixed-radix index range.  Digits are assigned most-significant
+/// (last dim) first, so each node's subtree is a contiguous index
+/// range and leaves appear in exactly the enumeration order of the
+/// linear loop this replaces.
+class Walker {
+public:
+    Walker(const Eval_context& ctx, const std::vector<Dim_info>& dims,
+           const Prune_model& model, bool use_pruning, double max_area,
+           double prime_time, long long begin, long long end,
+           Eval_cache* cache, Chunk_result& out)
+        : ctx_(ctx), dims_(dims), model_(model), use_pruning_(use_pruning),
+          max_area_(max_area), prime_time_(prime_time), begin_(begin),
+          end_(end), cache_(cache), out_(out), digits_(dims.size(), 0),
+          dense_counts_(ctx.lib.size(), 0)
+    {
+        bounding_ = use_pruning_ && model_.enabled;
+        det_enabled_ = bounding_ && cache_ != nullptr;
+        if (bounding_) {
+            n_exec_ = model_.n_exec_init;
+            missing_.assign(model_.g_ub.size(), 0);
+            for (const double g : model_.g_ub)
+                cov_gain_ += g;
+        }
+        if (det_enabled_) {
+            determined_.assign(ctx_.bsbs.size(), 0);
+            cur_cost_.resize(ctx_.bsbs.size());
+            cur_red_.assign(ctx_.bsbs.size(), 0.0);
+            // BSBs no dim affects have one constant cost everywhere.
+            for (const int i : model_.by_min_dim[dims_.size()])
+                determine(static_cast<std::size_t>(i));
+        }
+    }
+
+    void run() { walk(static_cast<int>(dims_.size()) - 1, 0, 0.0); }
+
+private:
+    void walk(int d, long long base, double prefix_area)
+    {
+        if (d < 0) {
+            leaf();
+            return;
+        }
+        const auto& dim = dims_[static_cast<std::size_t>(d)];
+        // End of this dim's whole digit range, for bulk prune counting.
+        const long long dim_end =
+            base + (static_cast<long long>(dim.bound) + 1) * dim.span;
+        for (int c = 0; c <= dim.bound; ++c) {
+            const long long sub_base = base + c * dim.span;
+            if (sub_base >= end_)
+                break;  // every later digit lies past the chunk
+            if (sub_base + dim.span <= begin_)
+                continue;  // before the chunk
+            const long long lo = std::max(begin_, sub_base);
+            const long long hi = std::min(end_, sub_base + dim.span);
+
+            const double area = prefix_area + c * dim.unit_area;
+            if (use_pruning_ && area > area_prune_limit()) {
+                // Area-monotone: deeper digits and larger c only add
+                // area, so the rest of this dim's range is dead.
+                out_.n_pruned += std::min(end_, dim_end) - lo;
+                return;
+            }
+
+            digits_[static_cast<std::size_t>(d)] = c;
+            dense_counts_[static_cast<std::size_t>(dim.id)] = c;
+            const bool toggled = bounding_ && c == 0;
+            if (toggled)
+                remove_dim(static_cast<std::size_t>(d));
+
+            // Tighten the bound lazily: the coarse coverage bound is
+            // free; each determination (a memoized cost query) only
+            // runs while the subtree still survives, so branches dead
+            // on the coarse bound never schedule anything.
+            bool pruned = bounding_ && bound_exceeds(area);
+            const auto& det_list =
+                det_enabled_
+                    ? model_.by_min_dim[static_cast<std::size_t>(d)]
+                    : k_no_dets;
+            std::size_t n_det = 0;
+            while (!pruned && n_det < det_list.size()) {
+                determine(static_cast<std::size_t>(det_list[n_det]));
+                ++n_det;
+                pruned = bound_exceeds(area);
+            }
+
+            if (pruned) {
+                // No completion of this prefix can beat the incumbent
+                // (or the primed probe time, itself achieved by a point
+                // that is never pruned).
+                out_.n_pruned += hi - lo;
+            }
+            else {
+                walk(d - 1, sub_base, area);
+            }
+
+            while (n_det > 0)
+                undetermine(static_cast<std::size_t>(det_list[--n_det]));
+            if (toggled)
+                restore_dim(static_cast<std::size_t>(d));
+        }
+    }
+
+    /// Subtree area pruning is conservative by a margin so that float
+    /// summation-order differences against the canonical leaf sum can
+    /// never prune a point the linear enumeration would have scored.
+    double area_prune_limit() const
+    {
+        return max_area_ + 1e-6 * (1.0 + std::abs(max_area_));
+    }
+
+    /// The time to beat: the worker's incumbent, or — before one
+    /// exists / when it is still weak — the primed probe time computed
+    /// once per search.  Every pruned point is strictly worse than an
+    /// actually-evaluated point, so the best tuple is unaffected.
+    double threshold() const
+    {
+        return out_.have_best
+                   ? std::min(prime_time_,
+                              out_.best.partition.time_hybrid_ns)
+                   : prime_time_;
+    }
+
+    /// True when no completion of the current prefix can beat the
+    /// threshold.  Two admissible layers: the free coverage/exact-sum
+    /// bound, then — only when exact costs are in play — a fractional-
+    /// knapsack relaxation that also respects the controller-area
+    /// budget the prefix leaves free.
+    bool bound_exceeds(double prefix_area)
+    {
+        const double thr = threshold() + model_.slack;
+        if (!std::isfinite(thr))
+            return false;
+        if (model_.all_sw - (cov_gain_ + exact_sum_) > thr)
+            return true;
+        if (!det_enabled_)
+            return false;
+        return model_.all_sw - lp_gain_bound(prefix_area) > thr;
+    }
+
+    /// Upper bound on the total saving of any completion: determined
+    /// BSBs enter a fractional knapsack with their exact reductions
+    /// and controller areas against the area the data-path prefix
+    /// leaves free; undetermined-but-coverable BSBs are credited
+    /// area-free (their controller area is unknown, zero is the safe
+    /// relaxation).
+    double lp_gain_bound(double prefix_area)
+    {
+        double budget = max_area_ - prefix_area +
+                        1e-6 * (1.0 + std::abs(max_area_));
+        if (budget < 0.0)
+            budget = 0.0;
+        double g = cov_gain_;
+        lp_items_.clear();
+        for (std::size_t i = 0; i < cur_red_.size(); ++i) {
+            if (determined_[i] == 0 || cur_red_[i] <= 0.0)
+                continue;
+            const double a = cur_cost_[i].ctrl_area;
+            if (a <= 0.0)
+                g += cur_red_[i];
+            else
+                lp_items_.emplace_back(cur_red_[i], a);
+        }
+        // Classic greedy-by-density: optimal for the fractional
+        // relaxation, so an upper bound on every 0/1 packing.
+        std::sort(lp_items_.begin(), lp_items_.end(),
+                  [](const auto& x, const auto& y) {
+                      return x.first * y.second > y.first * x.second;
+                  });
+        for (const auto& [red, a] : lp_items_) {
+            if (a <= budget) {
+                g += red;
+                budget -= a;
+            }
+            else {
+                g += red * (budget / a);
+                break;
+            }
+        }
+        return g;
+    }
+
+    /// All of this BSB's relevant dims are assigned: swap its coarse
+    /// coverage bound for the exact memoized cost.
+    void determine(std::size_t i)
+    {
+        const auto& c = cache_->cost_one(i, dense_counts_);
+        cur_cost_[i] = c;
+        cur_red_[i] = exact_reduction(c, i == 0);
+        exact_sum_ += cur_red_[i];
+        determined_[i] = 1;
+        if (missing_[i] == 0)
+            cov_gain_ -= model_.g_ub[i];
+    }
+
+    void undetermine(std::size_t i)
+    {
+        exact_sum_ -= cur_red_[i];
+        determined_[i] = 0;
+        if (missing_[i] == 0)
+            cov_gain_ += model_.g_ub[i];
+    }
+
+    /// A dim's digit was fixed at 0: its type disappears from every
+    /// completion of the subtree.
+    void remove_dim(std::size_t d)
+    {
+        for (const int ki : model_.dim_kinds[d])
+            if (--n_exec_[static_cast<std::size_t>(ki)] == 0)
+                for (const int b : model_.kind_bsbs[static_cast<std::size_t>(ki)])
+                    if (++missing_[static_cast<std::size_t>(b)] == 1 &&
+                        (determined_.empty() ||
+                         determined_[static_cast<std::size_t>(b)] == 0))
+                        cov_gain_ -= model_.g_ub[static_cast<std::size_t>(b)];
+    }
+
+    void restore_dim(std::size_t d)
+    {
+        for (const int ki : model_.dim_kinds[d])
+            if (n_exec_[static_cast<std::size_t>(ki)]++ == 0)
+                for (const int b : model_.kind_bsbs[static_cast<std::size_t>(ki)])
+                    if (--missing_[static_cast<std::size_t>(b)] == 0 &&
+                        (determined_.empty() ||
+                         determined_[static_cast<std::size_t>(b)] == 0))
+                        cov_gain_ += model_.g_ub[static_cast<std::size_t>(b)];
+    }
+
+    void leaf()
+    {
+        // Canonical area sum — dims ascending, zero digits skipped —
+        // reproduces Alloc_space::for_each_range's filter bit-for-bit.
+        double area = 0.0;
+        for (std::size_t d = 0; d < dims_.size(); ++d)
+            if (digits_[d] > 0)
+                area += dims_[d].unit_area * digits_[d];
+        if (area > max_area_) {
+            // The linear loop enumerates but never scores these; they
+            // count as pruned only when pruning is on (so that
+            // n_evaluated + n_pruned covers the space).
+            if (use_pruning_)
+                ++out_.n_pruned;
+            return;
+        }
+
+        if (!det_enabled_ && cache_ != nullptr)
+            cache_->costs_for_counts(dense_counts_, costs_);
+
+        if (use_pruning_ && cache_ != nullptr) {
+            // Screening pass: the DP's optimal value without the
+            // traceback bookkeeping.  Only points whose screened time
+            // lands within the float-safety margin of the incumbent
+            // get the full partition reconstruction; anything farther
+            // is provably worse on time alone (ties resolve on the
+            // full evaluation, so the best tuple is untouched).
+            const auto& costs = det_enabled_ ? cur_cost_ : costs_;
+            pace::Pace_options opts;
+            opts.ctrl_area_budget = max_area_ - area;
+            opts.area_quantum = ctx_.area_quantum;
+            const double saving =
+                pace::pace_best_saving(costs, opts, &pace_ws_);
+            const double t_est = pace::all_sw_time_ns(costs) - saving;
+            if (t_est > threshold() + model_.slack) {
+                ++out_.n_evaluated;  // scored, just not reconstructed
+                return;
+            }
+        }
+
+        core::Rmap a;
+        for (std::size_t d = 0; d < dims_.size(); ++d)
+            if (digits_[d] > 0)
+                a.set(dims_[d].id, digits_[d]);
+        if (cache_ == nullptr) {
+            costs_ = pace::build_cost_model(ctx_.bsbs, ctx_.lib, ctx_.target,
+                                            a, ctx_.ctrl_mode, ctx_.storage,
+                                            ctx_.scheduler);
+            if (use_pruning_) {
+                // Admissible per-point bound from the exact costs:
+                // skip the PACE DP when even the area-unconstrained
+                // gain cannot beat the incumbent.
+                const double lb =
+                    pace::all_sw_time_ns(costs_) - pace::max_gain(costs_);
+                if (lb > threshold() + model_.slack) {
+                    ++out_.n_pruned;
+                    return;
+                }
+            }
+        }
+
+        // With det_enabled_ every BSB's exact cost was assembled on
+        // the way down (and the exact bound already checked when the
+        // last digit was assigned) — run the DP straight on it.
+        const Evaluation ev = evaluate_with_costs(
+            ctx_, a, det_enabled_ ? cur_cost_ : costs_, &pace_ws_);
+        ++out_.n_evaluated;
+        if (!out_.have_best || better_than(ev, out_.best)) {
+            out_.best = ev;
+            out_.have_best = true;
+        }
+    }
+
+    const Eval_context& ctx_;
+    const std::vector<Dim_info>& dims_;
+    const Prune_model& model_;
+    bool use_pruning_;
+    bool bounding_ = false;     ///< coverage/gain bound active
+    bool det_enabled_ = false;  ///< incremental exact costs active
+    double max_area_;
+    double prime_time_;
+    long long begin_;
+    long long end_;
+    Eval_cache* cache_;
+    Chunk_result& out_;
+    std::vector<int> digits_;
+    std::vector<int> dense_counts_;  ///< digits scattered per type id
+    std::vector<pace::Bsb_cost> costs_;
+    // Gain-bound state (bounding_): coverage of the subtree's maximal
+    // completion, and the exact-cost overlay (det_enabled_).
+    std::vector<int> n_exec_;
+    std::vector<int> missing_;
+    double cov_gain_ = 0.0;
+    std::vector<std::uint8_t> determined_;
+    std::vector<pace::Bsb_cost> cur_cost_;
+    std::vector<double> cur_red_;
+    double exact_sum_ = 0.0;
+    std::vector<std::pair<double, double>> lp_items_;  ///< (red, area)
+    pace::Pace_workspace pace_ws_;
+};
+
+/// Evaluate a few promising fitting points before the walk so every
+/// worker starts with a realistic time-to-beat instead of pruning
+/// nothing until its chunk stumbles on a good incumbent.  The returned
+/// time is the hybrid time of a real fitting point: pruning against it
+/// can only remove points strictly worse than something the
+/// enumeration scores anyway, so the best tuple is unchanged.
+double prime_incumbent(const Eval_context& ctx,
+                       const std::vector<Dim_info>& dims, double max_area,
+                       Eval_cache* cache)
+{
+    std::vector<core::Rmap> probes;
+
+    core::Rmap max_point;
+    for (const auto& d : dims)
+        max_point.set(d.id, d.bound);
+
+    core::Rmap half;
+    for (const auto& d : dims)
+        half.set(d.id, (d.bound + 1) / 2);
+
+    // Greedy fill in dimension order, spending area on each type up
+    // to its bound while the data path still fits.
+    core::Rmap greedy;
+    double area = 0.0;
+    for (const auto& d : dims) {
+        int c = d.bound;
+        while (c > 0 && area + d.unit_area * c > max_area)
+            --c;
+        greedy.set(d.id, c);
+        area += d.unit_area * c;
+    }
+
+    probes.push_back(std::move(max_point));
+    if (!(half == probes.front()))
+        probes.push_back(std::move(half));
+    if (std::none_of(probes.begin(), probes.end(),
+                     [&](const core::Rmap& p) { return p == greedy; }))
+        probes.push_back(std::move(greedy));
+
+    double best = std::numeric_limits<double>::infinity();
+    pace::Pace_workspace ws;
+    std::vector<pace::Bsb_cost> costs;
+    for (const auto& p : probes) {
+        const double p_area = p.area(ctx.lib);
+        if (p_area > max_area)
+            continue;
+        // Value-only DP: the probe's exact achievable hybrid time (up
+        // to float summation order, which the prune slack absorbs) at
+        // a fraction of a full evaluation.
+        if (cache != nullptr)
+            cache->costs_for(p, costs);
+        else
+            costs = pace::build_cost_model(ctx.bsbs, ctx.lib, ctx.target, p,
+                                           ctx.ctrl_mode, ctx.storage,
+                                           ctx.scheduler);
+        pace::Pace_options opts;
+        opts.ctrl_area_budget = max_area - p_area;
+        opts.area_quantum = ctx.area_quantum;
+        const double saving = pace::pace_best_saving(costs, opts, &ws);
+        best = std::min(best, pace::all_sw_time_ns(costs) - saving);
+    }
+    return best;
+}
 
 }  // namespace
 
@@ -40,26 +614,91 @@ Search_result exhaustive_search(const Eval_context& ctx,
                                    std::min<long long>(n, 1 << 16))));
     result.n_threads = static_cast<int>(n_threads);
 
+    // Dimension table for the tree walk: id order (as enumerated),
+    // least-significant first, with cumulative index spans.
+    std::vector<Dim_info> dims;
+    dims.reserve(space.dims().size());
+    long long span = 1;
+    bool span_overflow =
+        n == std::numeric_limits<long long>::max();  // size saturated
+    for (const auto& [id, bound] : space.dims()) {
+        dims.push_back({id, bound, ctx.lib[id].area, span});
+        if (span > n / (static_cast<long long>(bound) + 1))
+            span_overflow = true;
+        else
+            span *= static_cast<long long>(bound) + 1;
+    }
+
+    const bool use_pruning = options.use_pruning && !span_overflow;
+    const double max_area = ctx.target.asic.total_area;
+
+    // Worker 0's cache is either the caller's shared cache or one
+    // built up front — so the incumbent-priming probes below warm the
+    // very cache the first chunk then searches with.
+    std::optional<Eval_cache> primed_cache;
+    Eval_cache* chunk0_cache = options.shared_cache;
+    // For an external shared cache, snapshot before priming so the
+    // probes' lookups are reported exactly like a private cache's.
+    Eval_cache_stats shared_before;
+    if (chunk0_cache != nullptr)
+        shared_before = chunk0_cache->stats();
+    if (options.use_cache && chunk0_cache == nullptr) {
+        primed_cache.emplace(ctx);
+        chunk0_cache = &*primed_cache;
+    }
+
+    Prune_model model;
+    double prime_time = std::numeric_limits<double>::infinity();
+    if (use_pruning) {
+        model = build_prune_model(
+            ctx, dims, options.use_cache ? chunk0_cache : nullptr);
+        prime_time = prime_incumbent(ctx, dims, max_area,
+                                     options.use_cache ? chunk0_cache
+                                                       : nullptr);
+    }
+
     std::vector<Chunk_result> chunks(n_threads);
     const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
         Chunk_result& out = chunks[c];
-        std::optional<Eval_cache> cache;
-        if (options.use_cache)
-            cache.emplace(ctx);
-        space.for_each_range(
-            begin, end, ctx.target.asic.total_area,
-            [&](const core::Rmap& a) {
-                const Evaluation ev = evaluate_allocation(
-                    ctx, a, cache ? &*cache : nullptr);
-                ++out.n_evaluated;
-                if (!out.have_best || better_than(ev, out.best)) {
-                    out.best = ev;
-                    out.have_best = true;
-                }
-                return true;
-            });
-        if (cache)
-            out.stats = cache->stats();
+        Eval_cache* cache = nullptr;
+        std::optional<Eval_cache> own_cache;
+        if (options.use_cache) {
+            if (c == 0) {
+                cache = chunk0_cache;
+            }
+            else {
+                own_cache.emplace(ctx);
+                cache = &*own_cache;
+            }
+        }
+        if (span_overflow) {
+            // Saturated spaces cannot be walked as a tree (index
+            // arithmetic would overflow); fall back to the linear loop.
+            pace::Pace_workspace ws;
+            space.for_each_range(begin, end, max_area,
+                                 [&](const core::Rmap& a) {
+                                     const Evaluation ev =
+                                         evaluate_allocation(ctx, a, cache,
+                                                             &ws);
+                                     ++out.n_evaluated;
+                                     if (!out.have_best ||
+                                         better_than(ev, out.best)) {
+                                         out.best = ev;
+                                         out.have_best = true;
+                                     }
+                                     return true;
+                                 });
+        }
+        else {
+            Walker walker(ctx, dims, model, use_pruning, max_area,
+                          prime_time, begin, end, cache, out);
+            walker.run();
+        }
+        if (cache != nullptr) {
+            out.stats = cache == options.shared_cache
+                            ? cache->stats().minus(shared_before)
+                            : cache->stats();
+        }
     };
 
     if (n_threads == 1) {
@@ -76,6 +715,7 @@ Search_result exhaustive_search(const Eval_context& ctx,
     bool have_best = false;
     for (const auto& chunk : chunks) {
         result.n_evaluated += chunk.n_evaluated;
+        result.n_pruned += chunk.n_pruned;
         result.cache_stats += chunk.stats;
         if (chunk.have_best &&
             (!have_best || better_than(chunk.best, result.best))) {

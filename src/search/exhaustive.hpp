@@ -1,13 +1,32 @@
 // Exhaustive allocation search (the §5 methodology for "the best
-// allocation").
+// allocation"), run as a deterministic branch-and-bound.
 //
 // The search is chunk-parallel: the mixed-radix index range
 // [0, Alloc_space::size()) is split into one contiguous chunk per
-// worker thread, each worker evaluates its chunk with a private
-// Eval_cache, and the per-chunk bests are reduced in chunk order.
-// Because the reduction applies the same strict better_than the
-// sequential loop used (keep the incumbent on ties), the result is
-// bit-identical to the single-threaded search for any thread count.
+// worker thread, each worker walks its chunk as a mixed-radix *tree*
+// (digits assigned most-significant first, so subtrees are contiguous
+// index ranges) with a private Eval_cache and Pace_workspace, and the
+// per-chunk bests are reduced in chunk order.  Three admissible prunes
+// skip work without ever changing the best tuple:
+//   * area-monotone subtrees: a digit prefix whose data-path area
+//     already exceeds the ASIC kills the whole subtree (digits only
+//     add area) — those points would have been enumerated but never
+//     evaluated anyway,
+//   * gain-bounded subtrees: an allocation-independent lower bound on
+//     the hybrid time (ASAP-length hardware times, coverage of the
+//     subtree's maximal completion) proves no completion can beat the
+//     worker's incumbent,
+//   * per-point DP savings: cached leaves run the value-only
+//     screening DP (pace_best_saving) and only pay the traceback
+//     reconstruction when the screened time can still beat the
+//     incumbent (screened points count as n_evaluated — they were
+//     scored); on the uncached path, pace::max_gain bounds the
+//     achievable saving and candidates that cannot beat the incumbent
+//     skip the PACE DP entirely (counted in n_pruned).
+// Because every prune removes only provably-worse points and the
+// reduction applies the same strict better_than the sequential loop
+// used (keep the incumbent on ties), the best tuple is bit-identical
+// to the unpruned single-threaded search for any thread count.
 #pragma once
 
 #include "search/alloc_space.hpp"
@@ -19,7 +38,12 @@ namespace lycos::search {
 /// Outcome of a search over the allocation space.
 struct Search_result {
     Evaluation best;           ///< best-scoring allocation found
-    long long n_evaluated = 0; ///< allocations actually scored
+    long long n_evaluated = 0; ///< allocations fully scored (PACE ran)
+    long long n_pruned = 0;    ///< points skipped by branch-and-bound
+                               ///< (area-monotone subtrees, gain-bounded
+                               ///< subtrees, and per-point DP skips);
+                               ///< n_evaluated + n_pruned covers the
+                               ///< whole space when pruning is on
     long long space_size = 0;  ///< size of the full space
     double seconds = 0.0;      ///< wall-clock time spent
     int n_threads = 1;         ///< worker threads used
@@ -30,6 +54,15 @@ struct Search_result {
 struct Exhaustive_options {
     int n_threads = 0;      ///< 0 = hardware concurrency
     bool use_cache = true;  ///< memoize per-BSB scheduling (bit-identical)
+    bool use_pruning = true;  ///< branch-and-bound (bit-identical best;
+                              ///< n_evaluated depends on chunking)
+
+    /// Optional caller-owned cache, shared with other search phases
+    /// (e.g. the fine re-score after a coarse search).  Worker 0 uses
+    /// it instead of a private cache; its context must match `ctx` in
+    /// everything but area_quantum.  The cache's contribution still
+    /// shows up in Search_result::cache_stats.
+    Eval_cache* shared_cache = nullptr;
 };
 
 /// Score every allocation within `restrictions` whose data-path fits

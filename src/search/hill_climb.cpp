@@ -1,9 +1,91 @@
 #include "search/hill_climb.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "search/eval_cache.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace lycos::search {
+
+namespace {
+
+/// What one restart's climb produces; reduced in restart order.
+struct Restart_result {
+    Evaluation best;
+    bool have_best = false;
+    long long n_evaluated = 0;
+};
+
+/// Per-worker scratch buffers: one evaluation costs one memoized cost
+/// fetch into `costs` (no per-call vector churn) plus one DP on `ws`.
+struct Climb_scratch {
+    Eval_cache& cache;
+    pace::Pace_workspace ws;
+    std::vector<pace::Bsb_cost> costs;
+
+    explicit Climb_scratch(Eval_cache& c) : cache(c) {}
+
+    Evaluation evaluate(const Eval_context& ctx, const core::Rmap& a)
+    {
+        cache.costs_for(a, costs);
+        return evaluate_with_costs(ctx, a, costs, &ws);
+    }
+};
+
+/// Steepest-ascent climb from `start`, recording the best of *every*
+/// evaluation (not just accepted steps) exactly as the sequential
+/// search did.
+void climb(const Eval_context& ctx, const Alloc_space& space,
+           const Hill_climb_options& options, const core::Rmap& start,
+           Climb_scratch& scratch, Restart_result& out)
+{
+    auto consider = [&](const Evaluation& ev) {
+        if (!out.have_best || better_than(ev, out.best)) {
+            out.best = ev;
+            out.have_best = true;
+        }
+    };
+
+    core::Rmap current = start;
+    Evaluation current_ev = scratch.evaluate(ctx, current);
+    ++out.n_evaluated;
+    consider(current_ev);
+
+    for (int step = 0; step < options.max_steps; ++step) {
+        Evaluation best_neighbour;
+        core::Rmap best_neighbour_map;
+        bool found = false;
+
+        for (const auto& [r, bound] : space.dims()) {
+            for (int delta : {+1, -1}) {
+                const int c = current(r) + delta;
+                if (c < 0 || c > bound)
+                    continue;
+                core::Rmap candidate = current;
+                candidate.set(r, c);
+                if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
+                    continue;
+                const Evaluation ev = scratch.evaluate(ctx, candidate);
+                ++out.n_evaluated;
+                consider(ev);
+                if (!found || better_than(ev, best_neighbour)) {
+                    best_neighbour = ev;
+                    best_neighbour_map = candidate;
+                    found = true;
+                }
+            }
+        }
+
+        if (!found || !better_than(best_neighbour, current_ev))
+            break;  // local optimum
+        current = best_neighbour_map;
+        current_ev = best_neighbour;
+    }
+}
+
+}  // namespace
 
 Search_result hill_climb_search(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
@@ -11,67 +93,81 @@ Search_result hill_climb_search(const Eval_context& ctx,
                                 util::Rng& rng)
 {
     util::Wall_timer timer;
-    Alloc_space space(ctx.lib, restrictions);
+    const Alloc_space space(ctx.lib, restrictions);
 
     Search_result result;
     result.space_size = space.size();
-    bool have_best = false;
-
-    // Neighbouring climb points share almost all their BSB schedules,
-    // so the memo pays off even within a single climb.
-    Eval_cache cache(ctx);
-
-    auto consider = [&](const Evaluation& ev) {
-        if (!have_best || better_than(ev, result.best)) {
-            result.best = ev;
-            have_best = true;
-        }
-    };
-
-    for (int restart = 0; restart < options.n_restarts; ++restart) {
-        // Start points: the empty allocation first (a safe baseline),
-        // then random points of the space.
-        core::Rmap current =
-            restart == 0 ? core::Rmap{}
-                         : space.nth(rng.uniform_index(space.size()));
-        Evaluation current_ev = evaluate_allocation(ctx, current, &cache);
-        ++result.n_evaluated;
-        consider(current_ev);
-
-        for (int step = 0; step < options.max_steps; ++step) {
-            Evaluation best_neighbour;
-            core::Rmap best_neighbour_map;
-            bool found = false;
-
-            for (const auto& [r, bound] : space.dims()) {
-                for (int delta : {+1, -1}) {
-                    const int c = current(r) + delta;
-                    if (c < 0 || c > bound)
-                        continue;
-                    core::Rmap candidate = current;
-                    candidate.set(r, c);
-                    if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
-                        continue;
-                    const Evaluation ev =
-                        evaluate_allocation(ctx, candidate, &cache);
-                    ++result.n_evaluated;
-                    consider(ev);
-                    if (!found || better_than(ev, best_neighbour)) {
-                        best_neighbour = ev;
-                        best_neighbour_map = candidate;
-                        found = true;
-                    }
-                }
-            }
-
-            if (!found || !better_than(best_neighbour, current_ev))
-                break;  // local optimum
-            current = best_neighbour_map;
-            current_ev = best_neighbour;
-        }
+    const int n_restarts = options.n_restarts;
+    if (n_restarts <= 0) {
+        result.seconds = timer.seconds();
+        return result;
     }
 
-    result.cache_stats = cache.stats();
+    // Draw every start point up front, in restart order: the random
+    // sequence — and therefore the whole search — is independent of
+    // how restarts are later spread over threads.  Restart 0 is the
+    // empty allocation (a safe baseline), the rest random points.
+    std::vector<core::Rmap> starts;
+    starts.reserve(static_cast<std::size_t>(n_restarts));
+    starts.emplace_back();
+    for (int r = 1; r < n_restarts; ++r)
+        starts.push_back(space.nth(rng.uniform_index(space.size())));
+
+    std::size_t n_threads =
+        options.n_threads > 0
+            ? static_cast<std::size_t>(options.n_threads)
+            : util::Thread_pool::default_concurrency();
+    n_threads = std::max<std::size_t>(
+        1,
+        std::min(n_threads, static_cast<std::size_t>(n_restarts)));
+    result.n_threads = static_cast<int>(n_threads);
+
+    std::vector<Restart_result> restarts(
+        static_cast<std::size_t>(n_restarts));
+    std::vector<Eval_cache_stats> chunk_stats(n_threads);
+    const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
+        Eval_cache* cache = nullptr;
+        std::optional<Eval_cache> own_cache;
+        Eval_cache_stats shared_before;
+        if (c == 0 && options.shared_cache != nullptr) {
+            cache = options.shared_cache;
+            shared_before = cache->stats();
+        }
+        else {
+            own_cache.emplace(ctx);
+            cache = &*own_cache;
+        }
+        Climb_scratch scratch(*cache);
+        for (long long r = begin; r < end; ++r)
+            climb(ctx, space, options, starts[static_cast<std::size_t>(r)],
+                  scratch, restarts[static_cast<std::size_t>(r)]);
+        chunk_stats[c] = cache == options.shared_cache
+                             ? cache->stats().minus(shared_before)
+                             : cache->stats();
+    };
+
+    if (n_threads == 1) {
+        run_chunk(0, 0, n_restarts);
+    }
+    else {
+        util::Thread_pool pool(n_threads);
+        util::parallel_chunks(pool, n_restarts, n_threads, run_chunk);
+    }
+
+    // Reduce in restart order with the strict better_than the
+    // sequential loop applied, so ties keep the earliest restart.
+    bool have_best = false;
+    for (const auto& r : restarts) {
+        result.n_evaluated += r.n_evaluated;
+        if (r.have_best &&
+            (!have_best || better_than(r.best, result.best))) {
+            result.best = r.best;
+            have_best = true;
+        }
+    }
+    for (const auto& s : chunk_stats)
+        result.cache_stats += s;
+
     result.seconds = timer.seconds();
     return result;
 }

@@ -6,6 +6,14 @@
 // experiments").  This search plays that role reproducibly: steepest-
 // ascent hill climbing on the +-1-unit neighbourhood, restarted from
 // random points of the space.
+//
+// Restarts are independent, so they run in parallel on a
+// util::Thread_pool.  Determinism contract: every start point is
+// drawn from `rng` in restart order *before* any climbing, each
+// restart climbs in isolation (per-worker Eval_cache and
+// Pace_workspace), and per-restart bests are reduced in restart order
+// with the same strict better_than — so the result is bit-identical
+// to the sequential climb for any thread count.
 #pragma once
 
 #include "search/exhaustive.hpp"
@@ -15,12 +23,18 @@ namespace lycos::search {
 
 /// Options for hill_climb_search.
 struct Hill_climb_options {
-    int n_restarts = 16;       ///< random restarts (first start is empty + allocator-style greedy point)
+    int n_restarts = 16;       ///< climbs: restart 0 starts from the empty
+                               ///< allocation, the rest from random points
     int max_steps = 256;       ///< safety bound per climb
+    int n_threads = 0;         ///< 0 = hardware concurrency (capped by restarts)
+
+    /// Optional caller-owned cache shared with other search phases
+    /// (worker 0 uses it; see Exhaustive_options::shared_cache).
+    Eval_cache* shared_cache = nullptr;
 };
 
 /// Best allocation found by iterated steepest-ascent hill climbing.
-/// Deterministic for a given `rng` seed.
+/// Deterministic for a given `rng` seed, independent of n_threads.
 Search_result hill_climb_search(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
                                 const Hill_climb_options& options,

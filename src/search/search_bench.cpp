@@ -11,8 +11,10 @@
 #include "core/analysis.hpp"
 #include "core/restrictions.hpp"
 #include "hw/target.hpp"
+#include "search/eval_cache.hpp"
 #include "search/exhaustive.hpp"
 #include "util/format.hpp"
+#include "util/timer.hpp"
 
 namespace lycos::search {
 
@@ -89,36 +91,77 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
     Eval_context old_ctx = ctx;
     old_ctx.scheduler = sched::Scheduler_kind::naive;
     const auto old_run = exhaustive_search(
-        old_ctx, restrictions, {.n_threads = 1, .use_cache = false});
+        old_ctx, restrictions,
+        {.n_threads = 1, .use_cache = false, .use_pruning = false});
 
     const auto new_single = exhaustive_search(
-        ctx, restrictions, {.n_threads = 1, .use_cache = true});
+        ctx, restrictions,
+        {.n_threads = 1, .use_cache = true, .use_pruning = false});
+
+    const auto new_pruned = exhaustive_search(
+        ctx, restrictions,
+        {.n_threads = 1, .use_cache = true, .use_pruning = true});
 
     const auto new_parallel = exhaustive_search(
-        ctx, restrictions, {.n_threads = 0, .use_cache = true});
+        ctx, restrictions,
+        {.n_threads = 0, .use_cache = true, .use_pruning = true});
+
+    // Instrumented pass: where does one full sweep spend its time —
+    // fetching memoized per-BSB costs (scheduling) or running the
+    // PACE DP?  Uses the same cache + workspace machinery as the
+    // search hot loop.
+    {
+        Eval_cache cache(ctx);
+        pace::Pace_workspace ws;
+        const Alloc_space space(lib, restrictions);
+        std::vector<pace::Bsb_cost> costs;
+        space.for_each(target.asic.total_area, [&](const core::Rmap& a) {
+            util::Wall_timer t_sched;
+            cache.costs_for(a, costs);
+            out.sched_seconds += t_sched.seconds();
+            util::Wall_timer t_dp;
+            const auto ev = evaluate_with_costs(ctx, a, costs, &ws);
+            out.dp_seconds += t_dp.seconds();
+            (void)ev;
+            return true;
+        });
+    }
 
     out.space_size = old_run.space_size;
     out.n_evaluated = old_run.n_evaluated;
+    out.n_evaluated_pruned = new_pruned.n_evaluated;
+    out.n_pruned = new_pruned.n_pruned;
     out.secs_old = old_run.seconds;
     out.secs_new_single = new_single.seconds;
+    out.secs_new_pruned = new_pruned.seconds;
     out.secs_new_parallel = new_parallel.seconds;
     out.evals_per_sec_old = rate(old_run.n_evaluated, old_run.seconds);
     out.evals_per_sec_new_single =
         rate(new_single.n_evaluated, new_single.seconds);
+    // Effective rates: the pruned searches cover the same space, so
+    // their throughput is the unpruned workload over their wall time.
+    out.evals_per_sec_new_pruned =
+        rate(new_single.n_evaluated, new_pruned.seconds);
     out.evals_per_sec_new_parallel =
-        rate(new_parallel.n_evaluated, new_parallel.seconds);
-    out.speedup_single = out.evals_per_sec_old > 0.0
-                             ? out.evals_per_sec_new_single /
-                                   out.evals_per_sec_old
-                             : 0.0;
-    out.speedup_parallel = out.evals_per_sec_old > 0.0
-                               ? out.evals_per_sec_new_parallel /
-                                     out.evals_per_sec_old
-                               : 0.0;
+        rate(new_single.n_evaluated, new_parallel.seconds);
+    const auto speedup_vs = [](double a, double b) {
+        return b > 0.0 ? a / b : 0.0;
+    };
+    out.speedup_single =
+        speedup_vs(out.evals_per_sec_new_single, out.evals_per_sec_old);
+    out.speedup_pruned =
+        speedup_vs(out.evals_per_sec_new_pruned, out.evals_per_sec_old);
+    out.speedup_pruned_vs_single = speedup_vs(
+        out.evals_per_sec_new_pruned, out.evals_per_sec_new_single);
+    out.speedup_parallel =
+        speedup_vs(out.evals_per_sec_new_parallel, out.evals_per_sec_old);
     out.cache_hit_rate = new_single.cache_stats.hit_rate();
+    out.cache_hit_rate_pruned = new_pruned.cache_stats.hit_rate();
     out.n_threads = new_parallel.n_threads;
-    out.same_best =
-        same_best(old_run, new_single) && same_best(old_run, new_parallel);
+    out.pruned_matches_unpruned = same_best(old_run, new_pruned);
+    out.same_best = same_best(old_run, new_single) &&
+                    out.pruned_matches_unpruned &&
+                    same_best(old_run, new_parallel);
     return out;
 }
 
@@ -143,11 +186,26 @@ std::string to_json(const Search_bench_config& config,
         << "  \"new_single\": {\"seconds\": " << result.secs_new_single
         << ", \"evals_per_sec\": " << result.evals_per_sec_new_single
         << ", \"cache_hit_rate\": " << result.cache_hit_rate << "},\n"
+        << "  \"new_pruned\": {\"seconds\": " << result.secs_new_pruned
+        << ", \"effective_evals_per_sec\": "
+        << result.evals_per_sec_new_pruned
+        << ", \"n_evaluated\": " << result.n_evaluated_pruned
+        << ", \"n_pruned\": " << result.n_pruned
+        << ", \"cache_hit_rate\": " << result.cache_hit_rate_pruned
+        << "},\n"
         << "  \"new_parallel\": {\"seconds\": " << result.secs_new_parallel
-        << ", \"evals_per_sec\": " << result.evals_per_sec_new_parallel
+        << ", \"effective_evals_per_sec\": "
+        << result.evals_per_sec_new_parallel
         << ", \"n_threads\": " << result.n_threads << "},\n"
+        << "  \"time_split\": {\"sched_seconds\": " << result.sched_seconds
+        << ", \"dp_seconds\": " << result.dp_seconds << "},\n"
         << "  \"speedup_single\": " << result.speedup_single << ",\n"
+        << "  \"speedup_pruned\": " << result.speedup_pruned << ",\n"
+        << "  \"speedup_pruned_vs_single\": "
+        << result.speedup_pruned_vs_single << ",\n"
         << "  \"speedup_parallel\": " << result.speedup_parallel << ",\n"
+        << "  \"pruned_matches_unpruned\": "
+        << (result.pruned_matches_unpruned ? "true" : "false") << ",\n"
         << "  \"same_best\": " << (result.same_best ? "true" : "false")
         << "\n}\n";
     return out.str();
@@ -164,12 +222,21 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << util::fixed(result.evals_per_sec_new_single, 1) << " evals/s ("
         << util::fixed(result.speedup_single, 1) << "x, hit rate "
         << util::fixed(100.0 * result.cache_hit_rate, 1) << "%)\n"
+        << "  new pruned (branch&bound):    "
+        << util::fixed(result.evals_per_sec_new_pruned, 1)
+        << " evals/s effective (" << util::fixed(result.speedup_pruned, 1)
+        << "x old, " << util::fixed(result.speedup_pruned_vs_single, 1)
+        << "x single; " << result.n_pruned << " pruned)\n"
         << "  new parallel (" << result.n_threads << " threads):       "
         << util::fixed(result.evals_per_sec_new_parallel, 1)
-        << " evals/s (" << util::fixed(result.speedup_parallel, 1)
-        << "x)\n"
+        << " evals/s effective ("
+        << util::fixed(result.speedup_parallel, 1) << "x)\n"
+        << "  time split (one sweep):       sched "
+        << util::fixed(result.sched_seconds * 1e3, 1) << " ms, DP "
+        << util::fixed(result.dp_seconds * 1e3, 1) << " ms\n"
         << "  same best allocation: " << (result.same_best ? "yes" : "NO")
-        << "\n";
+        << " (pruned vs unpruned: "
+        << (result.pruned_matches_unpruned ? "match" : "MISMATCH") << ")\n";
 }
 
 int write_bench_report(const std::string& path, std::ostream& log,
@@ -199,7 +266,10 @@ int write_bench_report(const std::string& path, std::ostream& log,
             return 1;
         }
         log << "wrote " << path << "\n";
-        return result.same_best ? 0 : 1;
+        if (!result.pruned_matches_unpruned)
+            err << "error: pruned search disagrees with unpruned search "
+                   "on the best allocation\n";
+        return result.same_best && result.pruned_matches_unpruned ? 0 : 1;
     }
     catch (const std::exception& e) {
         // Don't leave a zero-byte probe-created file behind.

@@ -1,14 +1,27 @@
 // Old-vs-new allocation-search benchmark (the PR-over-PR speedup
 // tracker behind BENCH_search.json).
 //
-// Runs the same exhaustive search over one synthetic scenario three
-// ways and reports allocation evaluations per second:
+// Runs the same search workload over one synthetic scenario four ways
+// and reports allocation evaluations per second:
 //   old           naive cycle-stepping scheduler, no memoization,
-//                 single thread — the pre-optimization baseline,
-//   new_single    event-driven scheduler + Eval_cache, single thread,
-//   new_parallel  the same plus the chunked thread-pool search.
-// All three must find the identical best allocation (the determinism
-// contract); the result records that check.
+//                 no pruning, single thread — the original baseline,
+//   new_single    event-driven scheduler + Eval_cache, no pruning,
+//                 single thread — the PR 1 path,
+//   new_pruned    branch-and-bound walker + Pace_workspace reuse +
+//                 value-only DP screening, single thread — this PR,
+//   new_parallel  the pruned search on all hardware threads.
+// All variants must find the identical best allocation (the
+// determinism contract); the result records that check and the
+// explicit pruned-vs-unpruned cross-check CI fails on.
+//
+// The pruned variants skip provably-worse points, so their throughput
+// is reported as *effective* evaluations per second: the unpruned
+// workload (new_single's evaluation count) divided by the pruned wall
+// time — i.e. how fast the same space gets searched.
+//
+// A separate instrumented pass over the space splits evaluation time
+// into scheduling (memoized cost lookup) vs. the PACE DP, the two
+// halves the tentpole optimizations target.
 //
 // Callable from `lycos_cli --bench-json <path>` and from the
 // bench_scaling binary so CI can emit the JSON reproducibly.
@@ -34,21 +47,31 @@ struct Search_bench_config {
 /// Measured throughputs (evaluations per second) and speedups.
 struct Search_bench_result {
     long long space_size = 0;
-    long long n_evaluated = 0;  ///< per variant (identical across them)
+    long long n_evaluated = 0;  ///< of the unpruned variants
+    long long n_evaluated_pruned = 0;  ///< fully/value-DP scored points
+    long long n_pruned = 0;            ///< points skipped by the bound
     double secs_old = 0.0;
     double secs_new_single = 0.0;
+    double secs_new_pruned = 0.0;
     double secs_new_parallel = 0.0;
     double evals_per_sec_old = 0.0;
     double evals_per_sec_new_single = 0.0;
-    double evals_per_sec_new_parallel = 0.0;
+    double evals_per_sec_new_pruned = 0.0;    ///< effective (see header)
+    double evals_per_sec_new_parallel = 0.0;  ///< effective
     double speedup_single = 0.0;    ///< new_single vs old
-    double speedup_parallel = 0.0;  ///< new_parallel vs old
+    double speedup_pruned = 0.0;    ///< new_pruned vs old (effective)
+    double speedup_pruned_vs_single = 0.0;  ///< new_pruned vs new_single
+    double speedup_parallel = 0.0;  ///< new_parallel vs old (effective)
     double cache_hit_rate = 0.0;    ///< of the single-threaded cached run
-    int n_threads = 1;              ///< used by the parallel run
-    bool same_best = false;         ///< all variants agreed on the best
+    double cache_hit_rate_pruned = 0.0;
+    double sched_seconds = 0.0;  ///< instrumented pass: memoized cost fetch
+    double dp_seconds = 0.0;     ///< instrumented pass: PACE DP
+    int n_threads = 1;           ///< used by the parallel run
+    bool same_best = false;      ///< all variants agreed on the best
+    bool pruned_matches_unpruned = false;  ///< explicit B&B cross-check
 };
 
-/// Build the scenario and run the three search variants.
+/// Build the scenario and run the search variants.
 Search_bench_result run_search_bench(const Search_bench_config& config = {});
 
 /// Serialize as the BENCH_search.json schema (stable keys, one object).
@@ -61,9 +84,9 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// The shared entry point of `lycos_cli --bench-json` and the
 /// bench_scaling tail: run the default-config bench, print the
 /// summary to `log`, write the JSON report to `path`.  Returns the
-/// process exit code (0 only if the report was written and all
-/// variants agreed on the best allocation); failures are reported on
-/// `err`, never thrown.
+/// process exit code (0 only if the report was written, all variants
+/// agreed on the best allocation, and the pruned search matched the
+/// unpruned one); failures are reported on `err`, never thrown.
 int write_bench_report(const std::string& path, std::ostream& log,
                        std::ostream& err);
 

@@ -156,6 +156,115 @@ TEST(Pace, negative_budget_throws)
                  std::invalid_argument);
 }
 
+TEST(Pace, non_finite_budget_and_bad_width_throw)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(lp::pace_partition({}, {.ctrl_area_budget = inf}),
+                 std::invalid_argument);
+    EXPECT_THROW(lp::pace_partition({}, {.ctrl_area_budget = 10.0,
+                                         .max_dp_width = 1}),
+                 std::invalid_argument);
+}
+
+TEST(Pace, workspace_reuse_is_bit_identical)
+{
+    // Alternate two differently-sized problems through one workspace;
+    // every call must match a fresh-buffer run exactly.
+    std::vector<lp::Bsb_cost> big;
+    lycos::util::Rng rng(11);
+    for (int i = 0; i < 12; ++i)
+        big.push_back(make_cost(rng.uniform_real(100, 4000),
+                                rng.uniform_real(50, 2000),
+                                rng.uniform_real(0, 100),
+                                i > 0 ? rng.uniform_real(0, 50) : 0,
+                                rng.uniform_int(1, 70)));
+    std::vector<lp::Bsb_cost> small = {
+        make_cost(1000, 100, 50, 0, 40),
+        make_cost(100, 60, 50, 100, 10),
+    };
+
+    lp::Pace_workspace ws;
+    for (int round = 0; round < 3; ++round) {
+        for (const auto* costs : {&big, &small}) {
+            const lp::Pace_options opts{.ctrl_area_budget = 150.0,
+                                        .area_quantum = 1.0};
+            const auto fresh = lp::pace_partition(*costs, opts);
+            const auto reused = lp::pace_partition(*costs, opts, &ws);
+            EXPECT_EQ(fresh.in_hw, reused.in_hw);
+            EXPECT_EQ(fresh.time_hybrid_ns, reused.time_hybrid_ns);
+            EXPECT_EQ(fresh.ctrl_area_used, reused.ctrl_area_used);
+        }
+    }
+}
+
+TEST(Pace, pathological_quantum_is_requantized_not_allocated)
+{
+    // budget/quantum of 10^13 would mean a ~terabyte DP table; the
+    // width cap re-quantizes instead and documents the quantum used.
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 0, 0, 40),
+        make_cost(3000, 100, 0, 0, 60),
+    };
+    const auto r = lp::pace_partition(
+        costs, {.ctrl_area_budget = 1e7, .area_quantum = 1e-6});
+    EXPECT_GT(r.area_quantum_used, 1e-6);
+    EXPECT_LE(r.ctrl_area_used, 1e7 + 1e-9);
+    EXPECT_TRUE(r.in_hw[0]);
+    EXPECT_TRUE(r.in_hw[1]);
+
+    // A small explicit cap re-quantizes too: width stays <= cap while
+    // the result still respects the budget.
+    const auto tight = lp::pace_partition(
+        costs, {.ctrl_area_budget = 100.0, .area_quantum = 1.0,
+                .max_dp_width = 16});
+    EXPECT_DOUBLE_EQ(tight.area_quantum_used, 100.0 / 15.0);
+    EXPECT_LE(tight.ctrl_area_used, 100.0 + 1e-9);
+}
+
+TEST(Pace, max_gain_bounds_every_partition)
+{
+    lycos::util::Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = rng.uniform_int(1, 10);
+        std::vector<lp::Bsb_cost> costs;
+        for (int i = 0; i < n; ++i)
+            costs.push_back(make_cost(rng.uniform_real(100, 5000),
+                                      rng.uniform_real(50, 3000),
+                                      rng.uniform_real(0, 200),
+                                      i > 0 ? rng.uniform_real(0, 100) : 0,
+                                      rng.uniform_int(1, 60)));
+        const double budget = rng.uniform_int(20, 300);
+        const auto dp = lp::pace_partition(
+            costs, {.ctrl_area_budget = budget, .area_quantum = 1.0});
+        const double saving = dp.time_all_sw_ns - dp.time_hybrid_ns;
+        EXPECT_LE(saving, lp::max_gain(costs) + 1e-9)
+            << "max_gain not admissible for trial " << trial;
+    }
+}
+
+TEST(Pace, best_saving_matches_full_partition)
+{
+    lycos::util::Rng rng(9);
+    lp::Pace_workspace ws;
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = rng.uniform_int(1, 12);
+        std::vector<lp::Bsb_cost> costs;
+        for (int i = 0; i < n; ++i)
+            costs.push_back(make_cost(rng.uniform_real(100, 5000),
+                                      rng.uniform_real(50, 3000),
+                                      rng.uniform_real(0, 200),
+                                      i > 0 ? rng.uniform_real(0, 100) : 0,
+                                      rng.uniform_int(1, 60)));
+        const lp::Pace_options opts{
+            .ctrl_area_budget = static_cast<double>(rng.uniform_int(20, 300)),
+            .area_quantum = 1.0};
+        const auto full = lp::pace_partition(costs, opts);
+        const double value = lp::pace_best_saving(costs, opts, &ws);
+        EXPECT_NEAR(value, full.time_all_sw_ns - full.time_hybrid_ns, 1e-6)
+            << "screening DP disagrees with the full DP, trial " << trial;
+    }
+}
+
 // The key property: the DP matches exhaustive enumeration.
 class PaceVsBrute : public ::testing::TestWithParam<int> {};
 

@@ -7,6 +7,7 @@
 #include "apps/random_app.hpp"
 #include "core/allocator.hpp"
 #include "hw/target.hpp"
+#include "search/eval_cache.hpp"
 #include "search/exhaustive.hpp"
 #include "search/hill_climb.hpp"
 #include "util/rng.hpp"
@@ -220,21 +221,35 @@ TEST(Exhaustive, parallel_and_cached_match_sequential_uncached)
     bounds.set(1, 3);
 
     const auto reference = lse::exhaustive_search(
-        ctx, bounds, {.n_threads = 1, .use_cache = false});
+        ctx, bounds,
+        {.n_threads = 1, .use_cache = false, .use_pruning = false});
     for (int n_threads : {1, 2, 3, 7}) {
         for (bool use_cache : {false, true}) {
-            const auto r = lse::exhaustive_search(
-                ctx, bounds,
-                {.n_threads = n_threads, .use_cache = use_cache});
-            EXPECT_EQ(r.best.datapath, reference.best.datapath);
-            EXPECT_EQ(r.best.partition.time_hybrid_ns,
-                      reference.best.partition.time_hybrid_ns);
-            EXPECT_EQ(r.best.datapath_area, reference.best.datapath_area);
-            EXPECT_EQ(r.n_evaluated, reference.n_evaluated);
-            if (use_cache)
-                EXPECT_EQ(r.cache_stats.hits + r.cache_stats.misses,
-                          r.n_evaluated *
-                              static_cast<long long>(bsbs.size()));
+            for (bool use_pruning : {false, true}) {
+                const auto r = lse::exhaustive_search(
+                    ctx, bounds,
+                    {.n_threads = n_threads, .use_cache = use_cache,
+                     .use_pruning = use_pruning});
+                EXPECT_EQ(r.best.datapath, reference.best.datapath);
+                EXPECT_EQ(r.best.partition.time_hybrid_ns,
+                          reference.best.partition.time_hybrid_ns);
+                EXPECT_EQ(r.best.datapath_area, reference.best.datapath_area);
+                if (use_pruning) {
+                    // Branch-and-bound may skip a chunking-dependent
+                    // number of points, but every point must be either
+                    // scored or provably pruned.
+                    EXPECT_EQ(r.n_evaluated + r.n_pruned, r.space_size);
+                    EXPECT_LE(r.n_evaluated, reference.n_evaluated);
+                }
+                else {
+                    EXPECT_EQ(r.n_evaluated, reference.n_evaluated);
+                    EXPECT_EQ(r.n_pruned, 0);
+                }
+                if (use_cache && !use_pruning)
+                    EXPECT_EQ(r.cache_stats.hits + r.cache_stats.misses,
+                              r.n_evaluated *
+                                  static_cast<long long>(bsbs.size()));
+            }
         }
     }
 }
@@ -279,6 +294,178 @@ TEST(HillClimb, never_beats_exhaustive_and_is_deterministic)
 
     // On this tiny space the climber should actually find the optimum.
     EXPECT_NEAR(hc1.best.speedup_pct(), exhaustive.best.speedup_pct(), 1e-6);
+}
+
+// The branch-and-bound contract on randomized spaces: the pruned
+// search, the unpruned search, and the naive-scheduler evaluation all
+// return the identical best (time, area, datapath) tuple.
+TEST(Exhaustive, pruned_unpruned_and_naive_agree_on_random_spaces)
+{
+    lycos::util::Rng rng(2026);
+    const auto lib = lycos::hw::make_default_library();
+    for (int trial = 0; trial < 6; ++trial) {
+        lycos::apps::Random_app_params params;
+        params.n_bsbs = rng.uniform_int(2, 5);
+        params.min_ops = 4;
+        params.max_ops = 16;
+        const auto bsbs = lycos::apps::random_bsbs(rng, params);
+        const double area = 500.0 * rng.uniform_int(2, 12);
+        const auto target = lycos::hw::make_default_target(area);
+
+        lc::Rmap bounds;
+        const int n_dims = rng.uniform_int(2, 4);
+        for (int d = 0; d < n_dims; ++d)
+            bounds.set(rng.uniform_int(0, static_cast<int>(lib.size()) - 1),
+                       rng.uniform_int(1, 2));
+
+        const lse::Eval_context ctx{
+            bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
+            area / 64.0};
+        lse::Eval_context naive_ctx = ctx;
+        naive_ctx.scheduler = lycos::sched::Scheduler_kind::naive;
+
+        const auto naive = lse::exhaustive_search(
+            naive_ctx, bounds,
+            {.n_threads = 1, .use_cache = false, .use_pruning = false});
+        const auto unpruned = lse::exhaustive_search(
+            ctx, bounds,
+            {.n_threads = 1, .use_cache = true, .use_pruning = false});
+        for (int n_threads : {1, 2, 5}) {
+            const auto pruned = lse::exhaustive_search(
+                ctx, bounds,
+                {.n_threads = n_threads, .use_cache = true,
+                 .use_pruning = true});
+            EXPECT_EQ(pruned.best.datapath, naive.best.datapath)
+                << "trial " << trial << ", " << n_threads << " threads";
+            EXPECT_EQ(pruned.best.partition.time_hybrid_ns,
+                      naive.best.partition.time_hybrid_ns);
+            EXPECT_EQ(pruned.best.datapath_area, naive.best.datapath_area);
+            EXPECT_EQ(pruned.n_evaluated + pruned.n_pruned,
+                      pruned.space_size);
+        }
+        EXPECT_EQ(unpruned.best.datapath, naive.best.datapath);
+        EXPECT_EQ(unpruned.best.partition.time_hybrid_ns,
+                  naive.best.partition.time_hybrid_ns);
+    }
+}
+
+// Regression: the gain bound's hardware-time floor must use each op
+// kind's MINIMUM latency over all executors.  With a library whose
+// cheapest-by-area unit is the slow one (a fast-but-large variant
+// exists), a floor built from the area-cheapest latency would
+// overestimate hardware time and prune the true optimum.
+TEST(Exhaustive, pruning_safe_with_fast_but_large_variants)
+{
+    lh::Hw_library lib;
+    lib.add({"mul_slow", {Op_kind::mul}, 120.0, 4});  // area-cheapest
+    lib.add({"mul_fast", {Op_kind::mul}, 700.0, 1});  // latency-cheapest
+    lib.add({"adder", {Op_kind::add}, 100.0, 1});
+
+    lycos::util::Rng rng(41);
+    for (int trial = 0; trial < 4; ++trial) {
+        lycos::apps::Random_app_params params;
+        params.n_bsbs = rng.uniform_int(2, 4);
+        params.min_ops = 6;
+        params.max_ops = 24;
+        params.kinds = {Op_kind::mul, Op_kind::add};
+        const auto bsbs = lycos::apps::random_bsbs(rng, params);
+        const auto target =
+            lh::make_default_target(500.0 * rng.uniform_int(3, 10));
+
+        lc::Rmap bounds;
+        bounds.set(0, 2);  // mul_slow
+        bounds.set(1, 2);  // mul_fast
+        bounds.set(2, 2);  // adder
+
+        const lse::Eval_context ctx{
+            bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
+            target.asic.total_area / 64.0};
+        const auto unpruned = lse::exhaustive_search(
+            ctx, bounds,
+            {.n_threads = 1, .use_cache = true, .use_pruning = false});
+        const auto pruned = lse::exhaustive_search(
+            ctx, bounds,
+            {.n_threads = 1, .use_cache = true, .use_pruning = true});
+        EXPECT_EQ(pruned.best.datapath, unpruned.best.datapath)
+            << "trial " << trial;
+        EXPECT_EQ(pruned.best.partition.time_hybrid_ns,
+                  unpruned.best.partition.time_hybrid_ns);
+        EXPECT_EQ(pruned.best.datapath_area, unpruned.best.datapath_area);
+    }
+}
+
+TEST(Exhaustive, shared_cache_serves_search_and_rescore)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    // Coarse-quantum context for the search...
+    const lse::Eval_context coarse{
+        bsbs, lib, target, lycos::pace::Controller_mode::optimistic_eca,
+        target.asic.total_area / 16.0};
+    // ...fine-quantum context for the re-score (only the quantum may
+    // differ for a shared cache).
+    lse::Eval_context fine = coarse;
+    fine.area_quantum = 1.0;
+
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 3);
+
+    lse::Eval_cache cache(coarse);
+    const auto r = lse::exhaustive_search(coarse, bounds,
+                                          {.n_threads = 1,
+                                           .shared_cache = &cache});
+    EXPECT_GT(r.cache_stats.hits + r.cache_stats.misses, 0);
+
+    // The fine re-score hits the warm cache: no new schedules at all.
+    const auto before = cache.stats();
+    const auto rescored =
+        lse::evaluate_allocation(fine, r.best.datapath, &cache);
+    EXPECT_EQ(cache.stats().misses, before.misses);
+    // And cached == uncached at the fine quantum, bit for bit.
+    const auto uncached = lse::evaluate_allocation(fine, r.best.datapath);
+    EXPECT_EQ(rescored.partition.time_hybrid_ns,
+              uncached.partition.time_hybrid_ns);
+    EXPECT_EQ(rescored.datapath_area, uncached.datapath_area);
+}
+
+TEST(HillClimb, parallel_matches_sequential_for_any_thread_count)
+{
+    const auto lib = lh::make_default_library();
+    lycos::util::Rng app_rng(77);
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = 4;
+    params.min_ops = 6;
+    params.max_ops = 20;
+    const auto bsbs = lycos::apps::random_bsbs(app_rng, params);
+    const auto target = lh::make_default_target(4000.0);
+    const lse::Eval_context ctx{
+        bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
+        target.asic.total_area / 64.0};
+
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 2);
+    bounds.set(2, 1);
+
+    lycos::util::Rng rng_seq(5);
+    const auto sequential = lse::hill_climb_search(
+        ctx, bounds, {.n_restarts = 8, .n_threads = 1}, rng_seq);
+
+    for (int n_threads : {2, 8}) {
+        lycos::util::Rng rng_par(5);
+        const auto parallel = lse::hill_climb_search(
+            ctx, bounds, {.n_restarts = 8, .n_threads = n_threads},
+            rng_par);
+        EXPECT_EQ(parallel.best.datapath, sequential.best.datapath)
+            << n_threads << " threads";
+        EXPECT_EQ(parallel.best.partition.time_hybrid_ns,
+                  sequential.best.partition.time_hybrid_ns);
+        EXPECT_EQ(parallel.best.datapath_area,
+                  sequential.best.datapath_area);
+        EXPECT_EQ(parallel.n_evaluated, sequential.n_evaluated);
+    }
 }
 
 TEST(Evaluate, oversized_datapath_reports_all_software)

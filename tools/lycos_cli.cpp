@@ -280,18 +280,30 @@ int main(int argc, char** argv)
         if (args.value("search") == "auto") {
             search::Eval_context sctx = ctx;
             sctx.area_quantum = area / 512.0;
+            // One cache serves the coarse search and the fine re-score
+            // below: BSB schedules don't depend on the PACE quantum.
+            search::Eval_cache cache(sctx);
             const search::Alloc_space space(lib, restrictions);
             search::Search_result best;
             if (space.size() <= 30000) {
-                best = search::exhaustive_search(sctx, restrictions);
-                std::cout << "\nbest (exhaustive over "
+                best = search::exhaustive_search(sctx, restrictions,
+                                                 {.shared_cache = &cache});
+                std::cout << "\nbest (exhaustive, "
                           << util::with_commas(best.n_evaluated)
-                          << " allocations): ";
+                          << " scored + "
+                          << util::with_commas(best.n_pruned)
+                          << " pruned of "
+                          << util::with_commas(best.space_size)
+                          << " allocations, cache hit rate "
+                          << util::percent(best.cache_stats.hit_rate())
+                          << "): ";
             }
             else {
                 util::Rng rng(0xD47E1998);
                 best = search::hill_climb_search(
-                    sctx, restrictions, {.n_restarts = 12, .max_steps = 128},
+                    sctx, restrictions,
+                    {.n_restarts = 12, .max_steps = 128,
+                     .shared_cache = &cache},
                     rng);
                 std::cout << "\nbest (hill climbing, "
                           << util::with_commas(best.n_evaluated) << " of "
@@ -299,7 +311,7 @@ int main(int argc, char** argv)
                           << " allocations): ";
             }
             const auto best_ev =
-                search::evaluate_allocation(ctx, best.best.datapath);
+                search::evaluate_allocation(ctx, best.best.datapath, &cache);
             std::cout << util::speedup_percent(best_ev.speedup_pct())
                       << " with " << best_ev.datapath.to_string(lib) << "\n";
         }
