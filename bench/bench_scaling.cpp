@@ -22,6 +22,7 @@
 #include "hw/target.hpp"
 #include "pace/brute_force.hpp"
 #include "pace/cost_model.hpp"
+#include "pace/multi_asic.hpp"
 #include "pace/pace.hpp"
 #include "search/eval_cache.hpp"
 #include "search/search_bench.hpp"
@@ -142,6 +143,95 @@ void bm_pace_best_saving(benchmark::State& state)
     }
 }
 BENCHMARK(bm_pace_best_saving)->RangeMultiplier(2)->Range(4, 64);
+
+// Incremental DP: neighbouring cost vectors through one checkpointing
+// workspace.  Mutating the LAST BSB's cost resumes the sweep at the
+// final row (the search-tree locality case); mutating the FIRST BSB
+// forces a full restart and so measures the checkpointing overhead
+// alone (rows are written straight into the checkpoint arena, so it
+// should track bm_pace_best_saving).
+void bm_pace_incremental(benchmark::State& state, std::size_t mutate_at)
+{
+    auto costs = random_costs(static_cast<int>(state.range(0)));
+    mutate_at = std::min(mutate_at, costs.size() - 1);
+    pace::Pace_workspace ws;
+    const pace::Pace_options opts{.ctrl_area_budget = 300.0,
+                                  .area_quantum = 1.0};
+    // Alternate between two distinct values so every iteration
+    // actually diverges at `mutate_at` (a repeated value would match
+    // the checkpoint and measure a full resume instead).
+    const double base = costs[mutate_at].t_sw;
+    double bump = 1.0;
+    for (auto _ : state) {
+        bump = bump == 1.0 ? 2.0 : 1.0;
+        costs[mutate_at].t_sw = base + bump;
+        auto s = pace::pace_best_saving(costs, opts, &ws);
+        benchmark::DoNotOptimize(s);
+    }
+}
+void bm_pace_incremental_resume(benchmark::State& state)
+{
+    bm_pace_incremental(state, 1u << 20);  // clamped to the last BSB
+}
+void bm_pace_incremental_cold(benchmark::State& state)
+{
+    bm_pace_incremental(state, 0);
+}
+BENCHMARK(bm_pace_incremental_resume)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(bm_pace_incremental_cold)->RangeMultiplier(2)->Range(4, 64);
+
+// --- two-ASIC DP: dense reference vs frontier/workspace -------------
+std::vector<pace::Multi_bsb_cost> random_multi_costs(int n)
+{
+    const auto c0 = random_costs(n);
+    util::Rng rng(13);
+    std::vector<pace::Multi_bsb_cost> costs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto& m = costs[static_cast<std::size_t>(i)];
+        m.t_sw = c0[static_cast<std::size_t>(i)].t_sw;
+        m.hw[0] = c0[static_cast<std::size_t>(i)];
+        m.hw[1] = c0[static_cast<std::size_t>(i)];
+        m.hw[1].t_hw = rng.uniform_real(50.0, 2000.0);
+        m.hw[1].ctrl_area = rng.uniform_int(1, 60);
+    }
+    return costs;
+}
+
+void bm_multi_pace_dense(benchmark::State& state)
+{
+    const auto costs = random_multi_costs(static_cast<int>(state.range(0)));
+    const pace::Multi_pace_options opts{.ctrl_area_budgets = {300.0, 300.0},
+                                        .area_quantum = 1.0};
+    for (auto _ : state) {
+        auto r = pace::multi_pace_partition_reference(costs, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+void bm_multi_pace_frontier(benchmark::State& state)
+{
+    const auto costs = random_multi_costs(static_cast<int>(state.range(0)));
+    const pace::Multi_pace_options opts{.ctrl_area_budgets = {300.0, 300.0},
+                                        .area_quantum = 1.0};
+    pace::Multi_pace_workspace ws;
+    for (auto _ : state) {
+        auto r = pace::multi_pace_partition(costs, opts, &ws);
+        benchmark::DoNotOptimize(r);
+    }
+}
+void bm_multi_pace_screen(benchmark::State& state)
+{
+    const auto costs = random_multi_costs(static_cast<int>(state.range(0)));
+    const pace::Multi_pace_options opts{.ctrl_area_budgets = {300.0, 300.0},
+                                        .area_quantum = 1.0};
+    pace::Multi_pace_workspace ws;
+    for (auto _ : state) {
+        auto s = pace::multi_pace_best_saving(costs, opts, &ws);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(bm_multi_pace_dense)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(bm_multi_pace_frontier)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(bm_multi_pace_screen)->RangeMultiplier(2)->Range(4, 32);
 
 void bm_pace_brute_force(benchmark::State& state)
 {

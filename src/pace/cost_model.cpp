@@ -10,28 +10,56 @@
 
 namespace lycos::pace {
 
+Bsb_cost bsb_cost_invariants(std::span<const bsb::Bsb> bsbs,
+                             std::size_t index, const hw::Target& target)
+{
+    const auto& b = bsbs[index];
+    Bsb_cost c;
+    c.t_sw = estimate::total_sw_time_ns(b, target.cpu);
+    c.comm = estimate::comm_time_ns(b, target.bus) * b.profile;
+    if (index > 0)
+        c.save_prev =
+            estimate::adjacency_saving_ns(bsbs[index - 1], b, target.bus);
+    return c;
+}
+
 Bsb_cost bsb_cost_one(std::span<const bsb::Bsb> bsbs, std::size_t index,
                       const hw::Hw_library& lib, const hw::Target& target,
                       std::span<const int> counts,
                       const sched::Latency_table& lat, Controller_mode mode,
                       const estimate::Storage_model* storage,
                       sched::Scheduler_kind scheduler,
-                      const sched::Schedule_info* frames)
+                      const sched::Schedule_info* frames,
+                      const Bsb_cost* invariants,
+                      sched::Schedule_workspace* sched_ws)
 {
     constexpr double inf = std::numeric_limits<double>::infinity();
     const auto& b = bsbs[index];
-    Bsb_cost c;
-    c.t_sw = estimate::total_sw_time_ns(b, target.cpu);
+    Bsb_cost c = invariants != nullptr
+                     ? *invariants
+                     : bsb_cost_invariants(bsbs, index, target);
 
     const bool use_frames =
         frames != nullptr &&
         scheduler == sched::Scheduler_kind::event_driven && !b.graph.empty();
-    const auto sched =
-        use_frames ? sched::list_schedule(b.graph, lib, counts, *frames)
-                   : sched::list_schedule(b.graph, lib, counts, scheduler);
+    // The workspace overload returns a reference into sched_ws; keep a
+    // value only on the allocating paths.
+    sched::List_schedule sched_local;
+    const sched::List_schedule* sched_p;
+    if (use_frames && sched_ws != nullptr) {
+        sched_p = &sched::list_schedule(b.graph, lib, counts, *frames,
+                                        *sched_ws);
+    }
+    else {
+        sched_local =
+            use_frames
+                ? sched::list_schedule(b.graph, lib, counts, *frames)
+                : sched::list_schedule(b.graph, lib, counts, scheduler);
+        sched_p = &sched_local;
+    }
+    const sched::List_schedule& sched = *sched_p;
     if (sched.feasible && !b.graph.empty()) {
         c.t_hw = sched.length * target.asic.cycle_ns() * b.profile;
-        c.comm = estimate::comm_time_ns(b, target.bus) * b.profile;
         const int n_states =
             mode == Controller_mode::optimistic_eca
                 ? std::max(1, use_frames ? frames->length
@@ -44,13 +72,12 @@ Bsb_cost bsb_cost_one(std::span<const bsb::Bsb> bsbs, std::size_t index,
             c.ctrl_area +=
                 estimate::storage_area(b.graph, lib, sched, *storage) +
                 estimate::interconnect_area(b.graph, lib, sched, *storage);
-        if (index > 0)
-            c.save_prev =
-                estimate::adjacency_saving_ns(bsbs[index - 1], b, target.bus);
     }
     else {
         c.t_hw = inf;
         c.ctrl_area = inf;
+        c.comm = 0.0;
+        c.save_prev = 0.0;
     }
     return c;
 }

@@ -61,7 +61,20 @@ Bsb_cost bsb_cost_one(std::span<const bsb::Bsb> bsbs, std::size_t index,
                       const estimate::Storage_model* storage = nullptr,
                       sched::Scheduler_kind scheduler =
                           sched::Scheduler_kind::event_driven,
-                      const sched::Schedule_info* frames = nullptr);
+                      const sched::Schedule_info* frames = nullptr,
+                      const Bsb_cost* invariants = nullptr,
+                      sched::Schedule_workspace* sched_ws = nullptr);
+
+/// The allocation-independent fields of bsb_cost_one: t_sw, comm and
+/// save_prev (t_hw/ctrl_area stay 0 — they need the schedule).  The
+/// Eval_cache hoists these per BSB and hands them back through
+/// bsb_cost_one's `invariants` parameter, so a cache miss pays only
+/// for the list schedule and the controller area instead of re-walking
+/// the graph's software costs and the live-set string intersection of
+/// the adjacency saving.  bsb_cost_one uses the same expressions, so
+/// hoisted and non-hoisted costs are bit-identical.
+Bsb_cost bsb_cost_invariants(std::span<const bsb::Bsb> bsbs,
+                             std::size_t index, const hw::Target& target);
 
 /// Build the cost vector for `bsbs` under data-path `alloc`.  When
 /// `storage` is non-null, each hardware BSB is additionally charged

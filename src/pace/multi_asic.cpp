@@ -17,7 +17,319 @@ double hw_gain(double t_sw, const Bsb_cost& c)
     return t_sw - c.t_hw - c.comm;
 }
 
+/// Shared quantization of the two-ASIC DP (the frontier DP, the
+/// screening pass and the dense reference must agree exactly).
+struct Multi_setup {
+    double quantum = 0.0;
+    std::array<long long, 2> cap{0, 0};  ///< last level within each budget
+    std::size_t w0 = 0, w1 = 0;          ///< cap + 1 per axis
+};
+
+Multi_setup prepare_multi(std::span<const Multi_bsb_cost> costs,
+                          const Multi_pace_options& options,
+                          std::vector<std::array<int, 2>>& qarea,
+                          std::vector<std::array<std::uint8_t, 2>>& possible)
+{
+    for (double b : options.ctrl_area_budgets) {
+        if (b < 0.0)
+            throw std::invalid_argument(
+                "multi_pace_partition: negative budget");
+        if (!std::isfinite(b))
+            throw std::invalid_argument(
+                "multi_pace_partition: non-finite budget");
+    }
+    if (options.max_dp_cells < 4)
+        throw std::invalid_argument("multi_pace_partition: max_dp_cells < 4");
+    if (!std::isfinite(options.area_quantum) || options.area_quantum < 0.0)
+        throw std::invalid_argument("multi_pace_partition: bad quantum");
+
+    const double b0 = options.ctrl_area_budgets[0];
+    const double b1 = options.ctrl_area_budgets[1];
+    const double max_budget = std::max(b0, b1);
+
+    Multi_setup s;
+    // Auto quantum unified with the single-ASIC default (budget/4096,
+    // at least one gate), then re-quantized while the (a0, a1) grid
+    // would exceed max_dp_cells — a pathological budget/quantum ratio
+    // must not silently allocate an enormous table.
+    s.quantum = options.area_quantum > 0.0
+                    ? options.area_quantum
+                    : std::max(1.0, max_budget / 4096.0);
+    const double cells_cap = static_cast<double>(options.max_dp_cells);
+    for (;;) {
+        const double w0d = std::floor(b0 / s.quantum) + 1.0;
+        const double w1d = std::floor(b1 / s.quantum) + 1.0;
+        const double cells = w0d * w1d;
+        if (cells <= cells_cap)
+            break;
+        // sqrt(overshoot) scales both axes toward the cap; the floor
+        // can stall a tiny overshoot, so always grow by a minimum
+        // factor (deterministic, converges in a handful of rounds).
+        s.quantum *= std::max(std::sqrt(cells / cells_cap), 1.0 + 1e-3);
+    }
+    s.cap = {static_cast<long long>(std::floor(b0 / s.quantum)),
+             static_cast<long long>(std::floor(b1 / s.quantum))};
+    s.w0 = static_cast<std::size_t>(s.cap[0]) + 1;
+    s.w1 = static_cast<std::size_t>(s.cap[1]) + 1;
+
+    // Quantized controller areas per BSB per ASIC (rounded up, so the
+    // DP never packs more real area than a budget).
+    const std::size_t n = costs.size();
+    qarea.assign(n, {0, 0});
+    possible.assign(n, {0, 0});
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t a = 0; a < 2; ++a) {
+            const auto& c = costs[i].hw[a];
+            if (std::isinf(c.ctrl_area) || std::isinf(c.t_hw))
+                continue;
+            qarea[i][a] =
+                static_cast<int>(std::ceil(c.ctrl_area / s.quantum));
+            possible[i][a] = qarea[i][a] <= s.cap[a] ? 1 : 0;
+        }
+    }
+    return s;
+}
+
+/// Best final DP state, for the traceback walk.
+struct Best_state {
+    std::size_t a0 = 0, a1 = 0, p = 0;
+};
+
+struct Dp_stats {
+    long long cells_swept = 0;
+};
+
 }  // namespace
+
+/// Friend of Multi_pace_workspace: the frontier sweep both public
+/// entry points share, templated on traceback maintenance exactly
+/// like the single-ASIC Pace_dp.
+///
+/// value[(a0*w1+a1)*3+p]: best saving vs. all-software over the BSBs
+/// processed so far using quantized area (a0, a1) on the two ASICs,
+/// with the previous BSB placed p (0 = SW, 1 = asic0, 2 = asic1).
+/// Only the reachable rectangle [0,hi0]x[0,hi1] is initialized and
+/// swept — row i can reach at most the previous frontier plus BSB i's
+/// quantized areas — which is what replaces the dense w0*w1 scan.
+/// With traceback, each row's cells live in a nibble-packed arena
+/// sized to that row's frontier (4-bit decision*3+parent codes, two
+/// cells per byte): stale nibbles from earlier calls are never read
+/// because every finite-value state's cell was written by the
+/// improving write that made it finite.
+struct Multi_dp {
+    template <bool With_trace>
+    static double sweep(std::span<const Multi_bsb_cost> costs,
+                        const Multi_setup& s, Multi_pace_workspace& ws,
+                        Dp_stats& stats, Best_state* best_state);
+};
+
+template <bool With_trace>
+double Multi_dp::sweep(std::span<const Multi_bsb_cost> costs,
+                       const Multi_setup& s, Multi_pace_workspace& ws,
+                       Dp_stats& stats, Best_state* best_state)
+{
+    const std::size_t n = costs.size();
+    const std::size_t w0 = s.w0, w1 = s.w1;
+    const auto& qarea = ws.qarea_;
+    const auto& possible = ws.possible_;
+    auto idx = [&](std::size_t a0, std::size_t a1, std::size_t p) {
+        return (a0 * w1 + a1) * 3 + p;
+    };
+
+    auto& value = ws.value_;
+    auto& next = ws.next_;
+    if (value.size() < w0 * w1 * 3)
+        value.resize(w0 * w1 * 3);
+    if (next.size() < w0 * w1 * 3)
+        next.resize(w0 * w1 * 3);
+
+    // Frontier extents after each row (rectangular hull of the
+    // reachable set) — they depend only on the quantized areas, so
+    // the traceback arena layout is computable up front.
+    if constexpr (With_trace) {
+        ws.row_hi0_.assign(n, 0);
+        ws.row_hi1_.assign(n, 0);
+        ws.row_off_.assign(n + 1, 0);
+        std::size_t off = 0;
+        long long h0 = 0, h1 = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (possible[i][0] != 0)
+                h0 = std::min(h0 + qarea[i][0], s.cap[0]);
+            if (possible[i][1] != 0)
+                h1 = std::min(h1 + qarea[i][1], s.cap[1]);
+            ws.row_hi0_[i] = static_cast<int>(h0);
+            ws.row_hi1_[i] = static_cast<int>(h1);
+            ws.row_off_[i] = off;
+            const std::size_t cells = (static_cast<std::size_t>(h0) + 1) *
+                                      (static_cast<std::size_t>(h1) + 1) * 3;
+            off += (cells + 1) / 2;
+        }
+        ws.row_off_[n] = off;
+        if (ws.trace_.size() < off)
+            ws.trace_.resize(off);
+    }
+
+    // 4-bit cell = decision * 3 + parent; two cells per byte.
+    auto put_cell = [&](std::size_t row, std::size_t stride1,
+                        std::size_t a0, std::size_t a1, std::size_t p,
+                        std::uint8_t code) {
+        const std::size_t cell = (a0 * stride1 + a1) * 3 + p;
+        std::uint8_t& b = ws.trace_[ws.row_off_[row] + (cell >> 1)];
+        b = (cell & 1) != 0
+                ? static_cast<std::uint8_t>((b & 0x0F) | (code << 4))
+                : static_cast<std::uint8_t>((b & 0xF0) | code);
+    };
+
+    value[idx(0, 0, 0)] = 0.0;
+    value[idx(0, 0, 1)] = -k_inf;
+    value[idx(0, 0, 2)] = -k_inf;
+    std::size_t hi0 = 0, hi1 = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::array<std::size_t, 2> qa = {
+            static_cast<std::size_t>(qarea[i][0]),
+            static_cast<std::size_t>(qarea[i][1])};
+        const std::size_t nhi0 =
+            possible[i][0] != 0
+                ? std::min(hi0 + qa[0], static_cast<std::size_t>(s.cap[0]))
+                : hi0;
+        const std::size_t nhi1 =
+            possible[i][1] != 0
+                ? std::min(hi1 + qa[1], static_cast<std::size_t>(s.cap[1]))
+                : hi1;
+        const std::size_t stride1 = nhi1 + 1;  // traceback row stride
+
+        stats.cells_swept +=
+            static_cast<long long>((hi0 + 1) * (hi1 + 1) * 3);
+
+        // Fused row pass: every next-cell has exactly one source cell
+        // — (a0,a1,SW) from (a0,a1,*), (a0,a1,asic0) from
+        // (a0-qa0,a1,*), (a0,a1,asic1) from (a0,a1-qa1,*) — so the
+        // whole new frontier is written in a single sweep of pure
+        // stores (no -inf pre-fill, no read-modify-write of value
+        // cells).  The per-lane max takes the first maximum over
+        // p = 0,1,2, which reproduces the dense reference's
+        // improving-write order bit for bit, including the traceback
+        // parent; trace nibbles are only written for reachable
+        // (finite) states, exactly the cells the reference writes.
+        const std::array<double, 2> gain = {
+            possible[i][0] != 0 ? hw_gain(costs[i].t_sw, costs[i].hw[0])
+                                : 0.0,
+            possible[i][1] != 0 ? hw_gain(costs[i].t_sw, costs[i].hw[1])
+                                : 0.0};
+        const std::array<double, 2> gain_save = {
+            i > 0 ? gain[0] + costs[i].hw[0].save_prev : gain[0],
+            i > 0 ? gain[1] + costs[i].hw[1].save_prev : gain[1]};
+        // Source candidates per lane, indexed by the previous side p:
+        // the adjacency saving applies only when p matches the lane's
+        // ASIC.
+        const double g1[3] = {gain[0], gain_save[0], gain[0]};
+        const double g2[3] = {gain[1], gain[1], gain_save[1]};
+
+        auto max3 = [](const double* v, const double* add,
+                       double& out) -> std::size_t {
+            const double c0 = v[0] + add[0];
+            const double c1 = v[1] + add[1];
+            const double c2 = v[2] + add[2];
+            std::size_t p = 0;
+            double m = c0;
+            if (c1 > m) {
+                m = c1;
+                p = 1;
+            }
+            if (c2 > m) {
+                m = c2;
+                p = 2;
+            }
+            out = m;
+            return p;
+        };
+        auto max3v = [](const double* v, double& out) -> std::size_t {
+            std::size_t p = 0;
+            double m = v[0];
+            if (v[1] > m) {
+                m = v[1];
+                p = 1;
+            }
+            if (v[2] > m) {
+                m = v[2];
+                p = 2;
+            }
+            out = m;
+            return p;
+        };
+
+        for (std::size_t a0 = 0; a0 <= nhi0; ++a0) {
+            const bool row_in = a0 <= hi0;
+            const double* src0 =
+                row_in ? &value[idx(a0, 0, 0)] : nullptr;
+            const double* src1 =
+                possible[i][0] != 0 && a0 >= qa[0]
+                    ? &value[idx(a0 - qa[0], 0, 0)]
+                    : nullptr;
+            double* dst = &next[idx(a0, 0, 0)];
+            for (std::size_t a1 = 0; a1 <= nhi1; ++a1) {
+                const bool col_in = a1 <= hi1;
+                double m;
+                // Lane 0: BSB i in software.
+                if (row_in && col_in) {
+                    const std::size_t p = max3v(src0 + a1 * 3, m);
+                    dst[a1 * 3] = m;
+                    if constexpr (With_trace) {
+                        if (m != -k_inf)
+                            put_cell(i, stride1, a0, a1, 0,
+                                     static_cast<std::uint8_t>(p));
+                    }
+                }
+                else {
+                    dst[a1 * 3] = -k_inf;
+                }
+                // Lane 1: BSB i on ASIC 0.
+                if (src1 != nullptr && col_in) {
+                    const std::size_t p = max3(src1 + a1 * 3, g1, m);
+                    dst[a1 * 3 + 1] = m;
+                    if constexpr (With_trace) {
+                        if (m != -k_inf)
+                            put_cell(i, stride1, a0, a1, 1,
+                                     static_cast<std::uint8_t>(3 + p));
+                    }
+                }
+                else {
+                    dst[a1 * 3 + 1] = -k_inf;
+                }
+                // Lane 2: BSB i on ASIC 1.
+                if (row_in && possible[i][1] != 0 && a1 >= qa[1] &&
+                    a1 - qa[1] <= hi1) {
+                    const std::size_t p =
+                        max3(src0 + (a1 - qa[1]) * 3, g2, m);
+                    dst[a1 * 3 + 2] = m;
+                    if constexpr (With_trace) {
+                        if (m != -k_inf)
+                            put_cell(i, stride1, a0, a1, 2,
+                                     static_cast<std::uint8_t>(6 + p));
+                    }
+                }
+                else {
+                    dst[a1 * 3 + 2] = -k_inf;
+                }
+            }
+        }
+        value.swap(next);
+        hi0 = nhi0;
+        hi1 = nhi1;
+    }
+
+    double best = -k_inf;
+    for (std::size_t a0 = 0; a0 <= hi0; ++a0)
+        for (std::size_t a1 = 0; a1 <= hi1; ++a1)
+            for (std::size_t p = 0; p < 3; ++p)
+                if (value[idx(a0, a1, p)] > best) {
+                    best = value[idx(a0, a1, p)];
+                    if (best_state != nullptr)
+                        *best_state = {a0, a1, p};
+                }
+    return best;
+}
 
 std::vector<Multi_bsb_cost> build_multi_cost_model(
     std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
@@ -68,46 +380,93 @@ Multi_pace_result evaluate_multi_partition(
     return r;
 }
 
-Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
-                                       const Multi_pace_options& options)
+double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
+                              const Multi_pace_options& options,
+                              Multi_pace_workspace* workspace)
 {
-    for (double b : options.ctrl_area_budgets)
-        if (b < 0.0)
-            throw std::invalid_argument("multi_pace_partition: negative budget");
+    Multi_pace_workspace local;
+    Multi_pace_workspace& ws = workspace != nullptr ? *workspace : local;
+    const Multi_setup s =
+        prepare_multi(costs, options, ws.qarea_, ws.possible_);
+    if (costs.empty())
+        return 0.0;
+    Dp_stats stats;
+    return Multi_dp::sweep<false>(costs, s, ws, stats, nullptr);
+}
+
+Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
+                                       const Multi_pace_options& options,
+                                       Multi_pace_workspace* workspace)
+{
+    Multi_pace_workspace local;
+    Multi_pace_workspace& ws = workspace != nullptr ? *workspace : local;
+    const Multi_setup s =
+        prepare_multi(costs, options, ws.qarea_, ws.possible_);
     const std::size_t n = costs.size();
     if (n == 0)
         return Multi_pace_result{};
 
-    const double max_budget = std::max(options.ctrl_area_budgets[0],
-                                       options.ctrl_area_budgets[1]);
-    const double quantum = options.area_quantum > 0.0
-                               ? options.area_quantum
-                               : std::max(1.0, max_budget / 256.0);
-    const std::array<int, 2> cap = {
-        static_cast<int>(std::floor(options.ctrl_area_budgets[0] / quantum)),
-        static_cast<int>(std::floor(options.ctrl_area_budgets[1] / quantum)),
-    };
-    const std::size_t w0 = static_cast<std::size_t>(cap[0]) + 1;
-    const std::size_t w1 = static_cast<std::size_t>(cap[1]) + 1;
+    Dp_stats stats;
+    Best_state bs;
+    Multi_dp::sweep<true>(costs, s, ws, stats, &bs);
 
-    // Quantized controller areas per BSB per ASIC.
-    std::vector<std::array<int, 2>> qarea(n, {0, 0});
-    std::vector<std::array<bool, 2>> possible(n, {false, false});
-    for (std::size_t i = 0; i < n; ++i) {
-        for (int a = 0; a < 2; ++a) {
-            const auto& c = costs[i].hw[static_cast<std::size_t>(a)];
-            if (std::isinf(c.ctrl_area) || std::isinf(c.t_hw))
-                continue;
-            qarea[i][static_cast<std::size_t>(a)] =
-                static_cast<int>(std::ceil(c.ctrl_area / quantum));
-            possible[i][static_cast<std::size_t>(a)] =
-                qarea[i][static_cast<std::size_t>(a)] <=
-                cap[static_cast<std::size_t>(a)];
+    // Walk the nibble cells backwards from the best final state; a
+    // state reachable after row i always lies within that row's
+    // recorded frontier, which fixes the row's cell stride.
+    std::vector<Placement> placement(n, Placement::software);
+    std::size_t a0 = bs.a0, a1 = bs.a1, p = bs.p;
+    for (std::size_t ri = n; ri-- > 0;) {
+        const std::size_t stride1 =
+            static_cast<std::size_t>(ws.row_hi1_[ri]) + 1;
+        const std::size_t cell = (a0 * stride1 + a1) * 3 + p;
+        const std::uint8_t byte = ws.trace_[ws.row_off_[ri] + (cell >> 1)];
+        const std::uint8_t code =
+            (cell & 1) != 0 ? static_cast<std::uint8_t>(byte >> 4)
+                            : static_cast<std::uint8_t>(byte & 0x0F);
+        const std::size_t d = code / 3;
+        const std::size_t parent = code % 3;
+        if (d == 0) {
+            placement[ri] = Placement::software;
         }
+        else {
+            const std::size_t a = d - 1;
+            placement[ri] = a == 0 ? Placement::asic0 : Placement::asic1;
+            const std::size_t q = static_cast<std::size_t>(ws.qarea_[ri][a]);
+            if (a == 0)
+                a0 -= q;
+            else
+                a1 -= q;
+        }
+        p = parent;
     }
 
+    Multi_pace_result r = evaluate_multi_partition(costs, placement);
+    r.area_quantum_used = s.quantum;
+    r.dp_cells_swept = stats.cells_swept;
+    r.dp_cells_dense = static_cast<long long>(n) *
+                       static_cast<long long>(s.w0) *
+                       static_cast<long long>(s.w1) * 3;
+    r.traceback_bytes = ws.row_off_[n];
+    r.traceback_bytes_dense =
+        static_cast<std::size_t>(n) * s.w0 * s.w1 * 3 * 2;
+    return r;
+}
+
+Multi_pace_result multi_pace_partition_reference(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options)
+{
+    std::vector<std::array<int, 2>> qarea;
+    std::vector<std::array<std::uint8_t, 2>> possible;
+    const Multi_setup s = prepare_multi(costs, options, qarea, possible);
+    const std::size_t n = costs.size();
+    if (n == 0)
+        return Multi_pace_result{};
+    const std::size_t w0 = s.w0, w1 = s.w1;
+
     // State: (area0, area1, prev) where prev in {0 = SW, 1 = asic0,
-    // 2 = asic1}.  value = best saving vs all-software.
+    // 2 = asic1}.  value = best saving vs all-software.  Dense scan
+    // over the full grid every row, one byte each for decision and
+    // parent per (i, state) — the pre-overhaul layout.
     const std::size_t n_prev = 3;
     const std::size_t n_states = w0 * w1 * n_prev;
     auto idx = [&](std::size_t a0, std::size_t a1, std::size_t p) {
@@ -116,11 +475,11 @@ Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
 
     std::vector<double> value(n_states, -k_inf);
     std::vector<double> next(n_states, -k_inf);
-    // For reconstruction: decision (0 = SW, 1 = asic0, 2 = asic1) and
-    // predecessor side, per (i, state-after).
     std::vector<std::uint8_t> decision(n * n_states, 0);
     std::vector<std::uint8_t> parent(n * n_states, 0);
-    auto cell = [&](std::size_t i, std::size_t s) { return i * n_states + s; };
+    auto cell = [&](std::size_t i, std::size_t st) {
+        return i * n_states + st;
+    };
 
     value[idx(0, 0, 0)] = 0.0;
 
@@ -142,22 +501,20 @@ Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
                     }
 
                     // Either ASIC.
-                    for (int a = 0; a < 2; ++a) {
-                        if (!possible[i][static_cast<std::size_t>(a)])
+                    for (std::size_t a = 0; a < 2; ++a) {
+                        if (possible[i][a] == 0)
                             continue;
-                        const auto& c = costs[i].hw[static_cast<std::size_t>(a)];
-                        const int q = qarea[i][static_cast<std::size_t>(a)];
-                        const std::size_t na0 =
-                            a == 0 ? a0 + static_cast<std::size_t>(q) : a0;
-                        const std::size_t na1 =
-                            a == 1 ? a1 + static_cast<std::size_t>(q) : a1;
+                        const auto& c = costs[i].hw[a];
+                        const std::size_t q =
+                            static_cast<std::size_t>(qarea[i][a]);
+                        const std::size_t na0 = a == 0 ? a0 + q : a0;
+                        const std::size_t na1 = a == 1 ? a1 + q : a1;
                         if (na0 >= w0 || na1 >= w1)
                             continue;
                         double gain = hw_gain(costs[i].t_sw, c);
-                        if (i > 0 && p == static_cast<std::size_t>(a) + 1)
+                        if (i > 0 && p == a + 1)
                             gain += c.save_prev;
-                        const std::size_t s_hw =
-                            idx(na0, na1, static_cast<std::size_t>(a) + 1);
+                        const std::size_t s_hw = idx(na0, na1, a + 1);
                         if (v + gain > next[s_hw]) {
                             next[s_hw] = v + gain;
                             decision[cell(i, s_hw)] =
@@ -188,25 +545,32 @@ Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
     std::vector<Placement> placement(n, Placement::software);
     std::size_t a0 = best_a0, a1 = best_a1, p = best_p;
     for (std::size_t ri = n; ri-- > 0;) {
-        const std::size_t s = idx(a0, a1, p);
-        const int d = decision[cell(ri, s)];
-        const int prev = parent[cell(ri, s)];
+        const std::size_t st = idx(a0, a1, p);
+        const int d = decision[cell(ri, st)];
+        const int prev = parent[cell(ri, st)];
         if (d == 0) {
             placement[ri] = Placement::software;
         }
         else {
-            const int a = d - 1;
+            const std::size_t a = static_cast<std::size_t>(d - 1);
             placement[ri] = a == 0 ? Placement::asic0 : Placement::asic1;
-            const int q = qarea[ri][static_cast<std::size_t>(a)];
+            const std::size_t q = static_cast<std::size_t>(qarea[ri][a]);
             if (a == 0)
-                a0 -= static_cast<std::size_t>(q);
+                a0 -= q;
             else
-                a1 -= static_cast<std::size_t>(q);
+                a1 -= q;
         }
         p = static_cast<std::size_t>(prev);
     }
 
-    return evaluate_multi_partition(costs, placement);
+    Multi_pace_result r = evaluate_multi_partition(costs, placement);
+    r.area_quantum_used = s.quantum;
+    r.dp_cells_swept = static_cast<long long>(n) *
+                       static_cast<long long>(n_states);
+    r.dp_cells_dense = r.dp_cells_swept;
+    r.traceback_bytes = n * n_states * 2;
+    r.traceback_bytes_dense = r.traceback_bytes;
+    return r;
 }
 
 }  // namespace lycos::pace

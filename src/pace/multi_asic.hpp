@@ -9,9 +9,20 @@
 // and the adjacency communication saving applies only when consecutive
 // BSBs sit on the *same* ASIC (values cannot stay in the data-path
 // across chips).
+//
+// The production DP (multi_pace_partition) has the same machinery the
+// single-ASIC pace.cpp grew: caller-owned Multi_pace_workspace
+// buffers, a reachable-(a0,a1)-frontier sweep instead of the dense
+// w0*w1 scan, a compact nibble-packed per-row traceback sized to each
+// row's frontier, a re-quantization guard on the grid size, and a
+// value-only multi_pace_best_saving screening entry point.  The
+// pre-overhaul dense DP is retained as
+// multi_pace_partition_reference for equivalence tests and the
+// old-vs-new bench.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,7 +48,21 @@ struct Multi_bsb_cost {
 /// Options for the two-ASIC dynamic program.
 struct Multi_pace_options {
     std::array<double, 2> ctrl_area_budgets{0.0, 0.0};
-    double area_quantum = 0.0;  ///< 0 = auto (max budget / 256)
+
+    /// Area discretization step.  0 selects automatically: the larger
+    /// budget / 4096 but at least 1 gate — the same default as the
+    /// single-ASIC Pace_options (the /256 the two-ASIC path once used
+    /// quantized 16x coarser than every other DP in the system).
+    double area_quantum = 0.0;
+
+    /// Hard cap on the (a0, a1) grid size w0*w1.  A quantum that
+    /// would need a larger grid is re-quantized (scaled up by
+    /// sqrt(overshoot)) until the grid fits, instead of letting a
+    /// caller-supplied small quantum allocate n*w0*w1*3*2 bytes of
+    /// traceback unchecked; Multi_pace_result::area_quantum_used
+    /// reports what was actually used.  The default bounds value/next
+    /// at ~12 MB and keeps the auto quantum at ~512 levels per axis.
+    long long max_dp_cells = 1 << 18;
 };
 
 /// Result of the two-ASIC partition.
@@ -48,6 +73,26 @@ struct Multi_pace_result {
     double speedup_pct = 0.0;
     std::array<double, 2> ctrl_area_used{0.0, 0.0};
     int n_in_hw = 0;
+
+    /// Effective DP quantum after the auto default and the
+    /// max_dp_cells guard (0 from evaluate_multi_partition, which has
+    /// none) — mirrors Pace_result::area_quantum_used.
+    double area_quantum_used = 0.0;
+
+    // DP observability (all 0 from evaluate_multi_partition):
+    long long dp_cells_swept = 0;  ///< frontier (a0,a1,p) source cells visited
+    long long dp_cells_dense = 0;  ///< n * w0 * w1 * 3 — the dense scan's sweep
+    std::size_t traceback_bytes = 0;  ///< compact frontier traceback allocated
+    std::size_t traceback_bytes_dense = 0;  ///< pre-overhaul dense encoding
+
+    /// Fraction of the dense grid the frontier sweep actually visited.
+    double frontier_occupancy() const
+    {
+        return dp_cells_dense > 0
+                   ? static_cast<double>(dp_cells_swept) /
+                         static_cast<double>(dp_cells_dense)
+                   : 0.0;
+    }
 };
 
 /// Build the two-ASIC cost model: one ordinary cost model per ASIC
@@ -57,9 +102,63 @@ std::vector<Multi_bsb_cost> build_multi_cost_model(
     const hw::Target& target, const core::Rmap& alloc0,
     const core::Rmap& alloc1, Controller_mode mode);
 
-/// Optimal (up to area discretization) two-ASIC partition.
-Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
-                                       const Multi_pace_options& options);
+class Multi_pace_workspace;
+
+/// Optimal (up to area discretization) two-ASIC partition.  With a
+/// non-null `workspace` the DP reuses the caller-owned value/next
+/// rows and the traceback arena across calls (grow-only buffers, not
+/// thread-safe); results are identical with or without one.
+Multi_pace_result multi_pace_partition(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options,
+    Multi_pace_workspace* workspace = nullptr);
+
+/// The DP's optimal saving vs. all-software without reconstructing
+/// the placement — the screening counterpart of pace_best_saving: no
+/// traceback arena at all, so it costs a fraction of the full
+/// partition.  Equals all-SW time minus
+/// multi_pace_partition(...).time_hybrid_ns up to float summation
+/// order.
+double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
+                              const Multi_pace_options& options,
+                              Multi_pace_workspace* workspace = nullptr);
+
+/// Caller-owned reusable buffers for the two-ASIC DP.  Grow-only;
+/// one workspace per thread, never shared across concurrent calls.
+class Multi_pace_workspace {
+public:
+    Multi_pace_workspace() = default;
+
+private:
+    friend struct Multi_dp;  ///< the internal sweep (multi_asic.cpp)
+    friend Multi_pace_result multi_pace_partition(
+        std::span<const Multi_bsb_cost> costs,
+        const Multi_pace_options& options, Multi_pace_workspace* workspace);
+    friend double multi_pace_best_saving(
+        std::span<const Multi_bsb_cost> costs,
+        const Multi_pace_options& options, Multi_pace_workspace* workspace);
+    std::vector<double> value_;
+    std::vector<double> next_;
+    /// Nibble-packed traceback arena: row i occupies bytes
+    /// [row_off_[i], row_off_[i+1]) holding (hi0_i+1)*(hi1_i+1)*3
+    /// 4-bit cells (decision * 3 + parent), where (hi0_i, hi1_i) is
+    /// the frontier *after* row i.
+    std::vector<std::uint8_t> trace_;
+    std::vector<std::size_t> row_off_;
+    std::vector<int> row_hi0_;
+    std::vector<int> row_hi1_;
+    std::vector<std::array<int, 2>> qarea_;
+    std::vector<std::array<std::uint8_t, 2>> possible_;
+};
+
+/// The pre-overhaul dense DP (full w0 x w1 x 3 scan per row, two
+/// bytes of traceback per cell), retained — like list_schedule_naive —
+/// as the reference the workspace/frontier implementation is pinned
+/// against by tests and the old-vs-new bench.  Shares the
+/// quantization (including the auto default and the max_dp_cells
+/// guard) with multi_pace_partition, so results are comparable
+/// bit for bit.
+Multi_pace_result multi_pace_partition_reference(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options);
 
 /// Evaluate a given placement with the exact model (cross-checking).
 Multi_pace_result evaluate_multi_partition(

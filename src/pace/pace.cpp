@@ -73,7 +73,8 @@ namespace {
 /// pace_best_saving must agree exactly).
 struct Dp_setup {
     double quantum = 0.0;
-    std::size_t width = 0;
+    std::size_t width = 0;  ///< table width (from the table budget)
+    std::size_t cap = 0;    ///< last state level within the real budget
 };
 
 Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
@@ -86,6 +87,15 @@ Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
         throw std::invalid_argument("pace_partition: non-finite budget");
     if (options.max_dp_width < 2)
         throw std::invalid_argument("pace_partition: max_dp_width < 2");
+    if (!std::isfinite(options.table_area_budget) ||
+        options.table_area_budget < 0.0)
+        throw std::invalid_argument("pace_partition: bad table budget");
+
+    // The table budget governs quantization and table width; the real
+    // budget only clamps the answer.  They coincide unless the caller
+    // pins a wider table for cross-call row reuse.
+    const double table_budget =
+        std::max(options.ctrl_area_budget, options.table_area_budget);
 
     Dp_setup s;
     // Effective quantum: the caller's (or the automatic budget/4096),
@@ -94,14 +104,18 @@ Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
     // silently allocate gigabytes of DP table.
     s.quantum = options.area_quantum > 0.0
                     ? options.area_quantum
-                    : std::max(1.0, options.ctrl_area_budget / 4096.0);
+                    : std::max(1.0, table_budget / 4096.0);
     const double cap = static_cast<double>(options.max_dp_width - 1);
-    if (options.ctrl_area_budget / s.quantum > cap)
-        s.quantum = options.ctrl_area_budget / cap;
+    if (table_budget / s.quantum > cap)
+        s.quantum = table_budget / cap;
     const int capacity = std::min(
         options.max_dp_width - 1,
-        static_cast<int>(std::floor(options.ctrl_area_budget / s.quantum)));
+        static_cast<int>(std::floor(table_budget / s.quantum)));
     s.width = static_cast<std::size_t>(capacity) + 1;
+    s.cap = std::min(
+        s.width - 1,
+        static_cast<std::size_t>(
+            std::floor(options.ctrl_area_budget / s.quantum)));
 
     // Quantized controller areas (rounded up, so the DP never packs
     // more real area than the budget).
@@ -118,15 +132,33 @@ Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
     return s;
 }
 
+/// Longest prefix on which `costs` agrees with the cached cost rows
+/// (value equality per field — the DP depends on nothing else).
+std::size_t common_prefix(std::span<const Bsb_cost> costs,
+                          const std::vector<Bsb_cost>& cached)
+{
+    const std::size_t m = std::min(costs.size(), cached.size());
+    std::size_t i = 0;
+    for (; i < m; ++i) {
+        const Bsb_cost& a = costs[i];
+        const Bsb_cost& b = cached[i];
+        if (!(a.t_sw == b.t_sw && a.t_hw == b.t_hw && a.comm == b.comm &&
+              a.save_prev == b.save_prev && a.ctrl_area == b.ctrl_area))
+            break;
+    }
+    return i;
+}
+
 /// The DP sweep both public entry points share — templated on whether
 /// the traceback tables are maintained, so the value-only screening
 /// pass and the full partitioning pass can never drift apart.
 ///
 /// value[a*2+p]: best total saving (vs. all-software) over the BSBs
-/// processed so far, using quantized area a, with the most recent BSB
-/// on side p (0 = SW, 1 = HW).  With traceback, every (i, a, p) keeps
-/// the decision of BSB i (took_hw) and the side of BSB i-1
-/// (parent_side) so the optimal partition can be reconstructed.
+/// processed so far, using quantized area exactly a, with the most
+/// recent BSB on side p (0 = SW, 1 = HW).  With traceback, every
+/// (i, a, p) keeps the decision of BSB i (took_hw) and the side of
+/// BSB i-1 (parent_side) so the optimal partition can be
+/// reconstructed.
 ///
 /// Only the reachable-area frontier [0, hi] is ever initialized or
 /// swept: row i can reach at most the previous frontier plus BSB i's
@@ -136,22 +168,37 @@ Dp_setup prepare_dp(std::span<const Bsb_cost> costs,
 /// written this call (a finite `next` entry always comes from an
 /// improving write over -inf), and the backwards walk only visits
 /// finite-value states.
-struct Dp_buffers {
-    const std::vector<int>& qarea;
-    const std::vector<std::uint8_t>& hw_possible;
-    std::vector<double>& value;
-    std::vector<double>& next;
-    std::vector<std::uint8_t>& took_hw;
-    std::vector<std::uint8_t>& parent_side;
+///
+/// Incremental resume: with `checkpointing` (caller-owned workspace)
+/// the row states are checkpointed per BSB, and a subsequent call
+/// whose costs share a prefix with the checkpointed vector under the
+/// same (quantum, width) restarts the sweep at the first divergent
+/// row.  The traced sweep additionally caps the resume at the prefix
+/// its retained traceback rows agree on — value rows from a screening
+/// call cannot vouch for traceback cells it never wrote.  Rows below
+/// the resume point are untouched, which keeps them exactly what a
+/// cold sweep would have produced (the prefixes are value-identical),
+/// so resumed and cold runs are bit-identical.
+}  // namespace
+
+/// Friend of Pace_workspace: the shared DP sweep (see the long
+/// comment on `sweep`).
+struct Pace_dp {
+    template <bool With_trace>
+    static double sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
+                        Pace_workspace& ws, bool checkpointing,
+                        std::size_t* best_a, int* best_p);
 };
 
 template <bool With_trace>
-double dp_sweep(std::span<const Bsb_cost> costs, std::size_t width,
-                Dp_buffers ws, std::size_t* best_a, int* best_p)
+double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
+                      Pace_workspace& ws, bool checkpointing,
+                      std::size_t* best_a, int* best_p)
 {
     const std::size_t n = costs.size();
-    const auto& qarea = ws.qarea;
-    const auto& hw_possible = ws.hw_possible;
+    const std::size_t width = s.width;
+    const auto& qarea = ws.qarea_;
+    const auto& hw_possible = ws.hw_possible_;
     auto idx = [&](std::size_t a, int p) {
         return a * 2 + static_cast<std::size_t>(p);
     };
@@ -159,79 +206,189 @@ double dp_sweep(std::span<const Bsb_cost> costs, std::size_t width,
         return (i * width + a) * 2 + static_cast<std::size_t>(p);
     };
 
-    auto& value = ws.value;
-    auto& next = ws.next;
-    if (value.size() < width * 2)
-        value.resize(width * 2);
-    if (next.size() < width * 2)
-        next.resize(width * 2);
     if constexpr (With_trace) {
-        if (ws.took_hw.size() < n * width * 2) {
-            ws.took_hw.resize(n * width * 2);
-            ws.parent_side.resize(n * width * 2);
+        if (ws.took_hw_.size() < n * width * 2) {
+            ws.took_hw_.resize(n * width * 2);
+            ws.parent_side_.resize(n * width * 2);
         }
     }
 
-    value[idx(0, 0)] = 0.0;
-    value[idx(0, 1)] = -k_inf;
-    std::size_t hi = 0;
+    // Resume row: the longest checkpointed prefix that is valid for
+    // this call.  A fingerprint mismatch (quantum or width) means the
+    // cached rows describe a different table — full restart.
+    std::size_t resume = 0;
+    if (checkpointing) {
+        if (ws.ckpt_valid_ && ws.ckpt_quantum_ == s.quantum &&
+            ws.ckpt_width_ == width) {
+            resume = common_prefix(costs, ws.ckpt_costs_);
+            if constexpr (With_trace) {
+                std::size_t trace_ok = 0;
+                if (ws.trace_width_ == width)
+                    trace_ok = std::min(
+                        ws.trace_rows_,
+                        common_prefix(costs, ws.trace_costs_));
+                resume = std::min(resume, trace_ok);
+            }
+        }
+        if (ws.ckpt_rows_.size() < (n + 1) * width * 2)
+            ws.ckpt_rows_.resize((n + 1) * width * 2);
+        if (ws.ckpt_hi_.size() < n + 1)
+            ws.ckpt_hi_.resize(n + 1);
+    }
+    ws.rows_reused_ += static_cast<long long>(resume);
+    ws.rows_swept_ += static_cast<long long>(n - resume);
 
-    for (std::size_t i = 0; i < n; ++i) {
+    // Row storage.  Checkpointing sweeps write every row straight
+    // into the workspace's row arena (block i = state after rows
+    // [0, i)), so keeping the checkpoint costs no copying at all —
+    // the next call just resumes from the block the prefix compare
+    // picks.  One-shot sweeps roll two scratch rows instead of
+    // touching an (n+1)-row arena.
+    double* cur;
+    double* nxt;
+    if (checkpointing) {
+        cur = ws.ckpt_rows_.data() + resume * width * 2;
+        nxt = cur + width * 2;
+    }
+    else {
+        if (ws.value_.size() < width * 2)
+            ws.value_.resize(width * 2);
+        if (ws.next_.size() < width * 2)
+            ws.next_.resize(width * 2);
+        cur = ws.value_.data();
+        nxt = ws.next_.data();
+    }
+
+    std::size_t hi;
+    if (resume == 0) {
+        cur[idx(0, 0)] = 0.0;
+        cur[idx(0, 1)] = -k_inf;
+        hi = 0;
+        if (checkpointing)
+            ws.ckpt_hi_[0] = 0;
+    }
+    else {
+        hi = ws.ckpt_hi_[resume];
+    }
+
+    for (std::size_t i = resume; i < n; ++i) {
         const std::size_t qa = static_cast<std::size_t>(qarea[i]);
         const bool can_hw = hw_possible[i] != 0;
         const std::size_t hi2 = can_hw ? std::min(hi + qa, width - 1) : hi;
-        std::fill(next.begin(),
-                  next.begin() + static_cast<std::ptrdiff_t>((hi2 + 1) * 2),
-                  -k_inf);
         const double gain = can_hw ? hw_gain(costs[i]) : 0.0;
-        for (std::size_t a = 0; a <= hi; ++a) {
-            for (int p = 0; p < 2; ++p) {
-                const double v = value[idx(a, p)];
-                if (v == -k_inf)
-                    continue;
+        if constexpr (!With_trace) {
+            // Value-only kernel.  Every next-cell has exactly one
+            // source area — (a, SW) from (a, *), (a+qa, HW) from
+            // (a, *) — so the row is two lanes of pure stores with
+            // the same max expressions the traced loop applies
+            // (bit-identical values, -inf propagates through the
+            // adds), and no per-cell branching.
+            const double gain_save =
+                i > 0 ? gain + costs[i].save_prev : gain;
+            for (std::size_t a = 0; a <= hi; ++a) {
+                const double v0 = cur[a * 2];
+                const double v1 = cur[a * 2 + 1];
+                nxt[a * 2] = v0 > v1 ? v0 : v1;
+                nxt[a * 2 + 1] = -k_inf;
+            }
+            std::fill(nxt + (hi + 1) * 2, nxt + (hi2 + 1) * 2, -k_inf);
+            if (can_hw) {
+                const std::size_t a_max =
+                    std::min(hi, width - 1 - qa);  // qa < width (possible)
+                for (std::size_t a = 0; a <= a_max; ++a) {
+                    const double c0 = cur[a * 2] + gain;
+                    const double c1 = cur[a * 2 + 1] + gain_save;
+                    nxt[(a + qa) * 2 + 1] = c0 > c1 ? c0 : c1;
+                }
+            }
+        }
+        else {
+            std::fill(nxt, nxt + (hi2 + 1) * 2, -k_inf);
+            for (std::size_t a = 0; a <= hi; ++a) {
+                for (int p = 0; p < 2; ++p) {
+                    const double v = cur[idx(a, p)];
+                    if (v == -k_inf)
+                        continue;
 
-                // BSB i stays in software.
-                if (v > next[idx(a, 0)]) {
-                    next[idx(a, 0)] = v;
-                    if constexpr (With_trace) {
-                        ws.took_hw[cell(i, a, 0)] = 0;
-                        ws.parent_side[cell(i, a, 0)] =
+                    // BSB i stays in software.
+                    if (v > nxt[idx(a, 0)]) {
+                        nxt[idx(a, 0)] = v;
+                        ws.took_hw_[cell(i, a, 0)] = 0;
+                        ws.parent_side_[cell(i, a, 0)] =
                             static_cast<std::uint8_t>(p);
                     }
-                }
 
-                // BSB i moves to hardware.
-                if (can_hw && a + qa < width) {
-                    double g = gain;
-                    if (i > 0 && p == 1)
-                        g += costs[i].save_prev;
-                    const std::size_t a2 = a + qa;
-                    if (v + g > next[idx(a2, 1)]) {
-                        next[idx(a2, 1)] = v + g;
-                        if constexpr (With_trace) {
-                            ws.took_hw[cell(i, a2, 1)] = 1;
-                            ws.parent_side[cell(i, a2, 1)] =
+                    // BSB i moves to hardware.
+                    if (can_hw && a + qa < width) {
+                        double g = gain;
+                        if (i > 0 && p == 1)
+                            g += costs[i].save_prev;
+                        const std::size_t a2 = a + qa;
+                        if (v + g > nxt[idx(a2, 1)]) {
+                            nxt[idx(a2, 1)] = v + g;
+                            ws.took_hw_[cell(i, a2, 1)] = 1;
+                            ws.parent_side_[cell(i, a2, 1)] =
                                 static_cast<std::uint8_t>(p);
                         }
                     }
                 }
             }
         }
-        value.swap(next);
         hi = hi2;
+        if (checkpointing) {
+            cur = nxt;
+            nxt += width * 2;
+            ws.ckpt_hi_[i + 1] = hi;
+        }
+        else {
+            std::swap(cur, nxt);
+        }
     }
 
+    if (checkpointing) {
+        ws.ckpt_costs_.assign(costs.begin(), costs.end());
+        ws.ckpt_quantum_ = s.quantum;
+        ws.ckpt_width_ = width;
+        ws.ckpt_valid_ = true;
+        if constexpr (With_trace) {
+            ws.trace_costs_.assign(costs.begin(), costs.end());
+            ws.trace_width_ = width;
+            ws.trace_rows_ = n;
+        }
+    }
+
+    // Final answer: only states within the *real* budget count (the
+    // table may be wider when a table budget pins the width).
+    const std::size_t last = std::min(hi, s.cap);
     double best = -k_inf;
-    for (std::size_t a = 0; a <= hi; ++a)
+    for (std::size_t a = 0; a <= last; ++a)
         for (int p = 0; p < 2; ++p)
-            if (value[idx(a, p)] > best) {
-                best = value[idx(a, p)];
+            if (cur[idx(a, p)] > best) {
+                best = cur[idx(a, p)];
                 if (best_a != nullptr) {
                     *best_a = a;
                     *best_p = p;
                 }
             }
     return best;
+}
+
+namespace {
+
+/// Checkpointing stores n+1 value rows; above this arena size (doubles)
+/// the workspace path falls back to the two-row scratch so the
+/// max_dp_width guard's promise — no pathological quantum allocates
+/// gigabytes — keeps holding.  2^22 doubles = 32 MB, far above every
+/// search configuration (the search's tables are a few hundred levels
+/// wide) and far below the widths only an explicit ultra-fine quantum
+/// can produce.  Results are identical either way; only
+/// rows_reused()/rows_swept() notice.
+constexpr std::size_t k_max_ckpt_doubles = std::size_t{1} << 22;
+
+bool want_checkpoint(const Pace_workspace* workspace,
+                     std::size_t n, std::size_t width)
+{
+    return workspace != nullptr && (n + 1) * width * 2 <= k_max_ckpt_doubles;
 }
 
 }  // namespace
@@ -245,10 +402,9 @@ double pace_best_saving(std::span<const Bsb_cost> costs,
     const Dp_setup s = prepare_dp(costs, options, ws.qarea_, ws.hw_possible_);
     if (costs.empty())
         return 0.0;
-    return dp_sweep<false>(costs, s.width,
-                           {ws.qarea_, ws.hw_possible_, ws.value_, ws.next_,
-                            ws.took_hw_, ws.parent_side_},
-                           nullptr, nullptr);
+    return Pace_dp::sweep<false>(
+        costs, s, ws, want_checkpoint(workspace, costs.size(), s.width),
+        nullptr, nullptr);
 }
 
 Pace_result pace_partition(std::span<const Bsb_cost> costs,
@@ -270,10 +426,14 @@ Pace_result pace_partition(std::span<const Bsb_cost> costs,
 
     std::size_t best_a = 0;
     int best_p = 0;
-    dp_sweep<true>(costs, width,
-                   {ws.qarea_, ws.hw_possible_, ws.value_, ws.next_,
-                    ws.took_hw_, ws.parent_side_},
-                   &best_a, &best_p);
+    const bool checkpointing = want_checkpoint(workspace, n, s.width);
+    if (workspace != nullptr && !checkpointing) {
+        // This traced sweep overwrites traceback rows without
+        // recording what produced them — a later checkpointing call
+        // must not trust them.
+        ws.trace_rows_ = 0;
+    }
+    Pace_dp::sweep<true>(costs, s, ws, checkpointing, &best_a, &best_p);
 
     // Walk the parent pointers backwards from the best final state.
     auto cell = [&](std::size_t i, std::size_t a, int p) {

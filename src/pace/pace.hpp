@@ -8,6 +8,13 @@
 // previous BSB's side); carrying the previous side lets adjacent
 // hardware BSBs keep shared values in the data-path and save their
 // bus transfers — the communication awareness PACE is known for.
+//
+// The DP is separable by BSB index: row i depends only on
+// costs[0..i], the area quantum and the table width.  A reused
+// Pace_workspace exploits that by checkpointing the value row after
+// every BSB; the next call compares its cost vector against the
+// cached one and resumes the sweep at the first divergent BSB instead
+// of row 0 (see Pace_workspace).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,20 @@ struct Pace_options {
     /// default bounds the per-call table at ~a million levels (the
     /// auto quantum needs only 4097).
     int max_dp_width = 1 << 20;
+
+    /// When positive (and larger than ctrl_area_budget), the DP table
+    /// width is derived from THIS budget instead of ctrl_area_budget;
+    /// the final answer still maxes only over states within the real
+    /// budget.  value[i][a][p] is the best saving using quantized area
+    /// exactly `a`, which does not depend on the table width for
+    /// a < width — so calls that share a quantum and a table budget
+    /// produce identical DP rows regardless of their leftover
+    /// controller budgets, and the allocation search (whose per-leaf
+    /// budget is total_area - leaf_area) can reuse checkpointed rows
+    /// across leaves.  Results are bit-identical to table_area_budget
+    /// = 0 as long as the wider table does not trigger re-quantization
+    /// (the search's coarse quantum is far from the max_dp_width cap).
+    double table_area_budget = 0.0;
 };
 
 /// A partition and its evaluation.
@@ -67,21 +88,54 @@ class Pace_workspace;
 /// discretization).  With a non-null `workspace` the DP reuses the
 /// caller-owned buffers across calls instead of heap-allocating the
 /// value/next rows and the ~n*width*2-byte traceback tables per
-/// invocation — the allocation-search hot loop runs one workspace per
-/// worker thread.  Results are identical with or without a workspace.
+/// invocation, and additionally resumes incrementally from the
+/// workspace's checkpoint when the cost vector shares a prefix with
+/// the previous call's (see Pace_workspace).  Results are identical
+/// with or without a workspace.
 Pace_result pace_partition(std::span<const Bsb_cost> costs,
                            const Pace_options& options,
                            Pace_workspace* workspace = nullptr);
 
-/// Caller-owned reusable DP buffers for pace_partition.  Buffers only
-/// ever grow, so one workspace serves calls of any (bounded) size; a
-/// workspace is not thread-safe and must not be shared across
-/// concurrent pace_partition calls.
+/// Caller-owned reusable DP buffers for pace_partition /
+/// pace_best_saving.  Buffers only ever grow, so one workspace serves
+/// calls of any (bounded) size; a workspace is not thread-safe and
+/// must not be shared across concurrent calls.
+///
+/// Incremental checkpointing: after each call the workspace retains
+/// the per-row value states together with the cost vector and the
+/// (quantum, width) fingerprint that produced them.  The next call
+/// through the same workspace compares its costs row by row against
+/// the cached vector and, when the setup fingerprint matches, resumes
+/// the sweep at the first divergent BSB — neighbouring points of the
+/// allocation search share long cost prefixes, so most rows are
+/// served from the checkpoint.  A full-partition call additionally
+/// requires the retained traceback rows to match (they are refreshed
+/// by full-partition calls only; value-only screening calls leave
+/// them untouched), and falls back to the longest prefix both agree
+/// on.  Any fingerprint mismatch (different quantum, different table
+/// width, cleared checkpoint) restarts from row 0 — correctness never
+/// depends on the caller's call pattern.  Results are bit-identical
+/// to a cold run in all cases; rows_reused()/rows_swept() make the
+/// reuse observable (Search_result reports them per search).
 class Pace_workspace {
 public:
     Pace_workspace() = default;
 
+    /// Cumulative DP rows resumed from the checkpoint / actually swept
+    /// across all calls through this workspace.
+    long long rows_reused() const { return rows_reused_; }
+    long long rows_swept() const { return rows_swept_; }
+
+    /// Drop the checkpoint: the next call restarts from row 0 (the
+    /// buffers themselves stay allocated).
+    void invalidate_checkpoint()
+    {
+        ckpt_valid_ = false;
+        trace_rows_ = 0;
+    }
+
 private:
+    friend struct Pace_dp;  ///< the internal sweep (pace.cpp)
     friend Pace_result pace_partition(std::span<const Bsb_cost> costs,
                                       const Pace_options& options,
                                       Pace_workspace* workspace);
@@ -94,6 +148,23 @@ private:
     std::vector<std::uint8_t> parent_side_;
     std::vector<int> qarea_;
     std::vector<std::uint8_t> hw_possible_;
+    // Checkpoint: ckpt_rows_ block i holds the value row after BSBs
+    // [0, i) of ckpt_costs_ (block 0 is the initial state), valid for
+    // the recorded (quantum, width) only; ckpt_hi_[i] is the row's
+    // reachable-area frontier.  trace_rows_ counts the leading
+    // traceback rows (took_hw_/parent_side_) that are consistent with
+    // trace_costs_ at trace_width_.
+    std::vector<Bsb_cost> ckpt_costs_;
+    std::vector<double> ckpt_rows_;
+    std::vector<std::size_t> ckpt_hi_;
+    double ckpt_quantum_ = 0.0;
+    std::size_t ckpt_width_ = 0;
+    bool ckpt_valid_ = false;
+    std::vector<Bsb_cost> trace_costs_;
+    std::size_t trace_width_ = 0;
+    std::size_t trace_rows_ = 0;
+    long long rows_reused_ = 0;
+    long long rows_swept_ = 0;
 };
 
 /// Admissible bound on the total saving any partition of `costs` can
@@ -110,7 +181,8 @@ double max_gain(std::span<const Bsb_cost> costs);
 /// costs a fraction of pace_partition; the full DP only runs for
 /// candidates whose screened time can still beat the incumbent.
 /// Equals all_sw - pace_partition(...).time_hybrid_ns up to float
-/// summation order.
+/// summation order.  Participates in the workspace checkpoint like
+/// pace_partition (value rows only; it never touches traceback rows).
 double pace_best_saving(std::span<const Bsb_cost> costs,
                         const Pace_options& options,
                         Pace_workspace* workspace = nullptr);

@@ -63,6 +63,46 @@ List_schedule list_schedule(const dfg::Dfg& g, const hw::Hw_library& lib,
                             std::span<const int> counts,
                             const Schedule_info& frames);
 
+class Schedule_workspace;
+
+/// Same, with caller-owned scratch: every heap, bucket and output
+/// vector lives in `ws` and is reused across calls, so the
+/// allocation-search hot loop (one workspace per Eval_cache, i.e. per
+/// worker) schedules without touching the allocator at all.  The
+/// returned reference points into the workspace and stays valid until
+/// its next use.  Results are bit-identical to the allocating
+/// overload.
+const List_schedule& list_schedule(const dfg::Dfg& g,
+                                   const hw::Hw_library& lib,
+                                   std::span<const int> counts,
+                                   const Schedule_info& frames,
+                                   Schedule_workspace& ws);
+
+/// Caller-owned scratch buffers for the event-driven list scheduler.
+/// Grow-only, cleared at the start of every call (so a call that
+/// threw leaves no residue); not thread-safe.
+class Schedule_workspace {
+public:
+    Schedule_workspace() = default;
+
+private:
+    friend const List_schedule& list_schedule(const dfg::Dfg& g,
+                                              const hw::Hw_library& lib,
+                                              std::span<const int> counts,
+                                              const Schedule_info& frames,
+                                              Schedule_workspace& ws);
+    using Prio = std::pair<int, dfg::Op_id>;
+    List_schedule out_;
+    std::vector<hw::Resource_id> bucket_[hw::n_op_kinds];
+    std::vector<hw::Op_kind> used_kinds_;
+    std::vector<int> free_count_;
+    std::vector<int> remaining_preds_;
+    std::vector<Prio> fresh_;                    ///< min-heap storage
+    std::vector<Prio> waiting_[hw::n_op_kinds];  ///< min-heap storage
+    std::vector<std::size_t> active_kinds_;
+    std::vector<Prio> events_;  ///< min-heap storage (finish+1, op)
+};
+
 /// The original cycle-stepping implementation.  Produces the same
 /// schedule as list_schedule (asserted by tests/test_sched_equivalence)
 /// but costs O(cycles * ready * instances) instead of O(n log n).

@@ -33,6 +33,7 @@ namespace lycos::search {
 struct Eval_cache_stats {
     long long hits = 0;    ///< per-BSB lookups served from the cache
     long long misses = 0;  ///< per-BSB lookups that had to schedule
+    long long evictions = 0;  ///< entries dropped by the capacity cap
 
     double hit_rate() const
     {
@@ -46,6 +47,7 @@ struct Eval_cache_stats {
     {
         hits += other.hits;
         misses += other.misses;
+        evictions += other.evictions;
         return *this;
     }
 
@@ -53,7 +55,8 @@ struct Eval_cache_stats {
     /// their own contribution (stats().minus(before)).
     Eval_cache_stats minus(const Eval_cache_stats& before) const
     {
-        return {hits - before.hits, misses - before.misses};
+        return {hits - before.hits, misses - before.misses,
+                evictions - before.evictions};
     }
 };
 
@@ -61,8 +64,17 @@ struct Eval_cache_stats {
 class Eval_cache {
 public:
     /// The referenced context (BSBs, library, target) must outlive the
-    /// cache.
-    explicit Eval_cache(const Eval_context& ctx);
+    /// cache.  A non-zero `max_entries` bounds the memo: the cache
+    /// runs two generations (current and previous) of at most
+    /// max_entries each, so live entries never exceed 2*max_entries.
+    /// When the current generation fills up, the previous one is
+    /// dropped (counted in stats().evictions) and the generations
+    /// rotate — segmented eviction keeps the hot working set without
+    /// per-entry bookkeeping.  Results are bit-identical for any
+    /// capacity; large restriction spaces just stop pressuring
+    /// memory.  0 = unbounded (the default, same as before).
+    explicit Eval_cache(const Eval_context& ctx,
+                        std::size_t max_entries = 0);
 
     /// Per-BSB costs under `alloc` — the memoized equivalent of
     /// pace::build_cost_model(ctx...).
@@ -88,7 +100,24 @@ public:
     const pace::Bsb_cost& cost_one(std::size_t bsb,
                                    std::span<const int> counts);
 
+    /// Lookup-only variant: the memoized cost of `bsb` under `counts`,
+    /// or nullptr when that projection has never been scheduled.
+    /// Never schedules anything — the branch-and-bound walker uses it
+    /// to take the exact cost when it is already known and fall back
+    /// to an admissible proxy otherwise, deferring the expensive
+    /// schedule to leaves that survive the proxy bound.  A found entry
+    /// counts as a hit; a miss here is not counted (nothing was paid).
+    /// The reference stays valid until the next query for `bsb`.
+    const pace::Bsb_cost* find_one(std::size_t bsb,
+                                   std::span<const int> counts);
+
     const Eval_cache_stats& stats() const { return stats_; }
+
+    /// Live memo entries (both generations when capacity-bounded).
+    std::size_t entries() const { return n_current_ + n_previous_; }
+
+    /// The constructor's max_entries (0 = unbounded).
+    std::size_t capacity() const { return max_entries_; }
 
     /// Precomputed ASAP/ALAP frames of one BSB (allocation-independent;
     /// the prune model reuses them instead of recomputing).
@@ -112,15 +141,30 @@ private:
     };
     using Memo = std::unordered_map<std::vector<int>, pace::Bsb_cost, Key_hash>;
 
+    /// Insert into the current generation, rotating when full.
+    void insert(std::size_t bsb, const std::vector<int>& key,
+                const pace::Bsb_cost& cost);
+
     const Eval_context ctx_;
     sched::Latency_table lat_;
+    std::size_t max_entries_ = 0;
+    std::size_t n_current_ = 0;
+    std::size_t n_previous_ = 0;
     /// Per BSB: resource ids whose op set intersects the BSB's ops, in
     /// id order — the projection axes of the cache key.
     std::vector<std::vector<hw::Resource_id>> relevant_;
     /// Per BSB: ALAP time frames, allocation-independent, hoisted so
     /// cache misses skip the O(V+E) recomputation.
     std::vector<sched::Schedule_info> frames_;
-    std::vector<Memo> memo_;
+    /// Per BSB: allocation-independent cost fields (t_sw, comm,
+    /// save_prev), hoisted so misses skip the software-time walk and
+    /// the live-set intersection (see pace::bsb_cost_invariants).
+    std::vector<pace::Bsb_cost> invariants_;
+    /// Scheduler scratch reused by every miss (the cache is
+    /// single-threaded, so one workspace serves all of them).
+    sched::Schedule_workspace sched_ws_;
+    std::vector<Memo> memo_;       ///< current generation
+    std::vector<Memo> previous_;   ///< previous generation (bounded mode)
     std::vector<int> counts_;  ///< reusable dense-counts buffer
     std::vector<int> key_;     ///< reusable projection-key buffer
     /// Per BSB: the most recent projection key and its cost — the

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "estimate/comm.hpp"
+#include "estimate/controller.hpp"
 #include "estimate/sw_time.hpp"
 #include "pace/cost_model.hpp"
 #include "sched/time_frames.hpp"
@@ -22,6 +23,8 @@ struct Chunk_result {
     bool have_best = false;
     long long n_evaluated = 0;
     long long n_pruned = 0;
+    long long dp_rows_reused = 0;
+    long long dp_rows_swept = 0;
     Eval_cache_stats stats;
 };
 
@@ -70,6 +73,49 @@ struct Prune_model {
     /// becomes exact once the walk assigns dim d's digit.  Slot
     /// dims.size() holds BSBs no dim affects (constant cost).
     std::vector<std::vector<int>> by_min_dim;
+
+    /// Ingredients of the digit-prefix-conditioned gain bound.  For a
+    /// subtree, the instance capacity of op kind k is the digit sum
+    /// over dims executing k (assigned digits exactly, open dims at
+    /// their bound) — the most instances any completion can field.
+    /// Every resource-constrained schedule then satisfies
+    ///   len >= ceil(ops_k * min_lat_k / capacity_k)
+    /// (kind-k ops occupy kind-k-capable instances for at least
+    /// min_lat_k cycles each), so the per-BSB gain bound can use
+    /// max(asap_len, work floors) instead of asap_len alone — and it
+    /// tightens as assigned digits drop below their bounds.  The
+    /// float expression rebuilding the bound mirrors build_prune_model
+    /// exactly, so an unconditioned recompute reproduces g_ub bitwise.
+    /// The same machinery doubles as the *proxy cost* of a BSB whose
+    /// exact cost has not been scheduled yet: t_hw from the
+    /// conditioned length floor, controller area from the same floor
+    /// (controller_area is monotone in the state count), comm and
+    /// adjacency exact.  Field-for-field optimistic versus the exact
+    /// bsb_cost_one result, so any bound or DP computed over proxy
+    /// costs is admissible (see Walker::proxy_cost).
+    struct Gain_term {
+        bool coverable = false;  ///< some point of the space runs it in HW
+        double t_sw = 0.0;
+        double comm = 0.0;
+        double adj = 0.0;  ///< max(0, adjacency saving); 0 for BSB 0
+        double profile = 0.0;
+        long long asap_len = 0;
+        /// (kind index, ops-of-kind * min latency) per used kind.
+        std::vector<std::pair<std::size_t, long long>> work;
+    };
+    std::vector<Gain_term> terms;  ///< per BSB (coverable => full fill)
+    double cycle_ns = 0.0;
+    std::vector<int> avail_init;  ///< per kind: digit-sum at all bounds
+    /// Per dim: kinds whose capacity must track this dim's digit —
+    /// kinds used by ANY coverable BSB (a superset of dim_kinds,
+    /// which only carries kinds behind a positive gain bound; proxy
+    /// costs need capacities for the rest too).
+    std::vector<std::vector<int>> dim_avail_kinds;
+    /// Per dim: the bounded BSBs whose conditioned gain can move when
+    /// this dim's digit changes — the union of kind_bsbs over the
+    /// dim's kinds, deduplicated so the walker refreshes each BSB
+    /// once per digit instead of once per shared kind.
+    std::vector<std::vector<int>> dim_refresh_bsbs;
 };
 
 Prune_model build_prune_model(const Eval_context& ctx,
@@ -108,6 +154,8 @@ Prune_model build_prune_model(const Eval_context& ctx,
         cache != nullptr && min_lat == sched::latency_table_from(ctx.lib);
 
     m.g_ub.assign(n, 0.0);
+    m.terms.assign(n, {});
+    m.cycle_ns = ctx.target.asic.cycle_ns();
     m.all_sw = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         const auto& b = ctx.bsbs[i];
@@ -115,6 +163,8 @@ Prune_model build_prune_model(const Eval_context& ctx,
         // baseline matches the evaluated all-software times.
         const double t_sw = estimate::total_sw_time_ns(b, ctx.target.cpu);
         m.all_sw += t_sw;
+        m.terms[i].t_sw = t_sw;  // proxy costs need it even when
+                                 // nothing here can go to hardware
         if (b.graph.empty() || !max_cover.includes(b.graph.used_ops()))
             continue;
         // Same float expression shape as bsb_cost_one's t_hw, with the
@@ -128,12 +178,32 @@ Prune_model build_prune_model(const Eval_context& ctx,
             asap_len * ctx.target.asic.cycle_ns() * b.profile;
         const double comm =
             estimate::comm_time_ns(b, ctx.target.bus) * b.profile;
+        const double adj =
+            i > 0 ? std::max(0.0, estimate::adjacency_saving_ns(
+                                      ctx.bsbs[i - 1], b, ctx.target.bus))
+                  : 0.0;
         double gain = t_sw - t_hw_lb - comm;
-        if (i > 0)
-            gain += std::max(0.0, estimate::adjacency_saving_ns(
-                                      ctx.bsbs[i - 1], b, ctx.target.bus));
+        gain += adj;
         if (gain > 0.0)
             m.g_ub[i] = gain;
+        // Conditioned-bound / proxy-cost ingredients: the walker
+        // re-derives the same expressions with max(asap,
+        // work/capacity floors).  Filled for every coverable BSB —
+        // proxy costs need them even when the gain bound is not
+        // positive.
+        auto& t = m.terms[i];
+        t.coverable = true;
+        t.comm = comm;
+        t.adj = adj;
+        t.profile = b.profile;
+        t.asap_len = asap_len;
+        const auto used = b.graph.used_ops();
+        for (const auto k : hw::all_op_kinds())
+            if (used.contains(k))
+                t.work.emplace_back(
+                    hw::op_index(k),
+                    static_cast<long long>(b.graph.count(k)) *
+                        static_cast<long long>(min_lat[k]));
     }
     // The bound sums drift by float rounding as the walker adds and
     // removes terms; the margin dwarfs that drift while staying far
@@ -152,16 +222,40 @@ Prune_model build_prune_model(const Eval_context& ctx,
             if (used.contains(k))
                 m.kind_bsbs[hw::op_index(k)].push_back(static_cast<int>(i));
     }
+    // Kinds any coverable BSB uses — their capacities feed the proxy
+    // costs, beyond the positive-gain kinds the coverage bound needs.
+    std::array<bool, hw::n_op_kinds> used_any{};
+    for (const auto& t : m.terms)
+        for (const auto& [ki, work] : t.work)
+            used_any[ki] = true;
+
     m.dim_kinds.resize(dims.size());
+    m.dim_avail_kinds.resize(dims.size());
+    m.dim_refresh_bsbs.resize(dims.size());
+    m.avail_init.assign(hw::n_op_kinds, 0);
+    std::vector<std::uint8_t> seen(n, 0);
     for (std::size_t d = 0; d < dims.size(); ++d) {
         const auto ops = ctx.lib[dims[d].id].ops;
         for (const auto k : hw::all_op_kinds()) {
             const std::size_t ki = hw::op_index(k);
-            if (ops.contains(k) && !m.kind_bsbs[ki].empty()) {
+            if (!ops.contains(k))
+                continue;
+            if (!m.kind_bsbs[ki].empty()) {
                 m.dim_kinds[d].push_back(static_cast<int>(ki));
                 ++m.n_exec_init[ki];
+                for (const int b : m.kind_bsbs[ki])
+                    if (!seen[static_cast<std::size_t>(b)]) {
+                        seen[static_cast<std::size_t>(b)] = 1;
+                        m.dim_refresh_bsbs[d].push_back(b);
+                    }
+            }
+            if (used_any[ki]) {
+                m.dim_avail_kinds[d].push_back(static_cast<int>(ki));
+                m.avail_init[ki] += dims[d].bound;
             }
         }
+        for (const int b : m.dim_refresh_bsbs[d])
+            seen[static_cast<std::size_t>(b)] = 0;
     }
 
     // Determination depths: the lowest dim whose type intersects the
@@ -221,20 +315,45 @@ public:
         if (bounding_) {
             n_exec_ = model_.n_exec_init;
             missing_.assign(model_.g_ub.size(), 0);
-            for (const double g : model_.g_ub)
-                cov_gain_ += g;
+            avail_ = model_.avail_init;
+            cur_digit_.resize(dims_.size());
+            for (std::size_t d = 0; d < dims_.size(); ++d)
+                cur_digit_[d] = dims_[d].bound;  // unassigned = at bound
+            cond_g_.assign(model_.g_ub.size(), 0.0);
+            for (std::size_t b = 0; b < model_.g_ub.size(); ++b)
+                if (model_.g_ub[b] > 0.0) {
+                    cond_g_[b] = conditioned_gain(b);
+                    cov_gain_ += cond_g_[b];
+                }
         }
         if (det_enabled_) {
+            // Proxy determinations defer scheduling: uncached exact
+            // costs are stood in for by admissible optimistic costs,
+            // and only leaves that survive the proxy screening DP pay
+            // for real schedules.  Disabled under a storage model
+            // (its area needs the schedule, so no sound proxy exists).
+            use_proxy_ = ctx_.storage == nullptr;
+            proxied_.assign(ctx_.bsbs.size(), 0);
             determined_.assign(ctx_.bsbs.size(), 0);
             cur_cost_.resize(ctx_.bsbs.size());
             cur_red_.assign(ctx_.bsbs.size(), 0.0);
-            // BSBs no dim affects have one constant cost everywhere.
+            // BSBs no dim affects have one constant cost everywhere
+            // (exactly: their single schedule is needed at every
+            // leaf, so a proxy would only delay it).
+            const bool proxy = use_proxy_;
+            use_proxy_ = false;
             for (const int i : model_.by_min_dim[dims_.size()])
                 determine(static_cast<std::size_t>(i));
+            use_proxy_ = proxy;
         }
     }
 
-    void run() { walk(static_cast<int>(dims_.size()) - 1, 0, 0.0); }
+    void run()
+    {
+        walk(static_cast<int>(dims_.size()) - 1, 0, 0.0);
+        out_.dp_rows_reused += pace_ws_.rows_reused();
+        out_.dp_rows_swept += pace_ws_.rows_swept();
+    }
 
 private:
     void walk(int d, long long base, double prefix_area)
@@ -261,11 +380,15 @@ private:
                 // Area-monotone: deeper digits and larger c only add
                 // area, so the rest of this dim's range is dead.
                 out_.n_pruned += std::min(end_, dim_end) - lo;
+                if (bounding_)
+                    set_dim_digit(static_cast<std::size_t>(d), dim.bound);
                 return;
             }
 
             digits_[static_cast<std::size_t>(d)] = c;
             dense_counts_[static_cast<std::size_t>(dim.id)] = c;
+            if (bounding_)
+                set_dim_digit(static_cast<std::size_t>(d), c);
             const bool toggled = bounding_ && c == 0;
             if (toggled)
                 remove_dim(static_cast<std::size_t>(d));
@@ -301,6 +424,8 @@ private:
             if (toggled)
                 restore_dim(static_cast<std::size_t>(d));
         }
+        if (bounding_)
+            set_dim_digit(static_cast<std::size_t>(d), dim.bound);
     }
 
     /// Subtree area pruning is conservative by a margin so that float
@@ -383,24 +508,104 @@ private:
     }
 
     /// All of this BSB's relevant dims are assigned: swap its coarse
-    /// coverage bound for the exact memoized cost.
+    /// coverage bound for the memoized exact cost — or, when that
+    /// projection has never been scheduled, for the admissible proxy
+    /// cost (optimistic in every field), deferring the schedule to
+    /// leaves that survive the proxy bounds.
     void determine(std::size_t i)
     {
-        const auto& c = cache_->cost_one(i, dense_counts_);
-        cur_cost_[i] = c;
-        cur_red_[i] = exact_reduction(c, i == 0);
+        if (use_proxy_) {
+            if (const auto* c = cache_->find_one(i, dense_counts_)) {
+                cur_cost_[i] = *c;
+            }
+            else {
+                cur_cost_[i] = proxy_cost(i);
+                proxied_[i] = 1;
+                ++n_proxied_;
+            }
+        }
+        else {
+            cur_cost_[i] = cache_->cost_one(i, dense_counts_);
+        }
+        cur_red_[i] = exact_reduction(cur_cost_[i], i == 0);
         exact_sum_ += cur_red_[i];
         determined_[i] = 1;
         if (missing_[i] == 0)
-            cov_gain_ -= model_.g_ub[i];
+            cov_gain_ -= cond_g_[i];
     }
 
     void undetermine(std::size_t i)
     {
         exact_sum_ -= cur_red_[i];
         determined_[i] = 0;
+        if (proxied_[i] != 0) {
+            proxied_[i] = 0;
+            --n_proxied_;
+        }
         if (missing_[i] == 0)
-            cov_gain_ += model_.g_ub[i];
+            cov_gain_ += cond_g_[i];
+    }
+
+    /// Admissible stand-in for an unscheduled exact cost: hardware
+    /// time from the conditioned length floor (at determination depth
+    /// the capacities of every kind this BSB uses are exact), the
+    /// controller area from the same floor (controller_area is
+    /// monotone in the state count; in ECA mode the state count is
+    /// the hoisted ASAP length — allocation-independent, so the area
+    /// is exact), comm and adjacency exact.  Every field is <= the
+    /// bsb_cost_one result bitwise, so bounds and DPs over proxy
+    /// costs never cut a point the exact costs would keep.  A BSB
+    /// infeasible under the assigned digits gets exactly the
+    /// infeasible cost bsb_cost_one would produce.
+    pace::Bsb_cost proxy_cost(std::size_t b) const
+    {
+        constexpr double inf = std::numeric_limits<double>::infinity();
+        const auto& t = model_.terms[b];
+        pace::Bsb_cost c;
+        c.t_sw = t.t_sw;
+        if (!t.coverable) {
+            c.t_hw = inf;
+            c.ctrl_area = inf;
+            return c;
+        }
+        long long len = t.asap_len;
+        for (const auto& [ki, work] : t.work) {
+            const long long cap = avail_[ki];
+            if (cap <= 0) {
+                c.t_hw = inf;
+                c.ctrl_area = inf;
+                return c;
+            }
+            const long long floor_len = (work + cap - 1) / cap;
+            if (floor_len > len)
+                len = floor_len;
+        }
+        c.t_hw = static_cast<double>(len) * model_.cycle_ns * t.profile;
+        c.comm = t.comm;
+        c.save_prev = t.adj;
+        const int n_states =
+            ctx_.ctrl_mode == pace::Controller_mode::optimistic_eca
+                ? std::max(1, cache_->frames(b).length)
+                : std::max(1, static_cast<int>(len));
+        c.ctrl_area = estimate::controller_area(n_states, ctx_.target.gates);
+        return c;
+    }
+
+    /// A leaf survived the proxy screen: fetch the real schedules for
+    /// every proxied BSB and patch the determination sums so the
+    /// walk's unwind stays symmetric.
+    void resolve_proxies()
+    {
+        for (std::size_t i = 0; i < proxied_.size(); ++i) {
+            if (proxied_[i] == 0)
+                continue;
+            cur_cost_[i] = cache_->cost_one(i, dense_counts_);
+            const double red = exact_reduction(cur_cost_[i], i == 0);
+            exact_sum_ += red - cur_red_[i];
+            cur_red_[i] = red;
+            proxied_[i] = 0;
+        }
+        n_proxied_ = 0;
     }
 
     /// A dim's digit was fixed at 0: its type disappears from every
@@ -413,7 +618,7 @@ private:
                     if (++missing_[static_cast<std::size_t>(b)] == 1 &&
                         (determined_.empty() ||
                          determined_[static_cast<std::size_t>(b)] == 0))
-                        cov_gain_ -= model_.g_ub[static_cast<std::size_t>(b)];
+                        cov_gain_ -= cond_g_[static_cast<std::size_t>(b)];
     }
 
     void restore_dim(std::size_t d)
@@ -424,7 +629,59 @@ private:
                     if (--missing_[static_cast<std::size_t>(b)] == 0 &&
                         (determined_.empty() ||
                          determined_[static_cast<std::size_t>(b)] == 0))
-                        cov_gain_ += model_.g_ub[static_cast<std::size_t>(b)];
+                        cov_gain_ += cond_g_[static_cast<std::size_t>(b)];
+    }
+
+    /// The digit-prefix-conditioned per-BSB gain bound: the coarse
+    /// coverage bound with the ASAP length floor raised to the
+    /// work/capacity floors the assigned digits still allow (see
+    /// Prune_model::Gain_term).  Identical float expression shape to
+    /// build_prune_model, so with all dims at their bounds this
+    /// reproduces model_.g_ub bitwise.
+    double conditioned_gain(std::size_t b) const
+    {
+        const auto& t = model_.terms[b];
+        long long len = t.asap_len;
+        for (const auto& [ki, work] : t.work) {
+            const long long cap = std::max(1, avail_[ki]);
+            const long long floor_len = (work + cap - 1) / cap;
+            if (floor_len > len)
+                len = floor_len;
+        }
+        const double t_hw_lb =
+            static_cast<double>(len) * model_.cycle_ns * t.profile;
+        double gain = t.t_sw - t_hw_lb - t.comm;
+        gain += t.adj;
+        return gain > 0.0 ? gain : 0.0;
+    }
+
+    /// Re-derive a BSB's conditioned bound after a capacity change,
+    /// keeping cov_gain_'s invariant (it sums cond_g_ over covered,
+    /// undetermined BSBs).
+    void refresh_gain(std::size_t b)
+    {
+        const double g = conditioned_gain(b);
+        if (missing_[b] == 0 &&
+            (determined_.empty() || determined_[b] == 0))
+            cov_gain_ += g - cond_g_[b];
+        cond_g_[b] = g;
+    }
+
+    /// Record dim d's digit (dim.bound = unassigned) in the per-kind
+    /// instance capacities and refresh the bounds they feed.  The
+    /// capacity update runs over every kind a coverable BSB uses
+    /// (proxy costs read those); the gain refresh only has BSBs
+    /// behind a positive bound to visit.
+    void set_dim_digit(std::size_t d, int c)
+    {
+        const int delta = c - cur_digit_[d];
+        if (delta == 0)
+            return;
+        cur_digit_[d] = c;
+        for (const int ki : model_.dim_avail_kinds[d])
+            avail_[static_cast<std::size_t>(ki)] += delta;
+        for (const int b : model_.dim_refresh_bsbs[d])
+            refresh_gain(static_cast<std::size_t>(b));
     }
 
     void leaf()
@@ -454,16 +711,34 @@ private:
             // get the full partition reconstruction; anything farther
             // is provably worse on time alone (ties resolve on the
             // full evaluation, so the best tuple is untouched).
+            //
+            // With proxy determinations the first screen may run over
+            // optimistic stand-in costs: a kill is then a *bound*
+            // prune (n_pruned — the point was never exactly scored,
+            // and no schedule was ever run for it), and a survivor
+            // pays for its real schedules before the exact screen.
             const auto& costs = det_enabled_ ? cur_cost_ : costs_;
             pace::Pace_options opts;
             opts.ctrl_area_budget = max_area_ - area;
             opts.area_quantum = ctx_.area_quantum;
-            const double saving =
-                pace::pace_best_saving(costs, opts, &pace_ws_);
-            const double t_est = pace::all_sw_time_ns(costs) - saving;
+            opts.table_area_budget = ctx_.dp_table_budget;
+            double saving = pace::pace_best_saving(costs, opts, &pace_ws_);
+            double t_est = pace::all_sw_time_ns(costs) - saving;
             if (t_est > threshold() + model_.slack) {
-                ++out_.n_evaluated;  // scored, just not reconstructed
+                if (n_proxied_ > 0)
+                    ++out_.n_pruned;
+                else
+                    ++out_.n_evaluated;  // scored, just not reconstructed
                 return;
+            }
+            if (n_proxied_ > 0) {
+                resolve_proxies();
+                saving = pace::pace_best_saving(cur_cost_, opts, &pace_ws_);
+                t_est = pace::all_sw_time_ns(cur_cost_) - saving;
+                if (t_est > threshold() + model_.slack) {
+                    ++out_.n_evaluated;
+                    return;
+                }
             }
         }
 
@@ -506,6 +781,7 @@ private:
     bool use_pruning_;
     bool bounding_ = false;     ///< coverage/gain bound active
     bool det_enabled_ = false;  ///< incremental exact costs active
+    bool use_proxy_ = false;    ///< defer schedules behind proxy costs
     double max_area_;
     double prime_time_;
     long long begin_;
@@ -519,8 +795,13 @@ private:
     // completion, and the exact-cost overlay (det_enabled_).
     std::vector<int> n_exec_;
     std::vector<int> missing_;
+    std::vector<int> avail_;      ///< per kind: capacity under the prefix
+    std::vector<int> cur_digit_;  ///< per dim: assigned digit (bound = open)
+    std::vector<double> cond_g_;  ///< per BSB: conditioned gain bound
     double cov_gain_ = 0.0;
     std::vector<std::uint8_t> determined_;
+    std::vector<std::uint8_t> proxied_;  ///< per BSB: cur_cost_ is a proxy
+    int n_proxied_ = 0;                  ///< currently-proxied BSBs
     std::vector<pace::Bsb_cost> cur_cost_;
     std::vector<double> cur_red_;
     double exact_sum_ = 0.0;
@@ -586,6 +867,7 @@ double prime_incumbent(const Eval_context& ctx,
         pace::Pace_options opts;
         opts.ctrl_area_budget = max_area - p_area;
         opts.area_quantum = ctx.area_quantum;
+        opts.table_area_budget = ctx.dp_table_budget;
         const double saving = pace::pace_best_saving(costs, opts, &ws);
         best = std::min(best, pace::all_sw_time_ns(costs) - saving);
     }
@@ -632,6 +914,18 @@ Search_result exhaustive_search(const Eval_context& ctx,
     const bool use_pruning = options.use_pruning && !span_overflow;
     const double max_area = ctx.target.asic.total_area;
 
+    // Pin the DP table width to the total ASIC area so the per-worker
+    // Pace_workspace checkpoints stay valid across leaves with
+    // different leftover controller budgets (value rows are
+    // budget-independent for a fixed quantum and width — see
+    // Pace_options::table_area_budget).  Only with an explicit search
+    // quantum: the automatic quantum derives from the budget, and
+    // widening the table would change it, i.e. change results versus
+    // a caller re-evaluating the winner with the same context.
+    Eval_context run_ctx = ctx;
+    if (ctx.area_quantum > 0.0)
+        run_ctx.dp_table_budget = max_area;
+
     // Worker 0's cache is either the caller's shared cache or one
     // built up front — so the incumbent-priming probes below warm the
     // very cache the first chunk then searches with.
@@ -643,7 +937,7 @@ Search_result exhaustive_search(const Eval_context& ctx,
     if (chunk0_cache != nullptr)
         shared_before = chunk0_cache->stats();
     if (options.use_cache && chunk0_cache == nullptr) {
-        primed_cache.emplace(ctx);
+        primed_cache.emplace(ctx, options.cache_capacity);
         chunk0_cache = &*primed_cache;
     }
 
@@ -652,7 +946,7 @@ Search_result exhaustive_search(const Eval_context& ctx,
     if (use_pruning) {
         model = build_prune_model(
             ctx, dims, options.use_cache ? chunk0_cache : nullptr);
-        prime_time = prime_incumbent(ctx, dims, max_area,
+        prime_time = prime_incumbent(run_ctx, dims, max_area,
                                      options.use_cache ? chunk0_cache
                                                        : nullptr);
     }
@@ -667,7 +961,7 @@ Search_result exhaustive_search(const Eval_context& ctx,
                 cache = chunk0_cache;
             }
             else {
-                own_cache.emplace(ctx);
+                own_cache.emplace(ctx, options.cache_capacity);
                 cache = &*own_cache;
             }
         }
@@ -678,8 +972,8 @@ Search_result exhaustive_search(const Eval_context& ctx,
             space.for_each_range(begin, end, max_area,
                                  [&](const core::Rmap& a) {
                                      const Evaluation ev =
-                                         evaluate_allocation(ctx, a, cache,
-                                                             &ws);
+                                         evaluate_allocation(run_ctx, a,
+                                                             cache, &ws);
                                      ++out.n_evaluated;
                                      if (!out.have_best ||
                                          better_than(ev, out.best)) {
@@ -688,9 +982,11 @@ Search_result exhaustive_search(const Eval_context& ctx,
                                      }
                                      return true;
                                  });
+            out.dp_rows_reused += ws.rows_reused();
+            out.dp_rows_swept += ws.rows_swept();
         }
         else {
-            Walker walker(ctx, dims, model, use_pruning, max_area,
+            Walker walker(run_ctx, dims, model, use_pruning, max_area,
                           prime_time, begin, end, cache, out);
             walker.run();
         }
@@ -716,6 +1012,8 @@ Search_result exhaustive_search(const Eval_context& ctx,
     for (const auto& chunk : chunks) {
         result.n_evaluated += chunk.n_evaluated;
         result.n_pruned += chunk.n_pruned;
+        result.dp_rows_reused += chunk.dp_rows_reused;
+        result.dp_rows_swept += chunk.dp_rows_swept;
         result.cache_stats += chunk.stats;
         if (chunk.have_best &&
             (!have_best || better_than(chunk.best, result.best))) {

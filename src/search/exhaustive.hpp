@@ -23,6 +23,18 @@
 //     scored); on the uncached path, pace::max_gain bounds the
 //     achievable saving and candidates that cannot beat the incumbent
 //     skip the PACE DP entirely (counted in n_pruned).
+// The interior gain bound is additionally conditioned on the digit
+// prefix already assigned: per op kind, the instance capacity any
+// completion can still reach (assigned digits exactly, open dims at
+// their bound) yields a work/capacity floor on every BSB's schedule
+// length, tightening the coverage bound as digits shrink below their
+// bounds.  DP leaf evaluations run *incrementally*: each worker's
+// Pace_workspace checkpoints the DP rows of its last evaluation, the
+// leaves arrive in tree order (long shared cost prefixes), and the
+// table width is pinned to the total ASIC area
+// (Eval_context::dp_table_budget) so rows stay valid across leaves
+// with different leftover budgets — the sweep restarts at the first
+// BSB whose cost actually changed (Search_result::dp_rows_reused).
 // Because every prune removes only provably-worse points and the
 // reduction applies the same strict better_than the sequential loop
 // used (keep the incumbent on ties), the best tuple is bit-identical
@@ -48,6 +60,13 @@ struct Search_result {
     double seconds = 0.0;      ///< wall-clock time spent
     int n_threads = 1;         ///< worker threads used
     Eval_cache_stats cache_stats;  ///< aggregated over all worker caches
+
+    /// Incremental-DP observability, aggregated over the per-worker
+    /// Pace_workspaces: rows served from the checkpoint vs. rows
+    /// actually swept (see Pace_workspace).  Like n_evaluated these
+    /// depend on chunking; the best tuple never does.
+    long long dp_rows_reused = 0;
+    long long dp_rows_swept = 0;
 };
 
 /// Knobs for exhaustive_search; the defaults are the fast path.
@@ -57,11 +76,19 @@ struct Exhaustive_options {
     bool use_pruning = true;  ///< branch-and-bound (bit-identical best;
                               ///< n_evaluated depends on chunking)
 
+    /// Entry cap for each worker's private Eval_cache (0 = unbounded).
+    /// Bounded caches evict segment-wise (see Eval_cache) so large
+    /// restriction spaces cannot pressure memory; results are
+    /// bit-identical for any capacity.  A caller-owned shared_cache
+    /// keeps whatever capacity it was built with.
+    std::size_t cache_capacity = 0;
+
     /// Optional caller-owned cache, shared with other search phases
     /// (e.g. the fine re-score after a coarse search).  Worker 0 uses
     /// it instead of a private cache; its context must match `ctx` in
-    /// everything but area_quantum.  The cache's contribution still
-    /// shows up in Search_result::cache_stats.
+    /// everything but area_quantum and dp_table_budget (neither
+    /// affects the memoized schedules).  The cache's contribution
+    /// still shows up in Search_result::cache_stats.
     Eval_cache* shared_cache = nullptr;
 };
 

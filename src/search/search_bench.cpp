@@ -9,8 +9,10 @@
 #include "apps/random_app.hpp"
 #include "bsb/bsb.hpp"
 #include "core/analysis.hpp"
+#include "core/multi_allocator.hpp"
 #include "core/restrictions.hpp"
 #include "hw/target.hpp"
+#include "pace/multi_asic.hpp"
 #include "search/eval_cache.hpp"
 #include "search/exhaustive.hpp"
 #include "util/format.hpp"
@@ -127,6 +129,55 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
         });
     }
 
+    // Two-ASIC DP: split the scenario's silicon across two chips and
+    // compare the workspace/frontier DP against the dense reference —
+    // identical results, counted cells, and traceback bytes land in
+    // the multi_asic section of BENCH_search.json.
+    {
+        const std::array<double, 2> budgets = {config.asic_area / 2.0,
+                                               config.asic_area / 2.0};
+        const auto two = core::allocate_two_asics(infos, lib,
+                                                  {.budgets = budgets});
+        const auto mcosts = pace::build_multi_cost_model(
+            bsbs, lib, target, two.allocations[0], two.allocations[1],
+            pace::Controller_mode::list_schedule);
+        const pace::Multi_pace_options mopts{
+            .ctrl_area_budgets = {
+                std::max(0.0, budgets[0] - two.datapath_area[0]),
+                std::max(0.0, budgets[1] - two.datapath_area[1])}};
+
+        pace::Multi_pace_workspace mws;
+        auto fresh = pace::multi_pace_partition(mcosts, mopts, &mws);
+        const int n_new = 40;
+        util::Wall_timer t_new;
+        for (int i = 0; i < n_new; ++i)
+            fresh = pace::multi_pace_partition(mcosts, mopts, &mws);
+        out.multi_secs_new = t_new.seconds() / n_new;
+
+        const int n_dense = 5;
+        pace::Multi_pace_result dense;
+        util::Wall_timer t_dense;
+        for (int i = 0; i < n_dense; ++i)
+            dense = pace::multi_pace_partition_reference(mcosts, mopts);
+        out.multi_secs_dense = t_dense.seconds() / n_dense;
+
+        out.multi_n_bsbs = static_cast<long long>(mcosts.size());
+        out.multi_speedup = out.multi_secs_new > 0.0
+                                ? out.multi_secs_dense / out.multi_secs_new
+                                : 0.0;
+        out.multi_evals_per_sec =
+            out.multi_secs_new > 0.0 ? 1.0 / out.multi_secs_new : 0.0;
+        out.multi_frontier_occupancy = fresh.frontier_occupancy();
+        out.multi_area_quantum = fresh.area_quantum_used;
+        out.multi_traceback_bytes = fresh.traceback_bytes;
+        out.multi_traceback_bytes_dense = dense.traceback_bytes;
+        out.multi_matches_dense =
+            fresh.placement == dense.placement &&
+            fresh.time_hybrid_ns == dense.time_hybrid_ns;
+    }
+
+    out.dp_rows_reused = new_pruned.dp_rows_reused;
+    out.dp_rows_swept = new_pruned.dp_rows_swept;
     out.space_size = old_run.space_size;
     out.n_evaluated = old_run.n_evaluated;
     out.n_evaluated_pruned = new_pruned.n_evaluated;
@@ -192,7 +243,21 @@ std::string to_json(const Search_bench_config& config,
         << ", \"n_evaluated\": " << result.n_evaluated_pruned
         << ", \"n_pruned\": " << result.n_pruned
         << ", \"cache_hit_rate\": " << result.cache_hit_rate_pruned
+        << ", \"dp_rows_reused\": " << result.dp_rows_reused
+        << ", \"dp_rows_swept\": " << result.dp_rows_swept
         << "},\n"
+        << "  \"multi_asic\": {\"n_bsbs\": " << result.multi_n_bsbs
+        << ", \"secs_dense\": " << result.multi_secs_dense
+        << ", \"secs_frontier\": " << result.multi_secs_new
+        << ", \"speedup\": " << result.multi_speedup
+        << ", \"evals_per_sec\": " << result.multi_evals_per_sec
+        << ", \"frontier_occupancy\": " << result.multi_frontier_occupancy
+        << ", \"area_quantum\": " << result.multi_area_quantum
+        << ", \"traceback_bytes\": " << result.multi_traceback_bytes
+        << ", \"traceback_bytes_dense\": "
+        << result.multi_traceback_bytes_dense
+        << ", \"matches_dense\": "
+        << (result.multi_matches_dense ? "true" : "false") << "},\n"
         << "  \"new_parallel\": {\"seconds\": " << result.secs_new_parallel
         << ", \"effective_evals_per_sec\": "
         << result.evals_per_sec_new_parallel
@@ -234,6 +299,16 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << "  time split (one sweep):       sched "
         << util::fixed(result.sched_seconds * 1e3, 1) << " ms, DP "
         << util::fixed(result.dp_seconds * 1e3, 1) << " ms\n"
+        << "  incremental DP (pruned run):  " << result.dp_rows_reused
+        << " rows reused, " << result.dp_rows_swept << " swept\n"
+        << "  multi-ASIC DP:                "
+        << util::fixed(result.multi_secs_new * 1e3, 2) << " ms/partition ("
+        << util::fixed(result.multi_speedup, 1) << "x dense; frontier "
+        << util::fixed(100.0 * result.multi_frontier_occupancy, 1)
+        << "% of grid; traceback "
+        << result.multi_traceback_bytes_dense << " -> "
+        << result.multi_traceback_bytes << " B; "
+        << (result.multi_matches_dense ? "match" : "MISMATCH") << ")\n"
         << "  same best allocation: " << (result.same_best ? "yes" : "NO")
         << " (pruned vs unpruned: "
         << (result.pruned_matches_unpruned ? "match" : "MISMATCH") << ")\n";
@@ -267,9 +342,15 @@ int write_bench_report(const std::string& path, std::ostream& log,
         }
         log << "wrote " << path << "\n";
         if (!result.pruned_matches_unpruned)
-            err << "error: pruned search disagrees with unpruned search "
-                   "on the best allocation\n";
-        return result.same_best && result.pruned_matches_unpruned ? 0 : 1;
+            err << "error: pruned (incremental) search disagrees with the "
+                   "cold unpruned search on the best allocation\n";
+        if (!result.multi_matches_dense)
+            err << "error: two-ASIC frontier DP disagrees with the dense "
+                   "reference\n";
+        return result.same_best && result.pruned_matches_unpruned &&
+                       result.multi_matches_dense
+                   ? 0
+                   : 1;
     }
     catch (const std::exception& e) {
         // Don't leave a zero-byte probe-created file behind.

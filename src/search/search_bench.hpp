@@ -69,6 +69,25 @@ struct Search_bench_result {
     int n_threads = 1;           ///< used by the parallel run
     bool same_best = false;      ///< all variants agreed on the best
     bool pruned_matches_unpruned = false;  ///< explicit B&B cross-check
+
+    /// Incremental-DP observability of the pruned run (the pruned
+    /// search is the incremental path; pruned_matches_unpruned is the
+    /// incremental-vs-cold cross-check CI gates on).
+    long long dp_rows_reused = 0;
+    long long dp_rows_swept = 0;
+
+    /// Two-ASIC DP: the workspace/frontier path against the retained
+    /// dense reference on a two-ASIC split of the same scenario.
+    long long multi_n_bsbs = 0;
+    double multi_secs_dense = 0.0;   ///< per dense partition call
+    double multi_secs_new = 0.0;     ///< per frontier partition call
+    double multi_speedup = 0.0;      ///< dense / new
+    double multi_evals_per_sec = 0.0;  ///< frontier partitions per second
+    double multi_frontier_occupancy = 0.0;  ///< swept / dense DP cells
+    double multi_area_quantum = 0.0;
+    std::size_t multi_traceback_bytes = 0;
+    std::size_t multi_traceback_bytes_dense = 0;
+    bool multi_matches_dense = false;  ///< identical placement + time
 };
 
 /// Build the scenario and run the search variants.

@@ -163,6 +163,116 @@ TEST(MultiPace, evaluate_round_trip_and_size_mismatch)
                  std::invalid_argument);
 }
 
+// The overhaul contract: the workspace/frontier DP with its compact
+// traceback returns the identical placement and time the dense
+// reference computes, across random costs (including infeasible
+// entries), random budgets, explicit and auto quanta, and a workspace
+// reused over differently-sized problems.
+TEST(MultiPace, frontier_matches_dense_randomized)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    lycos::util::Rng rng(47);
+    lp::Multi_pace_workspace ws;
+    for (int trial = 0; trial < 30; ++trial) {
+        const int n = rng.uniform_int(1, 10);
+        std::vector<lp::Multi_bsb_cost> costs;
+        for (int i = 0; i < n; ++i) {
+            auto c = make_cost(
+                rng.uniform_real(100.0, 4000.0),
+                rng.uniform_real(50.0, 2500.0),
+                rng.uniform_real(50.0, 2500.0), rng.uniform_int(1, 40),
+                rng.uniform_int(1, 40),
+                i > 0 ? rng.uniform_real(0.0, 50.0) : 0.0,
+                i > 0 ? rng.uniform_real(0.0, 50.0) : 0.0);
+            if (rng.uniform_int(0, 9) == 0) {
+                const std::size_t a =
+                    static_cast<std::size_t>(rng.uniform_int(0, 1));
+                c.hw[a].t_hw = inf;
+                c.hw[a].ctrl_area = inf;
+            }
+            costs.push_back(c);
+        }
+        const lp::Multi_pace_options opts{
+            .ctrl_area_budgets =
+                {static_cast<double>(rng.uniform_int(10, 90)),
+                 static_cast<double>(rng.uniform_int(10, 90))},
+            .area_quantum = trial % 3 == 0 ? 0.0 : 1.0};
+
+        const auto fast = lp::multi_pace_partition(costs, opts, &ws);
+        const auto dense = lp::multi_pace_partition_reference(costs, opts);
+        EXPECT_EQ(fast.placement, dense.placement) << "trial " << trial;
+        EXPECT_EQ(fast.time_hybrid_ns, dense.time_hybrid_ns);
+        EXPECT_EQ(fast.area_quantum_used, dense.area_quantum_used);
+        EXPECT_LE(fast.ctrl_area_used[0],
+                  opts.ctrl_area_budgets[0] + 1e-9);
+        EXPECT_LE(fast.ctrl_area_used[1],
+                  opts.ctrl_area_budgets[1] + 1e-9);
+
+        // Value-only screening agrees with the full partition.
+        const double saving = lp::multi_pace_best_saving(costs, opts, &ws);
+        EXPECT_NEAR(saving, fast.time_all_sw_ns - fast.time_hybrid_ns,
+                    1e-6)
+            << "trial " << trial;
+    }
+}
+
+TEST(MultiPace, auto_quantum_unified_with_single_asic_default)
+{
+    // Auto quantum = max budget / 4096 (at least one gate), same as
+    // Pace_options — not the /256 the two-ASIC path once used — and
+    // it is reported in the result.
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 100, 100, 50, 50),
+    };
+    const auto small = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {100.0, 60.0}});
+    EXPECT_DOUBLE_EQ(small.area_quantum_used, 1.0);  // 100/4096 < 1 gate
+
+    const auto large = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {81920.0, 100.0}});
+    EXPECT_DOUBLE_EQ(large.area_quantum_used, 81920.0 / 4096.0);
+}
+
+TEST(MultiPace, pathological_quantum_is_requantized_not_allocated)
+{
+    // budget/quantum of 10^13 per axis would mean an astronomical
+    // (a0, a1) grid; the max_dp_cells guard re-quantizes instead and
+    // reports the quantum used, and the result still respects the
+    // budgets.
+    std::vector<lp::Multi_bsb_cost> costs = {
+        make_cost(1000, 100, 150, 40, 40),
+        make_cost(3000, 100, 120, 60, 60),
+    };
+    const lp::Multi_pace_options opts{
+        .ctrl_area_budgets = {1e7, 1e7}, .area_quantum = 1e-6};
+    const auto r = lp::multi_pace_partition(costs, opts);
+    EXPECT_GT(r.area_quantum_used, 1e-6);
+    const double w0 = std::floor(1e7 / r.area_quantum_used) + 1.0;
+    EXPECT_LE(w0 * w0, static_cast<double>(opts.max_dp_cells) * 1.01);
+    EXPECT_LE(r.ctrl_area_used[0], 1e7 + 1e-9);
+    EXPECT_LE(r.ctrl_area_used[1], 1e7 + 1e-9);
+    EXPECT_EQ(r.n_in_hw, 2);
+}
+
+TEST(MultiPace, compact_traceback_is_at_least_4x_smaller)
+{
+    // Nibble packing alone halves each of the two dense byte arrays;
+    // frontier-sized rows shrink it further.
+    lycos::util::Rng rng(7);
+    std::vector<lp::Multi_bsb_cost> costs;
+    for (int i = 0; i < 12; ++i)
+        costs.push_back(make_cost(
+            rng.uniform_real(100.0, 4000.0), rng.uniform_real(50.0, 2500.0),
+            rng.uniform_real(50.0, 2500.0), rng.uniform_int(1, 40),
+            rng.uniform_int(1, 40), 0.0, 0.0));
+    const auto r = lp::multi_pace_partition(
+        costs, {.ctrl_area_budgets = {200.0, 200.0}, .area_quantum = 1.0});
+    EXPECT_GT(r.traceback_bytes, 0u);
+    EXPECT_GE(r.traceback_bytes_dense, 4 * r.traceback_bytes);
+    EXPECT_GT(r.dp_cells_swept, 0);
+    EXPECT_LE(r.dp_cells_swept, r.dp_cells_dense);
+}
+
 class MultiPaceVsBrute : public ::testing::TestWithParam<int> {};
 
 TEST_P(MultiPaceVsBrute, dp_equals_brute_force)

@@ -221,6 +221,203 @@ TEST(Pace, pathological_quantum_is_requantized_not_allocated)
     EXPECT_LE(tight.ctrl_area_used, 100.0 + 1e-9);
 }
 
+// The tentpole contract: a checkpointing workspace fed neighbouring
+// cost vectors (shared prefixes, mutated suffixes) returns the exact
+// partition a cold run computes, bit for bit, across random suffix
+// mutations, budget changes and table-budget widening.
+TEST(Pace, incremental_matches_cold_on_neighbouring_costs)
+{
+    lycos::util::Rng rng(21);
+    const int n = 14;
+    std::vector<lp::Bsb_cost> costs;
+    for (int i = 0; i < n; ++i)
+        costs.push_back(make_cost(rng.uniform_real(100, 5000),
+                                  rng.uniform_real(50, 3000),
+                                  rng.uniform_real(0, 200),
+                                  i > 0 ? rng.uniform_real(0, 100) : 0,
+                                  rng.uniform_int(1, 60)));
+
+    lp::Pace_workspace ws;
+    for (int round = 0; round < 40; ++round) {
+        // Mutate a random suffix — the search-tree locality pattern.
+        const int s = rng.uniform_int(0, n - 1);
+        for (int i = s; i < n; ++i) {
+            costs[static_cast<std::size_t>(i)].t_hw =
+                rng.uniform_real(50, 3000);
+            costs[static_cast<std::size_t>(i)].ctrl_area =
+                rng.uniform_int(1, 60);
+        }
+        // The fixed table budget keeps the DP width stable across the
+        // varying leftover budgets — exactly how the search pins it —
+        // so the checkpoint stays resumable from round to round.
+        lp::Pace_options opts{
+            .ctrl_area_budget =
+                static_cast<double>(rng.uniform_int(20, 300)),
+            .area_quantum = 1.0,
+            .table_area_budget = 300.0};
+
+        const double inc_saving = lp::pace_best_saving(costs, opts, &ws);
+        const double cold_saving = lp::pace_best_saving(costs, opts);
+        EXPECT_EQ(inc_saving, cold_saving) << "round " << round;
+
+        const auto inc = lp::pace_partition(costs, opts, &ws);
+        const auto cold = lp::pace_partition(costs, opts);
+        EXPECT_EQ(inc.in_hw, cold.in_hw) << "round " << round;
+        EXPECT_EQ(inc.time_hybrid_ns, cold.time_hybrid_ns);
+        EXPECT_EQ(inc.ctrl_area_used, cold.ctrl_area_used);
+    }
+    EXPECT_GT(ws.rows_reused(), 0);
+}
+
+// A fixed table budget only widens the DP table; the answer still
+// maxes over the real budget, bit-identically to the narrow table.
+TEST(Pace, table_budget_is_bit_identical)
+{
+    lycos::util::Rng rng(33);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = rng.uniform_int(1, 12);
+        std::vector<lp::Bsb_cost> costs;
+        for (int i = 0; i < n; ++i)
+            costs.push_back(make_cost(rng.uniform_real(100, 5000),
+                                      rng.uniform_real(50, 3000),
+                                      rng.uniform_real(0, 200),
+                                      i > 0 ? rng.uniform_real(0, 100) : 0,
+                                      rng.uniform_int(1, 60)));
+        const double budget = rng.uniform_int(20, 200);
+        const lp::Pace_options narrow{.ctrl_area_budget = budget,
+                                      .area_quantum = 1.0};
+        const lp::Pace_options wide{.ctrl_area_budget = budget,
+                                    .area_quantum = 1.0,
+                                    .table_area_budget = 500.0};
+        const auto a = lp::pace_partition(costs, narrow);
+        const auto b = lp::pace_partition(costs, wide);
+        EXPECT_EQ(a.in_hw, b.in_hw) << "trial " << trial;
+        EXPECT_EQ(a.time_hybrid_ns, b.time_hybrid_ns);
+        EXPECT_EQ(lp::pace_best_saving(costs, narrow),
+                  lp::pace_best_saving(costs, wide));
+    }
+}
+
+// Checkpoint bookkeeping: full reuse on identical costs, resume at
+// the first divergent row, and a full restart whenever the setup
+// fingerprint (quantum / width) mismatches or the checkpoint is
+// dropped — results stay correct in every case.
+TEST(Pace, checkpoint_counters_and_mismatch_forces_restart)
+{
+    std::vector<lp::Bsb_cost> costs;
+    for (int i = 0; i < 10; ++i)
+        costs.push_back(
+            make_cost(1000 + 10 * i, 100 + i, 5, i > 0 ? 2 : 0, 5 + i));
+    const lp::Pace_options opts{.ctrl_area_budget = 60.0,
+                                .area_quantum = 1.0};
+
+    lp::Pace_workspace ws;
+    const double v0 = lp::pace_best_saving(costs, opts, &ws);
+    EXPECT_EQ(ws.rows_swept(), 10);
+    EXPECT_EQ(ws.rows_reused(), 0);
+
+    // Identical call: everything resumes from the checkpoint.
+    EXPECT_EQ(lp::pace_best_saving(costs, opts, &ws), v0);
+    EXPECT_EQ(ws.rows_swept(), 10);
+    EXPECT_EQ(ws.rows_reused(), 10);
+
+    // Divergence at row k: k rows reused, the rest swept.
+    costs[6].t_hw += 1.0;
+    lp::pace_best_saving(costs, opts, &ws);
+    EXPECT_EQ(ws.rows_reused(), 16);
+    EXPECT_EQ(ws.rows_swept(), 14);
+
+    // Fingerprint mismatch (different quantum): full restart.
+    lp::Pace_options finer = opts;
+    finer.area_quantum = 0.5;
+    const auto fine_ws = lp::pace_best_saving(costs, finer, &ws);
+    EXPECT_EQ(ws.rows_reused(), 16);
+    EXPECT_EQ(ws.rows_swept(), 24);
+    EXPECT_EQ(fine_ws, lp::pace_best_saving(costs, finer));
+
+    // Dropped checkpoint: full restart despite identical costs.
+    ws.invalidate_checkpoint();
+    lp::pace_best_saving(costs, finer, &ws);
+    EXPECT_EQ(ws.rows_reused(), 16);
+    EXPECT_EQ(ws.rows_swept(), 34);
+
+    // A traced call cannot reuse rows the value-only sweeps cannot
+    // vouch traceback for: the first partition restarts, the second
+    // resumes fully.
+    lp::Pace_workspace ws2;
+    lp::pace_best_saving(costs, opts, &ws2);
+    const auto p1 = lp::pace_partition(costs, opts, &ws2);
+    EXPECT_EQ(ws2.rows_reused(), 0);
+    const auto p2 = lp::pace_partition(costs, opts, &ws2);
+    EXPECT_EQ(ws2.rows_reused(), 10);
+    EXPECT_EQ(p1.in_hw, p2.in_hw);
+    EXPECT_EQ(p1.time_hybrid_ns, p2.time_hybrid_ns);
+}
+
+// Re-quantization edge: a workspace carried across calls whose tiny
+// quantum trips the max_dp_width guard must agree with cold runs.
+TEST(Pace, incremental_requantization_matches_cold)
+{
+    std::vector<lp::Bsb_cost> costs = {
+        make_cost(1000, 100, 0, 0, 40),
+        make_cost(3000, 100, 0, 0, 60),
+        make_cost(2000, 300, 10, 5, 30),
+    };
+    lp::Pace_workspace ws;
+    for (int round = 0; round < 4; ++round) {
+        costs[2].t_hw = 300.0 + 40.0 * round;
+        const lp::Pace_options opts{.ctrl_area_budget = 100.0,
+                                    .area_quantum = 1.0,
+                                    .max_dp_width = 16};
+        const auto inc = lp::pace_partition(costs, opts, &ws);
+        const auto cold = lp::pace_partition(costs, opts);
+        EXPECT_EQ(inc.in_hw, cold.in_hw) << "round " << round;
+        EXPECT_EQ(inc.time_hybrid_ns, cold.time_hybrid_ns);
+        EXPECT_DOUBLE_EQ(inc.area_quantum_used, 100.0 / 15.0);
+    }
+}
+
+// Above the checkpoint-arena cap the workspace path falls back to the
+// two-row scratch — and a traced fallback call must invalidate the
+// trace record, or a later checkpointing call at the same width would
+// resume over rows the big problem overwrote.
+TEST(Pace, checkpoint_cap_falls_back_and_stays_correct)
+{
+    const lp::Pace_options opts{.ctrl_area_budget = 1000.0,
+                                .area_quantum = 1.0};
+    std::vector<lp::Bsb_cost> small;
+    for (int i = 0; i < 4; ++i)
+        small.push_back(make_cost(1000 + i, 100, 5, i > 0 ? 3 : 0, 200));
+
+    lp::Pace_workspace ws;
+    const auto first = lp::pace_partition(small, opts, &ws);
+    const auto swept_small = ws.rows_swept();
+
+    // 3500 rows at width 1001 exceeds the row arena cap: this traced
+    // call runs uncheckpointed (counters freeze) and scribbles over
+    // the traceback rows.
+    std::vector<lp::Bsb_cost> big;
+    lycos::util::Rng rng(5);
+    for (int i = 0; i < 3500; ++i)
+        big.push_back(make_cost(rng.uniform_real(100, 2000),
+                                rng.uniform_real(50, 1000),
+                                rng.uniform_real(0, 20),
+                                i > 0 ? rng.uniform_real(0, 10) : 0,
+                                rng.uniform_int(1, 400)));
+    const auto huge = lp::pace_partition(big, opts, &ws);
+    EXPECT_EQ(ws.rows_swept(), swept_small + 3500);  // all swept —
+    EXPECT_EQ(ws.rows_reused(), 0);                  // nothing resumed
+    const auto huge_cold = lp::pace_partition(big, opts);
+    EXPECT_EQ(huge.in_hw, huge_cold.in_hw);
+    EXPECT_EQ(huge.time_hybrid_ns, huge_cold.time_hybrid_ns);
+
+    // Same small costs and width again: must match the original
+    // partition even though the traceback rows were overwritten.
+    const auto again = lp::pace_partition(small, opts, &ws);
+    EXPECT_EQ(again.in_hw, first.in_hw);
+    EXPECT_EQ(again.time_hybrid_ns, first.time_hybrid_ns);
+}
+
 TEST(Pace, max_gain_bounds_every_partition)
 {
     lycos::util::Rng rng(3);

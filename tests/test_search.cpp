@@ -394,6 +394,137 @@ TEST(Exhaustive, pruning_safe_with_fast_but_large_variants)
     }
 }
 
+// Incremental-DP observability: the pruned search reports checkpoint
+// reuse, and the counters cover exactly the rows its DP sweeps ran.
+TEST(Exhaustive, incremental_dp_reuses_rows)
+{
+    const auto lib = lycos::hw::make_default_library();
+    lycos::util::Rng rng(11);
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = 6;
+    params.min_ops = 8;
+    params.max_ops = 24;
+    const auto bsbs = lycos::apps::random_bsbs(rng, params);
+    const auto target = lycos::hw::make_default_target(6000.0);
+    const lse::Eval_context ctx{
+        bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
+        target.asic.total_area / 256.0};
+
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 2);
+    bounds.set(2, 2);
+
+    const auto reference = lse::exhaustive_search(
+        ctx, bounds,
+        {.n_threads = 1, .use_cache = true, .use_pruning = false});
+    const auto pruned = lse::exhaustive_search(
+        ctx, bounds,
+        {.n_threads = 1, .use_cache = true, .use_pruning = true});
+    EXPECT_EQ(pruned.best.datapath, reference.best.datapath);
+    EXPECT_EQ(pruned.best.partition.time_hybrid_ns,
+              reference.best.partition.time_hybrid_ns);
+    EXPECT_GT(pruned.dp_rows_swept, 0);
+    EXPECT_GT(pruned.dp_rows_reused, 0);
+    // The unpruned walk runs exactly one full DP per evaluated point
+    // (no screening), so its counters account for n_bsbs rows each.
+    EXPECT_EQ(reference.dp_rows_swept + reference.dp_rows_reused,
+              reference.n_evaluated *
+                  static_cast<long long>(bsbs.size()));
+}
+
+// A bounded cache evicts instead of growing without limit, and the
+// best tuple is bit-identical to the unbounded search.
+TEST(Exhaustive, bounded_cache_matches_and_evicts)
+{
+    const auto lib = lycos::hw::make_default_library();
+    lycos::util::Rng rng(13);
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = 5;
+    params.min_ops = 8;
+    params.max_ops = 20;
+    const auto bsbs = lycos::apps::random_bsbs(rng, params);
+    const auto target = lycos::hw::make_default_target(5000.0);
+    const lse::Eval_context ctx{
+        bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
+        target.asic.total_area / 128.0};
+
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 2);
+    bounds.set(2, 1);
+
+    const auto unbounded = lse::exhaustive_search(
+        ctx, bounds,
+        {.n_threads = 1, .use_cache = true, .use_pruning = false});
+    for (const std::size_t cap : {2u, 8u}) {
+        for (const bool pruning : {false, true}) {
+            const auto capped = lse::exhaustive_search(
+                ctx, bounds,
+                {.n_threads = 1, .use_cache = true, .use_pruning = pruning,
+                 .cache_capacity = cap});
+            EXPECT_EQ(capped.best.datapath, unbounded.best.datapath)
+                << "cap " << cap << " pruning " << pruning;
+            EXPECT_EQ(capped.best.partition.time_hybrid_ns,
+                      unbounded.best.partition.time_hybrid_ns);
+            EXPECT_EQ(capped.best.datapath_area,
+                      unbounded.best.datapath_area);
+            if (!pruning && cap == 2)
+                EXPECT_GT(capped.cache_stats.evictions, 0);
+        }
+    }
+}
+
+// Eval_cache unit behavior under a capacity: entries stay bounded by
+// two generations, evicted entries recompute to the same values, and
+// find_one never schedules.
+TEST(EvalCache, segmented_eviction_is_bounded_and_consistent)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lycos::pace::Controller_mode::optimistic_eca,
+                                1.0};
+    const std::size_t cap = 4;
+    lse::Eval_cache capped(ctx, cap);
+    lse::Eval_cache fresh(ctx);
+    EXPECT_EQ(capped.capacity(), cap);
+
+    std::vector<int> counts(lib.size(), 0);
+    // find_one on an unseen projection: nothing computed, no miss.
+    EXPECT_EQ(capped.find_one(0, counts), nullptr);
+    EXPECT_EQ(capped.stats().misses, 0);
+
+    for (int c0 = 0; c0 <= 4; ++c0) {
+        for (int c1 = 0; c1 <= 4; ++c1) {
+            counts[0] = c0;
+            counts[1] = c1;
+            for (std::size_t b = 0; b < bsbs.size(); ++b) {
+                const auto got = capped.cost_one(b, counts);
+                const auto want = fresh.cost_one(b, counts);
+                EXPECT_EQ(got.t_hw, want.t_hw);
+                EXPECT_EQ(got.ctrl_area, want.ctrl_area);
+                // Now memoized: find_one sees it.
+                EXPECT_NE(capped.find_one(b, counts), nullptr);
+            }
+            EXPECT_LE(capped.entries(), 2 * cap);
+        }
+    }
+    EXPECT_GT(capped.stats().evictions, 0);
+
+    // Re-querying an evicted projection schedules again — and lands on
+    // the same cost the unbounded cache still remembers.
+    counts[0] = 0;
+    counts[1] = 0;
+    const auto miss_before = capped.stats().misses;
+    const auto recomputed = capped.cost_one(0, counts);
+    const auto remembered = fresh.cost_one(0, counts);
+    EXPECT_GT(capped.stats().misses, miss_before);
+    EXPECT_EQ(recomputed.t_hw, remembered.t_hw);
+    EXPECT_EQ(recomputed.ctrl_area, remembered.ctrl_area);
+}
+
 TEST(Exhaustive, shared_cache_serves_search_and_rescore)
 {
     const auto lib = small_library();

@@ -93,6 +93,9 @@ int main(int argc, char** argv)
     args.add_option("set", "", "override counts, e.g. const_gen=1,divider=1");
     args.add_option("search", "none",
                     "compare against the best allocation: none|auto");
+    args.add_option("cache-cap", "0",
+                    "entry cap per search evaluation cache (0 = unbounded; "
+                    "bounded caches evict segment-wise, results identical)");
     args.add_option("bench-json", "",
                     "run the old-vs-new search benchmark and write the "
                     "BENCH_search.json report to this path, then exit");
@@ -280,14 +283,17 @@ int main(int argc, char** argv)
         if (args.value("search") == "auto") {
             search::Eval_context sctx = ctx;
             sctx.area_quantum = area / 512.0;
+            const auto cache_cap = static_cast<std::size_t>(
+                std::stoll(args.value("cache-cap")));
             // One cache serves the coarse search and the fine re-score
             // below: BSB schedules don't depend on the PACE quantum.
-            search::Eval_cache cache(sctx);
+            search::Eval_cache cache(sctx, cache_cap);
             const search::Alloc_space space(lib, restrictions);
             search::Search_result best;
             if (space.size() <= 30000) {
-                best = search::exhaustive_search(sctx, restrictions,
-                                                 {.shared_cache = &cache});
+                best = search::exhaustive_search(
+                    sctx, restrictions,
+                    {.cache_capacity = cache_cap, .shared_cache = &cache});
                 std::cout << "\nbest (exhaustive, "
                           << util::with_commas(best.n_evaluated)
                           << " scored + "
@@ -295,8 +301,19 @@ int main(int argc, char** argv)
                           << " pruned of "
                           << util::with_commas(best.space_size)
                           << " allocations, cache hit rate "
-                          << util::percent(best.cache_stats.hit_rate())
-                          << "): ";
+                          << util::percent(best.cache_stats.hit_rate());
+                if (best.cache_stats.evictions > 0)
+                    std::cout << ", "
+                              << util::with_commas(
+                                     best.cache_stats.evictions)
+                              << " evicted";
+                if (best.dp_rows_swept > 0)
+                    std::cout << ", DP rows "
+                              << util::with_commas(best.dp_rows_reused)
+                              << " reused / "
+                              << util::with_commas(best.dp_rows_swept)
+                              << " swept";
+                std::cout << "): ";
             }
             else {
                 util::Rng rng(0xD47E1998);
