@@ -10,8 +10,7 @@
 #include "core/allocator.hpp"
 #include "hw/target.hpp"
 #include "search/exhaustive.hpp"
-#include "search/hill_climb.hpp"
-#include "util/rng.hpp"
+#include "solver/solver.hpp"
 #include "util/timer.hpp"
 
 namespace lycos::benchx {
@@ -64,38 +63,35 @@ inline Run run_flow(apps::App app)
     return r;
 }
 
-/// Best allocation by search: exhaustive when the space fits the
-/// budget of evaluations, otherwise iterated hill climbing.  The
-/// coarse search and the fine re-score of the winner share one
-/// Eval_cache — the per-BSB schedules don't depend on the PACE
-/// quantum, so the re-score runs entirely on warm entries — and
-/// Search_result::cache_stats reports the combined hit rate.
+/// Best allocation by search — deprecated shim over solver::Session's
+/// auto strategy pick: exhaustive when the space fits the budget of
+/// evaluations, otherwise iterated hill climbing (the session's fixed
+/// seed keeps the "best found" reproducible).  The coarse search and
+/// the fine re-score of the winner share the session cache — the
+/// per-BSB schedules don't depend on the PACE quantum, so the
+/// re-score runs entirely on warm entries — and the returned
+/// cache_stats report the combined hit rate.  Prefer driving a
+/// Session directly.
 inline search::Search_result find_best(const Run& r,
                                        long long exhaustive_limit = 30000)
 {
-    const double quantum =
+    solver::Problem problem;
+    problem.bsbs = r.app.bsbs;
+    problem.lib = &r.lib;
+    problem.target = r.target;
+    problem.restrictions = r.restrictions;
+    problem.ctrl_mode = k_eval_mode;
+    problem.area_quantum =
         r.target.asic.total_area / k_search_quantum_divisor;
-    const auto ctx = context(r, k_eval_mode, quantum);
-    search::Eval_cache cache(ctx);
-    const search::Alloc_space space(r.lib, r.restrictions);
-    search::Search_result result;
-    if (space.size() <= exhaustive_limit) {
-        result = search::exhaustive_search(ctx, r.restrictions,
-                                           {.shared_cache = &cache});
-    }
-    else {
-        util::Rng rng(0xD47E1998);  // fixed seed: reproducible "best found"
-        result = search::hill_climb_search(
-            ctx, r.restrictions,
-            {.n_restarts = 12, .max_steps = 128, .shared_cache = &cache},
-            rng);
-    }
-    // Re-score the winner with the fine default quantum, on the same
-    // cache; fold the re-score's lookups into the reported stats.
-    const auto before = cache.stats();
-    result.best =
-        search::evaluate_allocation(context(r), result.best.datapath, &cache);
-    result.cache_stats += cache.stats().minus(before);
+    solver::Session session(problem);
+    session.exhaustive_limit = exhaustive_limit;
+
+    auto result = solver::to_search_result(session.solve());
+    // Re-score the winner with the fine default quantum, on the warm
+    // session cache; fold the re-score's lookups into the stats.
+    const auto before = session.cache().stats();
+    result.best = session.rescore(result.best.datapath);
+    result.cache_stats += session.cache().stats().minus(before);
     return result;
 }
 

@@ -380,6 +380,24 @@ Multi_pace_result evaluate_multi_partition(
     return r;
 }
 
+double multi_max_gain(std::span<const Multi_bsb_cost> costs)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        double best = 0.0;
+        for (const auto& h : costs[i].hw) {
+            if (std::isinf(h.t_hw))
+                continue;
+            double gain = costs[i].t_sw - h.t_hw - h.comm;
+            if (i > 0)
+                gain += std::max(0.0, h.save_prev);
+            best = std::max(best, gain);
+        }
+        total += best;
+    }
+    return total;
+}
+
 double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
                               const Multi_pace_options& options,
                               Multi_pace_workspace* workspace)

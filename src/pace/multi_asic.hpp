@@ -122,6 +122,15 @@ double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
                               const Multi_pace_options& options,
                               Multi_pace_workspace* workspace = nullptr);
 
+/// Admissible bound on the total saving any two-ASIC placement of
+/// `costs` can achieve — the generalization of pace::max_gain: each
+/// BSB contributes the better of its two per-ASIC gains, crediting
+/// the larger adjacency saving unconditionally and ignoring both area
+/// budgets.  For every placement, time_all_sw - time_hybrid <=
+/// multi_max_gain(costs); the multi-ASIC allocation search skips the
+/// screening DP for pairs whose bound cannot beat the incumbent.
+double multi_max_gain(std::span<const Multi_bsb_cost> costs);
+
 /// Caller-owned reusable buffers for the two-ASIC DP.  Grow-only;
 /// one workspace per thread, never shared across concurrent calls.
 class Multi_pace_workspace {

@@ -2,29 +2,39 @@
 
 namespace lycos::search {
 
-Eval_cache::Eval_cache(const Eval_context& ctx, std::size_t max_entries)
-    : ctx_(ctx), lat_(sched::latency_table_from(ctx.lib)),
+Eval_invariants::Eval_invariants(const Eval_context& ctx)
+    : lat_(sched::latency_table_from(ctx.lib))
+{
+    const std::size_t n = ctx.bsbs.size();
+    relevant_.resize(n);
+    frames_.reserve(n);
+    invariants_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto used = ctx.bsbs[i].graph.used_ops();
+        for (std::size_t r = 0; r < ctx.lib.size(); ++r)
+            if (ctx.lib[static_cast<hw::Resource_id>(r)].ops.intersects(
+                    used))
+                relevant_[i].push_back(static_cast<hw::Resource_id>(r));
+        frames_.push_back(
+            sched::compute_time_frames(ctx.bsbs[i].graph, lat_));
+        invariants_.push_back(
+            pace::bsb_cost_invariants(ctx.bsbs, i, ctx.target));
+    }
+}
+
+Eval_cache::Eval_cache(const Eval_context& ctx, std::size_t max_entries,
+                       std::shared_ptr<const Eval_invariants> shared)
+    : ctx_(ctx),
+      inv_(shared != nullptr ? std::move(shared)
+                             : std::make_shared<const Eval_invariants>(ctx)),
       max_entries_(max_entries)
 {
-    relevant_.resize(ctx_.bsbs.size());
-    frames_.reserve(ctx_.bsbs.size());
     memo_.resize(ctx_.bsbs.size());
     if (max_entries_ > 0)
         previous_.resize(ctx_.bsbs.size());
     last_key_.resize(ctx_.bsbs.size());
     last_cost_.resize(ctx_.bsbs.size());
     last_valid_.assign(ctx_.bsbs.size(), 0);
-    for (std::size_t i = 0; i < ctx_.bsbs.size(); ++i) {
-        const auto used = ctx_.bsbs[i].graph.used_ops();
-        for (std::size_t r = 0; r < ctx_.lib.size(); ++r)
-            if (ctx_.lib[static_cast<hw::Resource_id>(r)].ops.intersects(
-                    used))
-                relevant_[i].push_back(static_cast<hw::Resource_id>(r));
-        frames_.push_back(
-            sched::compute_time_frames(ctx_.bsbs[i].graph, lat_));
-        invariants_.push_back(
-            pace::bsb_cost_invariants(ctx_.bsbs, i, ctx_.target));
-    }
 }
 
 std::vector<pace::Bsb_cost> Eval_cache::costs_for(const core::Rmap& alloc)
@@ -61,11 +71,10 @@ const pace::Bsb_cost& Eval_cache::cost_one(std::size_t bsb,
         return *found;
     // find_one left the projection key in key_ — reuse it.
     ++stats_.misses;
-    const auto cost =
-        pace::bsb_cost_one(ctx_.bsbs, bsb, ctx_.lib, ctx_.target, counts,
-                           lat_, ctx_.ctrl_mode, ctx_.storage,
-                           ctx_.scheduler, &frames_[bsb],
-                           &invariants_[bsb], &sched_ws_);
+    const auto cost = pace::bsb_cost_one(
+        ctx_.bsbs, bsb, ctx_.lib, ctx_.target, counts, inv_->latencies(),
+        ctx_.ctrl_mode, ctx_.storage, ctx_.scheduler, &inv_->frames(bsb),
+        &inv_->invariants(bsb), &sched_ws_);
     insert(bsb, key_, cost);
     last_key_[bsb] = key_;
     last_cost_[bsb] = cost;
@@ -78,7 +87,7 @@ const pace::Bsb_cost* Eval_cache::find_one(std::size_t bsb,
 {
     auto& key = key_;
     key.clear();
-    for (hw::Resource_id r : relevant_[bsb])
+    for (hw::Resource_id r : inv_->relevant(bsb))
         key.push_back(counts[static_cast<std::size_t>(r)]);
 
     // Fast path: successive enumeration/climb points change one

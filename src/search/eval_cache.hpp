@@ -14,12 +14,29 @@
 // Cached and uncached evaluation agree bit-for-bit (pinned by
 // tests/test_sched_equivalence.cpp).
 //
-// A cache is not thread-safe; the parallel exhaustive search creates
-// one per worker thread.
+// A cache is not thread-safe; the parallel searches create one per
+// worker thread.  Two kinds of state are involved:
+//   * the *memo* (projection -> cost) is mutable and stays private to
+//     its worker.  A caller-owned cache passed through the options'
+//     `shared_cache` is therefore used by worker 0 only — handing it
+//     to every worker would race; the other workers build private
+//     caches and their contributions are aggregated into the reported
+//     cache stats.  This is deliberate, not an oversight: sharing the
+//     memo across threads would need locking on the hottest path of
+//     the whole search.
+//   * the allocation-independent per-BSB data every cache needs
+//     (projection axes, hoisted ASAP/ALAP frames, cost invariants,
+//     the latency table) is immutable after construction.  That part
+//     *is* shareable: Eval_invariants computes it once, and every
+//     worker cache built from the same instance reads it read-only
+//     instead of recomputing it per worker (bit-identical results,
+//     pinned by tests).  A solver::Session owns one instance per
+//     problem and threads it through all of its strategies.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +45,51 @@
 #include "search/evaluate.hpp"
 
 namespace lycos::search {
+
+/// The immutable, allocation-independent part of an Eval_cache: per
+/// BSB the projection axes (resource types whose op set intersects the
+/// BSB's ops), the hoisted ASAP/ALAP time frames, the allocation-
+/// independent cost fields, plus the library's cheapest-executor
+/// latency table.  Computing these walks every BSB graph — which the
+/// parallel searches used to pay once per worker cache; computed once
+/// (e.g. by a solver::Session) and shared read-only across all worker
+/// caches, every worker skips that setup and the results stay
+/// bit-identical.  The context's BSBs, library and target must outlive
+/// the instance; caches built from it may differ from the originating
+/// context only in area_quantum / dp_table_budget / ctrl_mode /
+/// storage (none of which these fields depend on... ctrl_mode and
+/// storage affect only the schedule-dependent cost fields).
+class Eval_invariants {
+public:
+    explicit Eval_invariants(const Eval_context& ctx);
+
+    const sched::Latency_table& latencies() const { return lat_; }
+
+    /// Projection axes of BSB `bsb` (resource ids in id order).
+    const std::vector<hw::Resource_id>& relevant(std::size_t bsb) const
+    {
+        return relevant_[bsb];
+    }
+
+    /// ASAP/ALAP time frames of BSB `bsb` under latencies().
+    const sched::Schedule_info& frames(std::size_t bsb) const
+    {
+        return frames_[bsb];
+    }
+
+    /// Allocation-independent cost fields of BSB `bsb` (t_sw, comm,
+    /// save_prev; see pace::bsb_cost_invariants).
+    const pace::Bsb_cost& invariants(std::size_t bsb) const
+    {
+        return invariants_[bsb];
+    }
+
+private:
+    sched::Latency_table lat_;
+    std::vector<std::vector<hw::Resource_id>> relevant_;
+    std::vector<sched::Schedule_info> frames_;
+    std::vector<pace::Bsb_cost> invariants_;
+};
 
 /// Observability counters (wired into Search_result).
 struct Eval_cache_stats {
@@ -73,8 +135,13 @@ public:
     /// per-entry bookkeeping.  Results are bit-identical for any
     /// capacity; large restriction spaces just stop pressuring
     /// memory.  0 = unbounded (the default, same as before).
-    explicit Eval_cache(const Eval_context& ctx,
-                        std::size_t max_entries = 0);
+    ///
+    /// With a non-null `shared`, the cache reads the precomputed
+    /// immutable frames/invariants instead of recomputing them (see
+    /// Eval_invariants for the compatibility rule); results are
+    /// bit-identical either way.
+    explicit Eval_cache(const Eval_context& ctx, std::size_t max_entries = 0,
+                        std::shared_ptr<const Eval_invariants> shared = {});
 
     /// Per-BSB costs under `alloc` — the memoized equivalent of
     /// pace::build_cost_model(ctx...).
@@ -123,7 +190,14 @@ public:
     /// the prune model reuses them instead of recomputing).
     const sched::Schedule_info& frames(std::size_t bsb) const
     {
-        return frames_[bsb];
+        return inv_->frames(bsb);
+    }
+
+    /// The immutable invariants this cache reads (shared or privately
+    /// computed) — reusable for further caches over the same problem.
+    const std::shared_ptr<const Eval_invariants>& invariants() const
+    {
+        return inv_;
     }
 
 private:
@@ -146,20 +220,13 @@ private:
                 const pace::Bsb_cost& cost);
 
     const Eval_context ctx_;
-    sched::Latency_table lat_;
+    /// Immutable per-BSB data (projection axes, frames, invariants,
+    /// latency table): shared read-only across worker caches when the
+    /// constructor got one, privately computed otherwise.
+    std::shared_ptr<const Eval_invariants> inv_;
     std::size_t max_entries_ = 0;
     std::size_t n_current_ = 0;
     std::size_t n_previous_ = 0;
-    /// Per BSB: resource ids whose op set intersects the BSB's ops, in
-    /// id order — the projection axes of the cache key.
-    std::vector<std::vector<hw::Resource_id>> relevant_;
-    /// Per BSB: ALAP time frames, allocation-independent, hoisted so
-    /// cache misses skip the O(V+E) recomputation.
-    std::vector<sched::Schedule_info> frames_;
-    /// Per BSB: allocation-independent cost fields (t_sw, comm,
-    /// save_prev), hoisted so misses skip the software-time walk and
-    /// the live-set intersection (see pace::bsb_cost_invariants).
-    std::vector<pace::Bsb_cost> invariants_;
     /// Scheduler scratch reused by every miss (the cache is
     /// single-threaded, so one workspace serves all of them).
     sched::Schedule_workspace sched_ws_;

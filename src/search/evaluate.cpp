@@ -45,9 +45,8 @@ Evaluation evaluate_with_costs(const Eval_context& ctx,
 
 bool better_than(const Evaluation& a, const Evaluation& b)
 {
-    if (a.partition.time_hybrid_ns != b.partition.time_hybrid_ns)
-        return a.partition.time_hybrid_ns < b.partition.time_hybrid_ns;
-    return a.datapath_area < b.datapath_area;
+    return better_tuple(a.partition.time_hybrid_ns, a.datapath_area,
+                        b.partition.time_hybrid_ns, b.datapath_area);
 }
 
 }  // namespace lycos::search

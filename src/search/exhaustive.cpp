@@ -876,7 +876,7 @@ double prime_incumbent(const Eval_context& ctx,
 
 }  // namespace
 
-Search_result exhaustive_search(const Eval_context& ctx,
+Search_result exhaustive_engine(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
                                 const Exhaustive_options& options)
 {
@@ -937,7 +937,8 @@ Search_result exhaustive_search(const Eval_context& ctx,
     if (chunk0_cache != nullptr)
         shared_before = chunk0_cache->stats();
     if (options.use_cache && chunk0_cache == nullptr) {
-        primed_cache.emplace(ctx, options.cache_capacity);
+        primed_cache.emplace(ctx, options.cache_capacity,
+                             options.invariants);
         chunk0_cache = &*primed_cache;
     }
 
@@ -961,7 +962,8 @@ Search_result exhaustive_search(const Eval_context& ctx,
                 cache = chunk0_cache;
             }
             else {
-                own_cache.emplace(ctx, options.cache_capacity);
+                own_cache.emplace(ctx, options.cache_capacity,
+                                  options.invariants);
                 cache = &*own_cache;
             }
         }
@@ -1000,6 +1002,9 @@ Search_result exhaustive_search(const Eval_context& ctx,
     if (n_threads == 1) {
         run_chunk(0, 0, n);
     }
+    else if (options.pool != nullptr) {
+        util::parallel_chunks(*options.pool, n, n_threads, run_chunk);
+    }
     else {
         util::Thread_pool pool(n_threads);
         util::parallel_chunks(pool, n, n_threads, run_chunk);
@@ -1025,5 +1030,10 @@ Search_result exhaustive_search(const Eval_context& ctx,
     result.seconds = timer.seconds();
     return result;
 }
+
+// The deprecated exhaustive_search shim lives in solver/compat.cpp:
+// it delegates to a solver::Session, and the solver layer already
+// depends on this one — defining it there keeps the dependency
+// one-directional.
 
 }  // namespace lycos::search

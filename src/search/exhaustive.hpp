@@ -41,9 +41,15 @@
 // to the unpruned single-threaded search for any thread count.
 #pragma once
 
+#include <memory>
+
 #include "search/alloc_space.hpp"
 #include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
+
+namespace lycos::util {
+class Thread_pool;
+}
 
 namespace lycos::search {
 
@@ -85,17 +91,47 @@ struct Exhaustive_options {
 
     /// Optional caller-owned cache, shared with other search phases
     /// (e.g. the fine re-score after a coarse search).  Worker 0 uses
-    /// it instead of a private cache; its context must match `ctx` in
-    /// everything but area_quantum and dp_table_budget (neither
-    /// affects the memoized schedules).  The cache's contribution
-    /// still shows up in Search_result::cache_stats.
+    /// it instead of a private cache — the memo is single-threaded,
+    /// see the eval_cache.hpp header note; its context must match
+    /// `ctx` in everything but area_quantum and dp_table_budget
+    /// (neither affects the memoized schedules).  The cache's
+    /// contribution still shows up in Search_result::cache_stats.
     Eval_cache* shared_cache = nullptr;
+
+    /// Precomputed immutable frames/invariants for every worker cache
+    /// (including the ones built privately by workers 1..n-1), so the
+    /// per-worker O(app) setup runs once per problem instead of once
+    /// per worker.  Null: each private cache computes its own.  A
+    /// solver::Session always fills this in.  Engine-level option:
+    /// the deprecated shims ignore it (their one-shot Session manages
+    /// its own) — results are unaffected either way.
+    std::shared_ptr<const Eval_invariants> invariants;
+
+    /// Run the chunks on this caller-owned pool instead of spawning a
+    /// fresh one per call (the pool's thread count need not match
+    /// n_threads — chunks are queued tasks).  A solver::Session owns
+    /// one pool and reuses it across solves.  Engine-level option,
+    /// ignored by the deprecated shims like `invariants`.
+    util::Thread_pool* pool = nullptr;
 };
 
 /// Score every allocation within `restrictions` whose data-path fits
 /// the ASIC and return the one PACE likes best.  Ties are broken
 /// toward smaller data-path area (cheaper hardware), then toward the
 /// enumeration order (deterministic, independent of thread count).
+///
+/// This is the engine behind the solver's `exhaustive_bb` strategy;
+/// prefer driving it through a solver::Session, which owns the thread
+/// pool, the shared cache and the shared invariants for you.
+Search_result exhaustive_engine(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Exhaustive_options& options = {});
+
+/// Deprecated shim: builds a one-shot solver::Session over (ctx,
+/// restrictions) and runs the `exhaustive_bb` strategy — bit-identical
+/// best tuple to exhaustive_engine for any thread count (pinned by
+/// tests/test_solver.cpp and the bench cross-check).
+[[deprecated("use solver::Session::solve(\"exhaustive_bb\")")]]
 Search_result exhaustive_search(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
                                 const Exhaustive_options& options = {});

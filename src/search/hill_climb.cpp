@@ -1,7 +1,9 @@
 #include "search/hill_climb.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
+#include <utility>
 
 #include "search/eval_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -11,15 +13,27 @@ namespace lycos::search {
 
 namespace {
 
+/// Screened score of one candidate: the value-only DP's hybrid time
+/// and the data-path area — everything the climb needs to pick steps
+/// and the best, at a fraction of a full partition reconstruction.
+struct Screened {
+    double time = std::numeric_limits<double>::infinity();
+    double area = 0.0;
+    core::Rmap point;
+    bool valid = false;
+};
+
 /// What one restart's climb produces; reduced in restart order.
 struct Restart_result {
-    Evaluation best;
-    bool have_best = false;
+    Screened best;
     long long n_evaluated = 0;
 };
 
-/// Per-worker scratch buffers: one evaluation costs one memoized cost
-/// fetch into `costs` (no per-call vector churn) plus one DP on `ws`.
+/// Per-worker scratch buffers: one screened evaluation costs one
+/// memoized cost fetch into `costs` (no per-call vector churn) plus
+/// one value-only DP on `ws` — the workspace checkpoint resumes at
+/// the first divergent cost row, and the +-1 neighbourhood leaves
+/// most rows untouched.
 struct Climb_scratch {
     Eval_cache& cache;
     pace::Pace_workspace ws;
@@ -27,35 +41,51 @@ struct Climb_scratch {
 
     explicit Climb_scratch(Eval_cache& c) : cache(c) {}
 
-    Evaluation evaluate(const Eval_context& ctx, const core::Rmap& a)
+    /// (screened hybrid time, data-path area) of `a`.  A non-fitting
+    /// point scores its all-software time, exactly as the full
+    /// evaluation pipeline reports it.
+    std::pair<double, double> screen(const Eval_context& ctx,
+                                     const core::Rmap& a)
     {
         cache.costs_for(a, costs);
-        return evaluate_with_costs(ctx, a, costs, &ws);
+        const double area = a.area(ctx.lib);
+        const double all_sw = pace::all_sw_time_ns(costs);
+        if (area > ctx.target.asic.total_area)
+            return {all_sw, area};
+        pace::Pace_options opts;
+        opts.ctrl_area_budget = ctx.target.asic.total_area - area;
+        opts.area_quantum = ctx.area_quantum;
+        opts.table_area_budget = ctx.dp_table_budget;
+        return {all_sw - pace::pace_best_saving(costs, opts, &ws), area};
     }
 };
 
 /// Steepest-ascent climb from `start`, recording the best of *every*
-/// evaluation (not just accepted steps) exactly as the sequential
-/// search did.
+/// screened evaluation (not just accepted steps) exactly as the
+/// full-evaluation climb did.
 void climb(const Eval_context& ctx, const Alloc_space& space,
            const Hill_climb_options& options, const core::Rmap& start,
            Climb_scratch& scratch, Restart_result& out)
 {
-    auto consider = [&](const Evaluation& ev) {
-        if (!out.have_best || better_than(ev, out.best)) {
-            out.best = ev;
-            out.have_best = true;
+    auto consider = [&](double time, double area, const core::Rmap& p) {
+        if (!out.best.valid ||
+            better_tuple(time, area, out.best.time, out.best.area)) {
+            out.best.time = time;
+            out.best.area = area;
+            out.best.point = p;
+            out.best.valid = true;
         }
     };
 
     core::Rmap current = start;
-    Evaluation current_ev = scratch.evaluate(ctx, current);
+    auto [cur_time, cur_area] = scratch.screen(ctx, current);
     ++out.n_evaluated;
-    consider(current_ev);
+    consider(cur_time, cur_area, current);
 
     for (int step = 0; step < options.max_steps; ++step) {
-        Evaluation best_neighbour;
-        core::Rmap best_neighbour_map;
+        double best_time = 0.0;
+        double best_area = 0.0;
+        core::Rmap best_neighbour;
         bool found = false;
 
         for (const auto& [r, bound] : space.dims()) {
@@ -67,27 +97,31 @@ void climb(const Eval_context& ctx, const Alloc_space& space,
                 candidate.set(r, c);
                 if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
                     continue;
-                const Evaluation ev = scratch.evaluate(ctx, candidate);
+                const auto [time, area] = scratch.screen(ctx, candidate);
                 ++out.n_evaluated;
-                consider(ev);
-                if (!found || better_than(ev, best_neighbour)) {
-                    best_neighbour = ev;
-                    best_neighbour_map = candidate;
+                consider(time, area, candidate);
+                if (!found ||
+                    better_tuple(time, area, best_time, best_area)) {
+                    best_time = time;
+                    best_area = area;
+                    best_neighbour = candidate;
                     found = true;
                 }
             }
         }
 
-        if (!found || !better_than(best_neighbour, current_ev))
+        if (!found ||
+            !better_tuple(best_time, best_area, cur_time, cur_area))
             break;  // local optimum
-        current = best_neighbour_map;
-        current_ev = best_neighbour;
+        current = best_neighbour;
+        cur_time = best_time;
+        cur_area = best_area;
     }
 }
 
 }  // namespace
 
-Search_result hill_climb_search(const Eval_context& ctx,
+Search_result hill_climb_engine(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
                                 const Hill_climb_options& options,
                                 util::Rng& rng)
@@ -102,6 +136,16 @@ Search_result hill_climb_search(const Eval_context& ctx,
         result.seconds = timer.seconds();
         return result;
     }
+
+    // Pin the DP table width to the total ASIC area so each worker's
+    // Pace_workspace checkpoint stays valid across the neighbourhood's
+    // different leftover controller budgets — only with an explicit
+    // search quantum, for the same reason exhaustive_engine does: the
+    // automatic quantum derives from the budget, and widening the
+    // table would change it.
+    Eval_context run_ctx = ctx;
+    if (ctx.area_quantum > 0.0)
+        run_ctx.dp_table_budget = ctx.target.asic.total_area;
 
     // Draw every start point up front, in restart order: the random
     // sequence — and therefore the whole search — is independent of
@@ -134,13 +178,15 @@ Search_result hill_climb_search(const Eval_context& ctx,
             shared_before = cache->stats();
         }
         else {
-            own_cache.emplace(ctx);
+            own_cache.emplace(ctx, options.cache_capacity,
+                              options.invariants);
             cache = &*own_cache;
         }
         Climb_scratch scratch(*cache);
         for (long long r = begin; r < end; ++r)
-            climb(ctx, space, options, starts[static_cast<std::size_t>(r)],
-                  scratch, restarts[static_cast<std::size_t>(r)]);
+            climb(run_ctx, space, options,
+                  starts[static_cast<std::size_t>(r)], scratch,
+                  restarts[static_cast<std::size_t>(r)]);
         chunk_stats[c] = cache == options.shared_cache
                              ? cache->stats().minus(shared_before)
                              : cache->stats();
@@ -149,27 +195,39 @@ Search_result hill_climb_search(const Eval_context& ctx,
     if (n_threads == 1) {
         run_chunk(0, 0, n_restarts);
     }
+    else if (options.pool != nullptr) {
+        util::parallel_chunks(*options.pool, n_restarts, n_threads,
+                              run_chunk);
+    }
     else {
         util::Thread_pool pool(n_threads);
         util::parallel_chunks(pool, n_restarts, n_threads, run_chunk);
     }
 
-    // Reduce in restart order with the strict better_than the
-    // sequential loop applied, so ties keep the earliest restart.
-    bool have_best = false;
+    // Reduce in restart order with the strict screened comparison the
+    // per-restart loops used, so ties keep the earliest restart.
+    Screened winner;
     for (const auto& r : restarts) {
         result.n_evaluated += r.n_evaluated;
-        if (r.have_best &&
-            (!have_best || better_than(r.best, result.best))) {
-            result.best = r.best;
-            have_best = true;
-        }
+        if (r.best.valid &&
+            (!winner.valid || better_tuple(r.best.time, r.best.area,
+                                              winner.time, winner.area)))
+            winner = r.best;
     }
     for (const auto& s : chunk_stats)
         result.cache_stats += s;
 
+    // Only the overall winner pays for the full partition
+    // reconstruction; cached and uncached evaluation agree bit for
+    // bit, so this needs no cache.
+    if (winner.valid)
+        result.best = evaluate_allocation(run_ctx, winner.point);
+
     result.seconds = timer.seconds();
     return result;
 }
+
+// The deprecated hill_climb_search shim lives in solver/compat.cpp
+// (see the note in exhaustive.cpp).
 
 }  // namespace lycos::search

@@ -7,12 +7,26 @@
 // ascent hill climbing on the +-1-unit neighbourhood, restarted from
 // random points of the space.
 //
+// The climb adopted the exhaustive walker's cheap-evaluation tricks:
+// every candidate is scored with the *value-only* screening DP
+// (pace_best_saving — no traceback bookkeeping), steps and the
+// per-restart best are chosen on the screened (time, area) tuple, and
+// only each restart's final winner pays for one full partition
+// reconstruction.  With an explicit search quantum the DP table width
+// is additionally pinned to the total ASIC area
+// (Eval_context::dp_table_budget), so the per-worker Pace_workspace
+// checkpoint stays valid across the +-1 neighbourhood — neighbouring
+// candidates share long cost prefixes, exactly the access pattern the
+// incremental DP feeds on.  The screened time equals the full
+// partition's up to float summation order, so the climb's trajectory
+// is unchanged except on ties at that noise level.
+//
 // Restarts are independent, so they run in parallel on a
 // util::Thread_pool.  Determinism contract: every start point is
 // drawn from `rng` in restart order *before* any climbing, each
 // restart climbs in isolation (per-worker Eval_cache and
 // Pace_workspace), and per-restart bests are reduced in restart order
-// with the same strict better_than — so the result is bit-identical
+// with the same strict comparison — so the result is bit-identical
 // to the sequential climb for any thread count.
 #pragma once
 
@@ -21,20 +35,50 @@
 
 namespace lycos::search {
 
-/// Options for hill_climb_search.
+/// Options for the hill-climb engine.
 struct Hill_climb_options {
     int n_restarts = 16;       ///< climbs: restart 0 starts from the empty
                                ///< allocation, the rest from random points
     int max_steps = 256;       ///< safety bound per climb
     int n_threads = 0;         ///< 0 = hardware concurrency (capped by restarts)
 
+    /// Entry cap for each worker's private Eval_cache (0 = unbounded;
+    /// bounded caches evict segment-wise with bit-identical results —
+    /// see Exhaustive_options::cache_capacity).
+    std::size_t cache_capacity = 0;
+
     /// Optional caller-owned cache shared with other search phases
     /// (worker 0 uses it; see Exhaustive_options::shared_cache).
     Eval_cache* shared_cache = nullptr;
+
+    /// Shared immutable frames/invariants for the per-worker caches
+    /// (see Exhaustive_options::invariants; engine-level, ignored by
+    /// the deprecated shim).
+    std::shared_ptr<const Eval_invariants> invariants;
+
+    /// Caller-owned thread pool (see Exhaustive_options::pool;
+    /// engine-level, ignored by the deprecated shim).
+    util::Thread_pool* pool = nullptr;
 };
 
 /// Best allocation found by iterated steepest-ascent hill climbing.
 /// Deterministic for a given `rng` seed, independent of n_threads.
+/// Search_result::n_evaluated counts screened candidates (each was
+/// scored by the value-only DP; only restart winners additionally run
+/// the full partition).
+///
+/// This is the engine behind the solver's `hill_climb` strategy;
+/// prefer driving it through a solver::Session.
+Search_result hill_climb_engine(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Hill_climb_options& options,
+                                util::Rng& rng);
+
+/// Deprecated shim: builds a one-shot solver::Session over (ctx,
+/// restrictions) and runs the `hill_climb` strategy with `rng` as the
+/// start-point source — bit-identical to hill_climb_engine for any
+/// thread count (pinned by tests/test_solver.cpp).
+[[deprecated("use solver::Session::solve(\"hill_climb\")")]]
 Search_result hill_climb_search(const Eval_context& ctx,
                                 const core::Rmap& restrictions,
                                 const Hill_climb_options& options,

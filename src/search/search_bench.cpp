@@ -15,6 +15,8 @@
 #include "pace/multi_asic.hpp"
 #include "search/eval_cache.hpp"
 #include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+#include "solver/solver.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
@@ -92,19 +94,19 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
 
     Eval_context old_ctx = ctx;
     old_ctx.scheduler = sched::Scheduler_kind::naive;
-    const auto old_run = exhaustive_search(
+    const auto old_run = exhaustive_engine(
         old_ctx, restrictions,
         {.n_threads = 1, .use_cache = false, .use_pruning = false});
 
-    const auto new_single = exhaustive_search(
+    const auto new_single = exhaustive_engine(
         ctx, restrictions,
         {.n_threads = 1, .use_cache = true, .use_pruning = false});
 
-    const auto new_pruned = exhaustive_search(
+    const auto new_pruned = exhaustive_engine(
         ctx, restrictions,
         {.n_threads = 1, .use_cache = true, .use_pruning = true});
 
-    const auto new_parallel = exhaustive_search(
+    const auto new_parallel = exhaustive_engine(
         ctx, restrictions,
         {.n_threads = 0, .use_cache = true, .use_pruning = true});
 
@@ -174,6 +176,79 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
         out.multi_matches_dense =
             fresh.placement == dense.placement &&
             fresh.time_hybrid_ns == dense.time_hybrid_ns;
+    }
+
+    // Solver section: the unified Session API over the same scenario.
+    // One session serves all three strategies (shared invariants,
+    // shared worker-0 cache, one thread pool); the deprecated shims
+    // must reproduce the session results bit for bit — that is the
+    // cross-check CI gates on.
+    {
+        solver::Problem problem;
+        problem.bsbs = bsbs;
+        problem.lib = &lib;
+        problem.target = target;
+        problem.restrictions = restrictions;
+        problem.ctrl_mode = pace::Controller_mode::list_schedule;
+        problem.area_quantum = config.asic_area / 256.0;
+        solver::Session session(problem);
+
+        const auto exh = session.solve("exhaustive_bb", {});
+        out.solver_exh_seconds = exh.seconds;
+        out.solver_exh_evals_per_sec =
+            rate(new_single.n_evaluated, exh.seconds);
+
+        solver::Solve_options hill_opts;
+        hill_opts.extras = solver::Hill_climb_extras{};
+        const auto hill = session.solve("hill_climb", hill_opts);
+        out.solver_hill_seconds = hill.seconds;
+        out.solver_hill_evaluated = hill.n_evaluated;
+        out.solver_hill_evals_per_sec = rate(hill.n_evaluated, hill.seconds);
+
+        // Shim cross-check: the deprecated free functions delegate to
+        // a one-shot Session and must land on the identical tuples.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+        const auto shim_exh = exhaustive_search(ctx, restrictions, {});
+        const solver::Hill_climb_extras hx;
+        util::Rng shim_rng(hx.seed);
+        const auto shim_hill = hill_climb_search(
+            ctx, restrictions,
+            {.n_restarts = hx.n_restarts, .max_steps = hx.max_steps},
+            shim_rng);
+#pragma GCC diagnostic pop
+        const auto same_tuple = [](const search::Evaluation& a,
+                                   const search::Evaluation& b) {
+            return a.datapath == b.datapath &&
+                   a.partition.time_hybrid_ns ==
+                       b.partition.time_hybrid_ns &&
+                   a.datapath_area == b.datapath_area;
+        };
+        out.solver_matches_shims = same_tuple(shim_exh.best, exh.best) &&
+                                   same_tuple(shim_hill.best, hill.best);
+
+        // multi_asic_bb: the first multi-ASIC allocation search —
+        // even silicon split, parallel run, plus the determinism
+        // cross-check (single-threaded walk lands on the same pair).
+        const auto multi = session.solve("multi_asic_bb", {});
+        out.solver_multi_pairs = multi.space_size;
+        out.solver_multi_axis0 = multi.multi.axis_points[0];
+        out.solver_multi_axis1 = multi.multi.axis_points[1];
+        out.solver_multi_evaluated = multi.n_evaluated;
+        out.solver_multi_pruned = multi.n_pruned;
+        out.solver_multi_seconds = multi.seconds;
+        out.solver_multi_pairs_per_sec =
+            rate(multi.space_size, multi.seconds);
+        out.solver_multi_best_time_ns =
+            multi.multi.partition.time_hybrid_ns;
+        const auto multi_seq =
+            session.solve("multi_asic_bb", {.n_threads = 1});
+        out.solver_multi_deterministic =
+            multi_seq.multi.datapaths == multi.multi.datapaths &&
+            multi_seq.multi.partition.time_hybrid_ns ==
+                multi.multi.partition.time_hybrid_ns &&
+            multi_seq.multi.partition.placement ==
+                multi.multi.partition.placement;
     }
 
     out.dp_rows_reused = new_pruned.dp_rows_reused;
@@ -262,6 +337,29 @@ std::string to_json(const Search_bench_config& config,
         << ", \"effective_evals_per_sec\": "
         << result.evals_per_sec_new_parallel
         << ", \"n_threads\": " << result.n_threads << "},\n"
+        << "  \"solver\": {\n"
+        << "    \"exhaustive_bb\": {\"seconds\": "
+        << result.solver_exh_seconds << ", \"effective_evals_per_sec\": "
+        << result.solver_exh_evals_per_sec << "},\n"
+        << "    \"hill_climb\": {\"seconds\": " << result.solver_hill_seconds
+        << ", \"n_evaluated\": " << result.solver_hill_evaluated
+        << ", \"evals_per_sec\": " << result.solver_hill_evals_per_sec
+        << "},\n"
+        << "    \"multi_asic_bb\": {\"seconds\": "
+        << result.solver_multi_seconds
+        << ", \"pair_space\": " << result.solver_multi_pairs
+        << ", \"axis_points\": [" << result.solver_multi_axis0 << ", "
+        << result.solver_multi_axis1 << "]"
+        << ", \"n_evaluated\": " << result.solver_multi_evaluated
+        << ", \"n_pruned\": " << result.solver_multi_pruned
+        << ", \"effective_pairs_per_sec\": "
+        << result.solver_multi_pairs_per_sec
+        << ", \"best_time_ns\": " << result.solver_multi_best_time_ns
+        << ", \"deterministic\": "
+        << (result.solver_multi_deterministic ? "true" : "false") << "},\n"
+        << "    \"shims_match_session\": "
+        << (result.solver_matches_shims ? "true" : "false") << "\n"
+        << "  },\n"
         << "  \"time_split\": {\"sched_seconds\": " << result.sched_seconds
         << ", \"dp_seconds\": " << result.dp_seconds << "},\n"
         << "  \"speedup_single\": " << result.speedup_single << ",\n"
@@ -309,6 +407,25 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << result.multi_traceback_bytes_dense << " -> "
         << result.multi_traceback_bytes << " B; "
         << (result.multi_matches_dense ? "match" : "MISMATCH") << ")\n"
+        << "  solver exhaustive_bb:         "
+        << util::fixed(result.solver_exh_evals_per_sec, 1)
+        << " evals/s effective ("
+        << util::fixed(result.solver_exh_seconds, 3) << " s)\n"
+        << "  solver hill_climb:            "
+        << util::fixed(result.solver_hill_evals_per_sec, 1)
+        << " evals/s (" << result.solver_hill_evaluated << " screened)\n"
+        << "  solver multi_asic_bb:         "
+        << util::fixed(result.solver_multi_pairs_per_sec, 1)
+        << " pairs/s effective (" << result.solver_multi_pairs
+        << " pairs = " << result.solver_multi_axis0 << "x"
+        << result.solver_multi_axis1 << ", "
+        << result.solver_multi_evaluated << " scored + "
+        << result.solver_multi_pruned << " pruned; "
+        << (result.solver_multi_deterministic ? "deterministic"
+                                              : "NON-DETERMINISTIC")
+        << ")\n"
+        << "  shims vs session:             "
+        << (result.solver_matches_shims ? "match" : "MISMATCH") << "\n"
         << "  same best allocation: " << (result.same_best ? "yes" : "NO")
         << " (pruned vs unpruned: "
         << (result.pruned_matches_unpruned ? "match" : "MISMATCH") << ")\n";
@@ -347,8 +464,16 @@ int write_bench_report(const std::string& path, std::ostream& log,
         if (!result.multi_matches_dense)
             err << "error: two-ASIC frontier DP disagrees with the dense "
                    "reference\n";
+        if (!result.solver_matches_shims)
+            err << "error: deprecated shims disagree with the "
+                   "solver::Session API on the best allocation\n";
+        if (!result.solver_multi_deterministic)
+            err << "error: multi_asic_bb best pair depends on the "
+                   "chunking\n";
         return result.same_best && result.pruned_matches_unpruned &&
-                       result.multi_matches_dense
+                       result.multi_matches_dense &&
+                       result.solver_matches_shims &&
+                       result.solver_multi_deterministic
                    ? 0
                    : 1;
     }

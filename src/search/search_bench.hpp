@@ -88,6 +88,30 @@ struct Search_bench_result {
     std::size_t multi_traceback_bytes = 0;
     std::size_t multi_traceback_bytes_dense = 0;
     bool multi_matches_dense = false;  ///< identical placement + time
+
+    /// Solver section: the same scenario driven through the
+    /// solver::Session API, one entry per registered strategy, plus
+    /// the shim-vs-session cross-check CI gates on (the deprecated
+    /// free functions must produce bit-identical best tuples).
+    double solver_exh_seconds = 0.0;
+    double solver_exh_evals_per_sec = 0.0;  ///< effective (unpruned workload)
+    double solver_hill_seconds = 0.0;
+    long long solver_hill_evaluated = 0;    ///< screened candidates scored
+    double solver_hill_evals_per_sec = 0.0;
+    bool solver_matches_shims = false;      ///< both shims, any thread count
+
+    /// multi_asic_bb: the first multi-ASIC allocation *search* — pair
+    /// space, scored/pruned pairs, throughput, and the determinism
+    /// cross-check (best pair identical for 1 thread vs parallel).
+    long long solver_multi_pairs = 0;
+    long long solver_multi_axis0 = 0;
+    long long solver_multi_axis1 = 0;
+    long long solver_multi_evaluated = 0;
+    long long solver_multi_pruned = 0;
+    double solver_multi_seconds = 0.0;
+    double solver_multi_pairs_per_sec = 0.0;  ///< effective (whole pair space)
+    double solver_multi_best_time_ns = 0.0;
+    bool solver_multi_deterministic = false;
 };
 
 /// Build the scenario and run the search variants.
@@ -104,8 +128,10 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// bench_scaling tail: run the default-config bench, print the
 /// summary to `log`, write the JSON report to `path`.  Returns the
 /// process exit code (0 only if the report was written, all variants
-/// agreed on the best allocation, and the pruned search matched the
-/// unpruned one); failures are reported on `err`, never thrown.
+/// agreed on the best allocation, the pruned search matched the
+/// unpruned one, the deprecated shims matched the Session API, and
+/// multi_asic_bb was chunking-independent); failures are reported on
+/// `err`, never thrown.
 int write_bench_report(const std::string& path, std::ostream& log,
                        std::ostream& err);
 

@@ -1,0 +1,51 @@
+// Deprecated shims over the session API.  The old free functions keep
+// their lycos::search signatures (declared in search/exhaustive.hpp /
+// search/hill_climb.hpp) but are *defined* here: they construct a
+// one-shot solver::Session and delegate, and the solver layer already
+// depends on the search engines — defining them in src/search would
+// make the dependency circular.  The shims are pinned bit-identical
+// to the Session API for any thread count by tests/test_solver.cpp
+// and the BENCH_search.json `shims_match_session` gate.
+#include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+#include "solver/solver.hpp"
+
+// The definitions themselves necessarily name the deprecated
+// declarations.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace lycos::search {
+
+Search_result exhaustive_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Exhaustive_options& options)
+{
+    solver::Session session(solver::make_problem(ctx, restrictions));
+    solver::Solve_options opts;
+    opts.n_threads = options.n_threads;
+    opts.use_cache = options.use_cache;
+    opts.use_pruning = options.use_pruning;
+    opts.cache_capacity = options.cache_capacity;
+    opts.shared_cache = options.shared_cache;
+    return solver::to_search_result(session.solve("exhaustive_bb", opts));
+}
+
+Search_result hill_climb_search(const Eval_context& ctx,
+                                const core::Rmap& restrictions,
+                                const Hill_climb_options& options,
+                                util::Rng& rng)
+{
+    solver::Session session(solver::make_problem(ctx, restrictions));
+    solver::Solve_options opts;
+    opts.n_threads = options.n_threads;
+    opts.cache_capacity = options.cache_capacity;
+    opts.shared_cache = options.shared_cache;
+    solver::Hill_climb_extras extras;
+    extras.n_restarts = options.n_restarts;
+    extras.max_steps = options.max_steps;
+    extras.rng = &rng;
+    opts.extras = extras;
+    return solver::to_search_result(session.solve("hill_climb", opts));
+}
+
+}  // namespace lycos::search

@@ -1,0 +1,360 @@
+// multi_asic_bb — the first multi-ASIC allocation *search*.
+//
+// PR 3 made the two-ASIC partition DP fast (frontier sweep, caller
+// workspace, value-only screening), but nothing enumerated two-ASIC
+// allocation spaces: the pre-allocation still came from the greedy
+// generalized Algorithm 1 alone.  This strategy closes that gap: it
+// enumerates *pairs* of data-path allocations (one per ASIC, each
+// within the §4.3 restrictions and its ASIC's area budget) and scores
+// each pair with the two-ASIC PACE DP, exactly mirroring the paper's
+// single-ASIC methodology of §5.
+//
+// The walk is the exhaustive search's shape transplanted to pairs:
+//   * per-axis area filter: the per-ASIC point lists are materialized
+//     once, restricted to allocations whose data-path fits that ASIC
+//     — the pair space is their cross product, enumerated row-major
+//     (a0-major) so per-BSB costs for a0 are fetched once per row,
+//   * chunk-parallel: contiguous pair-index chunks, one per worker,
+//     each with a private Eval_cache (shared immutable invariants)
+//     and Multi_pace_workspace, reduced in chunk order,
+//   * admissible prunes: a budget-free multi_max_gain bound kills
+//     pairs cheaply, survivors run the value-only screening DP
+//     (multi_pace_best_saving), and only pairs whose screened time
+//     can still beat the incumbent pay for the full partition with
+//     traceback.  Screened pairs count as evaluated (they were
+//     scored); bound-killed pairs count as pruned.
+// Every prune removes only pairs provably worse than a pair that is
+// actually evaluated, and the reduction applies the same strict
+// comparison in enumeration order — so the best (time, combined
+// area, pair) tuple is bit-identical for any thread count or
+// chunking, the same determinism contract the single-ASIC strategies
+// carry.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "search/alloc_space.hpp"
+#include "solver/internal.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace lycos::solver::detail {
+
+namespace {
+
+/// One enumerable allocation of one ASIC (area pre-computed: the
+/// inner loop compares it millions of times).
+struct Axis_point {
+    core::Rmap alloc;
+    double area = 0.0;
+};
+
+/// Largest single-ASIC space the per-axis enumeration will walk while
+/// building the filtered point lists.
+constexpr long long k_axis_enum_limit = 1LL << 22;
+
+/// What one worker accumulates over its chunk of the pair range.
+struct Pair_chunk {
+    bool have_best = false;
+    double best_time = 0.0;
+    double best_area_sum = 0.0;
+    long long best_i = 0;
+    long long best_j = 0;
+    pace::Multi_pace_result best_partition;
+    long long n_evaluated = 0;
+    long long n_pruned = 0;
+    search::Eval_cache_stats stats;
+};
+
+/// Greedy per-axis probe (the prime_incumbent idea): fill each
+/// dimension up to its bound while the data-path still fits the
+/// budget.  The result is a point of the filtered axis list, so
+/// priming against its screened time can only remove pairs strictly
+/// worse than a pair the enumeration scores anyway.
+core::Rmap greedy_fill(const search::Alloc_space& space,
+                       const hw::Hw_library& lib, double budget)
+{
+    core::Rmap greedy;
+    double area = 0.0;
+    for (const auto& [id, bound] : space.dims()) {
+        const double unit = lib[id].area;
+        int c = bound;
+        while (c > 0 && area + unit * c > budget)
+            --c;
+        greedy.set(id, c);
+        area += unit * c;
+    }
+    return greedy;
+}
+
+/// Fill the a0 half of the combined costs (t_sw is allocation-
+/// independent and rides along).  Done once per a0 row of the walk;
+/// set_asic1_costs patches only the a1 half per pair.
+void set_asic0_costs(std::span<const pace::Bsb_cost> c0,
+                     std::vector<pace::Multi_bsb_cost>& out)
+{
+    out.resize(c0.size());
+    for (std::size_t k = 0; k < c0.size(); ++k) {
+        out[k].t_sw = c0[k].t_sw;
+        out[k].hw[0] = c0[k];
+    }
+}
+
+void set_asic1_costs(std::span<const pace::Bsb_cost> c1,
+                     std::vector<pace::Multi_bsb_cost>& out)
+{
+    for (std::size_t k = 0; k < c1.size(); ++k)
+        out[k].hw[1] = c1[k];
+}
+
+void combine_costs(std::span<const pace::Bsb_cost> c0,
+                   std::span<const pace::Bsb_cost> c1,
+                   std::vector<pace::Multi_bsb_cost>& out)
+{
+    set_asic0_costs(c0, out);
+    set_asic1_costs(c1, out);
+}
+
+}  // namespace
+
+Solve_result solve_multi_asic_bb(Session& session,
+                                 const Solve_options& options)
+{
+    util::Wall_timer timer;
+    const auto extras =
+        extras_or_default<Multi_asic_extras>(options, "multi_asic_bb");
+    const search::Eval_context& ctx = session.context();
+    const auto budgets = multi_asic_budgets(session.problem());
+
+    const search::Alloc_space space(ctx.lib,
+                                    session.problem().restrictions);
+    if (space.size() > k_axis_enum_limit)
+        throw std::invalid_argument(
+            "multi_asic_bb: single-ASIC space too large to enumerate per "
+            "axis (" +
+            std::to_string(space.size()) + " points); tighten restrictions");
+
+    // Materialize the per-ASIC point lists: every allocation whose
+    // data-path fits that ASIC, in mixed-radix enumeration order.
+    std::array<std::vector<Axis_point>, 2> axis;
+    {
+        const double max_budget = std::max(budgets[0], budgets[1]);
+        space.for_each(max_budget, [&](const core::Rmap& a) {
+            const double area = a.area(ctx.lib);
+            for (std::size_t k = 0; k < 2; ++k)
+                if (area <= budgets[k])
+                    axis[k].push_back({a, area});
+            return true;
+        });
+    }
+    const long long f0 = static_cast<long long>(axis[0].size());
+    const long long f1 = static_cast<long long>(axis[1].size());
+    const long long pairs = f0 * f1;  // each axis <= 2^22, no overflow
+    if (pairs > extras.pair_limit)
+        throw std::invalid_argument(
+            "multi_asic_bb: " + std::to_string(pairs) +
+            " allocation pairs exceed Multi_asic_extras::pair_limit (" +
+            std::to_string(extras.pair_limit) +
+            "); tighten restrictions or raise the cap");
+
+    Solve_result out;
+    out.strategy = "multi_asic_bb";
+    out.space_size = pairs;
+    out.multi.active = true;
+    out.multi.asic_areas = budgets;
+    out.multi.axis_points = {f0, f1};
+    if (pairs == 0) {
+        out.seconds = timer.seconds();
+        return out;
+    }
+
+    // Resolve the shared immutable invariants before any worker runs:
+    // Session::invariants() is lazily computed and not thread-safe.
+    const auto invariants = session.invariants();
+
+    // Shared prep: the all-software baseline, the float-safety slack,
+    // and a primed time-to-beat from the greedy probe pair so every
+    // worker prunes from the start.  The probes run on worker 0's
+    // cache so the first chunk starts warm — but only when caching is
+    // on: an uncached solve must not mutate the caller's shared cache
+    // or instantiate the session one, so it probes on a throwaway.
+    search::Eval_cache* chunk0_cache = nullptr;
+    search::Eval_cache_stats shared_before;
+    if (options.use_cache) {
+        chunk0_cache = options.shared_cache != nullptr
+                           ? options.shared_cache
+                           : &session.cache(options.cache_capacity);
+        shared_before = chunk0_cache->stats();
+    }
+
+    double all_sw = 0.0;
+    double prime_time = std::numeric_limits<double>::infinity();
+    std::vector<pace::Bsb_cost> probe0;
+    std::vector<pace::Bsb_cost> probe1;
+    std::vector<pace::Multi_bsb_cost> probe_costs;
+    {
+        std::optional<search::Eval_cache> prep_local;
+        search::Eval_cache& prep =
+            chunk0_cache != nullptr
+                ? *chunk0_cache
+                : prep_local.emplace(ctx, options.cache_capacity,
+                                     invariants);
+        const auto g0 = greedy_fill(space, ctx.lib, budgets[0]);
+        const auto g1 = greedy_fill(space, ctx.lib, budgets[1]);
+        prep.costs_for(g0, probe0);
+        prep.costs_for(g1, probe1);
+        combine_costs(probe0, probe1, probe_costs);
+        for (const auto& c : probe_costs)
+            all_sw += c.t_sw;
+        if (options.use_pruning) {
+            pace::Multi_pace_options mo;
+            mo.ctrl_area_budgets = {budgets[0] - g0.area(ctx.lib),
+                                    budgets[1] - g1.area(ctx.lib)};
+            mo.area_quantum = ctx.area_quantum;
+            pace::Multi_pace_workspace mws;
+            prime_time =
+                all_sw - pace::multi_pace_best_saving(probe_costs, mo, &mws);
+        }
+    }
+    const double slack = 1e-7 * std::max(1.0, std::abs(all_sw));
+
+    std::size_t n_threads =
+        options.n_threads > 0
+            ? static_cast<std::size_t>(options.n_threads)
+            : util::Thread_pool::default_concurrency();
+    n_threads = std::max<std::size_t>(
+        1, std::min(n_threads, static_cast<std::size_t>(
+                                   std::min(pairs, 1LL << 16))));
+    out.n_threads = static_cast<int>(n_threads);
+
+    std::vector<Pair_chunk> chunks(n_threads);
+    const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
+        Pair_chunk& chunk = chunks[c];
+        search::Eval_cache* cache = nullptr;
+        std::optional<search::Eval_cache> own_cache;
+        if (options.use_cache && c == 0)
+            cache = chunk0_cache;
+        if (cache == nullptr) {
+            // Workers 1..n-1 — and every worker of an uncached run —
+            // use a private cache; the pair walk always fetches costs
+            // through one (memoized values are bit-identical to
+            // direct builds), uncached mode just drops the sharing.
+            own_cache.emplace(ctx, options.cache_capacity, invariants);
+            cache = &*own_cache;
+        }
+
+        std::vector<pace::Bsb_cost> costs0;
+        std::vector<pace::Bsb_cost> costs1;
+        std::vector<pace::Multi_bsb_cost> mcosts;
+        pace::Multi_pace_workspace mws;
+        long long i = begin / f1;
+        long long j = begin % f1;
+        cache->costs_for(axis[0][static_cast<std::size_t>(i)].alloc, costs0);
+        set_asic0_costs(costs0, mcosts);
+        for (long long idx = begin; idx < end; ++idx) {
+            if (j == f1) {
+                j = 0;
+                ++i;
+                cache->costs_for(axis[0][static_cast<std::size_t>(i)].alloc,
+                                 costs0);
+                set_asic0_costs(costs0, mcosts);
+            }
+            const auto& p0 = axis[0][static_cast<std::size_t>(i)];
+            const auto& p1 = axis[1][static_cast<std::size_t>(j)];
+            cache->costs_for(p1.alloc, costs1);
+            set_asic1_costs(costs1, mcosts);
+
+            const double threshold =
+                chunk.have_best ? std::min(prime_time, chunk.best_time)
+                                : prime_time;
+
+            pace::Multi_pace_options mo;
+            mo.ctrl_area_budgets = {budgets[0] - p0.area,
+                                    budgets[1] - p1.area};
+            mo.area_quantum = ctx.area_quantum;
+
+            if (options.use_pruning) {
+                // Budget-free bound: no placement of this pair can
+                // save more than multi_max_gain, whatever the
+                // controller areas turn out to be.
+                if (all_sw - pace::multi_max_gain(mcosts) >
+                    threshold + slack) {
+                    ++chunk.n_pruned;
+                    ++j;
+                    continue;
+                }
+                // Screening pass: the DP's optimal value without the
+                // traceback arena.  A killed pair was scored — it
+                // counts as evaluated, like the single-ASIC walker's
+                // screened leaves.
+                const double saving =
+                    pace::multi_pace_best_saving(mcosts, mo, &mws);
+                if (all_sw - saving > threshold + slack) {
+                    ++chunk.n_evaluated;
+                    ++j;
+                    continue;
+                }
+            }
+
+            const auto full = pace::multi_pace_partition(mcosts, mo, &mws);
+            ++chunk.n_evaluated;
+            const double area_sum = p0.area + p1.area;
+            if (!chunk.have_best ||
+                search::better_tuple(full.time_hybrid_ns, area_sum, chunk.best_time,
+                            chunk.best_area_sum)) {
+                chunk.best_time = full.time_hybrid_ns;
+                chunk.best_area_sum = area_sum;
+                chunk.best_i = i;
+                chunk.best_j = j;
+                chunk.best_partition = full;
+                chunk.have_best = true;
+            }
+            ++j;
+        }
+        if (options.use_cache && cache != nullptr) {
+            chunk.stats = cache == chunk0_cache
+                              ? cache->stats().minus(shared_before)
+                              : cache->stats();
+        }
+    };
+
+    if (n_threads == 1) {
+        run_chunk(0, 0, pairs);
+    }
+    else {
+        util::parallel_chunks(session.pool(n_threads), pairs, n_threads,
+                              run_chunk);
+    }
+
+    // Reduce in chunk (= enumeration) order with the same strict
+    // comparison, so ties resolve toward the lowest pair index.
+    bool have_best = false;
+    double best_time = 0.0;
+    double best_area_sum = 0.0;
+    for (const auto& chunk : chunks) {
+        out.n_evaluated += chunk.n_evaluated;
+        out.n_pruned += chunk.n_pruned;
+        out.cache_stats += chunk.stats;
+        if (chunk.have_best &&
+            (!have_best || search::better_tuple(chunk.best_time, chunk.best_area_sum,
+                                       best_time, best_area_sum))) {
+            best_time = chunk.best_time;
+            best_area_sum = chunk.best_area_sum;
+            const auto& p0 =
+                axis[0][static_cast<std::size_t>(chunk.best_i)];
+            const auto& p1 =
+                axis[1][static_cast<std::size_t>(chunk.best_j)];
+            out.multi.datapaths = {p0.alloc, p1.alloc};
+            out.multi.datapath_area = {p0.area, p1.area};
+            out.multi.partition = chunk.best_partition;
+            have_best = true;
+        }
+    }
+
+    out.seconds = timer.seconds();
+    return out;
+}
+
+}  // namespace lycos::solver::detail

@@ -1,0 +1,126 @@
+#include "solver/solver.hpp"
+
+#include <stdexcept>
+
+#include "search/alloc_space.hpp"
+#include "search/exhaustive.hpp"
+#include "solver/internal.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lycos::solver {
+
+namespace {
+
+const hw::Hw_library& require_lib(const hw::Hw_library* lib)
+{
+    if (lib == nullptr)
+        throw std::invalid_argument("solver::Session: Problem.lib is null");
+    return *lib;
+}
+
+}  // namespace
+
+Problem make_problem(const search::Eval_context& ctx,
+                     const core::Rmap& restrictions)
+{
+    Problem p;
+    p.bsbs = ctx.bsbs;
+    p.lib = &ctx.lib;
+    p.target = ctx.target;
+    p.restrictions = restrictions;
+    p.ctrl_mode = ctx.ctrl_mode;
+    p.area_quantum = ctx.area_quantum;
+    p.dp_table_budget = ctx.dp_table_budget;
+    p.storage = ctx.storage;
+    p.scheduler = ctx.scheduler;
+    return p;
+}
+
+search::Search_result to_search_result(const Solve_result& result)
+{
+    search::Search_result out;
+    out.best = result.best;
+    out.n_evaluated = result.n_evaluated;
+    out.n_pruned = result.n_pruned;
+    out.space_size = result.space_size;
+    out.seconds = result.seconds;
+    out.n_threads = result.n_threads;
+    out.cache_stats = result.cache_stats;
+    out.dp_rows_reused = result.dp_rows_reused;
+    out.dp_rows_swept = result.dp_rows_swept;
+    return out;
+}
+
+Session::Session(Problem problem)
+    : problem_(std::move(problem)),
+      ctx_{problem_.bsbs,          require_lib(problem_.lib),
+           problem_.target,        problem_.ctrl_mode,
+           problem_.area_quantum,  problem_.storage,
+           problem_.scheduler,     problem_.dp_table_budget}
+{
+    if (problem_.target.asic.total_area < 0.0)
+        throw std::invalid_argument(
+            "solver::Session: negative ASIC area");
+    const auto budgets = detail::multi_asic_budgets(problem_);
+    if (budgets[0] < 0.0 || budgets[1] < 0.0)
+        throw std::invalid_argument(
+            "solver::Session: negative multi-ASIC area");
+}
+
+Session::~Session() = default;
+
+long long Session::space_size() const
+{
+    return search::Alloc_space(ctx_.lib, problem_.restrictions).size();
+}
+
+const std::shared_ptr<const search::Eval_invariants>& Session::invariants()
+{
+    if (invariants_ == nullptr)
+        invariants_ = std::make_shared<const search::Eval_invariants>(ctx_);
+    return invariants_;
+}
+
+search::Eval_cache& Session::cache(std::size_t capacity)
+{
+    if (cache_ == nullptr)
+        cache_ = std::make_unique<search::Eval_cache>(ctx_, capacity,
+                                                      invariants());
+    return *cache_;
+}
+
+util::Thread_pool& Session::pool(std::size_t n_threads)
+{
+    if (n_threads == 0)
+        n_threads = util::Thread_pool::default_concurrency();
+    if (pool_ == nullptr || pool_->size() < n_threads)
+        pool_ = std::make_unique<util::Thread_pool>(n_threads);
+    return *pool_;
+}
+
+Solve_result Session::solve(std::string_view strategy,
+                            const Solve_options& options)
+{
+    const Strategy* s = find_strategy(strategy);
+    if (s == nullptr)
+        throw std::invalid_argument("solver::Session: unknown strategy \"" +
+                                    std::string(strategy) + "\"");
+    return s->solve(*this, options);
+}
+
+Solve_result Session::solve(const Solve_options& options)
+{
+    return solve(space_size() <= exhaustive_limit ? "exhaustive_bb"
+                                                  : "hill_climb",
+                 options);
+}
+
+search::Evaluation Session::rescore(const core::Rmap& datapath)
+{
+    search::Eval_context fine = ctx_;
+    fine.area_quantum = 0.0;
+    fine.dp_table_budget = 0.0;
+    return search::evaluate_allocation(fine, datapath, &cache());
+}
+
+}  // namespace lycos::solver

@@ -1,0 +1,269 @@
+// lycos::solver — the unified session API over the §5 methodology.
+//
+// The paper's pipeline is one loop — allocate, schedule, PACE-
+// partition, score — but the repo grew four divergent entry points
+// for it (exhaustive_search, hill_climb_search, find_best,
+// multi_pace_partition), each with its own options struct and with
+// caches, workspaces and thread pools threaded by every caller.  This
+// module is the facade that owns all of that once:
+//
+//   Problem   what to solve: BSBs, target ASIC(s), restrictions and
+//             the objective — a pure description, no machinery.
+//   Session   the machinery for one problem: the thread pool, the
+//             shared Eval_cache serving worker 0 and re-scores, and —
+//             computed once and read by every worker — the shared
+//             immutable cost invariants/frames (Eval_invariants) each
+//             worker cache used to recompute privately.
+//   Strategy  a registered, named way to search: `exhaustive_bb`
+//             (branch-and-bound over the full space), `hill_climb`
+//             (iterated restarts with value-DP screening), and
+//             `multi_asic_bb` — the first multi-ASIC allocation
+//             *search*, enumerating two-ASIC allocation pairs over
+//             the frontier DP.
+//
+// Determinism contract (all strategies): the best tuple is
+// bit-identical for any thread count, any chunking, any cache
+// capacity, shared or private invariants.  The old free functions
+// survive as thin deprecated shims delegating to a one-shot Session,
+// pinned bit-identical by tests/test_solver.cpp and the CI bench
+// cross-check.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/rmap.hpp"
+#include "pace/multi_asic.hpp"
+#include "search/eval_cache.hpp"
+#include "search/evaluate.hpp"
+#include "util/rng.hpp"
+
+namespace lycos::util {
+class Thread_pool;
+}
+
+namespace lycos::search {
+struct Search_result;
+}
+
+namespace lycos::solver {
+
+/// What the search optimizes.  One objective today — the paper's:
+/// minimal hybrid execution time, ties toward smaller data-path area,
+/// then toward enumeration order.  The enum pins that contract in the
+/// Problem instead of leaving it implicit in each entry point.
+enum class Objective {
+    min_hybrid_time,
+};
+
+/// A complete description of one allocation-search problem: the
+/// application, the target silicon, the §4.3 restrictions bounding
+/// the space, and the objective.  Pure data — building one runs
+/// nothing; a Session adds the machinery.  The referenced BSBs,
+/// library and storage model must outlive every Session built from
+/// the Problem (the target is held by value).
+struct Problem {
+    std::span<const bsb::Bsb> bsbs;
+    const hw::Hw_library* lib = nullptr;
+    hw::Target target;
+    core::Rmap restrictions;
+    Objective objective = Objective::min_hybrid_time;
+
+    pace::Controller_mode ctrl_mode = pace::Controller_mode::list_schedule;
+
+    /// PACE area quantum used while searching (0 = exact default);
+    /// Session::rescore always re-evaluates at the exact quantum.
+    double area_quantum = 0.0;
+
+    /// Forwarded to Eval_context::dp_table_budget (the engines pin it
+    /// themselves when a search quantum is set).
+    double dp_table_budget = 0.0;
+
+    const estimate::Storage_model* storage = nullptr;
+    sched::Scheduler_kind scheduler = sched::Scheduler_kind::event_driven;
+
+    /// The two-ASIC target for `multi_asic_bb`: per-ASIC total areas.
+    /// {0, 0} splits the single target's area evenly — the same
+    /// default split the two-ASIC benches use.  Ignored by the
+    /// single-ASIC strategies.
+    std::array<double, 2> asic_areas{0.0, 0.0};
+};
+
+/// Problem from an existing Eval_context + restrictions — what the
+/// deprecated shims (and callers mid-migration) use.
+Problem make_problem(const search::Eval_context& ctx,
+                     const core::Rmap& restrictions);
+
+/// Extra knobs of the `hill_climb` strategy.
+struct Hill_climb_extras {
+    int n_restarts = 12;  ///< restart 0 = empty allocation, rest random
+    int max_steps = 128;  ///< safety bound per climb
+    /// Start points are drawn from this seed in restart order (the
+    /// repo's fixed reproducible seed by default)...
+    std::uint64_t seed = 0xD47E1998;
+    /// ...or from this live generator when non-null (the deprecated
+    /// shim passes its caller's rng through here).
+    util::Rng* rng = nullptr;
+};
+
+/// Extra knobs of the `multi_asic_bb` strategy.
+struct Multi_asic_extras {
+    /// Hard cap on the enumerated pair space (after the per-axis area
+    /// filter).  The pair walk is quadratic in the per-ASIC space;
+    /// exceeding the cap throws std::invalid_argument instead of
+    /// silently running for minutes — tighten the restrictions or
+    /// raise the cap explicitly (the default admits man's 4.4M pairs,
+    /// ~6 s single-core; eigen's 27M need an explicit raise, e.g.
+    /// `lycos_cli --pair-limit`).
+    long long pair_limit = 1LL << 23;
+};
+
+/// Unified knobs across strategies; per-strategy extras ride in the
+/// variant (monostate = strategy defaults; a mismatched alternative
+/// throws).  Where a flat knob cannot apply it says so below, rather
+/// than pretending: hill_climb and multi_asic_bb evaluate *through*
+/// memoized costs by construction, so for them use_cache=false only
+/// drops the shared session cache (each worker still memoizes
+/// privately, bounded by cache_capacity); use_pruning is a no-op for
+/// hill_climb, whose value-DP screening is its evaluation model, not
+/// a prune.
+struct Solve_options {
+    int n_threads = 0;        ///< 0 = hardware concurrency
+    bool use_cache = true;    ///< memoize per-BSB scheduling (see above)
+    bool use_pruning = true;  ///< branch-and-bound / screening prunes
+    std::size_t cache_capacity = 0;  ///< per-worker cache cap (0 = unbounded)
+
+    /// Caller-owned cache for worker 0 instead of the session's (the
+    /// deprecated shims pass their caller's cache through here).
+    search::Eval_cache* shared_cache = nullptr;
+
+    std::variant<std::monostate, Hill_climb_extras, Multi_asic_extras>
+        extras;
+};
+
+/// The `multi_asic_bb` section of a Solve_result (active only when
+/// that strategy ran).  The unified counters (n_evaluated / n_pruned
+/// / space_size) in the enclosing Solve_result count allocation
+/// *pairs* for this strategy.
+struct Multi_solve_result {
+    bool active = false;
+    std::array<core::Rmap, 2> datapaths;          ///< best pair found
+    std::array<double, 2> datapath_area{0.0, 0.0};
+    std::array<double, 2> asic_areas{0.0, 0.0};   ///< budgets searched
+    pace::Multi_pace_result partition;            ///< its two-ASIC partition
+    std::array<long long, 2> axis_points{0, 0};   ///< per-ASIC fitting points
+};
+
+/// Unified outcome of Session::solve, whatever strategy ran.
+struct Solve_result {
+    std::string strategy;      ///< registry name of the strategy that ran
+    search::Evaluation best;   ///< best single-ASIC allocation
+                               ///< (default-constructed for multi_asic_bb
+                               ///< — see `multi`)
+    long long n_evaluated = 0; ///< points scored (value-DP or full)
+    long long n_pruned = 0;    ///< points skipped by bounds/screening
+    long long space_size = 0;  ///< full space (pairs for multi_asic_bb)
+    double seconds = 0.0;
+    int n_threads = 1;
+    search::Eval_cache_stats cache_stats;  ///< aggregated over workers
+    long long dp_rows_reused = 0;  ///< incremental-DP observability
+    long long dp_rows_swept = 0;
+    Multi_solve_result multi;
+};
+
+/// Shim helper: the old Search_result view of a Solve_result.
+search::Search_result to_search_result(const Solve_result& result);
+
+class Session;
+
+/// A registered way to search a Problem.  Strategies are stateless
+/// singletons; all per-solve state lives in the Session and in the
+/// engine calls.
+class Strategy {
+public:
+    virtual ~Strategy() = default;
+    virtual std::string_view name() const = 0;
+    virtual std::string_view description() const = 0;
+    virtual Solve_result solve(Session& session,
+                               const Solve_options& options) const = 0;
+};
+
+/// All registered strategies, in registry order (exhaustive_bb,
+/// hill_climb, multi_asic_bb).
+std::span<const Strategy* const> strategies();
+
+/// Lookup by registry name; nullptr when unknown.
+const Strategy* find_strategy(std::string_view name);
+
+/// The machinery for solving one Problem: owns the thread pool, the
+/// shared Eval_cache (worker 0 + re-scores), and the immutable
+/// Eval_invariants every worker cache reads instead of recomputing.
+/// Sessions are single-threaded on the outside (one solve at a time)
+/// and neither copyable nor movable (the derived Eval_context points
+/// into the session-held Problem).
+class Session {
+public:
+    /// Validates the problem (non-null library, non-negative areas).
+    explicit Session(Problem problem);
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    const Problem& problem() const { return problem_; }
+
+    /// The Eval_context the strategies evaluate under (references the
+    /// session-held problem; valid for the session's lifetime).
+    const search::Eval_context& context() const { return ctx_; }
+
+    /// Size of the single-ASIC allocation space under the problem's
+    /// restrictions.
+    long long space_size() const;
+
+    /// The shared immutable frames/invariants, computed on first use
+    /// and reused by every subsequent solve of this session.
+    const std::shared_ptr<const search::Eval_invariants>& invariants();
+
+    /// The session-owned shared cache (created on first use with
+    /// `capacity`; later calls reuse it regardless of capacity).  It
+    /// serves worker 0 of every solve and all re-scores, so the fine
+    /// re-score of a search winner runs entirely on warm entries.
+    search::Eval_cache& cache(std::size_t capacity = 0);
+
+    /// The session-owned thread pool, created lazily and re-created
+    /// only when a solve wants more threads than it has.
+    util::Thread_pool& pool(std::size_t n_threads);
+
+    /// Run the named strategy.  Throws std::invalid_argument for
+    /// unknown names or mismatched Solve_options::extras.
+    Solve_result solve(std::string_view strategy,
+                       const Solve_options& options = {});
+
+    /// Auto strategy pick, mirroring the paper's treatment: exhaustive
+    /// when the space is within `exhaustive_limit` evaluations, else
+    /// iterated hill climbing.
+    Solve_result solve(const Solve_options& options = {});
+
+    /// Re-evaluate `datapath` at the exact (quantum-free) evaluation
+    /// settings through the session cache — schedules are quantum-
+    /// independent, so a re-score after a coarse search runs entirely
+    /// on warm entries.
+    search::Evaluation rescore(const core::Rmap& datapath);
+
+    /// Space-size threshold of the auto strategy pick.
+    long long exhaustive_limit = 30000;
+
+private:
+    Problem problem_;
+    search::Eval_context ctx_;
+    std::shared_ptr<const search::Eval_invariants> invariants_;
+    std::unique_ptr<search::Eval_cache> cache_;
+    std::unique_ptr<util::Thread_pool> pool_;
+};
+
+}  // namespace lycos::solver

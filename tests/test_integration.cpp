@@ -83,7 +83,7 @@ TEST(Integration, straight_and_hal_match_best_allocation)
         const auto ctx = p.context(quantum);
         const auto heuristic =
             lse::evaluate_allocation(ctx, p.heuristic_alloc.allocation);
-        const auto best = lse::exhaustive_search(ctx, p.restrictions);
+        const auto best = lse::exhaustive_engine(ctx, p.restrictions);
         EXPECT_GE(best.best.speedup_pct() + 1e-6, heuristic.speedup_pct())
             << p.app.name;
         EXPECT_GT(heuristic.speedup_pct(),
@@ -181,7 +181,7 @@ TEST(Integration, eigen_hill_climb_finds_better_than_heuristic)
     const Pipeline p(la::make_eigen());
     lycos::util::Rng rng(2024);
     const double quantum = p.target.asic.total_area / 512.0;
-    const auto hc = lse::hill_climb_search(p.context(quantum),
+    const auto hc = lse::hill_climb_engine(p.context(quantum),
                                            p.restrictions,
                                            {.n_restarts = 4, .max_steps = 64},
                                            rng);

@@ -146,7 +146,7 @@ TEST(Exhaustive, finds_at_least_the_allocator_result)
     lc::Rmap bounds;
     bounds.set(0, 2);
     bounds.set(1, 3);
-    const auto best = lse::exhaustive_search(ctx, bounds);
+    const auto best = lse::exhaustive_engine(ctx, bounds);
 
     EXPECT_GE(best.best.speedup_pct(), heuristic_eval.speedup_pct() - 1e-9);
     EXPECT_GT(best.n_evaluated, 0);
@@ -220,13 +220,13 @@ TEST(Exhaustive, parallel_and_cached_match_sequential_uncached)
     bounds.set(0, 2);
     bounds.set(1, 3);
 
-    const auto reference = lse::exhaustive_search(
+    const auto reference = lse::exhaustive_engine(
         ctx, bounds,
         {.n_threads = 1, .use_cache = false, .use_pruning = false});
     for (int n_threads : {1, 2, 3, 7}) {
         for (bool use_cache : {false, true}) {
             for (bool use_pruning : {false, true}) {
-                const auto r = lse::exhaustive_search(
+                const auto r = lse::exhaustive_engine(
                     ctx, bounds,
                     {.n_threads = n_threads, .use_cache = use_cache,
                      .use_pruning = use_pruning});
@@ -262,7 +262,7 @@ TEST(Exhaustive, empty_restrictions_single_point)
     const lse::Eval_context ctx{bsbs, lib, target,
                                 lycos::pace::Controller_mode::optimistic_eca,
                                 1.0};
-    const auto r = lse::exhaustive_search(ctx, lc::Rmap{});
+    const auto r = lse::exhaustive_engine(ctx, lc::Rmap{});
     EXPECT_EQ(r.space_size, 1);
     EXPECT_EQ(r.n_evaluated, 1);
     // Empty allocation: nothing in hardware, zero speedup.
@@ -281,12 +281,12 @@ TEST(HillClimb, never_beats_exhaustive_and_is_deterministic)
     bounds.set(0, 2);
     bounds.set(1, 3);
 
-    const auto exhaustive = lse::exhaustive_search(ctx, bounds);
+    const auto exhaustive = lse::exhaustive_engine(ctx, bounds);
 
     lycos::util::Rng rng1(123), rng2(123);
-    const auto hc1 = lse::hill_climb_search(ctx, bounds, {.n_restarts = 6},
+    const auto hc1 = lse::hill_climb_engine(ctx, bounds, {.n_restarts = 6},
                                             rng1);
-    const auto hc2 = lse::hill_climb_search(ctx, bounds, {.n_restarts = 6},
+    const auto hc2 = lse::hill_climb_engine(ctx, bounds, {.n_restarts = 6},
                                             rng2);
 
     EXPECT_LE(hc1.best.speedup_pct(), exhaustive.best.speedup_pct() + 1e-9);
@@ -324,14 +324,14 @@ TEST(Exhaustive, pruned_unpruned_and_naive_agree_on_random_spaces)
         lse::Eval_context naive_ctx = ctx;
         naive_ctx.scheduler = lycos::sched::Scheduler_kind::naive;
 
-        const auto naive = lse::exhaustive_search(
+        const auto naive = lse::exhaustive_engine(
             naive_ctx, bounds,
             {.n_threads = 1, .use_cache = false, .use_pruning = false});
-        const auto unpruned = lse::exhaustive_search(
+        const auto unpruned = lse::exhaustive_engine(
             ctx, bounds,
             {.n_threads = 1, .use_cache = true, .use_pruning = false});
         for (int n_threads : {1, 2, 5}) {
-            const auto pruned = lse::exhaustive_search(
+            const auto pruned = lse::exhaustive_engine(
                 ctx, bounds,
                 {.n_threads = n_threads, .use_cache = true,
                  .use_pruning = true});
@@ -380,10 +380,10 @@ TEST(Exhaustive, pruning_safe_with_fast_but_large_variants)
         const lse::Eval_context ctx{
             bsbs, lib, target, lycos::pace::Controller_mode::list_schedule,
             target.asic.total_area / 64.0};
-        const auto unpruned = lse::exhaustive_search(
+        const auto unpruned = lse::exhaustive_engine(
             ctx, bounds,
             {.n_threads = 1, .use_cache = true, .use_pruning = false});
-        const auto pruned = lse::exhaustive_search(
+        const auto pruned = lse::exhaustive_engine(
             ctx, bounds,
             {.n_threads = 1, .use_cache = true, .use_pruning = true});
         EXPECT_EQ(pruned.best.datapath, unpruned.best.datapath)
@@ -415,10 +415,10 @@ TEST(Exhaustive, incremental_dp_reuses_rows)
     bounds.set(1, 2);
     bounds.set(2, 2);
 
-    const auto reference = lse::exhaustive_search(
+    const auto reference = lse::exhaustive_engine(
         ctx, bounds,
         {.n_threads = 1, .use_cache = true, .use_pruning = false});
-    const auto pruned = lse::exhaustive_search(
+    const auto pruned = lse::exhaustive_engine(
         ctx, bounds,
         {.n_threads = 1, .use_cache = true, .use_pruning = true});
     EXPECT_EQ(pruned.best.datapath, reference.best.datapath);
@@ -454,12 +454,12 @@ TEST(Exhaustive, bounded_cache_matches_and_evicts)
     bounds.set(1, 2);
     bounds.set(2, 1);
 
-    const auto unbounded = lse::exhaustive_search(
+    const auto unbounded = lse::exhaustive_engine(
         ctx, bounds,
         {.n_threads = 1, .use_cache = true, .use_pruning = false});
     for (const std::size_t cap : {2u, 8u}) {
         for (const bool pruning : {false, true}) {
-            const auto capped = lse::exhaustive_search(
+            const auto capped = lse::exhaustive_engine(
                 ctx, bounds,
                 {.n_threads = 1, .use_cache = true, .use_pruning = pruning,
                  .cache_capacity = cap});
@@ -544,7 +544,7 @@ TEST(Exhaustive, shared_cache_serves_search_and_rescore)
     bounds.set(1, 3);
 
     lse::Eval_cache cache(coarse);
-    const auto r = lse::exhaustive_search(coarse, bounds,
+    const auto r = lse::exhaustive_engine(coarse, bounds,
                                           {.n_threads = 1,
                                            .shared_cache = &cache});
     EXPECT_GT(r.cache_stats.hits + r.cache_stats.misses, 0);
@@ -581,12 +581,12 @@ TEST(HillClimb, parallel_matches_sequential_for_any_thread_count)
     bounds.set(2, 1);
 
     lycos::util::Rng rng_seq(5);
-    const auto sequential = lse::hill_climb_search(
+    const auto sequential = lse::hill_climb_engine(
         ctx, bounds, {.n_restarts = 8, .n_threads = 1}, rng_seq);
 
     for (int n_threads : {2, 8}) {
         lycos::util::Rng rng_par(5);
-        const auto parallel = lse::hill_climb_search(
+        const auto parallel = lse::hill_climb_engine(
             ctx, bounds, {.n_restarts = 8, .n_threads = n_threads},
             rng_par);
         EXPECT_EQ(parallel.best.datapath, sequential.best.datapath)

@@ -1,0 +1,428 @@
+// Tests for the lycos::solver session API: the strategy registry, the
+// shim-vs-session equivalence contract (the deprecated free functions
+// must reproduce the Session results bit for bit for any thread
+// count), shared-invariants vs per-worker-recompute equivalence, and
+// the multi_asic_bb determinism contract (best pair independent of
+// chunking, equal to a brute-force pair scan).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/random_app.hpp"
+#include "core/allocator.hpp"
+#include "hw/target.hpp"
+#include "pace/multi_asic.hpp"
+#include "search/alloc_space.hpp"
+#include "search/eval_cache.hpp"
+#include "search/exhaustive.hpp"
+#include "search/hill_climb.hpp"
+#include "solver/solver.hpp"
+#include "util/rng.hpp"
+
+namespace lc = lycos::core;
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+namespace lse = lycos::search;
+namespace lso = lycos::solver;
+namespace lp = lycos::pace;
+using lh::Op_kind;
+
+namespace {
+
+lh::Hw_library small_library()
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 100.0, 1});
+    lib.add({"multiplier", {Op_kind::mul}, 500.0, 2});
+    return lib;
+}
+
+std::vector<lb::Bsb> small_app()
+{
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb hot;
+    for (int i = 0; i < 3; ++i)
+        hot.graph.add_op(Op_kind::mul);
+    for (int i = 0; i < 2; ++i)
+        hot.graph.add_op(Op_kind::add);
+    hot.profile = 100.0;
+    bsbs.push_back(std::move(hot));
+    lb::Bsb cold;
+    cold.graph.add_op(Op_kind::add);
+    cold.graph.add_op(Op_kind::add);
+    cold.profile = 2.0;
+    bsbs.push_back(std::move(cold));
+    return bsbs;
+}
+
+void expect_same_tuple(const lse::Evaluation& a, const lse::Evaluation& b,
+                       const char* what)
+{
+    EXPECT_EQ(a.datapath, b.datapath) << what;
+    EXPECT_EQ(a.partition.time_hybrid_ns, b.partition.time_hybrid_ns)
+        << what;
+    EXPECT_EQ(a.datapath_area, b.datapath_area) << what;
+}
+
+lso::Problem random_problem(lycos::util::Rng& rng,
+                            const lh::Hw_library& lib,
+                            std::vector<lb::Bsb>& bsbs_store,
+                            lh::Target& target_store, lc::Rmap& bounds_store)
+{
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = rng.uniform_int(2, 5);
+    params.min_ops = 4;
+    params.max_ops = 16;
+    bsbs_store = lycos::apps::random_bsbs(rng, params);
+    target_store =
+        lh::make_default_target(500.0 * rng.uniform_int(3, 12));
+
+    bounds_store = {};
+    const int n_dims = rng.uniform_int(2, 4);
+    for (int d = 0; d < n_dims; ++d)
+        bounds_store.set(
+            rng.uniform_int(0, static_cast<int>(lib.size()) - 1),
+            rng.uniform_int(1, 2));
+
+    lso::Problem p;
+    p.bsbs = bsbs_store;
+    p.lib = &lib;
+    p.target = target_store;
+    p.restrictions = bounds_store;
+    p.area_quantum = target_store.asic.total_area / 64.0;
+    return p;
+}
+
+}  // namespace
+
+TEST(Registry, names_and_lookup)
+{
+    const auto all = lso::strategies();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "exhaustive_bb");
+    EXPECT_EQ(all[1]->name(), "hill_climb");
+    EXPECT_EQ(all[2]->name(), "multi_asic_bb");
+    for (const auto* s : all) {
+        EXPECT_EQ(lso::find_strategy(s->name()), s);
+        EXPECT_FALSE(s->description().empty());
+    }
+    EXPECT_EQ(lso::find_strategy("simulated_annealing"), nullptr);
+}
+
+TEST(Session, validates_problem_and_strategy_names)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = nullptr;
+    p.target = target;
+    EXPECT_THROW(lso::Session{p}, std::invalid_argument);
+
+    p.lib = &lib;
+    lso::Session session(p);
+    EXPECT_THROW(session.solve("no_such_strategy"), std::invalid_argument);
+
+    // Mismatched extras are a caller bug, not a silent default.
+    lso::Solve_options wrong;
+    wrong.extras = lso::Multi_asic_extras{};
+    EXPECT_THROW(session.solve("hill_climb", wrong), std::invalid_argument);
+    wrong.extras = lso::Hill_climb_extras{};
+    EXPECT_THROW(session.solve("exhaustive_bb", wrong),
+                 std::invalid_argument);
+}
+
+TEST(Session, auto_pick_follows_exhaustive_limit)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = &lib;
+    p.target = target;
+    p.restrictions.set(0, 2);
+    p.restrictions.set(1, 3);
+    p.area_quantum = 1.0;
+
+    lso::Session session(p);
+    EXPECT_EQ(session.space_size(), 12);
+    EXPECT_EQ(session.solve().strategy, "exhaustive_bb");
+    session.exhaustive_limit = 0;
+    EXPECT_EQ(session.solve().strategy, "hill_climb");
+}
+
+TEST(Session, rescore_runs_on_warm_cache)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(3000.0);
+    const auto bsbs = small_app();
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = &lib;
+    p.target = target;
+    p.restrictions.set(0, 2);
+    p.restrictions.set(1, 3);
+    p.area_quantum = target.asic.total_area / 16.0;
+
+    lso::Session session(p);
+    const auto r = session.solve("exhaustive_bb", {});
+    EXPECT_GT(r.cache_stats.hits + r.cache_stats.misses, 0);
+
+    // The fine re-score hits the warm session cache: no new schedules.
+    const auto misses_before = session.cache().stats().misses;
+    const auto rescored = session.rescore(r.best.datapath);
+    EXPECT_EQ(session.cache().stats().misses, misses_before);
+
+    // And it equals a from-scratch fine evaluation bit for bit.
+    lse::Eval_context fine = session.context();
+    fine.area_quantum = 0.0;
+    const auto uncached = lse::evaluate_allocation(fine, r.best.datapath);
+    EXPECT_EQ(rescored.partition.time_hybrid_ns,
+              uncached.partition.time_hybrid_ns);
+    EXPECT_EQ(rescored.datapath_area, uncached.datapath_area);
+}
+
+// The deprecated free functions are thin shims over a one-shot
+// Session; the acceptance contract pins them bit-identical to the
+// Session API for any thread count.
+TEST(Shims, exhaustive_search_matches_session_any_thread_count)
+{
+    lycos::util::Rng rng(91);
+    const auto lib = lh::make_default_library();
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<lb::Bsb> bsbs;
+        lh::Target target;
+        lc::Rmap bounds;
+        const auto p = random_problem(rng, lib, bsbs, target, bounds);
+        const lse::Eval_context ctx{bsbs, lib, target, p.ctrl_mode,
+                                    p.area_quantum};
+
+        lso::Session session(p);
+        for (int n_threads : {1, 2, 5}) {
+            const auto via_session = session.solve(
+                "exhaustive_bb", {.n_threads = n_threads});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+            const auto via_shim = lse::exhaustive_search(
+                ctx, bounds, {.n_threads = n_threads});
+#pragma GCC diagnostic pop
+            expect_same_tuple(via_shim.best, via_session.best,
+                              "exhaustive shim");
+            EXPECT_EQ(via_shim.space_size, via_session.space_size);
+        }
+    }
+}
+
+TEST(Shims, hill_climb_search_matches_session_any_thread_count)
+{
+    lycos::util::Rng rng(92);
+    const auto lib = lh::make_default_library();
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<lb::Bsb> bsbs;
+        lh::Target target;
+        lc::Rmap bounds;
+        const auto p = random_problem(rng, lib, bsbs, target, bounds);
+        const lse::Eval_context ctx{bsbs, lib, target, p.ctrl_mode,
+                                    p.area_quantum};
+
+        lso::Session session(p);
+        for (int n_threads : {1, 2, 5}) {
+            lso::Hill_climb_extras extras;
+            extras.n_restarts = 6;
+            extras.max_steps = 32;
+            extras.seed = 7;
+            lso::Solve_options opts;
+            opts.n_threads = n_threads;
+            opts.extras = extras;
+            const auto via_session = session.solve("hill_climb", opts);
+
+            lycos::util::Rng shim_rng(7);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+            const auto via_shim = lse::hill_climb_search(
+                ctx, bounds,
+                {.n_restarts = 6, .max_steps = 32, .n_threads = n_threads},
+                shim_rng);
+#pragma GCC diagnostic pop
+            expect_same_tuple(via_shim.best, via_session.best,
+                              "hill climb shim");
+            EXPECT_EQ(via_shim.n_evaluated, via_session.n_evaluated);
+        }
+    }
+}
+
+// Session-owned shared invariants vs each worker recomputing them:
+// the memoized per-BSB costs — and therefore whole searches — must be
+// bit-identical.
+TEST(Invariants, shared_and_private_caches_agree_bitwise)
+{
+    const auto lib = lh::make_default_library();
+    lycos::util::Rng rng(31);
+    lycos::apps::Random_app_params params;
+    params.n_bsbs = 5;
+    params.min_ops = 6;
+    params.max_ops = 24;
+    const auto bsbs = lycos::apps::random_bsbs(rng, params);
+    const auto target = lh::make_default_target(6000.0);
+    const lse::Eval_context ctx{bsbs, lib, target,
+                                lp::Controller_mode::list_schedule, 1.0};
+
+    const auto shared =
+        std::make_shared<const lse::Eval_invariants>(ctx);
+    lse::Eval_cache with_shared(ctx, 0, shared);
+    lse::Eval_cache without(ctx);
+    EXPECT_EQ(with_shared.invariants().get(), shared.get());
+    EXPECT_NE(without.invariants().get(), shared.get());
+
+    std::vector<int> counts(lib.size(), 0);
+    for (int c0 = 0; c0 <= 2; ++c0)
+        for (int c1 = 0; c1 <= 2; ++c1) {
+            counts[0] = c0;
+            counts[1] = c1;
+            for (std::size_t b = 0; b < bsbs.size(); ++b) {
+                const auto& a = with_shared.cost_one(b, counts);
+                const auto& e = without.cost_one(b, counts);
+                EXPECT_EQ(a.t_hw, e.t_hw);
+                EXPECT_EQ(a.ctrl_area, e.ctrl_area);
+                EXPECT_EQ(a.t_sw, e.t_sw);
+                EXPECT_EQ(a.comm, e.comm);
+                EXPECT_EQ(a.save_prev, e.save_prev);
+            }
+        }
+
+    // Whole-search equivalence: engine with shared invariants vs the
+    // engine recomputing per worker.
+    lc::Rmap bounds;
+    bounds.set(0, 2);
+    bounds.set(1, 2);
+    bounds.set(2, 1);
+    for (int n_threads : {1, 3}) {
+        const auto plain = lse::exhaustive_engine(
+            ctx, bounds, {.n_threads = n_threads});
+        const auto inv = lse::exhaustive_engine(
+            ctx, bounds, {.n_threads = n_threads, .invariants = shared});
+        expect_same_tuple(plain.best, inv.best, "invariants");
+        EXPECT_EQ(plain.n_evaluated, inv.n_evaluated);
+        EXPECT_EQ(plain.n_pruned, inv.n_pruned);
+    }
+}
+
+// multi_asic_bb determinism + correctness: the best pair tuple is
+// independent of thread count / chunking / pruning, and matches a
+// brute-force scan over every fitting allocation pair.
+TEST(MultiAsicBb, deterministic_and_matches_brute_force)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(2000.0);
+    const auto bsbs = small_app();
+
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = &lib;
+    p.target = target;
+    p.restrictions.set(0, 2);
+    p.restrictions.set(1, 2);
+    p.area_quantum = 1.0;
+
+    lso::Session session(p);
+    const auto reference = session.solve(
+        "multi_asic_bb", {.n_threads = 1, .use_pruning = false});
+    ASSERT_TRUE(reference.multi.active);
+    EXPECT_EQ(reference.n_evaluated, reference.space_size);
+    EXPECT_EQ(reference.n_pruned, 0);
+
+    for (int n_threads : {1, 2, 5}) {
+        for (bool use_pruning : {false, true}) {
+            const auto r = session.solve(
+                "multi_asic_bb",
+                {.n_threads = n_threads, .use_pruning = use_pruning});
+            EXPECT_EQ(r.multi.datapaths, reference.multi.datapaths)
+                << n_threads << " threads, pruning " << use_pruning;
+            EXPECT_EQ(r.multi.partition.time_hybrid_ns,
+                      reference.multi.partition.time_hybrid_ns);
+            EXPECT_EQ(r.multi.partition.placement,
+                      reference.multi.partition.placement);
+            EXPECT_EQ(r.multi.datapath_area, reference.multi.datapath_area);
+            if (use_pruning)
+                EXPECT_EQ(r.n_evaluated + r.n_pruned, r.space_size);
+        }
+    }
+
+    // Brute force: every pair of fitting allocations, row-major, with
+    // uncached cost models — the search's memoized costs must lead to
+    // the identical best pair.
+    const double half = target.asic.total_area / 2.0;
+    std::vector<lc::Rmap> points;
+    const lse::Alloc_space space(lib, p.restrictions);
+    space.for_each(half, [&](const lc::Rmap& a) {
+        points.push_back(a);
+        return true;
+    });
+    ASSERT_EQ(static_cast<long long>(points.size()) *
+                  static_cast<long long>(points.size()),
+              reference.space_size);
+
+    bool have = false;
+    double best_time = 0.0;
+    double best_area = 0.0;
+    std::array<lc::Rmap, 2> best_pair;
+    for (const auto& a0 : points) {
+        for (const auto& a1 : points) {
+            const auto costs = lp::build_multi_cost_model(
+                bsbs, lib, target, a0, a1, p.ctrl_mode);
+            lp::Multi_pace_options mo;
+            mo.ctrl_area_budgets = {half - a0.area(lib),
+                                    half - a1.area(lib)};
+            mo.area_quantum = p.area_quantum;
+            const auto r = lp::multi_pace_partition(costs, mo);
+            const double area_sum = a0.area(lib) + a1.area(lib);
+            if (!have || r.time_hybrid_ns < best_time ||
+                (r.time_hybrid_ns == best_time && area_sum < best_area)) {
+                best_time = r.time_hybrid_ns;
+                best_area = area_sum;
+                best_pair = {a0, a1};
+                have = true;
+            }
+        }
+    }
+    EXPECT_EQ(reference.multi.datapaths, best_pair);
+    EXPECT_EQ(reference.multi.partition.time_hybrid_ns, best_time);
+}
+
+TEST(MultiAsicBb, respects_pair_limit_and_budgets)
+{
+    const auto lib = small_library();
+    const auto target = lh::make_default_target(2000.0);
+    const auto bsbs = small_app();
+
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = &lib;
+    p.target = target;
+    p.restrictions.set(0, 2);
+    p.restrictions.set(1, 2);
+    p.area_quantum = 1.0;
+
+    lso::Session session(p);
+    lso::Solve_options opts;
+    opts.extras = lso::Multi_asic_extras{.pair_limit = 1};
+    EXPECT_THROW(session.solve("multi_asic_bb", opts),
+                 std::invalid_argument);
+
+    // Asymmetric budgets: ASIC1 gets no silicon, so its axis holds
+    // only the empty allocation and the best pair leaves it empty.
+    lso::Problem lop = p;
+    lop.asic_areas = {target.asic.total_area, 0.0};
+    lso::Session lopsided(lop);
+    const auto r = lopsided.solve("multi_asic_bb", {});
+    ASSERT_TRUE(r.multi.active);
+    EXPECT_EQ(r.multi.axis_points[1], 1);
+    EXPECT_TRUE(r.multi.datapaths[1].empty());
+    EXPECT_LE(r.multi.datapath_area[0], target.asic.total_area);
+    EXPECT_LE(r.multi.partition.ctrl_area_used[0] +
+                  r.multi.datapath_area[0],
+              target.asic.total_area + 1e-9);
+}

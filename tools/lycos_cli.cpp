@@ -23,9 +23,8 @@
 #include "minic/lexer.hpp"
 #include "minic/lower.hpp"
 #include "minic/parser.hpp"
-#include "search/exhaustive.hpp"
-#include "search/hill_climb.hpp"
 #include "search/search_bench.hpp"
+#include "solver/solver.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -76,6 +75,29 @@ core::Rmap apply_overrides(core::Rmap alloc, const hw::Hw_library& lib,
     return alloc;
 }
 
+/// The unified Solve_result stats table, identical across strategies
+/// (multi_asic_bb counts allocation *pairs* in space/scored/pruned).
+void print_solve_stats(std::ostream& os, const solver::Solve_result& r)
+{
+    util::Table_printer table({"stat", "value"});
+    table.add_row({"strategy", r.strategy});
+    table.add_row({"space", util::with_commas(r.space_size)});
+    table.add_row({"scored", util::with_commas(r.n_evaluated)});
+    table.add_row({"pruned", util::with_commas(r.n_pruned)});
+    table.add_row({"cache hit rate", util::percent(r.cache_stats.hit_rate())});
+    if (r.cache_stats.evictions > 0)
+        table.add_row(
+            {"cache evictions", util::with_commas(r.cache_stats.evictions)});
+    if (r.dp_rows_swept > 0)
+        table.add_row({"DP rows", util::with_commas(r.dp_rows_reused) +
+                                      " reused / " +
+                                      util::with_commas(r.dp_rows_swept) +
+                                      " swept"});
+    table.add_row({"threads", std::to_string(r.n_threads)});
+    table.add_row({"seconds", util::fixed(r.seconds, 3)});
+    table.print(os);
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -91,11 +113,19 @@ int main(int argc, char** argv)
                     "resource library: default|variants|<file> "
                     "(see hw/library_io.hpp for the file format)");
     args.add_option("set", "", "override counts, e.g. const_gen=1,divider=1");
-    args.add_option("search", "none",
-                    "compare against the best allocation: none|auto");
+    std::string search_help =
+        "compare against the best allocation: none|auto";
+    for (const auto* strategy : solver::strategies()) {
+        search_help += '|';
+        search_help += strategy->name();
+    }
+    args.add_option("search", "none", search_help);
     args.add_option("cache-cap", "0",
                     "entry cap per search evaluation cache (0 = unbounded; "
                     "bounded caches evict segment-wise, results identical)");
+    args.add_option("pair-limit", "0",
+                    "multi_asic_bb: cap on the two-ASIC pair space "
+                    "(0 = strategy default; the pair walk is quadratic)");
     args.add_option("bench-json", "",
                     "run the old-vs-new search benchmark and write the "
                     "BENCH_search.json report to this path, then exit");
@@ -280,57 +310,81 @@ int main(int argc, char** argv)
         std::cout << "speed-up:      "
                   << util::speedup_percent(ev.speedup_pct()) << "\n";
 
-        if (args.value("search") == "auto") {
-            search::Eval_context sctx = ctx;
-            sctx.area_quantum = area / 512.0;
-            const auto cache_cap = static_cast<std::size_t>(
+        const std::string search_name = args.value("search");
+        // Loud, not silent: the cap only means something to the pair
+        // search (auto never picks it, "none" runs no search at all).
+        if (std::stoll(args.value("pair-limit")) > 0 &&
+            search_name != "multi_asic_bb") {
+            std::cerr << "error: --pair-limit only applies to "
+                         "--search multi_asic_bb\n";
+            return 2;
+        }
+        if (search_name != "none") {
+            if (search_name != "auto" &&
+                solver::find_strategy(search_name) == nullptr) {
+                std::cerr << "error: unknown --search strategy \""
+                          << search_name << "\" (try auto";
+                for (const auto* strategy : solver::strategies())
+                    std::cerr << ", " << strategy->name();
+                std::cerr << ")\n";
+                return 2;
+            }
+
+            // One Session owns the thread pool, the shared cache and
+            // the shared invariants for the coarse search and the fine
+            // re-score of the winner (BSB schedules don't depend on
+            // the PACE quantum, so the re-score runs on warm entries).
+            solver::Problem problem;
+            problem.bsbs = bsbs;
+            problem.lib = &lib;
+            problem.target = target;
+            problem.restrictions = restrictions;
+            problem.ctrl_mode = parse_ctrl(args.value("ctrl"));
+            problem.area_quantum = area / 512.0;
+            if (args.flag("storage"))
+                problem.storage = &storage_model;
+            solver::Session session(problem);
+
+            solver::Solve_options opts;
+            opts.cache_capacity = static_cast<std::size_t>(
                 std::stoll(args.value("cache-cap")));
-            // One cache serves the coarse search and the fine re-score
-            // below: BSB schedules don't depend on the PACE quantum.
-            search::Eval_cache cache(sctx, cache_cap);
-            const search::Alloc_space space(lib, restrictions);
-            search::Search_result best;
-            if (space.size() <= 30000) {
-                best = search::exhaustive_search(
-                    sctx, restrictions,
-                    {.cache_capacity = cache_cap, .shared_cache = &cache});
-                std::cout << "\nbest (exhaustive, "
-                          << util::with_commas(best.n_evaluated)
-                          << " scored + "
-                          << util::with_commas(best.n_pruned)
-                          << " pruned of "
-                          << util::with_commas(best.space_size)
-                          << " allocations, cache hit rate "
-                          << util::percent(best.cache_stats.hit_rate());
-                if (best.cache_stats.evictions > 0)
-                    std::cout << ", "
-                              << util::with_commas(
-                                     best.cache_stats.evictions)
-                              << " evicted";
-                if (best.dp_rows_swept > 0)
-                    std::cout << ", DP rows "
-                              << util::with_commas(best.dp_rows_reused)
-                              << " reused / "
-                              << util::with_commas(best.dp_rows_swept)
-                              << " swept";
-                std::cout << "): ";
+            const auto pair_limit = std::stoll(args.value("pair-limit"));
+            if (pair_limit > 0)
+                opts.extras =
+                    solver::Multi_asic_extras{.pair_limit = pair_limit};
+            const auto best = search_name == "auto"
+                                  ? session.solve(opts)
+                                  : session.solve(search_name, opts);
+
+            std::cout << "\n";
+            print_solve_stats(std::cout, best);
+            if (best.multi.active) {
+                const auto& m = best.multi;
+                std::cout << "best two-ASIC allocation ("
+                          << util::fixed(m.asic_areas[0], 0) << " + "
+                          << util::fixed(m.asic_areas[1], 0)
+                          << " gates):\n";
+                for (std::size_t k = 0; k < 2; ++k)
+                    std::cout << "  ASIC" << k << ": "
+                              << m.datapaths[k].to_string(lib)
+                              << " (datapath "
+                              << util::fixed(m.datapath_area[k], 0)
+                              << ", ctrl "
+                              << util::fixed(
+                                     m.partition.ctrl_area_used[k], 0)
+                              << ")\n";
+                std::cout << "  partition: " << m.partition.n_in_hw << "/"
+                          << bsbs.size() << " BSBs in HW, speed-up "
+                          << util::speedup_percent(m.partition.speedup_pct)
+                          << " (at the search quantum)\n";
             }
             else {
-                util::Rng rng(0xD47E1998);
-                best = search::hill_climb_search(
-                    sctx, restrictions,
-                    {.n_restarts = 12, .max_steps = 128,
-                     .shared_cache = &cache},
-                    rng);
-                std::cout << "\nbest (hill climbing, "
-                          << util::with_commas(best.n_evaluated) << " of "
-                          << util::with_commas(best.space_size)
-                          << " allocations): ";
+                const auto best_ev = session.rescore(best.best.datapath);
+                std::cout << "best: "
+                          << util::speedup_percent(best_ev.speedup_pct())
+                          << " with " << best_ev.datapath.to_string(lib)
+                          << "\n";
             }
-            const auto best_ev =
-                search::evaluate_allocation(ctx, best.best.datapath, &cache);
-            std::cout << util::speedup_percent(best_ev.speedup_pct())
-                      << " with " << best_ev.datapath.to_string(lib) << "\n";
         }
         return 0;
     }
