@@ -214,6 +214,17 @@ void bm_multi_pace_frontier(benchmark::State& state)
                                         .area_quantum = 1.0};
     pace::Multi_pace_workspace ws;
     for (auto _ : state) {
+        auto r = pace::multi_pace_partition_frontier(costs, opts, &ws);
+        benchmark::DoNotOptimize(r);
+    }
+}
+void bm_multi_pace_sparse(benchmark::State& state)
+{
+    const auto costs = random_multi_costs(static_cast<int>(state.range(0)));
+    const pace::Multi_pace_options opts{.ctrl_area_budgets = {300.0, 300.0},
+                                        .area_quantum = 1.0};
+    pace::Multi_pace_workspace ws;
+    for (auto _ : state) {
         auto r = pace::multi_pace_partition(costs, opts, &ws);
         benchmark::DoNotOptimize(r);
     }
@@ -231,6 +242,7 @@ void bm_multi_pace_screen(benchmark::State& state)
 }
 BENCHMARK(bm_multi_pace_dense)->RangeMultiplier(2)->Range(4, 32);
 BENCHMARK(bm_multi_pace_frontier)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(bm_multi_pace_sparse)->RangeMultiplier(2)->Range(4, 32);
 BENCHMARK(bm_multi_pace_screen)->RangeMultiplier(2)->Range(4, 32);
 
 void bm_pace_brute_force(benchmark::State& state)

@@ -72,8 +72,13 @@ Multi_setup prepare_multi(std::span<const Multi_bsb_cost> costs,
     s.w0 = static_cast<std::size_t>(s.cap[0]) + 1;
     s.w1 = static_cast<std::size_t>(s.cap[1]) + 1;
 
-    // Quantized controller areas per BSB per ASIC (rounded up, so the
-    // DP never packs more real area than a budget).
+    // Quantized controller areas per BSB per ASIC.  Rounded up by
+    // default, so the DP never packs more real area than a budget;
+    // optimistic_rounding rounds down instead, which makes the DP
+    // value an upper bound on the exact continuum optimum (and hence
+    // on every ceil-rounded DP at any quantum over budgets no larger
+    // than these) — the mode the multi-ASIC search's admissible
+    // per-a0-row bound runs in.
     const std::size_t n = costs.size();
     qarea.assign(n, {0, 0});
     possible.assign(n, {0, 0});
@@ -82,8 +87,10 @@ Multi_setup prepare_multi(std::span<const Multi_bsb_cost> costs,
             const auto& c = costs[i].hw[a];
             if (std::isinf(c.ctrl_area) || std::isinf(c.t_hw))
                 continue;
-            qarea[i][a] =
-                static_cast<int>(std::ceil(c.ctrl_area / s.quantum));
+            qarea[i][a] = static_cast<int>(
+                options.optimistic_rounding
+                    ? std::floor(c.ctrl_area / s.quantum)
+                    : std::ceil(c.ctrl_area / s.quantum));
             possible[i][a] = qarea[i][a] <= s.cap[a] ? 1 : 0;
         }
     }
@@ -331,6 +338,285 @@ double Multi_dp::sweep(std::span<const Multi_bsb_cost> costs,
     return best;
 }
 
+// ---------------------------------------------------------------------
+// Pareto-sparse sweep
+// ---------------------------------------------------------------------
+
+void Multi_pace_state_set::prune(std::vector<Multi_state>& states,
+                                 int a1_cap)
+{
+    // Fenwick prefix-max over a1+1 in [1, a1_cap+1], epoch-stamped so
+    // resetting between lanes costs nothing.  Processing states in
+    // (a0, a1) order makes "some processed state with a1' <= a1 has
+    // value >= v" exactly the dominance test: processed-before plus
+    // a1' <= a1 implies a0' <= a0 with unequal coordinates.  Only
+    // kept states are inserted — a dropped state's dominator chain
+    // always ends in a kept state that dominates it transitively — so
+    // the survivors are precisely the Pareto-maximal antichain.
+    const std::size_t nb = static_cast<std::size_t>(a1_cap) + 1;
+    if (fen_.size() < nb + 1) {
+        fen_.resize(nb + 1);
+        fen_epoch_.resize(nb + 1, 0);
+    }
+    if (++epoch_ == 0) {  // epoch wrapped: hard reset once per 2^32
+        std::fill(fen_epoch_.begin(), fen_epoch_.end(), 0u);
+        epoch_ = 1;
+    }
+    const auto query = [&](std::size_t i) {
+        double m = -k_inf;
+        for (; i > 0; i -= i & (~i + 1))
+            if (fen_epoch_[i] == epoch_ && fen_[i] > m)
+                m = fen_[i];
+        return m;
+    };
+    const auto update = [&](std::size_t i, double v) {
+        for (; i <= nb; i += i & (~i + 1)) {
+            if (fen_epoch_[i] != epoch_) {
+                fen_epoch_[i] = epoch_;
+                fen_[i] = v;
+            }
+            else if (v > fen_[i]) {
+                fen_[i] = v;
+            }
+        }
+    };
+
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < states.size(); ++r) {
+        const auto& st = states[r];
+        const std::size_t pos = static_cast<std::size_t>(st.a1) + 1;
+        if (query(pos) >= st.value)
+            continue;  // dominated (ties keep the smaller-area state)
+        update(pos, st.value);
+        states[kept++] = st;
+    }
+    states.resize(kept);
+}
+
+namespace {
+
+std::uint64_t state_key(std::size_t a0, std::size_t a1)
+{
+    return (static_cast<std::uint64_t>(a0) << 32) |
+           static_cast<std::uint64_t>(a1);
+}
+
+}  // namespace
+
+/// Friend of Multi_pace_workspace: the Pareto-sparse sweep both
+/// sparse entry points share, templated on traceback maintenance like
+/// the frontier Multi_dp.
+///
+/// Row i maps the current antichains (one per previous-placement
+/// lane) to the next row's: each destination lane 3-way-merges the
+/// shifted source lanes in (a0, a1) order with the source lane p as
+/// the tie-break — reproducing the dense reference's improving-write
+/// order (first maximum over p) on every surviving cell — then prunes
+/// the merged list back to the Pareto-maximal antichain.
+///
+/// Why this is bit-identical to the dense reference, traceback
+/// included, and not merely value-equivalent: with *complete*
+/// dominance pruning every surviving state provably carries the dense
+/// value of its cell (a surviving state with a smaller value would be
+/// dominated by the state the induction guarantees at no more area
+/// and at least the dense value), and no state on the dense winner
+/// path is ever dominated (a dominator with more value would beat the
+/// optimum along the same decision suffix; one with equal value and
+/// less area would produce a final state the dense first-maximum
+/// final scan prefers over the actual winner — both contradictions).
+/// So the winner path survives with exact values, its cells' parents
+/// are re-derived from the same candidates in the same first-max
+/// order, and the final scan — per-lane first maximum, lanes combined
+/// by (value desc, a0, a1, p) — lands on the dense best state.
+struct Multi_dp_sparse {
+    template <bool With_trace>
+    static double sweep(std::span<const Multi_bsb_cost> costs,
+                        const Multi_setup& s, Multi_pace_workspace& ws,
+                        Dp_stats& stats, Best_state* best_state);
+};
+
+template <bool With_trace>
+double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
+                              const Multi_setup& s,
+                              Multi_pace_workspace& ws, Dp_stats& stats,
+                              Best_state* best_state)
+{
+    const std::size_t n = costs.size();
+    const auto& qarea = ws.qarea_;
+    const auto& possible = ws.possible_;
+    auto& cur = ws.cur_;
+    auto& nxt = ws.nxt_;
+    for (std::size_t p = 0; p < 3; ++p) {
+        cur.lanes_[p].clear();
+        nxt.lanes_[p].clear();
+    }
+    cur.lanes_[0].push_back({0, 0, 0.0, 0});
+
+    if constexpr (With_trace) {
+        ws.srow_off_.assign(n * 3 + 1, 0);
+        ws.tb_key_.clear();
+        ws.tb_cell_.clear();
+    }
+
+    /// One shifted source lane of a destination lane's 3-way merge.
+    struct Src {
+        const Multi_state* it = nullptr;
+        const Multi_state* end = nullptr;
+        int da0 = 0, da1 = 0;
+        double add = 0.0;
+        std::uint8_t p = 0;
+    };
+    const int cap0 = static_cast<int>(s.cap[0]);
+    const int cap1 = static_cast<int>(s.cap[1]);
+    const auto skip_invalid = [&](Src& src) {
+        while (src.it != src.end) {
+            if (src.it->a0 + src.da0 > cap0) {
+                src.it = src.end;  // a0 ascending: the rest is dead too
+                break;
+            }
+            if (src.it->a1 + src.da1 > cap1) {
+                ++src.it;  // a1 only ascends within an a0 group
+                continue;
+            }
+            break;
+        }
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        stats.cells_swept += static_cast<long long>(cur.size());
+
+        const std::array<int, 2> qa = {qarea[i][0], qarea[i][1]};
+        const std::array<double, 2> gain = {
+            possible[i][0] != 0 ? hw_gain(costs[i].t_sw, costs[i].hw[0])
+                                : 0.0,
+            possible[i][1] != 0 ? hw_gain(costs[i].t_sw, costs[i].hw[1])
+                                : 0.0};
+        const std::array<double, 2> gain_save = {
+            i > 0 ? gain[0] + costs[i].hw[0].save_prev : gain[0],
+            i > 0 ? gain[1] + costs[i].hw[1].save_prev : gain[1]};
+        const double g1[3] = {gain[0], gain_save[0], gain[0]};
+        const double g2[3] = {gain[1], gain[1], gain_save[1]};
+
+        for (std::size_t l = 0; l < 3; ++l) {
+            auto& out = nxt.lanes_[l];
+            out.clear();
+            if ((l == 1 && possible[i][0] == 0) ||
+                (l == 2 && possible[i][1] == 0)) {
+                if constexpr (With_trace)
+                    ws.srow_off_[i * 3 + l + 1] = ws.tb_key_.size();
+                continue;
+            }
+
+            std::array<Src, 3> src;
+            for (std::size_t p = 0; p < 3; ++p) {
+                auto& sp = src[p];
+                sp.it = cur.lanes_[p].data();
+                sp.end = sp.it + cur.lanes_[p].size();
+                sp.p = static_cast<std::uint8_t>(p);
+                if (l == 1) {
+                    sp.da0 = qa[0];
+                    sp.add = g1[p];
+                }
+                else if (l == 2) {
+                    sp.da1 = qa[1];
+                    sp.add = g2[p];
+                }
+                skip_invalid(sp);
+            }
+
+            // 3-way merge by shifted (a0, a1); on a key tie the lowest
+            // source lane arrives first and later lanes replace it
+            // only on a strictly greater value — the dense reference's
+            // first-maximum-over-p improving-write order.
+            for (;;) {
+                int k = -1;
+                std::uint64_t k_key = 0;
+                for (int p = 0; p < 3; ++p) {
+                    const auto& sp = src[static_cast<std::size_t>(p)];
+                    if (sp.it == sp.end)
+                        continue;
+                    const std::uint64_t key = state_key(
+                        static_cast<std::size_t>(sp.it->a0 + sp.da0),
+                        static_cast<std::size_t>(sp.it->a1 + sp.da1));
+                    if (k < 0 || key < k_key) {
+                        k = p;
+                        k_key = key;
+                    }
+                }
+                if (k < 0)
+                    break;
+                auto& sp = src[static_cast<std::size_t>(k)];
+                const int ca0 = sp.it->a0 + sp.da0;
+                const int ca1 = sp.it->a1 + sp.da1;
+                const double v = sp.it->value + sp.add;
+                if (!out.empty() && out.back().a0 == ca0 &&
+                    out.back().a1 == ca1) {
+                    if (v > out.back().value) {
+                        out.back().value = v;
+                        out.back().parent = sp.p;
+                    }
+                }
+                else {
+                    out.push_back({ca0, ca1, v, sp.p});
+                }
+                ++sp.it;
+                skip_invalid(sp);
+            }
+
+            nxt.prune(out, cap1);
+
+            if constexpr (With_trace) {
+                for (const auto& st : out) {
+                    const std::size_t g = ws.tb_key_.size();
+                    ws.tb_key_.push_back(
+                        state_key(static_cast<std::size_t>(st.a0),
+                                  static_cast<std::size_t>(st.a1)));
+                    const auto code =
+                        static_cast<std::uint8_t>(l * 3 + st.parent);
+                    if ((g & 1) == 0)
+                        ws.tb_cell_.push_back(code);
+                    else
+                        ws.tb_cell_[g >> 1] = static_cast<std::uint8_t>(
+                            ws.tb_cell_[g >> 1] | (code << 4));
+                }
+                ws.srow_off_[i * 3 + l + 1] = ws.tb_key_.size();
+            }
+        }
+        for (std::size_t p = 0; p < 3; ++p)
+            cur.lanes_[p].swap(nxt.lanes_[p]);
+    }
+
+    // Final pick: per lane the first maximum of the (a0, a1)-sorted
+    // antichain, lanes combined on (value desc, a0, a1, p asc) — the
+    // state the dense (a0-major, a1, p) first-maximum scan lands on.
+    double best = -k_inf;
+    bool have = false;
+    Best_state bs;
+    for (std::size_t p = 0; p < 3; ++p) {
+        const Multi_state* lane_best = nullptr;
+        for (const auto& st : cur.lanes_[p])
+            if (lane_best == nullptr || st.value > lane_best->value)
+                lane_best = &st;
+        if (lane_best == nullptr)
+            continue;
+        const bool wins =
+            !have || lane_best->value > best ||
+            (lane_best->value == best &&
+             (lane_best->a0 < static_cast<int>(bs.a0) ||
+              (lane_best->a0 == static_cast<int>(bs.a0) &&
+               lane_best->a1 < static_cast<int>(bs.a1))));
+        if (wins) {
+            best = lane_best->value;
+            bs = {static_cast<std::size_t>(lane_best->a0),
+                  static_cast<std::size_t>(lane_best->a1), p};
+            have = true;
+        }
+    }
+    if (best_state != nullptr && have)
+        *best_state = bs;
+    return best;
+}
+
 std::vector<Multi_bsb_cost> build_multi_cost_model(
     std::span<const bsb::Bsb> bsbs, const hw::Hw_library& lib,
     const hw::Target& target, const core::Rmap& alloc0,
@@ -380,21 +666,44 @@ Multi_pace_result evaluate_multi_partition(
     return r;
 }
 
+namespace {
+
+/// One BSB's contribution to multi_max_gain: the better of its two
+/// per-ASIC gains, adjacency credited unconditionally, budgets
+/// ignored — shared by both overloads so the admissibility formula
+/// lives in exactly one place.
+double best_bsb_gain(std::size_t i, double t_sw, const Bsb_cost& h0,
+                     const Bsb_cost& h1)
+{
+    double best = 0.0;
+    for (const Bsb_cost* h : {&h0, &h1}) {
+        if (std::isinf(h->t_hw))
+            continue;
+        double gain = t_sw - h->t_hw - h->comm;
+        if (i > 0)
+            gain += std::max(0.0, h->save_prev);
+        best = std::max(best, gain);
+    }
+    return best;
+}
+
+}  // namespace
+
 double multi_max_gain(std::span<const Multi_bsb_cost> costs)
 {
     double total = 0.0;
-    for (std::size_t i = 0; i < costs.size(); ++i) {
-        double best = 0.0;
-        for (const auto& h : costs[i].hw) {
-            if (std::isinf(h.t_hw))
-                continue;
-            double gain = costs[i].t_sw - h.t_hw - h.comm;
-            if (i > 0)
-                gain += std::max(0.0, h.save_prev);
-            best = std::max(best, gain);
-        }
-        total += best;
-    }
+    for (std::size_t i = 0; i < costs.size(); ++i)
+        total += best_bsb_gain(i, costs[i].t_sw, costs[i].hw[0],
+                               costs[i].hw[1]);
+    return total;
+}
+
+double multi_max_gain(std::span<const Bsb_cost> c0,
+                      std::span<const Bsb_cost> c1)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < c0.size(); ++i)
+        total += best_bsb_gain(i, c0[i].t_sw, c0[i], c1[i]);
     return total;
 }
 
@@ -409,12 +718,105 @@ double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
     if (costs.empty())
         return 0.0;
     Dp_stats stats;
-    return Multi_dp::sweep<false>(costs, s, ws, stats, nullptr);
+    const double best =
+        Multi_dp_sparse::sweep<false>(costs, s, ws, stats, nullptr);
+    ws.last_cells_swept_ = stats.cells_swept;
+    ws.last_cells_dense_ = static_cast<long long>(costs.size()) *
+                           static_cast<long long>(s.w0) *
+                           static_cast<long long>(s.w1) * 3;
+    return best;
+}
+
+double multi_pace_best_saving_frontier(std::span<const Multi_bsb_cost> costs,
+                                       const Multi_pace_options& options,
+                                       Multi_pace_workspace* workspace)
+{
+    Multi_pace_workspace local;
+    Multi_pace_workspace& ws = workspace != nullptr ? *workspace : local;
+    const Multi_setup s =
+        prepare_multi(costs, options, ws.qarea_, ws.possible_);
+    if (costs.empty())
+        return 0.0;
+    Dp_stats stats;
+    const double best = Multi_dp::sweep<false>(costs, s, ws, stats, nullptr);
+    ws.last_cells_swept_ = stats.cells_swept;
+    ws.last_cells_dense_ = static_cast<long long>(costs.size()) *
+                           static_cast<long long>(s.w0) *
+                           static_cast<long long>(s.w1) * 3;
+    return best;
 }
 
 Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
                                        const Multi_pace_options& options,
                                        Multi_pace_workspace* workspace)
+{
+    Multi_pace_workspace local;
+    Multi_pace_workspace& ws = workspace != nullptr ? *workspace : local;
+    const Multi_setup s =
+        prepare_multi(costs, options, ws.qarea_, ws.possible_);
+    const std::size_t n = costs.size();
+    if (n == 0)
+        return Multi_pace_result{};
+
+    Dp_stats stats;
+    Best_state bs;
+    Multi_dp_sparse::sweep<true>(costs, s, ws, stats, &bs);
+
+    // Walk the per-state nibbles backwards from the best final state:
+    // a state reachable after row ri is stored (sorted by packed
+    // coordinate key) in that row's lane segment of the sparse arena,
+    // so a binary search recovers its cell index.
+    std::vector<Placement> placement(n, Placement::software);
+    std::size_t a0 = bs.a0, a1 = bs.a1, p = bs.p;
+    for (std::size_t ri = n; ri-- > 0;) {
+        const std::size_t lo = ws.srow_off_[ri * 3 + p];
+        const std::size_t hi = ws.srow_off_[ri * 3 + p + 1];
+        const std::uint64_t key = state_key(a0, a1);
+        const auto* seg = ws.tb_key_.data();
+        const auto* pos = std::lower_bound(seg + lo, seg + hi, key);
+        const auto g = static_cast<std::size_t>(pos - seg);
+        const std::uint8_t byte = ws.tb_cell_[g >> 1];
+        const std::uint8_t code =
+            (g & 1) != 0 ? static_cast<std::uint8_t>(byte >> 4)
+                         : static_cast<std::uint8_t>(byte & 0x0F);
+        const std::size_t d = code / 3;
+        const std::size_t parent = code % 3;
+        if (d == 0) {
+            placement[ri] = Placement::software;
+        }
+        else {
+            const std::size_t a = d - 1;
+            placement[ri] = a == 0 ? Placement::asic0 : Placement::asic1;
+            const std::size_t q = static_cast<std::size_t>(ws.qarea_[ri][a]);
+            if (a == 0)
+                a0 -= q;
+            else
+                a1 -= q;
+        }
+        p = parent;
+    }
+
+    Multi_pace_result r = evaluate_multi_partition(costs, placement);
+    r.area_quantum_used = s.quantum;
+    r.dp_cells_swept = stats.cells_swept;
+    r.dp_cells_dense = static_cast<long long>(n) *
+                       static_cast<long long>(s.w0) *
+                       static_cast<long long>(s.w1) * 3;
+    r.dp_states_stored = static_cast<long long>(ws.tb_key_.size());
+    // Keys (8 B each, the binary-searchable sparse row index) plus the
+    // nibble cells — honest total for the sparse encoding.
+    r.traceback_bytes = ws.tb_key_.size() * sizeof(std::uint64_t) +
+                        ws.tb_cell_.size();
+    r.traceback_bytes_dense =
+        static_cast<std::size_t>(n) * s.w0 * s.w1 * 3 * 2;
+    ws.last_cells_swept_ = stats.cells_swept;
+    ws.last_cells_dense_ = r.dp_cells_dense;
+    return r;
+}
+
+Multi_pace_result multi_pace_partition_frontier(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options,
+    Multi_pace_workspace* workspace)
 {
     Multi_pace_workspace local;
     Multi_pace_workspace& ws = workspace != nullptr ? *workspace : local;
@@ -467,6 +869,8 @@ Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
     r.traceback_bytes = ws.row_off_[n];
     r.traceback_bytes_dense =
         static_cast<std::size_t>(n) * s.w0 * s.w1 * 3 * 2;
+    ws.last_cells_swept_ = stats.cells_swept;
+    ws.last_cells_dense_ = r.dp_cells_dense;
     return r;
 }
 

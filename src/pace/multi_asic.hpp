@@ -10,15 +10,31 @@
 // BSBs sit on the *same* ASIC (values cannot stay in the data-path
 // across chips).
 //
-// The production DP (multi_pace_partition) has the same machinery the
-// single-ASIC pace.cpp grew: caller-owned Multi_pace_workspace
-// buffers, a reachable-(a0,a1)-frontier sweep instead of the dense
-// w0*w1 scan, a compact nibble-packed per-row traceback sized to each
-// row's frontier, a re-quantization guard on the grid size, and a
-// value-only multi_pace_best_saving screening entry point.  The
-// pre-overhaul dense DP is retained as
-// multi_pace_partition_reference for equivalence tests and the
-// old-vs-new bench.
+// The production DP (multi_pace_partition) is now *Pareto-sparse*: a
+// row's DP states are not a dense (a0, a1) grid (nor the reachable
+// rectangle the frontier sweep scans — 60-80% of the grid on big
+// apps) but the set of dominance-maximal states only.  A state
+// survives a row exactly when no other state of the same
+// previous-placement lane uses no more area on both ASICs and
+// achieves at least its saving; everything else is provably useless
+// to every completion.  The pruning is *complete* (the kept set is
+// exactly the Pareto-maximal antichain with bitwise-exact values), so
+// the sparse DP reproduces the dense reference's optimal value AND
+// its traceback placement bit for bit — see the proof sketch on
+// Multi_dp_sparse in multi_asic.cpp.
+//
+// Three implementations coexist, fastest first:
+//   multi_pace_partition            sparse states (production)
+//   multi_pace_partition_frontier   reachable-rectangle fused sweep
+//                                   (the pre-sparse production path,
+//                                   kept as a second reference)
+//   multi_pace_partition_reference  dense full-grid scan (original)
+// All three share prepare_multi's quantization, so results are
+// comparable bit for bit; tests and the bench pin the equivalence.
+// multi_pace_best_saving is the sparse value-only screening entry;
+// Multi_pace_options::optimistic_rounding flips the area rounding
+// down so the DP value upper-bounds every ceil-rounded evaluation —
+// the admissible per-a0-row bound the multi-ASIC search prunes with.
 #pragma once
 
 #include <array>
@@ -63,6 +79,14 @@ struct Multi_pace_options {
     /// reports what was actually used.  The default bounds value/next
     /// at ~12 MB and keeps the auto quantum at ~512 levels per axis.
     long long max_dp_cells = 1 << 18;
+
+    /// Round quantized controller areas *down* instead of up.  The DP
+    /// value then upper-bounds the exact (continuum) optimum — and
+    /// therefore every ceil-rounded DP at any quantum and any budgets
+    /// no larger than these — instead of lower-bounding it.  For
+    /// admissible bounds only (the multi-ASIC search's per-a0-row
+    /// bound); a partition built this way may overpack the budgets.
+    bool optimistic_rounding = false;
 };
 
 /// Result of the two-ASIC partition.
@@ -80,12 +104,16 @@ struct Multi_pace_result {
     double area_quantum_used = 0.0;
 
     // DP observability (all 0 from evaluate_multi_partition):
-    long long dp_cells_swept = 0;  ///< frontier (a0,a1,p) source cells visited
+    long long dp_cells_swept = 0;  ///< source (a0,a1,p) cells/states visited
     long long dp_cells_dense = 0;  ///< n * w0 * w1 * 3 — the dense scan's sweep
-    std::size_t traceback_bytes = 0;  ///< compact frontier traceback allocated
+    /// Sparse path only: states stored across all rows (the traceback
+    /// arena's entry count); 0 from the frontier/dense sweeps.
+    long long dp_states_stored = 0;
+    std::size_t traceback_bytes = 0;  ///< compact traceback allocated
     std::size_t traceback_bytes_dense = 0;  ///< pre-overhaul dense encoding
 
-    /// Fraction of the dense grid the frontier sweep actually visited.
+    /// Fraction of the dense grid the sweep actually visited (sparse
+    /// states or frontier cells over dense cells).
     double frontier_occupancy() const
     {
         return dp_cells_dense > 0
@@ -104,20 +132,74 @@ std::vector<Multi_bsb_cost> build_multi_cost_model(
 
 class Multi_pace_workspace;
 
-/// Optimal (up to area discretization) two-ASIC partition.  With a
-/// non-null `workspace` the DP reuses the caller-owned value/next
-/// rows and the traceback arena across calls (grow-only buffers, not
-/// thread-safe); results are identical with or without one.
+/// One Pareto-sparse DP state: quantized controller area used on each
+/// ASIC plus the best saving achieved with it.  The previous BSB's
+/// placement is the *lane* the state is stored in, not a field;
+/// `parent` is the lane of the state's DP predecessor (the traceback
+/// nibble's payload), dead weight to the value sweep and ignored by
+/// dominance.
+struct Multi_state {
+    int a0 = 0;
+    int a1 = 0;
+    double value = 0.0;
+    std::uint8_t parent = 0;
+};
+
+/// A row's Pareto-sparse state sets: per previous-placement lane
+/// (0 = SW, 1 = asic0, 2 = asic1) the dominance-maximal states,
+/// sorted by (a0, a1).  The sparse sweep double-buffers two of these
+/// inside the Multi_pace_workspace; `prune` is the dominance kernel,
+/// public so crafted tie/colinear cases can unit-test it directly.
+class Multi_pace_state_set {
+public:
+    std::span<const Multi_state> lane(std::size_t p) const
+    {
+        return lanes_[p];
+    }
+
+    std::size_t size() const
+    {
+        return lanes_[0].size() + lanes_[1].size() + lanes_[2].size();
+    }
+
+    /// Complete dominance pruning, in place.  `states` must be sorted
+    /// by (a0, a1) ascending with unique coordinates and a1 <= a1_cap;
+    /// on return it holds exactly the states no other state dominates
+    /// (<= area on both axes, unequal coordinates, >= value) — the
+    /// Pareto-maximal antichain, order preserved.  Completeness is
+    /// what makes the sparse DP traceback-identical to the dense
+    /// reference: every surviving state provably carries the dense
+    /// value of its cell.
+    void prune(std::vector<Multi_state>& states, int a1_cap);
+
+private:
+    friend struct Multi_dp_sparse;
+    std::array<std::vector<Multi_state>, 3> lanes_;
+    /// Epoch-stamped Fenwick prefix-max over a1 (the dominance test's
+    /// "best value at area <= (a0, a1) so far"); the epoch makes the
+    /// per-lane reset O(1) instead of O(w1).
+    std::vector<double> fen_;
+    std::vector<std::uint32_t> fen_epoch_;
+    std::uint32_t epoch_ = 0;
+};
+
+/// Optimal (up to area discretization) two-ASIC partition over the
+/// Pareto-sparse state sets.  With a non-null `workspace` the DP
+/// reuses the caller-owned state arenas across calls (grow-only
+/// buffers, not thread-safe); results are identical with or without
+/// one, and — placement included — bit-identical to both retained
+/// references below.
 Multi_pace_result multi_pace_partition(
     std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options,
     Multi_pace_workspace* workspace = nullptr);
 
 /// The DP's optimal saving vs. all-software without reconstructing
-/// the placement — the screening counterpart of pace_best_saving: no
-/// traceback arena at all, so it costs a fraction of the full
-/// partition.  Equals all-SW time minus
+/// the placement — the sparse screening counterpart of
+/// pace_best_saving: no traceback arena at all, so it costs a
+/// fraction of the full partition.  Equals all-SW time minus
 /// multi_pace_partition(...).time_hybrid_ns up to float summation
-/// order.
+/// order.  With options.optimistic_rounding this is the admissible
+/// upper bound the multi-ASIC search's per-a0-row prune uses.
 double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
                               const Multi_pace_options& options,
                               Multi_pace_workspace* workspace = nullptr);
@@ -131,20 +213,44 @@ double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
 /// screening DP for pairs whose bound cannot beat the incumbent.
 double multi_max_gain(std::span<const Multi_bsb_cost> costs);
 
-/// Caller-owned reusable buffers for the two-ASIC DP.  Grow-only;
-/// one workspace per thread, never shared across concurrent calls.
+/// Same bound over split per-ASIC cost spans (t_sw from `c0`) — the
+/// a0-major pair walk keeps the row's asic0 costs and a per-row
+/// relaxation of the asic1 costs in separate vectors and must not
+/// materialize a combined Multi_bsb_cost vector just to bound a row.
+double multi_max_gain(std::span<const Bsb_cost> c0,
+                      std::span<const Bsb_cost> c1);
+
+/// Caller-owned reusable buffers for the two-ASIC DP (sparse and
+/// frontier paths).  Grow-only; one workspace per thread, never
+/// shared across concurrent calls.
 class Multi_pace_workspace {
 public:
     Multi_pace_workspace() = default;
 
+    /// Observability of the most recent sweep through this workspace
+    /// (sparse source states / frontier source cells, and the dense
+    /// grid a full scan would have swept) — the multi-ASIC search
+    /// aggregates these across its screening calls, which return only
+    /// a double.
+    long long last_cells_swept() const { return last_cells_swept_; }
+    long long last_cells_dense() const { return last_cells_dense_; }
+
 private:
-    friend struct Multi_dp;  ///< the internal sweep (multi_asic.cpp)
+    friend struct Multi_dp;         ///< frontier sweep (multi_asic.cpp)
+    friend struct Multi_dp_sparse;  ///< Pareto-sparse sweep
     friend Multi_pace_result multi_pace_partition(
+        std::span<const Multi_bsb_cost> costs,
+        const Multi_pace_options& options, Multi_pace_workspace* workspace);
+    friend Multi_pace_result multi_pace_partition_frontier(
         std::span<const Multi_bsb_cost> costs,
         const Multi_pace_options& options, Multi_pace_workspace* workspace);
     friend double multi_pace_best_saving(
         std::span<const Multi_bsb_cost> costs,
         const Multi_pace_options& options, Multi_pace_workspace* workspace);
+    friend double multi_pace_best_saving_frontier(
+        std::span<const Multi_bsb_cost> costs,
+        const Multi_pace_options& options, Multi_pace_workspace* workspace);
+    // --- frontier sweep buffers -------------------------------------
     std::vector<double> value_;
     std::vector<double> next_;
     /// Nibble-packed traceback arena: row i occupies bytes
@@ -155,9 +261,38 @@ private:
     std::vector<std::size_t> row_off_;
     std::vector<int> row_hi0_;
     std::vector<int> row_hi1_;
+    // --- shared quantization scratch --------------------------------
     std::vector<std::array<int, 2>> qarea_;
     std::vector<std::array<std::uint8_t, 2>> possible_;
+    // --- sparse sweep arenas ----------------------------------------
+    Multi_pace_state_set cur_;
+    Multi_pace_state_set nxt_;
+    /// Sparse traceback: states of row i, lane p live at arena
+    /// indices [srow_off_[i*3+p], srow_off_[i*3+p+1]) — tb_key_ holds
+    /// (a0 << 32 | a1) for the traceback's binary search, tb_cell_
+    /// the nibble-packed decision*3+parent codes, one nibble per
+    /// stored state ("sparse row indices").
+    std::vector<std::uint64_t> tb_key_;
+    std::vector<std::uint8_t> tb_cell_;
+    std::vector<std::size_t> srow_off_;
+    long long last_cells_swept_ = 0;
+    long long last_cells_dense_ = 0;
 };
+
+/// The pre-sparse production DP: reachable-(a0,a1)-rectangle fused
+/// sweep with the per-row nibble traceback — kept (like the dense
+/// reference below) as an equivalence baseline and for the
+/// dense-vs-frontier-vs-sparse bench.  Bit-identical results to
+/// multi_pace_partition.
+Multi_pace_result multi_pace_partition_frontier(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options,
+    Multi_pace_workspace* workspace = nullptr);
+
+/// Value-only screening over the frontier sweep (the pre-sparse
+/// production screen), kept for the bench comparison.
+double multi_pace_best_saving_frontier(
+    std::span<const Multi_bsb_cost> costs, const Multi_pace_options& options,
+    Multi_pace_workspace* workspace = nullptr);
 
 /// The pre-overhaul dense DP (full w0 x w1 x 3 scan per row, two
 /// bytes of traceback per cell), retained — like list_schedule_naive —

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "search/eval_cache.hpp"
+#include "search/proxy_cost.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -27,28 +28,38 @@ struct Screened {
 struct Restart_result {
     Screened best;
     long long n_evaluated = 0;
+    long long n_pruned = 0;  ///< neighbours the proxy screen skipped
 };
 
 /// Per-worker scratch buffers: one screened evaluation costs one
 /// memoized cost fetch into `costs` (no per-call vector churn) plus
 /// one value-only DP on `ws` — the workspace checkpoint resumes at
 /// the first divergent cost row, and the +-1 neighbourhood leaves
-/// most rows untouched.
+/// most rows untouched.  With a proxy model, neighbour screens first
+/// assemble costs from memoized projections (find_one) plus
+/// optimistic stand-ins and only fall through to real schedules when
+/// the proxy tuple still beats the current point.
 struct Climb_scratch {
     Eval_cache& cache;
+    std::optional<Proxy_cost_model> proxy;
     pace::Pace_workspace ws;
     std::vector<pace::Bsb_cost> costs;
+    std::vector<int> counts;
 
-    explicit Climb_scratch(Eval_cache& c) : cache(c) {}
-
-    /// (screened hybrid time, data-path area) of `a`.  A non-fitting
-    /// point scores its all-software time, exactly as the full
-    /// evaluation pipeline reports it.
-    std::pair<double, double> screen(const Eval_context& ctx,
-                                     const core::Rmap& a)
+    Climb_scratch(const Eval_context& ctx, Eval_cache& c, bool use_proxy)
+        : cache(c)
     {
-        cache.costs_for(a, costs);
-        const double area = a.area(ctx.lib);
+        if (use_proxy) {
+            proxy.emplace(ctx, c);
+            if (!proxy->sound())
+                proxy.reset();
+        }
+    }
+
+    /// Value-only DP over whatever `costs` currently holds.
+    std::pair<double, double> screen_costs(const Eval_context& ctx,
+                                           double area)
+    {
         const double all_sw = pace::all_sw_time_ns(costs);
         if (area > ctx.target.asic.total_area)
             return {all_sw, area};
@@ -57,6 +68,54 @@ struct Climb_scratch {
         opts.area_quantum = ctx.area_quantum;
         opts.table_area_budget = ctx.dp_table_budget;
         return {all_sw - pace::pace_best_saving(costs, opts, &ws), area};
+    }
+
+    /// (screened hybrid time, data-path area) of `a`.  A non-fitting
+    /// point scores its all-software time, exactly as the full
+    /// evaluation pipeline reports it.
+    std::pair<double, double> screen(const Eval_context& ctx,
+                                     const core::Rmap& a)
+    {
+        cache.costs_for(a, costs);
+        return screen_costs(ctx, a.area(ctx.lib));
+    }
+
+    /// Neighbour screen with the admissible proxy layer: returns
+    /// nullopt — and pays for no schedule — when the proxy proves the
+    /// neighbour cannot beat the (ref_time, ref_area) tuple.  The
+    /// proxy time lower-bounds the exact screened time, so a skipped
+    /// neighbour's exact tuple could not have beaten the reference
+    /// either: the climb's steps and bests are unchanged.
+    std::optional<std::pair<double, double>> screen_neighbour(
+        const Eval_context& ctx, const core::Rmap& a, double ref_time,
+        double ref_area)
+    {
+        if (!proxy.has_value())
+            return screen(ctx, a);
+
+        counts.assign(ctx.lib.size(), 0);
+        for (const auto& [r, c] : a.entries())
+            counts[static_cast<std::size_t>(r)] = c;
+        const double area = a.area(ctx.lib);
+        costs.resize(ctx.bsbs.size());
+        bool any_proxy = false;
+        for (std::size_t b = 0; b < ctx.bsbs.size(); ++b) {
+            if (const auto* exact = cache.find_one(b, counts)) {
+                costs[b] = *exact;
+            }
+            else {
+                costs[b] = proxy->cost(b, counts);
+                any_proxy = true;
+            }
+        }
+        if (!any_proxy)  // fully memoized: this IS the exact screen
+            return screen_costs(ctx, area);
+
+        const auto bound = screen_costs(ctx, area);
+        if (!better_tuple(bound.first, bound.second, ref_time, ref_area))
+            return std::nullopt;  // provably not an improvement
+        cache.costs_for_counts(counts, costs);
+        return screen_costs(ctx, area);
     }
 };
 
@@ -97,7 +156,13 @@ void climb(const Eval_context& ctx, const Alloc_space& space,
                 candidate.set(r, c);
                 if (candidate.area(ctx.lib) > ctx.target.asic.total_area)
                     continue;
-                const auto [time, area] = scratch.screen(ctx, candidate);
+                const auto screened = scratch.screen_neighbour(
+                    ctx, candidate, cur_time, cur_area);
+                if (!screened.has_value()) {
+                    ++out.n_pruned;  // proxy: provably no improvement
+                    continue;
+                }
+                const auto [time, area] = *screened;
                 ++out.n_evaluated;
                 consider(time, area, candidate);
                 if (!found ||
@@ -182,7 +247,7 @@ Search_result hill_climb_engine(const Eval_context& ctx,
                               options.invariants);
             cache = &*own_cache;
         }
-        Climb_scratch scratch(*cache);
+        Climb_scratch scratch(run_ctx, *cache, options.use_proxy_screen);
         for (long long r = begin; r < end; ++r)
             climb(run_ctx, space, options,
                   starts[static_cast<std::size_t>(r)], scratch,
@@ -209,6 +274,7 @@ Search_result hill_climb_engine(const Eval_context& ctx,
     Screened winner;
     for (const auto& r : restarts) {
         result.n_evaluated += r.n_evaluated;
+        result.n_pruned += r.n_pruned;
         if (r.best.valid &&
             (!winner.valid || better_tuple(r.best.time, r.best.area,
                                               winner.time, winner.area)))

@@ -12,7 +12,13 @@
 // (pace_best_saving — no traceback bookkeeping), steps and the
 // per-restart best are chosen on the screened (time, area) tuple, and
 // only each restart's final winner pays for one full partition
-// reconstruction.  With an explicit search quantum the DP table width
+// reconstruction.  Neighbours additionally pass through admissible
+// *proxy-cost* screening (Hill_climb_options::use_proxy_screen):
+// projections already memoized come straight from Eval_cache::find_one,
+// the rest are stood in for by optimistic costs, and only neighbours
+// the proxy cannot rule out pay for real schedules — same trick the
+// branch-and-bound walker plays at its leaves, now on the climb's
+// neighbourhood loop.  With an explicit search quantum the DP table width
 // is additionally pinned to the total ASIC area
 // (Eval_context::dp_table_budget), so the per-worker Pace_workspace
 // checkpoint stays valid across the +-1 neighbourhood — neighbouring
@@ -41,6 +47,20 @@ struct Hill_climb_options {
                                ///< allocation, the rest from random points
     int max_steps = 256;       ///< safety bound per climb
     int n_threads = 0;         ///< 0 = hardware concurrency (capped by restarts)
+
+    /// Screen neighbours through admissible proxy costs first
+    /// (search/proxy_cost.hpp): a neighbour whose projections are all
+    /// memoized screens exactly straight from the cache; otherwise
+    /// the value DP runs over optimistic stand-in costs, and only
+    /// when that *proxy* tuple still beats the current point does the
+    /// neighbour pay for real schedules and the exact screen.  Since
+    /// the proxy time lower-bounds the exact screened time, skipped
+    /// neighbours could never have been stepped to nor have improved
+    /// the restart best — the climb trajectory and the final tuple
+    /// are bit-identical with the screen on or off (skips land in
+    /// Search_result::n_pruned).  Auto-disabled under a storage model
+    /// (no sound proxy exists; see Proxy_cost_model::sound).
+    bool use_proxy_screen = true;
 
     /// Entry cap for each worker's private Eval_cache (0 = unbounded;
     /// bounded caches evict segment-wise with bit-identical results —

@@ -1,0 +1,121 @@
+#include "search/proxy_cost.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "estimate/controller.hpp"
+#include "sched/time_frames.hpp"
+
+namespace lycos::search {
+
+Proxy_cost_model::Proxy_cost_model(const Eval_context& ctx,
+                                   const Eval_cache& cache)
+{
+    sound_ = ctx.storage == nullptr;
+    cycle_ns_ = ctx.target.asic.cycle_ns();
+    gates_ = ctx.target.gates;
+    ctrl_mode_ = ctx.ctrl_mode;
+
+    // True per-kind minimum latency over ALL executors in the
+    // library: the schedule lower bound must hold whatever instance
+    // an op ends up bound to (latency_table_from picks the smallest-
+    // AREA executor, whose latency can exceed a faster variant's).
+    sched::Latency_table min_lat(1);
+    std::array<bool, hw::n_op_kinds> has_exec{};
+    kind_execs_.assign(hw::n_op_kinds, {});
+    for (const auto k : hw::all_op_kinds()) {
+        int best = std::numeric_limits<int>::max();
+        for (std::size_t ri = 0; ri < ctx.lib.size(); ++ri) {
+            const auto& rt = ctx.lib[static_cast<hw::Resource_id>(ri)];
+            if (rt.ops.contains(k)) {
+                best = std::min(best, rt.latency_cycles);
+                kind_execs_[hw::op_index(k)].push_back(
+                    static_cast<int>(ri));
+            }
+        }
+        if (best != std::numeric_limits<int>::max()) {
+            min_lat[k] = best;
+            has_exec[hw::op_index(k)] = true;
+        }
+    }
+    // The cache's hoisted frames use latency_table_from; reusable as
+    // the proxy's ASAP floor only when that already is the per-kind
+    // minimum (almost always — libraries rarely trade latency up for
+    // area down).
+    const bool cache_frames_ok =
+        min_lat == sched::latency_table_from(ctx.lib);
+
+    const auto& inv = *cache.invariants();
+    terms_.assign(ctx.bsbs.size(), {});
+    for (std::size_t i = 0; i < ctx.bsbs.size(); ++i) {
+        const auto& b = ctx.bsbs[i];
+        auto& t = terms_[i];
+        const auto& fields = inv.invariants(i);
+        t.t_sw = fields.t_sw;
+        if (b.graph.empty())
+            continue;  // bsb_cost_one reports it infeasible everywhere
+        const auto used = b.graph.used_ops();
+        bool coverable = true;
+        for (const auto k : hw::all_op_kinds())
+            if (used.contains(k) && !has_exec[hw::op_index(k)])
+                coverable = false;
+        if (!coverable)
+            continue;
+        t.coverable = true;
+        t.comm = fields.comm;
+        t.adj = i > 0 ? std::max(0.0, fields.save_prev) : 0.0;
+        t.profile = b.profile;
+        t.asap_len = cache_frames_ok
+                         ? inv.frames(i).length
+                         : sched::compute_time_frames(b.graph, min_lat)
+                               .length;
+        t.eca_states = std::max(1, inv.frames(i).length);
+        for (const auto k : hw::all_op_kinds())
+            if (used.contains(k))
+                t.work.emplace_back(
+                    hw::op_index(k),
+                    static_cast<long long>(b.graph.count(k)) *
+                        static_cast<long long>(min_lat[k]));
+    }
+}
+
+pace::Bsb_cost Proxy_cost_model::cost(std::size_t b,
+                                      std::span<const int> counts) const
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const auto& t = terms_[b];
+    pace::Bsb_cost c;
+    c.t_sw = t.t_sw;
+    if (!t.coverable) {
+        c.t_hw = inf;
+        c.ctrl_area = inf;
+        return c;
+    }
+    long long len = t.asap_len;
+    for (const auto& [ki, work] : t.work) {
+        long long cap = 0;
+        for (const int r : kind_execs_[ki])
+            cap += counts[static_cast<std::size_t>(r)];
+        if (cap <= 0) {
+            // Exactly the infeasible cost bsb_cost_one produces.
+            c.t_hw = inf;
+            c.ctrl_area = inf;
+            return c;
+        }
+        const long long floor_len = (work + cap - 1) / cap;
+        if (floor_len > len)
+            len = floor_len;
+    }
+    c.t_hw = static_cast<double>(len) * cycle_ns_ * t.profile;
+    c.comm = t.comm;
+    c.save_prev = t.adj;
+    const int n_states =
+        ctrl_mode_ == pace::Controller_mode::optimistic_eca
+            ? t.eca_states
+            : std::max(1, static_cast<int>(len));
+    c.ctrl_area = estimate::controller_area(n_states, gates_);
+    return c;
+}
+
+}  // namespace lycos::search

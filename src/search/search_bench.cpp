@@ -132,9 +132,10 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
     }
 
     // Two-ASIC DP: split the scenario's silicon across two chips and
-    // compare the workspace/frontier DP against the dense reference —
-    // identical results, counted cells, and traceback bytes land in
-    // the multi_asic section of BENCH_search.json.
+    // compare the Pareto-sparse production DP against both retained
+    // references (reachable-frontier sweep, dense full scan) —
+    // identical results, counted cells/states, and traceback bytes
+    // land in the multi_asic section of BENCH_search.json.
     {
         const std::array<double, 2> budgets = {config.asic_area / 2.0,
                                                config.asic_area / 2.0};
@@ -149,12 +150,21 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
                 std::max(0.0, budgets[1] - two.datapath_area[1])}};
 
         pace::Multi_pace_workspace mws;
-        auto fresh = pace::multi_pace_partition(mcosts, mopts, &mws);
-        const int n_new = 40;
-        util::Wall_timer t_new;
-        for (int i = 0; i < n_new; ++i)
-            fresh = pace::multi_pace_partition(mcosts, mopts, &mws);
-        out.multi_secs_new = t_new.seconds() / n_new;
+        auto sparse = pace::multi_pace_partition(mcosts, mopts, &mws);
+        const int n_sparse = 40;
+        util::Wall_timer t_sparse;
+        for (int i = 0; i < n_sparse; ++i)
+            sparse = pace::multi_pace_partition(mcosts, mopts, &mws);
+        out.multi_secs_sparse = t_sparse.seconds() / n_sparse;
+
+        auto frontier =
+            pace::multi_pace_partition_frontier(mcosts, mopts, &mws);
+        const int n_frontier = 40;
+        util::Wall_timer t_frontier;
+        for (int i = 0; i < n_frontier; ++i)
+            frontier =
+                pace::multi_pace_partition_frontier(mcosts, mopts, &mws);
+        out.multi_secs_frontier = t_frontier.seconds() / n_frontier;
 
         const int n_dense = 5;
         pace::Multi_pace_result dense;
@@ -163,19 +173,28 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
             dense = pace::multi_pace_partition_reference(mcosts, mopts);
         out.multi_secs_dense = t_dense.seconds() / n_dense;
 
+        const auto speedup_of = [&](double secs) {
+            return secs > 0.0 ? out.multi_secs_dense / secs : 0.0;
+        };
         out.multi_n_bsbs = static_cast<long long>(mcosts.size());
-        out.multi_speedup = out.multi_secs_new > 0.0
-                                ? out.multi_secs_dense / out.multi_secs_new
-                                : 0.0;
+        out.multi_speedup = speedup_of(out.multi_secs_sparse);
+        out.multi_speedup_frontier = speedup_of(out.multi_secs_frontier);
         out.multi_evals_per_sec =
-            out.multi_secs_new > 0.0 ? 1.0 / out.multi_secs_new : 0.0;
-        out.multi_frontier_occupancy = fresh.frontier_occupancy();
-        out.multi_area_quantum = fresh.area_quantum_used;
-        out.multi_traceback_bytes = fresh.traceback_bytes;
+            out.multi_secs_sparse > 0.0 ? 1.0 / out.multi_secs_sparse : 0.0;
+        out.multi_frontier_occupancy = frontier.frontier_occupancy();
+        out.multi_sparse_occupancy = sparse.frontier_occupancy();
+        out.multi_sparse_states = sparse.dp_states_stored;
+        out.multi_area_quantum = sparse.area_quantum_used;
+        out.multi_traceback_bytes = sparse.traceback_bytes;
+        out.multi_traceback_bytes_frontier = frontier.traceback_bytes;
         out.multi_traceback_bytes_dense = dense.traceback_bytes;
         out.multi_matches_dense =
-            fresh.placement == dense.placement &&
-            fresh.time_hybrid_ns == dense.time_hybrid_ns;
+            frontier.placement == dense.placement &&
+            frontier.time_hybrid_ns == dense.time_hybrid_ns;
+        out.multi_sparse_matches_dense =
+            sparse.placement == dense.placement &&
+            sparse.time_hybrid_ns == dense.time_hybrid_ns &&
+            sparse.placement == frontier.placement;
     }
 
     // Solver section: the unified Session API over the same scenario.
@@ -191,6 +210,15 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
         problem.restrictions = restrictions;
         problem.ctrl_mode = pace::Controller_mode::list_schedule;
         problem.area_quantum = config.asic_area / 256.0;
+        // Asymmetric two-ASIC target for multi_asic_bb (ignored by
+        // the single-ASIC strategies): a big primary chip plus a
+        // small secondary.  The interesting regime for the pair-tree
+        // row bound — with a generous symmetric split, a best-case
+        // asic1-only completion matches any incumbent and no a0 row
+        // can ever bound out; with a small secondary ASIC, rows whose
+        // a0 allocation cannot carry the load die wholesale.
+        problem.asic_areas = {config.asic_area * 0.65,
+                              config.asic_area * 0.35};
         solver::Session session(problem);
 
         const auto exh = session.solve("exhaustive_bb", {});
@@ -227,15 +255,22 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
         out.solver_matches_shims = same_tuple(shim_exh.best, exh.best) &&
                                    same_tuple(shim_hill.best, hill.best);
 
-        // multi_asic_bb: the first multi-ASIC allocation search —
-        // even silicon split, parallel run, plus the determinism
+        // multi_asic_bb: the pair-tree branch-and-bound — even
+        // silicon split, parallel run, plus the determinism
         // cross-check (single-threaded walk lands on the same pair).
+        // rows_pruned and the sparse-DP cell counts feed the
+        // pair_tree_bb gates.
         const auto multi = session.solve("multi_asic_bb", {});
         out.solver_multi_pairs = multi.space_size;
         out.solver_multi_axis0 = multi.multi.axis_points[0];
         out.solver_multi_axis1 = multi.multi.axis_points[1];
         out.solver_multi_evaluated = multi.n_evaluated;
         out.solver_multi_pruned = multi.n_pruned;
+        out.solver_multi_rows_visited = multi.multi.rows_visited;
+        out.solver_multi_rows_pruned = multi.multi.rows_pruned;
+        out.solver_multi_pairs_skipped = multi.multi.pairs_skipped;
+        out.solver_multi_dp_states = multi.multi.dp_states_swept;
+        out.solver_multi_dp_dense = multi.multi.dp_cells_dense;
         out.solver_multi_seconds = multi.seconds;
         out.solver_multi_pairs_per_sec =
             rate(multi.space_size, multi.seconds);
@@ -323,16 +358,24 @@ std::string to_json(const Search_bench_config& config,
         << "},\n"
         << "  \"multi_asic\": {\"n_bsbs\": " << result.multi_n_bsbs
         << ", \"secs_dense\": " << result.multi_secs_dense
-        << ", \"secs_frontier\": " << result.multi_secs_new
+        << ", \"secs_frontier\": " << result.multi_secs_frontier
+        << ", \"secs_sparse\": " << result.multi_secs_sparse
         << ", \"speedup\": " << result.multi_speedup
+        << ", \"speedup_frontier\": " << result.multi_speedup_frontier
         << ", \"evals_per_sec\": " << result.multi_evals_per_sec
         << ", \"frontier_occupancy\": " << result.multi_frontier_occupancy
+        << ", \"sparse_occupancy\": " << result.multi_sparse_occupancy
+        << ", \"sparse_states\": " << result.multi_sparse_states
         << ", \"area_quantum\": " << result.multi_area_quantum
         << ", \"traceback_bytes\": " << result.multi_traceback_bytes
+        << ", \"traceback_bytes_frontier\": "
+        << result.multi_traceback_bytes_frontier
         << ", \"traceback_bytes_dense\": "
         << result.multi_traceback_bytes_dense
         << ", \"matches_dense\": "
-        << (result.multi_matches_dense ? "true" : "false") << "},\n"
+        << (result.multi_matches_dense ? "true" : "false")
+        << ", \"sparse_matches_dense\": "
+        << (result.multi_sparse_matches_dense ? "true" : "false") << "},\n"
         << "  \"new_parallel\": {\"seconds\": " << result.secs_new_parallel
         << ", \"effective_evals_per_sec\": "
         << result.evals_per_sec_new_parallel
@@ -355,6 +398,13 @@ std::string to_json(const Search_bench_config& config,
         << ", \"effective_pairs_per_sec\": "
         << result.solver_multi_pairs_per_sec
         << ", \"best_time_ns\": " << result.solver_multi_best_time_ns
+        << "},\n"
+        << "    \"pair_tree_bb\": {\"rows_visited\": "
+        << result.solver_multi_rows_visited
+        << ", \"rows_pruned\": " << result.solver_multi_rows_pruned
+        << ", \"pairs_skipped\": " << result.solver_multi_pairs_skipped
+        << ", \"dp_states_swept\": " << result.solver_multi_dp_states
+        << ", \"dp_cells_dense\": " << result.solver_multi_dp_dense
         << ", \"deterministic\": "
         << (result.solver_multi_deterministic ? "true" : "false") << "},\n"
         << "    \"shims_match_session\": "
@@ -399,14 +449,21 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << util::fixed(result.dp_seconds * 1e3, 1) << " ms\n"
         << "  incremental DP (pruned run):  " << result.dp_rows_reused
         << " rows reused, " << result.dp_rows_swept << " swept\n"
-        << "  multi-ASIC DP:                "
-        << util::fixed(result.multi_secs_new * 1e3, 2) << " ms/partition ("
-        << util::fixed(result.multi_speedup, 1) << "x dense; frontier "
+        << "  multi-ASIC DP (sparse):       "
+        << util::fixed(result.multi_secs_sparse * 1e3, 2)
+        << " ms/partition (" << util::fixed(result.multi_speedup, 1)
+        << "x dense, "
+        << util::fixed(result.multi_secs_frontier * 1e3, 2)
+        << " ms frontier; states "
+        << util::fixed(100.0 * result.multi_sparse_occupancy, 1)
+        << "% of grid vs frontier "
         << util::fixed(100.0 * result.multi_frontier_occupancy, 1)
-        << "% of grid; traceback "
-        << result.multi_traceback_bytes_dense << " -> "
+        << "%; traceback " << result.multi_traceback_bytes_dense << " -> "
         << result.multi_traceback_bytes << " B; "
-        << (result.multi_matches_dense ? "match" : "MISMATCH") << ")\n"
+        << (result.multi_matches_dense && result.multi_sparse_matches_dense
+                ? "match"
+                : "MISMATCH")
+        << ")\n"
         << "  solver exhaustive_bb:         "
         << util::fixed(result.solver_exh_evals_per_sec, 1)
         << " evals/s effective ("
@@ -424,6 +481,12 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << (result.solver_multi_deterministic ? "deterministic"
                                               : "NON-DETERMINISTIC")
         << ")\n"
+        << "  pair-tree row bound:          "
+        << result.solver_multi_rows_pruned << "/"
+        << result.solver_multi_rows_visited << " rows killed, "
+        << result.solver_multi_pairs_skipped << " pairs skipped; sparse DP "
+        << result.solver_multi_dp_states << " states vs "
+        << result.solver_multi_dp_dense << " dense cells\n"
         << "  shims vs session:             "
         << (result.solver_matches_shims ? "match" : "MISMATCH") << "\n"
         << "  same best allocation: " << (result.same_best ? "yes" : "NO")
@@ -464,16 +527,29 @@ int write_bench_report(const std::string& path, std::ostream& log,
         if (!result.multi_matches_dense)
             err << "error: two-ASIC frontier DP disagrees with the dense "
                    "reference\n";
+        if (!result.multi_sparse_matches_dense)
+            err << "error: two-ASIC sparse DP disagrees with the "
+                   "dense/frontier references\n";
         if (!result.solver_matches_shims)
             err << "error: deprecated shims disagree with the "
                    "solver::Session API on the best allocation\n";
         if (!result.solver_multi_deterministic)
             err << "error: multi_asic_bb best pair depends on the "
                    "chunking\n";
+        if (result.solver_multi_rows_pruned <= 0)
+            err << "error: the pair-tree row bound killed no rows on the "
+                   "standard bench space\n";
+        if (result.solver_multi_dp_states >= result.solver_multi_dp_dense)
+            err << "error: the sparse multi-ASIC DP swept no fewer cells "
+                   "than the dense grids it replaced\n";
         return result.same_best && result.pruned_matches_unpruned &&
                        result.multi_matches_dense &&
+                       result.multi_sparse_matches_dense &&
                        result.solver_matches_shims &&
-                       result.solver_multi_deterministic
+                       result.solver_multi_deterministic &&
+                       result.solver_multi_rows_pruned > 0 &&
+                       result.solver_multi_dp_states <
+                           result.solver_multi_dp_dense
                    ? 0
                    : 1;
     }

@@ -76,18 +76,27 @@ struct Search_bench_result {
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
 
-    /// Two-ASIC DP: the workspace/frontier path against the retained
-    /// dense reference on a two-ASIC split of the same scenario.
+    /// Two-ASIC DP: the Pareto-sparse production path against both
+    /// retained references (reachable-frontier sweep, dense full
+    /// scan) on a two-ASIC split of the same scenario.
     long long multi_n_bsbs = 0;
-    double multi_secs_dense = 0.0;   ///< per dense partition call
-    double multi_secs_new = 0.0;     ///< per frontier partition call
-    double multi_speedup = 0.0;      ///< dense / new
-    double multi_evals_per_sec = 0.0;  ///< frontier partitions per second
-    double multi_frontier_occupancy = 0.0;  ///< swept / dense DP cells
+    double multi_secs_dense = 0.0;     ///< per dense partition call
+    double multi_secs_frontier = 0.0;  ///< per frontier partition call
+    double multi_secs_sparse = 0.0;    ///< per sparse partition call
+    double multi_speedup = 0.0;        ///< dense / sparse
+    double multi_speedup_frontier = 0.0;  ///< dense / frontier
+    double multi_evals_per_sec = 0.0;  ///< sparse partitions per second
+    double multi_frontier_occupancy = 0.0;  ///< frontier cells / dense cells
+    double multi_sparse_occupancy = 0.0;    ///< sparse states / dense cells
+    long long multi_sparse_states = 0;      ///< states stored (traceback)
     double multi_area_quantum = 0.0;
-    std::size_t multi_traceback_bytes = 0;
+    std::size_t multi_traceback_bytes = 0;  ///< sparse encoding
+    std::size_t multi_traceback_bytes_frontier = 0;
     std::size_t multi_traceback_bytes_dense = 0;
-    bool multi_matches_dense = false;  ///< identical placement + time
+    bool multi_matches_dense = false;  ///< frontier == dense (placement+time)
+    /// Sparse == dense == frontier on placement and time — the
+    /// sparse_matches_dense gate CI fails on.
+    bool multi_sparse_matches_dense = false;
 
     /// Solver section: the same scenario driven through the
     /// solver::Session API, one entry per registered strategy, plus
@@ -100,14 +109,23 @@ struct Search_bench_result {
     double solver_hill_evals_per_sec = 0.0;
     bool solver_matches_shims = false;      ///< both shims, any thread count
 
-    /// multi_asic_bb: the first multi-ASIC allocation *search* — pair
-    /// space, scored/pruned pairs, throughput, and the determinism
-    /// cross-check (best pair identical for 1 thread vs parallel).
+    /// multi_asic_bb: the pair-tree branch-and-bound — pair space,
+    /// scored/pruned pairs, row-bound kills, throughput, and the
+    /// determinism cross-check (best pair identical for 1 thread vs
+    /// parallel).  rows_pruned > 0 and dp_states < dp_dense are gates
+    /// on the standard bench space: the row bound must actually kill
+    /// rows and the sparse DP must sweep fewer cells than the dense
+    /// grids it replaced.
     long long solver_multi_pairs = 0;
     long long solver_multi_axis0 = 0;
     long long solver_multi_axis1 = 0;
     long long solver_multi_evaluated = 0;
     long long solver_multi_pruned = 0;
+    long long solver_multi_rows_visited = 0;
+    long long solver_multi_rows_pruned = 0;
+    long long solver_multi_pairs_skipped = 0;
+    long long solver_multi_dp_states = 0;  ///< sparse states swept, all DPs
+    long long solver_multi_dp_dense = 0;   ///< dense-grid equivalent
     double solver_multi_seconds = 0.0;
     double solver_multi_pairs_per_sec = 0.0;  ///< effective (whole pair space)
     double solver_multi_best_time_ns = 0.0;
@@ -129,9 +147,12 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// summary to `log`, write the JSON report to `path`.  Returns the
 /// process exit code (0 only if the report was written, all variants
 /// agreed on the best allocation, the pruned search matched the
-/// unpruned one, the deprecated shims matched the Session API, and
-/// multi_asic_bb was chunking-independent); failures are reported on
-/// `err`, never thrown.
+/// unpruned one, the sparse two-ASIC DP matched both references
+/// (`sparse_matches_dense`), the deprecated shims matched the Session
+/// API, the pair-tree walk was chunking-independent
+/// (`pair_tree_bb.deterministic`), its row bound killed at least one
+/// row, and the sparse DPs swept fewer cells than the dense grids
+/// they replaced); failures are reported on `err`, never thrown.
 int write_bench_report(const std::string& path, std::ostream& log,
                        std::ostream& err);
 

@@ -1,38 +1,49 @@
-// multi_asic_bb — the first multi-ASIC allocation *search*.
+// multi_asic_bb — branch-and-bound over the two-ASIC pair *tree*.
 //
-// PR 3 made the two-ASIC partition DP fast (frontier sweep, caller
-// workspace, value-only screening), but nothing enumerated two-ASIC
-// allocation spaces: the pre-allocation still came from the greedy
-// generalized Algorithm 1 alone.  This strategy closes that gap: it
-// enumerates *pairs* of data-path allocations (one per ASIC, each
-// within the §4.3 restrictions and its ASIC's area budget) and scores
-// each pair with the two-ASIC PACE DP, exactly mirroring the paper's
-// single-ASIC methodology of §5.
+// PR 4 introduced the first multi-ASIC allocation search as a flat
+// quadratic pair walk: every (a0 allocation, a1 allocation) pair of
+// the per-axis filtered point lists was visited, bounded per pair,
+// and hard-capped by Multi_asic_extras::pair_limit (an exception).
+// This engine restructures the walk as a deterministic branch-and-
+// bound over the a0-major pair tree:
 //
-// The walk is the exhaustive search's shape transplanted to pairs:
-//   * per-axis area filter: the per-ASIC point lists are materialized
-//     once, restricted to allocations whose data-path fits that ASIC
-//     — the pair space is their cross product, enumerated row-major
-//     (a0-major) so per-BSB costs for a0 are fetched once per row,
-//   * chunk-parallel: contiguous pair-index chunks, one per worker,
-//     each with a private Eval_cache (shared immutable invariants)
-//     and Multi_pace_workspace, reduced in chunk order,
-//   * admissible prunes: a budget-free multi_max_gain bound kills
-//     pairs cheaply, survivors run the value-only screening DP
-//     (multi_pace_best_saving), and only pairs whose screened time
-//     can still beat the incumbent pay for the full partition with
-//     traceback.  Screened pairs count as evaluated (they were
-//     scored); bound-killed pairs count as pruned.
-// Every prune removes only pairs provably worse than a pair that is
-// actually evaluated, and the reduction applies the same strict
-// comparison in enumeration order — so the best (time, combined
-// area, pair) tuple is bit-identical for any thread count or
-// chunking, the same determinism contract the single-ASIC strategies
-// carry.
+//   * rows are the tree's first level: one a0 axis point = one row of
+//     f1 pairs.  Before any per-pair DP runs in a row, an admissible
+//     *row bound* may kill the whole row: the sparse value-only DP
+//     (multi_pace_best_saving) over the row's exact asic0 costs and a
+//     per-BSB best-case relaxation of every asic1 axis point (minimal
+//     t_hw/comm/ctrl_area, maximal adjacency saving over the axis,
+//     the axis's smallest data-path area as the budget debit), with
+//     Multi_pace_options::optimistic_rounding so quantization can
+//     only widen the bound.  No pair in the row can beat it, so a
+//     killed row prunes f1 pairs for one O(states) sweep — cheaper
+//     still, a budget-free multi_max_gain over the same relaxed costs
+//     screens the row in O(n) first,
+//   * surviving rows run the PR 4 per-pair ladder: multi_max_gain,
+//     then the sparse screening DP, then the full sparse partition
+//     with traceback — all over the Pareto-sparse state sets now,
+//   * rows are dispatched chunk-parallel over the Session pool (one
+//     contiguous row range per worker, private Eval_cache and
+//     Multi_pace_workspace, in-order reduction),
+//   * pair_limit is a *soft* guard: a pair space beyond it is walked
+//     up to exactly pair_limit pairs in a0-major order —
+//     deterministically, whatever the chunking — with the remainder
+//     reported as Multi_solve_result::pairs_skipped instead of
+//     thrown.  Incumbent priming is disabled in that case, so every
+//     prune compares against a pair inside the walked prefix and the
+//     best pair equals the brute-force best of the prefix.
+//
+// Every prune (row or pair) removes only pairs provably worse in
+// time than a pair that is actually evaluated, and the reduction
+// applies the same strict comparison in enumeration order — so the
+// best (time, combined area, pair) tuple is bit-identical to the
+// brute-force pair scan for any thread count, chunking, or bound
+// setting, the determinism contract all strategies carry.
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "search/alloc_space.hpp"
@@ -55,7 +66,7 @@ struct Axis_point {
 /// building the filtered point lists.
 constexpr long long k_axis_enum_limit = 1LL << 22;
 
-/// What one worker accumulates over its chunk of the pair range.
+/// What one worker accumulates over its chunk of the row range.
 struct Pair_chunk {
     bool have_best = false;
     double best_time = 0.0;
@@ -65,6 +76,10 @@ struct Pair_chunk {
     pace::Multi_pace_result best_partition;
     long long n_evaluated = 0;
     long long n_pruned = 0;
+    long long rows_visited = 0;
+    long long rows_pruned = 0;
+    long long dp_states_swept = 0;
+    long long dp_cells_dense = 0;
     search::Eval_cache_stats stats;
 };
 
@@ -117,6 +132,59 @@ void combine_costs(std::span<const pace::Bsb_cost> c0,
     set_asic1_costs(c1, out);
 }
 
+/// Per-BSB best case over every asic1 axis point — the admissible
+/// relaxation behind the row bound.  Each field is optimistic
+/// independently (the jointly-best point need not exist), so any DP
+/// or gain bound over these costs upper-bounds every concrete pair's:
+/// minimal hardware and bus time, minimal controller area, maximal
+/// adjacency credit.  A BSB infeasible on the whole axis keeps the
+/// infinite cost and can only go to asic0 or software in the bound —
+/// exactly as in every concrete pair.
+struct Axis_relaxation {
+    std::vector<pace::Bsb_cost> best_case;  ///< per BSB
+    double min_area = 0.0;  ///< smallest data-path area on the axis
+};
+
+Axis_relaxation relax_axis(std::span<const Axis_point> axis,
+                           search::Eval_cache& cache,
+                           std::vector<pace::Bsb_cost>& scratch)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    Axis_relaxation r;
+    r.min_area = inf;
+    for (const auto& point : axis) {
+        cache.costs_for(point.alloc, scratch);
+        if (r.best_case.empty()) {
+            r.best_case = scratch;
+            for (auto& c : r.best_case)
+                if (std::isinf(c.t_hw)) {
+                    c.comm = 0.0;
+                    c.save_prev = 0.0;
+                }
+        }
+        else {
+            for (std::size_t k = 0; k < scratch.size(); ++k) {
+                auto& b = r.best_case[k];
+                const auto& c = scratch[k];
+                if (std::isinf(c.t_hw))
+                    continue;
+                if (std::isinf(b.t_hw)) {
+                    b = c;
+                    continue;
+                }
+                b.t_hw = std::min(b.t_hw, c.t_hw);
+                b.comm = std::min(b.comm, c.comm);
+                b.ctrl_area = std::min(b.ctrl_area, c.ctrl_area);
+                b.save_prev = std::max(b.save_prev, c.save_prev);
+            }
+        }
+        r.min_area = std::min(r.min_area, point.area);
+    }
+    if (std::isinf(r.min_area))
+        r.min_area = 0.0;
+    return r;
+}
+
 }  // namespace
 
 Solve_result solve_multi_asic_bb(Session& session,
@@ -152,12 +220,12 @@ Solve_result solve_multi_asic_bb(Session& session,
     const long long f0 = static_cast<long long>(axis[0].size());
     const long long f1 = static_cast<long long>(axis[1].size());
     const long long pairs = f0 * f1;  // each axis <= 2^22, no overflow
-    if (pairs > extras.pair_limit)
-        throw std::invalid_argument(
-            "multi_asic_bb: " + std::to_string(pairs) +
-            " allocation pairs exceed Multi_asic_extras::pair_limit (" +
-            std::to_string(extras.pair_limit) +
-            "); tighten restrictions or raise the cap");
+
+    // Soft pair cap: walk exactly the first `walked` pairs (a0-major
+    // order), skip the rest deterministically — the PR 4 hard throw
+    // retired.  <= 0 means unlimited.
+    const long long walked =
+        extras.pair_limit > 0 ? std::min(pairs, extras.pair_limit) : pairs;
 
     Solve_result out;
     out.strategy = "multi_asic_bb";
@@ -165,21 +233,24 @@ Solve_result solve_multi_asic_bb(Session& session,
     out.multi.active = true;
     out.multi.asic_areas = budgets;
     out.multi.axis_points = {f0, f1};
-    if (pairs == 0) {
+    out.multi.pairs_skipped = pairs - walked;
+    if (walked == 0) {
         out.seconds = timer.seconds();
         return out;
     }
+    const long long n_rows = (walked + f1 - 1) / f1;
 
     // Resolve the shared immutable invariants before any worker runs:
     // Session::invariants() is lazily computed and not thread-safe.
     const auto invariants = session.invariants();
 
     // Shared prep: the all-software baseline, the float-safety slack,
-    // and a primed time-to-beat from the greedy probe pair so every
-    // worker prunes from the start.  The probes run on worker 0's
-    // cache so the first chunk starts warm — but only when caching is
-    // on: an uncached solve must not mutate the caller's shared cache
-    // or instantiate the session one, so it probes on a throwaway.
+    // the asic1 axis relaxation behind the row bound, and a primed
+    // time-to-beat from the greedy probe pair so every worker prunes
+    // from the start.  The probes run on worker 0's cache so the
+    // first chunk starts warm — but only when caching is on: an
+    // uncached solve must not mutate the caller's shared cache or
+    // instantiate the session one, so it probes on a throwaway.
     search::Eval_cache* chunk0_cache = nullptr;
     search::Eval_cache_stats shared_before;
     if (options.use_cache) {
@@ -189,11 +260,10 @@ Solve_result solve_multi_asic_bb(Session& session,
         shared_before = chunk0_cache->stats();
     }
 
+    const bool use_row_bound = options.use_pruning && extras.use_row_bound;
     double all_sw = 0.0;
     double prime_time = std::numeric_limits<double>::infinity();
-    std::vector<pace::Bsb_cost> probe0;
-    std::vector<pace::Bsb_cost> probe1;
-    std::vector<pace::Multi_bsb_cost> probe_costs;
+    Axis_relaxation relax1;
     {
         std::optional<search::Eval_cache> prep_local;
         search::Eval_cache& prep =
@@ -201,6 +271,9 @@ Solve_result solve_multi_asic_bb(Session& session,
                 ? *chunk0_cache
                 : prep_local.emplace(ctx, options.cache_capacity,
                                      invariants);
+        std::vector<pace::Bsb_cost> probe0;
+        std::vector<pace::Bsb_cost> probe1;
+        std::vector<pace::Multi_bsb_cost> probe_costs;
         const auto g0 = greedy_fill(space, ctx.lib, budgets[0]);
         const auto g1 = greedy_fill(space, ctx.lib, budgets[1]);
         prep.costs_for(g0, probe0);
@@ -208,7 +281,11 @@ Solve_result solve_multi_asic_bb(Session& session,
         combine_costs(probe0, probe1, probe_costs);
         for (const auto& c : probe_costs)
             all_sw += c.t_sw;
-        if (options.use_pruning) {
+        // Priming is only sound when the greedy pair is guaranteed to
+        // be *walked*: with a truncated prefix it may lie outside, and
+        // pruning against an unwalked pair could starve the prefix of
+        // its own best.  Prefix runs prune from chunk incumbents only.
+        if (options.use_pruning && out.multi.pairs_skipped == 0) {
             pace::Multi_pace_options mo;
             mo.ctrl_area_budgets = {budgets[0] - g0.area(ctx.lib),
                                     budgets[1] - g1.area(ctx.lib)};
@@ -216,6 +293,17 @@ Solve_result solve_multi_asic_bb(Session& session,
             pace::Multi_pace_workspace mws;
             prime_time =
                 all_sw - pace::multi_pace_best_saving(probe_costs, mo, &mws);
+        }
+        if (use_row_bound) {
+            // Under a truncating pair_limit no row ever reaches axis
+            // points past the walked prefix — relaxing over just the
+            // reachable ones is cheaper (they are scheduled serially
+            // here) and a tighter, still admissible bound.
+            const auto reachable = static_cast<std::size_t>(
+                std::min<long long>(f1, walked));
+            relax1 = relax_axis(
+                std::span<const Axis_point>(axis[1]).first(reachable),
+                prep, probe1);
         }
     }
     const double slack = 1e-7 * std::max(1.0, std::abs(all_sw));
@@ -226,11 +314,12 @@ Solve_result solve_multi_asic_bb(Session& session,
             : util::Thread_pool::default_concurrency();
     n_threads = std::max<std::size_t>(
         1, std::min(n_threads, static_cast<std::size_t>(
-                                   std::min(pairs, 1LL << 16))));
+                                   std::min(n_rows, 1LL << 16))));
     out.n_threads = static_cast<int>(n_threads);
 
     std::vector<Pair_chunk> chunks(n_threads);
-    const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
+    const auto run_chunk = [&](std::size_t c, long long row_begin,
+                               long long row_end) {
         Pair_chunk& chunk = chunks[c];
         search::Eval_cache* cache = nullptr;
         std::optional<search::Eval_cache> own_cache;
@@ -249,69 +338,104 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Bsb_cost> costs1;
         std::vector<pace::Multi_bsb_cost> mcosts;
         pace::Multi_pace_workspace mws;
-        long long i = begin / f1;
-        long long j = begin % f1;
-        cache->costs_for(axis[0][static_cast<std::size_t>(i)].alloc, costs0);
-        set_asic0_costs(costs0, mcosts);
-        for (long long idx = begin; idx < end; ++idx) {
-            if (j == f1) {
-                j = 0;
-                ++i;
-                cache->costs_for(axis[0][static_cast<std::size_t>(i)].alloc,
-                                 costs0);
-                set_asic0_costs(costs0, mcosts);
-            }
+        for (long long i = row_begin; i < row_end; ++i) {
             const auto& p0 = axis[0][static_cast<std::size_t>(i)];
-            const auto& p1 = axis[1][static_cast<std::size_t>(j)];
-            cache->costs_for(p1.alloc, costs1);
-            set_asic1_costs(costs1, mcosts);
+            // The final row of a truncated prefix may be partial.
+            const long long j_end = std::min(f1, walked - i * f1);
+            cache->costs_for(p0.alloc, costs0);
+            set_asic0_costs(costs0, mcosts);
+            ++chunk.rows_visited;
 
-            const double threshold =
+            const double threshold_row =
                 chunk.have_best ? std::min(prime_time, chunk.best_time)
                                 : prime_time;
-
-            pace::Multi_pace_options mo;
-            mo.ctrl_area_budgets = {budgets[0] - p0.area,
-                                    budgets[1] - p1.area};
-            mo.area_quantum = ctx.area_quantum;
-
-            if (options.use_pruning) {
-                // Budget-free bound: no placement of this pair can
-                // save more than multi_max_gain, whatever the
-                // controller areas turn out to be.
-                if (all_sw - pace::multi_max_gain(mcosts) >
-                    threshold + slack) {
-                    ++chunk.n_pruned;
-                    ++j;
-                    continue;
+            if (use_row_bound && std::isfinite(threshold_row)) {
+                // Level 1: budget-free O(n) gain bound over the row's
+                // exact asic0 costs and the axis-relaxed asic1 costs.
+                bool killed =
+                    all_sw - pace::multi_max_gain(costs0,
+                                                  relax1.best_case) >
+                    threshold_row + slack;
+                if (!killed) {
+                    // Level 2: the sparse value-only DP over the same
+                    // relaxed costs, budget0 exact for this row,
+                    // budget1 at the axis's smallest data-path debit,
+                    // areas rounded optimistically so quantization
+                    // differences can only widen the bound.
+                    set_asic1_costs(relax1.best_case, mcosts);
+                    pace::Multi_pace_options mo;
+                    mo.ctrl_area_budgets = {budgets[0] - p0.area,
+                                            budgets[1] - relax1.min_area};
+                    mo.area_quantum = ctx.area_quantum;
+                    mo.optimistic_rounding = true;
+                    const double bound_saving =
+                        pace::multi_pace_best_saving(mcosts, mo, &mws);
+                    chunk.dp_states_swept += mws.last_cells_swept();
+                    chunk.dp_cells_dense += mws.last_cells_dense();
+                    killed = all_sw - bound_saving > threshold_row + slack;
                 }
-                // Screening pass: the DP's optimal value without the
-                // traceback arena.  A killed pair was scored — it
-                // counts as evaluated, like the single-ASIC walker's
-                // screened leaves.
-                const double saving =
-                    pace::multi_pace_best_saving(mcosts, mo, &mws);
-                if (all_sw - saving > threshold + slack) {
-                    ++chunk.n_evaluated;
-                    ++j;
+                if (killed) {
+                    chunk.n_pruned += j_end;
+                    ++chunk.rows_pruned;
                     continue;
                 }
             }
 
-            const auto full = pace::multi_pace_partition(mcosts, mo, &mws);
-            ++chunk.n_evaluated;
-            const double area_sum = p0.area + p1.area;
-            if (!chunk.have_best ||
-                search::better_tuple(full.time_hybrid_ns, area_sum, chunk.best_time,
-                            chunk.best_area_sum)) {
-                chunk.best_time = full.time_hybrid_ns;
-                chunk.best_area_sum = area_sum;
-                chunk.best_i = i;
-                chunk.best_j = j;
-                chunk.best_partition = full;
-                chunk.have_best = true;
+            for (long long j = 0; j < j_end; ++j) {
+                const auto& p1 = axis[1][static_cast<std::size_t>(j)];
+                cache->costs_for(p1.alloc, costs1);
+                set_asic1_costs(costs1, mcosts);
+
+                const double threshold =
+                    chunk.have_best ? std::min(prime_time, chunk.best_time)
+                                    : prime_time;
+
+                pace::Multi_pace_options mo;
+                mo.ctrl_area_budgets = {budgets[0] - p0.area,
+                                        budgets[1] - p1.area};
+                mo.area_quantum = ctx.area_quantum;
+
+                if (options.use_pruning) {
+                    // Budget-free bound: no placement of this pair can
+                    // save more than multi_max_gain, whatever the
+                    // controller areas turn out to be.
+                    if (all_sw - pace::multi_max_gain(mcosts) >
+                        threshold + slack) {
+                        ++chunk.n_pruned;
+                        continue;
+                    }
+                    // Screening pass: the sparse DP's optimal value
+                    // without the traceback arena.  A killed pair was
+                    // scored — it counts as evaluated, like the
+                    // single-ASIC walker's screened leaves.
+                    const double saving =
+                        pace::multi_pace_best_saving(mcosts, mo, &mws);
+                    chunk.dp_states_swept += mws.last_cells_swept();
+                    chunk.dp_cells_dense += mws.last_cells_dense();
+                    if (all_sw - saving > threshold + slack) {
+                        ++chunk.n_evaluated;
+                        continue;
+                    }
+                }
+
+                const auto full =
+                    pace::multi_pace_partition(mcosts, mo, &mws);
+                chunk.dp_states_swept += mws.last_cells_swept();
+                chunk.dp_cells_dense += mws.last_cells_dense();
+                ++chunk.n_evaluated;
+                const double area_sum = p0.area + p1.area;
+                if (!chunk.have_best ||
+                    search::better_tuple(full.time_hybrid_ns, area_sum,
+                                         chunk.best_time,
+                                         chunk.best_area_sum)) {
+                    chunk.best_time = full.time_hybrid_ns;
+                    chunk.best_area_sum = area_sum;
+                    chunk.best_i = i;
+                    chunk.best_j = j;
+                    chunk.best_partition = full;
+                    chunk.have_best = true;
+                }
             }
-            ++j;
         }
         if (options.use_cache && cache != nullptr) {
             chunk.stats = cache == chunk0_cache
@@ -321,10 +445,10 @@ Solve_result solve_multi_asic_bb(Session& session,
     };
 
     if (n_threads == 1) {
-        run_chunk(0, 0, pairs);
+        run_chunk(0, 0, n_rows);
     }
     else {
-        util::parallel_chunks(session.pool(n_threads), pairs, n_threads,
+        util::parallel_chunks(session.pool(n_threads), n_rows, n_threads,
                               run_chunk);
     }
 
@@ -336,10 +460,15 @@ Solve_result solve_multi_asic_bb(Session& session,
     for (const auto& chunk : chunks) {
         out.n_evaluated += chunk.n_evaluated;
         out.n_pruned += chunk.n_pruned;
+        out.multi.rows_visited += chunk.rows_visited;
+        out.multi.rows_pruned += chunk.rows_pruned;
+        out.multi.dp_states_swept += chunk.dp_states_swept;
+        out.multi.dp_cells_dense += chunk.dp_cells_dense;
         out.cache_stats += chunk.stats;
         if (chunk.have_best &&
-            (!have_best || search::better_tuple(chunk.best_time, chunk.best_area_sum,
-                                       best_time, best_area_sum))) {
+            (!have_best || search::better_tuple(chunk.best_time,
+                                                chunk.best_area_sum,
+                                                best_time, best_area_sum))) {
             best_time = chunk.best_time;
             best_area_sum = chunk.best_area_sum;
             const auto& p0 =

@@ -113,14 +113,28 @@ struct Hill_climb_extras {
 
 /// Extra knobs of the `multi_asic_bb` strategy.
 struct Multi_asic_extras {
-    /// Hard cap on the enumerated pair space (after the per-axis area
-    /// filter).  The pair walk is quadratic in the per-ASIC space;
-    /// exceeding the cap throws std::invalid_argument instead of
-    /// silently running for minutes — tighten the restrictions or
-    /// raise the cap explicitly (the default admits man's 4.4M pairs,
-    /// ~6 s single-core; eigen's 27M need an explicit raise, e.g.
-    /// `lycos_cli --pair-limit`).
+    /// Soft cap on the walked pair space (after the per-axis area
+    /// filter).  A pair space larger than this no longer throws: the
+    /// search walks exactly the first `pair_limit` pairs in a0-major
+    /// order — deterministically, whatever the thread count — and
+    /// reports the rest in Multi_solve_result::pairs_skipped, so
+    /// callers degrade to a best-of-prefix instead of failing
+    /// mid-search.  The per-a0-row bound makes the default
+    /// unreachable on the standard bench spaces (whole rows die
+    /// before any pair DP runs); raise it (`lycos_cli --pair-limit`)
+    /// or set it <= 0 (unlimited) for eigen-scale spaces.  When pairs
+    /// are skipped, incumbent priming is disabled so pruning can only
+    /// compare against pairs inside the walked prefix (the best pair
+    /// stays exactly the brute-force best of that prefix).
     long long pair_limit = 1LL << 23;
+
+    /// Branch-and-bound over the a0-major pair *tree*: before any
+    /// per-pair DP runs in a row, an admissible per-row bound (the
+    /// sparse value-only DP over the row's exact asic0 costs and a
+    /// best-case relaxation of every asic1 axis point, areas rounded
+    /// optimistically) may kill the whole row.  Off = the flat
+    /// per-pair walk (useful as a reference; results are identical).
+    bool use_row_bound = true;
 };
 
 /// Unified knobs across strategies; per-strategy extras ride in the
@@ -129,9 +143,11 @@ struct Multi_asic_extras {
 /// than pretending: hill_climb and multi_asic_bb evaluate *through*
 /// memoized costs by construction, so for them use_cache=false only
 /// drops the shared session cache (each worker still memoizes
-/// privately, bounded by cache_capacity); use_pruning is a no-op for
-/// hill_climb, whose value-DP screening is its evaluation model, not
-/// a prune.
+/// privately, bounded by cache_capacity).  For hill_climb,
+/// use_pruning toggles the admissible proxy-cost screen on neighbour
+/// evaluation (Eval_cache::find_one + optimistic stand-in costs;
+/// candidates the proxy proves non-improving skip their exact screen
+/// — the climb trajectory and best tuple are identical either way).
 struct Solve_options {
     int n_threads = 0;        ///< 0 = hardware concurrency
     bool use_cache = true;    ///< memoize per-BSB scheduling (see above)
@@ -157,6 +173,19 @@ struct Multi_solve_result {
     std::array<double, 2> asic_areas{0.0, 0.0};   ///< budgets searched
     pace::Multi_pace_result partition;            ///< its two-ASIC partition
     std::array<long long, 2> axis_points{0, 0};   ///< per-ASIC fitting points
+
+    // Pair-tree branch-and-bound observability:
+    long long rows_visited = 0;  ///< a0 rows walked (within the prefix)
+    long long rows_pruned = 0;   ///< rows killed whole by the row bound
+    /// Pairs beyond Multi_asic_extras::pair_limit, deterministically
+    /// skipped instead of thrown on (0 = the whole space was walked).
+    long long pairs_skipped = 0;
+    /// Sparse-DP work across every screening/partition sweep of this
+    /// solve: Pareto states actually swept vs. the dense grids the
+    /// same sweeps would have scanned (the ratio is the aggregate
+    /// sparse occupancy).
+    long long dp_states_swept = 0;
+    long long dp_cells_dense = 0;
 };
 
 /// Unified outcome of Session::solve, whatever strategy ran.

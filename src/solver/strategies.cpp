@@ -83,6 +83,7 @@ Solve_result solve_hill_climb(Session& session, const Solve_options& options)
     ho.n_restarts = extras.n_restarts;
     ho.max_steps = extras.max_steps;
     ho.n_threads = options.n_threads;
+    ho.use_proxy_screen = options.use_pruning;
     ho.cache_capacity = options.cache_capacity;
     if (options.use_cache)
         ho.shared_cache = options.shared_cache != nullptr

@@ -163,17 +163,19 @@ TEST(MultiPace, evaluate_round_trip_and_size_mismatch)
                  std::invalid_argument);
 }
 
-// The overhaul contract: the workspace/frontier DP with its compact
-// traceback returns the identical placement and time the dense
-// reference computes, across random costs (including infeasible
-// entries), random budgets, explicit and auto quanta, and a workspace
-// reused over differently-sized problems.
-TEST(MultiPace, frontier_matches_dense_randomized)
+// The sparse contract: the Pareto-sparse DP with its per-state nibble
+// traceback returns the identical placement and time both retained
+// references compute — the reachable-frontier sweep and the dense
+// full scan — across random costs (including infeasible entries),
+// random budgets, explicit and auto quanta, and a workspace reused
+// over differently-sized problems.  Values, tracebacks and
+// area_quantum_used must all agree bit for bit.
+TEST(MultiPace, sparse_matches_frontier_and_dense_randomized)
 {
     constexpr double inf = std::numeric_limits<double>::infinity();
     lycos::util::Rng rng(47);
     lp::Multi_pace_workspace ws;
-    for (int trial = 0; trial < 30; ++trial) {
+    for (int trial = 0; trial < 60; ++trial) {
         const int n = rng.uniform_int(1, 10);
         std::vector<lp::Multi_bsb_cost> costs;
         for (int i = 0; i < n; ++i) {
@@ -190,6 +192,11 @@ TEST(MultiPace, frontier_matches_dense_randomized)
                 c.hw[a].t_hw = inf;
                 c.hw[a].ctrl_area = inf;
             }
+            // Duplicated controller areas and times provoke the value
+            // ties / colinear states dominance must break exactly the
+            // way the dense improving-write order does.
+            if (i > 0 && rng.uniform_int(0, 3) == 0)
+                c = costs.back();
             costs.push_back(c);
         }
         const lp::Multi_pace_options opts{
@@ -198,21 +205,136 @@ TEST(MultiPace, frontier_matches_dense_randomized)
                  static_cast<double>(rng.uniform_int(10, 90))},
             .area_quantum = trial % 3 == 0 ? 0.0 : 1.0};
 
-        const auto fast = lp::multi_pace_partition(costs, opts, &ws);
+        const auto sparse = lp::multi_pace_partition(costs, opts, &ws);
+        const auto frontier =
+            lp::multi_pace_partition_frontier(costs, opts, &ws);
         const auto dense = lp::multi_pace_partition_reference(costs, opts);
-        EXPECT_EQ(fast.placement, dense.placement) << "trial " << trial;
-        EXPECT_EQ(fast.time_hybrid_ns, dense.time_hybrid_ns);
-        EXPECT_EQ(fast.area_quantum_used, dense.area_quantum_used);
-        EXPECT_LE(fast.ctrl_area_used[0],
+        EXPECT_EQ(sparse.placement, dense.placement) << "trial " << trial;
+        EXPECT_EQ(sparse.time_hybrid_ns, dense.time_hybrid_ns);
+        EXPECT_EQ(sparse.area_quantum_used, dense.area_quantum_used);
+        EXPECT_EQ(frontier.placement, dense.placement) << "trial " << trial;
+        EXPECT_EQ(frontier.time_hybrid_ns, dense.time_hybrid_ns);
+        EXPECT_EQ(frontier.area_quantum_used, dense.area_quantum_used);
+        EXPECT_LE(sparse.ctrl_area_used[0],
                   opts.ctrl_area_budgets[0] + 1e-9);
-        EXPECT_LE(fast.ctrl_area_used[1],
+        EXPECT_LE(sparse.ctrl_area_used[1],
                   opts.ctrl_area_budgets[1] + 1e-9);
+        // Sparse observability: the antichains can never store more
+        // than the dense grid holds.
+        EXPECT_GT(sparse.dp_states_stored, 0);
+        EXPECT_LE(sparse.dp_cells_swept, frontier.dp_cells_swept);
+        EXPECT_EQ(sparse.dp_cells_dense, dense.dp_cells_swept);
 
         // Value-only screening agrees with the full partition.
         const double saving = lp::multi_pace_best_saving(costs, opts, &ws);
-        EXPECT_NEAR(saving, fast.time_all_sw_ns - fast.time_hybrid_ns,
+        EXPECT_NEAR(saving, sparse.time_all_sw_ns - sparse.time_hybrid_ns,
                     1e-6)
             << "trial " << trial;
+        // ...and with the frontier screen bit for bit.
+        EXPECT_EQ(saving,
+                  lp::multi_pace_best_saving_frontier(costs, opts, &ws));
+
+        // Optimistic rounding is admissible: the floor-rounded value
+        // upper-bounds the ceil-rounded one at the same quantum.
+        lp::Multi_pace_options relaxed = opts;
+        relaxed.optimistic_rounding = true;
+        EXPECT_GE(lp::multi_pace_best_saving(costs, relaxed, &ws) + 1e-9,
+                  saving)
+            << "trial " << trial;
+    }
+}
+
+// ------------------------------------------------------------------
+// Dominance pruning (Multi_pace_state_set::prune)
+// ------------------------------------------------------------------
+
+namespace {
+
+std::vector<lp::Multi_state> pruned(std::vector<lp::Multi_state> states,
+                                    int a1_cap)
+{
+    lp::Multi_pace_state_set set;
+    set.prune(states, a1_cap);
+    return states;
+}
+
+}  // namespace
+
+TEST(MultiStateSet, keeps_incomparable_drops_dominated)
+{
+    // (2,9) is dominated by (1,4): less area on both axes, more value.
+    // (9,1) survives: no state has <= area on both axes with >= value.
+    const auto kept = pruned(
+        {{1, 4, 10.0, 0}, {2, 9, 8.0, 0}, {9, 1, 5.0, 0}}, 16);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0].a0, 1);
+    EXPECT_EQ(kept[0].a1, 4);
+    EXPECT_EQ(kept[1].a0, 9);
+    EXPECT_EQ(kept[1].a1, 1);
+}
+
+TEST(MultiStateSet, value_ties_keep_the_smaller_area_state)
+{
+    // Equal values on comparable coordinates: only the cheaper state
+    // survives (this is what makes the sparse final scan land on the
+    // dense reference's first-maximum state).
+    const auto kept =
+        pruned({{1, 1, 7.0, 0}, {1, 3, 7.0, 0}, {2, 1, 7.0, 0}}, 8);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].a0, 1);
+    EXPECT_EQ(kept[0].a1, 1);
+}
+
+TEST(MultiStateSet, colinear_staircase_survives_whole)
+{
+    // A proper staircase — value strictly rising with area along both
+    // axes traded against each other — is an antichain: nothing may
+    // be dropped, order preserved.
+    const std::vector<lp::Multi_state> stairs = {
+        {0, 6, 1.0, 0}, {1, 4, 2.0, 0}, {2, 2, 3.0, 0}, {3, 0, 4.0, 0}};
+    EXPECT_EQ(pruned(stairs, 8).size(), stairs.size());
+
+    // Same coordinates along one axis (colinear): higher a1 must buy
+    // strictly more value to survive.
+    const auto kept = pruned(
+        {{2, 1, 5.0, 0}, {2, 3, 5.0, 0}, {2, 5, 6.0, 0}, {2, 7, 4.0, 0}},
+        8);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0].a1, 1);
+    EXPECT_EQ(kept[1].a1, 5);
+}
+
+TEST(MultiStateSet, prune_is_complete_against_quadratic_reference)
+{
+    // Randomized completeness: the kept set must be exactly the
+    // states no other state dominates, per the O(n^2) definition.
+    lycos::util::Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int cap = 12;
+        std::vector<lp::Multi_state> states;
+        for (int a0 = 0; a0 <= cap; ++a0)
+            for (int a1 = 0; a1 <= cap; ++a1)
+                if (rng.uniform_int(0, 3) == 0)
+                    states.push_back(
+                        {a0, a1,
+                         static_cast<double>(rng.uniform_int(0, 6)), 0});
+        std::vector<lp::Multi_state> expect;
+        for (const auto& s : states) {
+            bool dominated = false;
+            for (const auto& t : states)
+                if ((t.a0 != s.a0 || t.a1 != s.a1) && t.a0 <= s.a0 &&
+                    t.a1 <= s.a1 && t.value >= s.value)
+                    dominated = true;
+            if (!dominated)
+                expect.push_back(s);
+        }
+        const auto kept = pruned(states, cap);
+        ASSERT_EQ(kept.size(), expect.size()) << "trial " << trial;
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            EXPECT_EQ(kept[i].a0, expect[i].a0);
+            EXPECT_EQ(kept[i].a1, expect[i].a1);
+            EXPECT_EQ(kept[i].value, expect[i].value);
+        }
     }
 }
 

@@ -595,8 +595,29 @@ TEST(HillClimb, parallel_matches_sequential_for_any_thread_count)
                   sequential.best.partition.time_hybrid_ns);
         EXPECT_EQ(parallel.best.datapath_area,
                   sequential.best.datapath_area);
-        EXPECT_EQ(parallel.n_evaluated, sequential.n_evaluated);
+        // The climb trajectory is thread-count-independent, so the
+        // *considered* neighbour count is too; how many of them the
+        // proxy screen skipped (n_pruned) vs exactly screened
+        // (n_evaluated) depends on each worker's cache state, exactly
+        // like the exhaustive walker's proxy determinations.
+        EXPECT_EQ(parallel.n_evaluated + parallel.n_pruned,
+                  sequential.n_evaluated + sequential.n_pruned);
     }
+
+    // Proxy screening is an optimization, not a search change: with
+    // the screen off the climb must land on the identical best tuple
+    // (and skip nothing).
+    lycos::util::Rng rng_off(5);
+    const auto no_proxy = lse::hill_climb_engine(
+        ctx, bounds,
+        {.n_restarts = 8, .n_threads = 1, .use_proxy_screen = false},
+        rng_off);
+    EXPECT_EQ(no_proxy.best.datapath, sequential.best.datapath);
+    EXPECT_EQ(no_proxy.best.partition.time_hybrid_ns,
+              sequential.best.partition.time_hybrid_ns);
+    EXPECT_EQ(no_proxy.n_pruned, 0);
+    EXPECT_EQ(no_proxy.n_evaluated,
+              sequential.n_evaluated + sequential.n_pruned);
 }
 
 TEST(Evaluate, oversized_datapath_reports_all_software)

@@ -124,8 +124,9 @@ int main(int argc, char** argv)
                     "entry cap per search evaluation cache (0 = unbounded; "
                     "bounded caches evict segment-wise, results identical)");
     args.add_option("pair-limit", "0",
-                    "multi_asic_bb: cap on the two-ASIC pair space "
-                    "(0 = strategy default; the pair walk is quadratic)");
+                    "multi_asic_bb: soft cap on walked two-ASIC pairs; "
+                    "pairs beyond it are skipped deterministically and "
+                    "reported (0 = strategy default)");
     args.add_option("bench-json", "",
                     "run the old-vs-new search benchmark and write the "
                     "BENCH_search.json report to this path, then exit");
@@ -377,6 +378,24 @@ int main(int argc, char** argv)
                           << bsbs.size() << " BSBs in HW, speed-up "
                           << util::speedup_percent(m.partition.speedup_pct)
                           << " (at the search quantum)\n";
+                std::cout << "  pair tree: "
+                          << util::with_commas(m.rows_pruned) << "/"
+                          << util::with_commas(m.rows_visited)
+                          << " rows bound-killed";
+                if (m.pairs_skipped > 0)
+                    std::cout << ", " << util::with_commas(m.pairs_skipped)
+                              << " pairs past --pair-limit skipped";
+                std::cout << "\n  sparse DP: "
+                          << util::with_commas(m.dp_states_swept)
+                          << " states swept ("
+                          << util::percent(
+                                 m.dp_cells_dense > 0
+                                     ? static_cast<double>(
+                                           m.dp_states_swept) /
+                                           static_cast<double>(
+                                               m.dp_cells_dense)
+                                     : 0.0)
+                          << " of the dense grids)\n";
             }
             else {
                 const auto best_ev = session.rescore(best.best.datapath);
