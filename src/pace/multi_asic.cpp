@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace lycos::pace {
 
 namespace {
@@ -104,6 +106,7 @@ struct Best_state {
 
 struct Dp_stats {
     long long cells_swept = 0;
+    bool aborted = false;  ///< sparse sweep stopped on a tripped token
 };
 
 }  // namespace
@@ -432,14 +435,16 @@ struct Multi_dp_sparse {
     template <bool With_trace>
     static double sweep(std::span<const Multi_bsb_cost> costs,
                         const Multi_setup& s, Multi_pace_workspace& ws,
-                        Dp_stats& stats, Best_state* best_state);
+                        Dp_stats& stats, Best_state* best_state,
+                        const util::Cancel_token* cancel);
 };
 
 template <bool With_trace>
 double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
                               const Multi_setup& s,
                               Multi_pace_workspace& ws, Dp_stats& stats,
-                              Best_state* best_state)
+                              Best_state* best_state,
+                              const util::Cancel_token* cancel)
 {
     const std::size_t n = costs.size();
     const auto& qarea = ws.qarea_;
@@ -483,6 +488,18 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
     };
 
     for (std::size_t i = 0; i < n; ++i) {
+        // Row-stripe poll: these are the heaviest DP rows in the
+        // stack, so the full stop() (deadline clock included) runs
+        // here.  An abort abandons the sweep wholesale — the sparse
+        // arenas carry no cross-call checkpoint to invalidate.
+        if (cancel != nullptr) {
+            cancel->charge_dp_cells(
+                static_cast<std::uint64_t>(cur.size()));
+            if (cancel->stop()) {
+                stats.aborted = true;
+                return -k_inf;
+            }
+        }
         stats.cells_swept += static_cast<long long>(cur.size());
 
         const std::array<int, 2> qa = {qarea[i][0], qarea[i][1]};
@@ -718,8 +735,8 @@ double multi_pace_best_saving(std::span<const Multi_bsb_cost> costs,
     if (costs.empty())
         return 0.0;
     Dp_stats stats;
-    const double best =
-        Multi_dp_sparse::sweep<false>(costs, s, ws, stats, nullptr);
+    const double best = Multi_dp_sparse::sweep<false>(costs, s, ws, stats,
+                                                      nullptr, options.cancel);
     ws.last_cells_swept_ = stats.cells_swept;
     ws.last_cells_dense_ = static_cast<long long>(costs.size()) *
                            static_cast<long long>(s.w0) *
@@ -760,7 +777,22 @@ Multi_pace_result multi_pace_partition(std::span<const Multi_bsb_cost> costs,
 
     Dp_stats stats;
     Best_state bs;
-    Multi_dp_sparse::sweep<true>(costs, s, ws, stats, &bs);
+    Multi_dp_sparse::sweep<true>(costs, s, ws, stats, &bs, options.cancel);
+    if (stats.aborted) {
+        // Aborted mid-sweep: the sparse traceback arena is partial,
+        // but the all-software placement is always a valid honest
+        // answer for the caller's incumbent bookkeeping.
+        Multi_pace_result r = evaluate_multi_partition(
+            costs, std::vector<Placement>(n, Placement::software));
+        r.area_quantum_used = s.quantum;
+        r.dp_cells_swept = stats.cells_swept;
+        r.dp_cells_dense = static_cast<long long>(n) *
+                           static_cast<long long>(s.w0) *
+                           static_cast<long long>(s.w1) * 3;
+        ws.last_cells_swept_ = stats.cells_swept;
+        ws.last_cells_dense_ = r.dp_cells_dense;
+        return r;
+    }
 
     // Walk the per-state nibbles backwards from the best final state:
     // a state reachable after row ri is stored (sorted by packed

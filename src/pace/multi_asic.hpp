@@ -44,6 +44,10 @@
 
 #include "pace/cost_model.hpp"
 
+namespace lycos::util {
+class Cancel_token;
+}
+
 namespace lycos::pace {
 
 /// Placement of one BSB in the two-ASIC architecture.
@@ -87,6 +91,14 @@ struct Multi_pace_options {
     /// admissible bounds only (the multi-ASIC search's per-a0-row
     /// bound); a partition built this way may overpack the budgets.
     bool optimistic_rounding = false;
+
+    /// Optional cancellation handle for the sparse sweeps: the DP-cell
+    /// budget is charged and the token polled (full stop(), including
+    /// the deadline clock — these rows are the heaviest stripes in the
+    /// stack) once per BSB row.  An aborted value sweep returns -inf;
+    /// an aborted multi_pace_partition returns the honest all-software
+    /// placement.  The frontier and dense reference paths ignore it.
+    const util::Cancel_token* cancel = nullptr;
 };
 
 /// Result of the two-ASIC partition.

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace lycos::pace {
 
 namespace {
@@ -187,13 +189,15 @@ struct Pace_dp {
     template <bool With_trace>
     static double sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
                         Pace_workspace& ws, bool checkpointing,
-                        std::size_t* best_a, int* best_p);
+                        std::size_t* best_a, int* best_p,
+                        const util::Cancel_token* cancel);
 };
 
 template <bool With_trace>
 double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
                       Pace_workspace& ws, bool checkpointing,
-                      std::size_t* best_a, int* best_p)
+                      std::size_t* best_a, int* best_p,
+                      const util::Cancel_token* cancel)
 {
     const std::size_t n = costs.size();
     const std::size_t width = s.width;
@@ -272,6 +276,17 @@ double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
     }
 
     for (std::size_t i = resume; i < n; ++i) {
+        // Row-stripe poll: charge the cells this row will touch and
+        // bail on a tripped token.  Flag-only — no clock here.  A
+        // partially overwritten row arena cannot be resumed from, so
+        // the checkpoint is dropped with the sweep.
+        if (cancel != nullptr) {
+            cancel->charge_dp_cells((hi + 1) * 2);
+            if (cancel->tripped()) {
+                ws.invalidate_checkpoint();
+                return -k_inf;
+            }
+        }
         const std::size_t qa = static_cast<std::size_t>(qarea[i]);
         const bool can_hw = hw_possible[i] != 0;
         const std::size_t hi2 = can_hw ? std::min(hi + qa, width - 1) : hi;
@@ -404,7 +419,7 @@ double pace_best_saving(std::span<const Bsb_cost> costs,
         return 0.0;
     return Pace_dp::sweep<false>(
         costs, s, ws, want_checkpoint(workspace, costs.size(), s.width),
-        nullptr, nullptr);
+        nullptr, nullptr, options.cancel);
 }
 
 Pace_result pace_partition(std::span<const Bsb_cost> costs,
@@ -433,7 +448,17 @@ Pace_result pace_partition(std::span<const Bsb_cost> costs,
         // must not trust them.
         ws.trace_rows_ = 0;
     }
-    Pace_dp::sweep<true>(costs, s, ws, checkpointing, &best_a, &best_p);
+    const double best =
+        Pace_dp::sweep<true>(costs, s, ws, checkpointing, &best_a, &best_p,
+                             options.cancel);
+    if (best == -k_inf) {
+        // Aborted mid-sweep: the traceback rows are unusable, but the
+        // all-software partition is always a valid honest answer.
+        Pace_result r =
+            evaluate_partition(costs, std::vector<bool>(n, false));
+        r.area_quantum_used = s.quantum;
+        return r;
+    }
 
     // Walk the parent pointers backwards from the best final state.
     auto cell = [&](std::size_t i, std::size_t a, int p) {

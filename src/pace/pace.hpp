@@ -23,6 +23,10 @@
 
 #include "pace/cost_model.hpp"
 
+namespace lycos::util {
+class Cancel_token;
+}
+
 namespace lycos::pace {
 
 /// Options for pace_partition.
@@ -58,6 +62,16 @@ struct Pace_options {
     /// = 0 as long as the wider table does not trigger re-quantization
     /// (the search's coarse quantum is far from the max_dp_width cap).
     double table_area_budget = 0.0;
+
+    /// Optional cancellation handle.  The sweep charges its DP-cell
+    /// budget and checks the tripped flag once per row — never the
+    /// clock (the engines own the coarse deadline polls).  An aborted
+    /// value sweep returns -inf (valid sweeps are always >= 0, so the
+    /// marker is unambiguous and screens as "infinitely bad"); an
+    /// aborted pace_partition returns the honest all-software
+    /// partition.  Either way the workspace checkpoint is dropped —
+    /// a partially overwritten row arena must not be resumed from.
+    const util::Cancel_token* cancel = nullptr;
 };
 
 /// A partition and its evaluation.

@@ -39,6 +39,7 @@ Evaluation evaluate_with_costs(const Eval_context& ctx,
     opts.ctrl_area_budget = ctx.target.asic.total_area - ev.datapath_area;
     opts.area_quantum = ctx.area_quantum;
     opts.table_area_budget = ctx.dp_table_budget;
+    opts.cancel = ctx.cancel;
     ev.partition = pace::pace_partition(costs, opts, workspace);
     return ev;
 }

@@ -25,6 +25,8 @@ struct Chunk_result {
     long long n_pruned = 0;
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
+    long long rows_abandoned = 0;  ///< leaves refused by the cancel token
+    bool abandoned = false;        ///< chunk stopped before its end
     Eval_cache_stats stats;
 };
 
@@ -307,8 +309,8 @@ public:
            Eval_cache* cache, Chunk_result& out)
         : ctx_(ctx), dims_(dims), model_(model), use_pruning_(use_pruning),
           max_area_(max_area), prime_time_(prime_time), begin_(begin),
-          end_(end), cache_(cache), out_(out), digits_(dims.size(), 0),
-          dense_counts_(ctx.lib.size(), 0)
+          end_(end), cache_(cache), cancel_(ctx.cancel), out_(out),
+          digits_(dims.size(), 0), dense_counts_(ctx.lib.size(), 0)
     {
         bounding_ = use_pruning_ && model_.enabled;
         det_enabled_ = bounding_ && cache_ != nullptr;
@@ -350,9 +352,20 @@ public:
 
     void run()
     {
-        walk(static_cast<int>(dims_.size()) - 1, 0, 0.0);
+        // Full poll once per chunk entry: a deadline that expired
+        // before this chunk started abandons it whole — otherwise a
+        // space smaller than the leaf-poll stride would never read
+        // the clock at all.
+        if (cancel_ != nullptr && cancel_->stop()) {
+            out_.rows_abandoned += end_ - begin_;
+            stopped_ = true;
+        }
+        else {
+            walk(static_cast<int>(dims_.size()) - 1, 0, 0.0);
+        }
         out_.dp_rows_reused += pace_ws_.rows_reused();
         out_.dp_rows_swept += pace_ws_.rows_swept();
+        out_.abandoned = stopped_;
     }
 
 private:
@@ -374,6 +387,23 @@ private:
                 continue;  // before the chunk
             const long long lo = std::max(begin_, sub_base);
             const long long hi = std::min(end_, sub_base + dim.span);
+
+            // Admission gate: the logical unit is the subtree's base
+            // index — thread-invariant, so the injected cut refuses
+            // exactly the leaves >= the cut on every chunking (a
+            // subtree straddling the cut is admitted here and refused
+            // leaf-by-leaf at dim 0, whose span is 1).  A live trip
+            // abandons the rest of the chunk at this boundary.
+            if (cancel_ != nullptr &&
+                !cancel_->admit(static_cast<std::uint64_t>(sub_base))) {
+                if (cancel_->tripped()) {
+                    out_.rows_abandoned += std::min(end_, dim_end) - lo;
+                    stopped_ = true;
+                    return;
+                }
+                out_.rows_abandoned += hi - lo;  // cut refusal: keep
+                continue;                        // counting siblings
+            }
 
             const double area = prefix_area + c * dim.unit_area;
             if (use_pruning_ && area > area_prune_limit()) {
@@ -417,6 +447,8 @@ private:
             }
             else {
                 walk(d - 1, sub_base, area);
+                if (stopped_)
+                    return;
             }
 
             while (n_det > 0)
@@ -686,6 +718,15 @@ private:
 
     void leaf()
     {
+        // Strided deadline poll: admit() above never reads the clock,
+        // so the wall-clock check runs here once per 64 leaves.
+        if (cancel_ != nullptr && (++leaf_polls_ & 63) == 0 &&
+            cancel_->stop()) {
+            ++out_.rows_abandoned;
+            stopped_ = true;
+            return;
+        }
+
         // Canonical area sum — dims ascending, zero digits skipped —
         // reproduces Alloc_space::for_each_range's filter bit-for-bit.
         double area = 0.0;
@@ -722,13 +763,17 @@ private:
             opts.ctrl_area_budget = max_area_ - area;
             opts.area_quantum = ctx_.area_quantum;
             opts.table_area_budget = ctx_.dp_table_budget;
+            opts.cancel = cancel_;
             double saving = pace::pace_best_saving(costs, opts, &pace_ws_);
             double t_est = pace::all_sw_time_ns(costs) - saving;
             if (t_est > threshold() + model_.slack) {
-                if (n_proxied_ > 0)
+                if (n_proxied_ > 0) {
                     ++out_.n_pruned;
-                else
+                }
+                else {
                     ++out_.n_evaluated;  // scored, just not reconstructed
+                    charge_eval();
+                }
                 return;
             }
             if (n_proxied_ > 0) {
@@ -737,6 +782,7 @@ private:
                 t_est = pace::all_sw_time_ns(cur_cost_) - saving;
                 if (t_est > threshold() + model_.slack) {
                     ++out_.n_evaluated;
+                    charge_eval();
                     return;
                 }
             }
@@ -769,10 +815,19 @@ private:
         const Evaluation ev = evaluate_with_costs(
             ctx_, a, det_enabled_ ? cur_cost_ : costs_, &pace_ws_);
         ++out_.n_evaluated;
+        charge_eval();
         if (!out_.have_best || better_than(ev, out_.best)) {
             out_.best = ev;
             out_.have_best = true;
         }
+    }
+
+    /// One scored point against the eval budget (a budget trip is a
+    /// live condition observed at the next admission gate).
+    void charge_eval()
+    {
+        if (cancel_ != nullptr)
+            cancel_->charge_evals(1);
     }
 
     const Eval_context& ctx_;
@@ -787,6 +842,9 @@ private:
     long long begin_;
     long long end_;
     Eval_cache* cache_;
+    const util::Cancel_token* cancel_;
+    bool stopped_ = false;          ///< live trip ended this chunk
+    std::uint64_t leaf_polls_ = 0;  ///< strided deadline-poll counter
     Chunk_result& out_;
     std::vector<int> digits_;
     std::vector<int> dense_counts_;  ///< digits scattered per type id
@@ -925,6 +983,7 @@ Search_result exhaustive_engine(const Eval_context& ctx,
     Eval_context run_ctx = ctx;
     if (ctx.area_quantum > 0.0)
         run_ctx.dp_table_budget = max_area;
+    run_ctx.cancel = options.cancel;
 
     // Worker 0's cache is either the caller's shared cache or one
     // built up front — so the incumbent-priming probes below warm the
@@ -947,9 +1006,15 @@ Search_result exhaustive_engine(const Eval_context& ctx,
     if (use_pruning) {
         model = build_prune_model(
             ctx, dims, options.use_cache ? chunk0_cache : nullptr);
-        prime_time = prime_incumbent(run_ctx, dims, max_area,
-                                     options.use_cache ? chunk0_cache
-                                                       : nullptr);
+        // Priming only without a cancel token: the probe time belongs
+        // to a point the truncated prefix may never reach, so pruning
+        // against it could leave an anytime run without the best point
+        // of what it actually explored.  (Untripped armed runs lose
+        // nothing but speed — the bound prunes are all incumbent-led.)
+        if (options.cancel == nullptr)
+            prime_time = prime_incumbent(run_ctx, dims, max_area,
+                                         options.use_cache ? chunk0_cache
+                                                           : nullptr);
     }
 
     std::vector<Chunk_result> chunks(n_threads);
@@ -970,17 +1035,31 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         if (span_overflow) {
             // Saturated spaces cannot be walked as a tree (index
             // arithmetic would overflow); fall back to the linear loop.
+            // Live cancellation polls once per 64 scored points; the
+            // injected cut has no per-leaf index here and is not
+            // applied (the fallback is unreachable below saturated
+            // space sizes, which the fault-injection tests never are).
             pace::Pace_workspace ws;
+            const auto* cancel = options.cancel;
+            std::uint64_t polls = 0;
             space.for_each_range(begin, end, max_area,
                                  [&](const core::Rmap& a) {
                                      const Evaluation ev =
                                          evaluate_allocation(run_ctx, a,
                                                              cache, &ws);
                                      ++out.n_evaluated;
+                                     if (cancel != nullptr)
+                                         cancel->charge_evals(1);
                                      if (!out.have_best ||
                                          better_than(ev, out.best)) {
                                          out.best = ev;
                                          out.have_best = true;
+                                     }
+                                     if (cancel != nullptr &&
+                                         (++polls & 63) == 0 &&
+                                         cancel->stop()) {
+                                         out.abandoned = true;
+                                         return false;
                                      }
                                      return true;
                                  });
@@ -999,15 +1078,18 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         }
     };
 
+    std::size_t chunks_skipped = 0;
     if (n_threads == 1) {
         run_chunk(0, 0, n);
     }
     else if (options.pool != nullptr) {
-        util::parallel_chunks(*options.pool, n, n_threads, run_chunk);
+        chunks_skipped = util::parallel_chunks(*options.pool, n, n_threads,
+                                               run_chunk, options.cancel);
     }
     else {
         util::Thread_pool pool(n_threads);
-        util::parallel_chunks(pool, n, n_threads, run_chunk);
+        chunks_skipped = util::parallel_chunks(pool, n, n_threads, run_chunk,
+                                               options.cancel);
     }
 
     // Reduce in chunk (= enumeration) order with the same strict
@@ -1019,12 +1101,23 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         result.n_pruned += chunk.n_pruned;
         result.dp_rows_reused += chunk.dp_rows_reused;
         result.dp_rows_swept += chunk.dp_rows_swept;
+        result.rows_abandoned += chunk.rows_abandoned;
+        result.chunks_abandoned += chunk.abandoned ? 1 : 0;
         result.cache_stats += chunk.stats;
         if (chunk.have_best &&
             (!have_best || better_than(chunk.best, result.best))) {
             result.best = chunk.best;
             have_best = true;
         }
+    }
+    result.chunks_abandoned += static_cast<long long>(chunks_skipped);
+    if (options.cancel != nullptr) {
+        result.status = options.cancel->status();
+        // Injected-cut refusals never set the token's flag; any
+        // leftover abandonment with a clean token is that cut.
+        if (result.status == util::Solve_status::complete &&
+            (result.rows_abandoned > 0 || result.chunks_abandoned > 0))
+            result.status = util::Solve_status::cancelled;
     }
 
     result.seconds = timer.seconds();

@@ -46,6 +46,7 @@
 #include "search/alloc_space.hpp"
 #include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
+#include "util/cancel.hpp"
 
 namespace lycos::util {
 class Thread_pool;
@@ -73,6 +74,17 @@ struct Search_result {
     /// depend on chunking; the best tuple never does.
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
+
+    /// Anytime-solve outcome: complete for a full-space run, else the
+    /// condition that tripped the cancel token (the best tuple is then
+    /// the best of the explored prefix).  Under the injected cut the
+    /// explored prefix is exactly the units below the cut, so the
+    /// truncated best tuple is bit-identical for any thread count; the
+    /// abandonment counters — like n_evaluated — depend on chunking.
+    util::Solve_status status = util::Solve_status::complete;
+    long long chunks_abandoned = 0;  ///< chunk tasks stopped or skipped
+    long long rows_abandoned = 0;    ///< finer units refused (subtrees,
+                                     ///< restarts, rows — per engine)
 };
 
 /// Knobs for exhaustive_search; the defaults are the fast path.
@@ -113,6 +125,15 @@ struct Exhaustive_options {
     /// one pool and reuses it across solves.  Engine-level option,
     /// ignored by the deprecated shims like `invariants`.
     util::Thread_pool* pool = nullptr;
+
+    /// Optional cancellation handle: the walker polls it at subtree
+    /// and leaf boundaries and stops with the incumbent found so far
+    /// (Search_result::status reports why).  A non-null token disables
+    /// incumbent priming — pruning against a probe time that is never
+    /// itself enumerated could leave a truncated run without the best
+    /// point of its explored prefix.  Untripped armed runs still
+    /// return the bit-identical best tuple (priming is admissible).
+    const util::Cancel_token* cancel = nullptr;
 };
 
 /// Score every allocation within `restrictions` whose data-path fits

@@ -67,6 +67,7 @@ struct Climb_scratch {
         opts.ctrl_area_budget = ctx.target.asic.total_area - area;
         opts.area_quantum = ctx.area_quantum;
         opts.table_area_budget = ctx.dp_table_budget;
+        opts.cancel = ctx.cancel;
         return {all_sw - pace::pace_best_saving(costs, opts, &ws), area};
     }
 
@@ -139,9 +140,15 @@ void climb(const Eval_context& ctx, const Alloc_space& space,
     core::Rmap current = start;
     auto [cur_time, cur_area] = scratch.screen(ctx, current);
     ++out.n_evaluated;
+    if (ctx.cancel != nullptr)
+        ctx.cancel->charge_evals(1);
     consider(cur_time, cur_area, current);
 
     for (int step = 0; step < options.max_steps; ++step) {
+        // Live-condition poll once per climb step: a tripped token
+        // keeps whatever this restart found so far.
+        if (ctx.cancel != nullptr && ctx.cancel->stop())
+            break;
         double best_time = 0.0;
         double best_area = 0.0;
         core::Rmap best_neighbour;
@@ -164,6 +171,8 @@ void climb(const Eval_context& ctx, const Alloc_space& space,
                 }
                 const auto [time, area] = *screened;
                 ++out.n_evaluated;
+                if (ctx.cancel != nullptr)
+                    ctx.cancel->charge_evals(1);
                 consider(time, area, candidate);
                 if (!found ||
                     better_tuple(time, area, best_time, best_area)) {
@@ -211,6 +220,7 @@ Search_result hill_climb_engine(const Eval_context& ctx,
     Eval_context run_ctx = ctx;
     if (ctx.area_quantum > 0.0)
         run_ctx.dp_table_budget = ctx.target.asic.total_area;
+    run_ctx.cancel = options.cancel;
 
     // Draw every start point up front, in restart order: the random
     // sequence — and therefore the whole search — is independent of
@@ -234,6 +244,8 @@ Search_result hill_climb_engine(const Eval_context& ctx,
     std::vector<Restart_result> restarts(
         static_cast<std::size_t>(n_restarts));
     std::vector<Eval_cache_stats> chunk_stats(n_threads);
+    std::vector<long long> chunk_refused(n_threads, 0);
+    std::vector<std::uint8_t> chunk_stopped(n_threads, 0);
     const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
         Eval_cache* cache = nullptr;
         std::optional<Eval_cache> own_cache;
@@ -248,25 +260,40 @@ Search_result hill_climb_engine(const Eval_context& ctx,
             cache = &*own_cache;
         }
         Climb_scratch scratch(run_ctx, *cache, options.use_proxy_screen);
-        for (long long r = begin; r < end; ++r)
+        for (long long r = begin; r < end; ++r) {
+            // Admission gate per restart — the thread-invariant work
+            // unit, so the injected cut climbs exactly [0, cut).
+            if (options.cancel != nullptr &&
+                !options.cancel->admit(static_cast<std::uint64_t>(r))) {
+                if (options.cancel->tripped()) {
+                    chunk_refused[c] += end - r;
+                    chunk_stopped[c] = 1;
+                    break;
+                }
+                ++chunk_refused[c];
+                continue;
+            }
             climb(run_ctx, space, options,
                   starts[static_cast<std::size_t>(r)], scratch,
                   restarts[static_cast<std::size_t>(r)]);
+        }
         chunk_stats[c] = cache == options.shared_cache
                              ? cache->stats().minus(shared_before)
                              : cache->stats();
     };
 
+    std::size_t chunks_skipped = 0;
     if (n_threads == 1) {
         run_chunk(0, 0, n_restarts);
     }
     else if (options.pool != nullptr) {
-        util::parallel_chunks(*options.pool, n_restarts, n_threads,
-                              run_chunk);
+        chunks_skipped = util::parallel_chunks(
+            *options.pool, n_restarts, n_threads, run_chunk, options.cancel);
     }
     else {
         util::Thread_pool pool(n_threads);
-        util::parallel_chunks(pool, n_restarts, n_threads, run_chunk);
+        chunks_skipped = util::parallel_chunks(pool, n_restarts, n_threads,
+                                               run_chunk, options.cancel);
     }
 
     // Reduce in restart order with the strict screened comparison the
@@ -282,12 +309,28 @@ Search_result hill_climb_engine(const Eval_context& ctx,
     }
     for (const auto& s : chunk_stats)
         result.cache_stats += s;
+    for (std::size_t c = 0; c < n_threads; ++c) {
+        result.rows_abandoned += chunk_refused[c];
+        result.chunks_abandoned += chunk_stopped[c];
+    }
+    result.chunks_abandoned += static_cast<long long>(chunks_skipped);
+    if (options.cancel != nullptr) {
+        result.status = options.cancel->status();
+        if (result.status == util::Solve_status::complete &&
+            (result.rows_abandoned > 0 || result.chunks_abandoned > 0))
+            result.status = util::Solve_status::cancelled;
+    }
 
     // Only the overall winner pays for the full partition
     // reconstruction; cached and uncached evaluation agree bit for
-    // bit, so this needs no cache.
-    if (winner.valid)
-        result.best = evaluate_allocation(run_ctx, winner.point);
+    // bit, so this needs no cache.  The reconstruction runs with the
+    // token detached — a tripped token must not degrade the delivered
+    // incumbent to an all-software partition.
+    if (winner.valid) {
+        Eval_context final_ctx = run_ctx;
+        final_ctx.cancel = nullptr;
+        result.best = evaluate_allocation(final_ctx, winner.point);
+    }
 
     result.seconds = timer.seconds();
     return result;

@@ -79,6 +79,13 @@ struct Hill_climb_options {
     /// Caller-owned thread pool (see Exhaustive_options::pool;
     /// engine-level, ignored by the deprecated shim).
     util::Thread_pool* pool = nullptr;
+
+    /// Optional cancellation handle.  The logical work unit is the
+    /// restart index: the injected cut climbs exactly the restarts
+    /// below it, so truncated results are bit-identical for any thread
+    /// count.  Live conditions additionally poll once per climb step
+    /// and keep the partial restart's best.
+    const util::Cancel_token* cancel = nullptr;
 };
 
 /// Best allocation found by iterated steepest-ascent hill climbing.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,7 @@
 #include "search/exhaustive.hpp"
 #include "search/hill_climb.hpp"
 #include "solver/solver.hpp"
+#include "util/cancel.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
@@ -284,6 +286,49 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
                 multi.multi.partition.time_hybrid_ns &&
             multi_seq.multi.partition.placement ==
                 multi.multi.partition.placement;
+
+        // Deadline/anytime section.  Poll overhead: the new_single
+        // sweep (single thread, cached, no pruning — so the armed
+        // token changes no work, only adds the polls) with a token
+        // whose deadline is an hour away, against the same sweep with
+        // no token at all.  min-of-3 on both sides; the gate allows a
+        // small absolute floor so timer noise on a fast sweep cannot
+        // fail it spuriously.
+        const auto min_of3 = [&](const util::Cancel_token* token) {
+            double best = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < 3; ++i) {
+                Exhaustive_options eo;
+                eo.n_threads = 1;
+                eo.use_cache = true;
+                eo.use_pruning = false;
+                eo.cancel = token;
+                best = std::min(
+                    best, exhaustive_engine(ctx, restrictions, eo).seconds);
+            }
+            return best;
+        };
+        out.deadline_secs_no_token = min_of3(nullptr);
+        const util::Cancel_token far_deadline(3.6e6, 0, 0, {});
+        out.deadline_secs_token = min_of3(&far_deadline);
+        out.deadline_poll_overhead =
+            out.deadline_secs_no_token > 0.0
+                ? out.deadline_secs_token / out.deadline_secs_no_token - 1.0
+                : 0.0;
+        out.deadline_overhead_ok =
+            out.deadline_secs_token <=
+            out.deadline_secs_no_token * 1.01 + 0.002;
+
+        // Incumbent quality vs deadline: what the anytime contract
+        // delivers after 1/10/100 ms on this scenario.
+        out.deadline_untruncated_time_ns = exh.best.partition.time_hybrid_ns;
+        for (std::size_t i = 0; i < out.deadline_ms_points.size(); ++i) {
+            solver::Solve_options dopts;
+            dopts.deadline_ms = out.deadline_ms_points[i];
+            const auto r = session.solve("exhaustive_bb", dopts);
+            out.deadline_best_time_ns[i] = r.best.partition.time_hybrid_ns;
+            out.deadline_complete[i] =
+                r.status == util::Solve_status::complete;
+        }
     }
 
     out.dp_rows_reused = new_pruned.dp_rows_reused;
@@ -410,6 +455,20 @@ std::string to_json(const Search_bench_config& config,
         << "    \"shims_match_session\": "
         << (result.solver_matches_shims ? "true" : "false") << "\n"
         << "  },\n"
+        << "  \"deadline\": {\"secs_no_token\": "
+        << result.deadline_secs_no_token
+        << ", \"secs_token\": " << result.deadline_secs_token
+        << ", \"poll_overhead\": " << result.deadline_poll_overhead
+        << ", \"overhead_ok\": "
+        << (result.deadline_overhead_ok ? "true" : "false")
+        << ", \"untruncated_time_ns\": "
+        << result.deadline_untruncated_time_ns << ", \"quality\": [";
+    for (std::size_t i = 0; i < result.deadline_ms_points.size(); ++i)
+        out << (i > 0 ? ", " : "") << "{\"deadline_ms\": "
+            << result.deadline_ms_points[i] << ", \"best_time_ns\": "
+            << result.deadline_best_time_ns[i] << ", \"complete\": "
+            << (result.deadline_complete[i] ? "true" : "false") << "}";
+    out << "]},\n"
         << "  \"time_split\": {\"sched_seconds\": " << result.sched_seconds
         << ", \"dp_seconds\": " << result.dp_seconds << "},\n"
         << "  \"speedup_single\": " << result.speedup_single << ",\n"
@@ -489,6 +548,12 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << result.solver_multi_dp_dense << " dense cells\n"
         << "  shims vs session:             "
         << (result.solver_matches_shims ? "match" : "MISMATCH") << "\n"
+        << "  cancel-token poll overhead:   "
+        << util::fixed(100.0 * result.deadline_poll_overhead, 2) << "% ("
+        << util::fixed(result.deadline_secs_no_token * 1e3, 1)
+        << " ms -> " << util::fixed(result.deadline_secs_token * 1e3, 1)
+        << " ms; " << (result.deadline_overhead_ok ? "ok" : "TOO SLOW")
+        << ")\n"
         << "  same best allocation: " << (result.same_best ? "yes" : "NO")
         << " (pruned vs unpruned: "
         << (result.pruned_matches_unpruned ? "match" : "MISMATCH") << ")\n";
@@ -542,6 +607,9 @@ int write_bench_report(const std::string& path, std::ostream& log,
         if (result.solver_multi_dp_states >= result.solver_multi_dp_dense)
             err << "error: the sparse multi-ASIC DP swept no fewer cells "
                    "than the dense grids it replaced\n";
+        if (!result.deadline_overhead_ok)
+            err << "error: an armed-but-idle Cancel_token slowed the "
+                   "new_single sweep by more than 1%\n";
         return result.same_best && result.pruned_matches_unpruned &&
                        result.multi_matches_dense &&
                        result.multi_sparse_matches_dense &&
@@ -549,7 +617,8 @@ int write_bench_report(const std::string& path, std::ostream& log,
                        result.solver_multi_deterministic &&
                        result.solver_multi_rows_pruned > 0 &&
                        result.solver_multi_dp_states <
-                           result.solver_multi_dp_dense
+                           result.solver_multi_dp_dense &&
+                       result.deadline_overhead_ok
                    ? 0
                    : 1;
     }

@@ -27,6 +27,7 @@
 // bench_scaling binary so CI can emit the JSON reproducibly.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -130,6 +131,22 @@ struct Search_bench_result {
     double solver_multi_pairs_per_sec = 0.0;  ///< effective (whole pair space)
     double solver_multi_best_time_ns = 0.0;
     bool solver_multi_deterministic = false;
+
+    /// Deadline/anytime section (docs/api.md "Deadlines, budgets, and
+    /// anytime results"): the poll-overhead gate — an armed but
+    /// never-tripping Cancel_token on the new_single sweep must cost
+    /// under 1% wall time (min-of-3 on both sides, small absolute
+    /// noise floor) — plus incumbent quality under 1/10/100 ms
+    /// deadlines (informational: what a deadline buys depends on the
+    /// host's speed, so only the overhead is gated).
+    double deadline_secs_no_token = 0.0;  ///< min-of-3, token disabled
+    double deadline_secs_token = 0.0;     ///< min-of-3, far-deadline token
+    double deadline_poll_overhead = 0.0;  ///< token / no-token - 1
+    bool deadline_overhead_ok = false;    ///< < 1% (+2 ms noise floor)
+    std::array<double, 3> deadline_ms_points{1.0, 10.0, 100.0};
+    std::array<double, 3> deadline_best_time_ns{0.0, 0.0, 0.0};
+    std::array<bool, 3> deadline_complete{false, false, false};
+    double deadline_untruncated_time_ns = 0.0;  ///< the full solve's best
 };
 
 /// Build the scenario and run the search variants.
@@ -151,8 +168,10 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// (`sparse_matches_dense`), the deprecated shims matched the Session
 /// API, the pair-tree walk was chunking-independent
 /// (`pair_tree_bb.deterministic`), its row bound killed at least one
-/// row, and the sparse DPs swept fewer cells than the dense grids
-/// they replaced); failures are reported on `err`, never thrown.
+/// row, the sparse DPs swept fewer cells than the dense grids they
+/// replaced, and an armed-but-idle Cancel_token cost the new_single
+/// sweep under 1% (`deadline.overhead_ok`)); failures are reported on
+/// `err`, never thrown.
 int write_bench_report(const std::string& path, std::ostream& log,
                        std::ostream& err);
 

@@ -48,6 +48,7 @@
 
 #include "search/alloc_space.hpp"
 #include "solver/internal.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +81,8 @@ struct Pair_chunk {
     long long rows_pruned = 0;
     long long dp_states_swept = 0;
     long long dp_cells_dense = 0;
+    long long rows_abandoned = 0;
+    bool stopped = false;
     search::Eval_cache_stats stats;
 };
 
@@ -285,7 +288,10 @@ Solve_result solve_multi_asic_bb(Session& session,
         // be *walked*: with a truncated prefix it may lie outside, and
         // pruning against an unwalked pair could starve the prefix of
         // its own best.  Prefix runs prune from chunk incumbents only.
-        if (options.use_pruning && out.multi.pairs_skipped == 0) {
+        // A cancellation token truncates the same way (at an index
+        // unknown in advance), so it disables priming identically.
+        if (options.use_pruning && out.multi.pairs_skipped == 0 &&
+            options.cancel == nullptr) {
             pace::Multi_pace_options mo;
             mo.ctrl_area_budgets = {budgets[0] - g0.area(ctx.lib),
                                     budgets[1] - g1.area(ctx.lib)};
@@ -339,6 +345,20 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Multi_bsb_cost> mcosts;
         pace::Multi_pace_workspace mws;
         for (long long i = row_begin; i < row_end; ++i) {
+            // Admission gate per a0 row — the thread-invariant work
+            // unit: an injected cut walks exactly the rows below it,
+            // whatever the chunking, so truncated incumbents stay
+            // bit-identical for any thread count.
+            if (options.cancel != nullptr &&
+                !options.cancel->admit(static_cast<std::uint64_t>(i))) {
+                if (options.cancel->tripped()) {
+                    chunk.rows_abandoned += row_end - i;
+                    chunk.stopped = true;
+                    break;
+                }
+                ++chunk.rows_abandoned;
+                continue;
+            }
             const auto& p0 = axis[0][static_cast<std::size_t>(i)];
             // The final row of a truncated prefix may be partial.
             const long long j_end = std::min(f1, walked - i * f1);
@@ -368,6 +388,7 @@ Solve_result solve_multi_asic_bb(Session& session,
                                             budgets[1] - relax1.min_area};
                     mo.area_quantum = ctx.area_quantum;
                     mo.optimistic_rounding = true;
+                    mo.cancel = options.cancel;
                     const double bound_saving =
                         pace::multi_pace_best_saving(mcosts, mo, &mws);
                     chunk.dp_states_swept += mws.last_cells_swept();
@@ -382,6 +403,14 @@ Solve_result solve_multi_asic_bb(Session& session,
             }
 
             for (long long j = 0; j < j_end; ++j) {
+                // Live-condition poll once per pair: a tripped token
+                // abandons the rest of the chunk's rows and keeps the
+                // incumbent found so far.
+                if (options.cancel != nullptr && options.cancel->stop()) {
+                    chunk.rows_abandoned += row_end - i;
+                    chunk.stopped = true;
+                    break;
+                }
                 const auto& p1 = axis[1][static_cast<std::size_t>(j)];
                 cache->costs_for(p1.alloc, costs1);
                 set_asic1_costs(costs1, mcosts);
@@ -394,6 +423,7 @@ Solve_result solve_multi_asic_bb(Session& session,
                 mo.ctrl_area_budgets = {budgets[0] - p0.area,
                                         budgets[1] - p1.area};
                 mo.area_quantum = ctx.area_quantum;
+                mo.cancel = options.cancel;
 
                 if (options.use_pruning) {
                     // Budget-free bound: no placement of this pair can
@@ -414,6 +444,8 @@ Solve_result solve_multi_asic_bb(Session& session,
                     chunk.dp_cells_dense += mws.last_cells_dense();
                     if (all_sw - saving > threshold + slack) {
                         ++chunk.n_evaluated;
+                        if (options.cancel != nullptr)
+                            options.cancel->charge_evals(1);
                         continue;
                     }
                 }
@@ -423,6 +455,8 @@ Solve_result solve_multi_asic_bb(Session& session,
                 chunk.dp_states_swept += mws.last_cells_swept();
                 chunk.dp_cells_dense += mws.last_cells_dense();
                 ++chunk.n_evaluated;
+                if (options.cancel != nullptr)
+                    options.cancel->charge_evals(1);
                 const double area_sum = p0.area + p1.area;
                 if (!chunk.have_best ||
                     search::better_tuple(full.time_hybrid_ns, area_sum,
@@ -436,6 +470,8 @@ Solve_result solve_multi_asic_bb(Session& session,
                     chunk.have_best = true;
                 }
             }
+            if (chunk.stopped)
+                break;
         }
         if (options.use_cache && cache != nullptr) {
             chunk.stats = cache == chunk0_cache
@@ -444,12 +480,14 @@ Solve_result solve_multi_asic_bb(Session& session,
         }
     };
 
+    std::size_t chunks_skipped = 0;
     if (n_threads == 1) {
         run_chunk(0, 0, n_rows);
     }
     else {
-        util::parallel_chunks(session.pool(n_threads), n_rows, n_threads,
-                              run_chunk);
+        chunks_skipped =
+            util::parallel_chunks(session.pool(n_threads), n_rows,
+                                  n_threads, run_chunk, options.cancel);
     }
 
     // Reduce in chunk (= enumeration) order with the same strict
@@ -460,6 +498,8 @@ Solve_result solve_multi_asic_bb(Session& session,
     for (const auto& chunk : chunks) {
         out.n_evaluated += chunk.n_evaluated;
         out.n_pruned += chunk.n_pruned;
+        out.rows_abandoned += chunk.rows_abandoned;
+        out.chunks_abandoned += chunk.stopped ? 1 : 0;
         out.multi.rows_visited += chunk.rows_visited;
         out.multi.rows_pruned += chunk.rows_pruned;
         out.multi.dp_states_swept += chunk.dp_states_swept;
@@ -480,6 +520,13 @@ Solve_result solve_multi_asic_bb(Session& session,
             out.multi.partition = chunk.best_partition;
             have_best = true;
         }
+    }
+    out.chunks_abandoned += static_cast<long long>(chunks_skipped);
+    if (options.cancel != nullptr) {
+        out.status = options.cancel->status();
+        if (out.status == util::Solve_status::complete &&
+            (out.rows_abandoned > 0 || out.chunks_abandoned > 0))
+            out.status = util::Solve_status::cancelled;
     }
 
     out.seconds = timer.seconds();

@@ -11,14 +11,61 @@ namespace lycos::solver {
 
 namespace {
 
-const hw::Hw_library& require_lib(const hw::Hw_library* lib)
+/// Runs the full validation and throws one report naming every
+/// defect; returns the (now known non-null) library so the Session
+/// constructor can run it from its member-init list, before ctx_
+/// dereferences the pointer.
+const hw::Hw_library& validated_lib(const Problem& problem)
 {
-    if (lib == nullptr)
-        throw std::invalid_argument("solver::Session: Problem.lib is null");
-    return *lib;
+    const auto defects = problem.validate();
+    if (!defects.empty()) {
+        std::string report = "solver::Session: invalid Problem:";
+        for (const auto& d : defects)
+            report += "\n  - " + d.field + ": " + d.message;
+        throw std::invalid_argument(report);
+    }
+    return *problem.lib;
 }
 
 }  // namespace
+
+std::vector<Problem_defect> Problem::validate() const
+{
+    std::vector<Problem_defect> defects;
+    if (lib == nullptr)
+        defects.push_back({"lib", "library pointer is null"});
+    if (bsbs.empty())
+        defects.push_back({"bsbs", "no basic scheduling blocks to "
+                                   "partition"});
+    if (target.asic.total_area < 0.0)
+        defects.push_back({"target",
+                           "negative ASIC area (" +
+                               std::to_string(target.asic.total_area) +
+                               ")"});
+    if (asic_areas[0] < 0.0 || asic_areas[1] < 0.0)
+        defects.push_back({"asic_areas",
+                           "negative multi-ASIC area budget (" +
+                               std::to_string(asic_areas[0]) + ", " +
+                               std::to_string(asic_areas[1]) + ")"});
+    if (area_quantum < 0.0)
+        defects.push_back({"area_quantum",
+                           "negative PACE area quantum (" +
+                               std::to_string(area_quantum) + ")"});
+    if (dp_table_budget < 0.0)
+        defects.push_back({"dp_table_budget",
+                           "negative DP table budget (" +
+                               std::to_string(dp_table_budget) + ")"});
+    if (lib != nullptr) {
+        for (const auto& [id, count] : restrictions.entries())
+            if (id < 0 || static_cast<std::size_t>(id) >= lib->size())
+                defects.push_back(
+                    {"restrictions",
+                     "resource id " + std::to_string(id) +
+                         " is outside the library (size " +
+                         std::to_string(lib->size()) + ")"});
+    }
+    return defects;
+}
 
 Problem make_problem(const search::Eval_context& ctx,
                      const core::Rmap& restrictions)
@@ -48,23 +95,19 @@ search::Search_result to_search_result(const Solve_result& result)
     out.cache_stats = result.cache_stats;
     out.dp_rows_reused = result.dp_rows_reused;
     out.dp_rows_swept = result.dp_rows_swept;
+    out.status = result.status;
+    out.chunks_abandoned = result.chunks_abandoned;
+    out.rows_abandoned = result.rows_abandoned;
     return out;
 }
 
 Session::Session(Problem problem)
     : problem_(std::move(problem)),
-      ctx_{problem_.bsbs,          require_lib(problem_.lib),
+      ctx_{problem_.bsbs,          validated_lib(problem_),
            problem_.target,        problem_.ctrl_mode,
            problem_.area_quantum,  problem_.storage,
            problem_.scheduler,     problem_.dp_table_budget}
 {
-    if (problem_.target.asic.total_area < 0.0)
-        throw std::invalid_argument(
-            "solver::Session: negative ASIC area");
-    const auto budgets = detail::multi_asic_budgets(problem_);
-    if (budgets[0] < 0.0 || budgets[1] < 0.0)
-        throw std::invalid_argument(
-            "solver::Session: negative multi-ASIC area");
 }
 
 Session::~Session() = default;
@@ -98,14 +141,54 @@ util::Thread_pool& Session::pool(std::size_t n_threads)
     return *pool_;
 }
 
-Solve_result Session::solve(std::string_view strategy,
-                            const Solve_options& options)
+namespace {
+
+Solve_result solve_with_token(Session& session, std::string_view strategy,
+                              const Solve_options& options,
+                              const util::Cancel_token* external)
 {
     const Strategy* s = find_strategy(strategy);
     if (s == nullptr)
         throw std::invalid_argument("solver::Session: unknown strategy \"" +
                                     std::string(strategy) + "\"");
-    return s->solve(*this, options);
+    // The effective token lives on this stack frame for exactly the
+    // duration of the strategy run; engines hold only the raw
+    // pointer.  An external token (from the overload or
+    // Solve_options::cancel) becomes the parent, so tripping it
+    // cancels this solve too.
+    const bool armed = options.deadline_ms > 0.0 || options.max_evals > 0 ||
+                       options.max_dp_cells > 0 || options.fault.armed();
+    if (armed) {
+        const util::Cancel_token* parent =
+            external != nullptr ? external : options.cancel;
+        util::Cancel_token token(options.deadline_ms, options.max_evals,
+                                 options.max_dp_cells, options.fault,
+                                 parent);
+        Solve_options opts = options;
+        opts.cancel = &token;
+        return s->solve(session, opts);
+    }
+    if (external != nullptr) {
+        Solve_options opts = options;
+        opts.cancel = external;
+        return s->solve(session, opts);
+    }
+    return s->solve(session, options);
+}
+
+}  // namespace
+
+Solve_result Session::solve(std::string_view strategy,
+                            const Solve_options& options)
+{
+    return solve_with_token(*this, strategy, options, nullptr);
+}
+
+Solve_result Session::solve(std::string_view strategy,
+                            const Solve_options& options,
+                            const util::Cancel_token& cancel)
+{
+    return solve_with_token(*this, strategy, options, &cancel);
 }
 
 Solve_result Session::solve(const Solve_options& options)

@@ -36,11 +36,13 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "core/rmap.hpp"
 #include "pace/multi_asic.hpp"
 #include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace lycos::util {
@@ -59,6 +61,13 @@ namespace lycos::solver {
 /// Problem instead of leaving it implicit in each entry point.
 enum class Objective {
     min_hybrid_time,
+};
+
+/// One structural defect of a Problem description, as reported by
+/// Problem::validate: which field is wrong and why, in plain words.
+struct Problem_defect {
+    std::string field;    ///< e.g. "lib", "restrictions"
+    std::string message;  ///< human-readable explanation
 };
 
 /// A complete description of one allocation-search problem: the
@@ -92,6 +101,15 @@ struct Problem {
     /// default split the two-ASIC benches use.  Ignored by the
     /// single-ASIC strategies.
     std::array<double, 2> asic_areas{0.0, 0.0};
+
+    /// Every structural defect of this description, not just the
+    /// first: null library, no BSBs, negative areas or budgets,
+    /// restrictions naming resources outside the library.  Empty =
+    /// the Problem is well-formed.  The Session constructor calls
+    /// this and throws one std::invalid_argument joining the full
+    /// report, so a caller fixing a hand-built Problem sees every
+    /// mistake at once instead of one per run.
+    std::vector<Problem_defect> validate() const;
 };
 
 /// Problem from an existing Eval_context + restrictions — what the
@@ -158,6 +176,38 @@ struct Solve_options {
     /// deprecated shims pass their caller's cache through here).
     search::Eval_cache* shared_cache = nullptr;
 
+    // --- Deadlines, budgets, and anytime results (docs/api.md) ---
+    // When any of these is armed, Session::solve builds a
+    // util::Cancel_token for the run and every strategy degrades to
+    // an anytime solve: it stops cooperatively at a chunk/row
+    // boundary, returns the best of what it explored, and reports
+    // why in Solve_result::status.
+
+    /// Wall-clock budget for the solve in milliseconds (0 = none).
+    /// Checked cooperatively, so the overrun is bounded by one DP
+    /// row / one evaluation, not by a thread preemption.
+    double deadline_ms = 0.0;
+
+    /// Cap on scored points — screened or fully evaluated, the same
+    /// work Solve_result::n_evaluated counts (0 = unlimited).
+    std::uint64_t max_evals = 0;
+
+    /// Cap on DP cells/states swept across every PACE run of the
+    /// solve (0 = unlimited).  The finest-grained budget: it trips
+    /// inside a single evaluation's sweep.
+    std::uint64_t max_dp_cells = 0;
+
+    /// Deterministic fault injection for tests: trips the token (or
+    /// simulates an allocation failure) at a fixed logical work unit,
+    /// independent of threads and wall clock.  Not for production.
+    util::Fault_injector fault;
+
+    /// Engine-level escape hatch: a caller-owned token used directly
+    /// (the knobs above then layer on top of it as its child).
+    /// Prefer Session::solve(name, options, token) for external
+    /// cancellation.
+    const util::Cancel_token* cancel = nullptr;
+
     std::variant<std::monostate, Hill_climb_extras, Multi_asic_extras>
         extras;
 };
@@ -202,6 +252,19 @@ struct Solve_result {
     search::Eval_cache_stats cache_stats;  ///< aggregated over workers
     long long dp_rows_reused = 0;  ///< incremental-DP observability
     long long dp_rows_swept = 0;
+
+    /// Why the solve ended.  `complete` = the search ran to its
+    /// natural end; anything else is an anytime result: `best` is the
+    /// best of the explored prefix, honest but possibly suboptimal.
+    util::Solve_status status = util::Solve_status::complete;
+
+    /// Truncation observability: worker chunks that stopped early (or
+    /// never started) and finer work units — restarts, a0 rows,
+    /// subtree leaves — refused or abandoned.  Like n_evaluated these
+    /// depend on the chunking; only the best tuple is pinned.
+    long long chunks_abandoned = 0;
+    long long rows_abandoned = 0;
+
     Multi_solve_result multi;
 };
 
@@ -237,7 +300,9 @@ const Strategy* find_strategy(std::string_view name);
 /// into the session-held Problem).
 class Session {
 public:
-    /// Validates the problem (non-null library, non-negative areas).
+    /// Validates the problem via Problem::validate and throws one
+    /// std::invalid_argument listing *every* defect when it is not
+    /// well-formed.
     explicit Session(Problem problem);
     ~Session();
 
@@ -269,9 +334,22 @@ public:
     util::Thread_pool& pool(std::size_t n_threads);
 
     /// Run the named strategy.  Throws std::invalid_argument for
-    /// unknown names or mismatched Solve_options::extras.
+    /// unknown names or mismatched Solve_options::extras.  When the
+    /// options arm a deadline, budget or fault injector, the solve
+    /// runs under a Cancel_token and may return an anytime result
+    /// (Solve_result::status != complete).
     Solve_result solve(std::string_view strategy,
                        const Solve_options& options = {});
+
+    /// Same, under an external caller-owned cancellation token (e.g.
+    /// tripped from a UI thread via Cancel_token::request_cancel).
+    /// Any deadline/budget knobs in `options` layer on top as a child
+    /// token; the solve stops on whichever condition fires first.
+    /// `cancel` must outlive the call — the session keeps no
+    /// reference past it.
+    Solve_result solve(std::string_view strategy,
+                       const Solve_options& options,
+                       const util::Cancel_token& cancel);
 
     /// Auto strategy pick, mirroring the paper's treatment: exhaustive
     /// when the space is within `exhaustive_limit` evaluations, else

@@ -41,6 +41,9 @@ Solve_result from_search_result(std::string_view strategy,
     out.cache_stats = r.cache_stats;
     out.dp_rows_reused = r.dp_rows_reused;
     out.dp_rows_swept = r.dp_rows_swept;
+    out.status = r.status;
+    out.chunks_abandoned = r.chunks_abandoned;
+    out.rows_abandoned = r.rows_abandoned;
     return out;
 }
 
@@ -69,6 +72,7 @@ Solve_result solve_exhaustive_bb(Session& session,
                               : &session.cache(options.cache_capacity);
     eo.invariants = session.invariants();
     eo.pool = pool_for(session, options.n_threads, session.space_size());
+    eo.cancel = options.cancel;
     return from_search_result(
         "exhaustive_bb",
         search::exhaustive_engine(session.context(),
@@ -91,6 +95,7 @@ Solve_result solve_hill_climb(Session& session, const Solve_options& options)
                               : &session.cache(options.cache_capacity);
     ho.invariants = session.invariants();
     ho.pool = pool_for(session, options.n_threads, extras.n_restarts);
+    ho.cancel = options.cancel;
     util::Rng seeded(extras.seed);
     util::Rng& rng = extras.rng != nullptr ? *extras.rng : seeded;
     return from_search_result(

@@ -1,0 +1,169 @@
+#include "util/cancel.hpp"
+
+#include <new>
+
+namespace lycos::util {
+
+std::string to_string(Solve_status status)
+{
+    switch (status) {
+    case Solve_status::complete:
+        return "complete";
+    case Solve_status::deadline:
+        return "deadline";
+    case Solve_status::budget:
+        return "budget";
+    case Solve_status::cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+Fault_injector Fault_injector::from_seed(std::uint64_t seed,
+                                         std::uint64_t n_units)
+{
+    Fault_injector fault;
+    if (n_units == 0)
+        return fault;
+    // splitmix64: a full-period mix so nearby seeds land on spread-out
+    // cut points.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    fault.trip_at = z % n_units;
+    return fault;
+}
+
+struct Cancel_token::State {
+    // 0 encodes "not tripped"; otherwise holds a Solve_status reason.
+    // First writer wins via compare-exchange, so status() reports the
+    // condition that actually tripped first.
+    std::atomic<std::uint8_t> reason{0};
+
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+
+    std::uint64_t max_evals = 0;
+    std::uint64_t max_dp_cells = 0;
+    std::atomic<std::uint64_t> evals{0};
+    std::atomic<std::uint64_t> dp_cells{0};
+
+    Fault_injector fault;
+
+    // Linked external token: its trip is adopted (as cancelled unless
+    // it carries its own reason) at the next poll.
+    std::shared_ptr<const State> parent;
+};
+
+namespace {
+
+constexpr std::uint8_t encode(Solve_status s)
+{
+    return static_cast<std::uint8_t>(s) + 1;
+}
+
+}  // namespace
+
+Cancel_token::Cancel_token() : state_(std::make_shared<State>()) {}
+
+Cancel_token::Cancel_token(double deadline_ms, std::uint64_t max_evals,
+                           std::uint64_t max_dp_cells, Fault_injector fault,
+                           const Cancel_token* parent)
+    : state_(std::make_shared<State>())
+{
+    if (deadline_ms > 0) {
+        state_->has_deadline = true;
+        state_->deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+    state_->max_evals = max_evals;
+    state_->max_dp_cells = max_dp_cells;
+    state_->fault = fault;
+    if (parent)
+        state_->parent = parent->state_;
+}
+
+void Cancel_token::trip(Solve_status reason) const
+{
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(expected, encode(reason),
+                                           std::memory_order_relaxed);
+}
+
+bool Cancel_token::tripped() const
+{
+    if (state_->reason.load(std::memory_order_relaxed) != 0)
+        return true;
+    if (state_->parent &&
+        state_->parent->reason.load(std::memory_order_relaxed) != 0) {
+        // Adopt the parent's trip so status() reports it locally.
+        const auto r = state_->parent->reason.load(std::memory_order_relaxed);
+        std::uint8_t expected = 0;
+        state_->reason.compare_exchange_strong(expected, r,
+                                               std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+bool Cancel_token::stop() const
+{
+    if (tripped())
+        return true;
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+        trip(Solve_status::deadline);
+        return true;
+    }
+    return false;
+}
+
+bool Cancel_token::admit(std::uint64_t unit) const
+{
+    // The injected cut first: a pure predicate on the unit index, so
+    // the admitted set is identical on every thread count.
+    if (unit == state_->fault.alloc_failure_at)
+        throw std::bad_alloc();
+    if (unit >= state_->fault.trip_at)
+        return false;
+    return !tripped();
+}
+
+void Cancel_token::charge_evals(std::uint64_t n) const
+{
+    if (state_->max_evals == 0)
+        return;
+    const auto total =
+        state_->evals.fetch_add(n, std::memory_order_relaxed) + n;
+    if (total > state_->max_evals)
+        trip(Solve_status::budget);
+}
+
+void Cancel_token::charge_dp_cells(std::uint64_t n) const
+{
+    if (state_->max_dp_cells == 0)
+        return;
+    const auto total =
+        state_->dp_cells.fetch_add(n, std::memory_order_relaxed) + n;
+    if (total > state_->max_dp_cells)
+        trip(Solve_status::budget);
+}
+
+void Cancel_token::request_cancel() const
+{
+    trip(Solve_status::cancelled);
+}
+
+Solve_status Cancel_token::status() const
+{
+    // tripped() also adopts a parent trip into the local reason.
+    if (!tripped())
+        return Solve_status::complete;
+    const auto r = state_->reason.load(std::memory_order_relaxed);
+    return static_cast<Solve_status>(r - 1);
+}
+
+}  // namespace lycos::util

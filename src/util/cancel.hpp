@@ -1,0 +1,129 @@
+// Cooperative cancellation: deadlines, budgets, and deterministic
+// fault injection for the anytime-solve contract.
+//
+// A Cancel_token is a small shared handle the engines poll at natural
+// work boundaries.  Two kinds of condition can trip it:
+//
+//  * Live conditions — a wall-clock deadline, an eval/DP-cell budget,
+//    or an external request_cancel().  These set an atomic reason flag
+//    (first writer wins); every worker observes it at its next poll
+//    and stops at the following chunk/row boundary.  The result is an
+//    honest best-of-what-was-explored incumbent, but the exact stop
+//    point depends on timing, so it is not thread-count invariant.
+//
+//  * The injected cut — a Fault_injector arms the token with a
+//    predetermined logical-unit index.  admit(unit) is then the pure
+//    predicate `unit < cut`: no clocks, no shared mutable state.  The
+//    explored set is exactly [0, cut) regardless of thread count or
+//    scheduling, which is what makes truncated results bit-identical
+//    and testable (see docs/api.md, "Deadlines, budgets, and anytime
+//    results").
+//
+// Polling discipline: tripped() is a single relaxed atomic load — use
+// it freely.  stop() additionally reads the clock when a deadline is
+// armed — call it at coarse boundaries (a restart, a pair, a DP row
+// stripe), or strided in leaf-hot loops.  charge_* never read the
+// clock.
+//
+// Ownership: the token is a value type over shared state.  Copies
+// share the same flag; the caller that creates the token decides its
+// lifetime and must keep it alive across the solve (Session::solve
+// copies the external token into its per-solve effective token, so
+// the caller's token may die as soon as solve returns).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace lycos::util {
+
+/// How a solve ended.  `complete` means the full space was explored;
+/// anything else means the result is the incumbent found before the
+/// token tripped.
+enum class Solve_status : std::uint8_t {
+    complete,   ///< ran to the end of the search space
+    deadline,   ///< wall-clock deadline expired
+    budget,     ///< eval or DP-cell budget exhausted
+    cancelled,  ///< external request_cancel() or injected trip
+};
+
+std::string to_string(Solve_status status);
+
+/// Deterministic, seed-driven fault plan for tests: trip the token
+/// (or simulate an allocation failure) when a specific logical work
+/// unit is admitted.  Logical units are thread-invariant indices —
+/// the leaf index for the exhaustive walker, the restart index for
+/// hill climbing, the outer-row index for the pair tree — so the same
+/// plan cuts the same prefix no matter how work is chunked.
+struct Fault_injector {
+    static constexpr std::uint64_t k_no_unit = ~0ull;
+
+    /// First logical unit refused; units < trip_at are admitted.
+    std::uint64_t trip_at = k_no_unit;
+    /// Logical unit whose admit() throws std::bad_alloc instead.
+    std::uint64_t alloc_failure_at = k_no_unit;
+
+    bool armed() const
+    {
+        return trip_at != k_no_unit || alloc_failure_at != k_no_unit;
+    }
+
+    /// A reproducible plan: trip somewhere in [0, n_units) chosen by
+    /// the seed.  n_units == 0 yields an unarmed injector.
+    static Fault_injector from_seed(std::uint64_t seed,
+                                    std::uint64_t n_units);
+};
+
+/// Shared cancellation handle.  Copyable; copies share one flag.
+/// All methods are const and thread-safe.
+class Cancel_token {
+public:
+    /// An unarmed token: never trips on its own, pollable for free.
+    Cancel_token();
+
+    /// Arm with any combination of conditions.  deadline_ms <= 0,
+    /// max_* == 0 and an unarmed fault each mean "no such limit".
+    /// `parent` (optional) links an external token: if the parent
+    /// trips, this token observes it at the next poll.
+    Cancel_token(double deadline_ms, std::uint64_t max_evals,
+                 std::uint64_t max_dp_cells, Fault_injector fault,
+                 const Cancel_token* parent = nullptr);
+
+    /// True once any condition has tripped.  One relaxed load (plus a
+    /// parent check when linked); never reads the clock.
+    bool tripped() const;
+
+    /// tripped(), plus a deadline check when one is armed.  This is
+    /// the full poll for coarse boundaries.
+    bool stop() const;
+
+    /// Admission test for logical work unit `unit` (pure under the
+    /// injected cut: exactly the units < cut are admitted, on every
+    /// thread count).  Throws std::bad_alloc for the injected
+    /// alloc-failure unit.  Never reads the clock.  Returns false if
+    /// the unit must not be processed.
+    bool admit(std::uint64_t unit) const;
+
+    /// Charge `n` partition evaluations / DP cells against the
+    /// budgets; trips with Solve_status::budget on exhaustion.  No
+    /// clock access.
+    void charge_evals(std::uint64_t n) const;
+    void charge_dp_cells(std::uint64_t n) const;
+
+    /// Trip from outside (a serving layer, a signal handler thread).
+    void request_cancel() const;
+
+    /// complete until tripped, then the reason that tripped first.
+    Solve_status status() const;
+
+private:
+    struct State;
+    void trip(Solve_status reason) const;
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace lycos::util

@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
-#include <exception>
+#include <atomic>
+#include <utility>
+
+#include "util/cancel.hpp"
 
 namespace lycos::util {
 
@@ -28,7 +31,7 @@ void Thread_pool::submit(std::function<void()> task)
 {
     {
         std::unique_lock lock(mutex_);
-        tasks_.push(std::move(task));
+        tasks_.push({next_seq_++, std::move(task)});
     }
     task_ready_.notify_one();
 }
@@ -37,6 +40,11 @@ void Thread_pool::wait_idle()
 {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        auto error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 std::size_t Thread_pool::default_concurrency()
@@ -48,7 +56,7 @@ std::size_t Thread_pool::default_concurrency()
 void Thread_pool::worker_loop()
 {
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock lock(mutex_);
             task_ready_.wait(lock,
@@ -60,14 +68,16 @@ void Thread_pool::worker_loop()
             ++in_flight_;
         }
         try {
-            task();
+            task.fn();
         }
         catch (...) {
-            // Swallow: a detached worker has nowhere to rethrow, and
-            // terminating the process (or leaking in_flight_ and
-            // hanging wait_idle) would be worse.  submit() documents
-            // that tasks must capture their own errors, as
-            // parallel_chunks does.
+            // Keep the error from the earliest-submitted failing task
+            // so propagation is deterministic under any scheduling.
+            std::unique_lock lock(mutex_);
+            if (!first_error_ || task.seq < error_seq_) {
+                first_error_ = std::current_exception();
+                error_seq_ = task.seq;
+            }
         }
         {
             std::unique_lock lock(mutex_);
@@ -78,18 +88,17 @@ void Thread_pool::worker_loop()
     }
 }
 
-void parallel_chunks(
+std::size_t parallel_chunks(
     Thread_pool& pool, long long n, std::size_t n_chunks,
-    const std::function<void(std::size_t, long long, long long)>& fn)
+    const std::function<void(std::size_t, long long, long long)>& fn,
+    const Cancel_token* cancel)
 {
     if (n <= 0 || n_chunks == 0)
-        return;
+        return 0;
     if (n_chunks > static_cast<std::size_t>(n))
         n_chunks = static_cast<std::size_t>(n);
 
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-
+    std::atomic<std::size_t> skipped{0};
     const long long base = n / static_cast<long long>(n_chunks);
     const long long extra = n % static_cast<long long>(n_chunks);
     long long begin = 0;
@@ -97,20 +106,16 @@ void parallel_chunks(
         const long long len = base + (static_cast<long long>(c) < extra);
         const long long end = begin + len;
         pool.submit([&, c, begin, end] {
-            try {
-                fn(c, begin, end);
+            if (cancel && cancel->tripped()) {
+                skipped.fetch_add(1, std::memory_order_relaxed);
+                return;
             }
-            catch (...) {
-                std::scoped_lock lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
+            fn(c, begin, end);
         });
         begin = end;
     }
     pool.wait_idle();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    return skipped.load();
 }
 
 }  // namespace lycos::util

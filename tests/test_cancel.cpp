@@ -1,0 +1,458 @@
+// Tests for the cooperative-cancellation layer (util/cancel.hpp) and
+// the anytime-solve contract it gives every solver strategy:
+//
+//  * Cancel_token unit behaviour: budgets, deadlines, external
+//    cancellation, parent linking, and the deterministic injected cut.
+//  * Fault-injection equivalence: a solve truncated at logical unit k
+//    returns the SAME incumbent for 1, 2 and 8 threads — the explored
+//    prefix is exactly [0, k) whatever the chunking — and a cut at or
+//    past the end is bit-identical to the untripped solve, for all
+//    three strategies.
+//  * Live conditions (deadline_ms, max_evals, request_cancel) end the
+//    solve with the matching Solve_result::status and an honest
+//    incumbent.
+//  * Problem::validate reports every defect at once and the Session
+//    constructor throws the joined report.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "hw/target.hpp"
+#include "solver/solver.hpp"
+#include "util/cancel.hpp"
+
+namespace lh = lycos::hw;
+namespace lb = lycos::bsb;
+namespace lso = lycos::solver;
+namespace lu = lycos::util;
+using lh::Op_kind;
+
+namespace {
+
+lh::Hw_library small_library()
+{
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 100.0, 1});
+    lib.add({"multiplier", {Op_kind::mul}, 500.0, 2});
+    return lib;
+}
+
+std::vector<lb::Bsb> small_app()
+{
+    std::vector<lb::Bsb> bsbs;
+    lb::Bsb hot;
+    for (int i = 0; i < 3; ++i)
+        hot.graph.add_op(Op_kind::mul);
+    for (int i = 0; i < 2; ++i)
+        hot.graph.add_op(Op_kind::add);
+    hot.profile = 100.0;
+    bsbs.push_back(std::move(hot));
+    lb::Bsb cold;
+    cold.graph.add_op(Op_kind::add);
+    cold.graph.add_op(Op_kind::add);
+    cold.profile = 2.0;
+    bsbs.push_back(std::move(cold));
+    return bsbs;
+}
+
+/// The 12-point problem the solver tests use: restrictions 2x adder,
+/// 3x multiplier under a 3000-gate target.
+lso::Problem small_problem(const lh::Hw_library& lib,
+                           std::span<const lb::Bsb> bsbs)
+{
+    lso::Problem p;
+    p.bsbs = bsbs;
+    p.lib = &lib;
+    p.target = lh::make_default_target(3000.0);
+    p.restrictions.set(0, 2);
+    p.restrictions.set(1, 3);
+    p.area_quantum = p.target.asic.total_area / 64.0;
+    return p;
+}
+
+lso::Solve_options cut_options(std::uint64_t cut, int n_threads)
+{
+    lso::Solve_options o;
+    o.n_threads = n_threads;
+    o.fault.trip_at = cut;
+    return o;
+}
+
+/// The comparable incumbent fingerprint of a Solve_result, covering
+/// both the single-ASIC and the pair search.
+struct Fingerprint {
+    std::string datapath;
+    double time;
+    double area;
+    std::string pair0;
+    std::string pair1;
+
+    bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const lso::Solve_result& r,
+                        const lh::Hw_library& lib)
+{
+    Fingerprint f;
+    if (r.multi.active) {
+        f.pair0 = r.multi.datapaths[0].to_string(lib);
+        f.pair1 = r.multi.datapaths[1].to_string(lib);
+        f.time = r.multi.partition.time_hybrid_ns;
+        f.area = r.multi.datapath_area[0] + r.multi.datapath_area[1];
+    }
+    else {
+        f.datapath = r.best.datapath.to_string(lib);
+        f.time = r.best.partition.time_hybrid_ns;
+        f.area = r.best.datapath_area;
+    }
+    return f;
+}
+
+constexpr const char* k_strategies[] = {"exhaustive_bb", "hill_climb",
+                                        "multi_asic_bb"};
+
+}  // namespace
+
+// ---------------------------------------------------------------- token
+
+TEST(CancelToken, unarmed_token_never_trips)
+{
+    lu::Cancel_token token;
+    EXPECT_FALSE(token.tripped());
+    EXPECT_FALSE(token.stop());
+    EXPECT_TRUE(token.admit(0));
+    EXPECT_TRUE(token.admit(~0ull - 1));
+    token.charge_evals(1'000'000);
+    token.charge_dp_cells(1'000'000);
+    EXPECT_FALSE(token.tripped());
+    EXPECT_EQ(token.status(), lu::Solve_status::complete);
+}
+
+TEST(CancelToken, request_cancel_trips_with_cancelled_status)
+{
+    lu::Cancel_token token;
+    token.request_cancel();
+    EXPECT_TRUE(token.tripped());
+    EXPECT_TRUE(token.stop());
+    EXPECT_FALSE(token.admit(0));
+    EXPECT_EQ(token.status(), lu::Solve_status::cancelled);
+}
+
+TEST(CancelToken, first_trip_reason_wins)
+{
+    lu::Cancel_token token(0.0, 1, 0, {});
+    token.charge_evals(2);  // budget trips first...
+    token.request_cancel();  // ...a later cancel does not overwrite it
+    EXPECT_EQ(token.status(), lu::Solve_status::budget);
+}
+
+TEST(CancelToken, deadline_trips_on_stop_poll)
+{
+    lu::Cancel_token token(0.5, 0, 0, {});
+    // Not tripped until a poll actually observes the expired clock.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_FALSE(token.tripped());
+    EXPECT_TRUE(token.stop());
+    EXPECT_TRUE(token.tripped());
+    EXPECT_EQ(token.status(), lu::Solve_status::deadline);
+}
+
+TEST(CancelToken, eval_budget_trips_as_budget)
+{
+    lu::Cancel_token token(0.0, 5, 0, {});
+    token.charge_evals(3);
+    EXPECT_FALSE(token.tripped());
+    token.charge_evals(3);  // 6 > 5
+    EXPECT_TRUE(token.tripped());
+    EXPECT_EQ(token.status(), lu::Solve_status::budget);
+}
+
+TEST(CancelToken, dp_cell_budget_trips_as_budget)
+{
+    lu::Cancel_token token(0.0, 0, 100, {});
+    token.charge_dp_cells(100);
+    EXPECT_FALSE(token.tripped());
+    token.charge_dp_cells(1);
+    EXPECT_TRUE(token.tripped());
+    EXPECT_EQ(token.status(), lu::Solve_status::budget);
+}
+
+TEST(CancelToken, injected_cut_is_a_pure_predicate)
+{
+    lu::Fault_injector fault;
+    fault.trip_at = 3;
+    lu::Cancel_token token(0.0, 0, 0, fault);
+    EXPECT_TRUE(token.admit(0));
+    EXPECT_TRUE(token.admit(2));
+    EXPECT_FALSE(token.admit(3));
+    EXPECT_FALSE(token.admit(100));
+    // The cut refuses units without tripping the live flag: units
+    // below it stay admitted afterwards, on any thread.
+    EXPECT_TRUE(token.admit(1));
+    EXPECT_FALSE(token.tripped());
+    EXPECT_EQ(token.status(), lu::Solve_status::complete);
+}
+
+TEST(CancelToken, injected_alloc_failure_throws)
+{
+    lu::Fault_injector fault;
+    fault.alloc_failure_at = 2;
+    lu::Cancel_token token(0.0, 0, 0, fault);
+    EXPECT_TRUE(token.admit(1));
+    EXPECT_THROW(token.admit(2), std::bad_alloc);
+}
+
+TEST(CancelToken, parent_trip_is_adopted)
+{
+    lu::Cancel_token parent;
+    lu::Cancel_token child(0.0, 0, 0, {}, &parent);
+    EXPECT_FALSE(child.tripped());
+    parent.request_cancel();
+    EXPECT_TRUE(child.tripped());
+    EXPECT_EQ(child.status(), lu::Solve_status::cancelled);
+}
+
+TEST(CancelToken, copies_share_one_flag)
+{
+    lu::Cancel_token token;
+    lu::Cancel_token copy = token;
+    copy.request_cancel();
+    EXPECT_TRUE(token.tripped());
+}
+
+TEST(FaultInjector, from_seed_is_reproducible_and_in_range)
+{
+    EXPECT_FALSE(lu::Fault_injector::from_seed(7, 0).armed());
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const auto a = lu::Fault_injector::from_seed(seed, 100);
+        const auto b = lu::Fault_injector::from_seed(seed, 100);
+        EXPECT_TRUE(a.armed());
+        EXPECT_EQ(a.trip_at, b.trip_at);
+        EXPECT_LT(a.trip_at, 100u);
+    }
+}
+
+// ------------------------------------------------------ anytime solves
+
+// The tentpole contract: a solve truncated at logical unit k explores
+// exactly the prefix [0, k), so its incumbent is bit-identical for
+// any thread count; at k >= the unit count it equals the untripped
+// solve and reports `complete`.
+TEST(AnytimeSolve, truncated_incumbents_are_thread_count_invariant)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    // Logical units: 12 leaves (exhaustive), 12 default restarts
+    // (hill_climb), <= 12 a0 rows (multi_asic_bb) — 14 cuts cover
+    // every poll site of every strategy, plus past-the-end.
+    constexpr std::uint64_t k_max_cut = 14;
+
+    for (const char* strategy : k_strategies) {
+        const auto baseline = session.solve(strategy, {});
+        ASSERT_EQ(baseline.status, lu::Solve_status::complete) << strategy;
+
+        for (std::uint64_t cut = 0; cut <= k_max_cut; ++cut) {
+            const auto r1 = session.solve(strategy, cut_options(cut, 1));
+            const auto r2 = session.solve(strategy, cut_options(cut, 2));
+            const auto r8 = session.solve(strategy, cut_options(cut, 8));
+
+            const auto f1 = fingerprint(r1, lib);
+            EXPECT_EQ(f1, fingerprint(r2, lib))
+                << strategy << " cut=" << cut << ": 1 vs 2 threads";
+            EXPECT_EQ(f1, fingerprint(r8, lib))
+                << strategy << " cut=" << cut << ": 1 vs 8 threads";
+            EXPECT_EQ(r1.status, r2.status) << strategy << " cut=" << cut;
+
+            if (cut >= k_max_cut) {
+                // Past the end: nothing was refused — bit-identical
+                // to the untripped solve, reported complete.
+                EXPECT_EQ(f1, fingerprint(baseline, lib)) << strategy;
+                EXPECT_EQ(r1.status, lu::Solve_status::complete)
+                    << strategy;
+                EXPECT_EQ(r1.rows_abandoned, 0) << strategy;
+            }
+            else if (cut == 0) {
+                // Everything refused: still a clean anytime result.
+                EXPECT_EQ(r1.status, lu::Solve_status::cancelled)
+                    << strategy;
+            }
+            if (r1.status == lu::Solve_status::complete)
+                EXPECT_EQ(f1, fingerprint(baseline, lib))
+                    << strategy << " cut=" << cut;
+            else
+                EXPECT_GT(r1.rows_abandoned + r1.chunks_abandoned, 0)
+                    << strategy << " cut=" << cut;
+        }
+    }
+}
+
+TEST(AnytimeSolve, seeded_fault_plans_stay_thread_count_invariant)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        for (std::uint64_t seed = 0; seed < 6; ++seed) {
+            lso::Solve_options o1;
+            o1.fault = lu::Fault_injector::from_seed(seed, 12);
+            lso::Solve_options o8 = o1;
+            o1.n_threads = 1;
+            o8.n_threads = 8;
+            EXPECT_EQ(fingerprint(session.solve(strategy, o1), lib),
+                      fingerprint(session.solve(strategy, o8), lib))
+                << strategy << " seed=" << seed;
+        }
+    }
+}
+
+TEST(AnytimeSolve, expired_deadline_reports_deadline_status)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        lso::Solve_options options;
+        options.n_threads = 2;
+        options.deadline_ms = 1e-6;  // expired by the first poll
+        const auto r = session.solve(strategy, options);
+        EXPECT_EQ(r.status, lu::Solve_status::deadline) << strategy;
+        EXPECT_GT(r.rows_abandoned + r.chunks_abandoned, 0) << strategy;
+    }
+}
+
+TEST(AnytimeSolve, eval_budget_reports_budget_status)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        lso::Solve_options options;
+        options.n_threads = 1;
+        options.max_evals = 2;
+        const auto r = session.solve(strategy, options);
+        EXPECT_EQ(r.status, lu::Solve_status::budget) << strategy;
+    }
+}
+
+TEST(AnytimeSolve, dp_cell_budget_reports_budget_status)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        lso::Solve_options options;
+        options.n_threads = 1;
+        options.max_dp_cells = 4;
+        const auto r = session.solve(strategy, options);
+        EXPECT_EQ(r.status, lu::Solve_status::budget) << strategy;
+    }
+}
+
+TEST(AnytimeSolve, external_token_cancels_every_strategy)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        lu::Cancel_token token;
+        token.request_cancel();
+        const auto r = session.solve(strategy, {}, token);
+        EXPECT_EQ(r.status, lu::Solve_status::cancelled) << strategy;
+        EXPECT_GT(r.rows_abandoned + r.chunks_abandoned, 0) << strategy;
+    }
+}
+
+TEST(AnytimeSolve, untripped_external_token_changes_nothing)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        const auto baseline = session.solve(strategy, {});
+        lu::Cancel_token token;
+        const auto r = session.solve(strategy, {}, token);
+        EXPECT_EQ(r.status, lu::Solve_status::complete) << strategy;
+        EXPECT_EQ(fingerprint(r, lib), fingerprint(baseline, lib))
+            << strategy;
+    }
+}
+
+TEST(AnytimeSolve, injected_alloc_failure_propagates_deterministically)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    for (const char* strategy : k_strategies) {
+        for (int n_threads : {1, 4}) {
+            lso::Solve_options options;
+            options.n_threads = n_threads;
+            options.fault.alloc_failure_at = 1;
+            EXPECT_THROW(session.solve(strategy, options), std::bad_alloc)
+                << strategy << " threads=" << n_threads;
+        }
+    }
+}
+
+// --------------------------------------------------------- validation
+
+TEST(ProblemValidate, well_formed_problem_has_no_defects)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    EXPECT_TRUE(small_problem(lib, bsbs).validate().empty());
+}
+
+TEST(ProblemValidate, reports_every_defect_at_once)
+{
+    lso::Problem p;  // null lib AND empty bsbs...
+    p.target = lh::make_default_target(3000.0);
+    p.target.asic.total_area = -1.0;     // ...AND negative area
+    p.area_quantum = -0.5;               // ...AND negative quantum
+    p.asic_areas = {-10.0, 100.0};       // ...AND negative budget
+    const auto defects = p.validate();
+    ASSERT_EQ(defects.size(), 5u);
+    auto has = [&](const std::string& field) {
+        for (const auto& d : defects)
+            if (d.field == field)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("lib"));
+    EXPECT_TRUE(has("bsbs"));
+    EXPECT_TRUE(has("target"));
+    EXPECT_TRUE(has("area_quantum"));
+    EXPECT_TRUE(has("asic_areas"));
+}
+
+TEST(ProblemValidate, flags_restrictions_outside_the_library)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    auto p = small_problem(lib, bsbs);
+    p.restrictions.set(static_cast<int>(lib.size()) + 3, 1);
+    const auto defects = p.validate();
+    ASSERT_EQ(defects.size(), 1u);
+    EXPECT_EQ(defects[0].field, "restrictions");
+}
+
+TEST(ProblemValidate, session_throws_one_joined_report)
+{
+    lso::Problem p;
+    p.target = lh::make_default_target(3000.0);
+    p.dp_table_budget = -1.0;
+    try {
+        lso::Session session(p);
+        FAIL() << "expected std::invalid_argument";
+    }
+    catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        // One throw, every defect named.
+        EXPECT_NE(what.find("lib"), std::string::npos);
+        EXPECT_NE(what.find("bsbs"), std::string::npos);
+        EXPECT_NE(what.find("dp_table_budget"), std::string::npos);
+    }
+}

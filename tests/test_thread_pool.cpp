@@ -6,8 +6,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lu = lycos::util;
@@ -97,4 +99,96 @@ TEST(ParallelChunks, rethrows_first_chunk_exception)
                                     throw std::runtime_error("chunk failed");
                             }),
         std::runtime_error);
+}
+
+TEST(ThreadPool, rethrows_submitted_task_exception_on_wait_idle)
+{
+    lu::Thread_pool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The error is consumed: the pool is reusable afterwards.
+    std::atomic<int> counter{0};
+    pool.submit([&] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, lowest_submission_wins_when_many_tasks_throw)
+{
+    // Deterministic propagation: whichever worker finishes first, the
+    // exception rethrown is always the earliest-submitted one.
+    for (int round = 0; round < 20; ++round) {
+        lu::Thread_pool pool(4);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([i] {
+                throw std::runtime_error("task " + std::to_string(i));
+            });
+        try {
+            pool.wait_idle();
+            FAIL() << "expected a rethrow";
+        }
+        catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "task 0");
+        }
+    }
+}
+
+TEST(ParallelChunks, lowest_chunk_exception_wins)
+{
+    // Chunks are submitted in index order, so among several throwing
+    // chunks the one with the lowest index is always the one
+    // propagated — independent of which worker hits it first.
+    for (int round = 0; round < 20; ++round) {
+        lu::Thread_pool pool(4);
+        try {
+            lu::parallel_chunks(
+                pool, 64, 8, [&](std::size_t c, long long, long long) {
+                    if (c >= 3)
+                        throw std::runtime_error("chunk " +
+                                                 std::to_string(c));
+                });
+            FAIL() << "expected a rethrow";
+        }
+        catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "chunk 3");
+        }
+    }
+}
+
+TEST(ParallelChunks, rethrows_bad_alloc)
+{
+    lu::Thread_pool pool(2);
+    EXPECT_THROW(lu::parallel_chunks(pool, 4, 4,
+                                     [&](std::size_t c, long long,
+                                         long long) {
+                                         if (c == 1)
+                                             throw std::bad_alloc();
+                                     }),
+                 std::bad_alloc);
+}
+
+TEST(ParallelChunks, tripped_token_skips_unstarted_chunks)
+{
+    lu::Thread_pool pool(2);
+    lu::Cancel_token token;
+    token.request_cancel();
+    std::atomic<int> calls{0};
+    const std::size_t skipped = lu::parallel_chunks(
+        pool, 16, 4, [&](std::size_t, long long, long long) { ++calls; },
+        &token);
+    // Tripped before submission: every chunk is skipped, none run.
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(skipped, 4u);
+}
+
+TEST(ParallelChunks, untripped_token_skips_nothing)
+{
+    lu::Thread_pool pool(2);
+    lu::Cancel_token token;
+    std::atomic<int> calls{0};
+    const std::size_t skipped = lu::parallel_chunks(
+        pool, 16, 4, [&](std::size_t, long long, long long) { ++calls; },
+        &token);
+    EXPECT_EQ(calls.load(), 4);
+    EXPECT_EQ(skipped, 0u);
 }

@@ -95,6 +95,15 @@ void print_solve_stats(std::ostream& os, const solver::Solve_result& r)
                                       " swept"});
     table.add_row({"threads", std::to_string(r.n_threads)});
     table.add_row({"seconds", util::fixed(r.seconds, 3)});
+    if (r.status != util::Solve_status::complete) {
+        table.add_row({"status", std::string(util::to_string(r.status)) +
+                                     " (anytime result: best of the "
+                                     "explored prefix)"});
+        table.add_row({"abandoned",
+                       util::with_commas(r.rows_abandoned) + " work units, " +
+                           util::with_commas(r.chunks_abandoned) +
+                           " chunks"});
+    }
     table.print(os);
 }
 
@@ -127,6 +136,13 @@ int main(int argc, char** argv)
                     "multi_asic_bb: soft cap on walked two-ASIC pairs; "
                     "pairs beyond it are skipped deterministically and "
                     "reported (0 = strategy default)");
+    args.add_option("deadline-ms", "0",
+                    "wall-clock budget for --search in milliseconds; on "
+                    "expiry the solve stops cooperatively and reports the "
+                    "best of the explored prefix (0 = no deadline)");
+    args.add_option("max-evals", "0",
+                    "cap on scored points for --search; the solve degrades "
+                    "to an anytime result when it trips (0 = unlimited)");
     args.add_option("bench-json", "",
                     "run the old-vs-new search benchmark and write the "
                     "BENCH_search.json report to this path, then exit");
@@ -349,6 +365,9 @@ int main(int argc, char** argv)
             solver::Solve_options opts;
             opts.cache_capacity = static_cast<std::size_t>(
                 std::stoll(args.value("cache-cap")));
+            opts.deadline_ms = std::stod(args.value("deadline-ms"));
+            opts.max_evals = static_cast<std::uint64_t>(
+                std::stoll(args.value("max-evals")));
             const auto pair_limit = std::stoll(args.value("pair-limit"));
             if (pair_limit > 0)
                 opts.extras =
