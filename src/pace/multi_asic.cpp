@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/cancel.hpp"
+#include "util/simd.hpp"
 
 namespace lycos::pace {
 
@@ -345,53 +346,81 @@ double Multi_dp::sweep(std::span<const Multi_bsb_cost> costs,
 // Pareto-sparse sweep
 // ---------------------------------------------------------------------
 
-void Multi_pace_state_set::prune(std::vector<Multi_state>& states,
-                                 int a1_cap)
+void Blocked_prefix_max::begin(std::size_t nb)
 {
-    // Fenwick prefix-max over a1+1 in [1, a1_cap+1], epoch-stamped so
-    // resetting between lanes costs nothing.  Processing states in
+    const std::size_t n_blocks = (nb + k_block - 1) / k_block;
+    if (blk_.size() < n_blocks) {
+        blk_.resize(n_blocks);
+        blk_epoch_.resize(n_blocks, 0);
+        fine_.resize(n_blocks * k_block);
+    }
+    // Block maxima are reset eagerly (one streamed cache line per 64
+    // positions — cheaper than a single query); fine blocks reset
+    // lazily on first update, epoch-stamped so untouched blocks cost
+    // nothing.
+    std::fill_n(blk_.begin(), n_blocks, -k_inf);
+    if (++epoch_ == 0) {  // epoch wrapped: hard reset once per 2^32
+        std::fill(blk_epoch_.begin(), blk_epoch_.end(), 0u);
+        epoch_ = 1;
+    }
+    kern_ = &util::simd::kernels();
+}
+
+double Blocked_prefix_max::query(std::size_t pos) const
+{
+    const std::size_t b = pos / k_block;
+    // Whole blocks before pos's block: a contiguous streaming max
+    // (max is order-independent, so the kernel's lane order does not
+    // matter; stale blocks hold -inf from begin()).
+    double m = kern_->max_reduce(blk_.data(), b);
+    if (blk_epoch_[b] == epoch_) {
+        const double* f = fine_.data() + b * k_block;
+        for (std::size_t i = b * k_block; i <= pos; ++i, ++f)
+            if (*f > m)
+                m = *f;
+    }
+    return m;
+}
+
+void Blocked_prefix_max::update(std::size_t pos, double v)
+{
+    const std::size_t b = pos / k_block;
+    if (blk_epoch_[b] != epoch_) {
+        blk_epoch_[b] = epoch_;
+        std::fill_n(fine_.begin() + static_cast<std::ptrdiff_t>(b * k_block),
+                    k_block, -k_inf);
+    }
+    if (v > fine_[pos])
+        fine_[pos] = v;
+    if (v > blk_[b])
+        blk_[b] = v;
+}
+
+void Multi_pace_state_set::prune(Multi_state_soa& states, int a1_cap)
+{
+    // Prefix-max over a1 in [0, a1_cap].  Processing states in
     // (a0, a1) order makes "some processed state with a1' <= a1 has
     // value >= v" exactly the dominance test: processed-before plus
     // a1' <= a1 implies a0' <= a0 with unequal coordinates.  Only
     // kept states are inserted — a dropped state's dominator chain
     // always ends in a kept state that dominates it transitively — so
     // the survivors are precisely the Pareto-maximal antichain.
-    const std::size_t nb = static_cast<std::size_t>(a1_cap) + 1;
-    if (fen_.size() < nb + 1) {
-        fen_.resize(nb + 1);
-        fen_epoch_.resize(nb + 1, 0);
-    }
-    if (++epoch_ == 0) {  // epoch wrapped: hard reset once per 2^32
-        std::fill(fen_epoch_.begin(), fen_epoch_.end(), 0u);
-        epoch_ = 1;
-    }
-    const auto query = [&](std::size_t i) {
-        double m = -k_inf;
-        for (; i > 0; i -= i & (~i + 1))
-            if (fen_epoch_[i] == epoch_ && fen_[i] > m)
-                m = fen_[i];
-        return m;
-    };
-    const auto update = [&](std::size_t i, double v) {
-        for (; i <= nb; i += i & (~i + 1)) {
-            if (fen_epoch_[i] != epoch_) {
-                fen_epoch_[i] = epoch_;
-                fen_[i] = v;
-            }
-            else if (v > fen_[i]) {
-                fen_[i] = v;
-            }
-        }
-    };
-
+    pmax_.begin(static_cast<std::size_t>(a1_cap) + 1);
+    const std::size_t n = states.size();
     std::size_t kept = 0;
-    for (std::size_t r = 0; r < states.size(); ++r) {
-        const auto& st = states[r];
-        const std::size_t pos = static_cast<std::size_t>(st.a1) + 1;
-        if (query(pos) >= st.value)
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t pos = static_cast<std::size_t>(states.a1[r]);
+        const double v = states.value[r];
+        if (pmax_.query(pos) >= v)
             continue;  // dominated (ties keep the smaller-area state)
-        update(pos, st.value);
-        states[kept++] = st;
+        pmax_.update(pos, v);
+        if (kept != r) {  // in-place SoA compaction, order preserved
+            states.a0[kept] = states.a0[r];
+            states.a1[kept] = states.a1[r];
+            states.value[kept] = v;
+            states.parent[kept] = states.parent[r];
+        }
+        ++kept;
     }
     states.resize(kept);
 }
@@ -449,13 +478,14 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
     const std::size_t n = costs.size();
     const auto& qarea = ws.qarea_;
     const auto& possible = ws.possible_;
+    const util::simd::Kernels& kern = util::simd::kernels();
     auto& cur = ws.cur_;
     auto& nxt = ws.nxt_;
     for (std::size_t p = 0; p < 3; ++p) {
         cur.lanes_[p].clear();
         nxt.lanes_[p].clear();
     }
-    cur.lanes_[0].push_back({0, 0, 0.0, 0});
+    cur.lanes_[0].push_back(0, 0, 0.0, 0);
 
     if constexpr (With_trace) {
         ws.srow_off_.assign(n * 3 + 1, 0);
@@ -463,29 +493,8 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
         ws.tb_cell_.clear();
     }
 
-    /// One shifted source lane of a destination lane's 3-way merge.
-    struct Src {
-        const Multi_state* it = nullptr;
-        const Multi_state* end = nullptr;
-        int da0 = 0, da1 = 0;
-        double add = 0.0;
-        std::uint8_t p = 0;
-    };
-    const int cap0 = static_cast<int>(s.cap[0]);
-    const int cap1 = static_cast<int>(s.cap[1]);
-    const auto skip_invalid = [&](Src& src) {
-        while (src.it != src.end) {
-            if (src.it->a0 + src.da0 > cap0) {
-                src.it = src.end;  // a0 ascending: the rest is dead too
-                break;
-            }
-            if (src.it->a1 + src.da1 > cap1) {
-                ++src.it;  // a1 only ascends within an a0 group
-                continue;
-            }
-            break;
-        }
-    };
+    const auto cap0 = static_cast<std::int32_t>(s.cap[0]);
+    const auto cap1 = static_cast<std::int32_t>(s.cap[1]);
 
     for (std::size_t i = 0; i < n; ++i) {
         // Row-stripe poll: these are the heaviest DP rows in the
@@ -524,37 +533,53 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
                 continue;
             }
 
-            std::array<Src, 3> src;
+            // Phase 1 — streaming shift scans: each source lane's SoA
+            // arrays are shifted by this row's quantized areas and
+            // pre-added with its gain by the dispatched kernel,
+            // truncated at the first dead a0 (ascending order makes
+            // the rest dead too) with a1 overflows marked by the
+            // sentinel key.
+            std::array<std::size_t, 3> sn;
             for (std::size_t p = 0; p < 3; ++p) {
-                auto& sp = src[p];
-                sp.it = cur.lanes_[p].data();
-                sp.end = sp.it + cur.lanes_[p].size();
-                sp.p = static_cast<std::uint8_t>(p);
-                if (l == 1) {
-                    sp.da0 = qa[0];
-                    sp.add = g1[p];
+                const Multi_state_soa& ln = cur.lanes_[p];
+                const std::int32_t da0 =
+                    l == 1 ? static_cast<std::int32_t>(qa[0]) : 0;
+                const std::int32_t da1 =
+                    l == 2 ? static_cast<std::int32_t>(qa[1]) : 0;
+                const double add = l == 1 ? g1[p] : l == 2 ? g2[p] : 0.0;
+                auto& kv = ws.mkey_[p];
+                auto& vv = ws.mval_[p];
+                if (kv.size() < ln.size()) {
+                    kv.resize(ln.size());
+                    vv.resize(ln.size());
                 }
-                else if (l == 2) {
-                    sp.da1 = qa[1];
-                    sp.add = g2[p];
-                }
-                skip_invalid(sp);
+                sn[p] = kern.multi_shift_lane(
+                    ln.a0.data(), ln.a1.data(), ln.value.data(), ln.size(),
+                    da0, da1, add, cap0, cap1, kv.data(), vv.data());
             }
 
-            // 3-way merge by shifted (a0, a1); on a key tie the lowest
-            // source lane arrives first and later lanes replace it
-            // only on a strictly greater value — the dense reference's
-            // first-maximum-over-p improving-write order.
+            // Phase 2 — scalar 3-way merge over the precomputed keys;
+            // on a key tie the lowest source lane arrives first and
+            // later lanes replace it only on a strictly greater value
+            // — the dense reference's first-maximum-over-p
+            // improving-write order.
+            std::array<std::size_t, 3> si{0, 0, 0};
+            const auto skip_invalid = [&](std::size_t p) {
+                while (si[p] < sn[p] &&
+                       ws.mkey_[p][si[p]] == util::simd::k_invalid_key)
+                    ++si[p];
+            };
+            for (std::size_t p = 0; p < 3; ++p)
+                skip_invalid(p);
+            std::uint64_t last_key = util::simd::k_invalid_key;
             for (;;) {
                 int k = -1;
                 std::uint64_t k_key = 0;
                 for (int p = 0; p < 3; ++p) {
-                    const auto& sp = src[static_cast<std::size_t>(p)];
-                    if (sp.it == sp.end)
+                    const auto up = static_cast<std::size_t>(p);
+                    if (si[up] == sn[up])
                         continue;
-                    const std::uint64_t key = state_key(
-                        static_cast<std::size_t>(sp.it->a0 + sp.da0),
-                        static_cast<std::size_t>(sp.it->a1 + sp.da1));
+                    const std::uint64_t key = ws.mkey_[up][si[up]];
                     if (k < 0 || key < k_key) {
                         k = p;
                         k_key = key;
@@ -562,34 +587,35 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
                 }
                 if (k < 0)
                     break;
-                auto& sp = src[static_cast<std::size_t>(k)];
-                const int ca0 = sp.it->a0 + sp.da0;
-                const int ca1 = sp.it->a1 + sp.da1;
-                const double v = sp.it->value + sp.add;
-                if (!out.empty() && out.back().a0 == ca0 &&
-                    out.back().a1 == ca1) {
-                    if (v > out.back().value) {
-                        out.back().value = v;
-                        out.back().parent = sp.p;
+                const auto uk = static_cast<std::size_t>(k);
+                const double v = ws.mval_[uk][si[uk]];
+                if (k_key == last_key) {
+                    if (v > out.value.back()) {
+                        out.value.back() = v;
+                        out.parent.back() = static_cast<std::uint8_t>(k);
                     }
                 }
                 else {
-                    out.push_back({ca0, ca1, v, sp.p});
+                    out.push_back(static_cast<std::int32_t>(k_key >> 32),
+                                  static_cast<std::int32_t>(
+                                      k_key & 0xFFFFFFFFu),
+                                  v, static_cast<std::uint8_t>(k));
+                    last_key = k_key;
                 }
-                ++sp.it;
-                skip_invalid(sp);
+                ++si[uk];
+                skip_invalid(uk);
             }
 
             nxt.prune(out, cap1);
 
             if constexpr (With_trace) {
-                for (const auto& st : out) {
+                for (std::size_t t = 0; t < out.size(); ++t) {
                     const std::size_t g = ws.tb_key_.size();
                     ws.tb_key_.push_back(
-                        state_key(static_cast<std::size_t>(st.a0),
-                                  static_cast<std::size_t>(st.a1)));
+                        state_key(static_cast<std::size_t>(out.a0[t]),
+                                  static_cast<std::size_t>(out.a1[t])));
                     const auto code =
-                        static_cast<std::uint8_t>(l * 3 + st.parent);
+                        static_cast<std::uint8_t>(l * 3 + out.parent[t]);
                     if ((g & 1) == 0)
                         ws.tb_cell_.push_back(code);
                     else
@@ -606,26 +632,30 @@ double Multi_dp_sparse::sweep(std::span<const Multi_bsb_cost> costs,
     // Final pick: per lane the first maximum of the (a0, a1)-sorted
     // antichain, lanes combined on (value desc, a0, a1, p asc) — the
     // state the dense (a0-major, a1, p) first-maximum scan lands on.
+    // Stays an explicit scalar loop: the first-strict-maximum tie
+    // order is part of the determinism contract.
     double best = -k_inf;
     bool have = false;
     Best_state bs;
     for (std::size_t p = 0; p < 3; ++p) {
-        const Multi_state* lane_best = nullptr;
-        for (const auto& st : cur.lanes_[p])
-            if (lane_best == nullptr || st.value > lane_best->value)
-                lane_best = &st;
-        if (lane_best == nullptr)
+        const Multi_state_soa& ln = cur.lanes_[p];
+        std::size_t bi = ln.size();
+        for (std::size_t t = 0; t < ln.size(); ++t)
+            if (bi == ln.size() || ln.value[t] > ln.value[bi])
+                bi = t;
+        if (bi == ln.size())
             continue;
+        const Multi_state lane_best = ln[bi];
         const bool wins =
-            !have || lane_best->value > best ||
-            (lane_best->value == best &&
-             (lane_best->a0 < static_cast<int>(bs.a0) ||
-              (lane_best->a0 == static_cast<int>(bs.a0) &&
-               lane_best->a1 < static_cast<int>(bs.a1))));
+            !have || lane_best.value > best ||
+            (lane_best.value == best &&
+             (lane_best.a0 < static_cast<int>(bs.a0) ||
+              (lane_best.a0 == static_cast<int>(bs.a0) &&
+               lane_best.a1 < static_cast<int>(bs.a1))));
         if (wins) {
-            best = lane_best->value;
-            bs = {static_cast<std::size_t>(lane_best->a0),
-                  static_cast<std::size_t>(lane_best->a1), p};
+            best = lane_best.value;
+            bs = {static_cast<std::size_t>(lane_best.a0),
+                  static_cast<std::size_t>(lane_best.a1), p};
             have = true;
         }
     }

@@ -43,9 +43,14 @@
 #include <vector>
 
 #include "pace/cost_model.hpp"
+#include "util/arena.hpp"
 
 namespace lycos::util {
 class Cancel_token;
+}
+
+namespace lycos::util::simd {
+struct Kernels;
 }
 
 namespace lycos::pace {
@@ -149,7 +154,8 @@ class Multi_pace_workspace;
 /// placement is the *lane* the state is stored in, not a field;
 /// `parent` is the lane of the state's DP predecessor (the traceback
 /// nibble's payload), dead weight to the value sweep and ignored by
-/// dominance.
+/// dominance.  This is the single-state *view* type; rows store their
+/// states in Multi_state_soa, not as arrays of this struct.
 struct Multi_state {
     int a0 = 0;
     int a1 = 0;
@@ -157,17 +163,99 @@ struct Multi_state {
     std::uint8_t parent = 0;
 };
 
+/// One lane's states in structure-of-arrays layout: parallel
+/// a0 / a1 / value / parent arrays, index-aligned, sorted by
+/// (a0, a1).  SoA is what makes the dominance-merge scans streaming
+/// loops — the shift kernel reads two contiguous int32 arrays and one
+/// contiguous double array instead of striding through 24-byte
+/// structs, and the prefix-max touches values only.
+struct Multi_state_soa {
+    std::vector<std::int32_t> a0;
+    std::vector<std::int32_t> a1;
+    std::vector<double> value;
+    std::vector<std::uint8_t> parent;
+
+    std::size_t size() const { return value.size(); }
+    bool empty() const { return value.empty(); }
+
+    void clear()
+    {
+        a0.clear();
+        a1.clear();
+        value.clear();
+        parent.clear();
+    }
+
+    void push_back(std::int32_t s0, std::int32_t s1, double v,
+                   std::uint8_t par)
+    {
+        a0.push_back(s0);
+        a1.push_back(s1);
+        value.push_back(v);
+        parent.push_back(par);
+    }
+
+    void resize(std::size_t n)
+    {
+        a0.resize(n);
+        a1.resize(n);
+        value.resize(n);
+        parent.resize(n);
+    }
+
+    void swap(Multi_state_soa& other)
+    {
+        a0.swap(other.a0);
+        a1.swap(other.a1);
+        value.swap(other.value);
+        parent.swap(other.parent);
+    }
+
+    Multi_state operator[](std::size_t i) const
+    {
+        return {a0[i], a1[i], value[i], parent[i]};
+    }
+};
+
+/// Cache-line-blocked, epoch-stamped prefix-max over positions
+/// [0, nb) — the dominance test's "best value at a1' <= a1 so far".
+/// Replaces the Fenwick tree: per-block maxima (one cache line of
+/// fine values per block) make the query a contiguous streaming max
+/// over blk_[0 .. pos/8) — fed to the dispatched max_reduce kernel —
+/// plus at most one partial fine block, instead of log(w1) scattered
+/// loads.  update stays O(1); fine blocks are reset lazily on first
+/// touch per epoch.  The query is an exact max, so every dominance
+/// decision — and therefore the kept antichain — is identical to the
+/// Fenwick implementation it replaces.
+class Blocked_prefix_max {
+public:
+    /// Start a new epoch over positions [0, nb).
+    void begin(std::size_t nb);
+
+    /// Max value updated at positions <= pos this epoch (-inf if none).
+    double query(std::size_t pos) const;
+
+    void update(std::size_t pos, double v);
+
+private:
+    static constexpr std::size_t k_block = 8;  ///< doubles per cache line
+
+    std::vector<double> fine_;
+    std::vector<double> blk_;  ///< per-block max, reset every epoch
+    std::vector<std::uint32_t> blk_epoch_;  ///< fine-block lazy-reset stamp
+    std::uint32_t epoch_ = 0;
+    const util::simd::Kernels* kern_ = nullptr;  ///< cached at begin()
+};
+
 /// A row's Pareto-sparse state sets: per previous-placement lane
-/// (0 = SW, 1 = asic0, 2 = asic1) the dominance-maximal states,
-/// sorted by (a0, a1).  The sparse sweep double-buffers two of these
-/// inside the Multi_pace_workspace; `prune` is the dominance kernel,
-/// public so crafted tie/colinear cases can unit-test it directly.
+/// (0 = SW, 1 = asic0, 2 = asic1) the dominance-maximal states in SoA
+/// layout, sorted by (a0, a1).  The sparse sweep double-buffers two
+/// of these inside the Multi_pace_workspace; `prune` is the dominance
+/// kernel, public so crafted tie/colinear cases can unit-test it
+/// directly.
 class Multi_pace_state_set {
 public:
-    std::span<const Multi_state> lane(std::size_t p) const
-    {
-        return lanes_[p];
-    }
+    const Multi_state_soa& lane(std::size_t p) const { return lanes_[p]; }
 
     std::size_t size() const
     {
@@ -182,17 +270,12 @@ public:
     /// what makes the sparse DP traceback-identical to the dense
     /// reference: every surviving state provably carries the dense
     /// value of its cell.
-    void prune(std::vector<Multi_state>& states, int a1_cap);
+    void prune(Multi_state_soa& states, int a1_cap);
 
 private:
     friend struct Multi_dp_sparse;
-    std::array<std::vector<Multi_state>, 3> lanes_;
-    /// Epoch-stamped Fenwick prefix-max over a1 (the dominance test's
-    /// "best value at area <= (a0, a1) so far"); the epoch makes the
-    /// per-lane reset O(1) instead of O(w1).
-    std::vector<double> fen_;
-    std::vector<std::uint32_t> fen_epoch_;
-    std::uint32_t epoch_ = 0;
+    std::array<Multi_state_soa, 3> lanes_;
+    Blocked_prefix_max pmax_;
 };
 
 /// Optimal (up to area discretization) two-ASIC partition over the
@@ -239,6 +322,31 @@ class Multi_pace_workspace {
 public:
     Multi_pace_workspace() = default;
 
+    /// Back the big DP buffers (frontier value/next rows, traceback
+    /// arenas, merge scratch) with a caller-owned per-worker Arena:
+    /// first-touched — and kept — on the worker that sweeps them.
+    /// The arena must outlive the workspace.
+    explicit Multi_pace_workspace(util::Arena* arena)
+        : value_(util::Arena_allocator<double>(arena)),
+          next_(util::Arena_allocator<double>(arena)),
+          trace_(util::Arena_allocator<std::uint8_t>(arena)),
+          tb_key_(util::Arena_allocator<std::uint64_t>(arena)),
+          tb_cell_(util::Arena_allocator<std::uint8_t>(arena)),
+          mkey_{util::Arena_vector<std::uint64_t>(
+                    util::Arena_allocator<std::uint64_t>(arena)),
+                util::Arena_vector<std::uint64_t>(
+                    util::Arena_allocator<std::uint64_t>(arena)),
+                util::Arena_vector<std::uint64_t>(
+                    util::Arena_allocator<std::uint64_t>(arena))},
+          mval_{util::Arena_vector<double>(
+                    util::Arena_allocator<double>(arena)),
+                util::Arena_vector<double>(
+                    util::Arena_allocator<double>(arena)),
+                util::Arena_vector<double>(
+                    util::Arena_allocator<double>(arena))}
+    {
+    }
+
     /// Observability of the most recent sweep through this workspace
     /// (sparse source states / frontier source cells, and the dense
     /// grid a full scan would have swept) — the multi-ASIC search
@@ -263,13 +371,13 @@ private:
         std::span<const Multi_bsb_cost> costs,
         const Multi_pace_options& options, Multi_pace_workspace* workspace);
     // --- frontier sweep buffers -------------------------------------
-    std::vector<double> value_;
-    std::vector<double> next_;
+    util::Arena_vector<double> value_;
+    util::Arena_vector<double> next_;
     /// Nibble-packed traceback arena: row i occupies bytes
     /// [row_off_[i], row_off_[i+1]) holding (hi0_i+1)*(hi1_i+1)*3
     /// 4-bit cells (decision * 3 + parent), where (hi0_i, hi1_i) is
     /// the frontier *after* row i.
-    std::vector<std::uint8_t> trace_;
+    util::Arena_vector<std::uint8_t> trace_;
     std::vector<std::size_t> row_off_;
     std::vector<int> row_hi0_;
     std::vector<int> row_hi1_;
@@ -284,9 +392,16 @@ private:
     /// (a0 << 32 | a1) for the traceback's binary search, tb_cell_
     /// the nibble-packed decision*3+parent codes, one nibble per
     /// stored state ("sparse row indices").
-    std::vector<std::uint64_t> tb_key_;
-    std::vector<std::uint8_t> tb_cell_;
+    util::Arena_vector<std::uint64_t> tb_key_;
+    util::Arena_vector<std::uint8_t> tb_cell_;
     std::vector<std::size_t> srow_off_;
+    /// Dominance-merge scratch, one slot per source lane: the shifted
+    /// packed keys ((a0 << 32 | a1) after this row's area shift, or
+    /// util::simd::k_invalid_key for a1 overflow) and pre-added
+    /// values the multi_shift_lane kernel emits and the scalar 3-way
+    /// merge consumes.
+    std::array<util::Arena_vector<std::uint64_t>, 3> mkey_;
+    std::array<util::Arena_vector<double>, 3> mval_;
     long long last_cells_swept_ = 0;
     long long last_cells_dense_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/cancel.hpp"
+#include "util/simd.hpp"
 
 namespace lycos::pace {
 
@@ -158,9 +159,18 @@ std::size_t common_prefix(std::span<const Bsb_cost> costs,
 /// value[a*2+p]: best total saving (vs. all-software) over the BSBs
 /// processed so far, using quantized area exactly a, with the most
 /// recent BSB on side p (0 = SW, 1 = HW).  With traceback, every
-/// (i, a, p) keeps the decision of BSB i (took_hw) and the side of
-/// BSB i-1 (parent_side) so the optimal partition can be
-/// reconstructed.
+/// (i, a, p) keeps the side of BSB i-1 (parent_ plane) so the optimal
+/// partition can be reconstructed; the decision of BSB i needs no
+/// storage — it is the state's own lane (hw = (p == 1)).
+///
+/// Both row lanes are pure stores — every destination cell has
+/// exactly one source area — so the row bodies are the runtime-
+/// dispatched SIMD kernels of util/simd.hpp (util::simd::kernels()),
+/// fetched once per sweep.  The kernel tables are bit-identical to
+/// each other by construction, so the sweep's results do not depend
+/// on the dispatch level.  Only the final best-state scan stays an
+/// explicit scalar loop: its first-strict-maximum tie order over
+/// (a, p) is part of the determinism contract.
 ///
 /// Only the reachable-area frontier [0, hi] is ever initialized or
 /// swept: row i can reach at most the previous frontier plus BSB i's
@@ -203,18 +213,14 @@ double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
     const std::size_t width = s.width;
     const auto& qarea = ws.qarea_;
     const auto& hw_possible = ws.hw_possible_;
+    const util::simd::Kernels& kern = util::simd::kernels();
     auto idx = [&](std::size_t a, int p) {
         return a * 2 + static_cast<std::size_t>(p);
     };
-    auto cell = [&](std::size_t i, std::size_t a, int p) {
-        return (i * width + a) * 2 + static_cast<std::size_t>(p);
-    };
 
     if constexpr (With_trace) {
-        if (ws.took_hw_.size() < n * width * 2) {
-            ws.took_hw_.resize(n * width * 2);
-            ws.parent_side_.resize(n * width * 2);
-        }
+        if (ws.parent_.size() < n * 2 * width)
+            ws.parent_.resize(n * 2 * width);
     }
 
     // Resume row: the longest checkpointed prefix that is valid for
@@ -291,63 +297,31 @@ double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
         const bool can_hw = hw_possible[i] != 0;
         const std::size_t hi2 = can_hw ? std::min(hi + qa, width - 1) : hi;
         const double gain = can_hw ? hw_gain(costs[i]) : 0.0;
-        if constexpr (!With_trace) {
-            // Value-only kernel.  Every next-cell has exactly one
-            // source area — (a, SW) from (a, *), (a+qa, HW) from
-            // (a, *) — so the row is two lanes of pure stores with
-            // the same max expressions the traced loop applies
-            // (bit-identical values, -inf propagates through the
-            // adds), and no per-cell branching.
-            const double gain_save =
-                i > 0 ? gain + costs[i].save_prev : gain;
-            for (std::size_t a = 0; a <= hi; ++a) {
-                const double v0 = cur[a * 2];
-                const double v1 = cur[a * 2 + 1];
-                nxt[a * 2] = v0 > v1 ? v0 : v1;
-                nxt[a * 2 + 1] = -k_inf;
-            }
-            std::fill(nxt + (hi + 1) * 2, nxt + (hi2 + 1) * 2, -k_inf);
-            if (can_hw) {
-                const std::size_t a_max =
-                    std::min(hi, width - 1 - qa);  // qa < width (possible)
-                for (std::size_t a = 0; a <= a_max; ++a) {
-                    const double c0 = cur[a * 2] + gain;
-                    const double c1 = cur[a * 2 + 1] + gain_save;
-                    nxt[(a + qa) * 2 + 1] = c0 > c1 ? c0 : c1;
-                }
-            }
-        }
-        else {
-            std::fill(nxt, nxt + (hi2 + 1) * 2, -k_inf);
-            for (std::size_t a = 0; a <= hi; ++a) {
-                for (int p = 0; p < 2; ++p) {
-                    const double v = cur[idx(a, p)];
-                    if (v == -k_inf)
-                        continue;
-
-                    // BSB i stays in software.
-                    if (v > nxt[idx(a, 0)]) {
-                        nxt[idx(a, 0)] = v;
-                        ws.took_hw_[cell(i, a, 0)] = 0;
-                        ws.parent_side_[cell(i, a, 0)] =
-                            static_cast<std::uint8_t>(p);
-                    }
-
-                    // BSB i moves to hardware.
-                    if (can_hw && a + qa < width) {
-                        double g = gain;
-                        if (i > 0 && p == 1)
-                            g += costs[i].save_prev;
-                        const std::size_t a2 = a + qa;
-                        if (v + g > nxt[idx(a2, 1)]) {
-                            nxt[idx(a2, 1)] = v + g;
-                            ws.took_hw_[cell(i, a2, 1)] = 1;
-                            ws.parent_side_[cell(i, a2, 1)] =
-                                static_cast<std::uint8_t>(p);
-                        }
-                    }
-                }
-            }
+        // Two lanes of pure stores — every next-cell has exactly one
+        // source area: (a, SW) from (a, *), (a+qa, HW) from (a, *) —
+        // handed to the dispatched kernels.  -inf propagates through
+        // the adds, so unreachable sources yield unreachable
+        // destinations without per-cell branching.
+        const double gain_save = i > 0 ? gain + costs[i].save_prev : gain;
+        const std::size_t a_max =
+            can_hw ? std::min(hi, width - 1 - qa)  // qa < width (possible)
+                   : 0;
+        kern.pace_row_sw(cur, nxt, hi + 1);
+        std::fill(nxt + (hi + 1) * 2, nxt + (hi2 + 1) * 2, -k_inf);
+        if (can_hw)
+            kern.pace_row_hw(cur, nxt + qa * 2, a_max + 1, gain, gain_save);
+        if constexpr (With_trace) {
+            // Parents per destination lane: strictly-greater against
+            // the p = 0 source, exactly the improving-write order the
+            // per-cell loop used.  Cells outside the lanes' written
+            // ranges keep stale bytes, but their values are -inf and
+            // the backwards walk only visits finite states.
+            std::uint8_t* plane0 = ws.parent_.data() + (i * 2) * width;
+            std::uint8_t* plane1 = plane0 + width;
+            kern.pace_row_parent(cur, plane0, hi + 1, 0.0, 0.0);
+            if (can_hw)
+                kern.pace_row_parent(cur, plane1 + qa, a_max + 1, gain,
+                                     gain_save);
         }
         hi = hi2;
         if (checkpointing) {
@@ -460,16 +434,16 @@ Pace_result pace_partition(std::span<const Bsb_cost> costs,
         return r;
     }
 
-    // Walk the parent pointers backwards from the best final state.
-    auto cell = [&](std::size_t i, std::size_t a, int p) {
-        return (i * width + a) * 2 + static_cast<std::size_t>(p);
-    };
+    // Walk the parent planes backwards from the best final state.  A
+    // state's lane is its own decision (hw = p == 1); the plane byte
+    // is the side of the previous BSB on the best path.
     std::vector<bool> in_hw(n, false);
     std::size_t a = best_a;
     int p = best_p;
     for (std::size_t ri = n; ri-- > 0;) {
-        const bool hw = ws.took_hw_[cell(ri, a, p)] != 0;
-        const int prev = ws.parent_side_[cell(ri, a, p)];
+        const bool hw = p == 1;
+        const int prev =
+            ws.parent_[(ri * 2 + static_cast<std::size_t>(p)) * width + a];
         in_hw[ri] = hw;
         if (hw)
             a -= static_cast<std::size_t>(ws.qarea_[ri]);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pace/cost_model.hpp"
+#include "util/arena.hpp"
 
 namespace lycos::util {
 class Cancel_token;
@@ -135,6 +136,18 @@ class Pace_workspace {
 public:
     Pace_workspace() = default;
 
+    /// Back the DP row buffers (value rows, checkpoint row arena,
+    /// traceback planes) with a caller-owned per-worker Arena: the
+    /// rows are then first-touched — and stay — on the worker that
+    /// sweeps them.  The arena must outlive the workspace.
+    explicit Pace_workspace(util::Arena* arena)
+        : value_(util::Arena_allocator<double>(arena)),
+          next_(util::Arena_allocator<double>(arena)),
+          parent_(util::Arena_allocator<std::uint8_t>(arena)),
+          ckpt_rows_(util::Arena_allocator<double>(arena))
+    {
+    }
+
     /// Cumulative DP rows resumed from the checkpoint / actually swept
     /// across all calls through this workspace.
     long long rows_reused() const { return rows_reused_; }
@@ -156,20 +169,25 @@ private:
     friend double pace_best_saving(std::span<const Bsb_cost> costs,
                                    const Pace_options& options,
                                    Pace_workspace* workspace);
-    std::vector<double> value_;
-    std::vector<double> next_;
-    std::vector<std::uint8_t> took_hw_;
-    std::vector<std::uint8_t> parent_side_;
+    util::Arena_vector<double> value_;
+    util::Arena_vector<double> next_;
+    // Traceback parents, lane-planar: plane (i, p) is `width`
+    // contiguous bytes at (i * 2 + p) * width, entry a = the side of
+    // BSB i-1 on the best path into state (i, a, p).  (The old
+    // per-cell took_hw byte is gone: a state's own side IS its lane —
+    // the SW lane only ever stores software decisions and the HW lane
+    // hardware ones — so reconstruction reads hw = (p == 1).)
+    util::Arena_vector<std::uint8_t> parent_;
     std::vector<int> qarea_;
     std::vector<std::uint8_t> hw_possible_;
     // Checkpoint: ckpt_rows_ block i holds the value row after BSBs
     // [0, i) of ckpt_costs_ (block 0 is the initial state), valid for
     // the recorded (quantum, width) only; ckpt_hi_[i] is the row's
     // reachable-area frontier.  trace_rows_ counts the leading
-    // traceback rows (took_hw_/parent_side_) that are consistent with
+    // traceback rows (parent_ planes) that are consistent with
     // trace_costs_ at trace_width_.
     std::vector<Bsb_cost> ckpt_costs_;
-    std::vector<double> ckpt_rows_;
+    util::Arena_vector<double> ckpt_rows_;
     std::vector<std::size_t> ckpt_hi_;
     double ckpt_quantum_ = 0.0;
     std::size_t ckpt_width_ = 0;

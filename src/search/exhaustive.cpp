@@ -864,7 +864,12 @@ private:
     std::vector<double> cur_red_;
     double exact_sum_ = 0.0;
     std::vector<std::pair<double, double>> lp_items_;  ///< (red, area)
-    pace::Pace_workspace pace_ws_;
+    /// Per-worker DP arena: the Walker is constructed inside the
+    /// worker task, so the workspace's rows are first-touched — and
+    /// stay — on the core that sweeps this chunk.  Declared before the
+    /// workspace it backs (destruction order).
+    util::Arena pace_arena_;
+    pace::Pace_workspace pace_ws_{&pace_arena_};
 };
 
 /// Evaluate a few promising fitting points before the walk so every
@@ -1039,7 +1044,8 @@ Search_result exhaustive_engine(const Eval_context& ctx,
             // injected cut has no per-leaf index here and is not
             // applied (the fallback is unreachable below saturated
             // space sizes, which the fault-injection tests never are).
-            pace::Pace_workspace ws;
+            util::Arena arena;  // per-worker: this lambda IS the task body
+            pace::Pace_workspace ws(&arena);
             const auto* cancel = options.cancel;
             std::uint64_t polls = 0;
             space.for_each_range(begin, end, max_area,

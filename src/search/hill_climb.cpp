@@ -42,7 +42,12 @@ struct Restart_result {
 struct Climb_scratch {
     Eval_cache& cache;
     std::optional<Proxy_cost_model> proxy;
-    pace::Pace_workspace ws;
+    /// Per-worker DP arena (the scratch is constructed inside the
+    /// restart-chunk task body): the workspace's rows are
+    /// first-touched on the worker that climbs with them.  Declared
+    /// before the workspace it backs.
+    util::Arena arena;
+    pace::Pace_workspace ws{&arena};
     std::vector<pace::Bsb_cost> costs;
     std::vector<int> counts;
 

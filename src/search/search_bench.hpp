@@ -45,6 +45,15 @@ struct Search_bench_config {
     std::uint64_t seed = 42;
 };
 
+/// Perf-regression thresholds for the dispatched SIMD kernels
+/// (BENCH_search.json "kernels" section): the min-of-N SIMD timing
+/// must beat the min-of-N scalar timing by at least these ratios, or
+/// write_bench_report fails the build.  Scalar-only configurations
+/// (LYCOS_DISABLE_SIMD, non-AVX2 CPUs) pass trivially —
+/// `simd_available` records which case the report describes.
+inline constexpr double k_kernel_pace_min_speedup = 1.5;
+inline constexpr double k_kernel_merge_min_speedup = 1.3;
+
 /// Measured throughputs (evaluations per second) and speedups.
 struct Search_bench_result {
     long long space_size = 0;
@@ -147,6 +156,24 @@ struct Search_bench_result {
     std::array<double, 3> deadline_best_time_ns{0.0, 0.0, 0.0};
     std::array<bool, 3> deadline_complete{false, false, false};
     double deadline_untruncated_time_ns = 0.0;  ///< the full solve's best
+
+    /// Kernel-dispatch section (BENCH "kernels"): min-of-N timings of
+    /// the scalar kernel table against the best dispatched one on the
+    /// two hot row scans — the single-ASIC value-sweep row
+    /// (pace_row_sw + pace_row_hw over a wide row) and the multi-ASIC
+    /// dominance-merge scan (multi_shift_lane + max_reduce over a
+    /// large SoA lane).  On scalar-only builds both tables are the
+    /// same and the *_ok gates pass trivially.
+    bool kernels_simd_available = false;
+    std::string kernels_isa;  ///< active dispatch level ("scalar"/"avx2")
+    double kern_pace_secs_scalar = 0.0;   ///< min-of-N, one sweep pass
+    double kern_pace_secs_simd = 0.0;
+    double kern_pace_speedup = 0.0;       ///< scalar / simd
+    bool kern_pace_ok = false;  ///< >= k_kernel_pace_min_speedup (or no SIMD)
+    double kern_merge_secs_scalar = 0.0;  ///< min-of-N, one merge scan
+    double kern_merge_secs_simd = 0.0;
+    double kern_merge_speedup = 0.0;
+    bool kern_merge_ok = false;  ///< >= k_kernel_merge_min_speedup (or no SIMD)
 };
 
 /// Build the scenario and run the search variants.
@@ -169,8 +196,10 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// API, the pair-tree walk was chunking-independent
 /// (`pair_tree_bb.deterministic`), its row bound killed at least one
 /// row, the sparse DPs swept fewer cells than the dense grids they
-/// replaced, and an armed-but-idle Cancel_token cost the new_single
-/// sweep under 1% (`deadline.overhead_ok`)); failures are reported on
+/// replaced, an armed-but-idle Cancel_token cost the new_single
+/// sweep under 1% (`deadline.overhead_ok`), and — on builds/CPUs with
+/// SIMD — the dispatched kernels beat the scalar table by the pinned
+/// min-of-N ratios (`kernels.*.ok`)); failures are reported on
 /// `err`, never thrown.
 int write_bench_report(const std::string& path, std::ostream& log,
                        std::ostream& err);

@@ -343,7 +343,8 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Bsb_cost> costs0;
         std::vector<pace::Bsb_cost> costs1;
         std::vector<pace::Multi_bsb_cost> mcosts;
-        pace::Multi_pace_workspace mws;
+        util::Arena arena;  // per-worker: this lambda IS the task body
+        pace::Multi_pace_workspace mws(&arena);
         for (long long i = row_begin; i < row_end; ++i) {
             // Admission gate per a0 row — the thread-invariant work
             // unit: an injected cut walks exactly the rows below it,

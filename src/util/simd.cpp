@@ -1,0 +1,309 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <limits>
+
+// The AVX2 tables are compiled with per-function target attributes
+// (no global -mavx2), so this translation unit builds on any x86-64
+// baseline and the scalar table below stays legal everywhere.  CMake
+// defines LYCOS_DISABLE_SIMD when the option is set or the compiler
+// lacks target("avx2") multiversioning support.
+#if defined(__x86_64__) && !defined(LYCOS_DISABLE_SIMD)
+#define LYCOS_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define LYCOS_HAVE_AVX2_KERNELS 0
+#endif
+
+namespace lycos::util::simd {
+namespace {
+
+constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Scalar table.  These loops are the semantics; the AVX2 table below
+// is obligated to match them bit for bit (same per-lane add and the
+// same tie-goes-to-the-second-operand max, which is exactly what
+// vmaxpd implements for `b > a ? b : a` spelled as max(a, b)).
+
+void scalar_pace_row_sw(const double* cur, double* nxt, std::size_t n) {
+    for (std::size_t a = 0; a < n; ++a) {
+        const double v0 = cur[2 * a];
+        const double v1 = cur[2 * a + 1];
+        nxt[2 * a] = v0 > v1 ? v0 : v1;
+        nxt[2 * a + 1] = -k_inf;
+    }
+}
+
+void scalar_pace_row_hw(const double* cur, double* out, std::size_t n,
+                        double gain, double gain_save) {
+    for (std::size_t a = 0; a < n; ++a) {
+        const double c0 = cur[2 * a] + gain;
+        const double c1 = cur[2 * a + 1] + gain_save;
+        out[2 * a + 1] = c0 > c1 ? c0 : c1;
+    }
+}
+
+void scalar_pace_row_parent(const double* cur, std::uint8_t* parent,
+                            std::size_t n, double add0, double add1) {
+    for (std::size_t a = 0; a < n; ++a) {
+        parent[a] =
+            (cur[2 * a + 1] + add1) > (cur[2 * a] + add0) ? 1 : 0;
+    }
+}
+
+std::size_t scalar_multi_shift_lane(const std::int32_t* a0,
+                                    const std::int32_t* a1,
+                                    const double* value, std::size_t n,
+                                    std::int32_t da0, std::int32_t da1,
+                                    double add, std::int32_t cap0,
+                                    std::int32_t cap1, std::uint64_t* key,
+                                    double* val) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t sa0 = a0[i] + da0;
+        if (sa0 > cap0) return i;  // a0 ascending: the rest overflow too
+        const std::int32_t sa1 = a1[i] + da1;
+        key[i] = sa1 > cap1 ? k_invalid_key
+                            : (static_cast<std::uint64_t>(sa0) << 32) |
+                                  static_cast<std::uint32_t>(sa1);
+        val[i] = value[i] + add;
+    }
+    return n;
+}
+
+double scalar_max_reduce(const double* p, std::size_t n) {
+    double m = -k_inf;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (p[i] > m) m = p[i];
+    }
+    return m;
+}
+
+constexpr Kernels k_scalar_kernels{
+    scalar_pace_row_sw,  scalar_pace_row_hw, scalar_pace_row_parent,
+    scalar_multi_shift_lane, scalar_max_reduce,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 table.  One vector = 4 doubles = 2 (area, side) pairs.  Pair
+// reductions swap the slots inside each 128-bit half with vpermilpd
+// and take vmaxpd against the original; operand order is chosen so
+// every kept slot computes `second if tie`, matching the scalar
+// `v0 > v1 ? v0 : v1` exactly (including -0.0 vs +0.0).
+
+#if LYCOS_HAVE_AVX2_KERNELS
+
+__attribute__((target("avx2"))) void avx2_pace_row_sw(const double* cur,
+                                                      double* nxt,
+                                                      std::size_t n) {
+    const __m256d ninf = _mm256_set1_pd(-k_inf);
+    std::size_t a = 0;
+    // 4x unrolled (8 pairs per iteration): the loop bookkeeping is a
+    // third of the body's uops at 2 pairs, which eats the vector win.
+    for (; a + 8 <= n; a += 8) {
+        const __m256d v0 = _mm256_loadu_pd(cur + 2 * a);
+        const __m256d v1 = _mm256_loadu_pd(cur + 2 * a + 4);
+        const __m256d v2 = _mm256_loadu_pd(cur + 2 * a + 8);
+        const __m256d v3 = _mm256_loadu_pd(cur + 2 * a + 12);
+        // Even slots: max(v0, v1), tie -> v1 (the second operand of
+        // vmaxpd is the swapped vector, which holds v1 there).
+        const __m256d m0 = _mm256_max_pd(v0, _mm256_permute_pd(v0, 0b0101));
+        const __m256d m1 = _mm256_max_pd(v1, _mm256_permute_pd(v1, 0b0101));
+        const __m256d m2 = _mm256_max_pd(v2, _mm256_permute_pd(v2, 0b0101));
+        const __m256d m3 = _mm256_max_pd(v3, _mm256_permute_pd(v3, 0b0101));
+        _mm256_storeu_pd(nxt + 2 * a, _mm256_blend_pd(m0, ninf, 0b1010));
+        _mm256_storeu_pd(nxt + 2 * a + 4, _mm256_blend_pd(m1, ninf, 0b1010));
+        _mm256_storeu_pd(nxt + 2 * a + 8, _mm256_blend_pd(m2, ninf, 0b1010));
+        _mm256_storeu_pd(nxt + 2 * a + 12,
+                         _mm256_blend_pd(m3, ninf, 0b1010));
+    }
+    for (; a + 2 <= n; a += 2) {
+        const __m256d v = _mm256_loadu_pd(cur + 2 * a);
+        const __m256d m = _mm256_max_pd(v, _mm256_permute_pd(v, 0b0101));
+        _mm256_storeu_pd(nxt + 2 * a, _mm256_blend_pd(m, ninf, 0b1010));
+    }
+    if (a < n) scalar_pace_row_sw(cur + 2 * a, nxt + 2 * a, n - a);
+}
+
+__attribute__((target("avx2"))) void avx2_pace_row_hw(const double* cur,
+                                                      double* out,
+                                                      std::size_t n,
+                                                      double gain,
+                                                      double gain_save) {
+    const __m256d addv = _mm256_setr_pd(gain, gain_save, gain, gain_save);
+    // Odd-slots-only masked stores: the even slots are preserved by
+    // never being written, instead of by a load + blend + full store
+    // round trip — fewer uops and no read-after-write traffic on the
+    // destination row.
+    const __m256i odd = _mm256_setr_epi64x(0, -1, 0, -1);
+    std::size_t a = 0;
+    for (; a + 8 <= n; a += 8) {
+        const __m256d s0 = _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a), addv);
+        const __m256d s1 =
+            _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a + 4), addv);
+        const __m256d s2 =
+            _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a + 8), addv);
+        const __m256d s3 =
+            _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a + 12), addv);
+        // Odd slots: max(c0, c1), tie -> c1 (`s` holds c1 there).
+        const __m256d m0 = _mm256_max_pd(_mm256_permute_pd(s0, 0b0101), s0);
+        const __m256d m1 = _mm256_max_pd(_mm256_permute_pd(s1, 0b0101), s1);
+        const __m256d m2 = _mm256_max_pd(_mm256_permute_pd(s2, 0b0101), s2);
+        const __m256d m3 = _mm256_max_pd(_mm256_permute_pd(s3, 0b0101), s3);
+        _mm256_maskstore_pd(out + 2 * a, odd, m0);
+        _mm256_maskstore_pd(out + 2 * a + 4, odd, m1);
+        _mm256_maskstore_pd(out + 2 * a + 8, odd, m2);
+        _mm256_maskstore_pd(out + 2 * a + 12, odd, m3);
+    }
+    for (; a + 2 <= n; a += 2) {
+        const __m256d s = _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a), addv);
+        const __m256d m = _mm256_max_pd(_mm256_permute_pd(s, 0b0101), s);
+        _mm256_maskstore_pd(out + 2 * a, odd, m);
+    }
+    if (a < n) scalar_pace_row_hw(cur + 2 * a, out + 2 * a, n - a, gain,
+                                  gain_save);
+}
+
+__attribute__((target("avx2"))) void avx2_pace_row_parent(
+    const double* cur, std::uint8_t* parent, std::size_t n, double add0,
+    double add1) {
+    const __m256d addv = _mm256_setr_pd(add0, add1, add0, add1);
+    std::size_t a = 0;
+    for (; a + 4 <= n; a += 4) {
+        const __m256d s0 = _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a), addv);
+        const __m256d s1 =
+            _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a + 4), addv);
+        // Slots 0 and 2 compare c1 > c0 for the two pairs.
+        const int m0 = _mm256_movemask_pd(
+            _mm256_cmp_pd(_mm256_permute_pd(s0, 0b0101), s0, _CMP_GT_OQ));
+        const int m1 = _mm256_movemask_pd(
+            _mm256_cmp_pd(_mm256_permute_pd(s1, 0b0101), s1, _CMP_GT_OQ));
+        parent[a] = static_cast<std::uint8_t>(m0 & 1);
+        parent[a + 1] = static_cast<std::uint8_t>((m0 >> 2) & 1);
+        parent[a + 2] = static_cast<std::uint8_t>(m1 & 1);
+        parent[a + 3] = static_cast<std::uint8_t>((m1 >> 2) & 1);
+    }
+    for (; a + 2 <= n; a += 2) {
+        const __m256d s = _mm256_add_pd(_mm256_loadu_pd(cur + 2 * a), addv);
+        const int mask = _mm256_movemask_pd(
+            _mm256_cmp_pd(_mm256_permute_pd(s, 0b0101), s, _CMP_GT_OQ));
+        parent[a] = static_cast<std::uint8_t>(mask & 1);
+        parent[a + 1] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    }
+    if (a < n)
+        scalar_pace_row_parent(cur + 2 * a, parent + a, n - a, add0, add1);
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_multi_shift_lane(
+    const std::int32_t* a0, const std::int32_t* a1, const double* value,
+    std::size_t n, std::int32_t da0, std::int32_t da1, double add,
+    std::int32_t cap0, std::int32_t cap1, std::uint64_t* key, double* val) {
+    const __m128i da0v = _mm_set1_epi32(da0);
+    const __m128i da1v = _mm_set1_epi32(da1);
+    const __m128i cap0v = _mm_set1_epi32(cap0);
+    const __m128i cap1v = _mm_set1_epi32(cap1);
+    const __m256d addv = _mm256_set1_pd(add);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i sa0 = _mm_add_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a0 + i)), da0v);
+        // Any a0 overflow in this block: finish scalar to find the
+        // exact truncation point (a0 ascending).
+        if (_mm_movemask_epi8(_mm_cmpgt_epi32(sa0, cap0v)) != 0) break;
+        const __m128i sa1 = _mm_add_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a1 + i)), da1v);
+        const __m128i over1 = _mm_cmpgt_epi32(sa1, cap1v);
+        const __m256i k = _mm256_or_si256(
+            _mm256_slli_epi64(_mm256_cvtepi32_epi64(sa0), 32),
+            _mm256_cvtepi32_epi64(sa1));
+        // a1 overflow -> all-ones mask -> key becomes k_invalid_key.
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(key + i),
+            _mm256_or_si256(k, _mm256_cvtepi32_epi64(over1)));
+        _mm256_storeu_pd(val + i,
+                         _mm256_add_pd(_mm256_loadu_pd(value + i), addv));
+    }
+    return i + scalar_multi_shift_lane(a0 + i, a1 + i, value + i, n - i, da0,
+                                       da1, add, cap0, cap1, key + i,
+                                       val + i);
+}
+
+__attribute__((target("avx2"))) double avx2_max_reduce(const double* p,
+                                                       std::size_t n) {
+    __m256d m = _mm256_set1_pd(-k_inf);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        m = _mm256_max_pd(m, _mm256_loadu_pd(p + i));
+    }
+    const __m128d m2 =
+        _mm_max_pd(_mm256_castpd256_pd128(m), _mm256_extractf128_pd(m, 1));
+    double out = _mm_cvtsd_f64(_mm_max_sd(m2, _mm_unpackhi_pd(m2, m2)));
+    for (; i < n; ++i) {
+        if (p[i] > out) out = p[i];
+    }
+    return out;
+}
+
+constexpr Kernels k_avx2_kernels{
+    avx2_pace_row_sw,  avx2_pace_row_hw, avx2_pace_row_parent,
+    avx2_multi_shift_lane, avx2_max_reduce,
+};
+
+#endif  // LYCOS_HAVE_AVX2_KERNELS
+
+Isa detect_best_isa() {
+#if LYCOS_HAVE_AVX2_KERNELS
+    if (__builtin_cpu_supports("avx2")) return Isa::avx2;
+#endif
+    return Isa::scalar;
+}
+
+// The active level, selected once on first use; force_isa stores a
+// clamped override.  Relaxed is enough: the tables are immutable and
+// every level computes identical bits.
+std::atomic<int> g_active_isa{-1};
+
+Isa resolve_active() {
+    int cur = g_active_isa.load(std::memory_order_relaxed);
+    if (cur < 0) {
+        cur = static_cast<int>(detect_best_isa());
+        g_active_isa.store(cur, std::memory_order_relaxed);
+    }
+    return static_cast<Isa>(cur);
+}
+
+}  // namespace
+
+const Kernels& kernels(Isa isa) {
+#if LYCOS_HAVE_AVX2_KERNELS
+    if (isa == Isa::avx2 && best_isa() == Isa::avx2) return k_avx2_kernels;
+#endif
+    (void)isa;
+    return k_scalar_kernels;
+}
+
+const Kernels& kernels() { return kernels(resolve_active()); }
+
+Isa active_isa() { return resolve_active(); }
+
+Isa best_isa() {
+    static const Isa best = detect_best_isa();
+    return best;
+}
+
+void force_isa(Isa isa) {
+    if (isa > best_isa()) isa = best_isa();
+    g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+const char* isa_name(Isa isa) {
+    switch (isa) {
+        case Isa::avx2:
+            return "avx2";
+        case Isa::scalar:
+            break;
+    }
+    return "scalar";
+}
+
+}  // namespace lycos::util::simd

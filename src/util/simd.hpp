@@ -1,0 +1,113 @@
+// Runtime-dispatched SIMD kernel layer for the DP store kernels.
+//
+// The PACE value sweeps are rows of *pure stores*: every destination
+// cell has exactly one source cell, combined with one add and one max
+// per lane.  Those rows vectorize without changing a single bit —
+// vaddpd/vmaxpd apply the identical IEEE add and the identical
+// max-with-tie-to-second-operand per lane that the scalar kernels
+// spell out — so the SIMD kernels are bit-identical to the scalar
+// ones by construction (values AND the parent comparisons the traced
+// sweep derives from them), not merely numerically close.  The
+// randomized equivalence suite in tests/test_simd_kernels.cpp pins
+// this.
+//
+// Dispatch model: each kernel exists once per ISA level in a
+// `Kernels` table.  The active table is selected once per process on
+// first use (best compiled level the CPU supports); callers grab
+// `kernels()` at the top of a sweep and call through it, so the
+// per-row cost is one predictable indirect call.  The scalar table is
+// always built — LYCOS_DISABLE_SIMD (CMake option, or a compiler
+// without target("avx2") support) compiles nothing else — and
+// `force_isa` clamps the selection downward for A/B runs
+// (lycos_cli --no-simd) and for the equivalence tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lycos::util::simd {
+
+/// Kernel instruction-set levels, in increasing order.
+enum class Isa {
+    scalar,
+    avx2,
+};
+
+/// Sentinel key multi_shift_lane writes for states whose shifted a1
+/// overflows its cap: larger than every valid (a0 << 32 | a1) key, so
+/// the dominance merge skips it without a validity side-channel.
+inline constexpr std::uint64_t k_invalid_key = ~std::uint64_t{0};
+
+/// One table of kernel entry points per ISA level.  All tables have
+/// identical semantics bit for bit; only the speed differs.
+struct Kernels {
+    /// Single-ASIC value-sweep row, software lane over `n` (area,
+    /// side) pairs:
+    ///   nxt[2a]   = cur[2a] > cur[2a+1] ? cur[2a] : cur[2a+1]
+    ///   nxt[2a+1] = -inf
+    void (*pace_row_sw)(const double* cur, double* nxt, std::size_t n);
+
+    /// Hardware lane over `n` pairs, destination pre-shifted by the
+    /// BSB's quantized area (out = nxt + qa * 2); even slots of `out`
+    /// are preserved:
+    ///   c0 = cur[2a] + gain; c1 = cur[2a+1] + gain_save
+    ///   out[2a+1] = c0 > c1 ? c0 : c1
+    void (*pace_row_hw)(const double* cur, double* out, std::size_t n,
+                        double gain, double gain_save);
+
+    /// Traceback parents for one destination lane over `n` pairs:
+    ///   parent[a] = (cur[2a+1] + add1) > (cur[2a] + add0) ? 1 : 0
+    /// (add0 = add1 = 0 reproduces the software lane's v1 > v0 test;
+    /// add0 = gain, add1 = gain_save the hardware lane's c1 > c0).
+    void (*pace_row_parent)(const double* cur, std::uint8_t* parent,
+                            std::size_t n, double add0, double add1);
+
+    /// Multi-ASIC dominance-merge scan: shift one SoA source lane by
+    /// this row's quantized areas and pre-add its gain, producing the
+    /// packed keys and values the 3-way merge consumes.
+    ///   key[i] = (a0[i] + da0) << 32 | (a1[i] + da1)
+    ///   val[i] = value[i] + add
+    /// Entries whose shifted a1 exceeds cap1 get key = k_invalid_key
+    /// (skipped singles); the scan stops at the first entry whose
+    /// shifted a0 exceeds cap0 (a0 ascending input: the rest of the
+    /// lane is dead too) and returns the number of entries written.
+    std::size_t (*multi_shift_lane)(const std::int32_t* a0,
+                                    const std::int32_t* a1,
+                                    const double* value, std::size_t n,
+                                    std::int32_t da0, std::int32_t da1,
+                                    double add, std::int32_t cap0,
+                                    std::int32_t cap1, std::uint64_t* key,
+                                    double* val);
+
+    /// Max over `n` contiguous doubles (-inf for n = 0) — the blocked
+    /// prefix-max's streaming block scan.  Max is order-independent
+    /// over non-NaN inputs, so every table returns the same value.
+    double (*max_reduce)(const double* p, std::size_t n);
+};
+
+/// The active kernel table.  Selected once per process on first call
+/// (the best compiled level the running CPU supports), downgradable
+/// via force_isa; grab the reference once per sweep.
+const Kernels& kernels();
+
+/// A specific level's table; levels above best_isa() fall back to the
+/// best available one.  The bench harness times scalar() against the
+/// active table without flipping process-wide state.
+const Kernels& kernels(Isa isa);
+
+/// The level `kernels()` currently dispatches to.
+Isa active_isa();
+
+/// The best level this build + CPU can run (scalar when compiled with
+/// LYCOS_DISABLE_SIMD or on a CPU without AVX2).
+Isa best_isa();
+
+/// Clamp dispatch to min(isa, best_isa()) — for scalar A/B runs
+/// (lycos_cli --no-simd) and the scalar-vs-SIMD equivalence tests.
+/// Results are bit-identical at every level; only speed changes.
+void force_isa(Isa isa);
+
+/// "scalar" / "avx2".
+const char* isa_name(Isa isa);
+
+}  // namespace lycos::util::simd

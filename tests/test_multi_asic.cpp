@@ -250,12 +250,21 @@ TEST(MultiPace, sparse_matches_frontier_and_dense_randomized)
 
 namespace {
 
-std::vector<lp::Multi_state> pruned(std::vector<lp::Multi_state> states,
+/// AoS convenience shim over the SoA prune: tests state their cases
+/// as Multi_state lists, prune runs on the production Multi_state_soa
+/// layout.
+std::vector<lp::Multi_state> pruned(const std::vector<lp::Multi_state>& states,
                                     int a1_cap)
 {
+    lp::Multi_state_soa soa;
+    for (const auto& s : states)
+        soa.push_back(s.a0, s.a1, s.value, s.parent);
     lp::Multi_pace_state_set set;
-    set.prune(states, a1_cap);
-    return states;
+    set.prune(soa, a1_cap);
+    std::vector<lp::Multi_state> out;
+    for (std::size_t i = 0; i < soa.size(); ++i)
+        out.push_back(soa[i]);
+    return out;
 }
 
 }  // namespace

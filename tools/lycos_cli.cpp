@@ -27,6 +27,7 @@
 #include "solver/solver.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -94,6 +95,7 @@ void print_solve_stats(std::ostream& os, const solver::Solve_result& r)
                                       util::with_commas(r.dp_rows_swept) +
                                       " swept"});
     table.add_row({"threads", std::to_string(r.n_threads)});
+    table.add_row({"kernels", util::simd::isa_name(util::simd::active_isa())});
     table.add_row({"seconds", util::fixed(r.seconds, 3)});
     if (r.status != util::Solve_status::complete) {
         table.add_row({"status", std::string(util::to_string(r.status)) +
@@ -152,6 +154,9 @@ int main(int argc, char** argv)
                     "statistics instead of the source annotations");
     args.add_flag("storage", "charge estimated register/multiplexer area");
     args.add_flag("trace", "print the allocation step trace");
+    args.add_flag("no-simd",
+                  "dispatch the scalar kernel table only (A/B runs; results "
+                  "are bit-identical, only speed changes)");
     args.add_flag("help", "show this help");
 
     try {
@@ -165,6 +170,8 @@ int main(int argc, char** argv)
         std::cout << args.usage();
         return 0;
     }
+    if (args.flag("no-simd"))
+        util::simd::force_isa(util::simd::Isa::scalar);
 
     // Benchmark mode: measure old-vs-new search throughput and write
     // the JSON report (needs no application input; CI calls this).
