@@ -10,6 +10,7 @@
 #include "core/allocator.hpp"
 #include "hw/target.hpp"
 #include "search/exhaustive.hpp"
+#include "serve/serve.hpp"
 #include "solver/solver.hpp"
 #include "util/timer.hpp"
 
@@ -63,36 +64,35 @@ inline Run run_flow(apps::App app)
     return r;
 }
 
-/// Best allocation by search — deprecated shim over solver::Session's
-/// auto strategy pick: exhaustive when the space fits the budget of
-/// evaluations, otherwise iterated hill climbing (the session's fixed
-/// seed keeps the "best found" reproducible).  The coarse search and
-/// the fine re-score of the winner share the session cache — the
-/// per-BSB schedules don't depend on the PACE quantum, so the
-/// re-score runs entirely on warm entries — and the returned
-/// cache_stats report the combined hit rate.  Prefer driving a
-/// Session directly.
+/// Best allocation by search — deprecated shim over the serving
+/// layer's synchronous one-shot path: the auto strategy pick
+/// (exhaustive when the space fits the budget of evaluations,
+/// otherwise iterated hill climbing with the fixed reproducible
+/// seed), then the fine re-score of the winner on the warm session
+/// cache, with the re-score's lookups folded into the returned
+/// cache_stats (`Request::rescore_fine`).  Bit-identical to the old
+/// hand-built Session flow — the server runs the same
+/// solve-then-rescore steps, it just owns the option plumbing.
+/// Prefer driving a serve::Server or a Session directly.
 inline search::Search_result find_best(const Run& r,
                                        long long exhaustive_limit = 30000)
 {
-    solver::Problem problem;
-    problem.bsbs = r.app.bsbs;
-    problem.lib = &r.lib;
-    problem.target = r.target;
-    problem.restrictions = r.restrictions;
-    problem.ctrl_mode = k_eval_mode;
-    problem.area_quantum =
+    serve::Server server({.n_workers = 0});
+    serve::Request request;
+    request.problem.bsbs = r.app.bsbs;
+    request.problem.lib = &r.lib;
+    request.problem.target = r.target;
+    request.problem.restrictions = r.restrictions;
+    request.problem.ctrl_mode = k_eval_mode;
+    request.problem.area_quantum =
         r.target.asic.total_area / k_search_quantum_divisor;
-    solver::Session session(problem);
-    session.exhaustive_limit = exhaustive_limit;
+    request.exhaustive_limit = exhaustive_limit;
+    request.rescore_fine = true;
 
-    auto result = solver::to_search_result(session.solve());
-    // Re-score the winner with the fine default quantum, on the warm
-    // session cache; fold the re-score's lookups into the stats.
-    const auto before = session.cache().stats();
-    result.best = session.rescore(result.best.datapath);
-    result.cache_stats += session.cache().stats().minus(before);
-    return result;
+    const auto response = server.solve(std::move(request));
+    if (response.status == serve::Request_status::failed)
+        throw std::invalid_argument("find_best: " + response.error);
+    return solver::to_search_result(response.result);
 }
 
 /// Share of application operations mapped to hardware (the paper's

@@ -84,6 +84,22 @@ core::Rmap Alloc_space::nth(long long index) const
     return a;
 }
 
+core::Rmap Alloc_space::greedy_fill(const hw::Hw_library& lib,
+                                    double budget) const
+{
+    core::Rmap greedy;
+    double area = 0.0;
+    for (const auto& [id, bound] : dims_) {
+        const double unit = lib[id].area;
+        int c = bound;
+        while (c > 0 && area + unit * c > budget)
+            --c;
+        greedy.set(id, c);
+        area += unit * c;
+    }
+    return greedy;
+}
+
 std::vector<int> Alloc_space::decompose(long long index) const
 {
     std::vector<int> digits(dims_.size(), 0);

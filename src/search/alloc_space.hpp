@@ -52,6 +52,15 @@ public:
     /// std::out_of_range.
     core::Rmap nth(long long index) const;
 
+    /// Greedy per-axis fill: each dimension takes the largest count
+    /// within its bound that keeps the data-path area inside `budget`
+    /// (dimensions in id order, earlier axes filled first).  The
+    /// result is always a point of this space with area <= budget —
+    /// the pair-tree search primes its incumbent from it, and the
+    /// serving layer's infallible `greedy_incumbent` ladder rung
+    /// scores it.  Pure arithmetic over the dims; deterministic.
+    core::Rmap greedy_fill(const hw::Hw_library& lib, double budget) const;
+
     /// Dimensions: (resource id, max count) pairs in id order.
     const std::vector<std::pair<hw::Resource_id, int>>& dims() const
     {

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "apps/random_app.hpp"
 #include "bsb/bsb.hpp"
@@ -19,6 +21,8 @@
 #include "search/eval_cache.hpp"
 #include "search/exhaustive.hpp"
 #include "search/hill_climb.hpp"
+#include "serve/serve.hpp"
+#include "serve/trace.hpp"
 #include "solver/solver.hpp"
 #include "util/arena.hpp"
 #include "util/cancel.hpp"
@@ -342,6 +346,90 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
         }
     }
 
+    // Serve section: the same scenario through serve::Server.  A
+    // calibration one-shot (inline mode, no queue) prices a single
+    // hill_climb request; the burst then pushes 16 normal requests
+    // (mixed priorities, single-threaded solves so the two workers
+    // don't fight over cores) plus 4 with already-expired deadlines —
+    // those walk the degradation ladder down to the greedy incumbent
+    // and land as `degraded`, so the ladder is exercised on every
+    // bench run.  The p99 gate budget is queue depth per worker times
+    // the calibrated cost, times a generous factor.
+    {
+        const auto make_request = [&](double deadline_ms,
+                                      serve::Priority priority) {
+            serve::Request request;
+            request.problem.bsbs = bsbs;
+            request.problem.lib = &lib;
+            request.problem.target = target;
+            request.problem.restrictions = restrictions;
+            request.problem.ctrl_mode = pace::Controller_mode::list_schedule;
+            request.problem.area_quantum = config.asic_area / 256.0;
+            request.strategy = "hill_climb";
+            request.priority = priority;
+            request.deadline_ms = deadline_ms;
+            request.options.n_threads = 1;
+            return request;
+        };
+
+        serve::Server calib({.n_workers = 0});
+        const auto warmup =
+            calib.solve(make_request(0.0, serve::Priority::bulk));
+        const auto calibrated =
+            calib.solve(make_request(0.0, serve::Priority::bulk));
+        (void)warmup;
+        out.serve_calib_ms = calibrated.solve_ms;
+
+        constexpr int k_normal = 16;
+        constexpr int k_expired = 4;
+        constexpr int k_workers = 2;
+        serve::Server server({.n_workers = k_workers,
+                              .queue_capacity = 64,
+                              .warm_start = false});
+        std::vector<std::future<serve::Response>> futures;
+        for (int i = 0; i < k_normal; ++i)
+            futures.push_back(server.submit(
+                make_request(0.0, i % 2 == 0 ? serve::Priority::bulk
+                                             : serve::Priority::interactive)));
+        for (int i = 0; i < k_expired; ++i)
+            futures.push_back(server.submit(
+                make_request(1e-3, serve::Priority::bulk)));
+
+        std::vector<double> latencies_ms;
+        for (auto& f : futures) {
+            const auto r = f.get();
+            ++out.serve_requests;
+            switch (r.status) {
+            case serve::Request_status::complete:
+                ++out.serve_completed;
+                break;
+            case serve::Request_status::degraded:
+                ++out.serve_degraded;
+                break;
+            case serve::Request_status::shed:
+                ++out.serve_shed;
+                break;
+            case serve::Request_status::failed:
+                ++out.serve_failed;
+                break;
+            }
+            if (r.status == serve::Request_status::complete ||
+                r.status == serve::Request_status::degraded)
+                latencies_ms.push_back(r.queue_ms + r.solve_ms);
+        }
+        out.serve_workers = k_workers;
+        out.serve_p50_ms = serve::percentile(latencies_ms, 0.50);
+        out.serve_p99_ms = serve::percentile(latencies_ms, 0.99);
+        const double depth_per_worker =
+            static_cast<double>(k_normal + k_expired) / k_workers;
+        out.serve_p99_budget_ms =
+            std::max(k_serve_p99_floor_ms, k_serve_p99_budget_factor *
+                                               out.serve_calib_ms *
+                                               depth_per_worker);
+        out.serve_p99_ok = out.serve_failed == 0 && out.serve_shed == 0 &&
+                           out.serve_p99_ms <= out.serve_p99_budget_ms;
+    }
+
     // Kernel-dispatch section: the dispatched SIMD kernel table
     // against the always-built scalar one, on the two row scans the
     // DP sweeps spend their time in — the single-ASIC value-sweep row
@@ -591,6 +679,18 @@ std::string to_json(const Search_bench_config& config,
             << result.deadline_best_time_ns[i] << ", \"complete\": "
             << (result.deadline_complete[i] ? "true" : "false") << "}";
     out << "]},\n"
+        << "  \"serve\": {\"requests\": " << result.serve_requests
+        << ", \"workers\": " << result.serve_workers
+        << ", \"completed\": " << result.serve_completed
+        << ", \"degraded\": " << result.serve_degraded
+        << ", \"shed\": " << result.serve_shed
+        << ", \"failed\": " << result.serve_failed
+        << ", \"calib_ms\": " << result.serve_calib_ms
+        << ", \"p50_ms\": " << result.serve_p50_ms
+        << ", \"p99_ms\": " << result.serve_p99_ms
+        << ", \"p99_budget_ms\": " << result.serve_p99_budget_ms
+        << ", \"p99_ok\": " << (result.serve_p99_ok ? "true" : "false")
+        << "},\n"
         << "  \"kernels\": {\"isa\": \"" << result.kernels_isa << "\""
         << ", \"simd_available\": "
         << (result.kernels_simd_available ? "true" : "false") << ",\n"
@@ -698,6 +798,14 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
                       ")"
                 : std::string("scalar-only build/CPU, gates waived"))
         << "\n"
+        << "  serve burst (" << result.serve_workers << " workers):      "
+        << result.serve_requests << " requests, p50 "
+        << util::fixed(result.serve_p50_ms, 1) << " ms, p99 "
+        << util::fixed(result.serve_p99_ms, 1) << " ms (budget "
+        << util::fixed(result.serve_p99_budget_ms, 1) << " ms; "
+        << result.serve_completed << " complete, " << result.serve_degraded
+        << " degraded, " << result.serve_shed << " shed; "
+        << (result.serve_p99_ok ? "ok" : "TOO SLOW") << ")\n"
         << "  cancel-token poll overhead:   "
         << util::fixed(100.0 * result.deadline_poll_overhead, 2) << "% ("
         << util::fixed(result.deadline_secs_no_token * 1e3, 1)
@@ -760,6 +868,11 @@ int write_bench_report(const std::string& path, std::ostream& log,
         if (!result.deadline_overhead_ok)
             err << "error: an armed-but-idle Cancel_token slowed the "
                    "new_single sweep by more than 1%\n";
+        if (!result.serve_p99_ok)
+            err << "error: the serve burst missed its p99 budget ("
+                << result.serve_p99_ms << " ms > "
+                << result.serve_p99_budget_ms << " ms) or shed/failed "
+                   "requests on an uncontended queue\n";
         if (!result.kern_pace_ok)
             err << "error: SIMD pace-sweep kernels regressed below "
                 << k_kernel_pace_min_speedup << "x scalar (measured "
@@ -776,8 +889,8 @@ int write_bench_report(const std::string& path, std::ostream& log,
                        result.solver_multi_rows_pruned > 0 &&
                        result.solver_multi_dp_states <
                            result.solver_multi_dp_dense &&
-                       result.deadline_overhead_ok && result.kern_pace_ok &&
-                       result.kern_merge_ok
+                       result.deadline_overhead_ok && result.serve_p99_ok &&
+                       result.kern_pace_ok && result.kern_merge_ok
                    ? 0
                    : 1;
     }

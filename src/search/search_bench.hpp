@@ -54,6 +54,16 @@ struct Search_bench_config {
 inline constexpr double k_kernel_pace_min_speedup = 1.5;
 inline constexpr double k_kernel_merge_min_speedup = 1.3;
 
+/// Serving-layer latency gate (BENCH_search.json "serve" section):
+/// p99 end-to-end latency of a request burst must stay under
+/// `factor x` the calibrated per-request cost times the queue depth
+/// per worker, with an absolute floor so fast machines cannot fail on
+/// timer noise.  Deliberately generous — the gate exists to catch
+/// catastrophic regressions (a serialized pool, a lost wakeup, a
+/// per-request overhead blowup), not to pin the absolute latency.
+inline constexpr double k_serve_p99_budget_factor = 4.0;
+inline constexpr double k_serve_p99_floor_ms = 50.0;
+
 /// Measured throughputs (evaluations per second) and speedups.
 struct Search_bench_result {
     long long space_size = 0;
@@ -157,6 +167,24 @@ struct Search_bench_result {
     std::array<bool, 3> deadline_complete{false, false, false};
     double deadline_untruncated_time_ns = 0.0;  ///< the full solve's best
 
+    /// Serve section (BENCH "serve"): a burst of hill_climb requests
+    /// over the same scenario through serve::Server — end-to-end
+    /// (queue + solve) latency percentiles, the status counts, and
+    /// the p99 gate.  The burst mixes priorities and includes a few
+    /// already-expired deadlines, so the degradation ladder (skip to
+    /// the greedy incumbent) is exercised on every run.
+    long long serve_requests = 0;
+    long long serve_completed = 0;
+    long long serve_degraded = 0;
+    long long serve_shed = 0;
+    long long serve_failed = 0;
+    int serve_workers = 0;
+    double serve_calib_ms = 0.0;  ///< one-shot per-request cost (no queue)
+    double serve_p50_ms = 0.0;
+    double serve_p99_ms = 0.0;
+    double serve_p99_budget_ms = 0.0;
+    bool serve_p99_ok = false;  ///< p99 <= budget — the CI gate
+
     /// Kernel-dispatch section (BENCH "kernels"): min-of-N timings of
     /// the scalar kernel table against the best dispatched one on the
     /// two hot row scans — the single-ASIC value-sweep row
@@ -197,7 +225,9 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// (`pair_tree_bb.deterministic`), its row bound killed at least one
 /// row, the sparse DPs swept fewer cells than the dense grids they
 /// replaced, an armed-but-idle Cancel_token cost the new_single
-/// sweep under 1% (`deadline.overhead_ok`), and — on builds/CPUs with
+/// sweep under 1% (`deadline.overhead_ok`), the serving layer's
+/// request burst finished every request and kept its p99 under the
+/// calibrated budget (`serve.p99_ok`), and — on builds/CPUs with
 /// SIMD — the dispatched kernels beat the scalar table by the pinned
 /// min-of-N ratios (`kernels.*.ok`)); failures are reported on
 /// `err`, never thrown.

@@ -1,0 +1,242 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/apps.hpp"
+#include "core/analysis.hpp"
+#include "core/restrictions.hpp"
+#include "hw/target.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace lycos::serve {
+
+namespace {
+
+Priority parse_priority(const std::string& value, int line)
+{
+    if (value == "interactive")
+        return Priority::interactive;
+    if (value == "bulk")
+        return Priority::bulk;
+    throw std::invalid_argument("serve trace line " + std::to_string(line) +
+                                ": unknown priority \"" + value + "\"");
+}
+
+/// Everything a request's Problem points into, built once per
+/// (app, area) and kept alive for the whole replay.
+struct App_context {
+    apps::App app;
+    hw::Hw_library lib;
+    hw::Target target;
+    core::Rmap restrictions;
+};
+
+App_context make_app_context(const std::string& name, double area)
+{
+    App_context ctx;
+    if (name == "straight")
+        ctx.app = apps::make_straight();
+    else if (name == "hal")
+        ctx.app = apps::make_hal();
+    else if (name == "man")
+        ctx.app = apps::make_man();
+    else if (name == "eigen")
+        ctx.app = apps::make_eigen();
+    else
+        throw std::invalid_argument("serve trace: unknown app \"" + name +
+                                    "\"");
+    ctx.lib = hw::make_default_library();
+    ctx.target = hw::make_default_target(area > 0.0 ? area
+                                                    : ctx.app.asic_area);
+    const auto infos = core::analyze(ctx.app.bsbs, ctx.lib, ctx.target.gates);
+    ctx.restrictions = core::compute_restrictions(infos, ctx.lib);
+    return ctx;
+}
+
+}  // namespace
+
+std::vector<Trace_spec> parse_trace(std::istream& in)
+{
+    std::vector<Trace_spec> specs;
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        std::istringstream fields(raw);
+        std::string field;
+        Trace_spec spec;
+        spec.line = line;
+        bool any = false;
+        while (fields >> field) {
+            const auto eq = field.find('=');
+            if (eq == std::string::npos)
+                throw std::invalid_argument(
+                    "serve trace line " + std::to_string(line) +
+                    ": expected key=value, got \"" + field + "\"");
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            try {
+                if (key == "app")
+                    spec.app = value;
+                else if (key == "area")
+                    spec.area = std::stod(value);
+                else if (key == "strategy")
+                    spec.strategy = value;
+                else if (key == "priority")
+                    spec.priority = parse_priority(value, line);
+                else if (key == "deadline_ms")
+                    spec.deadline_ms = std::stod(value);
+                else if (key == "max_evals")
+                    spec.max_evals =
+                        static_cast<std::uint64_t>(std::stoull(value));
+                else if (key == "max_dp_cells")
+                    spec.max_dp_cells =
+                        static_cast<std::uint64_t>(std::stoull(value));
+                else if (key == "threads")
+                    spec.threads = std::stoi(value);
+                else if (key == "repeat")
+                    spec.repeat = std::max(1, std::stoi(value));
+                else if (key == "chaos_seed")
+                    spec.chaos_seed =
+                        static_cast<std::uint64_t>(std::stoull(value));
+                else
+                    throw std::invalid_argument(
+                        "serve trace line " + std::to_string(line) +
+                        ": unknown key \"" + key + "\"");
+            }
+            catch (const std::invalid_argument&) {
+                throw;
+            }
+            catch (const std::exception&) {
+                throw std::invalid_argument(
+                    "serve trace line " + std::to_string(line) +
+                    ": malformed value \"" + value + "\" for " + key);
+            }
+            any = true;
+        }
+        if (any)
+            specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+double percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = q * static_cast<double>(values.size());
+    const auto idx = static_cast<std::size_t>(std::max(
+        0.0, std::ceil(rank) - 1.0));
+    return values[std::min(idx, values.size() - 1)];
+}
+
+int run_trace(std::istream& in, std::ostream& out,
+              const Trace_options& options)
+{
+    const auto specs = parse_trace(in);
+
+    // Problems point into these; build each (app, area) once.
+    std::map<std::pair<std::string, double>, App_context> app_contexts;
+    for (const auto& spec : specs) {
+        const auto key = std::make_pair(spec.app, spec.area);
+        if (!app_contexts.contains(key))
+            app_contexts.emplace(key, make_app_context(spec.app, spec.area));
+    }
+
+    Server server({.n_workers = options.n_workers,
+                   .queue_capacity = options.queue_capacity,
+                   .warm_start = options.warm_start});
+
+    struct Row {
+        const Trace_spec* spec;
+        std::future<Response> future;
+    };
+    std::vector<Row> rows;
+    for (const auto& spec : specs) {
+        const auto& ctx = app_contexts.at({spec.app, spec.area});
+        for (int copy = 0; copy < spec.repeat; ++copy) {
+            Request request;
+            request.problem.bsbs = ctx.app.bsbs;
+            request.problem.lib = &ctx.lib;
+            request.problem.target = ctx.target;
+            request.problem.restrictions = ctx.restrictions;
+            // The bench flow's coarse search quantum (the winner can
+            // be re-scored fine by the caller; the replay reports
+            // latency and status, not Table 1 numbers).
+            request.problem.area_quantum =
+                ctx.target.asic.total_area / 512.0;
+            request.strategy = spec.strategy;
+            request.priority = spec.priority;
+            request.deadline_ms = spec.deadline_ms;
+            request.options.n_threads = spec.threads;
+            request.options.max_evals = spec.max_evals;
+            request.options.max_dp_cells = spec.max_dp_cells;
+            if (spec.chaos_seed != 0)
+                request.chaos = Chaos_plan::from_seed(spec.chaos_seed, 4, 16);
+            rows.push_back({&spec, server.submit(std::move(request))});
+        }
+    }
+
+    util::Table_printer table({"id", "app", "strategy", "priority", "status",
+                               "rung", "queue ms", "solve ms"});
+    std::map<Request_status, int> by_status;
+    std::vector<double> latency_interactive;
+    std::vector<double> latency_bulk;
+    int n_failed = 0;
+    for (auto& row : rows) {
+        const Response r = row.future.get();
+        ++by_status[r.status];
+        if (r.status == Request_status::failed)
+            ++n_failed;
+        if (r.status == Request_status::complete ||
+            r.status == Request_status::degraded)
+            (row.spec->priority == Priority::interactive
+                 ? latency_interactive
+                 : latency_bulk)
+                .push_back(r.queue_ms + r.solve_ms);
+        table.add_row({std::to_string(r.id), row.spec->app,
+                       row.spec->strategy, to_string(row.spec->priority),
+                       to_string(r.status),
+                       r.rung >= 0 ? r.rung_strategy : "-",
+                       util::fixed(r.queue_ms, 2),
+                       util::fixed(r.solve_ms, 2)});
+    }
+    table.print(out);
+
+    out << "\nstatus:";
+    for (const auto& [status, count] : by_status)
+        out << " " << to_string(status) << "=" << count;
+    out << "\n";
+
+    util::Table_printer latency({"class", "n", "p50 ms", "p99 ms"});
+    latency.add_row({"interactive",
+                     std::to_string(latency_interactive.size()),
+                     util::fixed(percentile(latency_interactive, 0.50), 2),
+                     util::fixed(percentile(latency_interactive, 0.99), 2)});
+    latency.add_row({"bulk", std::to_string(latency_bulk.size()),
+                     util::fixed(percentile(latency_bulk, 0.50), 2),
+                     util::fixed(percentile(latency_bulk, 0.99), 2)});
+    latency.print(out);
+
+    const auto stats = server.stats();
+    out << "workers=" << options.n_workers << " shed=" << stats.shed
+        << " degraded=" << stats.degraded << " retries=" << stats.retries
+        << " warm_hits=" << stats.warm_hits
+        << " sessions_reused=" << stats.sessions_reused << "\n";
+
+    return n_failed > 0 ? 5 : 0;
+}
+
+}  // namespace lycos::serve

@@ -1,0 +1,63 @@
+// Request-trace replay: feed a Server from a text file of requests
+// (`lycos_cli --serve-trace`), print the per-request outcome and the
+// per-class latency table the CI chaos job archives.
+//
+// Trace format — one request per line, `key=value` pairs separated by
+// whitespace, `#` starts a comment:
+//
+//     app=hal strategy=exhaustive_bb priority=interactive deadline_ms=50
+//     app=man strategy=multi_asic_bb repeat=3 chaos_seed=7
+//
+// Keys: app (straight|hal|man|eigen), area (gates; 0 = app preset),
+// strategy (auto or a registry name), priority (interactive|bulk),
+// deadline_ms, max_evals, max_dp_cells, threads, repeat (submit N
+// copies), chaos_seed (arm a seeded Chaos_plan; 0 = none).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace lycos::serve {
+
+/// One parsed trace line (before `repeat` expansion).
+struct Trace_spec {
+    std::string app = "hal";
+    double area = 0.0;  ///< 0 = the app's preset ASIC area
+    std::string strategy = "auto";
+    Priority priority = Priority::bulk;
+    double deadline_ms = 0.0;
+    std::uint64_t max_evals = 0;
+    std::uint64_t max_dp_cells = 0;
+    int threads = 1;
+    int repeat = 1;
+    std::uint64_t chaos_seed = 0;  ///< 0 = no chaos plan
+    int line = 0;                  ///< 1-based source line, for errors
+};
+
+/// Parse a trace stream.  Throws std::invalid_argument naming the
+/// offending line on unknown keys or malformed values.
+std::vector<Trace_spec> parse_trace(std::istream& in);
+
+/// Nearest-rank percentile of `values` (q in [0, 1]); 0 when empty.
+/// Sorts a copy — callers keep their order.
+double percentile(std::vector<double> values, double q);
+
+struct Trace_options {
+    int n_workers = 2;
+    std::size_t queue_capacity = 64;
+    bool warm_start = true;
+};
+
+/// Replay a trace through a Server: submit every expanded request,
+/// print one row per response plus the status counts and the
+/// per-priority-class p50/p99 latency table.  Returns 0 when no
+/// request failed, 5 (the CLI's internal-error exit code) otherwise.
+/// Parse errors propagate as std::invalid_argument.
+int run_trace(std::istream& in, std::ostream& out,
+              const Trace_options& options);
+
+}  // namespace lycos::serve

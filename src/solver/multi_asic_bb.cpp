@@ -86,27 +86,6 @@ struct Pair_chunk {
     search::Eval_cache_stats stats;
 };
 
-/// Greedy per-axis probe (the prime_incumbent idea): fill each
-/// dimension up to its bound while the data-path still fits the
-/// budget.  The result is a point of the filtered axis list, so
-/// priming against its screened time can only remove pairs strictly
-/// worse than a pair the enumeration scores anyway.
-core::Rmap greedy_fill(const search::Alloc_space& space,
-                       const hw::Hw_library& lib, double budget)
-{
-    core::Rmap greedy;
-    double area = 0.0;
-    for (const auto& [id, bound] : space.dims()) {
-        const double unit = lib[id].area;
-        int c = bound;
-        while (c > 0 && area + unit * c > budget)
-            --c;
-        greedy.set(id, c);
-        area += unit * c;
-    }
-    return greedy;
-}
-
 /// Fill the a0 half of the combined costs (t_sw is allocation-
 /// independent and rides along).  Done once per a0 row of the walk;
 /// set_asic1_costs patches only the a1 half per pair.
@@ -277,8 +256,12 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Bsb_cost> probe0;
         std::vector<pace::Bsb_cost> probe1;
         std::vector<pace::Multi_bsb_cost> probe_costs;
-        const auto g0 = greedy_fill(space, ctx.lib, budgets[0]);
-        const auto g1 = greedy_fill(space, ctx.lib, budgets[1]);
+        // Greedy per-axis probe (the prime_incumbent idea): a point of
+        // the filtered axis list, so priming against its screened time
+        // can only remove pairs strictly worse than a pair the
+        // enumeration scores anyway.
+        const auto g0 = space.greedy_fill(ctx.lib, budgets[0]);
+        const auto g1 = space.greedy_fill(ctx.lib, budgets[1]);
         prep.costs_for(g0, probe0);
         prep.costs_for(g1, probe1);
         combine_costs(probe0, probe1, probe_costs);

@@ -1,5 +1,6 @@
 #include "solver/solver.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "search/alloc_space.hpp"
@@ -32,29 +33,98 @@ const hw::Hw_library& validated_lib(const Problem& problem)
 std::vector<Problem_defect> Problem::validate() const
 {
     std::vector<Problem_defect> defects;
+    // A NaN poisons the DP silently — every comparison involving it is
+    // false, so bounds stop pruning and better_tuple stops ordering —
+    // and an Inf turns areas/times into garbage that still "compares".
+    // Both are rejected up front, like the structural defects, instead
+    // of producing a confidently wrong partition.
+    const auto finite = [](double x) { return std::isfinite(x); };
     if (lib == nullptr)
         defects.push_back({"lib", "library pointer is null"});
     if (bsbs.empty())
         defects.push_back({"bsbs", "no basic scheduling blocks to "
                                    "partition"});
+    for (std::size_t i = 0; i < bsbs.size(); ++i)
+        if (!finite(bsbs[i].profile) || bsbs[i].profile < 0.0)
+            defects.push_back(
+                {"bsbs", "BSB " + std::to_string(i) + " (\"" +
+                             bsbs[i].name + "\") has a non-finite or "
+                             "negative profile count (" +
+                             std::to_string(bsbs[i].profile) + ")"});
     if (target.asic.total_area < 0.0)
         defects.push_back({"target",
                            "negative ASIC area (" +
                                std::to_string(target.asic.total_area) +
                                ")"});
+    if (!finite(target.asic.total_area))
+        defects.push_back({"target", "non-finite ASIC area (" +
+                                         std::to_string(
+                                             target.asic.total_area) +
+                                         ")"});
+    if (!finite(target.cpu.clock_mhz) || target.cpu.clock_mhz <= 0.0)
+        defects.push_back({"target",
+                           "processor clock must be finite and positive (" +
+                               std::to_string(target.cpu.clock_mhz) + ")"});
+    if (!finite(target.asic.clock_mhz) || target.asic.clock_mhz <= 0.0)
+        defects.push_back({"target",
+                           "ASIC clock must be finite and positive (" +
+                               std::to_string(target.asic.clock_mhz) + ")"});
+    if (!finite(target.bus.ns_per_word) || target.bus.ns_per_word < 0.0)
+        defects.push_back({"target",
+                           "non-finite or negative bus cost (" +
+                               std::to_string(target.bus.ns_per_word) +
+                               ")"});
+    for (const double gate : {target.gates.reg, target.gates.and2,
+                              target.gates.or2, target.gates.inv})
+        if (!finite(gate) || gate < 0.0) {
+            defects.push_back({"target",
+                               "non-finite or negative controller gate "
+                               "area (" +
+                                   std::to_string(gate) + ")"});
+            break;
+        }
     if (asic_areas[0] < 0.0 || asic_areas[1] < 0.0)
         defects.push_back({"asic_areas",
                            "negative multi-ASIC area budget (" +
+                               std::to_string(asic_areas[0]) + ", " +
+                               std::to_string(asic_areas[1]) + ")"});
+    if (!finite(asic_areas[0]) || !finite(asic_areas[1]))
+        defects.push_back({"asic_areas",
+                           "non-finite multi-ASIC area budget (" +
                                std::to_string(asic_areas[0]) + ", " +
                                std::to_string(asic_areas[1]) + ")"});
     if (area_quantum < 0.0)
         defects.push_back({"area_quantum",
                            "negative PACE area quantum (" +
                                std::to_string(area_quantum) + ")"});
+    if (!finite(area_quantum))
+        defects.push_back({"area_quantum",
+                           "non-finite PACE area quantum (" +
+                               std::to_string(area_quantum) + ")"});
     if (dp_table_budget < 0.0)
         defects.push_back({"dp_table_budget",
                            "negative DP table budget (" +
                                std::to_string(dp_table_budget) + ")"});
+    if (!finite(dp_table_budget))
+        defects.push_back({"dp_table_budget",
+                           "non-finite DP table budget (" +
+                               std::to_string(dp_table_budget) + ")"});
+    if (lib != nullptr) {
+        // Hw_library::add already rejects non-finite and non-positive
+        // areas; this re-check is defence in depth for a library that
+        // reached us through a different constructor or a future
+        // deserializer, so a poisoned area surfaces as a named defect
+        // here instead of as NaN sums deep in the DP.
+        for (std::size_t r = 0; r < lib->size(); ++r) {
+            const auto& res = (*lib)[static_cast<hw::Resource_id>(r)];
+            if (!finite(res.area) || res.area <= 0.0)
+                defects.push_back(
+                    {"lib", "resource \"" + res.name +
+                                "\" has a non-finite or non-positive "
+                                "area (" +
+                                std::to_string(res.area) + ")"});
+        }
+    }
     if (lib != nullptr) {
         for (const auto& [id, count] : restrictions.entries())
             if (id < 0 || static_cast<std::size_t>(id) >= lib->size())

@@ -35,6 +35,22 @@ Fault_injector Fault_injector::from_seed(std::uint64_t seed,
     return fault;
 }
 
+Fault_injector Fault_injector::alloc_from_seed(std::uint64_t seed,
+                                               std::uint64_t n_units)
+{
+    Fault_injector fault;
+    if (n_units == 0)
+        return fault;
+    // Same mix as from_seed, domain-separated so the two plans for one
+    // seed land on independent units.
+    std::uint64_t z = ~seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    fault.alloc_failure_at = z % n_units;
+    return fault;
+}
+
 struct Cancel_token::State {
     // 0 encodes "not tripped"; otherwise holds a Solve_status reason.
     // First writer wins via compare-exchange, so status() reports the

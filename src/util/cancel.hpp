@@ -75,6 +75,12 @@ struct Fault_injector {
     /// the seed.  n_units == 0 yields an unarmed injector.
     static Fault_injector from_seed(std::uint64_t seed,
                                     std::uint64_t n_units);
+
+    /// Same, but the chosen unit *throws std::bad_alloc* from admit()
+    /// instead of tripping — the seeded allocation-failure half of a
+    /// chaos plan (serve::Chaos_plan mixes both kinds).
+    static Fault_injector alloc_from_seed(std::uint64_t seed,
+                                          std::uint64_t n_units);
 };
 
 /// Shared cancellation handle.  Copyable; copies share one flag.

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <stdexcept>
 #include <utility>
 
 #include "util/cancel.hpp"
@@ -31,6 +32,14 @@ void Thread_pool::submit(std::function<void()> task)
 {
     {
         std::unique_lock lock(mutex_);
+        // A task enqueued while the pool shuts down can be stranded
+        // forever: a worker that found the queue empty has already
+        // exited and will never come back for it.  A long-lived
+        // serving layer must hear about that loudly, not hang a
+        // wait_idle() on work nobody will run.
+        if (stopping_)
+            throw std::runtime_error(
+                "Thread_pool::submit: pool is shutting down");
         tasks_.push({next_seq_++, std::move(task)});
     }
     task_ready_.notify_one();

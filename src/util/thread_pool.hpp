@@ -47,7 +47,11 @@ public:
 
     /// Enqueue a task for execution on some worker.  An exception
     /// escaping the task is captured (first by submission order) and
-    /// rethrown by the next wait_idle().
+    /// rethrown by the next wait_idle().  Throws std::runtime_error
+    /// once destruction has begun — a task enqueued that late may
+    /// never run (workers that found the queue empty have already
+    /// exited), and a silent never-runs task would hang wait_idle()
+    /// in a long-lived serving layer.
     void submit(std::function<void()> task);
 
     /// Block until every submitted task has finished.  If any task

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <new>
 #include <string>
 #include <thread>
@@ -235,6 +236,19 @@ TEST(FaultInjector, from_seed_is_reproducible_and_in_range)
     }
 }
 
+TEST(FaultInjector, alloc_from_seed_arms_the_alloc_failure_half)
+{
+    EXPECT_FALSE(lu::Fault_injector::alloc_from_seed(7, 0).armed());
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const auto a = lu::Fault_injector::alloc_from_seed(seed, 100);
+        const auto b = lu::Fault_injector::alloc_from_seed(seed, 100);
+        EXPECT_TRUE(a.armed());
+        EXPECT_EQ(a.trip_at, lu::Fault_injector::k_no_unit);
+        EXPECT_EQ(a.alloc_failure_at, b.alloc_failure_at);
+        EXPECT_LT(a.alloc_failure_at, 100u);
+    }
+}
+
 // ------------------------------------------------------ anytime solves
 
 // The tentpole contract: a solve truncated at logical unit k explores
@@ -397,6 +411,64 @@ TEST(AnytimeSolve, injected_alloc_failure_propagates_deterministically)
     }
 }
 
+// The pair search dispatches one admit() per a0 row: an injected
+// allocation failure at ANY row index must surface as std::bad_alloc
+// on every thread count, and a unit past every row must change
+// nothing.  Which indices are rows (vs. past-the-end) is a property
+// of the problem, not the chunking — so the thrown/completed outcome
+// must agree across thread counts too.
+TEST(AnytimeSolve, multi_asic_alloc_failure_covers_every_row)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    lso::Session session(small_problem(lib, bsbs));
+    const auto baseline = session.solve("multi_asic_bb", {});
+    ASSERT_EQ(baseline.status, lu::Solve_status::complete);
+
+    int n_throwing_units = 0;
+    for (std::uint64_t unit = 0; unit < 12; ++unit) {
+        bool threw_at_one_thread = false;
+        for (const int n_threads : {1, 2, 8}) {
+            lso::Solve_options options;
+            options.n_threads = n_threads;
+            options.fault.alloc_failure_at = unit;
+            bool threw = false;
+            try {
+                const auto r = session.solve("multi_asic_bb", options);
+                // Not a row index: the solve must be untouched.
+                EXPECT_EQ(fingerprint(r, lib), fingerprint(baseline, lib))
+                    << "unit=" << unit << " threads=" << n_threads;
+                EXPECT_EQ(r.status, lu::Solve_status::complete);
+            }
+            catch (const std::bad_alloc&) {
+                threw = true;
+            }
+            if (n_threads == 1) {
+                threw_at_one_thread = threw;
+                n_throwing_units += threw ? 1 : 0;
+            }
+            else {
+                EXPECT_EQ(threw, threw_at_one_thread)
+                    << "unit=" << unit << " threads=" << n_threads
+                    << ": alloc-failure outcome depends on chunking";
+            }
+        }
+    }
+    // The plan actually exercised the row dispatch, not just the
+    // past-the-end path.
+    EXPECT_GT(n_throwing_units, 0);
+
+    // Seeded plans compose with the row dispatch the same way.
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        lso::Solve_options options;
+        options.n_threads = 2;
+        options.fault = lu::Fault_injector::alloc_from_seed(seed, 4);
+        EXPECT_THROW(session.solve("multi_asic_bb", options),
+                     std::bad_alloc)
+            << "seed=" << seed;
+    }
+}
+
 // --------------------------------------------------------- validation
 
 TEST(ProblemValidate, well_formed_problem_has_no_defects)
@@ -437,6 +509,64 @@ TEST(ProblemValidate, flags_restrictions_outside_the_library)
     const auto defects = p.validate();
     ASSERT_EQ(defects.size(), 1u);
     EXPECT_EQ(defects[0].field, "restrictions");
+}
+
+TEST(ProblemValidate, rejects_non_finite_profiles_and_metrics)
+{
+    const auto lib = small_library();
+    auto bsbs = small_app();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    {  // NaN BSB execution profile, named by index and name
+        auto p = small_problem(lib, bsbs);
+        bsbs[1].name = "poisoned";
+        bsbs[1].profile = nan;
+        const auto defects = p.validate();
+        ASSERT_EQ(defects.size(), 1u);
+        EXPECT_EQ(defects[0].field, "bsbs");
+        EXPECT_NE(defects[0].message.find("poisoned"), std::string::npos);
+        bsbs[1].profile = 2.0;
+    }
+    {  // infinite ASIC area and NaN clocks/bus: one defect each
+        auto p = small_problem(lib, bsbs);
+        p.target.asic.total_area = inf;
+        p.target.cpu.clock_mhz = nan;
+        p.target.asic.clock_mhz = 0.0;
+        p.target.bus.ns_per_word = -inf;
+        EXPECT_EQ(p.validate().size(), 4u);
+    }
+    {  // NaN controller gate areas: one defect for the whole set
+        auto p = small_problem(lib, bsbs);
+        p.target.gates.reg = nan;
+        p.target.gates.inv = -1.0;
+        const auto defects = p.validate();
+        ASSERT_EQ(defects.size(), 1u);
+        EXPECT_EQ(defects[0].field, "target");
+    }
+    {  // non-finite quanta and budgets
+        auto p = small_problem(lib, bsbs);
+        p.area_quantum = nan;
+        p.dp_table_budget = inf;
+        p.asic_areas = {nan, 100.0};
+        EXPECT_EQ(p.validate().size(), 3u);
+    }
+}
+
+TEST(ProblemValidate, library_cannot_carry_a_nan_area)
+{
+    // `!(area > 0)` in Hw_library::add is NaN-safe (every comparison
+    // with NaN is false, so the negation throws) — which is why
+    // validate()'s lib re-check is pure defence in depth: no library
+    // built through the public API can reach it poisoned.
+    lh::Hw_library lib;
+    lib.add({"adder", {Op_kind::add}, 100.0, 1});
+    EXPECT_THROW(lib.add({"rotter", {Op_kind::mul},
+                          std::numeric_limits<double>::quiet_NaN(), 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(lib.add({"sinker", {Op_kind::mul},
+                          -std::numeric_limits<double>::infinity(), 2}),
+                 std::invalid_argument);
 }
 
 TEST(ProblemValidate, session_throws_one_joined_report)

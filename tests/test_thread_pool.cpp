@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/cancel.hpp"
@@ -165,6 +169,37 @@ TEST(ParallelChunks, rethrows_bad_alloc)
                                              throw std::bad_alloc();
                                      }),
                  std::bad_alloc);
+}
+
+TEST(ThreadPool, submit_throws_once_shutdown_has_begun)
+{
+    // A task enqueued after the destructor has flipped the pool into
+    // shutdown may never run (workers that saw an empty queue already
+    // exited), so submit refuses it loudly.  The destructor's join
+    // blocks on the in-flight task below, which keeps polling submit
+    // until the concurrent shutdown makes it throw.
+    auto pool = std::make_unique<lu::Thread_pool>(2);
+    // The task must go through a raw pointer: unique_ptr::reset()
+    // nulls its pointer before running the destructor, and the object
+    // stays valid for submit() calls throughout the destructor body.
+    lu::Thread_pool* raw = pool.get();
+    std::promise<void> started;
+    std::atomic<bool> threw{false};
+    raw->submit([&] {
+        started.set_value();
+        for (int i = 0; i < 5000 && !threw.load(); ++i) {
+            try {
+                raw->submit([] {});
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            catch (const std::runtime_error&) {
+                threw.store(true);
+            }
+        }
+    });
+    started.get_future().wait();
+    pool.reset();  // begins shutdown, then joins the polling task
+    EXPECT_TRUE(threw.load());
 }
 
 TEST(ParallelChunks, tripped_token_skips_unstarted_chunks)

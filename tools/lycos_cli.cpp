@@ -9,6 +9,11 @@
 // Prints the BSB structure, restrictions, the algorithm's allocation,
 // the PACE partition and the speed-up; optionally searches for the
 // best allocation and applies manual count overrides.
+//
+// Exit codes (scriptable): 0 success; 2 usage error; 3 invalid input
+// (bad app/library/problem — validation failures); 4 the --search
+// solve was truncated by a deadline or budget (the anytime incumbent
+// was still printed); 5 internal error or a failed serve request.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,6 +29,7 @@
 #include "minic/lower.hpp"
 #include "minic/parser.hpp"
 #include "search/search_bench.hpp"
+#include "serve/trace.hpp"
 #include "solver/solver.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
@@ -148,6 +154,12 @@ int main(int argc, char** argv)
     args.add_option("bench-json", "",
                     "run the old-vs-new search benchmark and write the "
                     "BENCH_search.json report to this path, then exit");
+    args.add_option("serve-trace", "",
+                    "replay a request trace file through the serving layer "
+                    "and print the per-request outcomes and latency table, "
+                    "then exit (see src/serve/trace.hpp for the format)");
+    args.add_option("serve-workers", "2",
+                    "worker threads for --serve-trace");
     args.add_option("inputs", "",
                     "profile a MiniC file by execution with these inputs "
                     "(e.g. x=0,a=100,dx=5) and use the measured loop/branch "
@@ -178,6 +190,28 @@ int main(int argc, char** argv)
     if (!args.value("bench-json").empty())
         return search::write_bench_report(args.value("bench-json"),
                                           std::cout, std::cerr);
+
+    // Trace replay mode: feed the serving layer from a request file
+    // (the CI chaos job archives the latency table this prints).
+    if (!args.value("serve-trace").empty()) {
+        try {
+            std::ifstream trace_file(args.value("serve-trace"));
+            if (!trace_file)
+                throw std::invalid_argument("cannot open trace file " +
+                                            args.value("serve-trace"));
+            serve::Trace_options trace_opts;
+            trace_opts.n_workers = std::stoi(args.value("serve-workers"));
+            return serve::run_trace(trace_file, std::cout, trace_opts);
+        }
+        catch (const std::invalid_argument& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 3;
+        }
+        catch (const std::exception& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 5;
+        }
+    }
 
     // --- load the application -----------------------------------------
     std::vector<bsb::Bsb> bsbs;
@@ -241,7 +275,7 @@ int main(int argc, char** argv)
     }
     catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return 3;
     }
 
     const double area =
@@ -430,11 +464,19 @@ int main(int argc, char** argv)
                           << " with " << best_ev.datapath.to_string(lib)
                           << "\n";
             }
+            // The anytime incumbent was printed above; the exit code
+            // still tells scripts the search was cut short.
+            if (best.status != util::Solve_status::complete)
+                return 4;
         }
         return 0;
     }
+    catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 3;
+    }
     catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return 5;
     }
 }
