@@ -1,0 +1,95 @@
+// lycos::dist — the coordinator/worker distributed search
+// (docs/distributed.md).
+//
+// One coordinator owns the Problem; N workers connect over loopback
+// TCP, receive the canonical Problem encoding plus the resolved solve
+// knobs (src/dist/wire.hpp), and lease deterministic contiguous
+// ranges of the strategy's logical-unit space — leaf indices for
+// `exhaustive_bb`, a0 rows for `multi_asic_bb` (the same units
+// Solve_options::window restricts and Fault_injector cuts at).  Each
+// lease runs the ordinary engine over its window; results stream back
+// and the coordinator folds them **in range order with the strict
+// better_tuple rule**, so the winning (time, area, datapath) tuple is
+// bit-identical to a single-process solve for any worker count, any
+// lease interleaving, and any incumbent-broadcast timing — the
+// contract tests/test_dist.cpp and the CI `distributed` job pin.
+//
+// Incumbents: every accepted lease result carrying a fully evaluated
+// best tightens the coordinator's global bound; strict improvements
+// are broadcast so remote admissible bounds tighten mid-search
+// (util::Shared_bound's contract keeps this answer-preserving).
+//
+// Failure model: a worker death — EOF, send failure, or a lease
+// outliving Coordinator_options::lease_timeout_ms — re-queues its
+// outstanding range at the *front* of the pending deque and the
+// search continues; with no live workers left the coordinator solves
+// the remaining ranges itself (leases_solved_locally).  The seeded
+// chaos mode kills one worker mid-range to exercise exactly this
+// path; the final tuple must not change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "solver/solver.hpp"
+
+namespace lycos::dist {
+
+struct Coordinator_options {
+    /// Registry strategy to distribute: `exhaustive_bb` or
+    /// `multi_asic_bb` (`hill_climb` has no unit range to lease —
+    /// solve_distributed throws).
+    std::string strategy = "exhaustive_bb";
+
+    /// Solve knobs shipped to every worker (n_threads, caches,
+    /// pruning, extras).  Deadlines/faults/windows/cancel are
+    /// coordinator-local concerns and are not forwarded.
+    solver::Solve_options solve;
+
+    /// Workers expected to connect.  The coordinator waits up to
+    /// accept_timeout_ms for the first `n_workers` hellos, then
+    /// starts; late workers still join mid-search.  0 = start leasing
+    /// to whoever shows up within the timeout (and fall back to a
+    /// local solve when nobody does).
+    int n_workers = 0;
+
+    std::uint16_t port = 0;  ///< 0 = OS-chosen (reported via on_listen)
+
+    /// Units per lease (0 = auto: ~8 leases per expected worker).
+    long long lease_units = 0;
+
+    double lease_timeout_ms = 10000.0;
+    double accept_timeout_ms = 2000.0;
+
+    /// Non-zero arms the chaos mode: worker (seed % max(1, n_workers))
+    /// in hello order is told to die mid-way through its first lease
+    /// without reporting.  Tests/CI only.
+    std::uint64_t chaos_seed = 0;
+
+    /// Called with the bound port once the listener is up — how tests
+    /// and the CLI connect in-process workers to an OS-chosen port.
+    std::function<void(std::uint16_t)> on_listen;
+};
+
+/// Run `problem` distributed.  Returns the same Solve_result a local
+/// Session::solve(strategy) would, with Solve_result::dist populated;
+/// the best tuple (value and traceback) is bit-identical.  Throws
+/// std::invalid_argument for invalid problems or non-leasable
+/// strategies, std::runtime_error for socket-layer failures.
+solver::Solve_result solve_distributed(const solver::Problem& problem,
+                                       const Coordinator_options& options);
+
+struct Worker_options {
+    double connect_timeout_ms = 5000.0;
+};
+
+/// Run one worker against `host`:`port` until the coordinator sends
+/// `done` or the connection drops.  Returns 0 on a clean done, 1 on a
+/// protocol or connection error.  Blocking; run it on its own thread
+/// (tests, `lycos_cli --dist-workers`) or as the whole process
+/// (`lycos_cli --worker`).
+int run_worker(const std::string& host, std::uint16_t port,
+               const Worker_options& options = {});
+
+}  // namespace lycos::dist

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "estimate/comm.hpp"
 #include "estimate/controller.hpp"
@@ -23,6 +25,7 @@ struct Chunk_result {
     bool have_best = false;
     long long n_evaluated = 0;
     long long n_pruned = 0;
+    long long n_pruned_remote = 0;  ///< kills only the external bound made
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
     long long rows_abandoned = 0;  ///< leaves refused by the cancel token
@@ -306,11 +309,13 @@ public:
     Walker(const Eval_context& ctx, const std::vector<Dim_info>& dims,
            const Prune_model& model, bool use_pruning, double max_area,
            double prime_time, long long begin, long long end,
-           Eval_cache* cache, Chunk_result& out)
+           Eval_cache* cache, const util::Shared_bound* ext,
+           Chunk_result& out)
         : ctx_(ctx), dims_(dims), model_(model), use_pruning_(use_pruning),
           max_area_(max_area), prime_time_(prime_time), begin_(begin),
-          end_(end), cache_(cache), cancel_(ctx.cancel), out_(out),
-          digits_(dims.size(), 0), dense_counts_(ctx.lib.size(), 0)
+          end_(end), cache_(cache), cancel_(ctx.cancel), ext_(ext),
+          out_(out), digits_(dims.size(), 0),
+          dense_counts_(ctx.lib.size(), 0)
     {
         bounding_ = use_pruning_ && model_.enabled;
         det_enabled_ = bounding_ && cache_ != nullptr;
@@ -356,6 +361,8 @@ public:
         // before this chunk started abandons it whole — otherwise a
         // space smaller than the leaf-poll stride would never read
         // the clock at all.
+        if (ext_ != nullptr)
+            ext_val_ = ext_->get();
         if (cancel_ != nullptr && cancel_->stop()) {
             out_.rows_abandoned += end_ - begin_;
             stopped_ = true;
@@ -444,6 +451,8 @@ private:
                 // (or the primed probe time, itself achieved by a point
                 // that is never pruned).
                 out_.n_pruned += hi - lo;
+                if (remote_kill_)
+                    out_.n_pruned_remote += hi - lo;
             }
             else {
                 walk(d - 1, sub_base, area);
@@ -468,11 +477,10 @@ private:
         return max_area_ + 1e-6 * (1.0 + std::abs(max_area_));
     }
 
-    /// The time to beat: the worker's incumbent, or — before one
-    /// exists / when it is still weak — the primed probe time computed
-    /// once per search.  Every pruned point is strictly worse than an
-    /// actually-evaluated point, so the best tuple is unaffected.
-    double threshold() const
+    /// The locally-derived time to beat: the worker's incumbent, or —
+    /// before one exists / when it is still weak — the primed probe
+    /// time computed once per search.
+    double local_threshold() const
     {
         return out_.have_best
                    ? std::min(prime_time_,
@@ -480,21 +488,42 @@ private:
                    : prime_time_;
     }
 
+    /// The effective time to beat: the local threshold, further
+    /// tightened by the last-sampled external incumbent bound (a
+    /// remote worker's fully evaluated point).  Every pruned point is
+    /// strictly worse than an actually-evaluated point either way, so
+    /// the best tuple is unaffected.
+    double threshold() const
+    {
+        return std::min(local_threshold(), ext_val_);
+    }
+
     /// True when no completion of the current prefix can beat the
     /// threshold.  Two admissible layers: the free coverage/exact-sum
     /// bound, then — only when exact costs are in play — a fractional-
     /// knapsack relaxation that also respects the controller-area
-    /// budget the prefix leaves free.
+    /// budget the prefix leaves free.  Sets remote_kill_ when the kill
+    /// holds only because of the external bound.
     bool bound_exceeds(double prefix_area)
     {
+        remote_kill_ = false;
+        const double local = local_threshold() + model_.slack;
         const double thr = threshold() + model_.slack;
         if (!std::isfinite(thr))
             return false;
-        if (model_.all_sw - (cov_gain_ + exact_sum_) > thr)
+        const double lhs0 = model_.all_sw - (cov_gain_ + exact_sum_);
+        if (lhs0 > thr) {
+            remote_kill_ = !(lhs0 > local);
             return true;
+        }
         if (!det_enabled_)
             return false;
-        return model_.all_sw - lp_gain_bound(prefix_area) > thr;
+        const double lhs1 = model_.all_sw - lp_gain_bound(prefix_area);
+        if (lhs1 > thr) {
+            remote_kill_ = !(lhs1 > local);
+            return true;
+        }
+        return false;
     }
 
     /// Upper bound on the total saving of any completion: determined
@@ -718,13 +747,18 @@ private:
 
     void leaf()
     {
-        // Strided deadline poll: admit() above never reads the clock,
-        // so the wall-clock check runs here once per 64 leaves.
-        if (cancel_ != nullptr && (++leaf_polls_ & 63) == 0 &&
-            cancel_->stop()) {
-            ++out_.rows_abandoned;
-            stopped_ = true;
-            return;
+        // Strided deadline / external-bound poll: admit() above never
+        // reads the clock, so the wall-clock check (and the remote
+        // incumbent resample) runs here once per 64 leaves.
+        if ((cancel_ != nullptr || ext_ != nullptr) &&
+            (++leaf_polls_ & 63) == 0) {
+            if (ext_ != nullptr)
+                ext_val_ = ext_->get();
+            if (cancel_ != nullptr && cancel_->stop()) {
+                ++out_.rows_abandoned;
+                stopped_ = true;
+                return;
+            }
         }
 
         // Canonical area sum — dims ascending, zero digits skipped —
@@ -767,6 +801,8 @@ private:
             double saving = pace::pace_best_saving(costs, opts, &pace_ws_);
             double t_est = pace::all_sw_time_ns(costs) - saving;
             if (t_est > threshold() + model_.slack) {
+                if (!(t_est > local_threshold() + model_.slack))
+                    ++out_.n_pruned_remote;
                 if (n_proxied_ > 0) {
                     ++out_.n_pruned;
                 }
@@ -804,6 +840,8 @@ private:
                     pace::all_sw_time_ns(costs_) - pace::max_gain(costs_);
                 if (lb > threshold() + model_.slack) {
                     ++out_.n_pruned;
+                    if (!(lb > local_threshold() + model_.slack))
+                        ++out_.n_pruned_remote;
                     return;
                 }
             }
@@ -843,6 +881,11 @@ private:
     long long end_;
     Eval_cache* cache_;
     const util::Cancel_token* cancel_;
+    const util::Shared_bound* ext_;  ///< cross-process incumbent bound
+    /// Last-sampled external bound (inf = none); stale reads are just
+    /// looser admissible thresholds.
+    double ext_val_ = std::numeric_limits<double>::infinity();
+    bool remote_kill_ = false;  ///< last bound_exceeds kill was remote-only
     bool stopped_ = false;          ///< live trip ended this chunk
     std::uint64_t leaf_polls_ = 0;  ///< strided deadline-poll counter
     Chunk_result& out_;
@@ -950,13 +993,28 @@ Search_result exhaustive_engine(const Eval_context& ctx,
     result.space_size = space.size();
 
     const long long n = space.size();
-    std::size_t n_threads =
-        options.n_threads > 0
-            ? static_cast<std::size_t>(options.n_threads)
-            : util::Thread_pool::default_concurrency();
-    n_threads = std::max<std::size_t>(
-        1, std::min(n_threads, static_cast<std::size_t>(
-                                   std::min<long long>(n, 1 << 16))));
+
+    // Resolve the leaf-index window (a distributed range lease, or the
+    // whole space).  The walk, the thread clamp and the chunk split all
+    // run over [w_begin, w_end); space_size still reports the full
+    // space so callers can relate windows to it.
+    const long long w_begin = options.window.whole() ? 0
+                                                     : options.window.begin;
+    const long long w_end = options.window.whole() ? n : options.window.end;
+    if (w_begin < 0 || w_begin > w_end || w_end > n)
+        throw std::invalid_argument(
+            "exhaustive_engine: window [" + std::to_string(w_begin) + ", " +
+            std::to_string(w_end) + ") outside the space [0, " +
+            std::to_string(n) + ")");
+    const long long n_work = w_end - w_begin;
+    if (n_work == 0) {
+        result.seconds = timer.seconds();
+        result.n_threads = 1;
+        return result;
+    }
+
+    const std::size_t n_threads = util::clamp_chunks(
+        options.n_threads, util::Thread_pool::default_concurrency(), n_work);
     result.n_threads = static_cast<int>(n_threads);
 
     // Dimension table for the tree walk: id order (as enumerated),
@@ -1074,7 +1132,8 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         }
         else {
             Walker walker(run_ctx, dims, model, use_pruning, max_area,
-                          prime_time, begin, end, cache, out);
+                          prime_time, begin, end, cache,
+                          options.incumbent_bound, out);
             walker.run();
         }
         if (cache != nullptr) {
@@ -1084,18 +1143,24 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         }
     };
 
+    // The chunk split runs over the window's units; the walkers want
+    // absolute leaf indices, so shift each chunk by the window base.
+    const auto run_chunk_abs = [&](std::size_t c, long long begin,
+                                   long long end) {
+        run_chunk(c, w_begin + begin, w_begin + end);
+    };
     std::size_t chunks_skipped = 0;
     if (n_threads == 1) {
-        run_chunk(0, 0, n);
+        run_chunk(0, w_begin, w_end);
     }
     else if (options.pool != nullptr) {
-        chunks_skipped = util::parallel_chunks(*options.pool, n, n_threads,
-                                               run_chunk, options.cancel);
+        chunks_skipped = util::parallel_chunks(
+            *options.pool, n_work, n_threads, run_chunk_abs, options.cancel);
     }
     else {
         util::Thread_pool pool(n_threads);
-        chunks_skipped = util::parallel_chunks(pool, n, n_threads, run_chunk,
-                                               options.cancel);
+        chunks_skipped = util::parallel_chunks(pool, n_work, n_threads,
+                                               run_chunk_abs, options.cancel);
     }
 
     // Reduce in chunk (= enumeration) order with the same strict
@@ -1105,6 +1170,7 @@ Search_result exhaustive_engine(const Eval_context& ctx,
     for (const auto& chunk : chunks) {
         result.n_evaluated += chunk.n_evaluated;
         result.n_pruned += chunk.n_pruned;
+        result.n_pruned_remote += chunk.n_pruned_remote;
         result.dp_rows_reused += chunk.dp_rows_reused;
         result.dp_rows_swept += chunk.dp_rows_swept;
         result.rows_abandoned += chunk.rows_abandoned;
@@ -1116,6 +1182,7 @@ Search_result exhaustive_engine(const Eval_context& ctx,
             have_best = true;
         }
     }
+    result.have_best = have_best;
     result.chunks_abandoned += static_cast<long long>(chunks_skipped);
     if (options.cancel != nullptr) {
         result.status = options.cancel->status();

@@ -47,6 +47,7 @@
 #include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
 #include "util/cancel.hpp"
+#include "util/chunk_range.hpp"
 
 namespace lycos::util {
 class Thread_pool;
@@ -57,6 +58,11 @@ namespace lycos::search {
 /// Outcome of a search over the allocation space.
 struct Search_result {
     Evaluation best;           ///< best-scoring allocation found
+    /// True once any point was fully evaluated (best is meaningful).
+    /// A full-space run always finds one (the empty allocation fits);
+    /// a windowed run over a region whose every leaf was screened or
+    /// infeasible legitimately ends without a best.
+    bool have_best = false;
     long long n_evaluated = 0; ///< allocations fully scored (PACE ran)
     long long n_pruned = 0;    ///< points skipped by branch-and-bound
                                ///< (area-monotone subtrees, gain-bounded
@@ -74,6 +80,13 @@ struct Search_result {
     /// depend on chunking; the best tuple never does.
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
+
+    /// Prunes attributable to Exhaustive_options::incumbent_bound: the
+    /// external bound was strictly tighter than the local threshold at
+    /// the kill site and the kill would not have happened without it —
+    /// the distributed search's "bounds-kills after remote updates"
+    /// stat.  0 when no external bound is armed.
+    long long n_pruned_remote = 0;
 
     /// Anytime-solve outcome: complete for a full-space run, else the
     /// condition that tripped the cancel token (the best tuple is then
@@ -134,6 +147,28 @@ struct Exhaustive_options {
     /// point of its explored prefix.  Untripped armed runs still
     /// return the bit-identical best tuple (priming is admissible).
     const util::Cancel_token* cancel = nullptr;
+
+    /// Restrict the walk to the leaf-index range [window.begin,
+    /// window.end) of [0, Alloc_space::size()) — the distributed
+    /// search's range lease.  The default sentinel covers the whole
+    /// space; a non-sentinel window must satisfy
+    /// 0 <= begin <= end <= size (throws std::invalid_argument).
+    ///
+    /// Contract: folding the per-window bests of any partition of the
+    /// space in window order with better_than reproduces the
+    /// full-space best tuple bit-identically.  A single window's best
+    /// on its own is only guaranteed to be the window's true best up
+    /// to priming/bound screening against global probe points — fine
+    /// in the union fold (the winner and its ties always survive, see
+    /// Shared_bound), not a per-window optimality claim.
+    util::Chunk_range window;
+
+    /// Optional cross-process incumbent bound (see util::Shared_bound):
+    /// sampled at chunk entry and at the strided leaf polls, folded
+    /// into the prune threshold.  Every stored value must be the
+    /// hybrid time of a real evaluated point, so any sampling timing
+    /// yields the bit-identical best tuple.
+    const util::Shared_bound* incumbent_bound = nullptr;
 };
 
 /// Score every allocation within `restrictions` whose data-path fits

@@ -335,6 +335,7 @@ Search_result hill_climb_engine(const Eval_context& ctx,
         Eval_context final_ctx = run_ctx;
         final_ctx.cancel = nullptr;
         result.best = evaluate_allocation(final_ctx, winner.point);
+        result.have_best = true;
     }
 
     result.seconds = timer.seconds();

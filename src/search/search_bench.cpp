@@ -7,6 +7,7 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/analysis.hpp"
 #include "core/multi_allocator.hpp"
 #include "core/restrictions.hpp"
+#include "dist/dist.hpp"
 #include "hw/target.hpp"
 #include "pace/multi_asic.hpp"
 #include "search/eval_cache.hpp"
@@ -344,6 +346,43 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
             out.deadline_complete[i] =
                 r.status == util::Solve_status::complete;
         }
+
+        // Distributed section: the same exhaustive solve fanned out
+        // over loopback TCP workers (in-process threads, single-
+        // threaded solves so worker counts scale cores).  The gate is
+        // bit-identity against the session solve above at every
+        // worker count; wall times and broadcast counts are recorded
+        // for the report.
+        bool dist_match = true;
+        for (std::size_t i = 0; i < out.dist_worker_counts.size(); ++i) {
+            const int n_workers = out.dist_worker_counts[i];
+            std::vector<std::thread> workers;
+            dist::Coordinator_options dco;
+            dco.strategy = "exhaustive_bb";
+            dco.solve.n_threads = 1;
+            dco.n_workers = n_workers;
+            dco.on_listen = [&](std::uint16_t port) {
+                for (int w = 0; w < n_workers; ++w)
+                    workers.emplace_back([port] {
+                        dist::run_worker("127.0.0.1", port);
+                    });
+            };
+            const auto r = dist::solve_distributed(problem, dco);
+            for (auto& t : workers)
+                t.join();
+            out.dist_seconds[i] = r.seconds;
+            out.dist_leases[i] = r.dist.leases_granted;
+            out.dist_broadcasts[i] = r.dist.incumbent_broadcasts;
+            out.dist_units = r.dist.n_units;
+            dist_match =
+                dist_match && r.have_best &&
+                r.best.datapath == exh.best.datapath &&
+                r.best.partition.time_hybrid_ns ==
+                    exh.best.partition.time_hybrid_ns &&
+                r.best.datapath_area == exh.best.datapath_area &&
+                r.n_evaluated + r.n_pruned == r.space_size;
+        }
+        out.dist_matches_local = dist_match;
     }
 
     // Serve section: the same scenario through serve::Server.  A
@@ -691,6 +730,17 @@ std::string to_json(const Search_bench_config& config,
         << ", \"p99_budget_ms\": " << result.serve_p99_budget_ms
         << ", \"p99_ok\": " << (result.serve_p99_ok ? "true" : "false")
         << "},\n"
+        << "  \"dist\": {\"units\": " << result.dist_units
+        << ", \"matches_local\": "
+        << (result.dist_matches_local ? "true" : "false") << ", \"runs\": [";
+    for (std::size_t i = 0; i < result.dist_worker_counts.size(); ++i)
+        out << (i > 0 ? ", " : "") << "{\"workers\": "
+            << result.dist_worker_counts[i]
+            << ", \"seconds\": " << result.dist_seconds[i]
+            << ", \"leases\": " << result.dist_leases[i]
+            << ", \"incumbent_broadcasts\": " << result.dist_broadcasts[i]
+            << "}";
+    out << "]},\n"
         << "  \"kernels\": {\"isa\": \"" << result.kernels_isa << "\""
         << ", \"simd_available\": "
         << (result.kernels_simd_available ? "true" : "false") << ",\n"
@@ -806,6 +856,15 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << result.serve_completed << " complete, " << result.serve_degraded
         << " degraded, " << result.serve_shed << " shed; "
         << (result.serve_p99_ok ? "ok" : "TOO SLOW") << ")\n"
+        << "  distributed exhaustive_bb:    "
+        << util::fixed(result.dist_seconds[0] * 1e3, 1) << "/"
+        << util::fixed(result.dist_seconds[1] * 1e3, 1) << "/"
+        << util::fixed(result.dist_seconds[2] * 1e3, 1)
+        << " ms for 1/2/4 workers (" << result.dist_units << " units, "
+        << result.dist_broadcasts[0] + result.dist_broadcasts[1] +
+               result.dist_broadcasts[2]
+        << " broadcasts; "
+        << (result.dist_matches_local ? "match" : "MISMATCH") << ")\n"
         << "  cancel-token poll overhead:   "
         << util::fixed(100.0 * result.deadline_poll_overhead, 2) << "% ("
         << util::fixed(result.deadline_secs_no_token * 1e3, 1)
@@ -881,6 +940,9 @@ int write_bench_report(const std::string& path, std::ostream& log,
             err << "error: SIMD dominance-merge kernels regressed below "
                 << k_kernel_merge_min_speedup << "x scalar (measured "
                 << result.kern_merge_speedup << "x)\n";
+        if (!result.dist_matches_local)
+            err << "error: the distributed solve disagrees with the "
+                   "local Session solve at some worker count\n";
         return result.same_best && result.pruned_matches_unpruned &&
                        result.multi_matches_dense &&
                        result.multi_sparse_matches_dense &&
@@ -890,7 +952,8 @@ int write_bench_report(const std::string& path, std::ostream& log,
                        result.solver_multi_dp_states <
                            result.solver_multi_dp_dense &&
                        result.deadline_overhead_ok && result.serve_p99_ok &&
-                       result.kern_pace_ok && result.kern_merge_ok
+                       result.kern_pace_ok && result.kern_merge_ok &&
+                       result.dist_matches_local
                    ? 0
                    : 1;
     }

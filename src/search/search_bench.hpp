@@ -185,6 +185,21 @@ struct Search_bench_result {
     double serve_p99_budget_ms = 0.0;
     bool serve_p99_ok = false;  ///< p99 <= budget — the CI gate
 
+    /// Distributed section (BENCH "dist"): the solver scenario's
+    /// exhaustive_bb fanned out through dist::solve_distributed over
+    /// 1/2/4 in-process loopback workers — wall time, lease and
+    /// incumbent-broadcast counts per worker count, plus the
+    /// bit-identity gate against the local Session solve
+    /// (`dist_matches_local`) write_bench_report fails on.  The wall
+    /// times are informational (loopback fan-out of a small space is
+    /// overhead-dominated); only the identity is gated.
+    std::array<int, 3> dist_worker_counts{1, 2, 4};
+    std::array<double, 3> dist_seconds{0.0, 0.0, 0.0};
+    std::array<long long, 3> dist_leases{0, 0, 0};
+    std::array<long long, 3> dist_broadcasts{0, 0, 0};
+    long long dist_units = 0;  ///< leased logical units (leaves)
+    bool dist_matches_local = false;  ///< identical tuple, all counts
+
     /// Kernel-dispatch section (BENCH "kernels"): min-of-N timings of
     /// the scalar kernel table against the best dispatched one on the
     /// two hot row scans — the single-ASIC value-sweep row
@@ -227,7 +242,9 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// replaced, an armed-but-idle Cancel_token cost the new_single
 /// sweep under 1% (`deadline.overhead_ok`), the serving layer's
 /// request burst finished every request and kept its p99 under the
-/// calibrated budget (`serve.p99_ok`), and — on builds/CPUs with
+/// calibrated budget (`serve.p99_ok`), the distributed solve matched
+/// the local one bit for bit at every worker count
+/// (`dist.matches_local`), and — on builds/CPUs with
 /// SIMD — the dispatched kernels beat the scalar table by the pinned
 /// min-of-N ratios (`kernels.*.ok`)); failures are reported on
 /// `err`, never thrown.

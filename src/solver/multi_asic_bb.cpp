@@ -49,6 +49,7 @@
 #include "search/alloc_space.hpp"
 #include "solver/internal.hpp"
 #include "util/cancel.hpp"
+#include "util/chunk_range.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -77,6 +78,7 @@ struct Pair_chunk {
     pace::Multi_pace_result best_partition;
     long long n_evaluated = 0;
     long long n_pruned = 0;
+    long long n_pruned_remote = 0;  ///< kills only the external bound made
     long long rows_visited = 0;
     long long rows_pruned = 0;
     long long dp_states_swept = 0;
@@ -222,6 +224,26 @@ Solve_result solve_multi_asic_bb(Session& session,
     }
     const long long n_rows = (walked + f1 - 1) / f1;
 
+    // Resolve the a0-row window (a distributed range lease, or all
+    // rows).  Everything derived from the full walk — axis lists,
+    // prefix truncation, priming, the row relaxation — is computed
+    // identically whatever the window, so per-window bests fold to
+    // the full-space best bit-identically.
+    const long long r_begin =
+        options.window.whole() ? 0 : options.window.begin;
+    const long long r_end =
+        options.window.whole() ? n_rows : options.window.end;
+    if (r_begin < 0 || r_begin > r_end || r_end > n_rows)
+        throw std::invalid_argument(
+            "multi_asic_bb: window [" + std::to_string(r_begin) + ", " +
+            std::to_string(r_end) + ") outside the row range [0, " +
+            std::to_string(n_rows) + ")");
+    const long long n_rows_work = r_end - r_begin;
+    if (n_rows_work == 0) {
+        out.seconds = timer.seconds();
+        return out;
+    }
+
     // Resolve the shared immutable invariants before any worker runs:
     // Session::invariants() is lazily computed and not thread-safe.
     const auto invariants = session.invariants();
@@ -297,13 +319,9 @@ Solve_result solve_multi_asic_bb(Session& session,
     }
     const double slack = 1e-7 * std::max(1.0, std::abs(all_sw));
 
-    std::size_t n_threads =
-        options.n_threads > 0
-            ? static_cast<std::size_t>(options.n_threads)
-            : util::Thread_pool::default_concurrency();
-    n_threads = std::max<std::size_t>(
-        1, std::min(n_threads, static_cast<std::size_t>(
-                                   std::min(n_rows, 1LL << 16))));
+    const std::size_t n_threads = util::clamp_chunks(
+        options.n_threads, util::Thread_pool::default_concurrency(),
+        n_rows_work);
     out.n_threads = static_cast<int>(n_threads);
 
     std::vector<Pair_chunk> chunks(n_threads);
@@ -328,6 +346,12 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Multi_bsb_cost> mcosts;
         util::Arena arena;  // per-worker: this lambda IS the task body
         pace::Multi_pace_workspace mws(&arena);
+        // External incumbent (a distributed coordinator's broadcast):
+        // admissible by the Shared_bound contract, so min()ing it into
+        // every threshold only removes pairs provably worse than a
+        // fully evaluated real pair — the winning tuple is unchanged.
+        const util::Shared_bound* ext = options.incumbent_bound;
+        double ext_val = std::numeric_limits<double>::infinity();
         for (long long i = row_begin; i < row_end; ++i) {
             // Admission gate per a0 row — the thread-invariant work
             // unit: an injected cut walks exactly the rows below it,
@@ -350,16 +374,19 @@ Solve_result solve_multi_asic_bb(Session& session,
             set_asic0_costs(costs0, mcosts);
             ++chunk.rows_visited;
 
-            const double threshold_row =
+            const double local_row =
                 chunk.have_best ? std::min(prime_time, chunk.best_time)
                                 : prime_time;
+            if (ext != nullptr)
+                ext_val = ext->get();
+            const double threshold_row = std::min(local_row, ext_val);
             if (use_row_bound && std::isfinite(threshold_row)) {
                 // Level 1: budget-free O(n) gain bound over the row's
                 // exact asic0 costs and the axis-relaxed asic1 costs.
-                bool killed =
-                    all_sw - pace::multi_max_gain(costs0,
-                                                  relax1.best_case) >
-                    threshold_row + slack;
+                double bound_time =
+                    all_sw -
+                    pace::multi_max_gain(costs0, relax1.best_case);
+                bool killed = bound_time > threshold_row + slack;
                 if (!killed) {
                     // Level 2: the sparse value-only DP over the same
                     // relaxed costs, budget0 exact for this row,
@@ -377,10 +404,15 @@ Solve_result solve_multi_asic_bb(Session& session,
                         pace::multi_pace_best_saving(mcosts, mo, &mws);
                     chunk.dp_states_swept += mws.last_cells_swept();
                     chunk.dp_cells_dense += mws.last_cells_dense();
-                    killed = all_sw - bound_saving > threshold_row + slack;
+                    bound_time = all_sw - bound_saving;
+                    killed = bound_time > threshold_row + slack;
                 }
                 if (killed) {
                     chunk.n_pruned += j_end;
+                    // A kill the local threshold alone would not have
+                    // made is credited to the remote bound.
+                    if (!(bound_time > local_row + slack))
+                        chunk.n_pruned_remote += j_end;
                     ++chunk.rows_pruned;
                     continue;
                 }
@@ -399,9 +431,12 @@ Solve_result solve_multi_asic_bb(Session& session,
                 cache->costs_for(p1.alloc, costs1);
                 set_asic1_costs(costs1, mcosts);
 
-                const double threshold =
+                const double local_thr =
                     chunk.have_best ? std::min(prime_time, chunk.best_time)
                                     : prime_time;
+                if (ext != nullptr)
+                    ext_val = ext->get();
+                const double threshold = std::min(local_thr, ext_val);
 
                 pace::Multi_pace_options mo;
                 mo.ctrl_area_budgets = {budgets[0] - p0.area,
@@ -413,9 +448,12 @@ Solve_result solve_multi_asic_bb(Session& session,
                     // Budget-free bound: no placement of this pair can
                     // save more than multi_max_gain, whatever the
                     // controller areas turn out to be.
-                    if (all_sw - pace::multi_max_gain(mcosts) >
-                        threshold + slack) {
+                    const double gain_time =
+                        all_sw - pace::multi_max_gain(mcosts);
+                    if (gain_time > threshold + slack) {
                         ++chunk.n_pruned;
+                        if (!(gain_time > local_thr + slack))
+                            ++chunk.n_pruned_remote;
                         continue;
                     }
                     // Screening pass: the sparse DP's optimal value
@@ -426,8 +464,11 @@ Solve_result solve_multi_asic_bb(Session& session,
                         pace::multi_pace_best_saving(mcosts, mo, &mws);
                     chunk.dp_states_swept += mws.last_cells_swept();
                     chunk.dp_cells_dense += mws.last_cells_dense();
-                    if (all_sw - saving > threshold + slack) {
+                    const double screen_time = all_sw - saving;
+                    if (screen_time > threshold + slack) {
                         ++chunk.n_evaluated;
+                        if (!(screen_time > local_thr + slack))
+                            ++chunk.n_pruned_remote;
                         if (options.cancel != nullptr)
                             options.cancel->charge_evals(1);
                         continue;
@@ -466,12 +507,17 @@ Solve_result solve_multi_asic_bb(Session& session,
 
     std::size_t chunks_skipped = 0;
     if (n_threads == 1) {
-        run_chunk(0, 0, n_rows);
+        run_chunk(0, r_begin, r_end);
     }
     else {
+        const auto run_chunk_abs = [&](std::size_t c, long long begin,
+                                       long long end) {
+            run_chunk(c, r_begin + begin, r_begin + end);
+        };
         chunks_skipped =
-            util::parallel_chunks(session.pool(n_threads), n_rows,
-                                  n_threads, run_chunk, options.cancel);
+            util::parallel_chunks(session.pool(n_threads), n_rows_work,
+                                  n_threads, run_chunk_abs,
+                                  options.cancel);
     }
 
     // Reduce in chunk (= enumeration) order with the same strict
@@ -482,6 +528,7 @@ Solve_result solve_multi_asic_bb(Session& session,
     for (const auto& chunk : chunks) {
         out.n_evaluated += chunk.n_evaluated;
         out.n_pruned += chunk.n_pruned;
+        out.n_pruned_remote += chunk.n_pruned_remote;
         out.rows_abandoned += chunk.rows_abandoned;
         out.chunks_abandoned += chunk.stopped ? 1 : 0;
         out.multi.rows_visited += chunk.rows_visited;
@@ -505,6 +552,7 @@ Solve_result solve_multi_asic_bb(Session& session,
             have_best = true;
         }
     }
+    out.have_best = have_best;
     out.chunks_abandoned += static_cast<long long>(chunks_skipped);
     if (options.cancel != nullptr) {
         out.status = options.cancel->status();

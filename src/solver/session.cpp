@@ -157,8 +157,10 @@ search::Search_result to_search_result(const Solve_result& result)
 {
     search::Search_result out;
     out.best = result.best;
+    out.have_best = result.have_best;
     out.n_evaluated = result.n_evaluated;
     out.n_pruned = result.n_pruned;
+    out.n_pruned_remote = result.n_pruned_remote;
     out.space_size = result.space_size;
     out.seconds = result.seconds;
     out.n_threads = result.n_threads;

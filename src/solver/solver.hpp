@@ -43,6 +43,7 @@
 #include "search/eval_cache.hpp"
 #include "search/evaluate.hpp"
 #include "util/cancel.hpp"
+#include "util/chunk_range.hpp"
 #include "util/rng.hpp"
 
 namespace lycos::util {
@@ -208,6 +209,28 @@ struct Solve_options {
     /// cancellation.
     const util::Cancel_token* cancel = nullptr;
 
+    // --- Distributed-search hooks (src/dist/, docs/distributed.md) ---
+
+    /// Restrict the walk to the logical-unit range [window.begin,
+    /// window.end) — leaf indices for `exhaustive_bb`, a0 rows for
+    /// `multi_asic_bb` (the same units Fault_injector cuts at).  The
+    /// default sentinel covers the whole space.  This is the range
+    /// *lease* of the distributed search: folding per-window bests of
+    /// a partition of the space in window order reproduces the
+    /// full-space best tuple bit-identically; one window's best on
+    /// its own may be screened against global probe points.
+    /// `hill_climb` has no unit range to lease and throws when a
+    /// window is set.
+    util::Chunk_range window;
+
+    /// Optional cross-process incumbent bound sampled by the engines
+    /// (chunk entry, strided leaf polls, row boundaries) and folded
+    /// into the prune threshold.  Every value stored in it must be
+    /// the hybrid time of a fully evaluated real point of the space —
+    /// then any broadcast/sampling timing yields the bit-identical
+    /// best tuple (see util::Shared_bound).
+    const util::Shared_bound* incumbent_bound = nullptr;
+
     std::variant<std::monostate, Hill_climb_extras, Multi_asic_extras>
         extras;
 };
@@ -238,14 +261,46 @@ struct Multi_solve_result {
     long long dp_cells_dense = 0;
 };
 
+/// Per-worker stats of a distributed solve (Dist_solve_result), in
+/// coordinator connection order.
+struct Dist_worker_stats {
+    long long ranges_served = 0;       ///< lease results accepted
+    long long incumbents_applied = 0;  ///< broadcast bounds that tightened
+                                       ///< this worker's Shared_bound
+    long long remote_bound_kills = 0;  ///< prunes only the remote bound made
+};
+
+/// The distributed section of a Solve_result (active only when the
+/// solve ran through dist::solve_distributed; see docs/distributed.md).
+struct Dist_solve_result {
+    bool active = false;
+    int n_workers = 0;          ///< workers that ever connected
+    long long n_units = 0;      ///< leased logical units (leaves / rows)
+    long long leases_granted = 0;     ///< grants incl. re-grants
+    long long leases_reassigned = 0;  ///< ranges re-queued after a death
+    long long workers_lost = 0;       ///< EOF, send failure, or timeout
+    long long incumbent_broadcasts = 0;  ///< bound messages fanned out
+    long long leases_solved_locally = 0; ///< coordinator fallback ranges
+    std::vector<Dist_worker_stats> workers;
+};
+
 /// Unified outcome of Session::solve, whatever strategy ran.
 struct Solve_result {
     std::string strategy;      ///< registry name of the strategy that ran
     search::Evaluation best;   ///< best single-ASIC allocation
                                ///< (default-constructed for multi_asic_bb
                                ///< — see `multi`)
+    /// True once any point was fully evaluated.  Always true for a
+    /// full-space solve (the empty allocation / pair is a real point);
+    /// a windowed solve may legitimately end without one when every
+    /// leaf of the window was screened or infeasible.
+    bool have_best = false;
     long long n_evaluated = 0; ///< points scored (value-DP or full)
     long long n_pruned = 0;    ///< points skipped by bounds/screening
+    /// Prunes attributable to Solve_options::incumbent_bound alone
+    /// (the remote bound was strictly tighter than every local
+    /// threshold at the kill site).
+    long long n_pruned_remote = 0;
     long long space_size = 0;  ///< full space (pairs for multi_asic_bb)
     double seconds = 0.0;
     int n_threads = 1;
@@ -266,6 +321,7 @@ struct Solve_result {
     long long rows_abandoned = 0;
 
     Multi_solve_result multi;
+    Dist_solve_result dist;
 };
 
 /// Shim helper: the old Search_result view of a Solve_result.

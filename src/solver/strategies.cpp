@@ -33,6 +33,8 @@ Solve_result from_search_result(std::string_view strategy,
     Solve_result out;
     out.strategy = strategy;
     out.best = r.best;
+    out.have_best = r.have_best;
+    out.n_pruned_remote = r.n_pruned_remote;
     out.n_evaluated = r.n_evaluated;
     out.n_pruned = r.n_pruned;
     out.space_size = r.space_size;
@@ -71,8 +73,12 @@ Solve_result solve_exhaustive_bb(Session& session,
                               ? options.shared_cache
                               : &session.cache(options.cache_capacity);
     eo.invariants = session.invariants();
-    eo.pool = pool_for(session, options.n_threads, session.space_size());
+    eo.pool = pool_for(session, options.n_threads,
+                       options.window.whole() ? session.space_size()
+                                              : options.window.size());
     eo.cancel = options.cancel;
+    eo.window = options.window;
+    eo.incumbent_bound = options.incumbent_bound;
     return from_search_result(
         "exhaustive_bb",
         search::exhaustive_engine(session.context(),
@@ -83,6 +89,10 @@ Solve_result solve_hill_climb(Session& session, const Solve_options& options)
 {
     const auto extras =
         extras_or_default<Hill_climb_extras>(options, "hill_climb");
+    if (!options.window.whole())
+        throw std::invalid_argument(
+            "hill_climb: Solve_options::window is not supported — the "
+            "climb has no contiguous unit range to lease");
     search::Hill_climb_options ho;
     ho.n_restarts = extras.n_restarts;
     ho.max_steps = extras.max_steps;

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -81,6 +82,46 @@ struct Fault_injector {
     /// chaos plan (serve::Chaos_plan mixes both kinds).
     static Fault_injector alloc_from_seed(std::uint64_t seed,
                                           std::uint64_t n_units);
+};
+
+/// A monotonically tightening incumbent time shared across workers
+/// that do not share memory-order with each other's chunk state — the
+/// distributed search's cross-process bound (src/dist/), fed by
+/// coordinator incumbent broadcasts and sampled by the engines at
+/// chunk entries, strided leaf polls, and row boundaries.
+///
+/// Admissibility is the whole contract: every value ever stored MUST
+/// be the hybrid time of a fully evaluated real point of the search
+/// space.  The engines prune only points *strictly worse* than the
+/// bound (beyond the float slack), so the global best tuple and all
+/// of its time-ties survive any tightening schedule — the sampled
+/// value only decides how much provably dead work is skipped, never
+/// which point wins (docs/distributed.md, "Determinism contract").
+///
+/// Lock-free: a CAS-min loop over the double's bit pattern.  Reads
+/// and writes are relaxed — the bound is a hint, and a stale read is
+/// just a looser (still admissible) threshold.
+class Shared_bound {
+public:
+    /// Current bound; +infinity until the first tighten().
+    double get() const { return time_ns_.load(std::memory_order_relaxed); }
+
+    /// Lower the bound to `time_ns` if it improves it; returns true
+    /// when this call changed the stored value.  NaN is ignored.
+    bool tighten(double time_ns)
+    {
+        double cur = time_ns_.load(std::memory_order_relaxed);
+        while (time_ns < cur) {
+            if (time_ns_.compare_exchange_weak(cur, time_ns,
+                                               std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    }
+
+private:
+    std::atomic<double> time_ns_{
+        std::numeric_limits<double>::infinity()};
 };
 
 /// Shared cancellation handle.  Copyable; copies share one flag.

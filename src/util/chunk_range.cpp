@@ -1,0 +1,51 @@
+#include "util/chunk_range.hpp"
+
+#include <algorithm>
+
+namespace lycos::util {
+
+std::size_t effective_chunks(long long n, std::size_t n_chunks)
+{
+    if (n <= 0 || n_chunks == 0)
+        return 0;
+    if (n_chunks > static_cast<std::size_t>(n))
+        n_chunks = static_cast<std::size_t>(n);
+    return n_chunks;
+}
+
+Chunk_range chunk_of(long long n, std::size_t n_chunks, std::size_t c)
+{
+    const std::size_t k = effective_chunks(n, n_chunks);
+    if (k == 0 || c >= k)
+        return {0, 0};
+    const long long kk = static_cast<long long>(k);
+    const long long base = n / kk;
+    const long long extra = n % kk;
+    const long long cc = static_cast<long long>(c);
+    // First `extra` chunks carry base + 1 units: begin is c * base
+    // plus one extra unit per earlier long chunk.
+    const long long begin = cc * base + std::min(cc, extra);
+    return {begin, begin + base + (cc < extra ? 1 : 0)};
+}
+
+std::vector<Chunk_range> split_even(long long n, std::size_t n_chunks)
+{
+    const std::size_t k = effective_chunks(n, n_chunks);
+    std::vector<Chunk_range> out;
+    out.reserve(k);
+    for (std::size_t c = 0; c < k; ++c)
+        out.push_back(chunk_of(n, n_chunks, c));
+    return out;
+}
+
+std::size_t clamp_chunks(int requested, std::size_t fallback, long long n,
+                         long long cap)
+{
+    std::size_t want =
+        requested > 0 ? static_cast<std::size_t>(requested) : fallback;
+    const long long limit = std::max(1LL, std::min(n, cap));
+    return std::max<std::size_t>(
+        1, std::min(want, static_cast<std::size_t>(limit)));
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,151 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace lycos::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Nagle off: the protocol is small request/response frames and the
+/// incumbent broadcasts are latency-sensitive (a delayed bound is a
+/// missed prune, never a wrong answer — but why wait).
+void no_delay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in loopback(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+Listener listen_tcp(std::uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throw_errno("listen_tcp: socket");
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = loopback(port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+        throw_errno("listen_tcp: bind 127.0.0.1:" + std::to_string(port));
+    if (::listen(fd.get(), 64) != 0)
+        throw_errno("listen_tcp: listen");
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0)
+        throw_errno("listen_tcp: getsockname");
+    return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+Fd accept_conn(const Fd& listener, int timeout_ms)
+{
+    pollfd p{listener.get(), POLLIN, 0};
+    for (;;) {
+        const int r = ::poll(&p, 1, timeout_ms);
+        if (r == 0)
+            return {};
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw_errno("accept_conn: poll");
+        }
+        break;
+    }
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd < 0) {
+        // The peer may have gone away between poll and accept; that is
+        // a timeout-shaped non-event, not a hard failure.
+        if (errno == ECONNABORTED || errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            return {};
+        throw_errno("accept_conn: accept");
+    }
+    no_delay(fd);
+    return Fd(fd);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               int timeout_ms)
+{
+    sockaddr_in addr = loopback(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("connect_tcp: not an IPv4 address: " +
+                                 host);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!fd.valid())
+            throw_errno("connect_tcp: socket");
+        if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0) {
+            no_delay(fd.get());
+            return fd;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            throw_errno("connect_tcp: " + host + ":" +
+                        std::to_string(port));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+bool send_all(const Fd& fd, const void* buf, std::size_t len)
+{
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    while (len > 0) {
+        const auto n = ::send(fd.get(), p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long recv_some(const Fd& fd, void* buf, std::size_t len)
+{
+    for (;;) {
+        const auto n = ::recv(fd.get(), buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+}  // namespace lycos::util

@@ -1,0 +1,74 @@
+// Minimal POSIX TCP helpers for the distributed search (src/dist/).
+//
+// Deliberately tiny: an RAII descriptor, loopback listen/connect with
+// OS-chosen ports for tests, and EINTR-safe full-buffer send / single
+// recv.  Everything blocking; the coordinator multiplexes with
+// poll(2) directly.  Loopback only — the coordinator binds
+// 127.0.0.1, matching the threat model in docs/distributed.md (the
+// wire format authenticates nothing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace lycos::util {
+
+/// RAII file descriptor (socket or otherwise); closes on destruction.
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    Fd& operator=(Fd&& other) noexcept
+    {
+        if (this != &other)
+            reset(std::exchange(other.fd_, -1));
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release() { return std::exchange(fd_, -1); }
+    void reset(int fd = -1);
+
+private:
+    int fd_ = -1;
+};
+
+/// A listening socket plus the port it actually bound (the interesting
+/// part when the caller asked for port 0).
+struct Listener {
+    Fd fd;
+    std::uint16_t port = 0;
+};
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 = OS-chosen).  Throws
+/// std::runtime_error with errno text on failure.
+Listener listen_tcp(std::uint16_t port);
+
+/// Accept one connection, waiting up to `timeout_ms` (< 0 = block).
+/// Invalid Fd on timeout; throws std::runtime_error on a hard error.
+Fd accept_conn(const Fd& listener, int timeout_ms);
+
+/// Connect to `host`:`port`, retrying with a short sleep until
+/// `timeout_ms` elapses (a worker typically races the coordinator's
+/// listen).  Throws std::runtime_error when time runs out.
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               int timeout_ms);
+
+/// Write the whole buffer (EINTR-safe, never raises SIGPIPE).  False
+/// on any error — for the coordinator that is a worker death signal,
+/// not an exception.
+bool send_all(const Fd& fd, const void* buf, std::size_t len);
+
+/// One recv: > 0 bytes read, 0 = orderly EOF, -1 = error.  EINTR
+/// retried.
+long recv_some(const Fd& fd, void* buf, std::size_t len);
+
+}  // namespace lycos::util

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/cancel.hpp"
+#include "util/chunk_range.hpp"
 
 namespace lycos::util {
 
@@ -102,26 +103,20 @@ std::size_t parallel_chunks(
     const std::function<void(std::size_t, long long, long long)>& fn,
     const Cancel_token* cancel)
 {
-    if (n <= 0 || n_chunks == 0)
+    const std::size_t k = effective_chunks(n, n_chunks);
+    if (k == 0)
         return 0;
-    if (n_chunks > static_cast<std::size_t>(n))
-        n_chunks = static_cast<std::size_t>(n);
 
     std::atomic<std::size_t> skipped{0};
-    const long long base = n / static_cast<long long>(n_chunks);
-    const long long extra = n % static_cast<long long>(n_chunks);
-    long long begin = 0;
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-        const long long len = base + (static_cast<long long>(c) < extra);
-        const long long end = begin + len;
-        pool.submit([&, c, begin, end] {
+    for (std::size_t c = 0; c < k; ++c) {
+        const Chunk_range range = chunk_of(n, k, c);
+        pool.submit([&, c, range] {
             if (cancel && cancel->tripped()) {
                 skipped.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
-            fn(c, begin, end);
+            fn(c, range.begin, range.end);
         });
-        begin = end;
     }
     pool.wait_idle();
     return skipped.load();

@@ -1,0 +1,95 @@
+// Tests for util/chunk_range — the shared contiguous-range math under
+// the local parallel chunking and the distributed lease scheduler.
+// The exact ranges are pinned: both consumers rely on this partition
+// being bit-for-bit the historical base/extra split of
+// parallel_chunks, so the distributed fold reduces in the same order
+// a local solve does.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/chunk_range.hpp"
+
+namespace lu = lycos::util;
+
+TEST(ChunkRange, default_is_the_whole_range_sentinel)
+{
+    const lu::Chunk_range r;
+    EXPECT_TRUE(r.whole());
+    EXPECT_FALSE((lu::Chunk_range{0, 5}).whole());
+    EXPECT_EQ((lu::Chunk_range{3, 9}).size(), 6);
+}
+
+TEST(ChunkRange, effective_chunks_clamps_to_work)
+{
+    EXPECT_EQ(lu::effective_chunks(10, 4), 4u);
+    EXPECT_EQ(lu::effective_chunks(3, 8), 3u);   // never more than n
+    EXPECT_EQ(lu::effective_chunks(0, 8), 0u);   // no work, no chunks
+    EXPECT_EQ(lu::effective_chunks(-5, 8), 0u);
+    EXPECT_EQ(lu::effective_chunks(10, 0), 0u);  // no chunks requested
+}
+
+TEST(ChunkRange, pinned_partition_of_10_over_4)
+{
+    // 10 = 4*2 + 2 extras: the first two chunks get the extra unit.
+    const std::vector<lu::Chunk_range> want = {
+        {0, 3}, {3, 6}, {6, 8}, {8, 10}};
+    EXPECT_EQ(lu::split_even(10, 4), want);
+    for (std::size_t c = 0; c < want.size(); ++c)
+        EXPECT_EQ(lu::chunk_of(10, 4, c), want[c]) << "chunk " << c;
+}
+
+TEST(ChunkRange, pinned_partition_equals_base_extra_math)
+{
+    // The historical parallel_chunks formula, verbatim.
+    for (const long long n : {1LL, 7LL, 64LL, 1000LL, 12345LL}) {
+        for (const std::size_t k : {1u, 2u, 3u, 8u, 61u}) {
+            const std::size_t chunks = lu::effective_chunks(n, k);
+            const long long base =
+                n / static_cast<long long>(chunks);
+            const long long extra =
+                n % static_cast<long long>(chunks);
+            long long covered = 0;
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const long long begin =
+                    static_cast<long long>(c) * base +
+                    std::min<long long>(static_cast<long long>(c),
+                                        extra);
+                const long long len =
+                    base + (static_cast<long long>(c) < extra ? 1 : 0);
+                const auto range = lu::chunk_of(n, chunks, c);
+                EXPECT_EQ(range.begin, begin) << n << "/" << k << "#" << c;
+                EXPECT_EQ(range.end, begin + len);
+                EXPECT_EQ(range.begin, covered);  // contiguous, in order
+                covered = range.end;
+            }
+            EXPECT_EQ(covered, n);  // exact cover
+        }
+    }
+}
+
+TEST(ChunkRange, split_even_covers_exactly_once)
+{
+    const auto ranges = lu::split_even(12345, 7);
+    ASSERT_EQ(ranges.size(), 7u);
+    long long covered = 0;
+    for (const auto& r : ranges) {
+        EXPECT_EQ(r.begin, covered);
+        EXPECT_LT(r.begin, r.end);
+        covered = r.end;
+    }
+    EXPECT_EQ(covered, 12345);
+}
+
+TEST(ChunkRange, clamp_chunks_pins)
+{
+    // requested > 0 wins, then the fallback; both clamp to [1, min(n, cap)].
+    EXPECT_EQ(lu::clamp_chunks(4, 8, 100), 4u);
+    EXPECT_EQ(lu::clamp_chunks(0, 8, 100), 8u);
+    EXPECT_EQ(lu::clamp_chunks(0, 8, 3), 3u);    // never more than work
+    EXPECT_EQ(lu::clamp_chunks(16, 8, 5), 5u);
+    EXPECT_EQ(lu::clamp_chunks(0, 8, 0), 1u);    // at least one chunk
+    EXPECT_EQ(lu::clamp_chunks(-3, 8, 100), 8u); // negative = default
+    // The historical 1<<16 thread-count cap.
+    EXPECT_EQ(lu::clamp_chunks(1 << 20, 8, 1LL << 40), 1u << 16);
+}

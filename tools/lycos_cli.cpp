@@ -17,8 +17,10 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "apps/apps.hpp"
+#include "dist/dist.hpp"
 #include "core/allocator.hpp"
 #include "core/selection.hpp"
 #include "estimate/storage.hpp"
@@ -160,6 +162,27 @@ int main(int argc, char** argv)
                     "then exit (see src/serve/trace.hpp for the format)");
     args.add_option("serve-workers", "2",
                     "worker threads for --serve-trace");
+    args.add_option("coordinator", "",
+                    "run --search distributed: listen on this port (0 = "
+                    "OS-chosen) and lease unit ranges to connected workers; "
+                    "the best tuple is bit-identical to a single-process "
+                    "solve (docs/distributed.md)");
+    args.add_option("dist-workers", "0",
+                    "in-process worker threads the coordinator spawns "
+                    "against its own port (external --worker processes may "
+                    "join too)");
+    args.add_option("dist-expect", "",
+                    "worker hellos the coordinator waits for before "
+                    "leasing (default: --dist-workers; raise it when "
+                    "external --worker processes join)");
+    args.add_option("worker", "",
+                    "run as a distributed-search worker against "
+                    "HOST:PORT until the coordinator finishes, then exit");
+    args.add_option("dist-chaos", "0",
+                    "non-zero seed kills one worker mid-range to exercise "
+                    "lease reassignment; the best tuple must not change");
+    args.add_option("lease-size", "0",
+                    "units per range lease (0 = auto)");
     args.add_option("inputs", "",
                     "profile a MiniC file by execution with these inputs "
                     "(e.g. x=0,a=100,dx=5) and use the measured loop/branch "
@@ -184,6 +207,31 @@ int main(int argc, char** argv)
     }
     if (args.flag("no-simd"))
         util::simd::force_isa(util::simd::Isa::scalar);
+
+    // Worker mode: no application input of its own — the problem and
+    // solve knobs arrive over the wire from the coordinator.
+    if (!args.value("worker").empty()) {
+        const std::string spec = args.value("worker");
+        const auto colon = spec.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "error: --worker expects HOST:PORT\n";
+            return 2;
+        }
+        try {
+            const std::string host = spec.substr(0, colon);
+            const int port = std::stoi(spec.substr(colon + 1));
+            if (port <= 0 || port > 65535)
+                throw std::invalid_argument("port out of range");
+            return dist::run_worker(host,
+                                    static_cast<std::uint16_t>(port)) == 0
+                       ? 0
+                       : 5;
+        }
+        catch (const std::exception& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     // Benchmark mode: measure old-vs-new search throughput and write
     // the JSON report (needs no application input; CI calls this).
@@ -413,9 +461,50 @@ int main(int argc, char** argv)
             if (pair_limit > 0)
                 opts.extras =
                     solver::Multi_asic_extras{.pair_limit = pair_limit};
-            const auto best = search_name == "auto"
-                                  ? session.solve(opts)
-                                  : session.solve(search_name, opts);
+
+            solver::Solve_result best;
+            if (!args.value("coordinator").empty()) {
+                if (search_name == "auto") {
+                    std::cerr << "error: --coordinator needs an explicit "
+                                 "leasable --search strategy "
+                                 "(exhaustive_bb or multi_asic_bb)\n";
+                    return 2;
+                }
+                dist::Coordinator_options copts;
+                copts.strategy = search_name;
+                copts.solve = opts;
+                copts.port = static_cast<std::uint16_t>(
+                    std::stoi(args.value("coordinator")));
+                copts.n_workers =
+                    args.value("dist-expect").empty()
+                        ? std::stoi(args.value("dist-workers"))
+                        : std::stoi(args.value("dist-expect"));
+                copts.lease_units =
+                    std::stoll(args.value("lease-size"));
+                copts.chaos_seed = static_cast<std::uint64_t>(
+                    std::stoull(args.value("dist-chaos")));
+                // In-process workers connect once the port is known —
+                // the same wire protocol external --worker processes
+                // speak, just on threads of this process.
+                std::vector<std::thread> worker_threads;
+                const int n_inproc =
+                    std::stoi(args.value("dist-workers"));
+                copts.on_listen = [&worker_threads,
+                                   n_inproc](std::uint16_t port) {
+                    for (int i = 0; i < n_inproc; ++i)
+                        worker_threads.emplace_back([port] {
+                            dist::run_worker("127.0.0.1", port);
+                        });
+                };
+                best = dist::solve_distributed(problem, copts);
+                for (auto& t : worker_threads)
+                    t.join();
+            }
+            else {
+                best = search_name == "auto"
+                           ? session.solve(opts)
+                           : session.solve(search_name, opts);
+            }
 
             std::cout << "\n";
             print_solve_stats(std::cout, best);
@@ -463,6 +552,25 @@ int main(int argc, char** argv)
                           << util::speedup_percent(best_ev.speedup_pct())
                           << " with " << best_ev.datapath.to_string(lib)
                           << "\n";
+            }
+            if (best.dist.active) {
+                const auto& d = best.dist;
+                std::cout << "distributed: " << d.n_workers
+                          << " workers, " << util::with_commas(d.leases_granted)
+                          << " leases over " << util::with_commas(d.n_units)
+                          << " units, " << d.leases_reassigned
+                          << " reassigned, " << d.workers_lost << " lost, "
+                          << util::with_commas(d.incumbent_broadcasts)
+                          << " incumbent broadcasts, "
+                          << d.leases_solved_locally << " solved locally\n";
+                for (std::size_t i = 0; i < d.workers.size(); ++i)
+                    std::cout << "  worker " << i << ": "
+                              << d.workers[i].ranges_served << " ranges, "
+                              << d.workers[i].incumbents_applied
+                              << " incumbents applied, "
+                              << util::with_commas(
+                                     d.workers[i].remote_bound_kills)
+                              << " remote-bound kills\n";
             }
             // The anytime incumbent was printed above; the exit code
             // still tells scripts the search was cut short.
