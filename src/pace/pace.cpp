@@ -247,6 +247,8 @@ double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
     }
     ws.rows_reused_ += static_cast<long long>(resume);
     ws.rows_swept_ += static_cast<long long>(n - resume);
+    if (ws.ckpt_foreign_)
+        ws.rows_reused_foreign_ += static_cast<long long>(resume);
 
     // Row storage.  Checkpointing sweeps write every row straight
     // into the workspace's row arena (block i = state after rows
@@ -339,6 +341,28 @@ double Pace_dp::sweep(std::span<const Bsb_cost> costs, const Dp_setup& s,
         ws.ckpt_quantum_ = s.quantum;
         ws.ckpt_width_ = width;
         ws.ckpt_valid_ = true;
+        if (ws.anchor_armed_) {
+            // First checkpointed sweep of the pass: capture it as the
+            // next pass's resume base — unless it IS the restored
+            // anchor, resumed whole (contents already identical).
+            ws.anchor_armed_ = false;
+            if (!(ws.ckpt_foreign_ && ws.anchor_valid_ && resume == n)) {
+                const std::size_t blocks = (n + 1) * width * 2;
+                if (ws.anchor_rows_.size() < blocks)
+                    ws.anchor_rows_.resize(blocks);
+                std::copy(ws.ckpt_rows_.data(),
+                          ws.ckpt_rows_.data() + blocks,
+                          ws.anchor_rows_.data());
+                ws.anchor_costs_.assign(costs.begin(), costs.end());
+                ws.anchor_hi_.assign(ws.ckpt_hi_.begin(),
+                                     ws.ckpt_hi_.begin() +
+                                         static_cast<std::ptrdiff_t>(n + 1));
+                ws.anchor_quantum_ = s.quantum;
+                ws.anchor_width_ = width;
+                ws.anchor_valid_ = true;
+            }
+        }
+        ws.ckpt_foreign_ = false;  // rewritten by this pass
         if constexpr (With_trace) {
             ws.trace_costs_.assign(costs.begin(), costs.end());
             ws.trace_width_ = width;
@@ -381,6 +405,38 @@ bool want_checkpoint(const Pace_workspace* workspace,
 }
 
 }  // namespace
+
+void Pace_workspace::begin_pass()
+{
+    // Arm the anchor capture: this pass's first checkpointed sweep
+    // becomes the resume base the *next* pass starts from.
+    anchor_armed_ = true;
+    if (anchor_valid_) {
+        // Restore the previous pass's first sweep as the active
+        // checkpoint.  The copy re-establishes exactly a state an
+        // earlier sweep left behind, so resume correctness is the
+        // ordinary checkpoint contract; the retained traceback rows
+        // (trace_costs_/trace_rows_) still describe the parent planes,
+        // which this restore does not touch.
+        const std::size_t blocks =
+            (anchor_costs_.size() + 1) * anchor_width_ * 2;
+        if (ckpt_rows_.size() < blocks)
+            ckpt_rows_.resize(blocks);
+        std::copy(anchor_rows_.data(), anchor_rows_.data() + blocks,
+                  ckpt_rows_.data());
+        if (ckpt_hi_.size() < anchor_costs_.size() + 1)
+            ckpt_hi_.resize(anchor_costs_.size() + 1);
+        std::copy(anchor_hi_.begin(),
+                  anchor_hi_.begin() +
+                      static_cast<std::ptrdiff_t>(anchor_costs_.size() + 1),
+                  ckpt_hi_.begin());
+        ckpt_costs_ = anchor_costs_;
+        ckpt_quantum_ = anchor_quantum_;
+        ckpt_width_ = anchor_width_;
+        ckpt_valid_ = true;
+    }
+    ckpt_foreign_ = ckpt_valid_;
+}
 
 double pace_best_saving(std::span<const Bsb_cost> costs,
                         const Pace_options& options,

@@ -144,7 +144,8 @@ public:
         : value_(util::Arena_allocator<double>(arena)),
           next_(util::Arena_allocator<double>(arena)),
           parent_(util::Arena_allocator<std::uint8_t>(arena)),
-          ckpt_rows_(util::Arena_allocator<double>(arena))
+          ckpt_rows_(util::Arena_allocator<double>(arena)),
+          anchor_rows_(util::Arena_allocator<double>(arena))
     {
     }
 
@@ -153,11 +154,36 @@ public:
     long long rows_reused() const { return rows_reused_; }
     long long rows_swept() const { return rows_swept_; }
 
+    /// Rows resumed from a checkpoint that *predates* the current pass
+    /// (see begin_pass) — the cross-solve share of rows_reused().
+    long long rows_reused_foreign() const { return rows_reused_foreign_; }
+
+    /// Mark the start of a new logical pass (one solve / one serve
+    /// request).  Two effects:
+    ///
+    ///   * the *pass anchor* — a retained copy of the previous pass's
+    ///     first checkpointed sweep — becomes the active checkpoint,
+    ///     and this pass's first checkpointed sweep is captured as the
+    ///     next anchor.  Repeated passes over the same problem issue
+    ///     the same first sweep, so a warm pooled workspace resumes it
+    ///     at the first divergent cost row instead of comparing
+    ///     against the previous pass's unrelated *last* sweep.
+    ///   * a checkpoint valid at this point predates the pass, so rows
+    ///     the next resume serves from it count in
+    ///     rows_reused_foreign() — until a sweep of this pass rewrites
+    ///     the checkpoint.
+    ///
+    /// Results are unchanged either way: resumed and cold sweeps are
+    /// bit-identical whoever wrote the checkpoint (the anchor is just
+    /// a checkpoint an earlier sweep produced).
+    void begin_pass();
+
     /// Drop the checkpoint: the next call restarts from row 0 (the
     /// buffers themselves stay allocated).
     void invalidate_checkpoint()
     {
         ckpt_valid_ = false;
+        ckpt_foreign_ = false;
         trace_rows_ = 0;
     }
 
@@ -192,11 +218,27 @@ private:
     double ckpt_quantum_ = 0.0;
     std::size_t ckpt_width_ = 0;
     bool ckpt_valid_ = false;
+    /// The checkpoint was written before the last begin_pass() — rows
+    /// resumed from it count as cross-pass reuse until a sweep of this
+    /// pass rewrites it.
+    bool ckpt_foreign_ = false;
     std::vector<Bsb_cost> trace_costs_;
     std::size_t trace_width_ = 0;
     std::size_t trace_rows_ = 0;
     long long rows_reused_ = 0;
     long long rows_swept_ = 0;
+    long long rows_reused_foreign_ = 0;
+    // Pass anchor (see begin_pass): a copy of the first checkpointed
+    // sweep of the current pass, restored as the active checkpoint by
+    // the next begin_pass().  Never populated without begin_pass(), so
+    // one-shot workspaces pay nothing.
+    std::vector<Bsb_cost> anchor_costs_;
+    util::Arena_vector<double> anchor_rows_;
+    std::vector<std::size_t> anchor_hi_;
+    double anchor_quantum_ = 0.0;
+    std::size_t anchor_width_ = 0;
+    bool anchor_valid_ = false;
+    bool anchor_armed_ = false;  ///< capture the pass's next ckpt write
 };
 
 /// Admissible bound on the total saving any partition of `costs` can

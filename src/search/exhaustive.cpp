@@ -12,6 +12,7 @@
 #include "estimate/sw_time.hpp"
 #include "pace/cost_model.hpp"
 #include "sched/time_frames.hpp"
+#include "search/workspace_pool.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -28,6 +29,7 @@ struct Chunk_result {
     long long n_pruned_remote = 0;  ///< kills only the external bound made
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
+    long long dp_rows_foreign = 0;  ///< reused rows from an earlier solve
     long long rows_abandoned = 0;  ///< leaves refused by the cancel token
     bool abandoned = false;        ///< chunk stopped before its end
     Eval_cache_stats stats;
@@ -310,13 +312,15 @@ public:
            const Prune_model& model, bool use_pruning, double max_area,
            double prime_time, long long begin, long long end,
            Eval_cache* cache, const util::Shared_bound* ext,
-           Chunk_result& out)
+           Chunk_result& out, pace::Pace_workspace* persistent_ws = nullptr)
         : ctx_(ctx), dims_(dims), model_(model), use_pruning_(use_pruning),
           max_area_(max_area), prime_time_(prime_time), begin_(begin),
           end_(end), cache_(cache), cancel_(ctx.cancel), ext_(ext),
           out_(out), digits_(dims.size(), 0),
           dense_counts_(ctx.lib.size(), 0)
     {
+        if (persistent_ws != nullptr)
+            ws_ = persistent_ws;
         bounding_ = use_pruning_ && model_.enabled;
         det_enabled_ = bounding_ && cache_ != nullptr;
         if (bounding_) {
@@ -357,6 +361,13 @@ public:
 
     void run()
     {
+        // A persistent workspace carries counters (and checkpoints)
+        // from earlier solves — report this run's deltas only.  The
+        // private member workspace starts at zero, so the deltas are
+        // the full counters there, exactly as before.
+        const long long reused0 = ws_->rows_reused();
+        const long long swept0 = ws_->rows_swept();
+        const long long foreign0 = ws_->rows_reused_foreign();
         // Full poll once per chunk entry: a deadline that expired
         // before this chunk started abandons it whole — otherwise a
         // space smaller than the leaf-poll stride would never read
@@ -370,8 +381,9 @@ public:
         else {
             walk(static_cast<int>(dims_.size()) - 1, 0, 0.0);
         }
-        out_.dp_rows_reused += pace_ws_.rows_reused();
-        out_.dp_rows_swept += pace_ws_.rows_swept();
+        out_.dp_rows_reused += ws_->rows_reused() - reused0;
+        out_.dp_rows_swept += ws_->rows_swept() - swept0;
+        out_.dp_rows_foreign += ws_->rows_reused_foreign() - foreign0;
         out_.abandoned = stopped_;
     }
 
@@ -798,7 +810,7 @@ private:
             opts.area_quantum = ctx_.area_quantum;
             opts.table_area_budget = ctx_.dp_table_budget;
             opts.cancel = cancel_;
-            double saving = pace::pace_best_saving(costs, opts, &pace_ws_);
+            double saving = pace::pace_best_saving(costs, opts, ws_);
             double t_est = pace::all_sw_time_ns(costs) - saving;
             if (t_est > threshold() + model_.slack) {
                 if (!(t_est > local_threshold() + model_.slack))
@@ -814,7 +826,7 @@ private:
             }
             if (n_proxied_ > 0) {
                 resolve_proxies();
-                saving = pace::pace_best_saving(cur_cost_, opts, &pace_ws_);
+                saving = pace::pace_best_saving(cur_cost_, opts, ws_);
                 t_est = pace::all_sw_time_ns(cur_cost_) - saving;
                 if (t_est > threshold() + model_.slack) {
                     ++out_.n_evaluated;
@@ -851,7 +863,7 @@ private:
         // the way down (and the exact bound already checked when the
         // last digit was assigned) — run the DP straight on it.
         const Evaluation ev = evaluate_with_costs(
-            ctx_, a, det_enabled_ ? cur_cost_ : costs_, &pace_ws_);
+            ctx_, a, det_enabled_ ? cur_cost_ : costs_, ws_);
         ++out_.n_evaluated;
         charge_eval();
         if (!out_.have_best || better_than(ev, out_.best)) {
@@ -913,6 +925,10 @@ private:
     /// workspace it backs (destruction order).
     util::Arena pace_arena_;
     pace::Pace_workspace pace_ws_{&pace_arena_};
+    /// The workspace this chunk actually sweeps with: the private
+    /// member above, or a session-persistent Dp_workspace_pool slot
+    /// whose checkpoint survives into the next solve.
+    pace::Pace_workspace* ws_ = &pace_ws_;
 };
 
 /// Evaluate a few promising fitting points before the walk so every
@@ -1080,6 +1096,13 @@ Search_result exhaustive_engine(const Eval_context& ctx,
                                                            : nullptr);
     }
 
+    // Session-persistent workspaces: grow the pool to one slot per
+    // chunk and open a new pass (surviving checkpoints become
+    // "foreign", i.e. cross-request) before any worker touches a slot
+    // — slot creation is not thread-safe.
+    if (options.dp_pool != nullptr)
+        options.dp_pool->prepare(n_threads);
+
     std::vector<Chunk_result> chunks(n_threads);
     const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
         Chunk_result& out = chunks[c];
@@ -1095,6 +1118,9 @@ Search_result exhaustive_engine(const Eval_context& ctx,
                 cache = &*own_cache;
             }
         }
+        pace::Pace_workspace* slot_ws =
+            options.dp_pool != nullptr ? &options.dp_pool->slot(c).pace
+                                       : nullptr;
         if (span_overflow) {
             // Saturated spaces cannot be walked as a tree (index
             // arithmetic would overflow); fall back to the linear loop.
@@ -1102,15 +1128,25 @@ Search_result exhaustive_engine(const Eval_context& ctx,
             // injected cut has no per-leaf index here and is not
             // applied (the fallback is unreachable below saturated
             // space sizes, which the fault-injection tests never are).
-            util::Arena arena;  // per-worker: this lambda IS the task body
-            pace::Pace_workspace ws(&arena);
+            std::optional<util::Arena> arena;
+            std::optional<pace::Pace_workspace> own_ws;
+            pace::Pace_workspace* ws = slot_ws;
+            if (ws == nullptr) {
+                // per-worker: this lambda IS the task body
+                arena.emplace();
+                own_ws.emplace(&*arena);
+                ws = &*own_ws;
+            }
+            const long long reused0 = ws->rows_reused();
+            const long long swept0 = ws->rows_swept();
+            const long long foreign0 = ws->rows_reused_foreign();
             const auto* cancel = options.cancel;
             std::uint64_t polls = 0;
             space.for_each_range(begin, end, max_area,
                                  [&](const core::Rmap& a) {
                                      const Evaluation ev =
                                          evaluate_allocation(run_ctx, a,
-                                                             cache, &ws);
+                                                             cache, ws);
                                      ++out.n_evaluated;
                                      if (cancel != nullptr)
                                          cancel->charge_evals(1);
@@ -1127,13 +1163,14 @@ Search_result exhaustive_engine(const Eval_context& ctx,
                                      }
                                      return true;
                                  });
-            out.dp_rows_reused += ws.rows_reused();
-            out.dp_rows_swept += ws.rows_swept();
+            out.dp_rows_reused += ws->rows_reused() - reused0;
+            out.dp_rows_swept += ws->rows_swept() - swept0;
+            out.dp_rows_foreign += ws->rows_reused_foreign() - foreign0;
         }
         else {
             Walker walker(run_ctx, dims, model, use_pruning, max_area,
                           prime_time, begin, end, cache,
-                          options.incumbent_bound, out);
+                          options.incumbent_bound, out, slot_ws);
             walker.run();
         }
         if (cache != nullptr) {
@@ -1173,6 +1210,7 @@ Search_result exhaustive_engine(const Eval_context& ctx,
         result.n_pruned_remote += chunk.n_pruned_remote;
         result.dp_rows_reused += chunk.dp_rows_reused;
         result.dp_rows_swept += chunk.dp_rows_swept;
+        result.dp_rows_reused_cross_request += chunk.dp_rows_foreign;
         result.rows_abandoned += chunk.rows_abandoned;
         result.chunks_abandoned += chunk.abandoned ? 1 : 0;
         result.cache_stats += chunk.stats;

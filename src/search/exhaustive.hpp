@@ -55,6 +55,8 @@ class Thread_pool;
 
 namespace lycos::search {
 
+class Dp_workspace_pool;
+
 /// Outcome of a search over the allocation space.
 struct Search_result {
     Evaluation best;           ///< best-scoring allocation found
@@ -80,6 +82,11 @@ struct Search_result {
     /// depend on chunking; the best tuple never does.
     long long dp_rows_reused = 0;
     long long dp_rows_swept = 0;
+    /// The share of dp_rows_reused resumed from checkpoints written by
+    /// an *earlier* solve on the same Dp_workspace_pool slots (0
+    /// without Exhaustive_options::dp_pool) — the cross-request
+    /// warm-start counter serve::Server batching reports.
+    long long dp_rows_reused_cross_request = 0;
 
     /// Prunes attributable to Exhaustive_options::incumbent_bound: the
     /// external bound was strictly tighter than the local threshold at
@@ -138,6 +145,16 @@ struct Exhaustive_options {
     /// one pool and reuses it across solves.  Engine-level option,
     /// ignored by the deprecated shims like `invariants`.
     util::Thread_pool* pool = nullptr;
+
+    /// Session-persistent per-worker DP workspaces (workspace_pool.hpp):
+    /// chunk c sweeps on slot c, so the incremental-PACE checkpoints
+    /// survive between solves and a repeat solve of the same problem
+    /// resumes instead of re-sweeping (results bit-identical either
+    /// way; the cross-solve share lands in
+    /// Search_result::dp_rows_reused_cross_request).  Null: per-chunk
+    /// stack workspaces, exactly the pre-pool behaviour.  A
+    /// solver::Session always fills this in.
+    Dp_workspace_pool* dp_pool = nullptr;
 
     /// Optional cancellation handle: the walker polls it at subtree
     /// and leaf boundaries and stops with the incumbent found so far

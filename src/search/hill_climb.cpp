@@ -1,12 +1,14 @@
 #include "search/hill_climb.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <optional>
 #include <utility>
 
 #include "search/eval_cache.hpp"
 #include "search/proxy_cost.hpp"
+#include "search/workspace_pool.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -47,13 +49,20 @@ struct Climb_scratch {
     /// first-touched on the worker that climbs with them.  Declared
     /// before the workspace it backs.
     util::Arena arena;
-    pace::Pace_workspace ws{&arena};
+    pace::Pace_workspace own_ws{&arena};
+    /// The workspace the screens sweep on: the private one above, or
+    /// a session-persistent Dp_workspace_pool slot whose checkpoint
+    /// survives into the next solve.
+    pace::Pace_workspace* ws = &own_ws;
     std::vector<pace::Bsb_cost> costs;
     std::vector<int> counts;
 
-    Climb_scratch(const Eval_context& ctx, Eval_cache& c, bool use_proxy)
+    Climb_scratch(const Eval_context& ctx, Eval_cache& c, bool use_proxy,
+                  pace::Pace_workspace* persistent_ws)
         : cache(c)
     {
+        if (persistent_ws != nullptr)
+            ws = persistent_ws;
         if (use_proxy) {
             proxy.emplace(ctx, c);
             if (!proxy->sound())
@@ -73,7 +82,7 @@ struct Climb_scratch {
         opts.area_quantum = ctx.area_quantum;
         opts.table_area_budget = ctx.dp_table_budget;
         opts.cancel = ctx.cancel;
-        return {all_sw - pace::pace_best_saving(costs, opts, &ws), area};
+        return {all_sw - pace::pace_best_saving(costs, opts, ws), area};
     }
 
     /// (screened hybrid time, data-path area) of `a`.  A non-fitting
@@ -246,11 +255,19 @@ Search_result hill_climb_engine(const Eval_context& ctx,
         std::min(n_threads, static_cast<std::size_t>(n_restarts)));
     result.n_threads = static_cast<int>(n_threads);
 
+    // Session-persistent workspaces: one slot per chunk, grown and
+    // marked cross-request before any worker runs (see
+    // exhaustive_engine for the same dance).
+    if (options.dp_pool != nullptr)
+        options.dp_pool->prepare(n_threads);
+
     std::vector<Restart_result> restarts(
         static_cast<std::size_t>(n_restarts));
     std::vector<Eval_cache_stats> chunk_stats(n_threads);
     std::vector<long long> chunk_refused(n_threads, 0);
     std::vector<std::uint8_t> chunk_stopped(n_threads, 0);
+    std::vector<std::array<long long, 3>> chunk_dp(n_threads,
+                                                   {0, 0, 0});
     const auto run_chunk = [&](std::size_t c, long long begin, long long end) {
         Eval_cache* cache = nullptr;
         std::optional<Eval_cache> own_cache;
@@ -264,7 +281,15 @@ Search_result hill_climb_engine(const Eval_context& ctx,
                               options.invariants);
             cache = &*own_cache;
         }
-        Climb_scratch scratch(run_ctx, *cache, options.use_proxy_screen);
+        Climb_scratch scratch(run_ctx, *cache, options.use_proxy_screen,
+                              options.dp_pool != nullptr
+                                  ? &options.dp_pool->slot(c).pace
+                                  : nullptr);
+        // Persistent workspaces carry counters from earlier solves —
+        // report this chunk's deltas only (zero-based for private ones).
+        const long long reused0 = scratch.ws->rows_reused();
+        const long long swept0 = scratch.ws->rows_swept();
+        const long long foreign0 = scratch.ws->rows_reused_foreign();
         for (long long r = begin; r < end; ++r) {
             // Admission gate per restart — the thread-invariant work
             // unit, so the injected cut climbs exactly [0, cut).
@@ -285,6 +310,9 @@ Search_result hill_climb_engine(const Eval_context& ctx,
         chunk_stats[c] = cache == options.shared_cache
                              ? cache->stats().minus(shared_before)
                              : cache->stats();
+        chunk_dp[c] = {scratch.ws->rows_reused() - reused0,
+                       scratch.ws->rows_swept() - swept0,
+                       scratch.ws->rows_reused_foreign() - foreign0};
     };
 
     std::size_t chunks_skipped = 0;
@@ -317,6 +345,9 @@ Search_result hill_climb_engine(const Eval_context& ctx,
     for (std::size_t c = 0; c < n_threads; ++c) {
         result.rows_abandoned += chunk_refused[c];
         result.chunks_abandoned += chunk_stopped[c];
+        result.dp_rows_reused += chunk_dp[c][0];
+        result.dp_rows_swept += chunk_dp[c][1];
+        result.dp_rows_reused_cross_request += chunk_dp[c][2];
     }
     result.chunks_abandoned += static_cast<long long>(chunks_skipped);
     if (options.cancel != nullptr) {

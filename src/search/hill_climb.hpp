@@ -80,6 +80,14 @@ struct Hill_climb_options {
     /// engine-level, ignored by the deprecated shim).
     util::Thread_pool* pool = nullptr;
 
+    /// Session-persistent per-worker DP workspaces (see
+    /// Exhaustive_options::dp_pool): worker c screens on slot c, so
+    /// the value-DP checkpoints survive between solves and a repeat
+    /// climb of the same problem resumes at the first divergent cost
+    /// row (bit-identical results; the cross-solve share lands in
+    /// Search_result::dp_rows_reused_cross_request).
+    Dp_workspace_pool* dp_pool = nullptr;
+
     /// Optional cancellation handle.  The logical work unit is the
     /// restart index: the injected cut climbs exactly the restarts
     /// below it, so truncated results are bit-identical for any thread

@@ -469,6 +469,126 @@ Search_bench_result run_search_bench(const Search_bench_config& config)
                            out.serve_p99_ms <= out.serve_p99_budget_ms;
     }
 
+    // Serve batching section: an interleaved two-family burst (same
+    // BSBs, two search quanta — two distinct canonical problem keys)
+    // against a one-worker Server whose session pool holds a single
+    // idle session.  Unbatched, the alternating families evict each
+    // other on every checkin, so every request builds a fresh session
+    // — exactly the fresh-session reference of the batching
+    // bit-identity contract.  Batched, the paused queue drains into
+    // one batch per family on one pinned session, so members after
+    // the first hit the shared Eval_cache and resume the checkpointed
+    // DP rows (dp_rows_reused_cross_request).  Min-of-N walls per
+    // mode; the speedup, the observed cross-request rows, the
+    // per-request identity and the batched p99 are the CI gates.
+    {
+        constexpr int k_pairs = 6;    // requests per family
+        constexpr int k_runs = 2;     // min-of-N
+        const std::array<double, 2> quanta{config.asic_area / 256.0,
+                                           config.asic_area / 320.0};
+        const auto make_request = [&](double quantum) {
+            serve::Request request;
+            request.problem.bsbs = bsbs;
+            request.problem.lib = &lib;
+            request.problem.target = target;
+            request.problem.restrictions = restrictions;
+            request.problem.ctrl_mode = pace::Controller_mode::list_schedule;
+            request.problem.area_quantum = quantum;
+            request.strategy = "hill_climb";
+            request.priority = serve::Priority::bulk;
+            request.options.n_threads = 1;
+            return request;
+        };
+
+        struct Run_outcome {
+            double seconds = 0.0;
+            std::vector<serve::Response> responses;  // submission order
+            serve::Server_stats stats;
+        };
+        const auto run_burst = [&](bool batching) {
+            Run_outcome run;
+            serve::Server server({.n_workers = 1,
+                                  .queue_capacity = 64,
+                                  .session_pool_capacity = 1,
+                                  .warm_start = false,
+                                  .batching = batching,
+                                  .start_paused = true});
+            std::vector<std::future<serve::Response>> futures;
+            for (int i = 0; i < k_pairs; ++i)
+                for (const double q : quanta)
+                    futures.push_back(server.submit(make_request(q)));
+            const util::Wall_timer timer;
+            server.resume();
+            for (auto& f : futures)
+                run.responses.push_back(f.get());
+            run.seconds = timer.seconds();
+            run.stats = server.stats();
+            return run;
+        };
+
+        Run_outcome best_on, best_off;
+        for (int r = 0; r < k_runs; ++r) {
+            auto on = run_burst(true);
+            auto off = run_burst(false);
+            if (r == 0 || on.seconds < best_on.seconds)
+                best_on = std::move(on);
+            if (r == 0 || off.seconds < best_off.seconds)
+                best_off = std::move(off);
+        }
+
+        out.serve_batch_requests = 2 * k_pairs;
+        out.serve_batch_families = 2;
+        out.serve_batch_secs_on = best_on.seconds;
+        out.serve_batch_secs_off = best_off.seconds;
+        out.serve_batch_rps_on =
+            best_on.seconds > 0.0 ? 2.0 * k_pairs / best_on.seconds : 0.0;
+        out.serve_batch_rps_off =
+            best_off.seconds > 0.0 ? 2.0 * k_pairs / best_off.seconds : 0.0;
+        out.serve_batch_speedup = best_on.seconds > 0.0
+                                      ? best_off.seconds / best_on.seconds
+                                      : 0.0;
+        out.serve_batch_dp_rows_cross =
+            best_on.stats.dp_rows_reused_cross_request;
+        out.serve_batch_batches =
+            static_cast<long long>(best_on.stats.batches);
+        out.serve_batch_max_size =
+            static_cast<long long>(best_on.stats.max_batch_size);
+        search::Eval_cache_stats combined;
+        for (const auto& f : best_on.stats.family_cache)
+            combined += f.cache;
+        out.serve_batch_cache_hit_rate = combined.hit_rate();
+
+        std::vector<double> batched_ms;
+        bool identical = best_on.responses.size() == best_off.responses.size();
+        for (std::size_t i = 0; i < best_on.responses.size(); ++i) {
+            const auto& a = best_on.responses[i];
+            batched_ms.push_back(a.queue_ms + a.solve_ms);
+            if (!identical)
+                break;
+            const auto& b = best_off.responses[i];
+            identical =
+                a.status == serve::Request_status::complete &&
+                b.status == serve::Request_status::complete &&
+                a.rung_strategy == b.rung_strategy &&
+                a.result.best.datapath == b.result.best.datapath &&
+                a.result.best.partition.time_hybrid_ns ==
+                    b.result.best.partition.time_hybrid_ns &&
+                a.result.best.datapath_area == b.result.best.datapath_area;
+        }
+        out.serve_batch_identical = identical;
+        out.serve_batch_p50_ms = serve::percentile(batched_ms, 0.50);
+        out.serve_batch_p99_ms = serve::percentile(batched_ms, 0.99);
+        out.serve_batch_p99_budget_ms =
+            std::max(k_serve_p99_floor_ms,
+                     k_serve_p99_budget_factor * out.serve_calib_ms *
+                         static_cast<double>(2 * k_pairs));
+        out.serve_batch_ok =
+            out.serve_batch_identical &&
+            out.serve_batch_speedup >= k_serve_batch_min_speedup &&
+            out.serve_batch_dp_rows_cross > 0 &&
+            out.serve_batch_p99_ms <= out.serve_batch_p99_budget_ms;
+    }
+
     // Kernel-dispatch section: the dispatched SIMD kernel table
     // against the always-built scalar one, on the two row scans the
     // DP sweeps spend their time in — the single-ASIC value-sweep row
@@ -730,6 +850,24 @@ std::string to_json(const Search_bench_config& config,
         << ", \"p99_budget_ms\": " << result.serve_p99_budget_ms
         << ", \"p99_ok\": " << (result.serve_p99_ok ? "true" : "false")
         << "},\n"
+        << "  \"serve_batch\": {\"requests\": " << result.serve_batch_requests
+        << ", \"families\": " << result.serve_batch_families
+        << ", \"secs_on\": " << result.serve_batch_secs_on
+        << ", \"secs_off\": " << result.serve_batch_secs_off
+        << ", \"rps_on\": " << result.serve_batch_rps_on
+        << ", \"rps_off\": " << result.serve_batch_rps_off
+        << ", \"speedup\": " << result.serve_batch_speedup
+        << ", \"p50_ms\": " << result.serve_batch_p50_ms
+        << ", \"p99_ms\": " << result.serve_batch_p99_ms
+        << ", \"p99_budget_ms\": " << result.serve_batch_p99_budget_ms
+        << ", \"dp_rows_cross\": " << result.serve_batch_dp_rows_cross
+        << ", \"batches\": " << result.serve_batch_batches
+        << ", \"max_batch_size\": " << result.serve_batch_max_size
+        << ", \"cache_hit_rate\": " << result.serve_batch_cache_hit_rate
+        << ", \"identical\": "
+        << (result.serve_batch_identical ? "true" : "false")
+        << ", \"ok\": " << (result.serve_batch_ok ? "true" : "false")
+        << "},\n"
         << "  \"dist\": {\"units\": " << result.dist_units
         << ", \"matches_local\": "
         << (result.dist_matches_local ? "true" : "false") << ", \"runs\": [";
@@ -856,6 +994,20 @@ void print_summary(std::ostream& out, const Search_bench_result& result)
         << result.serve_completed << " complete, " << result.serve_degraded
         << " degraded, " << result.serve_shed << " shed; "
         << (result.serve_p99_ok ? "ok" : "TOO SLOW") << ")\n"
+        << "  serve batching:               "
+        << util::fixed(result.serve_batch_speedup, 2) << "x ("
+        << util::fixed(result.serve_batch_secs_off * 1e3, 1) << " ms -> "
+        << util::fixed(result.serve_batch_secs_on * 1e3, 1) << " ms for "
+        << result.serve_batch_requests << " requests, "
+        << result.serve_batch_families << " families; "
+        << result.serve_batch_dp_rows_cross << " cross-request DP rows, "
+        << util::fixed(100.0 * result.serve_batch_cache_hit_rate, 1)
+        << "% cache hits, p99 " << util::fixed(result.serve_batch_p99_ms, 1)
+        << " ms; "
+        << (result.serve_batch_ok
+                ? "ok"
+                : result.serve_batch_identical ? "TOO SLOW" : "MISMATCH")
+        << ")\n"
         << "  distributed exhaustive_bb:    "
         << util::fixed(result.dist_seconds[0] * 1e3, 1) << "/"
         << util::fixed(result.dist_seconds[1] * 1e3, 1) << "/"
@@ -932,6 +1084,23 @@ int write_bench_report(const std::string& path, std::ostream& log,
                 << result.serve_p99_ms << " ms > "
                 << result.serve_p99_budget_ms << " ms) or shed/failed "
                    "requests on an uncontended queue\n";
+        if (!result.serve_batch_ok) {
+            if (!result.serve_batch_identical)
+                err << "error: batched answers differ from the unbatched "
+                       "fresh-session ones\n";
+            else if (result.serve_batch_dp_rows_cross <= 0)
+                err << "error: the batched burst observed no cross-request "
+                       "DP warm-start rows\n";
+            else if (result.serve_batch_speedup < k_serve_batch_min_speedup)
+                err << "error: request batching regressed below "
+                    << k_serve_batch_min_speedup
+                    << "x the unbatched burst (measured "
+                    << result.serve_batch_speedup << "x)\n";
+            else
+                err << "error: the batched burst missed its p99 budget ("
+                    << result.serve_batch_p99_ms << " ms > "
+                    << result.serve_batch_p99_budget_ms << " ms)\n";
+        }
         if (!result.kern_pace_ok)
             err << "error: SIMD pace-sweep kernels regressed below "
                 << k_kernel_pace_min_speedup << "x scalar (measured "
@@ -952,6 +1121,7 @@ int write_bench_report(const std::string& path, std::ostream& log,
                        result.solver_multi_dp_states <
                            result.solver_multi_dp_dense &&
                        result.deadline_overhead_ok && result.serve_p99_ok &&
+                       result.serve_batch_ok &&
                        result.kern_pace_ok && result.kern_merge_ok &&
                        result.dist_matches_local
                    ? 0

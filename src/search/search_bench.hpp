@@ -64,6 +64,19 @@ inline constexpr double k_kernel_merge_min_speedup = 1.3;
 inline constexpr double k_serve_p99_budget_factor = 4.0;
 inline constexpr double k_serve_p99_floor_ms = 50.0;
 
+/// Request-batching throughput gate (BENCH "serve_batch" section):
+/// an interleaved two-family burst against a deliberately small
+/// session pool (capacity 1, one worker) must run at least this much
+/// faster with batching on than off.  Unbatched, the alternating
+/// families evict each other's session on every request — every solve
+/// is cold; batched, each family drains into one batch on one pinned
+/// session and every member after the first resumes the shared
+/// Eval_cache and the checkpointed DP rows.  The gate also requires
+/// cross-request DP reuse to be observed (dp_rows_cross > 0) and the
+/// batched answers to be bit-identical to the unbatched (fresh-
+/// session) ones.
+inline constexpr double k_serve_batch_min_speedup = 1.3;
+
 /// Measured throughputs (evaluations per second) and speedups.
 struct Search_bench_result {
     long long space_size = 0;
@@ -185,6 +198,32 @@ struct Search_bench_result {
     double serve_p99_budget_ms = 0.0;
     bool serve_p99_ok = false;  ///< p99 <= budget — the CI gate
 
+    /// Serve batching section (BENCH "serve_batch"): the same
+    /// interleaved two-family burst replayed through a one-worker,
+    /// capacity-1-pool Server with batching on and off (min-of-N wall
+    /// each).  Unbatched, the families LRU-evict each other and every
+    /// solve is cold — the fresh-session reference of the bit-identity
+    /// contract; batched, each family is served as one batch on one
+    /// pinned session.  Gated on k_serve_batch_min_speedup, on
+    /// observed cross-request DP reuse, on per-request identity, and
+    /// on the batched p99 staying inside the usual serve budget.
+    long long serve_batch_requests = 0;  ///< burst size (each mode, per run)
+    int serve_batch_families = 0;
+    double serve_batch_secs_on = 0.0;   ///< min-of-N wall, batching on
+    double serve_batch_secs_off = 0.0;  ///< min-of-N wall, batching off
+    double serve_batch_rps_on = 0.0;    ///< requests per second
+    double serve_batch_rps_off = 0.0;
+    double serve_batch_speedup = 0.0;   ///< secs_off / secs_on
+    double serve_batch_p50_ms = 0.0;    ///< batched timed run, end-to-end
+    double serve_batch_p99_ms = 0.0;
+    double serve_batch_p99_budget_ms = 0.0;
+    long long serve_batch_dp_rows_cross = 0;  ///< batched timed run
+    long long serve_batch_batches = 0;        ///< batches formed
+    long long serve_batch_max_size = 0;
+    double serve_batch_cache_hit_rate = 0.0;  ///< combined, batched run
+    bool serve_batch_identical = false;  ///< batched == unbatched, per request
+    bool serve_batch_ok = false;         ///< the CI gate (see above)
+
     /// Distributed section (BENCH "dist"): the solver scenario's
     /// exhaustive_bb fanned out through dist::solve_distributed over
     /// 1/2/4 in-process loopback workers — wall time, lease and
@@ -242,7 +281,10 @@ void print_summary(std::ostream& out, const Search_bench_result& result);
 /// replaced, an armed-but-idle Cancel_token cost the new_single
 /// sweep under 1% (`deadline.overhead_ok`), the serving layer's
 /// request burst finished every request and kept its p99 under the
-/// calibrated budget (`serve.p99_ok`), the distributed solve matched
+/// calibrated budget (`serve.p99_ok`), request batching beat the
+/// unbatched replay of the two-family burst by the pinned ratio with
+/// observed cross-request DP reuse and bit-identical answers
+/// (`serve_batch.ok`), the distributed solve matched
 /// the local one bit for bit at every worker count
 /// (`dist.matches_local`), and — on builds/CPUs with
 /// SIMD — the dispatched kernels beat the scalar table by the pinned

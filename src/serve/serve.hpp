@@ -27,6 +27,23 @@
 // The chaos campaign in tests/test_serve.cpp drives seeded fault
 // plans through concurrent clients and asserts exactly that.
 //
+// Request *batching* (Server_options::batching): when a worker
+// dequeues a request it drains every queued request with the same
+// canonical problem encoding into one batch and serves the members
+// back-to-back on a single checked-out session — one Eval_invariants,
+// one shared Eval_cache, one persistent DP workspace pool
+// (solver::Session::workspaces()), so a later member's PACE sweeps
+// resume from the checkpoints an earlier member just wrote
+// (Solve_result::dp_rows_reused_cross_request).  Each member keeps
+// its own Cancel_token, deadline, chaos plan and full degradation
+// ladder; the slot stays pinned (out of the LRU idle pool) for the
+// whole batch.  Bit-identity contract: a batched member's answer —
+// the accepted rung and its result tuple — is identical to solving
+// that request alone on a fresh session, for any batch composition
+// and worker count.  On shutdown mid-batch the in-flight member
+// finishes its ladder and every not-yet-started member is shed
+// individually; a batch never produces partial answers.
+//
 // Lifetime contract: the Problem's BSB array is *copied* at submit,
 // so the caller's span may die as soon as submit()/solve() returns.
 // The library and storage model are held by pointer and must outlive
@@ -179,6 +196,13 @@ struct Server_options {
     /// Feed the greedy rung from the incumbent cache.
     bool warm_start = true;
 
+    /// Drain same-problem queued requests into one batch per dequeue
+    /// (see the header note).  Off: every request checks out its own
+    /// session, exactly the pre-batching behaviour.  Answers are
+    /// bit-identical either way; batching only removes duplicate
+    /// session/cache/DP warm-up work.
+    bool batching = true;
+
     /// Construct with workers parked: requests queue but nothing runs
     /// until resume().  Deterministic admission tests use this.
     bool start_paused = false;
@@ -194,6 +218,28 @@ struct Server_stats {
     std::uint64_t retries = 0;     ///< ladder attempts past rung 0
     std::uint64_t warm_hits = 0;   ///< greedy rungs fed a cached incumbent
     std::uint64_t sessions_reused = 0;
+
+    /// Batching counters: multi-member batches formed, requests served
+    /// as members of one, and the largest batch seen.  Singleton
+    /// dequeues count in none of them.
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::uint64_t max_batch_size = 0;
+
+    /// Total cross-request DP warm-start rows over every answered
+    /// request (sum of Solve_result::dp_rows_reused_cross_request).
+    long long dp_rows_reused_cross_request = 0;
+
+    /// Eval_cache activity aggregated per application family
+    /// (warm_family_key) over every answered request — batch members
+    /// fold into the same entry, so the combined per-family hit rate
+    /// is hits/lookups of one row.  One entry per family seen.
+    struct Family_cache_stats {
+        std::uint64_t family = 0;    ///< warm_family_key of the problem
+        std::uint64_t requests = 0;  ///< answered requests aggregated
+        search::Eval_cache_stats cache;
+    };
+    std::vector<Family_cache_stats> family_cache;
 };
 
 /// The long-lived solver service.  Thread-safe: submit() may be

@@ -208,6 +208,11 @@ struct Server::Impl {
         std::promise<Response> promise;
         clock::time_point t_submit;
         std::uint64_t id = 0;
+        /// encode_problem() of the request, computed at submit on the
+        /// client's thread: batch formation compares keys under the
+        /// queue lock, where re-encoding per queued entry would
+        /// serialize the workers.
+        std::string key;
     };
 
     struct Session_slot {
@@ -266,9 +271,9 @@ struct Server::Impl {
 
     // --- session pool --------------------------------------------------
 
-    std::unique_ptr<Session_slot> checkout(const solver::Problem& problem)
+    std::unique_ptr<Session_slot> checkout(const solver::Problem& problem,
+                                           std::string key)
     {
-        std::string key = encode_problem(problem);
         {
             const std::lock_guard lk(mu);
             const auto it = std::find_if(
@@ -338,25 +343,43 @@ struct Server::Impl {
 
     // --- the degradation ladder ----------------------------------------
 
+    /// The single-request path: checkout, ladder, checkin.  Batches
+    /// (process_batch) run the same ladder per member on one pinned
+    /// checkout instead.
     Response process(Pending& p, bool attach_master)
     {
         const auto t_start = clock::now();
-        Response resp;
-        resp.id = p.id;
-        resp.queue_ms = ms_between(p.t_submit, t_start);
-
         std::unique_ptr<Session_slot> slot;
         try {
-            slot = checkout(p.req.problem);
+            slot = checkout(p.req.problem, p.key);
         }
         catch (const std::exception& e) {
+            Response resp;
+            resp.id = p.id;
+            resp.queue_ms = ms_between(p.t_submit, t_start);
             resp.status = Request_status::failed;
             resp.error = e.what();
             finish_stats(resp);
             resp.solve_ms = ms_between(t_start, clock::now());
             return resp;
         }
-        solver::Session& session = *slot->session;
+        Response resp = run_ladder(p, *slot->session, attach_master, t_start,
+                                   /*batch_size=*/1);
+        checkin(std::move(slot));
+        return resp;
+    }
+
+    /// The degradation ladder of one request on an already-checked-out
+    /// session.  `batch_size` is recorded on the accepted result (1 =
+    /// served alone); the session may carry warm state from earlier
+    /// requests — every rung is bit-identical warm or cold.
+    Response run_ladder(Pending& p, solver::Session& session,
+                        bool attach_master, clock::time_point t_start,
+                        int batch_size)
+    {
+        Response resp;
+        resp.id = p.id;
+        resp.queue_ms = ms_between(p.t_submit, t_start);
 
         std::string strategy = p.req.strategy;
         if (strategy == "auto")
@@ -366,7 +389,6 @@ struct Server::Impl {
         if (solver::find_strategy(strategy) == nullptr) {
             resp.status = Request_status::failed;
             resp.error = "unknown strategy \"" + strategy + "\"";
-            checkin(std::move(slot));
             finish_stats(resp);
             resp.solve_ms = ms_between(t_start, clock::now());
             return resp;
@@ -379,7 +401,7 @@ struct Server::Impl {
             rungs.emplace_back("hill_climb");
         rungs.emplace_back(k_incumbent_rung);
 
-        const std::uint64_t family = warm_family_key(slot->problem);
+        const std::uint64_t family = warm_family_key(session.problem());
         core::Rmap warm;
         bool have_warm = opts.warm_start && warm_lookup(family, warm);
 
@@ -509,13 +531,31 @@ struct Server::Impl {
                 resp.result.cache_stats +=
                     session.cache().stats().minus(before);
             }
+            resp.result.batch_size = batch_size;
+            // Per-family service observability: the answered request's
+            // cache activity and cross-request warm-start rows, folded
+            // into its family's row (batch members land in the same
+            // row, so the combined hit rate is one division away).
+            {
+                const std::lock_guard lk(mu);
+                stats.dp_rows_reused_cross_request +=
+                    resp.result.dp_rows_reused_cross_request;
+                auto it = std::find_if(
+                    stats.family_cache.begin(), stats.family_cache.end(),
+                    [&](const auto& e) { return e.family == family; });
+                if (it == stats.family_cache.end()) {
+                    stats.family_cache.push_back({family, 0, {}});
+                    it = std::prev(stats.family_cache.end());
+                }
+                ++it->requests;
+                it->cache += resp.result.cache_stats;
+            }
         }
         else {
             resp.status = Request_status::failed;
             if (resp.error.empty())
                 resp.error = "every ladder rung failed";
         }
-        checkin(std::move(slot));
         finish_stats(resp);
         resp.solve_ms = ms_between(t_start, clock::now());
         return resp;
@@ -537,8 +577,7 @@ struct Server::Impl {
     void worker_loop()
     {
         for (;;) {
-            std::unique_ptr<Pending> p;
-            std::uint64_t seq = 0;
+            std::vector<std::unique_ptr<Pending>> batch;
             {
                 std::unique_lock lk(mu);
                 cv.wait(lk, [&] {
@@ -549,14 +588,82 @@ struct Server::Impl {
                 if (stopping)
                     return;
                 auto& q = !interactive.empty() ? interactive : bulk;
-                p = std::move(q.front());
+                batch.push_back(std::move(q.front()));
                 q.pop_front();
+                if (opts.batching) {
+                    // Drain every queued request with the same
+                    // canonical problem key into this dequeue,
+                    // interactive before bulk and in queue order within
+                    // each class — exactly the order the workers would
+                    // have served them anyway.
+                    const std::string& key = batch.front()->key;
+                    for (auto* queue : {&interactive, &bulk})
+                        for (auto it = queue->begin();
+                             it != queue->end();) {
+                            if ((*it)->key == key) {
+                                batch.push_back(std::move(*it));
+                                it = queue->erase(it);
+                            }
+                            else {
+                                ++it;
+                            }
+                        }
+                }
+                if (batch.size() > 1) {
+                    ++stats.batches;
+                    stats.batched_requests += batch.size();
+                    stats.max_batch_size =
+                        std::max<std::uint64_t>(stats.max_batch_size,
+                                                batch.size());
+                }
+            }
+            process_batch(batch);
+        }
+    }
+
+    /// Serve a drained batch back-to-back on one pinned session
+    /// checkout.  Members keep their own ladders; sequence numbers are
+    /// taken at each member's ladder start, so the global dequeue
+    /// order stays gap-free even when shutdown sheds the tail of a
+    /// batch.  A checkout failure (invalid problem — shared by every
+    /// member, the key encodes the whole problem) falls back to the
+    /// single-request path per member, which fails each identically.
+    void process_batch(std::vector<std::unique_ptr<Pending>>& batch)
+    {
+        const int batch_size = static_cast<int>(batch.size());
+        std::unique_ptr<Session_slot> slot;
+        if (batch_size > 1) {
+            try {
+                slot = checkout(batch.front()->req.problem,
+                                batch.front()->key);
+            }
+            catch (const std::exception&) {
+                slot = nullptr;
+            }
+        }
+        for (auto& p : batch) {
+            // Shutdown boundary: members whose ladder has not started
+            // are shed individually — a batch never leaves a member's
+            // promise dangling, and never returns a partial answer.
+            if (master.tripped()) {
+                resolve_shed(*p, "server shut down");
+                continue;
+            }
+            std::uint64_t seq = 0;
+            {
+                const std::lock_guard lk(mu);
                 seq = ++next_seq;
             }
-            Response r = process(*p, /*attach_master=*/true);
+            Response r =
+                slot != nullptr
+                    ? run_ladder(*p, *slot->session, /*attach_master=*/true,
+                                 clock::now(), batch_size)
+                    : process(*p, /*attach_master=*/true);
             r.sequence = seq;
             p->promise.set_value(std::move(r));
         }
+        if (slot != nullptr)
+            checkin(std::move(slot));
     }
 
     Server_options opts;
@@ -589,6 +696,7 @@ std::future<Response> Server::submit(Request request)
     p->req = std::move(request);
     p->bsbs.assign(p->req.problem.bsbs.begin(), p->req.problem.bsbs.end());
     p->req.problem.bsbs = p->bsbs;
+    p->key = encode_problem(p->req.problem);
     p->t_submit = clock::now();
     auto future = p->promise.get_future();
 
@@ -657,6 +765,7 @@ Response Server::solve(Request request)
     p->req = std::move(request);
     p->bsbs.assign(p->req.problem.bsbs.begin(), p->req.problem.bsbs.end());
     p->req.problem.bsbs = p->bsbs;
+    p->key = encode_problem(p->req.problem);
     p->t_submit = clock::now();
     {
         const std::lock_guard lk(impl_->mu);

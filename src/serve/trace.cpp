@@ -157,7 +157,8 @@ int run_trace(std::istream& in, std::ostream& out,
 
     Server server({.n_workers = options.n_workers,
                    .queue_capacity = options.queue_capacity,
-                   .warm_start = options.warm_start});
+                   .warm_start = options.warm_start,
+                   .batching = options.batching});
 
     struct Row {
         const Trace_spec* spec;
@@ -190,10 +191,14 @@ int run_trace(std::istream& in, std::ostream& out,
     }
 
     util::Table_printer table({"id", "app", "strategy", "priority", "status",
-                               "rung", "queue ms", "solve ms"});
+                               "rung", "batch", "queue ms", "solve ms"});
     std::map<Request_status, int> by_status;
     std::vector<double> latency_interactive;
     std::vector<double> latency_bulk;
+    // Batched (served as a member of a multi-request batch) vs
+    // unbatched end-to-end latencies, for the comparison row below.
+    std::vector<double> latency_batched;
+    std::vector<double> latency_unbatched;
     int n_failed = 0;
     for (auto& row : rows) {
         const Response r = row.future.get();
@@ -201,15 +206,22 @@ int run_trace(std::istream& in, std::ostream& out,
         if (r.status == Request_status::failed)
             ++n_failed;
         if (r.status == Request_status::complete ||
-            r.status == Request_status::degraded)
+            r.status == Request_status::degraded) {
+            const double latency = r.queue_ms + r.solve_ms;
             (row.spec->priority == Priority::interactive
                  ? latency_interactive
                  : latency_bulk)
-                .push_back(r.queue_ms + r.solve_ms);
+                .push_back(latency);
+            (r.result.batch_size > 1 ? latency_batched : latency_unbatched)
+                .push_back(latency);
+        }
         table.add_row({std::to_string(r.id), row.spec->app,
                        row.spec->strategy, to_string(row.spec->priority),
                        to_string(r.status),
                        r.rung >= 0 ? r.rung_strategy : "-",
+                       r.result.batch_size > 0
+                           ? std::to_string(r.result.batch_size)
+                           : "-",
                        util::fixed(r.queue_ms, 2),
                        util::fixed(r.solve_ms, 2)});
     }
@@ -228,13 +240,24 @@ int run_trace(std::istream& in, std::ostream& out,
     latency.add_row({"bulk", std::to_string(latency_bulk.size()),
                      util::fixed(percentile(latency_bulk, 0.50), 2),
                      util::fixed(percentile(latency_bulk, 0.99), 2)});
+    latency.add_row({"batched", std::to_string(latency_batched.size()),
+                     util::fixed(percentile(latency_batched, 0.50), 2),
+                     util::fixed(percentile(latency_batched, 0.99), 2)});
+    latency.add_row({"unbatched", std::to_string(latency_unbatched.size()),
+                     util::fixed(percentile(latency_unbatched, 0.50), 2),
+                     util::fixed(percentile(latency_unbatched, 0.99), 2)});
     latency.print(out);
 
     const auto stats = server.stats();
     out << "workers=" << options.n_workers << " shed=" << stats.shed
         << " degraded=" << stats.degraded << " retries=" << stats.retries
         << " warm_hits=" << stats.warm_hits
-        << " sessions_reused=" << stats.sessions_reused << "\n";
+        << " sessions_reused=" << stats.sessions_reused
+        << " batching=" << (options.batching ? "on" : "off")
+        << " batches=" << stats.batches
+        << " batched_requests=" << stats.batched_requests
+        << " max_batch_size=" << stats.max_batch_size
+        << " dp_rows_cross=" << stats.dp_rows_reused_cross_request << "\n";
 
     return n_failed > 0 ? 5 : 0;
 }

@@ -50,6 +50,11 @@ struct Trace_options {
     int n_workers = 2;
     std::size_t queue_capacity = 64;
     bool warm_start = true;
+    /// Same-problem request batching (`--serve-batch on|off`).  The
+    /// replay prints each request's batch size and a batched-vs-
+    /// unbatched p50/p99 comparison row; answers are bit-identical
+    /// either way.
+    bool batching = true;
 };
 
 /// Replay a trace through a Server: submit every expanded request,

@@ -47,6 +47,7 @@
 #include <stdexcept>
 
 #include "search/alloc_space.hpp"
+#include "search/workspace_pool.hpp"
 #include "solver/internal.hpp"
 #include "util/cancel.hpp"
 #include "util/chunk_range.hpp"
@@ -324,6 +325,12 @@ Solve_result solve_multi_asic_bb(Session& session,
         n_rows_work);
     out.n_threads = static_cast<int>(n_threads);
 
+    // Session-persistent DP workspaces: worker c's Multi_pace_workspace
+    // (sparse state sets, frontier rows, traceback arena) lives on pool
+    // slot c, so its grow-only buffers survive between solves and a
+    // repeat solve pays no re-allocation — the multi-ASIC share of the
+    // serve layer's cross-request reuse.
+    session.workspaces().prepare(n_threads);
     std::vector<Pair_chunk> chunks(n_threads);
     const auto run_chunk = [&](std::size_t c, long long row_begin,
                                long long row_end) {
@@ -344,8 +351,10 @@ Solve_result solve_multi_asic_bb(Session& session,
         std::vector<pace::Bsb_cost> costs0;
         std::vector<pace::Bsb_cost> costs1;
         std::vector<pace::Multi_bsb_cost> mcosts;
-        util::Arena arena;  // per-worker: this lambda IS the task body
-        pace::Multi_pace_workspace mws(&arena);
+        // Per-worker workspace from the session pool: this lambda IS
+        // the task body, and distinct chunks use distinct slots.
+        pace::Multi_pace_workspace& mws =
+            session.workspaces().slot(c).multi;
         // External incumbent (a distributed coordinator's broadcast):
         // admissible by the Shared_bound contract, so min()ing it into
         // every threshold only removes pairs provably worse than a

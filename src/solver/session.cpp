@@ -5,6 +5,7 @@
 
 #include "search/alloc_space.hpp"
 #include "search/exhaustive.hpp"
+#include "search/workspace_pool.hpp"
 #include "solver/internal.hpp"
 #include "util/thread_pool.hpp"
 
@@ -167,6 +168,7 @@ search::Search_result to_search_result(const Solve_result& result)
     out.cache_stats = result.cache_stats;
     out.dp_rows_reused = result.dp_rows_reused;
     out.dp_rows_swept = result.dp_rows_swept;
+    out.dp_rows_reused_cross_request = result.dp_rows_reused_cross_request;
     out.status = result.status;
     out.chunks_abandoned = result.chunks_abandoned;
     out.rows_abandoned = result.rows_abandoned;
@@ -211,6 +213,13 @@ util::Thread_pool& Session::pool(std::size_t n_threads)
     if (pool_ == nullptr || pool_->size() < n_threads)
         pool_ = std::make_unique<util::Thread_pool>(n_threads);
     return *pool_;
+}
+
+search::Dp_workspace_pool& Session::workspaces()
+{
+    if (dp_pool_ == nullptr)
+        dp_pool_ = std::make_unique<search::Dp_workspace_pool>();
+    return *dp_pool_;
 }
 
 namespace {

@@ -52,6 +52,7 @@ class Thread_pool;
 
 namespace lycos::search {
 struct Search_result;
+class Dp_workspace_pool;
 }
 
 namespace lycos::solver {
@@ -307,6 +308,16 @@ struct Solve_result {
     search::Eval_cache_stats cache_stats;  ///< aggregated over workers
     long long dp_rows_reused = 0;  ///< incremental-DP observability
     long long dp_rows_swept = 0;
+    /// The share of dp_rows_reused resumed from checkpoints an
+    /// *earlier* solve left in the session's persistent workspace pool
+    /// (Session::workspaces) — the cross-request warm-start counter of
+    /// the serve layer's request batching.  0 on a fresh session.
+    long long dp_rows_reused_cross_request = 0;
+
+    /// Requests served in the same serve::Server batch as this one,
+    /// including it (1 = served alone on a worker).  Set by the serve
+    /// layer only; 0 for direct Session::solve calls.
+    int batch_size = 0;
 
     /// Why the solve ended.  `complete` = the search ran to its
     /// natural end; anything else is an anytime result: `best` is the
@@ -389,6 +400,17 @@ public:
     /// only when a solve wants more threads than it has.
     util::Thread_pool& pool(std::size_t n_threads);
 
+    /// The session-owned persistent DP workspace pool (created on
+    /// first use): every solve lends it to the engines as
+    /// Exhaustive_options::dp_pool, so worker c's incremental-PACE
+    /// checkpoint survives between solves and a repeat solve of the
+    /// same (quantum, width) fingerprint resumes at the first
+    /// divergent cost row instead of re-sweeping — the serve layer's
+    /// cross-request warm start (Solve_result::
+    /// dp_rows_reused_cross_request).  Results are bit-identical with
+    /// or without the warm checkpoints (see Pace_workspace).
+    search::Dp_workspace_pool& workspaces();
+
     /// Run the named strategy.  Throws std::invalid_argument for
     /// unknown names or mismatched Solve_options::extras.  When the
     /// options arm a deadline, budget or fault injector, the solve
@@ -427,6 +449,7 @@ private:
     std::shared_ptr<const search::Eval_invariants> invariants_;
     std::unique_ptr<search::Eval_cache> cache_;
     std::unique_ptr<util::Thread_pool> pool_;
+    std::unique_ptr<search::Dp_workspace_pool> dp_pool_;
 };
 
 }  // namespace lycos::solver

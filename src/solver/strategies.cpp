@@ -43,6 +43,7 @@ Solve_result from_search_result(std::string_view strategy,
     out.cache_stats = r.cache_stats;
     out.dp_rows_reused = r.dp_rows_reused;
     out.dp_rows_swept = r.dp_rows_swept;
+    out.dp_rows_reused_cross_request = r.dp_rows_reused_cross_request;
     out.status = r.status;
     out.chunks_abandoned = r.chunks_abandoned;
     out.rows_abandoned = r.rows_abandoned;
@@ -76,6 +77,7 @@ Solve_result solve_exhaustive_bb(Session& session,
     eo.pool = pool_for(session, options.n_threads,
                        options.window.whole() ? session.space_size()
                                               : options.window.size());
+    eo.dp_pool = &session.workspaces();
     eo.cancel = options.cancel;
     eo.window = options.window;
     eo.incumbent_bound = options.incumbent_bound;
@@ -105,6 +107,7 @@ Solve_result solve_hill_climb(Session& session, const Solve_options& options)
                               : &session.cache(options.cache_capacity);
     ho.invariants = session.invariants();
     ho.pool = pool_for(session, options.n_threads, extras.n_restarts);
+    ho.dp_pool = &session.workspaces();
     ho.cancel = options.cancel;
     util::Rng seeded(extras.seed);
     util::Rng& rng = extras.rng != nullptr ? *extras.rng : seeded;

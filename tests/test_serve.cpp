@@ -8,10 +8,14 @@
 // recorded rung (replay_rung) and identical across 1/2/8 workers.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <iterator>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hw/target.hpp"
@@ -454,6 +458,191 @@ TEST(ServeIncumbent, rescore_fine_refines_at_exact_quantum)
     EXPECT_EQ(r.result.best.datapath, refined.datapath);
     EXPECT_EQ(r.result.best.partition.time_hybrid_ns,
               refined.partition.time_hybrid_ns);
+}
+
+// ------------------------------------------------------------ batching
+
+// Randomized batch compositions: two problem families, mixed
+// strategies, priorities and chaos plans, submitted against a paused
+// server so the whole burst is queued when the workers wake and the
+// same-key drains form maximal batches.  Every answer must be
+// bit-identical to the fault-free fresh-session replay of its
+// recorded rung (the "solved alone" reference of the batching
+// contract), and the full outcome must not depend on the worker
+// count.  batch_size is deliberately excluded from the cross-worker
+// comparison — how the queue was sliced into batches may differ; the
+// answers may not.
+TEST(ServeBatch, batched_answers_match_fresh_session_replay)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    constexpr std::size_t k_requests = 10;
+
+    struct Outcome {
+        lse::Request_status status;
+        int rung;
+        std::string rung_strategy;
+        Fingerprint answer;
+
+        bool operator==(const Outcome&) const = default;
+    };
+
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        std::map<std::size_t, Outcome> reference;
+        for (const int n_workers : {1, 2}) {
+            lse::Server server({.n_workers = n_workers,
+                                .queue_capacity = 64,
+                                .retry_backoff_ms = 0.0,
+                                .warm_start = false,
+                                .batching = true,
+                                .start_paused = true});
+            std::mt19937_64 rng(seed);
+            std::vector<lse::Request> requests;
+            std::vector<std::future<lse::Response>> futures;
+            for (std::size_t i = 0; i < k_requests; ++i) {
+                auto req = small_request(
+                    lib, bsbs, k_strategies[rng() % std::size(k_strategies)]);
+                // Alternate the two families so each is guaranteed a
+                // multi-member batch; randomize everything else.
+                if (i % 2 == 1)
+                    req.problem.area_quantum =
+                        req.problem.target.asic.total_area / 32.0;
+                req.priority = rng() % 2 == 0 ? lse::Priority::interactive
+                                              : lse::Priority::bulk;
+                if (rng() % 3 == 0)
+                    req.chaos = lse::Chaos_plan::from_seed(rng(), 4, 16);
+                requests.push_back(req);
+                futures.push_back(server.submit(std::move(req)));
+            }
+            server.resume();
+
+            for (std::size_t i = 0; i < futures.size(); ++i) {
+                const auto r = futures[i].get();
+                ASSERT_TRUE(r.status == lse::Request_status::complete ||
+                            r.status == lse::Request_status::degraded)
+                    << "request " << i << ": " << r.error;
+                EXPECT_GE(r.result.batch_size, 1) << "request " << i;
+
+                const auto replayed = lse::replay_rung(requests[i], r);
+                EXPECT_EQ(fingerprint(r.result, lib),
+                          fingerprint(replayed, lib))
+                    << "request " << i << " rung " << r.rung_strategy
+                    << " (" << n_workers << " workers, seed " << seed << ")";
+
+                const Outcome outcome{r.status, r.rung, r.rung_strategy,
+                                      fingerprint(r.result, lib)};
+                const auto it = reference.find(i);
+                if (it == reference.end())
+                    reference.emplace(i, outcome);
+                else
+                    EXPECT_EQ(outcome, it->second)
+                        << "request " << i << " differs at " << n_workers
+                        << " workers (seed " << seed << ")";
+            }
+            // The paused burst must actually have been batched.
+            EXPECT_GT(server.stats().batched_requests, 0u);
+        }
+    }
+}
+
+// Shutdown mid-batch: the in-flight member finishes its ladder (the
+// master token skips its remaining solver rungs straight to the
+// infallible incumbent), every member whose ladder has not started is
+// shed individually — a batch never leaves a promise dangling and
+// never returns a partial answer.
+TEST(ServeBatch, destructor_sheds_unstarted_batch_members_individually)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    constexpr std::size_t k_members = 4;
+
+    std::vector<std::future<lse::Response>> futures;
+    {
+        lse::Server server({.n_workers = 1,
+                            .queue_capacity = 64,
+                            .retry_backoff_ms = 100.0,
+                            .warm_start = false,
+                            .batching = true,
+                            .start_paused = true});
+        for (std::size_t i = 0; i < k_members; ++i) {
+            auto req = small_request(lib, bsbs, "exhaustive_bb");
+            if (i == 0)
+                // Member 0's ladder is slow and fallible: every solver
+                // rung is killed, and the first retry backoff (100 ms)
+                // leaves a wide window to tear the server down
+                // mid-ladder.
+                req.chaos.attempts = {killed(), killed(), killed()};
+            futures.push_back(server.submit(std::move(req)));
+        }
+        server.resume();
+        // Destroy only after the worker has drained the batch (the
+        // counters are bumped under the queue lock at drain time), so
+        // member 0 is deterministically mid-ladder — inside its first
+        // backoff — when the master token trips.
+        while (server.stats().batched_requests < k_members)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const auto first = futures[0].get();
+    EXPECT_EQ(first.status, lse::Request_status::degraded);
+    EXPECT_EQ(first.rung_strategy, std::string(lse::k_incumbent_rung));
+    EXPECT_GT(first.sequence, 0u);
+    for (std::size_t i = 1; i < k_members; ++i) {
+        const auto r = futures[i].get();
+        EXPECT_EQ(r.status, lse::Request_status::shed) << "member " << i;
+        EXPECT_EQ(r.sequence, 0u) << "member " << i;
+        EXPECT_NE(r.error.find("shut down"), std::string::npos)
+            << "member " << i;
+    }
+}
+
+// A capacity-1 idle pool under churn cannot evict the session a batch
+// is running on: checkout removes the slot from the idle list for the
+// batch's whole lifetime, so LRU eviction — which only scans idle
+// sessions — never sees it.  The batch's answers stay bit-identical
+// to the fresh-session reference while foreign one-shot solves
+// thrash the pool from another thread.
+TEST(ServeBatch, lru_churn_cannot_evict_pinned_batch_slot)
+{
+    const auto lib = small_library();
+    const auto bsbs = small_app();
+    constexpr std::size_t k_members = 6;
+
+    lse::Server server({.n_workers = 1,
+                        .queue_capacity = 64,
+                        .session_pool_capacity = 1,
+                        .retry_backoff_ms = 0.0,
+                        .warm_start = false,
+                        .batching = true,
+                        .start_paused = true});
+    std::vector<std::future<lse::Response>> futures;
+    for (std::size_t i = 0; i < k_members; ++i)
+        futures.push_back(server.submit(small_request(lib, bsbs)));
+    server.resume();
+
+    // Churn: one-shot solves of ever-new problem keys on this thread,
+    // each checkin evicting the previous churn session from the
+    // capacity-1 idle pool while the batch holds its own slot.
+    for (int i = 0; i < 12; ++i) {
+        auto req = small_request(lib, bsbs);
+        req.problem.area_quantum =
+            req.problem.target.asic.total_area / (20.0 + i);
+        const auto r = server.solve(std::move(req));
+        EXPECT_EQ(r.status, lse::Request_status::complete);
+    }
+
+    const auto reference = small_request(lib, bsbs);
+    lso::Session fresh(reference.problem);
+    const auto direct = fresh.solve(reference.options);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto r = futures[i].get();
+        ASSERT_EQ(r.status, lse::Request_status::complete)
+            << "member " << i << ": " << r.error;
+        EXPECT_EQ(fingerprint(r.result, lib), fingerprint(direct, lib))
+            << "member " << i;
+    }
+    EXPECT_EQ(server.stats().batched_requests, k_members);
+    EXPECT_EQ(server.stats().max_batch_size, k_members);
 }
 
 // ------------------------------------------------------ chaos campaign

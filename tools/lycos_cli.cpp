@@ -162,6 +162,10 @@ int main(int argc, char** argv)
                     "then exit (see src/serve/trace.hpp for the format)");
     args.add_option("serve-workers", "2",
                     "worker threads for --serve-trace");
+    args.add_option("serve-batch", "on",
+                    "same-problem request batching for --serve-trace "
+                    "(on|off); answers are bit-identical either way, the "
+                    "latency table gains a batched-vs-unbatched row");
     args.add_option("coordinator", "",
                     "run --search distributed: listen on this port (0 = "
                     "OS-chosen) and lease unit ranges to connected workers; "
@@ -249,6 +253,11 @@ int main(int argc, char** argv)
                                             args.value("serve-trace"));
             serve::Trace_options trace_opts;
             trace_opts.n_workers = std::stoi(args.value("serve-workers"));
+            const std::string batch = args.value("serve-batch");
+            if (batch != "on" && batch != "off")
+                throw std::invalid_argument(
+                    "--serve-batch expects on|off, got \"" + batch + "\"");
+            trace_opts.batching = batch == "on";
             return serve::run_trace(trace_file, std::cout, trace_opts);
         }
         catch (const std::invalid_argument& e) {
